@@ -1,0 +1,7 @@
+//! Regenerates every table and figure of the paper in order.
+fn main() {
+    for (name, report) in smart_bench::all_experiments() {
+        println!("==== {name} ====");
+        println!("{report}");
+    }
+}

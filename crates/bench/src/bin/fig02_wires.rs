@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin fig02_wires`.
+fn main() {
+    print!("{}", smart_bench::fig02_wires());
+}

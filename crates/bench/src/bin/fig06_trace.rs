@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin fig06_trace`.
+fn main() {
+    print!("{}", smart_bench::fig06_trace());
+}

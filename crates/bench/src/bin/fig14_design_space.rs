@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin fig14_design_space`.
+fn main() {
+    print!("{}", smart_bench::fig14_design_space());
+}

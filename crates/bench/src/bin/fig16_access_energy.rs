@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin fig16_access_energy`.
+fn main() {
+    print!("{}", smart_bench::fig16_access_energy());
+}

@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin fig18_single_speedup`.
+fn main() {
+    print!("{}", smart_bench::fig18_single_speedup());
+}

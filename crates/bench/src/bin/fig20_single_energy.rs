@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin fig20_single_energy`.
+fn main() {
+    print!("{}", smart_bench::fig20_single_energy());
+}

@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin table4_configs`.
+fn main() {
+    print!("{}", smart_bench::table4_configs());
+}

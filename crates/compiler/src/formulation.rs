@@ -1,0 +1,301 @@
+//! The ILP formulation of SPM allocation and prefetching (Sec. 4.3,
+//! Eq. 5-6), built per layer and solved with `smart-ilp`.
+//!
+//! Variables: for every memory object `o`, binaries `h_o` (allocated to its
+//! class's SHIFT array) and `r_o` (allocated to the shared RANDOM array);
+//! unallocated objects stream from DRAM.
+//!
+//! Objective (Eq. 5): maximize the access-time saving of SPM residency
+//! minus the cost of the loads that bring objects in (`T^HD`, `T^RD`,
+//! `T^HR` terms — weights arrive from DRAM, inputs/PSums from the RANDOM
+//! array or DRAM).
+//!
+//! Constraints:
+//! * placement exclusivity: `h_o + r_o <= 1`;
+//! * Eq. 6 consistency is enforced *by construction*: an object's residency
+//!   interval is exactly its lifespan window, so it is loaded once at its
+//!   fetch edge and stays until its last edge;
+//! * SPM size per edge: resident bytes fit the SHIFT array of each class
+//!   and the shared RANDOM array on every edge;
+//! * SPM bandwidth: bytes fetched at one edge are bounded by the transfer
+//!   budget of one iteration;
+//! * sub-bank: at most `banks` objects may be fetched into the RANDOM array
+//!   on the same edge (conflicting fetches serialize).
+
+use crate::lifespan::{analyze, Lifespan};
+use crate::schedule::{Location, Placement, Schedule, ScheduleSource};
+use smart_ilp::problem::{Problem, Relation, Sense};
+use smart_ilp::solver::{MipResult, Solver};
+use smart_systolic::dag::LayerDag;
+use smart_systolic::trace::DataClass;
+
+/// Cost/capacity parameters of the formulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormulationParams {
+    /// Per-class SHIFT array capacity in bytes.
+    pub shift_capacity: u64,
+    /// Shared RANDOM array capacity in bytes.
+    pub random_capacity: u64,
+    /// RANDOM array bank count (sub-bank constraint).
+    pub random_banks: u32,
+    /// Bytes transferable into SPMs during one iteration (bandwidth
+    /// constraint).
+    pub bytes_per_iteration: u64,
+    /// Prefetch window `a` (>= 1).
+    pub prefetch_window: u32,
+    /// Relative time saved per byte when streaming from SHIFT instead of
+    /// DRAM (the Eq. 5 `T^H_s` coefficient).
+    pub shift_saving_per_byte: f64,
+    /// Relative time saved per byte when streaming from RANDOM instead of
+    /// DRAM (`T^R_s`).
+    pub random_saving_per_byte: f64,
+    /// Load cost per byte into SHIFT (`T^HD/HR_r`).
+    pub shift_load_per_byte: f64,
+    /// Load cost per byte into RANDOM (`T^RD_r`).
+    pub random_load_per_byte: f64,
+}
+
+impl FormulationParams {
+    /// The SMART defaults (Table 4 geometry, cost ratios from the access
+    /// latencies: SHIFT 0.02 ns/word, RANDOM 0.103 ns/word, DRAM reference
+    /// 1.0).
+    #[must_use]
+    pub fn smart_default() -> Self {
+        Self {
+            shift_capacity: 32 * 1024,
+            random_capacity: 28 * 1024 * 1024,
+            random_banks: 256,
+            bytes_per_iteration: 4 * 1024 * 1024,
+            prefetch_window: 3,
+            shift_saving_per_byte: 1.0,
+            random_saving_per_byte: 0.9,
+            shift_load_per_byte: 0.05,
+            random_load_per_byte: 0.1,
+        }
+    }
+}
+
+/// Builds and solves the allocation ILP for one layer DAG.
+///
+/// Falls back to the greedy allocator when the solver cannot find a
+/// feasible point (the paper's compiler is "near-optimal" as well).
+///
+/// # Panics
+///
+/// Panics if `params.prefetch_window` is zero.
+#[must_use]
+pub fn compile_layer(dag: &LayerDag, params: &FormulationParams) -> Schedule {
+    let lifespans = analyze(dag, params.prefetch_window);
+    let n_objects = dag.objects.len();
+
+    let mut p = Problem::new(Sense::Maximize);
+    let mut h_vars = Vec::with_capacity(n_objects);
+    let mut r_vars = Vec::with_capacity(n_objects);
+    for o in &dag.objects {
+        let h = p.binary(&format!("h_{}", o.id));
+        let r = p.binary(&format!("r_{}", o.id));
+        let bytes = o.bytes as f64;
+        // Eq. 5: saving minus load cost, folded per object.
+        p.set_objective(h, bytes * (params.shift_saving_per_byte - params.shift_load_per_byte));
+        p.set_objective(r, bytes * (params.random_saving_per_byte - params.random_load_per_byte));
+        p.add_constraint(&[(h, 1.0), (r, 1.0)], Relation::Le, 1.0);
+        h_vars.push(h);
+        r_vars.push(r);
+    }
+
+    let edges = dag.edges.len() as u32;
+    for edge in 0..edges {
+        // SHIFT capacity per class.
+        for class in DataClass::ALL {
+            let terms: Vec<_> = dag
+                .objects
+                .iter()
+                .filter(|o| o.class == class)
+                .filter(|o| live_on(&lifespans[o.id as usize], edge))
+                .map(|o| (h_vars[o.id as usize], o.bytes as f64))
+                .collect();
+            if !terms.is_empty() {
+                p.add_constraint(&terms, Relation::Le, params.shift_capacity as f64);
+            }
+        }
+        // RANDOM capacity (shared).
+        let terms: Vec<_> = dag
+            .objects
+            .iter()
+            .filter(|o| live_on(&lifespans[o.id as usize], edge))
+            .map(|o| (r_vars[o.id as usize], o.bytes as f64))
+            .collect();
+        if !terms.is_empty() {
+            p.add_constraint(&terms, Relation::Le, params.random_capacity as f64);
+        }
+        // Bandwidth: objects whose fetch edge is this edge.
+        let fetch_terms: Vec<_> = dag
+            .objects
+            .iter()
+            .filter(|o| lifespans[o.id as usize].first_edge == edge)
+            .flat_map(|o| {
+                [
+                    (h_vars[o.id as usize], o.bytes as f64),
+                    (r_vars[o.id as usize], o.bytes as f64),
+                ]
+            })
+            .collect();
+        if !fetch_terms.is_empty() {
+            p.add_constraint(&fetch_terms, Relation::Le, params.bytes_per_iteration as f64);
+        }
+        // Sub-bank: count of simultaneous RANDOM fetches.
+        let bank_terms: Vec<_> = dag
+            .objects
+            .iter()
+            .filter(|o| lifespans[o.id as usize].first_edge == edge)
+            .map(|o| (r_vars[o.id as usize], 1.0))
+            .collect();
+        if !bank_terms.is_empty() {
+            p.add_constraint(&bank_terms, Relation::Le, f64::from(params.random_banks));
+        }
+    }
+
+    let result = Solver::new().with_node_limit(2_000).solve(&p);
+    let proven_optimal = matches!(result, MipResult::Optimal(_));
+    // The greedy allocation doubles as a warm-start bound: if the node
+    // limit stopped branch & bound before it beat greedy, keep greedy.
+    let greedy = crate::greedy::allocate(dag, params, lifespans.clone());
+    match result {
+        MipResult::Optimal(sol) | MipResult::Feasible(sol) => {
+            let source = if proven_optimal {
+                ScheduleSource::IlpOptimal
+            } else {
+                ScheduleSource::IlpFeasible
+            };
+            let placements = dag
+                .objects
+                .iter()
+                .map(|o| {
+                    let location = if sol.value(h_vars[o.id as usize]) > 0.5 {
+                        Location::Shift
+                    } else if sol.value(r_vars[o.id as usize]) > 0.5 {
+                        Location::Random
+                    } else {
+                        Location::Dram
+                    };
+                    Placement {
+                        object: o.id,
+                        location,
+                    }
+                })
+                .collect();
+            if !proven_optimal && greedy.objective > sol.objective {
+                return greedy;
+            }
+            Schedule {
+                placements,
+                lifespans,
+                prefetch_window: params.prefetch_window,
+                objective: sol.objective,
+                source,
+            }
+        }
+        MipResult::Infeasible | MipResult::Unbounded => greedy,
+    }
+}
+
+fn live_on(ls: &Lifespan, edge: u32) -> bool {
+    ls.first_edge <= edge && edge <= ls.last_edge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_systolic::layer::ConvLayer;
+    use smart_systolic::mapping::{ArrayShape, LayerMapping};
+
+    fn dag_for(layer: &ConvLayer) -> LayerDag {
+        let m = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
+        LayerDag::build(&m, 6)
+    }
+
+    #[test]
+    fn small_layer_fully_resident() {
+        // A small layer fits everything in SPM: no object left in DRAM.
+        let l = ConvLayer::conv("c", 13, 13, 64, 64, 3, 1, 1);
+        let dag = dag_for(&l);
+        let s = compile_layer(&dag, &FormulationParams::smart_default());
+        assert!(matches!(
+            s.source,
+            ScheduleSource::IlpOptimal | ScheduleSource::IlpFeasible
+        ));
+        let (_, _, dram) = s.bytes_by_location(&dag);
+        assert_eq!(dram, 0, "everything should be SPM-resident");
+    }
+
+    #[test]
+    fn shift_preferred_for_fit() {
+        // SHIFT has the higher saving, so small objects should prefer it.
+        let l = ConvLayer::conv("c", 13, 13, 64, 64, 3, 1, 1);
+        let dag = dag_for(&l);
+        let s = compile_layer(&dag, &FormulationParams::smart_default());
+        let (shift, _, _) = s.bytes_by_location(&dag);
+        assert!(shift > 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        // Shrink the SHIFT arrays so large objects must go to RANDOM.
+        let l = ConvLayer::conv("c", 56, 56, 128, 256, 3, 1, 1);
+        let dag = dag_for(&l);
+        let mut params = FormulationParams::smart_default();
+        params.shift_capacity = 1024;
+        let s = compile_layer(&dag, &params);
+        // Verify per-edge residency against capacity.
+        for edge in 0..dag.edges.len() as u32 {
+            for class in DataClass::ALL {
+                let resident: u64 = dag
+                    .objects
+                    .iter()
+                    .filter(|o| o.class == class)
+                    .filter(|o| s.location_of(o.id) == Location::Shift)
+                    .filter(|o| {
+                        let ls = s.lifespans[o.id as usize];
+                        ls.first_edge <= edge && edge <= ls.last_edge
+                    })
+                    .map(|o| o.bytes)
+                    .sum();
+                assert!(
+                    resident <= params.shift_capacity,
+                    "edge {edge} class {class:?}: {resident} bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_random_array_pushes_data_to_dram() {
+        let l = ConvLayer::conv("c", 56, 56, 128, 256, 3, 1, 1);
+        let dag = dag_for(&l);
+        let mut params = FormulationParams::smart_default();
+        params.shift_capacity = 512;
+        params.random_capacity = 1024;
+        let s = compile_layer(&dag, &params);
+        let (_, _, dram) = s.bytes_by_location(&dag);
+        assert!(dram > 0, "overflow must fall back to DRAM");
+    }
+
+    #[test]
+    fn objective_positive_when_spm_used() {
+        let l = ConvLayer::conv("c", 13, 13, 64, 64, 3, 1, 1);
+        let dag = dag_for(&l);
+        let s = compile_layer(&dag, &FormulationParams::smart_default());
+        assert!(s.objective > 0.0);
+    }
+
+    #[test]
+    fn prefetch_window_recorded() {
+        let l = ConvLayer::conv("c", 13, 13, 64, 64, 3, 1, 1);
+        let dag = dag_for(&l);
+        let mut params = FormulationParams::smart_default();
+        params.prefetch_window = 4;
+        let s = compile_layer(&dag, &params);
+        assert_eq!(s.prefetch_window, 4);
+        assert!(s.prefetched_fraction(&dag) > 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Lifespan analysis of memory objects on the layer DAG (Sec. 4.3).
+//!
+//! Unlike prior SPM work that assumes an object is alive for a whole basic
+//! block, SMART computes per-object lifespans over the unrolled iteration
+//! DAG and *extends them backward* to enable prefetching: with a window of
+//! `a` iterations, the weights of iteration `n` may be fetched as early as
+//! iteration `n - a` (the paper's `alpha[n+1, n+a]` annotation on edge
+//! `e_2n`).
+
+use smart_systolic::dag::{LayerDag, MemoryObject};
+use smart_systolic::trace::DataClass;
+
+/// The edge window during which an object may be resident in an SPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifespan {
+    /// Object id.
+    pub object: u32,
+    /// First edge index on which the object may be resident (inclusive).
+    pub first_edge: u32,
+    /// Last edge index on which the object is needed (inclusive).
+    pub last_edge: u32,
+    /// Earliest iteration the object may be fetched at.
+    pub fetch_iteration: u32,
+    /// The iteration that uses the object.
+    pub use_iteration: u32,
+}
+
+impl Lifespan {
+    /// Number of edges the object may occupy SPM space on.
+    #[must_use]
+    pub fn span_edges(&self) -> u32 {
+        self.last_edge - self.first_edge + 1
+    }
+
+    /// Prefetch distance in iterations.
+    #[must_use]
+    pub fn prefetch_distance(&self) -> u32 {
+        self.use_iteration - self.fetch_iteration
+    }
+}
+
+/// Computes lifespans for every object of a DAG under prefetch window `a`
+/// (`a = 1` means no prefetch, matching Fig. 24's x-axis).
+///
+/// Read-only inputs/weights of iteration `n` live from edge `2*(n-a+1)`
+/// (clamped to 0) through edge `2n+1`. PSums live through their iteration's
+/// edges; outputs are produced at iteration `n` and die on the next
+/// iteration's first edge (where they are written back).
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+#[must_use]
+pub fn analyze(dag: &LayerDag, a: u32) -> Vec<Lifespan> {
+    assert!(a > 0, "prefetch window must be at least 1");
+    dag.objects
+        .iter()
+        .map(|o| lifespan_of(dag, o, a))
+        .collect()
+}
+
+fn lifespan_of(dag: &LayerDag, o: &MemoryObject, a: u32) -> Lifespan {
+    let n = o.iteration;
+    let last_iteration = dag.iterations - 1;
+    match o.class {
+        DataClass::Weight | DataClass::Input => {
+            let fetch = n.saturating_sub(a - 1);
+            Lifespan {
+                object: o.id,
+                first_edge: 2 * fetch,
+                last_edge: 2 * n + 1,
+                fetch_iteration: fetch,
+                use_iteration: n,
+            }
+        }
+        DataClass::Psum => {
+            // PSums of iteration n accumulate across its folds; they may
+            // also be prefetched (read-modify-write) like inputs.
+            let fetch = n.saturating_sub(a - 1);
+            Lifespan {
+                object: o.id,
+                first_edge: 2 * fetch,
+                last_edge: 2 * n + 1,
+                fetch_iteration: fetch,
+                use_iteration: n,
+            }
+        }
+        DataClass::Output => {
+            // Produced at n, written back on the next iteration's first
+            // edge (or on its own compute edge at layer end).
+            let end = (n + 1).min(last_iteration);
+            Lifespan {
+                object: o.id,
+                first_edge: 2 * n + 1,
+                last_edge: (2 * end).max(2 * n + 1),
+                fetch_iteration: n,
+                use_iteration: n,
+            }
+        }
+    }
+}
+
+/// Bytes resident on a given edge if all objects in `chosen` were placed in
+/// the same array (capacity accounting helper).
+#[must_use]
+pub fn resident_bytes_on_edge(
+    dag: &LayerDag,
+    lifespans: &[Lifespan],
+    chosen: &[u32],
+    edge: u32,
+) -> u64 {
+    chosen
+        .iter()
+        .filter_map(|&id| {
+            let ls = lifespans[id as usize];
+            if ls.first_edge <= edge && edge <= ls.last_edge {
+                Some(dag.objects[id as usize].bytes)
+            } else {
+                None
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_systolic::dag::LayerDag;
+    use smart_systolic::layer::ConvLayer;
+    use smart_systolic::mapping::{ArrayShape, LayerMapping};
+
+    fn dag() -> LayerDag {
+        let l = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let m = LayerMapping::map(&l, ArrayShape::new(64, 256), 1);
+        LayerDag::build(&m, 8)
+    }
+
+    #[test]
+    fn no_prefetch_window_is_tight() {
+        let d = dag();
+        let spans = analyze(&d, 1);
+        for ls in &spans {
+            let o = &d.objects[ls.object as usize];
+            if matches!(o.class, DataClass::Weight | DataClass::Input) {
+                assert_eq!(ls.prefetch_distance(), 0);
+                assert_eq!(ls.first_edge, 2 * o.iteration);
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_extends_lifespan_backward() {
+        let d = dag();
+        let a3 = analyze(&d, 3);
+        let a1 = analyze(&d, 1);
+        // Pick the weight object of iteration 5.
+        let o = d.objects.iter().find(|o| o.class == DataClass::Weight && o.iteration == 5).unwrap();
+        let ls3 = a3[o.id as usize];
+        let ls1 = a1[o.id as usize];
+        assert_eq!(ls3.prefetch_distance(), 2);
+        assert_eq!(ls1.prefetch_distance(), 0);
+        assert!(ls3.first_edge < ls1.first_edge);
+        assert_eq!(ls3.last_edge, ls1.last_edge);
+    }
+
+    #[test]
+    fn early_iterations_clamp_to_zero() {
+        let d = dag();
+        let spans = analyze(&d, 4);
+        let o = d.objects.iter().find(|o| o.class == DataClass::Input && o.iteration == 1).unwrap();
+        assert_eq!(spans[o.id as usize].fetch_iteration, 0);
+    }
+
+    #[test]
+    fn outputs_live_until_next_iteration() {
+        let d = dag();
+        let spans = analyze(&d, 3);
+        let o = d.objects.iter().find(|o| o.class == DataClass::Output && o.iteration == 3).unwrap();
+        let ls = spans[o.id as usize];
+        assert_eq!(ls.first_edge, 7);
+        assert_eq!(ls.last_edge, 8);
+    }
+
+    #[test]
+    fn resident_bytes_accumulate() {
+        let d = dag();
+        let spans = analyze(&d, 2);
+        let all: Vec<u32> = d.objects.iter().map(|o| o.id).collect();
+        let bytes = resident_bytes_on_edge(&d, &spans, &all, 5);
+        assert!(bytes > 0);
+        // More prefetch => more simultaneous residency.
+        let wide = analyze(&d, 5);
+        let bytes_wide = resident_bytes_on_edge(&d, &wide, &all, 5);
+        assert!(bytes_wide >= bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetch window must be at least 1")]
+    fn zero_window_panics() {
+        let _ = analyze(&dag(), 0);
+    }
+}

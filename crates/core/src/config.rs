@@ -1,0 +1,134 @@
+//! Accelerator configurations (the paper's Table 4).
+//!
+//! | Name     | Clock    | Peak        | PE array  | SPM                            |
+//! |----------|----------|-------------|-----------|--------------------------------|
+//! | TPU      | 0.7 GHz  | 45 TMAC/s   | 256 x 256 | 24 MB in/w/out, 4 MB PSum      |
+//! | SuperNPU | 52.6 GHz | 842 TMAC/s  | 64 x 256  | 24 MB in (64b), 24 MB out/PSum (256b), 128 KB w |
+//! | SMART    | 52.6 GHz | 842 TMAC/s  | 64 x 256  | 3 x 32 KB SHIFT (256b) + 28 MB CMOS-SFQ (256b)  |
+//!
+//! All three share 300 GB/s of DRAM bandwidth; the 4 K parts pay a 400x
+//! cooling overhead on every joule ([Holmes 2013], paper Sec. 5).
+
+use smart_sfq::units::{Frequency, Power};
+use smart_systolic::mapping::ArrayShape;
+
+/// Cooling overhead at 4 K: 400 W of wall power per watt dissipated.
+pub const COOLING_FACTOR: f64 = 400.0;
+
+/// Shared DRAM bandwidth (bytes/s).
+pub const DRAM_BANDWIDTH: f64 = 300.0e9;
+
+/// An accelerator configuration row of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Clock frequency.
+    pub frequency: Frequency,
+    /// PE array shape.
+    pub shape: ArrayShape,
+    /// Whether the accelerator operates at 4 K (pays cooling).
+    pub cryogenic: bool,
+    /// Matrix-unit energy per MAC (joules). For the room-temperature TPU
+    /// this is folded into [`AcceleratorConfig::average_power`] instead.
+    pub mac_energy_j: f64,
+    /// Average chip power for fixed-power accelerators (the TPU's 40 W).
+    pub average_power: Option<Power>,
+}
+
+impl AcceleratorConfig {
+    /// The CMOS TPU baseline: 0.7 GHz, 256x256, 40 W average power.
+    #[must_use]
+    pub fn tpu() -> Self {
+        Self {
+            name: "TPU",
+            frequency: Frequency::from_ghz(0.7),
+            shape: ArrayShape::new(256, 256),
+            cryogenic: false,
+            mac_energy_j: 0.0,
+            average_power: Some(Power::from_w(40.0)),
+        }
+    }
+
+    /// SuperNPU: 52.6 GHz, 64x256, ERSFQ matrix unit.
+    ///
+    /// The per-MAC energy is calibrated so the matrix unit accounts for
+    /// ~60% of SuperNPU's published 1.9 W at peak throughput:
+    /// `0.6 * 1.9 W / 842 TMAC/s ~= 1.35 fJ/MAC`.
+    #[must_use]
+    pub fn supernpu() -> Self {
+        Self {
+            name: "SuperNPU",
+            frequency: Frequency::from_ghz(52.6),
+            shape: ArrayShape::new(64, 256),
+            cryogenic: true,
+            mac_energy_j: 1.35e-15,
+            average_power: None,
+        }
+    }
+
+    /// SMART: same matrix unit and clock as SuperNPU, different SPM.
+    #[must_use]
+    pub fn smart() -> Self {
+        Self {
+            name: "SMART",
+            ..Self::supernpu()
+        }
+    }
+
+    /// Peak throughput in TMAC/s (`rows * cols * f`).
+    #[must_use]
+    pub fn peak_tmacs(&self) -> f64 {
+        self.shape.pes() as f64 * self.frequency.as_si() / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpu_peak_45_tmacs() {
+        // Table 4: "45 TMAC/s peak perf."
+        let t = AcceleratorConfig::tpu();
+        assert!((t.peak_tmacs() - 45.9).abs() < 1.0, "{}", t.peak_tmacs());
+    }
+
+    #[test]
+    fn supernpu_peak_842_tmacs() {
+        let s = AcceleratorConfig::supernpu();
+        assert!((s.peak_tmacs() - 862.0).abs() < 25.0, "{}", s.peak_tmacs());
+    }
+
+    #[test]
+    fn frequency_ratio_is_75x() {
+        // Sec. 6.1: "the operating frequency of SuperNPU is 75x higher than
+        // that of TPU".
+        let ratio = AcceleratorConfig::supernpu().frequency.as_si()
+            / AcceleratorConfig::tpu().frequency.as_si();
+        assert!((ratio - 75.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn smart_shares_supernpu_matrix() {
+        let a = AcceleratorConfig::smart();
+        let b = AcceleratorConfig::supernpu();
+        assert_eq!(a.frequency, b.frequency);
+        assert_eq!(a.shape, b.shape);
+        assert_eq!(a.mac_energy_j, b.mac_energy_j);
+    }
+
+    #[test]
+    fn only_tpu_has_fixed_power() {
+        assert!(AcceleratorConfig::tpu().average_power.is_some());
+        assert!(AcceleratorConfig::supernpu().average_power.is_none());
+        assert!(AcceleratorConfig::tpu().average_power.unwrap().as_w() > 39.0);
+    }
+
+    #[test]
+    fn cryogenic_flags() {
+        assert!(!AcceleratorConfig::tpu().cryogenic);
+        assert!(AcceleratorConfig::supernpu().cryogenic);
+        assert!(AcceleratorConfig::smart().cryogenic);
+    }
+}

@@ -1,0 +1,295 @@
+//! The evaluated schemes (Sec. 5 "Schemes") and their SPM organizations.
+//!
+//! * `TPU` — the CMOS baseline with an idealized unified buffer;
+//! * `SuperNPU` — SHIFT-only SPMs (24 MB / 64-bank input, 24 MB / 256-bank
+//!   output/PSum, 128 KB weights);
+//! * `SRAM` — SuperNPU with all SHIFT arrays replaced by Josephson-CMOS
+//!   SRAM arrays;
+//! * `Heter` — SRAM plus three 32 KB SHIFT staging arrays with ideal static
+//!   allocation;
+//! * `Pipe` — Heter with the 28 MB pipelined CMOS-SFQ array;
+//! * `SMART` — Pipe plus the ILP compiler with prefetch window `a = 3`.
+
+use crate::config::AcceleratorConfig;
+use smart_cryomem::array::{RandomArray, RandomArrayKind};
+use smart_spm::hetero::HeterogeneousSpm;
+use smart_spm::shift::ShiftArray;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// SHIFT-only SPM set (SuperNPU's organization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PureShiftSpm {
+    /// Input buffer.
+    pub input: ShiftArray,
+    /// Output/PSum buffer.
+    pub output: ShiftArray,
+    /// Weight buffer.
+    pub weight: ShiftArray,
+}
+
+impl PureShiftSpm {
+    /// SuperNPU's Table 4 configuration.
+    #[must_use]
+    pub fn supernpu() -> Self {
+        Self {
+            input: ShiftArray::new(24 * MB, 64),
+            output: ShiftArray::new(24 * MB, 256),
+            weight: ShiftArray::new(128 * KB, 64),
+        }
+    }
+}
+
+/// How data is allocated and prefetched onto the SPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// Ideal static allocation, no prefetch: loads overlap compute only via
+    /// natural double buffering (~half hidden).
+    Static,
+    /// The ILP compiler's allocation with a prefetch window of `a`
+    /// iterations (Sec. 4.3). `a = 1` disables prefetching.
+    Prefetch {
+        /// Prefetch iteration count (the paper's `a`, default 3).
+        window: u32,
+    },
+}
+
+impl AllocationPolicy {
+    /// Fraction of SPM/DRAM load time hidden behind compute.
+    ///
+    /// Static double buffering hides about a third; prefetching one
+    /// iteration ahead hides half; `a >= 3` hides (almost) everything —
+    /// matching the saturation of Fig. 24.
+    #[must_use]
+    pub fn overlap_fraction(self) -> f64 {
+        match self {
+            Self::Static => 0.3,
+            Self::Prefetch { window } => {
+                let a = f64::from(window.max(1));
+                (0.95 * (a - 1.0) / 2.0).min(0.95)
+            }
+        }
+    }
+}
+
+/// An SPM organization under evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpmOrganization {
+    /// Idealized SPM (the TPU baseline): never stalls the array.
+    Ideal,
+    /// SHIFT-only arrays (SuperNPU).
+    PureShift(PureShiftSpm),
+    /// One shared random-access array for everything (`SRAM` scheme,
+    /// Fig. 5 homogeneous comparisons).
+    PureRandom(RandomArray),
+    /// SHIFT staging + shared RANDOM array (`Heter`/`Pipe`/`SMART`,
+    /// Fig. 7).
+    Heterogeneous(HeterogeneousSpm),
+}
+
+/// A named evaluation scheme: accelerator config + SPM + policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheme {
+    /// Display name used in the figures.
+    pub name: &'static str,
+    /// Accelerator configuration.
+    pub config: AcceleratorConfig,
+    /// SPM organization.
+    pub spm: SpmOrganization,
+    /// Allocation/prefetch policy.
+    pub policy: AllocationPolicy,
+}
+
+impl Scheme {
+    /// The TPU baseline.
+    #[must_use]
+    pub fn tpu() -> Self {
+        Self {
+            name: "TPU",
+            config: AcceleratorConfig::tpu(),
+            spm: SpmOrganization::Ideal,
+            policy: AllocationPolicy::Static,
+        }
+    }
+
+    /// SuperNPU (the `SHIFT` bars of Figs. 18-21).
+    #[must_use]
+    pub fn supernpu() -> Self {
+        Self {
+            name: "SHIFT",
+            config: AcceleratorConfig::supernpu(),
+            spm: SpmOrganization::PureShift(PureShiftSpm::supernpu()),
+            policy: AllocationPolicy::Static,
+        }
+    }
+
+    /// SuperNPU with Josephson-CMOS SRAM SPMs at TPU capacity.
+    #[must_use]
+    pub fn sram() -> Self {
+        Self {
+            name: "SRAM",
+            config: AcceleratorConfig::supernpu(),
+            spm: SpmOrganization::PureRandom(RandomArray::build(
+                RandomArrayKind::JosephsonCmosSram,
+                28 * MB,
+                256,
+            )),
+            policy: AllocationPolicy::Static,
+        }
+    }
+
+    /// `Heter`: SRAM plus 32 KB SHIFT staging arrays, ideal static
+    /// allocation.
+    #[must_use]
+    pub fn heter() -> Self {
+        Self {
+            name: "Heter",
+            config: AcceleratorConfig::supernpu(),
+            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::new(
+                32 * KB,
+                256,
+                28 * MB,
+                256,
+                RandomArrayKind::JosephsonCmosSram,
+            )),
+            policy: AllocationPolicy::Static,
+        }
+    }
+
+    /// `Pipe`: Heter with the pipelined CMOS-SFQ RANDOM array.
+    #[must_use]
+    pub fn pipe() -> Self {
+        Self {
+            name: "Pipe",
+            config: AcceleratorConfig::smart(),
+            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::smart_default()),
+            policy: AllocationPolicy::Static,
+        }
+    }
+
+    /// `SMART`: Pipe plus the ILP compiler with `a = 3`.
+    #[must_use]
+    pub fn smart() -> Self {
+        Self {
+            name: "SMART",
+            config: AcceleratorConfig::smart(),
+            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::smart_default()),
+            policy: AllocationPolicy::Prefetch { window: 3 },
+        }
+    }
+
+    /// All five SFQ schemes of Figs. 18-21, in figure order.
+    #[must_use]
+    pub fn figure18_set() -> Vec<Self> {
+        vec![
+            Self::supernpu(),
+            Self::sram(),
+            Self::heter(),
+            Self::pipe(),
+            Self::smart(),
+        ]
+    }
+
+    /// Fig. 5 homogeneous-SPM variants: SuperNPU with its SHIFT SPMs
+    /// replaced by one technology's random arrays (64-bank 12 MB input +
+    /// 256-bank 16 MB output + 64 KB weights, combined here into one
+    /// 256-bank array of the summed capacity).
+    #[must_use]
+    pub fn fig5_homogeneous(kind: RandomArrayKind) -> Self {
+        let name = match kind {
+            RandomArrayKind::JosephsonCmosSram => "SRAM",
+            RandomArrayKind::SheMram => "MRAM",
+            RandomArrayKind::Snm => "SNM",
+            RandomArrayKind::Vtm => "VTM",
+            RandomArrayKind::PipelinedCmosSfq => "CMOS-SFQ",
+        };
+        Self {
+            name,
+            config: AcceleratorConfig::supernpu(),
+            spm: SpmOrganization::PureRandom(RandomArray::build(kind, 28 * MB + 64 * KB, 256)),
+            policy: AllocationPolicy::Static,
+        }
+    }
+
+    /// Fig. 7 heterogeneous-SPM variants: 32 KB SHIFT staging + a 28 MB
+    /// RANDOM array of the given technology, optionally with prefetching
+    /// (the `hVTM+p` bar).
+    #[must_use]
+    pub fn fig7_hetero(kind: RandomArrayKind, prefetch: bool) -> Self {
+        let name = match (kind, prefetch) {
+            (RandomArrayKind::JosephsonCmosSram, _) => "hSRAM",
+            (RandomArrayKind::SheMram, _) => "hMRAM",
+            (RandomArrayKind::Snm, _) => "hSNM",
+            (RandomArrayKind::Vtm, false) => "hVTM",
+            (RandomArrayKind::Vtm, true) => "hVTM+p",
+            (RandomArrayKind::PipelinedCmosSfq, _) => "hCMOS-SFQ",
+        };
+        Self {
+            name,
+            config: AcceleratorConfig::supernpu(),
+            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::new(
+                32 * KB,
+                256,
+                28 * MB,
+                256,
+                kind,
+            )),
+            policy: if prefetch {
+                AllocationPolicy::Prefetch { window: 3 }
+            } else {
+                AllocationPolicy::Static
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure18_set_order() {
+        let names: Vec<_> = Scheme::figure18_set().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["SHIFT", "SRAM", "Heter", "Pipe", "SMART"]);
+    }
+
+    #[test]
+    fn supernpu_spm_capacities() {
+        let PureShiftSpm { input, output, weight } = PureShiftSpm::supernpu();
+        assert_eq!(input.capacity_bytes(), 24 * MB);
+        assert_eq!(input.banks(), 64);
+        assert_eq!(output.banks(), 256);
+        assert_eq!(weight.capacity_bytes(), 128 * KB);
+    }
+
+    #[test]
+    fn smart_uses_prefetch_3() {
+        let s = Scheme::smart();
+        assert_eq!(s.policy, AllocationPolicy::Prefetch { window: 3 });
+    }
+
+    #[test]
+    fn overlap_fractions_saturate() {
+        assert!(AllocationPolicy::Prefetch { window: 1 }.overlap_fraction() < 1e-9);
+        let a2 = AllocationPolicy::Prefetch { window: 2 }.overlap_fraction();
+        let a3 = AllocationPolicy::Prefetch { window: 3 }.overlap_fraction();
+        let a4 = AllocationPolicy::Prefetch { window: 4 }.overlap_fraction();
+        assert!(a2 > 0.3 && a2 < 0.6);
+        assert!(a3 > a2);
+        assert!((a4 - a3).abs() < 1e-9, "a >= 3 saturates (Fig. 24)");
+        assert!(AllocationPolicy::Static.overlap_fraction() < a2);
+    }
+
+    #[test]
+    fn fig7_names() {
+        assert_eq!(Scheme::fig7_hetero(RandomArrayKind::Vtm, true).name, "hVTM+p");
+        assert_eq!(Scheme::fig7_hetero(RandomArrayKind::SheMram, false).name, "hMRAM");
+    }
+
+    #[test]
+    fn pipe_and_smart_share_hardware() {
+        assert_eq!(Scheme::pipe().spm, Scheme::smart().spm);
+        assert_ne!(Scheme::pipe().policy, Scheme::smart().policy);
+    }
+}

@@ -1,0 +1,637 @@
+//! Full random-access array models: Josephson-CMOS SRAM (CMOS H-Tree), the
+//! paper's pipelined CMOS-SFQ array (SFQ H-Tree), and the VTM / SHE-MRAM /
+//! SNM arrays with SFQ decoders.
+//!
+//! Every model reduces to a [`RandomArray`] metrics bundle consumed by the
+//! SPM and accelerator layers: read/write latency, per-bank initiation
+//! interval, per-access energy, leakage, and area.
+
+use crate::htree::{CmosHTree, SfqHTree};
+use crate::subbank::{SubBankConfig, SubBankModel};
+use crate::tech::MemoryTechnology;
+use smart_sfq::components::{Component, ComponentKind};
+use smart_sfq::fanout::SfqDecoder;
+use smart_sfq::jj::JosephsonJunction;
+use smart_sfq::units::{Area, Energy, Frequency, Length, Power, Time};
+
+/// Effective SHIFT cell pitch in F^2: the 39 F^2 DFF (Table 1) plus its
+/// clock-splitter share (~39 F^2 — every DFF needs a clock pulse, and SFQ
+/// clock distribution is a binary splitter tree with one splitter per leaf)
+/// plus feedback-loop and bias wiring.
+pub const SHIFT_EFFECTIVE_F2: f64 = 150.0;
+
+/// nTrons per bank converting address+data SFQ pulses to CMOS levels.
+const NTRONS_PER_BANK: u32 = 16;
+/// Level-driven DC/SFQ converters per bank (one per data bit).
+const DCSFQ_PER_BANK: u32 = 8;
+
+/// The random-access array organizations evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RandomArrayKind {
+    /// Prior Josephson-CMOS SRAM: SFQ decoder + CMOS H-Tree + SRAM banks.
+    JosephsonCmosSram,
+    /// The paper's pipelined CMOS-SFQ array: SFQ H-Tree + small CMOS
+    /// sub-banks, pipelined at the nTron-limited stage time.
+    PipelinedCmosSfq,
+    /// Vortex transition memory with SFQ peripherals.
+    Vtm,
+    /// Spin-hall-effect MRAM with SFQ decoders and hTron selects.
+    SheMram,
+    /// Superconducting nanowire memory (destructive read).
+    Snm,
+}
+
+impl RandomArrayKind {
+    /// All kinds, prior art first.
+    pub const ALL: [Self; 5] = [
+        Self::JosephsonCmosSram,
+        Self::PipelinedCmosSfq,
+        Self::Vtm,
+        Self::SheMram,
+        Self::Snm,
+    ];
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::JosephsonCmosSram => "J-CMOS SRAM",
+            Self::PipelinedCmosSfq => "CMOS-SFQ",
+            Self::Vtm => "VTM",
+            Self::SheMram => "MRAM",
+            Self::Snm => "SNM",
+        }
+    }
+
+    /// The underlying cell technology, where one exists in Table 1.
+    #[must_use]
+    pub fn technology(self) -> MemoryTechnology {
+        match self {
+            Self::JosephsonCmosSram | Self::PipelinedCmosSfq => {
+                MemoryTechnology::JosephsonCmosSram
+            }
+            Self::Vtm => MemoryTechnology::Vtm,
+            Self::SheMram => MemoryTechnology::SheMram,
+            Self::Snm => MemoryTechnology::Snm,
+        }
+    }
+}
+
+/// Area decomposition of an array (drives the Fig. 5c / Fig. 17 stacks).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Storage cells.
+    pub cells: Area,
+    /// Address decoders (SFQ or CMOS).
+    pub decoder: Area,
+    /// H-Tree interconnect.
+    pub htree: Area,
+    /// Everything else (muxes, sense, converters, drivers).
+    pub other: Area,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    #[must_use]
+    pub fn total(&self) -> Area {
+        self.cells + self.decoder + self.htree + self.other
+    }
+}
+
+/// Metrics bundle of a built random-access array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomArray {
+    /// Which organization this is.
+    pub kind: RandomArrayKind,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bank count.
+    pub banks: u32,
+    /// Read access latency (request to data back at the edge).
+    pub read_latency: Time,
+    /// Write access latency.
+    pub write_latency: Time,
+    /// Per-bank initiation interval: a new access can start this often on
+    /// one bank. Pipelined arrays sustain one access per stage time.
+    pub issue_interval: Time,
+    /// Whether the array is wave-pipelined (SFQ H-Tree).
+    pub pipelined: bool,
+    /// Dynamic energy of one read access (one data word).
+    pub read_energy: Energy,
+    /// Dynamic energy of one write access.
+    pub write_energy: Energy,
+    /// Static power of the whole array.
+    pub leakage: Power,
+    /// Area decomposition.
+    pub area: AreaBreakdown,
+    /// Whether reads destroy contents (SNM).
+    pub destructive_read: bool,
+}
+
+impl RandomArray {
+    /// Builds the metrics for an array organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero or `banks` is not a power of two
+    /// greater than one.
+    #[must_use]
+    pub fn build(kind: RandomArrayKind, capacity_bytes: u64, banks: u32) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        assert!(
+            banks > 1 && banks.is_power_of_two(),
+            "bank count must be a power of two > 1"
+        );
+        match kind {
+            RandomArrayKind::JosephsonCmosSram => Self::build_jcmos(capacity_bytes, banks),
+            RandomArrayKind::PipelinedCmosSfq => Self::build_pipelined(capacity_bytes, banks),
+            RandomArrayKind::Vtm | RandomArrayKind::SheMram | RandomArrayKind::Snm => {
+                Self::build_superconducting(kind, capacity_bytes, banks)
+            }
+        }
+    }
+
+    /// Maximum pipeline frequency of the CMOS-SFQ organization: the nTron
+    /// stage cannot be split, so `1 / 103.02 ps ~= 9.7 GHz` (Sec. 4.2.4).
+    #[must_use]
+    pub fn max_pipeline_frequency() -> Frequency {
+        Frequency::from_si(1.0 / SfqHTree::default_stage_time().as_s())
+    }
+
+    fn jj() -> JosephsonJunction {
+        JosephsonJunction::scaled_28nm()
+    }
+
+    fn floorplan_side(capacity_bytes: u64, cell_f2: f64, periph_factor: f64) -> Length {
+        let f = 28e-9_f64;
+        let bits = capacity_bytes as f64 * 8.0;
+        let area = bits * cell_f2 * f * f * periph_factor;
+        Length::from_si(area.sqrt())
+    }
+
+    fn build_jcmos(capacity_bytes: u64, banks: u32) -> Self {
+        let jj = Self::jj();
+        let bank_bytes = capacity_bytes / u64::from(banks);
+        // Banks sized like the chip demonstration: enough MATs for a
+        // CACTI-balanced ~0.1-0.2 ns bank.
+        let mats = (bank_bytes / (2 * 1024)).clamp(4, 128) as u32;
+        let subbank = SubBankModel::new(SubBankConfig::scaled_28nm(bank_bytes, mats, 1));
+        let side = Self::floorplan_side(capacity_bytes, 146.0, 1.3);
+        let htree = CmosHTree::new_28nm_4k(side, banks);
+
+        // SFQ periphery at the edge: bank-select decoder + nTron in, DC/SFQ
+        // out.
+        let decoder = SfqDecoder::new(banks.trailing_zeros().max(1));
+        let ntron = Component::of(ComponentKind::NTron);
+        let dcsfq = Component::of(ComponentKind::DcSfqConverter);
+        let periph_latency = decoder.latency() + ntron.latency() + dcsfq.latency();
+
+        let access = htree.round_trip_latency() + subbank.access_latency() + periph_latency;
+        let read_energy = htree.energy_per_access()
+            + subbank.read_energy()
+            + decoder.energy_per_decode(&jj)
+            + ntron.energy_per_pulse(&jj)
+            + dcsfq.energy_per_pulse(&jj);
+        let write_energy = htree.energy_per_access()
+            + subbank.write_energy()
+            + decoder.energy_per_decode(&jj)
+            + ntron.energy_per_pulse(&jj);
+
+        let leakage = subbank.leakage() * f64::from(banks)
+            + htree.leakage()
+            + ntron.leakage() * f64::from(banks)
+            + dcsfq.leakage() * f64::from(banks);
+
+        let cells = Area::from_si(
+            capacity_bytes as f64 * 8.0 * 146.0 * (28e-9_f64 * 28e-9),
+        );
+        let area = AreaBreakdown {
+            cells,
+            decoder: decoder.area(&jj),
+            htree: htree.area(),
+            // CMOS periphery inside banks ~30% of cells, plus converters.
+            other: cells * 0.3,
+        };
+
+        Self {
+            kind: RandomArrayKind::JosephsonCmosSram,
+            capacity_bytes,
+            banks,
+            read_latency: access,
+            write_latency: access,
+            issue_interval: access, // not pipelined
+            pipelined: false,
+            read_energy,
+            write_energy,
+            leakage,
+            area,
+            destructive_read: false,
+        }
+    }
+
+    fn build_pipelined(capacity_bytes: u64, banks: u32) -> Self {
+        let jj = Self::jj();
+        let stage = SfqHTree::default_stage_time();
+        let bank_bytes = capacity_bytes / u64::from(banks);
+
+        // Size MATs so the sub-bank fits one pipeline stage (Sec. 4.2.2).
+        let mut mats = 4u32;
+        let subbank = loop {
+            let sb = SubBankModel::new(SubBankConfig::scaled_28nm(bank_bytes, mats, 1));
+            if sb.access_latency().as_s() <= stage.as_s() || mats >= 4096 {
+                break sb;
+            }
+            mats *= 2;
+        };
+
+        let side = Self::floorplan_side(capacity_bytes, 146.0, 1.5);
+        let htree = SfqHTree::new(side, banks);
+        let ntron = Component::of(ComponentKind::NTron);
+        let dcsfq = Component::of(ComponentKind::DcSfqConverter);
+
+        // Pipeline (Fig. 11c): m request stages, SFQ->CMOS, sub-bank,
+        // CMOS->SFQ, m reply stages.
+        let stages = 2 * htree.one_way_stages() + 3;
+        let access = stage * f64::from(stages);
+
+        let read_energy = htree.energy_per_access(&jj)
+            + subbank.read_energy()
+            + ntron.energy_per_pulse(&jj) * f64::from(NTRONS_PER_BANK)
+            + dcsfq.energy_per_pulse(&jj) * f64::from(DCSFQ_PER_BANK);
+        let write_energy = htree.energy_per_access(&jj)
+            + subbank.write_energy()
+            + ntron.energy_per_pulse(&jj) * f64::from(NTRONS_PER_BANK);
+
+        let leakage = subbank.leakage() * f64::from(banks)
+            + htree.leakage()
+            + ntron.leakage() * f64::from(NTRONS_PER_BANK) * f64::from(banks)
+            + dcsfq.leakage() * f64::from(DCSFQ_PER_BANK) * f64::from(banks);
+
+        let cells = Area::from_si(capacity_bytes as f64 * 8.0 * 146.0 * (28e-9_f64 * 28e-9));
+        let converters = (ntron.area(&jj) * f64::from(NTRONS_PER_BANK)
+            + dcsfq.area(&jj) * f64::from(DCSFQ_PER_BANK))
+            * f64::from(banks);
+        let area = AreaBreakdown {
+            cells,
+            // CMOS row decoders live inside the sub-bank periphery.
+            decoder: Area::ZERO,
+            htree: htree.area(&jj),
+            other: cells * 0.3 + converters,
+        };
+
+        Self {
+            kind: RandomArrayKind::PipelinedCmosSfq,
+            capacity_bytes,
+            banks,
+            read_latency: access,
+            write_latency: access,
+            issue_interval: stage,
+            pipelined: true,
+            read_energy,
+            write_energy,
+            leakage,
+            area,
+            destructive_read: false,
+        }
+    }
+
+    fn build_superconducting(kind: RandomArrayKind, capacity_bytes: u64, banks: u32) -> Self {
+        let jj = Self::jj();
+        let params = kind.technology().parameters();
+        let bank_bytes = capacity_bytes / u64::from(banks);
+        let rows = ((bank_bytes * 8) as f64).sqrt().ceil() as u32;
+        let addr_bits = (f64::from(rows)).log2().ceil() as u32;
+        let decoder = SfqDecoder::new(addr_bits.clamp(1, 16));
+        let bank_select = SfqDecoder::new(banks.trailing_zeros().max(1));
+
+        let read_latency = decoder.latency() + params.read_latency;
+        let write_latency = decoder.latency() + params.write_latency;
+
+        let read_energy = params.read_energy
+            + decoder.energy_per_decode(&jj)
+            + bank_select.energy_per_decode(&jj);
+        let write_energy = params.write_energy
+            + decoder.energy_per_decode(&jj)
+            + bank_select.energy_per_decode(&jj);
+
+        // Superconducting cells have "tiny" leakage: bias networks of the
+        // decoders and hTron drivers only.
+        let leakage = Power::from_uw(2.0) * f64::from(banks);
+
+        let f2 = (28e-9_f64) * (28e-9);
+        let cells = Area::from_si(capacity_bytes as f64 * 8.0 * params.cell_size_f2 * f2);
+        // Decoder + bank-select replicated per bank; per-technology "other"
+        // periphery (hTron row/column drivers, SFQ muxes) calibrated to the
+        // paper's observation that SFQ decoders cost 16-28% of non-SHIFT
+        // array area.
+        // Each bank needs one row decoder per 256-row subarray slice.
+        let decoders_per_bank = (f64::from(rows) / 256.0).max(1.0).ceil();
+        let decoder_area =
+            decoder.area(&jj) * (decoders_per_bank * f64::from(banks)) + bank_select.area(&jj);
+        let other_factor = match kind {
+            RandomArrayKind::Vtm => 0.05,
+            RandomArrayKind::SheMram => 0.45,
+            RandomArrayKind::Snm => 1.0,
+            _ => unreachable!(),
+        };
+        let area = AreaBreakdown {
+            cells,
+            decoder: decoder_area,
+            htree: Area::ZERO,
+            other: cells * other_factor,
+        };
+
+        Self {
+            kind,
+            capacity_bytes,
+            banks,
+            read_latency,
+            write_latency,
+            issue_interval: read_latency.max(write_latency),
+            pipelined: false,
+            read_energy,
+            write_energy,
+            leakage,
+            area,
+            destructive_read: params.destructive_read,
+        }
+    }
+
+    /// Effective read latency including the restore write of
+    /// destructive-read technologies.
+    #[must_use]
+    pub fn effective_read_latency(&self) -> Time {
+        if self.destructive_read {
+            self.read_latency + self.write_latency
+        } else {
+            self.read_latency
+        }
+    }
+
+    /// Effective read energy including the restore write if needed.
+    #[must_use]
+    pub fn effective_read_energy(&self) -> Energy {
+        if self.destructive_read {
+            self.read_energy + self.write_energy
+        } else {
+            self.read_energy
+        }
+    }
+}
+
+/// Area of a SHIFT-based SPM of the given capacity, in square meters at the
+/// 28 nm JJ scaling assumption.
+#[must_use]
+pub fn shift_spm_area(capacity_bytes: u64) -> Area {
+    let f2 = 28e-9_f64 * 28e-9;
+    Area::from_si(capacity_bytes as f64 * 8.0 * SHIFT_EFFECTIVE_F2 * f2)
+}
+
+/// Latency & energy breakdown of the 256-bank 28 MB Josephson-CMOS array
+/// (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JosephsonCmosBreakdown {
+    /// SFQ periphery (bank decoder + nTron + DC/SFQ): the "other" slice.
+    pub sfq_periphery_latency: Time,
+    /// CMOS H-Tree round trip: 84% of latency in the paper.
+    pub htree_latency: Time,
+    /// CMOS row decoder ("cdec").
+    pub cmos_decoder_latency: Time,
+    /// Bitline + wordline ("BL").
+    pub bitline_latency: Time,
+    /// Sense amplifier ("sen").
+    pub sense_latency: Time,
+    /// Array output mux ("arr").
+    pub array_latency: Time,
+    /// H-Tree energy: 49% of access energy in the paper.
+    pub htree_energy: Energy,
+    /// Sub-bank (cells + CMOS periphery) energy.
+    pub subbank_energy: Energy,
+    /// SFQ periphery energy.
+    pub sfq_periphery_energy: Energy,
+}
+
+impl JosephsonCmosBreakdown {
+    /// Total access latency.
+    #[must_use]
+    pub fn total_latency(&self) -> Time {
+        self.sfq_periphery_latency
+            + self.htree_latency
+            + self.cmos_decoder_latency
+            + self.bitline_latency
+            + self.sense_latency
+            + self.array_latency
+    }
+
+    /// Total access energy.
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.htree_energy + self.subbank_energy + self.sfq_periphery_energy
+    }
+
+    /// Fraction of latency spent in the CMOS H-Tree.
+    #[must_use]
+    pub fn htree_latency_share(&self) -> f64 {
+        self.htree_latency.as_s() / self.total_latency().as_s()
+    }
+
+    /// Fraction of energy spent in the CMOS H-Tree.
+    #[must_use]
+    pub fn htree_energy_share(&self) -> f64 {
+        self.htree_energy.as_si() / self.total_energy().as_si()
+    }
+}
+
+/// Computes the Fig. 9 breakdown for a 28 MB, 256-bank Josephson-CMOS SRAM
+/// array.
+#[must_use]
+pub fn fig9_breakdown() -> JosephsonCmosBreakdown {
+    let jj = JosephsonJunction::scaled_28nm();
+    let capacity = 28 * 1024 * 1024;
+    let banks = 256u32;
+    let bank_bytes = capacity / u64::from(banks);
+    let mats = (bank_bytes / (2 * 1024)).clamp(4, 128) as u32;
+    let subbank = SubBankModel::new(SubBankConfig::scaled_28nm(bank_bytes, mats, 1));
+    let side = RandomArray::floorplan_side(capacity, 146.0, 1.3);
+    let htree = CmosHTree::new_28nm_4k(side, banks);
+    let decoder = SfqDecoder::new(8);
+    let ntron = Component::of(ComponentKind::NTron);
+    let dcsfq = Component::of(ComponentKind::DcSfqConverter);
+
+    JosephsonCmosBreakdown {
+        sfq_periphery_latency: decoder.latency() + ntron.latency() + dcsfq.latency(),
+        htree_latency: htree.round_trip_latency(),
+        cmos_decoder_latency: subbank.decoder_delay(),
+        bitline_latency: subbank.wordline_delay() + subbank.bitline_delay(),
+        sense_latency: subbank.sense_delay(),
+        array_latency: subbank.mux_delay(),
+        htree_energy: htree.energy_per_access(),
+        subbank_energy: subbank.read_energy(),
+        sfq_periphery_energy: decoder.energy_per_decode(&jj)
+            + ntron.energy_per_pulse(&jj)
+            + dcsfq.energy_per_pulse(&jj),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn jcmos_28mb_access_in_2_to_4_ns() {
+        // Table 1: "accessing a 28 MB SRAM array at 4K requires 2-4 ns".
+        let a = RandomArray::build(RandomArrayKind::JosephsonCmosSram, 28 * MB, 256);
+        assert!(
+            a.read_latency.as_ns() > 2.0 && a.read_latency.as_ns() < 4.0,
+            "got {} ns",
+            a.read_latency.as_ns()
+        );
+    }
+
+    #[test]
+    fn fig9_htree_dominates_latency() {
+        let b = fig9_breakdown();
+        let share = b.htree_latency_share();
+        assert!(
+            (0.75..=0.95).contains(&share),
+            "H-Tree latency share = {:.1}% (paper: 84%)",
+            share * 100.0
+        );
+    }
+
+    #[test]
+    fn fig9_htree_about_half_the_energy() {
+        let b = fig9_breakdown();
+        let share = b.htree_energy_share();
+        assert!(
+            (0.35..=0.65).contains(&share),
+            "H-Tree energy share = {:.1}% (paper: 49%)",
+            share * 100.0
+        );
+    }
+
+    #[test]
+    fn pipelined_array_reaches_9_7_ghz() {
+        let f = RandomArray::max_pipeline_frequency();
+        assert!(
+            (9.6..=9.8).contains(&f.as_ghz()),
+            "got {} GHz",
+            f.as_ghz()
+        );
+    }
+
+    #[test]
+    fn pipelined_array_issue_interval_near_0_1ns() {
+        // Sec. 4.4: "a SFQ-CMOS bank can read or write 1-byte data each
+        // 0.11 ns".
+        let a = RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256);
+        assert!(a.pipelined);
+        assert!(
+            a.issue_interval.as_ns() > 0.09 && a.issue_interval.as_ns() <= 0.11,
+            "got {} ns",
+            a.issue_interval.as_ns()
+        );
+    }
+
+    #[test]
+    fn pipelined_leakage_near_102_mw() {
+        // Sec. 4.4: "the leakage power consumption of the pipelined
+        // SFQ-CMOS SRAM array is 102 mW".
+        let a = RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256);
+        assert!(
+            (60.0..=140.0).contains(&a.leakage.as_mw()),
+            "got {} mW",
+            a.leakage.as_mw()
+        );
+    }
+
+    #[test]
+    fn pipelined_access_latency_under_1ns() {
+        let a = RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256);
+        assert!(
+            a.read_latency.as_ns() < 1.0,
+            "got {} ns",
+            a.read_latency.as_ns()
+        );
+        // But much faster issue rate than the non-pipelined SRAM array.
+        let sram = RandomArray::build(RandomArrayKind::JosephsonCmosSram, 28 * MB, 256);
+        assert!(sram.issue_interval.as_s() / a.issue_interval.as_s() > 10.0);
+    }
+
+    #[test]
+    fn vtm_read_near_0_1ns() {
+        let a = RandomArray::build(RandomArrayKind::Vtm, 12 * MB, 64);
+        assert!(
+            a.read_latency.as_ns() > 0.1 && a.read_latency.as_ns() < 0.3,
+            "got {} ns",
+            a.read_latency.as_ns()
+        );
+    }
+
+    #[test]
+    fn mram_and_snm_slow_writes() {
+        let mram = RandomArray::build(RandomArrayKind::SheMram, 16 * MB, 256);
+        let snm = RandomArray::build(RandomArrayKind::Snm, 16 * MB, 256);
+        assert!(mram.write_latency.as_ns() > 2.0);
+        assert!(snm.write_latency.as_ns() > 3.0);
+        assert!(snm.destructive_read);
+        assert!(snm.effective_read_latency().as_ns() > 3.0);
+    }
+
+    #[test]
+    fn area_ordering_matches_fig5c() {
+        // Same capacity: SNM < MRAM < SRAM-cells < VTM in cell area;
+        // with periphery the paper's ordering is SNM smallest, VTM close to
+        // SHIFT.
+        let cap = 28 * MB;
+        let shift = shift_spm_area(48 * MB + 128 * 1024);
+        let vtm = RandomArray::build(RandomArrayKind::Vtm, cap, 256).area.total();
+        let sram = RandomArray::build(RandomArrayKind::JosephsonCmosSram, cap, 256)
+            .area
+            .total();
+        let mram = RandomArray::build(RandomArrayKind::SheMram, cap, 256).area.total();
+        let snm = RandomArray::build(RandomArrayKind::Snm, cap, 256).area.total();
+        // All random arrays (58% capacity) are smaller than the SHIFT SPM.
+        for (name, a) in [("vtm", vtm), ("sram", sram), ("mram", mram), ("snm", snm)] {
+            assert!(
+                a.as_si() < shift.as_si(),
+                "{name} = {:.2} mm^2 vs shift {:.2} mm^2",
+                a.as_mm2(),
+                shift.as_mm2()
+            );
+        }
+        assert!(snm.as_si() < mram.as_si());
+        assert!(mram.as_si() < vtm.as_si());
+        // VTM saves the least (paper: only ~8%).
+        assert!(vtm.as_si() > 0.8 * shift.as_si());
+    }
+
+    #[test]
+    fn decoder_share_16_to_28_percent_in_superconducting_arrays() {
+        for kind in [RandomArrayKind::Vtm, RandomArrayKind::SheMram, RandomArrayKind::Snm] {
+            let a = RandomArray::build(kind, 16 * MB, 256);
+            let share = a.area.decoder.as_si() / a.area.total().as_si();
+            assert!(
+                (0.10..=0.35).contains(&share),
+                "{}: decoder share {:.1}%",
+                kind.name(),
+                share * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn read_energy_smaller_than_jcmos_for_pipelined() {
+        let pipe = RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256);
+        let sram = RandomArray::build(RandomArrayKind::JosephsonCmosSram, 28 * MB, 256);
+        assert!(pipe.read_energy.as_si() < sram.read_energy.as_si());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_banks_panics() {
+        let _ = RandomArray::build(RandomArrayKind::Vtm, MB, 3);
+    }
+}

@@ -1,0 +1,340 @@
+//! H-Tree interconnect models: conventional CMOS and the paper's pipelined
+//! SFQ PTL-based replacement (Sec. 4.2).
+//!
+//! A memory array routes requests from the array edge to its banks (and
+//! replies back) over a binary H-Tree of `log2(banks)` levels. In a large
+//! Josephson-CMOS SRAM array the CMOS H-Tree dominates: 84% of access
+//! latency and 49% of access energy for a 256-bank 28 MB array (Fig. 9).
+//! The SFQ H-Tree replaces copper with PTLs and branch points with splitter
+//! units, and is naturally gate-level pipelined.
+
+use smart_sfq::components::{Repeater, SplitterUnit};
+use smart_sfq::jj::JosephsonJunction;
+use smart_sfq::ptl::PtlGeometry;
+use smart_sfq::units::{Area, Energy, Length, Power, Time};
+
+/// CMOS H-Tree over a square array floorplan.
+///
+/// Wires are modeled as repeated low-swing links: delay grows linearly with
+/// length at `KREP * sqrt(r*c)` per unit, and each level adds mux/demux
+/// logic delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosHTree {
+    side: Length,
+    levels: u32,
+    /// Wire resistance per meter (ohm/m) at temperature.
+    r_per_m: f64,
+    /// Wire capacitance per meter (F/m).
+    c_per_m: f64,
+    /// Per-level logic delay (s).
+    level_logic: f64,
+    /// Link signaling swing (V) — low-swing differential.
+    swing: f64,
+}
+
+/// Repeated-wire delay coefficient: delay per meter is
+/// `KREP * sqrt(r' * c' * FO4)`. Optimal repeaters reach ~1.0; large arrays
+/// cannot afford optimal repeaters on every H-Tree lane, so 1.6 models the
+/// practically achievable global routing in CACTI-class tools.
+const KREP: f64 = 1.6;
+/// FO4 delay at 28 nm / 4 K (s), used as the repeater stage constant.
+const FO4_28NM_4K: f64 = 425.0e-12 * 0.028 * 0.846;
+
+impl CmosHTree {
+    /// Builds a CMOS H-Tree for a floorplan of the given side length and
+    /// bank count, at 28 nm / 4 K conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is non-positive or `banks` is not a power of two
+    /// greater than one.
+    #[must_use]
+    pub fn new_28nm_4k(side: Length, banks: u32) -> Self {
+        assert!(side.as_si() > 0.0, "side must be positive");
+        assert!(
+            banks > 1 && banks.is_power_of_two(),
+            "bank count must be a power of two > 1"
+        );
+        Self {
+            side,
+            levels: banks.trailing_zeros(),
+            // 15 ohm/um at 300 K scaled by the 4 K residual-resistivity
+            // factor 0.25.
+            r_per_m: 15.0e6 * 0.25,
+            c_per_m: 0.25e-9,
+            // ~3 FO4 of mux/demux per level at 28 nm / 4 K.
+            level_logic: 3.0 * 425.0e-12 * 0.028 * 0.846,
+            swing: 0.10,
+        }
+    }
+
+    /// Number of tree levels.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total root-to-leaf route length. Levels alternate horizontal and
+    /// vertical halvings, summing to ~1.4x the side.
+    #[must_use]
+    pub fn route_length(&self) -> Length {
+        Length::from_si(htree_route_length(self.side.as_si(), self.levels))
+    }
+
+    /// One-way latency (request *or* reply network).
+    #[must_use]
+    pub fn one_way_latency(&self) -> Time {
+        let len = self.route_length().as_si();
+        let wire = KREP * (self.r_per_m * self.c_per_m * FO4_28NM_4K).sqrt() * len;
+        Time::from_s(wire + f64::from(self.levels) * self.level_logic)
+    }
+
+    /// Round-trip latency (request + reply), the Fig. 9 "H-tree" component.
+    #[must_use]
+    pub fn round_trip_latency(&self) -> Time {
+        self.one_way_latency() * 2.0
+    }
+
+    /// Energy of moving one access (address + one data word, low-swing
+    /// serial links) through request and reply networks.
+    #[must_use]
+    pub fn energy_per_access(&self) -> Energy {
+        let c_total = self.c_per_m * self.route_length().as_si() * 2.0;
+        Energy::from_j(c_total * self.swing * self.swing)
+    }
+
+    /// Leakage of the repeaters and level logic: ~1 uW per level per mm of
+    /// routing at 300 K, scaled to 4 K.
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        let mm = self.route_length().as_mm() * 2.0;
+        Power::from_uw(1.0 * mm * f64::from(self.levels)) * 0.02
+    }
+
+    /// Wiring area: two networks of `route_length` at ~20 wire pitches wide
+    /// (address + data lanes), 0.1 um pitch at 28 nm.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        let width = Length::from_um(20.0 * 0.1);
+        Area::from_si(self.route_length().as_si() * 2.0 * width.as_si())
+    }
+}
+
+/// Root-to-leaf route length of an H-Tree over a square of side `s`:
+/// `s/2 + s/4 + s/4 + s/8 + s/8 + ...` as levels alternate between
+/// horizontal and vertical halvings.
+fn htree_route_length(side: f64, levels: u32) -> f64 {
+    (1..=levels)
+        .map(|level| side / f64::from(1u32 << (level / 2 + 1)))
+        .sum()
+}
+
+/// SFQ H-Tree: PTL links with splitter units at branch points, pipelined at
+/// the nTron-limited stage time (Sec. 4.2.2 / 4.2.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SfqHTree {
+    side: Length,
+    levels: u32,
+    geometry: PtlGeometry,
+    stage_time: Time,
+}
+
+impl SfqHTree {
+    /// The nTron conversion bounds every pipeline stage: 103.02 ps
+    /// (Sec. 4.2.4), giving the 9.6-9.7 GHz maximum pipeline frequency.
+    #[must_use]
+    pub fn default_stage_time() -> Time {
+        Time::from_ps(103.02)
+    }
+
+    /// Builds an SFQ H-Tree over a square floorplan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is non-positive or `banks` is not a power of two
+    /// greater than one.
+    #[must_use]
+    pub fn new(side: Length, banks: u32) -> Self {
+        assert!(side.as_si() > 0.0, "side must be positive");
+        assert!(
+            banks > 1 && banks.is_power_of_two(),
+            "bank count must be a power of two > 1"
+        );
+        Self {
+            side,
+            levels: banks.trailing_zeros(),
+            geometry: PtlGeometry::hypres_microstrip(),
+            stage_time: Self::default_stage_time(),
+        }
+    }
+
+    /// Number of tree levels (= splitter units on a root-to-leaf path).
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total root-to-leaf PTL length.
+    #[must_use]
+    pub fn route_length(&self) -> Length {
+        Length::from_si(htree_route_length(self.side.as_si(), self.levels))
+    }
+
+    /// Raw one-way propagation latency: PTL flight time plus splitter units.
+    #[must_use]
+    pub fn one_way_latency(&self) -> Time {
+        let flight = self.geometry.delay_per_meter() * self.route_length().as_si();
+        let units = SplitterUnit::new().latency() * f64::from(self.levels);
+        Time::from_s(flight) + units
+    }
+
+    /// Pipeline stages needed for one direction at the stage time.
+    #[must_use]
+    pub fn one_way_stages(&self) -> u32 {
+        (self.one_way_latency().as_s() / self.stage_time.as_s()).ceil().max(1.0) as u32
+    }
+
+    /// Number of splitter units in the whole tree (`banks - 1`).
+    #[must_use]
+    pub fn splitter_units(&self) -> u64 {
+        (1u64 << self.levels) - 1
+    }
+
+    /// Repeaters inserted to break long PTLs into stage-sized segments:
+    /// one per extra stage per direction on each of the two networks.
+    #[must_use]
+    pub fn repeaters(&self) -> u32 {
+        (self.one_way_stages() - 1) * 2
+    }
+
+    /// Energy of one access traversing request + reply paths.
+    #[must_use]
+    pub fn energy_per_access(&self, jj: &JosephsonJunction) -> Energy {
+        let unit = SplitterUnit::new();
+        let per_path = unit.energy_per_pulse(jj) * f64::from(self.levels)
+            + self
+                .geometry
+                .line(self.route_length().max(Length::from_um(1.0)))
+                .energy_per_pulse();
+        let repeaters = Repeater::new().energy_per_pulse(jj) * f64::from(self.repeaters());
+        per_path * 2.0 + repeaters
+    }
+
+    /// Static power of the whole tree: every splitter unit and repeater has
+    /// driver bias (both request and reply networks).
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        let units = SplitterUnit::new().leakage() * (self.splitter_units() as f64 * 2.0);
+        let reps = Repeater::new().leakage() * f64::from(self.repeaters());
+        units + reps
+    }
+
+    /// Layout footprint of splitter units plus repeaters plus PTL routing.
+    #[must_use]
+    pub fn area(&self, jj: &JosephsonJunction) -> Area {
+        let unit = SplitterUnit::new().area(jj) * (self.splitter_units() as f64 * 2.0);
+        let reps = Repeater::new().area(jj) * f64::from(self.repeaters());
+        // PTL pitch ~4 um (micro-strip + ground plane keep-out), two nets.
+        let routing = Area::from_si(self.route_length().as_si() * 2.0 * Length::from_um(4.0).as_si());
+        unit + reps + routing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn side_28mb() -> Length {
+        // 28 MB of 146 F^2 cells at 28 nm with 30% periphery: ~5.8 mm side.
+        let bits = 28.0 * 1024.0 * 1024.0 * 8.0;
+        let area = bits * 146.0 * 28e-9_f64 * 28e-9 * 1.3;
+        Length::from_si(area.sqrt())
+    }
+
+    #[test]
+    fn cmos_htree_dominates_large_array_latency() {
+        // Fig. 9: the H-Tree is ~84% of a 2-4 ns access. Round trip should
+        // be in the nanoseconds.
+        let t = CmosHTree::new_28nm_4k(side_28mb(), 256).round_trip_latency();
+        assert!(
+            t.as_ns() > 1.0 && t.as_ns() < 4.0,
+            "round trip = {} ns",
+            t.as_ns()
+        );
+    }
+
+    #[test]
+    fn sfq_htree_much_faster_than_cmos() {
+        let side = side_28mb();
+        let cmos = CmosHTree::new_28nm_4k(side, 256).one_way_latency();
+        let sfq = SfqHTree::new(side, 256).one_way_latency();
+        assert!(
+            cmos.as_si() / sfq.as_si() > 5.0,
+            "cmos {} ps vs sfq {} ps",
+            cmos.as_ps(),
+            sfq.as_ps()
+        );
+    }
+
+    #[test]
+    fn sfq_htree_fits_few_pipeline_stages() {
+        let tree = SfqHTree::new(side_28mb(), 256);
+        let stages = tree.one_way_stages();
+        assert!(
+            (1..=4).contains(&stages),
+            "one-way stages = {stages} ({} ps)",
+            tree.one_way_latency().as_ps()
+        );
+    }
+
+    #[test]
+    fn route_length_near_1_5x_side() {
+        let tree = SfqHTree::new(Length::from_mm(4.0), 256);
+        let ratio = tree.route_length().as_si() / 4.0e-3;
+        assert!(ratio > 1.0 && ratio < 2.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn splitter_unit_count_is_banks_minus_one() {
+        assert_eq!(SfqHTree::new(Length::from_mm(4.0), 256).splitter_units(), 255);
+        assert_eq!(SfqHTree::new(Length::from_mm(4.0), 4).splitter_units(), 3);
+    }
+
+    #[test]
+    fn sfq_energy_orders_below_cmos() {
+        let side = side_28mb();
+        let jj = JosephsonJunction::hypres_ersfq();
+        let cmos = CmosHTree::new_28nm_4k(side, 256).energy_per_access();
+        let sfq = SfqHTree::new(side, 256).energy_per_access(&jj);
+        assert!(
+            cmos.as_si() / sfq.as_si() > 10.0,
+            "cmos {} fJ vs sfq {} fJ",
+            cmos.as_fj(),
+            sfq.as_fj()
+        );
+    }
+
+    #[test]
+    fn sfq_leakage_milliwatt_class_for_256_banks() {
+        let leak = SfqHTree::new(side_28mb(), 256).leakage();
+        assert!(
+            leak.as_mw() > 0.1 && leak.as_mw() < 20.0,
+            "leak = {} mW",
+            leak.as_mw()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_banks_rejected() {
+        let _ = SfqHTree::new(Length::from_mm(4.0), 6);
+    }
+
+    #[test]
+    fn more_banks_more_levels_longer_path() {
+        let small = SfqHTree::new(Length::from_mm(4.0), 16);
+        let large = SfqHTree::new(Length::from_mm(4.0), 256);
+        assert!(large.levels() > small.levels());
+        assert!(large.one_way_latency().as_si() > small.one_way_latency().as_si());
+    }
+}

@@ -1,0 +1,51 @@
+//! Cryogenic memory modeling (the paper's CryoRAM / `cryo-mem` analog).
+//!
+//! This crate models every memory structure the SMART paper evaluates:
+//!
+//! * [`mosfet`] — MOSFET parameter scaling from 300 K to 77 K / 4 K
+//!   (`cryo-pgen` analog)
+//! * [`tech`] — the Table 1 cryogenic memory technologies (SHIFT, VTM,
+//!   Josephson-CMOS SRAM, SHE-MRAM, SNM)
+//! * [`subbank`] — CACTI-style CMOS SRAM sub-bank model, validated against
+//!   the 4 K chip demonstration (Fig. 12)
+//! * [`htree`] — CMOS and SFQ H-Tree interconnect models (Fig. 9)
+//! * [`array`] — full random-access arrays, including the paper's pipelined
+//!   CMOS-SFQ array
+//! * [`pipeline`] — design-space exploration of the pipelined array
+//!   (Fig. 14)
+//!
+//! # Quick start
+//!
+//! ```
+//! use smart_cryomem::array::{RandomArray, RandomArrayKind};
+//!
+//! // Build the paper's 28 MB, 256-bank pipelined CMOS-SFQ array.
+//! let array = RandomArray::build(
+//!     RandomArrayKind::PipelinedCmosSfq,
+//!     28 * 1024 * 1024,
+//!     256,
+//! );
+//! assert!(array.pipelined);
+//! // One byte per ~0.1 ns per bank (paper Sec. 4.4).
+//! assert!(array.issue_interval.as_ns() < 0.11);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod array;
+pub mod htree;
+pub mod mosfet;
+pub mod pipeline;
+pub mod subbank;
+pub mod tech;
+
+pub use array::{
+    fig9_breakdown, shift_spm_area, AreaBreakdown, JosephsonCmosBreakdown, RandomArray,
+    RandomArrayKind, SHIFT_EFFECTIVE_F2,
+};
+pub use htree::{CmosHTree, SfqHTree};
+pub use mosfet::{MosfetCorner, Temperature};
+pub use pipeline::{explore, max_feasible, DesignPoint};
+pub use subbank::{chip_validation_data, ChipDataPoint, SubBankConfig, SubBankModel};
+pub use tech::{LeakageClass, MemoryTechnology, TechnologyParameters};

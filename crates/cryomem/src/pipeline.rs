@@ -1,0 +1,205 @@
+//! Pipeline design-space exploration for the CMOS-SFQ array (Fig. 14).
+//!
+//! Sweeping the target pipeline frequency trades leakage power, access
+//! energy, and area: higher frequencies need smaller sub-banks (more MATs,
+//! more CMOS periphery => more leakage and area) and more PTL repeaters
+//! (more JJs => more dynamic energy and area). The nTron conversion stage
+//! cannot be split, capping the frequency at ~9.7 GHz (Sec. 4.2.4).
+
+use crate::htree::SfqHTree;
+use crate::subbank::{SubBankConfig, SubBankModel};
+use smart_sfq::components::{Component, ComponentKind, Repeater};
+use smart_sfq::jj::JosephsonJunction;
+use smart_sfq::units::{Area, Energy, Frequency, Length, Power, Time};
+
+/// One evaluated point of the Fig. 14 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Target pipeline frequency.
+    pub frequency: Frequency,
+    /// Whether the point is achievable (frequency below the nTron cap and a
+    /// sub-bank configuration exists).
+    pub feasible: bool,
+    /// MATs per sub-bank chosen to fit the stage time.
+    pub mats_per_subbank: u32,
+    /// Repeaters inserted into the H-Tree.
+    pub repeaters: u32,
+    /// Total leakage power of the array.
+    pub leakage: Power,
+    /// Dynamic energy per access.
+    pub energy_per_access: Energy,
+    /// Total array area.
+    pub area: Area,
+}
+
+/// Explores the design space of a pipelined CMOS-SFQ array of the given
+/// capacity/banks across target frequencies.
+///
+/// # Panics
+///
+/// Panics if `capacity_bytes` is zero or `banks` is not a power of two > 1.
+#[must_use]
+pub fn explore(capacity_bytes: u64, banks: u32, frequencies_ghz: &[f64]) -> Vec<DesignPoint> {
+    assert!(capacity_bytes > 0, "capacity must be positive");
+    assert!(
+        banks > 1 && banks.is_power_of_two(),
+        "bank count must be a power of two > 1"
+    );
+    let jj = JosephsonJunction::scaled_28nm();
+    let ntron = Component::of(ComponentKind::NTron);
+    let dcsfq = Component::of(ComponentKind::DcSfqConverter);
+    let bank_bytes = capacity_bytes / u64::from(banks);
+
+    let f = 28e-9_f64;
+    let side = Length::from_si(
+        (capacity_bytes as f64 * 8.0 * 146.0 * f * f * 1.5).sqrt(),
+    );
+    let htree = SfqHTree::new(side, banks);
+
+    frequencies_ghz
+        .iter()
+        .map(|&ghz| {
+            let frequency = Frequency::from_ghz(ghz);
+            let stage = frequency.period();
+
+            // The nTron stage is unsplittable.
+            if stage.as_s() < ntron.latency().as_s() {
+                return DesignPoint {
+                    frequency,
+                    feasible: false,
+                    mats_per_subbank: 0,
+                    repeaters: 0,
+                    leakage: Power::ZERO,
+                    energy_per_access: Energy::ZERO,
+                    area: Area::ZERO,
+                };
+            }
+
+            // Smallest MAT count whose sub-bank fits the stage.
+            let mut mats = 1u32;
+            let subbank = loop {
+                let sb = SubBankModel::new(SubBankConfig::scaled_28nm(bank_bytes, mats, 1));
+                if sb.access_latency().as_s() <= stage.as_s() || mats >= 8192 {
+                    break sb;
+                }
+                mats *= 2;
+            };
+            let feasible = subbank.access_latency().as_s() <= stage.as_s();
+
+            // Repeaters to make every H-Tree hop fit the stage: one-way
+            // latency divided into stage-sized segments, request + reply.
+            let one_way = htree_one_way(&htree);
+            let segs = (one_way.as_s() / stage.as_s()).ceil().max(1.0) as u32;
+            let repeaters = (segs - 1) * 2;
+
+            let leakage = subbank.leakage() * f64::from(banks)
+                + htree.leakage()
+                + Repeater::new().leakage() * f64::from(repeaters)
+                + ntron.leakage() * 16.0 * f64::from(banks)
+                + dcsfq.leakage() * 8.0 * f64::from(banks);
+
+            let energy = htree.energy_per_access(&jj)
+                + Repeater::new().energy_per_pulse(&jj) * f64::from(repeaters)
+                + subbank.read_energy()
+                + ntron.energy_per_pulse(&jj) * 16.0
+                + dcsfq.energy_per_pulse(&jj) * 8.0;
+
+            let cells = Area::from_si(capacity_bytes as f64 * 8.0 * 146.0 * f * f);
+            // Peripheral area grows with MAT count (each MAT carries its own
+            // decoder slice and sense amps): ~12% of the MAT's cell area.
+            let mat_overhead = cells * (0.12 * (f64::from(mats)).log2().max(1.0) / 3.0);
+            let area = cells * 1.18
+                + mat_overhead
+                + htree.area(&jj)
+                + Repeater::new().area(&jj) * f64::from(repeaters);
+
+            DesignPoint {
+                frequency,
+                feasible,
+                mats_per_subbank: mats,
+                repeaters,
+                leakage,
+                energy_per_access: energy,
+                area,
+            }
+        })
+        .collect()
+}
+
+fn htree_one_way(htree: &SfqHTree) -> Time {
+    htree.one_way_latency()
+}
+
+/// The highest feasible frequency in a sweep, if any.
+#[must_use]
+pub fn max_feasible(points: &[DesignPoint]) -> Option<&DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.feasible)
+        .max_by(|a, b| a.frequency.as_si().total_cmp(&b.frequency.as_si()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn sweep() -> Vec<DesignPoint> {
+        explore(28 * MB, 256, &[1.0, 2.0, 4.0, 8.0, 9.6, 12.0, 20.0])
+    }
+
+    #[test]
+    fn ntron_caps_frequency_below_10ghz() {
+        let pts = sweep();
+        for p in &pts {
+            if p.frequency.as_ghz() > 9.8 {
+                assert!(!p.feasible, "{} GHz should be infeasible", p.frequency.as_ghz());
+            }
+        }
+        let best = max_feasible(&pts).expect("some feasible point");
+        assert!((9.0..=9.8).contains(&best.frequency.as_ghz()));
+    }
+
+    #[test]
+    fn higher_frequency_needs_more_mats() {
+        let pts = sweep();
+        let low = pts.iter().find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6).unwrap();
+        let high = pts.iter().find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6).unwrap();
+        assert!(high.mats_per_subbank >= low.mats_per_subbank);
+    }
+
+    #[test]
+    fn higher_frequency_more_leakage_and_area() {
+        let pts = sweep();
+        let low = pts.iter().find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6).unwrap();
+        let high = pts.iter().find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6).unwrap();
+        assert!(high.leakage.as_si() >= low.leakage.as_si());
+        assert!(high.area.as_si() >= low.area.as_si());
+    }
+
+    #[test]
+    fn repeaters_increase_with_frequency() {
+        let pts = sweep();
+        let low = pts.iter().find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6).unwrap();
+        let high = pts.iter().find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6).unwrap();
+        assert!(high.repeaters >= low.repeaters);
+    }
+
+    #[test]
+    fn leakage_at_max_frequency_near_paper_102mw() {
+        let pts = sweep();
+        let best = max_feasible(&pts).unwrap();
+        assert!(
+            (60.0..=140.0).contains(&best.leakage.as_mw()),
+            "got {} mW",
+            best.leakage.as_mw()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = explore(0, 256, &[1.0]);
+    }
+}

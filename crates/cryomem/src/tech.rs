@@ -1,0 +1,261 @@
+//! Cryogenic memory technology parameters (the paper's Table 1).
+//!
+//! | Features          | SHIFT | VTM   | SRAM   | MRAM | SNM  |
+//! |-------------------|-------|-------|--------|------|------|
+//! | Read latency (ns) | 0.02  | 0.1   | 2-4    | 0.1  | 0.1  |
+//! | Write latency (ns)| 0.02  | 0.1   | 2-4    | 2    | 3    |
+//! | Cell size (F^2)   | 39    | 203   | 146    | 89   | 54   |
+//! | Read energy       | 0.1fJ | 0.1pJ | 0.1pJ  | 1pJ  | 10fJ |
+//! | Write energy      | 0.1fJ | 0.1pJ | 0.1pJ  | 8pJ  | 10fJ |
+//! | Leakage           | no    | tiny  | medium | tiny | tiny |
+//! | Random access     | no    | yes   | yes    | yes  | yes  |
+//!
+//! SRAM's 2-4 ns is an *array* latency (28 MB at 4 K); the others are
+//! cell/array access figures from the cited demonstrations.
+
+use smart_sfq::units::{Energy, Time};
+
+/// Qualitative leakage class used in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LeakageClass {
+    /// No static power at all (ERSFQ SHIFT arrays).
+    None,
+    /// Negligible static power (superconducting cells).
+    Tiny,
+    /// Noticeable static power (CMOS SRAM, even at 4 K).
+    Medium,
+}
+
+impl LeakageClass {
+    /// Table 1 label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::None => "no",
+            Self::Tiny => "tiny",
+            Self::Medium => "medium",
+        }
+    }
+}
+
+/// The cryogenic memory technologies evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryTechnology {
+    /// Shift-register memory: serially connected DFFs with a feedback loop.
+    Shift,
+    /// JJ-based Vortex Transition Memory.
+    Vtm,
+    /// Josephson-CMOS SRAM (SFQ decoder + nTron + CMOS SRAM array).
+    JosephsonCmosSram,
+    /// Spin-hall-effect MRAM with hTron bit-select.
+    SheMram,
+    /// Superconducting Nanowire Memory (two hTrons per cell).
+    Snm,
+}
+
+impl MemoryTechnology {
+    /// All technologies in Table 1 column order.
+    pub const ALL: [Self; 5] = [
+        Self::Shift,
+        Self::Vtm,
+        Self::JosephsonCmosSram,
+        Self::SheMram,
+        Self::Snm,
+    ];
+
+    /// Table 1 column header.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Shift => "SHIFT",
+            Self::Vtm => "VTM",
+            Self::JosephsonCmosSram => "SRAM",
+            Self::SheMram => "MRAM",
+            Self::Snm => "SNM",
+        }
+    }
+
+    /// The Table 1 parameter row for this technology.
+    #[must_use]
+    pub fn parameters(self) -> TechnologyParameters {
+        match self {
+            Self::Shift => TechnologyParameters {
+                technology: self,
+                read_latency: Time::from_ns(0.02),
+                write_latency: Time::from_ns(0.02),
+                cell_size_f2: 39.0,
+                read_energy: Energy::from_fj(0.1),
+                write_energy: Energy::from_fj(0.1),
+                leakage: LeakageClass::None,
+                random_access: false,
+                destructive_read: false,
+            },
+            Self::Vtm => TechnologyParameters {
+                technology: self,
+                read_latency: Time::from_ns(0.1),
+                write_latency: Time::from_ns(0.1),
+                cell_size_f2: 203.0,
+                read_energy: Energy::from_pj(0.1),
+                write_energy: Energy::from_pj(0.1),
+                leakage: LeakageClass::Tiny,
+                random_access: true,
+                destructive_read: false,
+            },
+            Self::JosephsonCmosSram => TechnologyParameters {
+                technology: self,
+                // Array-level figure for a 28 MB array at 4 K; the sub-bank
+                // model refines this. We carry the midpoint here.
+                read_latency: Time::from_ns(3.0),
+                write_latency: Time::from_ns(3.0),
+                cell_size_f2: 146.0,
+                read_energy: Energy::from_pj(0.1),
+                write_energy: Energy::from_pj(0.1),
+                leakage: LeakageClass::Medium,
+                random_access: true,
+                destructive_read: false,
+            },
+            Self::SheMram => TechnologyParameters {
+                technology: self,
+                read_latency: Time::from_ns(0.1),
+                write_latency: Time::from_ns(2.0),
+                cell_size_f2: 89.0,
+                read_energy: Energy::from_pj(1.0),
+                write_energy: Energy::from_pj(8.0),
+                leakage: LeakageClass::Tiny,
+                random_access: true,
+                destructive_read: false,
+            },
+            Self::Snm => TechnologyParameters {
+                technology: self,
+                read_latency: Time::from_ns(0.1),
+                write_latency: Time::from_ns(3.0),
+                cell_size_f2: 54.0,
+                read_energy: Energy::from_fj(10.0),
+                write_energy: Energy::from_fj(10.0),
+                leakage: LeakageClass::Tiny,
+                random_access: true,
+                // "Each read is destructive. After each read, a write
+                // operation is required to restore the data."
+                destructive_read: true,
+            },
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyParameters {
+    /// Which technology this row describes.
+    pub technology: MemoryTechnology,
+    /// Read access latency.
+    pub read_latency: Time,
+    /// Write access latency.
+    pub write_latency: Time,
+    /// Cell footprint in F^2 (F = JJ diameter for SFQ parts, transistor
+    /// feature size for CMOS).
+    pub cell_size_f2: f64,
+    /// Energy per read access.
+    pub read_energy: Energy,
+    /// Energy per write access.
+    pub write_energy: Energy,
+    /// Qualitative leakage class.
+    pub leakage: LeakageClass,
+    /// Whether arbitrary addresses can be accessed directly.
+    pub random_access: bool,
+    /// Whether a read destroys the cell contents (SNM), requiring a
+    /// restoring write.
+    pub destructive_read: bool,
+}
+
+impl TechnologyParameters {
+    /// Effective read cost including the restore write for destructive-read
+    /// technologies.
+    #[must_use]
+    pub fn effective_read_latency(&self) -> Time {
+        if self.destructive_read {
+            self.read_latency + self.write_latency
+        } else {
+            self.read_latency
+        }
+    }
+
+    /// Effective read energy including the restore write if needed.
+    #[must_use]
+    pub fn effective_read_energy(&self) -> Energy {
+        if self.destructive_read {
+            self.read_energy + self.write_energy
+        } else {
+            self.read_energy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shift_row() {
+        let p = MemoryTechnology::Shift.parameters();
+        assert!((p.read_latency.as_ns() - 0.02).abs() < 1e-12);
+        assert!((p.cell_size_f2 - 39.0).abs() < 1e-12);
+        assert!((p.read_energy.as_fj() - 0.1).abs() < 1e-12);
+        assert_eq!(p.leakage, LeakageClass::None);
+        assert!(!p.random_access);
+    }
+
+    #[test]
+    fn table1_vtm_row() {
+        let p = MemoryTechnology::Vtm.parameters();
+        assert!((p.read_latency.as_ns() - 0.1).abs() < 1e-12);
+        assert!((p.cell_size_f2 - 203.0).abs() < 1e-12);
+        assert!(p.random_access);
+    }
+
+    #[test]
+    fn table1_mram_asymmetric_write() {
+        let p = MemoryTechnology::SheMram.parameters();
+        assert!((p.write_latency.as_ns() - 2.0).abs() < 1e-12);
+        assert!((p.read_latency.as_ns() - 0.1).abs() < 1e-12);
+        assert!((p.write_energy.as_pj() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snm_destructive_read_doubles_cost() {
+        let p = MemoryTechnology::Snm.parameters();
+        assert!(p.destructive_read);
+        assert!((p.effective_read_latency().as_ns() - 3.1).abs() < 1e-9);
+        assert!((p.effective_read_energy().as_fj() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_destructive_reads_unchanged() {
+        let p = MemoryTechnology::Vtm.parameters();
+        assert_eq!(p.effective_read_latency(), p.read_latency);
+        assert_eq!(p.effective_read_energy(), p.read_energy);
+    }
+
+    #[test]
+    fn only_shift_lacks_random_access() {
+        for t in MemoryTechnology::ALL {
+            let p = t.parameters();
+            assert_eq!(p.random_access, t != MemoryTechnology::Shift);
+        }
+    }
+
+    #[test]
+    fn shift_has_smallest_cell() {
+        let shift = MemoryTechnology::Shift.parameters().cell_size_f2;
+        for t in MemoryTechnology::ALL {
+            if t != MemoryTechnology::Shift {
+                assert!(t.parameters().cell_size_f2 > shift);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(MemoryTechnology::JosephsonCmosSram.name(), "SRAM");
+        assert_eq!(LeakageClass::Medium.label(), "medium");
+    }
+}

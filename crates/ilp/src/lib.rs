@@ -1,0 +1,38 @@
+//! A from-scratch 0/1 integer linear programming solver.
+//!
+//! The paper solves its SPM allocation/prefetch formulation with Gurobi;
+//! this crate is the reproduction's substitute: a dense two-phase primal
+//! simplex for LP relaxations ([`simplex`]) under best-first branch & bound
+//! ([`solver`]), with a greedy rounding fallback so compilation always
+//! terminates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use smart_ilp::problem::{Problem, Relation, Sense};
+//! use smart_ilp::solver::Solver;
+//!
+//! // Knapsack: max 10a + 6b + 4c  s.t.  5a + 4b + 3c <= 7.
+//! let mut p = Problem::new(Sense::Maximize);
+//! let a = p.binary("a");
+//! let b = p.binary("b");
+//! let c = p.binary("c");
+//! p.set_objective(a, 10.0);
+//! p.set_objective(b, 6.0);
+//! p.set_objective(c, 4.0);
+//! p.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Relation::Le, 7.0);
+//!
+//! let result = Solver::new().solve(&p);
+//! assert!((result.solution().unwrap().objective - 10.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod problem;
+pub mod simplex;
+pub mod solver;
+
+pub use problem::{Problem, Relation, Sense, VarId};
+pub use simplex::{solve_relaxation, LpResult, LpSolution};
+pub use solver::{MipResult, MipSolution, Solver};

@@ -1,0 +1,219 @@
+//! Linear/integer program description.
+//!
+//! A [`Problem`] is built incrementally: declare variables (binary or
+//! bounded continuous), set objective coefficients, and add linear
+//! constraints. The solver consumes the finished problem.
+
+/// Handle to a declared variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// Less than or equal.
+    Le,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub integer: bool,
+    pub objective: f64,
+}
+
+/// One linear constraint `sum(coef * var) REL rhs`.
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub terms: Vec<(VarId, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// An integer/linear program under construction.
+///
+/// # Examples
+///
+/// ```
+/// use smart_ilp::problem::{Problem, Relation, Sense};
+///
+/// // maximize 5x + 4y  s.t.  6x + 4y <= 24, x + 2y <= 6
+/// let mut p = Problem::new(Sense::Maximize);
+/// let x = p.continuous("x", 0.0, f64::INFINITY);
+/// let y = p.continuous("y", 0.0, f64::INFINITY);
+/// p.set_objective(x, 5.0);
+/// p.set_objective(y, 4.0);
+/// p.add_constraint(&[(x, 6.0), (y, 4.0)], Relation::Le, 24.0);
+/// p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Le, 6.0);
+/// assert_eq!(p.num_vars(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) variables: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given sense.
+    #[must_use]
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            sense,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Declares a binary (0/1) variable.
+    pub fn binary(&mut self, name: &str) -> VarId {
+        self.var(name, 0.0, 1.0, true)
+    }
+
+    /// Declares a bounded continuous variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or `lower` is negative (the solver works
+    /// on non-negative variables).
+    pub fn continuous(&mut self, name: &str, lower: f64, upper: f64) -> VarId {
+        self.var(name, lower, upper, false)
+    }
+
+    fn var(&mut self, name: &str, lower: f64, upper: f64, integer: bool) -> VarId {
+        assert!(lower <= upper, "lower bound exceeds upper bound");
+        assert!(lower >= 0.0, "variables must be non-negative");
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.to_owned(),
+            lower,
+            upper,
+            integer,
+            objective: 0.0,
+        });
+        id
+    }
+
+    /// Sets the objective coefficient of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this problem.
+    pub fn set_objective(&mut self, var: VarId, coefficient: f64) {
+        assert!(var.0 < self.variables.len(), "unknown variable");
+        self.variables[var.0].objective = coefficient;
+    }
+
+    /// Adds a linear constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable does not belong to this problem or `terms` is
+    /// empty.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], relation: Relation, rhs: f64) {
+        assert!(!terms.is_empty(), "constraint must have terms");
+        for (v, _) in terms {
+            assert!(v.0 < self.variables.len(), "unknown variable");
+        }
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of declared variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable name (for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this problem.
+    #[must_use]
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.variables[var.0].name
+    }
+
+    /// Ids of all integer variables.
+    #[must_use]
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_incrementally() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.binary("x");
+        let y = p.continuous("y", 0.0, 5.0);
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 3.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.integer_vars(), vec![x]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _ = p.continuous("y", 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "variables must be non-negative")]
+    fn negative_lower_panics() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _ = p.continuous("y", -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint must have terms")]
+    fn empty_constraint_panics() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_constraint(&[], Relation::Le, 0.0);
+    }
+}

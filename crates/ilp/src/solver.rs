@@ -1,0 +1,403 @@
+//! Branch & bound over the LP relaxation, with a greedy-rounding fallback.
+//!
+//! Best-first search on the most-fractional integer variable. The node
+//! limit bounds runtime; if it is hit with an incumbent, the incumbent is
+//! returned flagged as near-optimal (the paper's compiler is itself only
+//! "near-optimal", Sec. 4.3); if no incumbent exists, a greedy rounding
+//! repair pass is attempted.
+
+use crate::problem::{Problem, Relation, Sense};
+use crate::simplex::{solve_relaxation, LpResult};
+use std::collections::BinaryHeap;
+
+const INT_TOL: f64 = 1e-6;
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MipResult {
+    /// Proven-optimal integer solution.
+    Optimal(MipSolution),
+    /// Feasible but not proven optimal (node limit hit).
+    Feasible(MipSolution),
+    /// No feasible integer point exists.
+    Infeasible,
+    /// The relaxation is unbounded.
+    Unbounded,
+}
+
+impl MipResult {
+    /// The solution, if any.
+    #[must_use]
+    pub fn solution(&self) -> Option<&MipSolution> {
+        match self {
+            Self::Optimal(s) | Self::Feasible(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// An integer-feasible solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MipSolution {
+    /// Objective value.
+    pub objective: f64,
+    /// Variable values in declaration order.
+    pub values: Vec<f64>,
+    /// Branch & bound nodes explored.
+    pub nodes: usize,
+}
+
+impl MipSolution {
+    /// Value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[must_use]
+    pub fn value(&self, var: crate::problem::VarId) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+/// Branch & bound solver.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    node_limit: usize,
+}
+
+impl Solver {
+    /// Creates a solver with the default node limit (20 000).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { node_limit: 20_000 }
+    }
+
+    /// Overrides the node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "node limit must be positive");
+        self.node_limit = limit;
+        self
+    }
+
+    /// Solves the problem.
+    #[must_use]
+    pub fn solve(&self, problem: &Problem) -> MipResult {
+        let n = problem.num_vars();
+        let int_vars = problem.integer_vars();
+        let sign = match problem.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+
+        // Root relaxation.
+        let root = match solve_relaxation(problem, &vec![None; n]) {
+            LpResult::Optimal(s) => s,
+            LpResult::Infeasible => return MipResult::Infeasible,
+            LpResult::Unbounded => return MipResult::Unbounded,
+        };
+
+        #[derive(Debug)]
+        struct Node {
+            bound: f64, // objective * sign (higher = more promising)
+            pins: Vec<Option<f64>>,
+        }
+        impl PartialEq for Node {
+            fn eq(&self, other: &Self) -> bool {
+                self.bound == other.bound
+            }
+        }
+        impl Eq for Node {}
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.bound.total_cmp(&other.bound)
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Node {
+            bound: root.objective * sign,
+            pins: vec![None; n],
+        });
+
+        let mut incumbent: Option<MipSolution> = None;
+        let mut nodes = 0usize;
+
+        while let Some(node) = heap.pop() {
+            if nodes >= self.node_limit {
+                break;
+            }
+            // Bound pruning.
+            if let Some(inc) = &incumbent {
+                if node.bound <= inc.objective * sign + INT_TOL {
+                    continue;
+                }
+            }
+            nodes += 1;
+            let lp = match solve_relaxation(problem, &node.pins) {
+                LpResult::Optimal(s) => s,
+                LpResult::Infeasible => continue,
+                LpResult::Unbounded => return MipResult::Unbounded,
+            };
+            if let Some(inc) = &incumbent {
+                if lp.objective * sign <= inc.objective * sign + INT_TOL {
+                    continue;
+                }
+            }
+
+            // Most fractional integer variable.
+            let frac_var = int_vars
+                .iter()
+                .map(|&v| (v, (lp.values[v.index()] - lp.values[v.index()].round()).abs()))
+                .filter(|(_, f)| *f > INT_TOL)
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+
+            match frac_var {
+                None => {
+                    // Integer feasible.
+                    let better = incumbent
+                        .as_ref()
+                        .is_none_or(|inc| lp.objective * sign > inc.objective * sign + INT_TOL);
+                    if better {
+                        incumbent = Some(MipSolution {
+                            objective: lp.objective,
+                            values: lp.values,
+                            nodes,
+                        });
+                    }
+                }
+                Some((v, _)) => {
+                    let val = lp.values[v.index()];
+                    for pin in [val.floor(), val.ceil()] {
+                        let mut pins = node.pins.clone();
+                        pins[v.index()] = Some(pin);
+                        heap.push(Node {
+                            bound: lp.objective * sign,
+                            pins,
+                        });
+                    }
+                }
+            }
+        }
+
+        match incumbent {
+            Some(mut s) => {
+                s.nodes = nodes;
+                if heap.is_empty() || nodes < self.node_limit {
+                    MipResult::Optimal(s)
+                } else {
+                    MipResult::Feasible(s)
+                }
+            }
+            None => {
+                // Greedy fallback: round the root relaxation and check.
+                greedy_round(problem, &root.values, nodes)
+            }
+        }
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Rounds integer variables of an LP point and repairs feasibility by
+/// flipping binaries greedily (switching offenders to zero). Returns
+/// `Feasible` on success, `Infeasible` if the repair fails.
+fn greedy_round(problem: &Problem, lp_values: &[f64], nodes: usize) -> MipResult {
+    let mut values = lp_values.to_vec();
+    for v in problem.integer_vars() {
+        values[v.index()] = values[v.index()].round();
+    }
+    // Repair loop: while some constraint is violated, zero out the binary
+    // with the largest contribution to the violation.
+    for _ in 0..problem.num_vars() + 1 {
+        let mut violated = None;
+        for c in &problem.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, k)| k * values[v.index()]).sum();
+            let bad = match c.relation {
+                Relation::Le => lhs > c.rhs + 1e-6,
+                Relation::Ge => lhs < c.rhs - 1e-6,
+                Relation::Eq => (lhs - c.rhs).abs() > 1e-6,
+            };
+            if bad {
+                violated = Some(c);
+                break;
+            }
+        }
+        let Some(c) = violated else {
+            let objective = problem
+                .variables
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v.objective * values[i])
+                .sum();
+            return MipResult::Feasible(MipSolution {
+                objective,
+                values,
+                nodes,
+            });
+        };
+        // Flip the binary with the largest |coefficient| that is currently 1
+        // (for Le) or 0 (for Ge).
+        let want_zero = matches!(c.relation, Relation::Le | Relation::Eq);
+        let candidate = c
+            .terms
+            .iter()
+            .filter(|(v, _)| problem.variables[v.index()].integer)
+            .filter(|(v, _)| {
+                let x = values[v.index()];
+                if want_zero {
+                    x > 0.5
+                } else {
+                    x < 0.5
+                }
+            })
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()));
+        match candidate {
+            Some((v, _)) => values[v.index()] = if want_zero { 0.0 } else { 1.0 },
+            None => return MipResult::Infeasible,
+        }
+    }
+    MipResult::Infeasible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    #[test]
+    fn knapsack_integer_optimum() {
+        // max 10a + 6b + 4c s.t. 5a + 4b + 3c <= 7 => a=0,b=1,c=1: 10 vs
+        // a=1: 10 (5 used, nothing else fits but c? 5+3=8>7). a+c infeasible.
+        // Optimal: b+c = 10 or a alone = 10: both 10.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        let c = p.binary("c");
+        p.set_objective(a, 10.0);
+        p.set_objective(b, 6.0);
+        p.set_objective(c, 4.0);
+        p.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Relation::Le, 7.0);
+        let r = Solver::new().solve(&p);
+        let s = r.solution().expect("solution");
+        assert!((s.objective - 10.0).abs() < 1e-6, "z = {}", s.objective);
+        // Solution is integral.
+        for v in &s.values {
+            assert!((v - v.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn branching_beats_rounding() {
+        // max 9a + 9b + 16c s.t. 5a + 5b + 8c <= 10: LP picks c + fractional;
+        // integer optimum is a + b = 18.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        let c = p.binary("c");
+        p.set_objective(a, 9.0);
+        p.set_objective(b, 9.0);
+        p.set_objective(c, 16.0);
+        p.add_constraint(&[(a, 5.0), (b, 5.0), (c, 8.0)], Relation::Le, 10.0);
+        let r = Solver::new().solve(&p);
+        let s = r.solution().expect("solution");
+        assert!((s.objective - 18.0).abs() < 1e-6, "z = {}", s.objective);
+        assert!(matches!(r, MipResult::Optimal(_)));
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 2x2 assignment: costs [[1, 10], [10, 1]]; minimize.
+        let mut p = Problem::new(Sense::Minimize);
+        let x00 = p.binary("x00");
+        let x01 = p.binary("x01");
+        let x10 = p.binary("x10");
+        let x11 = p.binary("x11");
+        p.set_objective(x00, 1.0);
+        p.set_objective(x01, 10.0);
+        p.set_objective(x10, 10.0);
+        p.set_objective(x11, 1.0);
+        for row in [[x00, x01], [x10, x11]] {
+            p.add_constraint(&[(row[0], 1.0), (row[1], 1.0)], Relation::Eq, 1.0);
+        }
+        for col in [[x00, x10], [x01, x11]] {
+            p.add_constraint(&[(col[0], 1.0), (col[1], 1.0)], Relation::Eq, 1.0);
+        }
+        let r = Solver::new().solve(&p);
+        let s = r.solution().expect("solution");
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert!((s.value(x00) - 1.0).abs() < 1e-6);
+        assert!((s.value(x11) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        p.set_objective(a, 1.0);
+        p.add_constraint(&[(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+        assert_eq!(Solver::new().solve(&p), MipResult::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 3a + y s.t. a + y <= 2.5, y <= 2 (a binary, y continuous):
+        // a = 1, y = 1.5 => 4.5.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let y = p.continuous("y", 0.0, 2.0);
+        p.set_objective(a, 3.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(a, 1.0), (y, 1.0)], Relation::Le, 2.5);
+        let r = Solver::new().solve(&p);
+        let s = r.solution().expect("solution");
+        assert!((s.objective - 4.5).abs() < 1e-6, "z = {}", s.objective);
+    }
+
+    #[test]
+    fn node_limit_returns_feasible() {
+        // A problem big enough to hit a 1-node limit after the root: the
+        // solver should still produce something via incumbent or greedy.
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| p.binary(&format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective(v, 1.0 + (i as f64) * 0.1);
+        }
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Relation::Le, 6.0);
+        let r = Solver::new().with_node_limit(1).solve(&p);
+        assert!(r.solution().is_some());
+    }
+
+    #[test]
+    fn larger_cover_problem_solves() {
+        // Select minimum-weight cover: 20 binaries, pair constraints.
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<_> = (0..20).map(|i| p.binary(&format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective(v, 1.0 + f64::from(u32::try_from(i % 3).unwrap()));
+        }
+        for i in 0..19 {
+            p.add_constraint(&[(vars[i], 1.0), (vars[i + 1], 1.0)], Relation::Ge, 1.0);
+        }
+        let r = Solver::new().solve(&p);
+        let s = r.solution().expect("solution");
+        // A valid vertex cover of a path of 20 nodes needs >= 9 nodes.
+        let chosen = s.values.iter().filter(|&&v| v > 0.5).count();
+        assert!(chosen >= 9);
+    }
+}

@@ -1,0 +1,276 @@
+//! Circuit description: nodes, elements, and sources.
+//!
+//! A [`Circuit`] is a netlist of linear elements (R, L, C), independent
+//! current sources, and RSJ-model Josephson junctions. Node 0 is ground.
+
+use crate::waveform::Waveform;
+
+/// A node handle returned by [`Circuit::node`]. Node 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index (0 = ground).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One circuit element.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Resistor between two nodes (ohms).
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Capacitor between two nodes (farads).
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Inductor between two nodes (henries). Its branch current is an extra
+    /// MNA unknown.
+    Inductor {
+        /// First terminal (current flows `a -> b` when positive).
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries.
+        henries: f64,
+    },
+    /// Independent current source pushing current out of `from` into `to`.
+    CurrentSource {
+        /// Node the current leaves.
+        from: NodeId,
+        /// Node the current enters.
+        to: NodeId,
+        /// Time-dependent amplitude.
+        waveform: Waveform,
+    },
+    /// RSJ-model Josephson junction between `a` and `b`:
+    /// `i = Ic sin(phi) + v/R + C dv/dt`, `dphi/dt = 2 pi v / Phi0`.
+    Junction {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Critical current (A).
+        ic: f64,
+        /// Shunt resistance (ohms).
+        resistance: f64,
+        /// Junction capacitance (F).
+        capacitance: f64,
+    },
+}
+
+/// A netlist under construction.
+///
+/// # Examples
+///
+/// ```
+/// use smart_josim::circuit::Circuit;
+/// use smart_josim::waveform::Waveform;
+///
+/// let mut ckt = Circuit::new();
+/// let n1 = ckt.node();
+/// ckt.resistor(n1, Circuit::GROUND, 50.0);
+/// ckt.current_source(Circuit::GROUND, n1, Waveform::dc(1e-3));
+/// assert_eq!(ckt.node_count(), 2); // ground + n1
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_count: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground node.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit containing only the ground node.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            node_count: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a new node.
+    pub fn node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Total node count including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The elements added so far.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Returns `true` if the circuit contains a Josephson junction (i.e. the
+    /// engine must iterate Newton steps).
+    #[must_use]
+    pub fn is_nonlinear(&self) -> bool {
+        self.elements
+            .iter()
+            .any(|e| matches!(e, Element::Junction { .. }))
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive or a node is invalid.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        self.check(a);
+        self.check(b);
+        self.elements.push(Element::Resistor { a, b, ohms });
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not positive or a node is invalid.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) {
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive"
+        );
+        self.check(a);
+        self.check(b);
+        self.elements.push(Element::Capacitor { a, b, farads });
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `henries` is not positive or a node is invalid.
+    pub fn inductor(&mut self, a: NodeId, b: NodeId, henries: f64) {
+        assert!(
+            henries > 0.0 && henries.is_finite(),
+            "inductance must be positive"
+        );
+        self.check(a);
+        self.check(b);
+        self.elements.push(Element::Inductor { a, b, henries });
+    }
+
+    /// Adds an independent current source pushing current from `from` into
+    /// `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is invalid.
+    pub fn current_source(&mut self, from: NodeId, to: NodeId, waveform: Waveform) {
+        self.check(from);
+        self.check(to);
+        self.elements.push(Element::CurrentSource { from, to, waveform });
+    }
+
+    /// Adds an RSJ Josephson junction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or a node is invalid.
+    pub fn junction(&mut self, a: NodeId, b: NodeId, ic: f64, resistance: f64, capacitance: f64) {
+        assert!(ic > 0.0 && ic.is_finite(), "critical current must be positive");
+        assert!(
+            resistance > 0.0 && resistance.is_finite(),
+            "shunt resistance must be positive"
+        );
+        assert!(
+            capacitance > 0.0 && capacitance.is_finite(),
+            "junction capacitance must be positive"
+        );
+        self.check(a);
+        self.check(b);
+        self.elements.push(Element::Junction {
+            a,
+            b,
+            ic,
+            resistance,
+            capacitance,
+        });
+    }
+
+    fn check(&self, n: NodeId) {
+        assert!(
+            n.0 < self.node_count,
+            "node {} does not exist (allocate with Circuit::node)",
+            n.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_allocate_sequentially() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn nonlinearity_detection() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.resistor(n, Circuit::GROUND, 1.0);
+        assert!(!c.is_nonlinear());
+        c.junction(n, Circuit::GROUND, 1e-4, 3.0, 1e-13);
+        assert!(c.is_nonlinear());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn foreign_node_rejected() {
+        let mut c = Circuit::new();
+        let _ = c.node();
+        c.resistor(NodeId(5), Circuit::GROUND, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn negative_resistor_rejected() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.resistor(n, Circuit::GROUND, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inductance must be positive")]
+    fn zero_inductor_rejected() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.inductor(n, Circuit::GROUND, 0.0);
+    }
+}

@@ -1,0 +1,741 @@
+//! Transient modified-nodal-analysis (MNA) engine.
+//!
+//! Integrates the circuit ODEs with the trapezoidal rule. Linear circuits
+//! assemble and factor their MNA matrix once; circuits containing Josephson
+//! junctions re-linearize the `Ic sin(phi)` branch each Newton iteration.
+//!
+//! The junction uses the RSJ model:
+//!
+//! ```text
+//! i = Ic sin(phi) + v / R + C dv/dt,      dphi/dt = 2 pi v / Phi0
+//! ```
+//!
+//! which reproduces SFQ pulse emission: each 2*pi phase slip releases a
+//! voltage pulse of area exactly `Phi0`.
+
+use crate::circuit::{Circuit, Element, NodeId};
+use crate::linalg::{LuFactors, Matrix};
+
+/// The magnetic flux quantum (Wb), re-declared locally so the engine has no
+/// cross-crate dependency on model constants.
+const PHI0: f64 = 2.067_833_848e-15;
+
+/// Maximum Newton iterations per timestep.
+const MAX_NEWTON: usize = 100;
+/// Newton convergence tolerance on voltages (V). SFQ signals are ~mV.
+const NEWTON_TOL: f64 = 1e-9;
+
+/// Parameters of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSpec {
+    /// Simulation end time (s).
+    pub stop: f64,
+    /// Fixed timestep (s).
+    pub step: f64,
+}
+
+impl TransientSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop` or `step` is not positive, or `step > stop`.
+    #[must_use]
+    pub fn new(stop: f64, step: f64) -> Self {
+        assert!(stop > 0.0 && stop.is_finite(), "stop time must be positive");
+        assert!(step > 0.0 && step.is_finite(), "step must be positive");
+        assert!(step <= stop, "step must not exceed stop time");
+        Self { stop, step }
+    }
+}
+
+/// Errors the engine can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// The MNA matrix was singular (floating node or short).
+    Singular {
+        /// Elimination column where the failure occurred.
+        column: usize,
+    },
+    /// Newton failed to converge within the iteration budget.
+    NewtonDiverged {
+        /// Time at which convergence failed (s).
+        time: f64,
+    },
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Singular { column } => {
+                write!(f, "singular MNA matrix at column {column} (floating node?)")
+            }
+            Self::NewtonDiverged { time } => {
+                write!(f, "newton iteration diverged at t = {time:e} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Recorded result of a transient run.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    times: Vec<f64>,
+    probes: Vec<NodeId>,
+    /// `voltages[p][k]` = voltage of probe `p` at `times[k]`.
+    voltages: Vec<Vec<f64>>,
+    dissipated: f64,
+}
+
+impl Transient {
+    /// Sample times (s).
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The probed nodes, in request order.
+    #[must_use]
+    pub fn probes(&self) -> &[NodeId] {
+        &self.probes
+    }
+
+    /// Voltage trace of probe `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn voltage(&self, p: usize) -> &[f64] {
+        &self.voltages[p]
+    }
+
+    /// Total energy dissipated in resistive elements over the run (J).
+    #[must_use]
+    pub fn dissipated_energy(&self) -> f64 {
+        self.dissipated
+    }
+
+    /// Cumulative flux (time integral of voltage, Wb) of probe `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn flux(&self, p: usize) -> Vec<f64> {
+        let v = &self.voltages[p];
+        let mut out = Vec::with_capacity(v.len());
+        let mut acc = 0.0;
+        out.push(0.0);
+        for k in 1..v.len() {
+            let h = self.times[k] - self.times[k - 1];
+            acc += 0.5 * (v[k] + v[k - 1]) * h;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Time at which the cumulative flux of probe `p` first crosses
+    /// `threshold` (linear interpolation), or `None` if it never does.
+    ///
+    /// Crossing half a flux quantum marks the passage of an SFQ pulse, which
+    /// is how pulse arrival (and hence line delay) is measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn flux_crossing(&self, p: usize, threshold: f64) -> Option<f64> {
+        let flux = self.flux(p);
+        for k in 1..flux.len() {
+            if flux[k - 1] < threshold && flux[k] >= threshold {
+                let frac = (threshold - flux[k - 1]) / (flux[k] - flux[k - 1]);
+                return Some(self.times[k - 1] + frac * (self.times[k] - self.times[k - 1]));
+            }
+        }
+        None
+    }
+
+    /// Number of full SFQ pulses (flux quanta) that passed probe `p` by the
+    /// end of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn pulse_count(&self, p: usize) -> u32 {
+        let total = *self.flux(p).last().expect("non-empty trace");
+        (total / PHI0).round().max(0.0) as u32
+    }
+}
+
+// Per-element integration state.
+#[derive(Debug, Clone, Copy, Default)]
+struct CapState {
+    v: f64,
+    i: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IndState {
+    i: f64,
+    v: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct JjState {
+    phi: f64,
+    v: f64,
+    i_cap: f64,
+}
+
+/// The transient engine for one circuit.
+#[derive(Debug)]
+pub struct Engine {
+    circuit: Circuit,
+    /// MNA unknown count: (nodes - 1) voltages + one current per inductor.
+    unknowns: usize,
+    inductor_branch: Vec<usize>,
+}
+
+impl Engine {
+    /// Prepares an engine for the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no non-ground node.
+    #[must_use]
+    pub fn new(circuit: Circuit) -> Self {
+        assert!(circuit.node_count() > 1, "circuit has no non-ground node");
+        let n_volt = circuit.node_count() - 1;
+        let mut inductor_branch = Vec::new();
+        let mut next = n_volt;
+        for e in circuit.elements() {
+            if matches!(e, Element::Inductor { .. }) {
+                inductor_branch.push(next);
+                next += 1;
+            }
+        }
+        Self {
+            circuit,
+            unknowns: next,
+            inductor_branch,
+        }
+    }
+
+    /// Number of MNA unknowns.
+    #[must_use]
+    pub fn unknown_count(&self) -> usize {
+        self.unknowns
+    }
+
+    /// Runs a transient simulation, recording the requested probe nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::Singular`] for ill-formed circuits and
+    /// [`SimulationError::NewtonDiverged`] if the junction iteration fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probe node does not belong to the circuit.
+    pub fn run(
+        &self,
+        spec: TransientSpec,
+        probes: &[NodeId],
+    ) -> Result<Transient, SimulationError> {
+        for p in probes {
+            assert!(
+                p.index() < self.circuit.node_count(),
+                "probe node {} does not exist",
+                p.index()
+            );
+        }
+        let h = spec.step;
+        let steps = (spec.stop / h).ceil() as usize;
+        let nonlinear = self.circuit.is_nonlinear();
+
+        // Integration state.
+        let mut caps: Vec<CapState> = Vec::new();
+        let mut inds: Vec<IndState> = Vec::new();
+        let mut jjs: Vec<JjState> = Vec::new();
+        for e in self.circuit.elements() {
+            match e {
+                Element::Capacitor { .. } => caps.push(CapState::default()),
+                Element::Inductor { .. } => inds.push(IndState::default()),
+                Element::Junction { .. } => jjs.push(JjState::default()),
+                _ => {}
+            }
+        }
+
+        // For linear circuits the matrix never changes: factor once.
+        let linear_factors: Option<LuFactors> = if nonlinear {
+            None
+        } else {
+            let mut m = Matrix::zeros(self.unknowns);
+            self.stamp_linear(&mut m, h);
+            Some(m.lu().map_err(|s| SimulationError::Singular { column: s.column })?)
+        };
+
+        let mut x = vec![0.0; self.unknowns];
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); probes.len()];
+        times.push(0.0);
+        for (pi, p) in probes.iter().enumerate() {
+            voltages[pi].push(self.node_voltage(&x, *p));
+        }
+        let mut dissipated = 0.0;
+
+        for k in 1..=steps {
+            let t = h * k as f64;
+            let x_new = if nonlinear {
+                self.solve_nonlinear(t, h, &x, &caps, &inds, &jjs)?
+            } else {
+                let rhs = self.rhs_linear(t, h, &caps, &inds);
+                linear_factors.as_ref().expect("factored").solve(&rhs)
+            };
+
+            // Commit element states and accumulate dissipation.
+            let mut ci = 0;
+            let mut ii = 0;
+            let mut ji = 0;
+            let mut br = 0;
+            for e in self.circuit.elements() {
+                match e {
+                    Element::Resistor { a, b, ohms } => {
+                        let v = self.node_voltage(&x_new, *a) - self.node_voltage(&x_new, *b);
+                        dissipated += v * v / ohms * h;
+                    }
+                    Element::Capacitor { a, b, farads } => {
+                        let v = self.node_voltage(&x_new, *a) - self.node_voltage(&x_new, *b);
+                        let geq = 2.0 * farads / h;
+                        let s = &mut caps[ci];
+                        let i = geq * (v - s.v) - s.i;
+                        s.v = v;
+                        s.i = i;
+                        ci += 1;
+                    }
+                    Element::Inductor { a, b, .. } => {
+                        let v = self.node_voltage(&x_new, *a) - self.node_voltage(&x_new, *b);
+                        let s = &mut inds[ii];
+                        s.i = x_new[self.inductor_branch[br]];
+                        s.v = v;
+                        ii += 1;
+                        br += 1;
+                    }
+                    Element::Junction {
+                        a,
+                        b,
+                        ic,
+                        resistance,
+                        capacitance,
+                    } => {
+                        let v = self.node_voltage(&x_new, *a) - self.node_voltage(&x_new, *b);
+                        let s = &mut jjs[ji];
+                        let phi_new = s.phi + std::f64::consts::PI * h / PHI0 * (v + s.v);
+                        let geq = 2.0 * capacitance / h;
+                        let i_cap = geq * (v - s.v) - s.i_cap;
+                        // Resistive + supercurrent dissipation (the
+                        // supercurrent itself is lossless; dissipation is
+                        // v^2/R during the phase slip).
+                        dissipated += (v * v / resistance) * h;
+                        let _ = ic;
+                        s.phi = phi_new;
+                        s.v = v;
+                        s.i_cap = i_cap;
+                        ji += 1;
+                    }
+                    Element::CurrentSource { .. } => {}
+                }
+            }
+
+            x = x_new;
+            times.push(t);
+            for (pi, p) in probes.iter().enumerate() {
+                voltages[pi].push(self.node_voltage(&x, *p));
+            }
+        }
+
+        Ok(Transient {
+            times,
+            probes: probes.to_vec(),
+            voltages,
+            dissipated,
+        })
+    }
+
+    fn node_voltage(&self, x: &[f64], n: NodeId) -> f64 {
+        if n.index() == 0 {
+            0.0
+        } else {
+            x[n.index() - 1]
+        }
+    }
+
+    fn volt_index(&self, n: NodeId) -> Option<usize> {
+        if n.index() == 0 {
+            None
+        } else {
+            Some(n.index() - 1)
+        }
+    }
+
+    /// Stamps everything whose conductance is constant: resistors,
+    /// capacitors (companion conductance), inductors (branch rows), and the
+    /// R/C parts of junctions.
+    fn stamp_linear(&self, m: &mut Matrix, h: f64) {
+        let mut br = 0;
+        for e in self.circuit.elements() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    self.stamp_conductance(m, *a, *b, 1.0 / ohms);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    self.stamp_conductance(m, *a, *b, 2.0 * farads / h);
+                }
+                Element::Inductor { a, b, henries } => {
+                    let j = self.inductor_branch[br];
+                    br += 1;
+                    if let Some(ia) = self.volt_index(*a) {
+                        m.add(ia, j, 1.0);
+                        m.add(j, ia, 1.0);
+                    }
+                    if let Some(ib) = self.volt_index(*b) {
+                        m.add(ib, j, -1.0);
+                        m.add(j, ib, -1.0);
+                    }
+                    m.add(j, j, -2.0 * henries / h);
+                }
+                Element::Junction {
+                    a,
+                    b,
+                    resistance,
+                    capacitance,
+                    ..
+                } => {
+                    self.stamp_conductance(m, *a, *b, 1.0 / resistance + 2.0 * capacitance / h);
+                }
+                Element::CurrentSource { .. } => {}
+            }
+        }
+    }
+
+    fn stamp_conductance(&self, m: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+        if let Some(ia) = self.volt_index(a) {
+            m.add(ia, ia, g);
+        }
+        if let Some(ib) = self.volt_index(b) {
+            m.add(ib, ib, g);
+        }
+        if let (Some(ia), Some(ib)) = (self.volt_index(a), self.volt_index(b)) {
+            m.add(ia, ib, -g);
+            m.add(ib, ia, -g);
+        }
+    }
+
+    fn rhs_inject(&self, rhs: &mut [f64], a: NodeId, b: NodeId, current_into_a: f64) {
+        if let Some(ia) = self.volt_index(a) {
+            rhs[ia] += current_into_a;
+        }
+        if let Some(ib) = self.volt_index(b) {
+            rhs[ib] -= current_into_a;
+        }
+    }
+
+    /// Builds the RHS for the linear (and linear-part) companion sources at
+    /// time `t`.
+    fn rhs_linear(&self, t: f64, h: f64, caps: &[CapState], inds: &[IndState]) -> Vec<f64> {
+        let mut rhs = vec![0.0; self.unknowns];
+        let mut ci = 0;
+        let mut ii = 0;
+        let mut br = 0;
+        for e in self.circuit.elements() {
+            match e {
+                Element::Capacitor { a, b, farads } => {
+                    let s = caps[ci];
+                    ci += 1;
+                    let geq = 2.0 * farads / h;
+                    // i = geq*v - (geq*v_prev + i_prev): equivalent current
+                    // source geq*v_prev + i_prev flowing into node a.
+                    self.rhs_inject(&mut rhs, *a, *b, geq * s.v + s.i);
+                }
+                Element::Inductor { a, b, henries } => {
+                    let s = inds[ii];
+                    ii += 1;
+                    let j = self.inductor_branch[br];
+                    br += 1;
+                    let _ = (a, b);
+                    rhs[j] = -(2.0 * henries / h) * s.i - s.v;
+                }
+                Element::CurrentSource { from, to, waveform } => {
+                    self.rhs_inject(&mut rhs, *to, *from, waveform.at(t));
+                }
+                _ => {}
+            }
+        }
+        rhs
+    }
+
+    fn solve_nonlinear(
+        &self,
+        t: f64,
+        h: f64,
+        x_prev: &[f64],
+        caps: &[CapState],
+        inds: &[IndState],
+        jjs: &[JjState],
+    ) -> Result<Vec<f64>, SimulationError> {
+        let mut x = x_prev.to_vec();
+        for _ in 0..MAX_NEWTON {
+            let mut m = Matrix::zeros(self.unknowns);
+            self.stamp_linear(&mut m, h);
+            let mut rhs = self.rhs_linear(t, h, caps, inds);
+
+            // Junction companion sources and sin-branch linearization.
+            let mut ji = 0;
+            for e in self.circuit.elements() {
+                if let Element::Junction {
+                    a,
+                    b,
+                    ic,
+                    capacitance,
+                    ..
+                } = e
+                {
+                    let s = jjs[ji];
+                    ji += 1;
+                    let v_star = self.node_voltage(&x, *a) - self.node_voltage(&x, *b);
+                    let dphi_dv = std::f64::consts::PI * h / PHI0;
+                    let phi_star = s.phi + dphi_dv * (v_star + s.v);
+                    let g_sin = ic * phi_star.cos() * dphi_dv;
+                    let i_sin_star = ic * phi_star.sin();
+                    // i_sin(v) ~= i_sin_star + g_sin (v - v_star)
+                    m.add_conductance_pair(self, *a, *b, g_sin);
+                    self.rhs_inject(&mut rhs, *a, *b, -(i_sin_star - g_sin * v_star));
+                    // Capacitor companion of the junction capacitance.
+                    let geq = 2.0 * capacitance / h;
+                    self.rhs_inject(&mut rhs, *a, *b, geq * s.v + s.i_cap);
+                }
+            }
+
+            let factors = m
+                .lu()
+                .map_err(|s| SimulationError::Singular { column: s.column })?;
+            let x_new = factors.solve(&rhs);
+            let delta = x_new
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            x = x_new;
+            if delta < NEWTON_TOL {
+                return Ok(x);
+            }
+        }
+        Err(SimulationError::NewtonDiverged { time: t })
+    }
+}
+
+// Small helper so the Newton loop can stamp through the engine's node
+// indexing without exposing Matrix internals.
+trait StampExt {
+    fn add_conductance_pair(&mut self, engine: &Engine, a: NodeId, b: NodeId, g: f64);
+}
+
+impl StampExt for Matrix {
+    fn add_conductance_pair(&mut self, engine: &Engine, a: NodeId, b: NodeId, g: f64) {
+        engine.stamp_conductance(self, a, b, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        // 1 mA DC into R=1k || C=1nF: v(t) = IR (1 - e^{-t/RC}), tau = 1 us.
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.resistor(n, Circuit::GROUND, 1000.0);
+        ckt.capacitor(n, Circuit::GROUND, 1e-9);
+        ckt.current_source(Circuit::GROUND, n, Waveform::dc(1e-3));
+        let engine = Engine::new(ckt);
+        let out = engine
+            .run(TransientSpec::new(5e-6, 5e-9), &[n])
+            .expect("runs");
+        let v_end = *out.voltage(0).last().unwrap();
+        assert!((v_end - 1.0).abs() < 0.01, "v_end = {v_end}");
+        // At t = tau, v = 1 - 1/e ~= 0.632.
+        let k_tau = (1e-6 / 5e-9) as usize;
+        let v_tau = out.voltage(0)[k_tau];
+        assert!((v_tau - 0.632).abs() < 0.01, "v_tau = {v_tau}");
+    }
+
+    #[test]
+    fn rl_current_ramp_matches_analytic() {
+        // DC 1 V-equivalent: 1 mA source into R || L; inductor current
+        // approaches source current with tau = L/R.
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.resistor(n, Circuit::GROUND, 10.0);
+        ckt.inductor(n, Circuit::GROUND, 1e-6);
+        ckt.current_source(Circuit::GROUND, n, Waveform::dc(1e-3));
+        let engine = Engine::new(ckt);
+        // tau = 0.1 us; simulate 1 us.
+        let out = engine
+            .run(TransientSpec::new(1e-6, 1e-9), &[n])
+            .expect("runs");
+        // Node voltage decays to ~0 as the inductor shorts the source.
+        let v_end = *out.voltage(0).last().unwrap();
+        assert!(v_end.abs() < 1e-4, "v_end = {v_end}");
+        // Initially the resistor carries everything: v(0+) ~= 10 mV.
+        let v_start = out.voltage(0)[1];
+        assert!((v_start - 1e-2).abs() < 2e-3, "v_start = {v_start}");
+    }
+
+    #[test]
+    fn lc_resonance_frequency() {
+        // Pulse-excite an LC tank; measure oscillation period via zero
+        // crossings. f = 1/(2 pi sqrt(LC)); L = 1 uH, C = 1 nF => ~5.03 MHz.
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.inductor(n, Circuit::GROUND, 1e-6);
+        ckt.capacitor(n, Circuit::GROUND, 1e-9);
+        // Large parallel R to keep matrix nonsingular but ~lossless.
+        ckt.resistor(n, Circuit::GROUND, 1e6);
+        ckt.current_source(Circuit::GROUND, n, Waveform::gaussian(1e-3, 20e-9, 5e-9));
+        let engine = Engine::new(ckt);
+        let out = engine
+            .run(TransientSpec::new(2e-6, 0.5e-9), &[n])
+            .expect("runs");
+        // Count zero crossings after the pulse (t > 100 ns).
+        let v = out.voltage(0);
+        let t = out.times();
+        let mut crossings = Vec::new();
+        for k in 1..v.len() {
+            if t[k] > 100e-9 && v[k - 1] < 0.0 && v[k] >= 0.0 {
+                crossings.push(t[k]);
+            }
+        }
+        assert!(crossings.len() >= 3, "need oscillations");
+        let period = (crossings[crossings.len() - 1] - crossings[0])
+            / (crossings.len() - 1) as f64;
+        let f = 1.0 / period;
+        let expected = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let err = (f - expected).abs() / expected;
+        assert!(err < 0.02, "f = {f:e}, expected {expected:e}");
+    }
+
+    #[test]
+    fn junction_emits_single_flux_quantum() {
+        // Bias a JJ at 0.8 Ic, kick it with a current pulse: exactly one
+        // 2*pi phase slip => output flux integral ~= Phi0.
+        let ic = 100e-6;
+        let r = 3.0;
+        let c = PHI0 / (2.0 * std::f64::consts::PI * ic * r * r); // beta_c = 1
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.junction(n, Circuit::GROUND, ic, r, c);
+        ckt.current_source(Circuit::GROUND, n, Waveform::dc(0.8 * ic));
+        ckt.current_source(
+            Circuit::GROUND,
+            n,
+            Waveform::gaussian(0.5 * ic, 20e-12, 2e-12),
+        );
+        let engine = Engine::new(ckt);
+        let out = engine
+            .run(TransientSpec::new(60e-12, 0.02e-12), &[n])
+            .expect("runs");
+        assert_eq!(out.pulse_count(0), 1, "exactly one SFQ pulse expected");
+        // Measure the flux released by the switching event itself: subtract
+        // the settle flux accumulated while the DC bias tilted the phase
+        // from 0 to asin(0.8).
+        let flux = out.flux(0);
+        let settle_idx = out
+            .times()
+            .iter()
+            .position(|&t| t >= 10e-12)
+            .expect("settle point");
+        let slip_flux = flux.last().unwrap() - flux[settle_idx];
+        assert!(
+            (slip_flux / PHI0 - 1.0).abs() < 0.15,
+            "slip flux = {} Phi0",
+            slip_flux / PHI0
+        );
+    }
+
+    #[test]
+    fn junction_below_threshold_stays_quiet() {
+        let ic = 100e-6;
+        let r = 3.0;
+        let c = PHI0 / (2.0 * std::f64::consts::PI * ic * r * r);
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.junction(n, Circuit::GROUND, ic, r, c);
+        // Bias + pulse stays below Ic: no switching.
+        ckt.current_source(Circuit::GROUND, n, Waveform::dc(0.5 * ic));
+        ckt.current_source(
+            Circuit::GROUND,
+            n,
+            Waveform::gaussian(0.2 * ic, 20e-12, 2e-12),
+        );
+        let engine = Engine::new(ckt);
+        let out = engine
+            .run(TransientSpec::new(60e-12, 0.02e-12), &[n])
+            .expect("runs");
+        assert_eq!(out.pulse_count(0), 0);
+    }
+
+    #[test]
+    fn dissipation_accounts_resistor_loss() {
+        // DC 1 mA through 1 kohm for 1 us: E = I^2 R t = 1e-6*1e3*1e-6 = 1e-9 J.
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.resistor(n, Circuit::GROUND, 1000.0);
+        ckt.current_source(Circuit::GROUND, n, Waveform::dc(1e-3));
+        let engine = Engine::new(ckt);
+        let out = engine
+            .run(TransientSpec::new(1e-6, 1e-9), &[n])
+            .expect("runs");
+        let e = out.dissipated_energy();
+        assert!((e - 1e-9).abs() / 1e-9 < 0.01, "E = {e:e}");
+    }
+
+    #[test]
+    fn floating_node_reports_singular() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node();
+        let b = ckt.node();
+        // b is floating: capacitor to a only... actually a capacitor still
+        // stamps conductance; use an inductor pair creating a singular loop
+        // instead: two parallel ideal inductors between same nodes is fine.
+        // A truly floating node: allocate c with no elements.
+        let _c = ckt.node();
+        ckt.resistor(a, b, 10.0);
+        ckt.current_source(Circuit::GROUND, a, Waveform::dc(1e-3));
+        let engine = Engine::new(ckt);
+        let err = engine.run(TransientSpec::new(1e-9, 1e-12), &[a]);
+        assert!(matches!(err, Err(SimulationError::Singular { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe node 9 does not exist")]
+    fn bad_probe_panics() {
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.resistor(n, Circuit::GROUND, 1.0);
+        let engine = Engine::new(ckt);
+        let _ = engine.run(TransientSpec::new(1e-9, 1e-12), &[crate::circuit::NodeId(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must not exceed stop")]
+    fn bad_spec_panics() {
+        let _ = TransientSpec::new(1e-12, 1e-9);
+    }
+}

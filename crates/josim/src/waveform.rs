@@ -1,0 +1,162 @@
+//! Time-dependent source waveforms.
+
+/// An independent source amplitude as a function of time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant amplitude.
+    Dc {
+        /// Amplitude in amperes.
+        amplitude: f64,
+    },
+    /// A Gaussian pulse `A * exp(-((t - center)/sigma)^2 / 2)`.
+    Gaussian {
+        /// Peak amplitude in amperes.
+        amplitude: f64,
+        /// Pulse center in seconds.
+        center: f64,
+        /// Standard deviation in seconds.
+        sigma: f64,
+    },
+    /// A train of Gaussian pulses spaced `period` apart, starting at
+    /// `center` and repeating `count` times.
+    GaussianTrain {
+        /// Peak amplitude in amperes.
+        amplitude: f64,
+        /// Center of the first pulse in seconds.
+        center: f64,
+        /// Standard deviation in seconds.
+        sigma: f64,
+        /// Pulse period in seconds.
+        period: f64,
+        /// Number of pulses.
+        count: u32,
+    },
+}
+
+impl Waveform {
+    /// A DC source.
+    #[must_use]
+    pub fn dc(amplitude: f64) -> Self {
+        Self::Dc { amplitude }
+    }
+
+    /// A single Gaussian pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive.
+    #[must_use]
+    pub fn gaussian(amplitude: f64, center: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "pulse width must be positive");
+        Self::Gaussian {
+            amplitude,
+            center,
+            sigma,
+        }
+    }
+
+    /// A train of Gaussian pulses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` or `period` is not positive or `count` is zero.
+    #[must_use]
+    pub fn gaussian_train(amplitude: f64, center: f64, sigma: f64, period: f64, count: u32) -> Self {
+        assert!(sigma > 0.0, "pulse width must be positive");
+        assert!(period > 0.0, "pulse period must be positive");
+        assert!(count > 0, "pulse count must be positive");
+        Self::GaussianTrain {
+            amplitude,
+            center,
+            sigma,
+            period,
+            count,
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    #[must_use]
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Self::Dc { amplitude } => amplitude,
+            Self::Gaussian {
+                amplitude,
+                center,
+                sigma,
+            } => gaussian(t, amplitude, center, sigma),
+            Self::GaussianTrain {
+                amplitude,
+                center,
+                sigma,
+                period,
+                count,
+            } => {
+                // Only the nearest pulse contributes meaningfully; evaluate
+                // the two candidates around t.
+                let k = ((t - center) / period).round();
+                let mut sum = 0.0;
+                for dk in [-1.0, 0.0, 1.0] {
+                    let idx = k + dk;
+                    if idx >= 0.0 && idx < f64::from(count) {
+                        sum += gaussian(t, amplitude, center + idx * period, sigma);
+                    }
+                }
+                sum
+            }
+        }
+    }
+}
+
+fn gaussian(t: f64, amplitude: f64, center: f64, sigma: f64) -> f64 {
+    let x = (t - center) / sigma;
+    amplitude * (-0.5 * x * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(2.5);
+        assert_eq!(w.at(0.0), 2.5);
+        assert_eq!(w.at(1.0), 2.5);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_center() {
+        let w = Waveform::gaussian(1.0, 5e-12, 1e-12);
+        assert!((w.at(5e-12) - 1.0).abs() < 1e-12);
+        assert!(w.at(0.0) < 1e-3);
+        assert!(w.at(10e-12) < 1e-3);
+    }
+
+    #[test]
+    fn gaussian_is_symmetric() {
+        let w = Waveform::gaussian(1.0, 5e-12, 1e-12);
+        assert!((w.at(4e-12) - w.at(6e-12)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn train_produces_each_pulse() {
+        let w = Waveform::gaussian_train(1.0, 5e-12, 0.5e-12, 10e-12, 3);
+        for k in 0..3 {
+            let t = 5e-12 + f64::from(k) * 10e-12;
+            assert!((w.at(t) - 1.0).abs() < 1e-6, "pulse {k} missing");
+        }
+        // Pulse 3 does not exist.
+        assert!(w.at(35e-12) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse width must be positive")]
+    fn zero_sigma_rejected() {
+        let _ = Waveform::gaussian(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse count must be positive")]
+    fn zero_count_rejected() {
+        let _ = Waveform::gaussian_train(1.0, 0.0, 1e-12, 1e-11, 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! SFQ logic/interconnect component library.
+//!
+//! Encodes the per-component latency, leakage power, and dynamic power of the
+//! paper's Table 2, plus the DFF and DC/SFQ converter characteristics from
+//! Sections 2 and 4. These are the atoms from which SHIFT arrays, SFQ
+//! H-Trees, and the pipelined CMOS-SFQ array are assembled.
+//!
+//! | Component | Latency (ps) | Leakage (uW) | Dynamic (nW) |
+//! |-----------|--------------|--------------|--------------|
+//! | Splitter  | 7            | 0            | 0.15         |
+//! | Driver    | 3.5          | 0.874        | 0.181        |
+//! | Receiver  | 5.25         | 0            | 0.275        |
+//! | nTron     | 103.02       | 8.8          | 13           |
+
+use crate::jj::JosephsonJunction;
+use crate::units::{Area, Energy, Power, Time};
+
+/// Kinds of SFQ peripheral components used by the memory models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Fan-out splitter: one input pulse becomes two output pulses.
+    Splitter,
+    /// PTL driver: a 2-stage JTL cascaded with a matching resistor.
+    Driver,
+    /// PTL receiver: a 3-stage JTL.
+    Receiver,
+    /// Nanocryotron: converts SFQ pulses to CMOS-drivable signals.
+    NTron,
+    /// Delay flip-flop: one superconductor ring plus a clock line.
+    Dff,
+    /// Level-driven DC/SFQ converter: CMOS levels back to SFQ pulses.
+    DcSfqConverter,
+}
+
+impl ComponentKind {
+    /// All component kinds, in Table 2 order followed by the Sec. 2/4 extras.
+    pub const ALL: [Self; 6] = [
+        Self::Splitter,
+        Self::Driver,
+        Self::Receiver,
+        Self::NTron,
+        Self::Dff,
+        Self::DcSfqConverter,
+    ];
+
+    /// Human-readable name as printed in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Splitter => "Splitter",
+            Self::Driver => "Driver",
+            Self::Receiver => "Receiver",
+            Self::NTron => "nTron",
+            Self::Dff => "DFF",
+            Self::DcSfqConverter => "DC/SFQ",
+        }
+    }
+}
+
+/// Latency/power/area characterization of one SFQ component.
+///
+/// # Examples
+///
+/// ```
+/// use smart_sfq::components::{Component, ComponentKind};
+///
+/// let ntron = Component::of(ComponentKind::NTron);
+/// assert!((ntron.latency().as_ps() - 103.02).abs() < 1e-9);
+/// assert!((ntron.leakage().as_uw() - 8.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    kind: ComponentKind,
+    latency: Time,
+    leakage: Power,
+    dynamic: Power,
+    jj_count: u32,
+}
+
+impl Component {
+    /// Looks up the Table 2 (and Sec. 2/4) characterization of a component.
+    #[must_use]
+    pub fn of(kind: ComponentKind) -> Self {
+        // Latency / leakage / dynamic straight from Table 2; JJ counts from
+        // the schematics in Fig. 11 (splitter: 3 JJs; driver: 2-stage JTL;
+        // receiver: 3-stage JTL) and Fig. 1 (DFF: 2 JJs).
+        let (latency_ps, leak_uw, dyn_nw, jj_count) = match kind {
+            ComponentKind::Splitter => (7.0, 0.0, 0.15, 3),
+            ComponentKind::Driver => (3.5, 0.874, 0.181, 2),
+            ComponentKind::Receiver => (5.25, 0.0, 0.275, 3),
+            ComponentKind::NTron => (103.02, 8.8, 13.0, 0),
+            // SHIFT access latency is 0.02 ns/cell (Table 1): the DFF is the
+            // SHIFT cell, so its clock-to-q is 20 ps.
+            ComponentKind::Dff => (20.0, 0.0, 0.005, 2),
+            // "Both a nTron and a level-driven DC/SFQ converter can complete
+            // a conversion around 0.1 ns" (Sec. 4.2.2).
+            ComponentKind::DcSfqConverter => (100.0, 1.2, 2.0, 4),
+        };
+        Self {
+            kind,
+            latency: Time::from_ps(latency_ps),
+            leakage: Power::from_uw(leak_uw),
+            dynamic: Power::from_nw(dyn_nw),
+            jj_count,
+        }
+    }
+
+    /// Which component this characterizes.
+    #[must_use]
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// Propagation latency of one pulse through the component.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// Static (bias-network) power drawn even when idle.
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        self.leakage
+    }
+
+    /// Dynamic power at the reference activity (one pulse per clock at the
+    /// Table 2 characterization frequency of 10 GHz).
+    #[must_use]
+    pub fn dynamic_power(&self) -> Power {
+        self.dynamic
+    }
+
+    /// Number of Josephson junctions in the component (drives area).
+    #[must_use]
+    pub fn jj_count(&self) -> u32 {
+        self.jj_count
+    }
+
+    /// Dynamic energy of passing a single pulse: the JJ switching energy of
+    /// every junction in the component, plus the characterized dynamic power
+    /// integrated over the component latency (bias-network dissipation).
+    #[must_use]
+    pub fn energy_per_pulse(&self, jj: &JosephsonJunction) -> Energy {
+        let switching = jj.switching_energy() * f64::from(self.jj_count);
+        let bias = self.dynamic * self.latency;
+        switching + bias
+    }
+
+    /// Layout footprint, assuming each JJ plus its bias/inductor overhead
+    /// occupies ~13 F^2 (the SHIFT cell of Table 1 is 39 F^2 for a ~3-JJ
+    /// cell with clock entry). nTron is a nanowire device of ~25 F^2.
+    #[must_use]
+    pub fn area(&self, jj: &JosephsonJunction) -> Area {
+        let f2 = jj.area();
+        match self.kind {
+            ComponentKind::NTron => f2 * 25.0,
+            _ => f2 * (13.0 * f64::from(self.jj_count)),
+        }
+    }
+}
+
+/// A repeater: one driver plus one receiver, inserted to break a PTL into
+/// pipeline segments (Sec. 4.2.2: "inserting SFQ repeaters, each of which is
+/// composed of a driver and a receiver").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Repeater {
+    driver: Component,
+    receiver: Component,
+}
+
+impl Repeater {
+    /// Creates a repeater from the standard driver and receiver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            driver: Component::of(ComponentKind::Driver),
+            receiver: Component::of(ComponentKind::Receiver),
+        }
+    }
+
+    /// Combined propagation latency.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.driver.latency() + self.receiver.latency()
+    }
+
+    /// Combined leakage power.
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        self.driver.leakage() + self.receiver.leakage()
+    }
+
+    /// Energy of forwarding one pulse.
+    #[must_use]
+    pub fn energy_per_pulse(&self, jj: &JosephsonJunction) -> Energy {
+        self.driver.energy_per_pulse(jj) + self.receiver.energy_per_pulse(jj)
+    }
+
+    /// Layout footprint.
+    #[must_use]
+    pub fn area(&self, jj: &JosephsonJunction) -> Area {
+        self.driver.area(jj) + self.receiver.area(jj)
+    }
+}
+
+impl Default for Repeater {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A splitter unit (Fig. 11b): receiver at the input end, a splitter, and two
+/// drivers at the output ends. This is the H-Tree branching element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitterUnit {
+    receiver: Component,
+    splitter: Component,
+    driver: Component,
+}
+
+impl SplitterUnit {
+    /// Creates a splitter unit from the standard components.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            receiver: Component::of(ComponentKind::Receiver),
+            splitter: Component::of(ComponentKind::Splitter),
+            driver: Component::of(ComponentKind::Driver),
+        }
+    }
+
+    /// Latency from the input receiver to either output driver.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.receiver.latency() + self.splitter.latency() + self.driver.latency()
+    }
+
+    /// Total leakage: one receiver, one splitter, two drivers.
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        self.receiver.leakage() + self.splitter.leakage() + self.driver.leakage() * 2.0
+    }
+
+    /// Energy of one pulse traversing the unit (fan-out of two: both drivers
+    /// fire).
+    #[must_use]
+    pub fn energy_per_pulse(&self, jj: &JosephsonJunction) -> Energy {
+        self.receiver.energy_per_pulse(jj)
+            + self.splitter.energy_per_pulse(jj)
+            + self.driver.energy_per_pulse(jj) * 2.0
+    }
+
+    /// Layout footprint.
+    #[must_use]
+    pub fn area(&self, jj: &JosephsonJunction) -> Area {
+        self.receiver.area(jj) + self.splitter.area(jj) + self.driver.area(jj) * 2.0
+    }
+}
+
+impl Default for SplitterUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_encoded() {
+        let s = Component::of(ComponentKind::Splitter);
+        assert!((s.latency().as_ps() - 7.0).abs() < 1e-12);
+        assert!(s.leakage().is_zero());
+        assert!((s.dynamic_power().as_nw() - 0.15).abs() < 1e-12);
+
+        let d = Component::of(ComponentKind::Driver);
+        assert!((d.latency().as_ps() - 3.5).abs() < 1e-12);
+        assert!((d.leakage().as_uw() - 0.874).abs() < 1e-12);
+
+        let r = Component::of(ComponentKind::Receiver);
+        assert!((r.latency().as_ps() - 5.25).abs() < 1e-12);
+
+        let n = Component::of(ComponentKind::NTron);
+        assert!((n.latency().as_ps() - 103.02).abs() < 1e-12);
+        assert!((n.dynamic_power().as_nw() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dff_matches_shift_cell_latency() {
+        // Table 1: SHIFT access latency 0.02 ns.
+        let dff = Component::of(ComponentKind::Dff);
+        assert!((dff.latency().as_ns() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_stages_are_100ps_class() {
+        let ntron = Component::of(ComponentKind::NTron);
+        let dcsfq = Component::of(ComponentKind::DcSfqConverter);
+        assert!(ntron.latency().as_ns() > 0.09 && ntron.latency().as_ns() < 0.11);
+        assert!(dcsfq.latency().as_ns() > 0.09 && dcsfq.latency().as_ns() < 0.11);
+    }
+
+    #[test]
+    fn splitter_unit_latency_is_sum_of_path() {
+        let u = SplitterUnit::new();
+        // receiver 5.25 + splitter 7 + driver 3.5 = 15.75 ps
+        assert!((u.latency().as_ps() - 15.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splitter_unit_leakage_counts_two_drivers() {
+        let u = SplitterUnit::new();
+        assert!((u.leakage().as_uw() - 2.0 * 0.874).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeater_combines_driver_receiver() {
+        let r = Repeater::new();
+        assert!((r.latency().as_ps() - 8.75).abs() < 1e-9);
+        assert!((r.leakage().as_uw() - 0.874).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pulse_energy_is_atto_joule_scale() {
+        let jj = JosephsonJunction::hypres_ersfq();
+        let u = SplitterUnit::new();
+        let e = u.energy_per_pulse(&jj).as_aj();
+        // ~10 JJ switchings at ~0.2 aJ each plus bias dissipation.
+        assert!(e > 1.0 && e < 50.0, "got {e} aJ");
+    }
+
+    #[test]
+    fn areas_are_positive_and_ordered() {
+        let jj = JosephsonJunction::hypres_ersfq();
+        for kind in ComponentKind::ALL {
+            let c = Component::of(kind);
+            assert!(c.area(&jj).as_si() > 0.0, "{kind:?} has zero area");
+        }
+        let su = SplitterUnit::new();
+        let rep = Repeater::new();
+        assert!(su.area(&jj).as_si() > rep.area(&jj).as_si());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ComponentKind::NTron.name(), "nTron");
+        assert_eq!(ComponentKind::DcSfqConverter.name(), "DC/SFQ");
+    }
+}

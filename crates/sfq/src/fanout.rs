@@ -1,0 +1,264 @@
+//! Fan-out trees and the SFQ decoder cost model.
+//!
+//! SFQ gates can drive only one successor; a fan-out of `n` requires a binary
+//! tree of `n - 1` splitters (Sec. 2.1). This module prices those trees and
+//! builds the paper's SFQ decoder model: an `N`-to-`2^N` decoder needs
+//! `O(2^N)` splitters to distribute clock and address pulses, which is why an
+//! SFQ 4-to-16 decoder occupies 77K F^2 while a 28 nm CMOS equivalent needs
+//! only 23K F^2 (Sec. 2.1).
+
+use crate::components::{Component, ComponentKind};
+use crate::jj::JosephsonJunction;
+use crate::units::{Area, Energy, Power, Time};
+
+/// A binary tree of splitters that raises fan-out from 1 to `fanout`.
+///
+/// # Examples
+///
+/// ```
+/// use smart_sfq::fanout::SplitterTree;
+///
+/// let tree = SplitterTree::for_fanout(16);
+/// assert_eq!(tree.splitter_count(), 15);
+/// assert_eq!(tree.depth(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitterTree {
+    fanout: u64,
+}
+
+impl SplitterTree {
+    /// Builds the minimal splitter tree for the requested fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    #[must_use]
+    pub fn for_fanout(fanout: u64) -> Self {
+        assert!(fanout > 0, "fan-out must be positive");
+        Self { fanout }
+    }
+
+    /// Requested fan-out.
+    #[must_use]
+    pub fn fanout(&self) -> u64 {
+        self.fanout
+    }
+
+    /// Number of splitters: a binary tree with `fanout` leaves has
+    /// `fanout - 1` internal nodes.
+    #[must_use]
+    pub fn splitter_count(&self) -> u64 {
+        self.fanout - 1
+    }
+
+    /// Tree depth: `ceil(log2(fanout))`.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        if self.fanout <= 1 {
+            0
+        } else {
+            64 - (self.fanout - 1).leading_zeros()
+        }
+    }
+
+    /// Latency from root to any leaf (depth x splitter latency).
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        Component::of(ComponentKind::Splitter).latency() * f64::from(self.depth())
+    }
+
+    /// Energy of broadcasting one pulse to all leaves: every splitter fires.
+    #[must_use]
+    pub fn energy_per_broadcast(&self, jj: &JosephsonJunction) -> Energy {
+        Component::of(ComponentKind::Splitter).energy_per_pulse(jj) * self.splitter_count() as f64
+    }
+
+    /// Layout footprint of all splitters.
+    #[must_use]
+    pub fn area(&self, jj: &JosephsonJunction) -> Area {
+        Component::of(ComponentKind::Splitter).area(jj) * self.splitter_count() as f64
+    }
+
+    /// Total leakage (splitters have none in Table 2, so this is zero; kept
+    /// for interface symmetry with CMOS fan-out structures).
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        Component::of(ComponentKind::Splitter).leakage() * self.splitter_count() as f64
+    }
+}
+
+/// Cost model of an SFQ `address_bits`-to-`2^address_bits` decoder.
+///
+/// Structure (paper Fig. 3d): a clock-distribution splitter tree driving
+/// `2^N` NOR-based match lines, plus a per-input splitter tree that fans each
+/// address bit (and its complement) to half of the outputs. The dominant
+/// cost is `O(2^N)` splitters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SfqDecoder {
+    address_bits: u32,
+}
+
+impl SfqDecoder {
+    /// Creates a decoder for the given address width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address_bits` is zero or greater than 32.
+    #[must_use]
+    pub fn new(address_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&address_bits),
+            "address width must be in 1..=32"
+        );
+        Self { address_bits }
+    }
+
+    /// Address width `N`.
+    #[must_use]
+    pub fn address_bits(&self) -> u32 {
+        self.address_bits
+    }
+
+    /// Number of decoded outputs, `2^N`.
+    #[must_use]
+    pub fn outputs(&self) -> u64 {
+        1u64 << self.address_bits
+    }
+
+    /// Total splitter count: one clock tree over all outputs plus one tree
+    /// per address bit pair spanning half the outputs each.
+    #[must_use]
+    pub fn splitter_count(&self) -> u64 {
+        let outputs = self.outputs();
+        let clock_tree = SplitterTree::for_fanout(outputs).splitter_count();
+        let per_bit = SplitterTree::for_fanout((outputs / 2).max(1)).splitter_count();
+        clock_tree + 2 * u64::from(self.address_bits) * per_bit
+    }
+
+    /// Decode latency: clock tree depth plus one NOR stage (~2 splitter
+    /// latencies of margin, matching ~50 ps for a 4-to-16).
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        let tree = SplitterTree::for_fanout(self.outputs());
+        tree.latency() + Component::of(ComponentKind::Splitter).latency() * 2.0
+    }
+
+    /// Layout footprint. Each splitter occupies ~450 F^2 including its JTL
+    /// stubs and bias rails, and each output costs ~2800 F^2 for the NOR
+    /// latch, clock distribution and row wiring; calibrated so a 4-to-16
+    /// decoder lands at the NEC-measured 77K F^2 (Sec. 2.1).
+    #[must_use]
+    pub fn area(&self, jj: &JosephsonJunction) -> Area {
+        let f2 = jj.area();
+        let splitters = self.splitter_count() as f64 * 450.0;
+        let per_output = self.outputs() as f64 * 2_800.0;
+        f2 * (splitters + per_output)
+    }
+
+    /// Energy of one decode: address + clock pulses traverse every splitter
+    /// on one root-to-leaf path of each tree, plus one latch fires.
+    #[must_use]
+    pub fn energy_per_decode(&self, jj: &JosephsonJunction) -> Energy {
+        let splitter = Component::of(ComponentKind::Splitter);
+        let path_splitters =
+            f64::from(SplitterTree::for_fanout(self.outputs()).depth()) * (1.0 + f64::from(self.address_bits));
+        // The clock tree broadcasts to all outputs each decode.
+        let clock_broadcast =
+            splitter.energy_per_pulse(jj) * SplitterTree::for_fanout(self.outputs()).splitter_count() as f64;
+        splitter.energy_per_pulse(jj) * path_splitters + clock_broadcast
+            + jj.switching_energy() * 4.0
+    }
+}
+
+/// Area of a synthesized 28 nm CMOS `N`-to-`2^N` decoder in F^2 (the paper
+/// synthesized a 4-to-16 at 18.7 um^2 = 23K F^2 at F = 28 nm). Scales with
+/// output count.
+#[must_use]
+pub fn cmos_decoder_area_f2(address_bits: u32) -> f64 {
+    assert!((1..=32).contains(&address_bits), "address width must be in 1..=32");
+    // 23_000 F^2 at N = 4 (16 outputs) => ~1_437 F^2 per output.
+    let per_output = 23_000.0 / 16.0;
+    per_output * (1u64 << address_bits) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_tree_counts() {
+        assert_eq!(SplitterTree::for_fanout(1).splitter_count(), 0);
+        assert_eq!(SplitterTree::for_fanout(2).splitter_count(), 1);
+        assert_eq!(SplitterTree::for_fanout(16).splitter_count(), 15);
+        assert_eq!(SplitterTree::for_fanout(5).splitter_count(), 4);
+    }
+
+    #[test]
+    fn splitter_tree_depths() {
+        assert_eq!(SplitterTree::for_fanout(1).depth(), 0);
+        assert_eq!(SplitterTree::for_fanout(2).depth(), 1);
+        assert_eq!(SplitterTree::for_fanout(3).depth(), 2);
+        assert_eq!(SplitterTree::for_fanout(16).depth(), 4);
+        assert_eq!(SplitterTree::for_fanout(17).depth(), 5);
+    }
+
+    #[test]
+    fn tree_latency_is_depth_times_7ps() {
+        let t = SplitterTree::for_fanout(256);
+        assert!((t.latency().as_ps() - 8.0 * 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decoder_splitter_count_is_order_2n() {
+        let d = SfqDecoder::new(4);
+        let outputs = d.outputs() as f64;
+        let count = d.splitter_count() as f64;
+        assert!(count > outputs, "O(2^N) splitters expected");
+        assert!(count < outputs * 10.0);
+    }
+
+    #[test]
+    fn sfq_4to16_decoder_near_77k_f2() {
+        let jj = JosephsonJunction::hypres_ersfq();
+        let d = SfqDecoder::new(4);
+        let f2 = d.area(&jj).as_si() / jj.area().as_si();
+        assert!(
+            (60_000.0..=95_000.0).contains(&f2),
+            "expected ~77K F^2, got {f2}"
+        );
+    }
+
+    #[test]
+    fn sfq_decoder_larger_than_cmos() {
+        // Sec. 2.1: "A SFQ decoder is larger than its CMOS counterpart by
+        // multiple times, even if JJ can be scaled to the same size of a
+        // transistor."
+        let jj = JosephsonJunction::hypres_ersfq();
+        let d = SfqDecoder::new(4);
+        let sfq_f2 = d.area(&jj).as_si() / jj.area().as_si();
+        let cmos_f2 = cmos_decoder_area_f2(4);
+        assert!(sfq_f2 > 2.0 * cmos_f2);
+    }
+
+    #[test]
+    fn decoder_energy_positive_and_grows() {
+        let jj = JosephsonJunction::hypres_ersfq();
+        let e4 = SfqDecoder::new(4).energy_per_decode(&jj);
+        let e8 = SfqDecoder::new(8).energy_per_decode(&jj);
+        assert!(e4.as_si() > 0.0);
+        assert!(e8.as_si() > e4.as_si());
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out must be positive")]
+    fn zero_fanout_panics() {
+        let _ = SplitterTree::for_fanout(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "address width must be in 1..=32")]
+    fn zero_address_bits_panics() {
+        let _ = SfqDecoder::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! A PTL "hop": a splitter unit driving a PTL of a given length.
+//!
+//! This is the exact structure the paper characterizes in Fig. 13 to
+//! validate its SFQ H-Tree model against JoSIM: a pulse enters the splitter
+//! unit's receiver, is split, leaves through one driver, and traverses a PTL
+//! of length `l` to the next receiver. The crate-level analytic model here is
+//! what `smart-josim` cross-checks with a transient circuit simulation.
+
+use crate::components::SplitterUnit;
+use crate::jj::JosephsonJunction;
+use crate::ptl::{PtlGeometry, PtlLine};
+use crate::units::{Energy, Frequency, Length, Time};
+
+/// A splitter unit plus its outgoing PTL segment (one H-Tree hop).
+///
+/// # Examples
+///
+/// ```
+/// use smart_sfq::hop::PtlHop;
+/// use smart_sfq::units::Length;
+///
+/// let hop = PtlHop::new(Length::from_mm(0.5));
+/// // Fig. 13a: tens-of-GHz resonance-limited operating frequency.
+/// assert!(hop.max_operating_frequency().as_ghz() > 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtlHop {
+    unit: SplitterUnit,
+    line: PtlLine,
+}
+
+impl PtlHop {
+    /// Creates a hop with the default Hypres micro-strip geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn new(length: Length) -> Self {
+        Self::with_geometry(PtlGeometry::hypres_microstrip(), length)
+    }
+
+    /// Creates a hop with a custom PTL geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn with_geometry(geometry: PtlGeometry, length: Length) -> Self {
+        Self {
+            unit: SplitterUnit::new(),
+            line: geometry.line(length),
+        }
+    }
+
+    /// The PTL segment.
+    #[must_use]
+    pub fn line(&self) -> &PtlLine {
+        &self.line
+    }
+
+    /// The splitter unit.
+    #[must_use]
+    pub fn unit(&self) -> &SplitterUnit {
+        &self.unit
+    }
+
+    /// Latency of a pulse from the unit's input receiver to the far end of
+    /// the PTL (the measurement of Fig. 13a: "from the top driver to the
+    /// bottom right receiver").
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.unit.latency() + self.line.delay()
+    }
+
+    /// Maximum pipelined operating frequency, limited by the PTL resonance
+    /// rule (90% of `1 / (2T + t0)`).
+    #[must_use]
+    pub fn max_operating_frequency(&self) -> Frequency {
+        self.line.max_operating_frequency()
+    }
+
+    /// Per-pulse energy when the hop runs at its maximum operating
+    /// frequency: component switching energy, line termination loss, and the
+    /// bias (static) power of the unit integrated over one clock period.
+    ///
+    /// The static share is what gives Fig. 13b its length dependence: longer
+    /// PTLs force a lower clock, so each pulse absorbs more bias energy.
+    #[must_use]
+    pub fn energy_per_pulse(&self, jj: &JosephsonJunction) -> Energy {
+        self.energy_per_pulse_at(jj, self.max_operating_frequency())
+    }
+
+    /// Per-pulse energy at an explicit operating frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock` is zero.
+    #[must_use]
+    pub fn energy_per_pulse_at(&self, jj: &JosephsonJunction, clock: Frequency) -> Energy {
+        let dynamic = self.unit.energy_per_pulse(jj) + self.line.energy_per_pulse();
+        let static_share = self.unit.leakage() * clock.period();
+        dynamic + static_share
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_length() {
+        let short = PtlHop::new(Length::from_mm(0.05));
+        let long = PtlHop::new(Length::from_mm(1.0));
+        assert!(long.latency().as_si() > short.latency().as_si());
+        // Unit latency floor: 15.75 ps.
+        assert!(short.latency().as_ps() > 15.75);
+    }
+
+    #[test]
+    fn fig13a_frequency_band() {
+        // Paper Fig. 13a: ~90-100 GHz at 0.01 mm falling toward ~30 GHz by
+        // ~0.8 mm.
+        let f_short = PtlHop::new(Length::from_mm(0.01)).max_operating_frequency();
+        let f_long = PtlHop::new(Length::from_mm(0.8)).max_operating_frequency();
+        assert!(
+            f_short.as_ghz() > 75.0 && f_short.as_ghz() < 110.0,
+            "short: {}",
+            f_short.as_ghz()
+        );
+        assert!(
+            f_long.as_ghz() > 25.0 && f_long.as_ghz() < 50.0,
+            "long: {}",
+            f_long.as_ghz()
+        );
+    }
+
+    #[test]
+    fn fig13b_energy_band() {
+        // Paper Fig. 13b: ~2.4e-5 nJ (24 aJ) at 0.01 mm rising to
+        // ~4.4e-5 nJ (44 aJ) by 1 mm.
+        let jj = JosephsonJunction::hypres_ersfq();
+        let e_short = PtlHop::new(Length::from_mm(0.01)).energy_per_pulse(&jj);
+        let e_long = PtlHop::new(Length::from_mm(1.0)).energy_per_pulse(&jj);
+        assert!(
+            e_short.as_aj() > 10.0 && e_short.as_aj() < 40.0,
+            "short: {} aJ",
+            e_short.as_aj()
+        );
+        assert!(
+            e_long.as_aj() > 30.0 && e_long.as_aj() < 80.0,
+            "long: {} aJ",
+            e_long.as_aj()
+        );
+        assert!(e_long.as_si() > e_short.as_si());
+    }
+
+    #[test]
+    fn slower_clock_costs_more_energy_per_pulse() {
+        let jj = JosephsonJunction::hypres_ersfq();
+        let hop = PtlHop::new(Length::from_mm(0.2));
+        let fast = hop.energy_per_pulse_at(&jj, Frequency::from_ghz(50.0));
+        let slow = hop.energy_per_pulse_at(&jj, Frequency::from_ghz(10.0));
+        assert!(slow.as_si() > fast.as_si());
+    }
+}

@@ -1,0 +1,153 @@
+//! Josephson transmission line (JTL) model.
+//!
+//! A JTL is an *active* interconnect: a chain of bias-fed JJs that regenerate
+//! the SFQ pulse stage by stage. It is convenient for short hops (no
+//! driver/receiver needed) but, compared to a PTL, its delay grows with a
+//! much larger slope and it burns ~100x more energy on long lines
+//! (paper Fig. 2 and Sec. 2.1).
+
+use crate::jj::JosephsonJunction;
+use crate::units::{Area, Energy, Length, Power, Time};
+
+/// A JTL segment of a given length.
+///
+/// # Examples
+///
+/// ```
+/// use smart_sfq::jtl::Jtl;
+/// use smart_sfq::units::Length;
+///
+/// let jtl = Jtl::new(Length::from_um(100.0));
+/// assert!(jtl.stages() >= 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jtl {
+    length: Length,
+    stage_pitch: Length,
+    stage_delay: Time,
+}
+
+impl Jtl {
+    /// Stage pitch of the Hypres ERSFQ process: one JJ stage per ~10 um.
+    pub const DEFAULT_STAGE_PITCH_UM: f64 = 10.0;
+    /// Per-stage delay: ~2 ps per JJ stage.
+    pub const DEFAULT_STAGE_DELAY_PS: f64 = 2.0;
+
+    /// Creates a JTL with default Hypres ERSFQ stage parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn new(length: Length) -> Self {
+        Self::with_stages(
+            length,
+            Length::from_um(Self::DEFAULT_STAGE_PITCH_UM),
+            Time::from_ps(Self::DEFAULT_STAGE_DELAY_PS),
+        )
+    }
+
+    /// Creates a JTL with custom stage pitch and per-stage delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    #[must_use]
+    pub fn with_stages(length: Length, stage_pitch: Length, stage_delay: Time) -> Self {
+        assert!(length.as_si() > 0.0, "JTL length must be positive");
+        assert!(stage_pitch.as_si() > 0.0, "stage pitch must be positive");
+        assert!(stage_delay.as_si() > 0.0, "stage delay must be positive");
+        Self {
+            length,
+            stage_pitch,
+            stage_delay,
+        }
+    }
+
+    /// Physical length.
+    #[must_use]
+    pub fn length(&self) -> Length {
+        self.length
+    }
+
+    /// Number of JJ stages (at least one).
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        (self.length.as_si() / self.stage_pitch.as_si()).ceil().max(1.0) as u32
+    }
+
+    /// End-to-end propagation latency.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.stage_delay * f64::from(self.stages())
+    }
+
+    /// Energy of forwarding one pulse: every stage JJ switches once, and the
+    /// resistive bias-feeding network of each stage dissipates ~9x the bare
+    /// switching energy while the pulse transits (this is what makes a long
+    /// JTL ~100x more expensive than a PTL, paper Sec. 2.1).
+    #[must_use]
+    pub fn energy_per_pulse(&self, jj: &JosephsonJunction) -> Energy {
+        jj.switching_energy() * (10.0 * f64::from(self.stages()))
+    }
+
+    /// Static bias power (ERSFQ biasing still burns a small per-stage static
+    /// current through the feeding network: ~0.4 uW per stage).
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        Power::from_uw(0.4) * f64::from(self.stages())
+    }
+
+    /// Layout footprint: each stage is a JJ plus bias inductor, ~26 F^2.
+    #[must_use]
+    pub fn area(&self, jj: &JosephsonJunction) -> Area {
+        jj.area() * (26.0 * f64::from(self.stages()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_count_rounds_up() {
+        let jtl = Jtl::new(Length::from_um(95.0));
+        assert_eq!(jtl.stages(), 10);
+        let jtl = Jtl::new(Length::from_um(1.0));
+        assert_eq!(jtl.stages(), 1);
+    }
+
+    #[test]
+    fn latency_linear_in_stage_count() {
+        let jtl = Jtl::new(Length::from_um(200.0));
+        assert!((jtl.latency().as_ps() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jtl_energy_exceeds_ptl_energy_on_long_lines() {
+        use crate::ptl::PtlGeometry;
+        let jj = JosephsonJunction::hypres_ersfq();
+        let length = Length::from_mm(1.0);
+        let jtl_e = Jtl::new(length).energy_per_pulse(&jj);
+        let ptl_e = PtlGeometry::hypres_microstrip().line(length).energy_per_pulse();
+        // Paper: "To implement a long line, a JTL consumes 100x more energy
+        // than a PTL."
+        let ratio = jtl_e.as_si() / ptl_e.as_si();
+        assert!(ratio > 50.0, "got ratio {ratio}");
+    }
+
+    #[test]
+    fn jtl_slower_than_ptl_per_length() {
+        use crate::ptl::PtlGeometry;
+        let length = Length::from_mm(1.0);
+        let jtl_t = Jtl::new(length).latency();
+        let ptl_t = PtlGeometry::hypres_microstrip().line(length).delay();
+        assert!(jtl_t.as_si() > ptl_t.as_si() * 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "JTL length must be positive")]
+    fn zero_length_panics() {
+        let _ = Jtl::new(Length::from_um(0.0));
+    }
+}

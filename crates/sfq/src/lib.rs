@@ -1,0 +1,46 @@
+//! Superconductor single-flux-quantum (SFQ) device and interconnect models.
+//!
+//! This crate is the bottom layer of the SMART reproduction (MICRO 2021,
+//! Zokaee & Jiang): it models the Josephson junction, the SFQ component
+//! library of the paper's Table 2 (splitter, PTL driver/receiver, nTron,
+//! DFF, DC/SFQ converter), micro-strip passive transmission lines with the
+//! paper's Equations 1-4, Josephson transmission lines, fan-out splitter
+//! trees, and the SFQ-vs-CMOS wire comparison of Fig. 2.
+//!
+//! # Quick start
+//!
+//! ```
+//! use smart_sfq::jj::JosephsonJunction;
+//! use smart_sfq::ptl::PtlGeometry;
+//! use smart_sfq::units::Length;
+//!
+//! // Price a 1 mm PTL hop in the Hypres ERSFQ process.
+//! let line = PtlGeometry::hypres_microstrip().line(Length::from_mm(1.0));
+//! println!("delay = {:.2} ps", line.delay().as_ps());
+//! println!("f_max = {:.1} GHz", line.max_operating_frequency().as_ghz());
+//!
+//! // Energy scale of the technology: ~1e-19 J per JJ switching.
+//! let jj = JosephsonJunction::hypres_ersfq();
+//! assert!(jj.switching_energy().as_j() < 1e-18);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod components;
+pub mod fanout;
+pub mod hop;
+pub mod jj;
+pub mod jtl;
+pub mod ptl;
+pub mod units;
+pub mod wire;
+
+pub use components::{Component, ComponentKind, Repeater, SplitterUnit};
+pub use hop::PtlHop;
+pub use fanout::{SfqDecoder, SplitterTree};
+pub use jj::JosephsonJunction;
+pub use jtl::Jtl;
+pub use ptl::{PtlGeometry, PtlLine, SegmentedPtl};
+pub use units::{Area, Energy, Frequency, Length, Power, Time};
+pub use wire::{CmosWire, WireDataPoint, WireTechnology};

@@ -1,0 +1,445 @@
+//! Micro-strip passive transmission line (PTL) model.
+//!
+//! Implements Equations 1-4 of the paper:
+//!
+//! * Eq. 1 — inductance per unit length, including the kinetic-inductance
+//!   correction from the penetration depths of the strip and ground plane:
+//!   `L = (mu0 * h / (K * w)) * (1 + (l1/h) coth(t1/l1) + (l2/h) coth(t2/l2))`
+//! * Eq. 2 — capacitance per unit length: `C = eps_r * eps0 * w / h`
+//! * Eq. 3 — impedance: `Z = sqrt(L / C)`
+//! * Eq. 4 — delay: `T = N * sqrt(L_sec * C_sec)` for `N` LC sections
+//!
+//! plus the resonance-frequency rule of Sec. 4.2.3: a PTL with a driver and a
+//! receiver resonates at `f = 1 / (2T + t0)` and may be operated at up to 90%
+//! of `f`; inserting repeaters shortens each segment and raises the usable
+//! frequency at the cost of power and area.
+
+use crate::components::Repeater;
+use crate::jj::JosephsonJunction;
+use crate::units::{Energy, Frequency, Length, Time};
+
+/// Permeability of free space (H/m).
+const MU0: f64 = 1.256_637_062e-6;
+/// Permittivity of free space (F/m).
+const EPS0: f64 = 8.854_187_812e-12;
+
+/// Geometry and material parameters of a superconducting micro-strip PTL.
+///
+/// The defaults describe a Nb micro-strip in the Hypres ERSFQ 1.0 um process
+/// (paper Sec. 4.2.3 / [Yohannes 2015]): 2 um wide strip over a 0.2 um SiO2
+/// dielectric, 0.2 um thick strip and ground plane, 90 nm Nb penetration
+/// depth.
+///
+/// # Examples
+///
+/// ```
+/// use smart_sfq::ptl::PtlGeometry;
+/// use smart_sfq::units::Length;
+///
+/// let geom = PtlGeometry::hypres_microstrip();
+/// let line = geom.line(Length::from_mm(1.0));
+/// // Propagation is a handful of ps/mm — two orders faster than CMOS RC.
+/// assert!(line.delay().as_ps() > 3.0 && line.delay().as_ps() < 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtlGeometry {
+    /// Line width `w`.
+    pub width: Length,
+    /// Dielectric thickness `h`.
+    pub dielectric_thickness: Length,
+    /// Strip thickness `t1`.
+    pub strip_thickness: Length,
+    /// Ground-plane thickness `t2`.
+    pub ground_thickness: Length,
+    /// Penetration depth of the strip `lambda1`.
+    pub strip_penetration: Length,
+    /// Penetration depth of the ground plane `lambda2`.
+    pub ground_penetration: Length,
+    /// Relative dielectric constant `eps_r` of the insulator.
+    pub dielectric_constant: f64,
+    /// Fringing-field factor `K` (>= 1).
+    pub fringing_factor: f64,
+}
+
+impl PtlGeometry {
+    /// Nb/SiO2 micro-strip of the Hypres ERSFQ process.
+    #[must_use]
+    pub fn hypres_microstrip() -> Self {
+        Self {
+            width: Length::from_um(2.0),
+            dielectric_thickness: Length::from_um(0.2),
+            strip_thickness: Length::from_um(0.2),
+            ground_thickness: Length::from_um(0.2),
+            strip_penetration: Length::from_nm(90.0),
+            ground_penetration: Length::from_nm(90.0),
+            dielectric_constant: 3.9,
+            fringing_factor: 1.0,
+        }
+    }
+
+    /// Inductance per unit length (H/m), Eq. 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometric parameter is non-positive.
+    #[must_use]
+    pub fn inductance_per_meter(&self) -> f64 {
+        self.validate();
+        let h = self.dielectric_thickness.as_m();
+        let w = self.width.as_m();
+        let l1 = self.strip_penetration.as_m();
+        let l2 = self.ground_penetration.as_m();
+        let t1 = self.strip_thickness.as_m();
+        let t2 = self.ground_thickness.as_m();
+        let kinetic = 1.0 + (l1 / h) * coth(t1 / l1) + (l2 / h) * coth(t2 / l2);
+        MU0 * h / (self.fringing_factor * w) * kinetic
+    }
+
+    /// Capacitance per unit length (F/m), Eq. 2.
+    #[must_use]
+    pub fn capacitance_per_meter(&self) -> f64 {
+        self.validate();
+        self.dielectric_constant * EPS0 * self.width.as_m() / self.dielectric_thickness.as_m()
+    }
+
+    /// Characteristic impedance (ohms), Eq. 3.
+    #[must_use]
+    pub fn impedance(&self) -> f64 {
+        (self.inductance_per_meter() / self.capacitance_per_meter()).sqrt()
+    }
+
+    /// Propagation delay per unit length (s/m): `sqrt(L*C)` in the
+    /// distributed limit of Eq. 4.
+    #[must_use]
+    pub fn delay_per_meter(&self) -> f64 {
+        (self.inductance_per_meter() * self.capacitance_per_meter()).sqrt()
+    }
+
+    /// A concrete line of the given length in this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn line(&self, length: Length) -> PtlLine {
+        PtlLine::new(*self, length)
+    }
+
+    fn validate(&self) {
+        assert!(self.width.as_si() > 0.0, "PTL width must be positive");
+        assert!(
+            self.dielectric_thickness.as_si() > 0.0,
+            "dielectric thickness must be positive"
+        );
+        assert!(
+            self.strip_thickness.as_si() > 0.0 && self.ground_thickness.as_si() > 0.0,
+            "conductor thickness must be positive"
+        );
+        assert!(
+            self.strip_penetration.as_si() > 0.0 && self.ground_penetration.as_si() > 0.0,
+            "penetration depth must be positive"
+        );
+        assert!(
+            self.dielectric_constant >= 1.0,
+            "relative permittivity must be >= 1"
+        );
+        assert!(self.fringing_factor >= 1.0, "fringing factor must be >= 1");
+    }
+}
+
+impl Default for PtlGeometry {
+    fn default() -> Self {
+        Self::hypres_microstrip()
+    }
+}
+
+fn coth(x: f64) -> f64 {
+    1.0 / x.tanh()
+}
+
+/// A PTL of a specific length, with the Sec. 4.2.3 driver/receiver timing
+/// rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtlLine {
+    geometry: PtlGeometry,
+    length: Length,
+}
+
+/// Per-pulse PTL dissipation per meter of line (J/m).
+///
+/// A lossless PTL itself dissipates nothing; the small per-length energy is
+/// the dielectric/termination loss of the pulse tail, ~2 aJ/mm. The
+/// length-dependent energy the paper measures in Fig. 13b is dominated by
+/// the driver/receiver bias energy per clock period instead (see
+/// [`PtlHop::energy_per_pulse`](crate::hop::PtlHop::energy_per_pulse)).
+const PTL_ENERGY_PER_METER: f64 = 2.0e-15;
+
+impl PtlLine {
+    /// Creates a line with the given geometry and length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn new(geometry: PtlGeometry, length: Length) -> Self {
+        assert!(length.as_si() > 0.0, "PTL length must be positive");
+        Self { geometry, length }
+    }
+
+    /// Geometry of the line.
+    #[must_use]
+    pub fn geometry(&self) -> &PtlGeometry {
+        &self.geometry
+    }
+
+    /// Physical length of the line.
+    #[must_use]
+    pub fn length(&self) -> Length {
+        self.length
+    }
+
+    /// One-way propagation delay `T`, Eq. 4.
+    #[must_use]
+    pub fn delay(&self) -> Time {
+        Time::from_s(self.geometry.delay_per_meter() * self.length.as_m())
+    }
+
+    /// Resonance frequency with a driver and receiver attached:
+    /// `f = 1 / (2T + t0)` where `t0` is the driver + receiver delay
+    /// (Sec. 4.2.3).
+    #[must_use]
+    pub fn resonance_frequency(&self) -> Frequency {
+        let t0 = Repeater::new().latency();
+        let t = self.delay();
+        Frequency::from_si(1.0 / (2.0 * t.as_s() + t0.as_s()))
+    }
+
+    /// Maximum safe operating frequency: 90% of the resonance frequency
+    /// ("the operating frequency of a PTL can be set to at most 90% of f").
+    #[must_use]
+    pub fn max_operating_frequency(&self) -> Frequency {
+        self.resonance_frequency() * 0.9
+    }
+
+    /// Energy dissipated by one pulse traversing the bare line (termination
+    /// loss; the line itself is lossless).
+    #[must_use]
+    pub fn energy_per_pulse(&self) -> Energy {
+        Energy::from_j(PTL_ENERGY_PER_METER * self.length.as_m())
+    }
+
+    /// Number of repeaters needed to operate this line at `target`:
+    /// each segment (with its driver/receiver) must individually satisfy the
+    /// 90%-of-resonance rule. Returns the minimal repeater count.
+    ///
+    /// Returns `None` if even an arbitrarily short segment cannot reach
+    /// `target` (i.e. the repeater delay floor `t0` already exceeds the
+    /// budget).
+    #[must_use]
+    pub fn repeaters_for_frequency(&self, target: Frequency) -> Option<u32> {
+        let t0 = Repeater::new().latency().as_s();
+        // Segment must satisfy 0.9 / (2*T_seg + t0) >= target
+        // => T_seg <= (0.9 / target - t0) / 2
+        let budget = (0.9 / target.as_si() - t0) / 2.0;
+        if budget <= 0.0 {
+            return None;
+        }
+        let seg_len_max = budget / self.geometry.delay_per_meter();
+        let segments = (self.length.as_m() / seg_len_max).ceil() as u32;
+        Some(segments.saturating_sub(1))
+    }
+
+    /// Splits the line into `segments` equal pieces (repeater insertion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    #[must_use]
+    pub fn segmented(&self, segments: u32) -> SegmentedPtl {
+        assert!(segments > 0, "segment count must be positive");
+        SegmentedPtl {
+            segment: PtlLine::new(self.geometry, self.length / f64::from(segments)),
+            segments,
+        }
+    }
+}
+
+/// A PTL broken into equal segments by repeater insertion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentedPtl {
+    segment: PtlLine,
+    segments: u32,
+}
+
+impl SegmentedPtl {
+    /// The per-segment line.
+    #[must_use]
+    pub fn segment(&self) -> &PtlLine {
+        &self.segment
+    }
+
+    /// Number of segments (repeater count is `segments - 1`).
+    #[must_use]
+    pub fn segments(&self) -> u32 {
+        self.segments
+    }
+
+    /// Number of inserted repeaters.
+    #[must_use]
+    pub fn repeaters(&self) -> u32 {
+        self.segments - 1
+    }
+
+    /// End-to-end latency: wire flight time plus repeater delays.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.segment.delay() * f64::from(self.segments)
+            + Repeater::new().latency() * f64::from(self.repeaters())
+    }
+
+    /// Maximum operating frequency, limited by the slowest (equal) segment.
+    #[must_use]
+    pub fn max_operating_frequency(&self) -> Frequency {
+        self.segment.max_operating_frequency()
+    }
+
+    /// Per-pulse energy: line termination loss plus repeater switching.
+    #[must_use]
+    pub fn energy_per_pulse(&self, jj: &JosephsonJunction) -> Energy {
+        self.segment.energy_per_pulse() * f64::from(self.segments)
+            + Repeater::new().energy_per_pulse(jj) * f64::from(self.repeaters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> PtlGeometry {
+        PtlGeometry::hypres_microstrip()
+    }
+
+    #[test]
+    fn inductance_includes_kinetic_term() {
+        let g = geom();
+        let with = g.inductance_per_meter();
+        // Strip the kinetic correction by making penetration depths tiny.
+        let mut bare = g;
+        bare.strip_penetration = Length::from_nm(0.001);
+        bare.ground_penetration = Length::from_nm(0.001);
+        let without = bare.inductance_per_meter();
+        assert!(with > without * 1.5, "kinetic inductance should dominate");
+    }
+
+    #[test]
+    fn impedance_in_microstrip_range() {
+        // Superconducting micro-strips are typically a few to tens of ohms.
+        let z = geom().impedance();
+        assert!(z > 1.0 && z < 100.0, "got {z} ohm");
+    }
+
+    #[test]
+    fn delay_scales_linearly_with_length() {
+        let g = geom();
+        let d1 = g.line(Length::from_mm(0.5)).delay();
+        let d2 = g.line(Length::from_mm(1.0)).delay();
+        assert!((d2.as_s() / d1.as_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propagation_slower_than_light_faster_than_tenth() {
+        let v = 1.0 / geom().delay_per_meter();
+        let c = 299_792_458.0;
+        assert!(v < c);
+        assert!(v > 0.05 * c);
+    }
+
+    #[test]
+    fn resonance_frequency_matches_fig13_range() {
+        // Fig. 13a: ~90-100 GHz at very short lengths, falling to ~30-40 GHz
+        // near 0.8 mm.
+        let g = geom();
+        let short = g.line(Length::from_mm(0.01)).resonance_frequency();
+        let long = g.line(Length::from_mm(0.8)).resonance_frequency();
+        assert!(
+            short.as_ghz() > 80.0 && short.as_ghz() < 130.0,
+            "short: {} GHz",
+            short.as_ghz()
+        );
+        assert!(
+            long.as_ghz() > 25.0 && long.as_ghz() < 60.0,
+            "long: {} GHz",
+            long.as_ghz()
+        );
+        assert!(short.as_si() > long.as_si());
+    }
+
+    #[test]
+    fn max_operating_is_90_percent_of_resonance() {
+        let line = geom().line(Length::from_mm(0.3));
+        let f = line.resonance_frequency();
+        let m = line.max_operating_frequency();
+        assert!((m.as_si() / f.as_si() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeater_insertion_raises_frequency() {
+        let line = geom().line(Length::from_mm(2.0));
+        let base = line.max_operating_frequency();
+        let seg = line.segmented(4);
+        assert!(seg.max_operating_frequency().as_si() > base.as_si());
+        assert_eq!(seg.repeaters(), 3);
+    }
+
+    #[test]
+    fn repeater_insertion_costs_latency_and_energy() {
+        let jj = JosephsonJunction::hypres_ersfq();
+        let line = geom().line(Length::from_mm(2.0));
+        let few = line.segmented(1);
+        let many = line.segmented(8);
+        assert!(many.latency().as_s() > few.latency().as_s());
+        assert!(many.energy_per_pulse(&jj).as_si() > few.energy_per_pulse(&jj).as_si());
+    }
+
+    #[test]
+    fn repeaters_for_frequency_achieves_target() {
+        let line = geom().line(Length::from_mm(3.0));
+        let target = Frequency::from_ghz(9.6);
+        let n = line.repeaters_for_frequency(target).expect("achievable");
+        let seg = line.segmented(n + 1);
+        assert!(seg.max_operating_frequency().as_si() >= target.as_si() * 0.999);
+        // Minimality: one fewer segment must not be enough (when n > 0).
+        if n > 0 {
+            let fewer = line.segmented(n);
+            assert!(fewer.max_operating_frequency().as_si() < target.as_si());
+        }
+    }
+
+    #[test]
+    fn impossible_frequency_returns_none() {
+        let line = geom().line(Length::from_mm(1.0));
+        // Repeater floor is 8.75 ps => ~102 GHz absolute ceiling even for
+        // zero-length segments.
+        assert!(line.repeaters_for_frequency(Frequency::from_ghz(200.0)).is_none());
+    }
+
+    #[test]
+    fn energy_scales_with_length() {
+        let g = geom();
+        let e1 = g.line(Length::from_mm(0.5)).energy_per_pulse();
+        let e2 = g.line(Length::from_mm(1.0)).energy_per_pulse();
+        assert!((e2.as_si() / e1.as_si() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "PTL length must be positive")]
+    fn zero_length_panics() {
+        let _ = geom().line(Length::from_mm(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment count must be positive")]
+    fn zero_segments_panics() {
+        let _ = geom().line(Length::from_mm(1.0)).segmented(0);
+    }
+}

@@ -1,0 +1,620 @@
+//! Strongly-typed physical quantities used throughout the SMART workspace.
+//!
+//! Every quantity is stored in SI base units (seconds, joules, watts, meters,
+//! square meters, hertz) inside a newtype, so that a picosecond can never be
+//! confused with a nanosecond and an attojoule can never be confused with a
+//! picojoule. Constructors and accessors exist for the unit scales the paper
+//! uses (ps/ns, fJ/pJ/aJ, um/mm, GHz).
+//!
+//! # Examples
+//!
+//! ```
+//! use smart_sfq::units::{Time, Energy, Power};
+//!
+//! let latency = Time::from_ps(103.02);
+//! assert!((latency.as_ns() - 0.10302).abs() < 1e-12);
+//!
+//! let e = Energy::from_fj(0.1) * 3.0;
+//! assert!((e.as_fj() - 0.3).abs() < 1e-12);
+//!
+//! // power * time = energy
+//! let p = Power::from_uw(8.8);
+//! let leak = p * Time::from_ns(10.0);
+//! assert!((leak.as_fj() - 88.0).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw SI value.
+            #[must_use]
+            pub const fn from_si(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw SI value.
+            #[must_use]
+            pub const fn as_si(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is exactly zero.
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Dimensionless ratio of two quantities of the same kind.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("use smart_sfq::units::", stringify!($name), ";")]
+            #[doc = concat!(
+                "let a = ", stringify!($name), "::from_si(4.0);"
+            )]
+            #[doc = concat!(
+                "let b = ", stringify!($name), "::from_si(2.0);"
+            )]
+            /// assert_eq!(a.ratio(b), 2.0);
+            /// ```
+            #[must_use]
+            pub fn ratio(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A time duration, stored in seconds.
+    Time,
+    "s"
+);
+quantity!(
+    /// An amount of energy, stored in joules.
+    Energy,
+    "J"
+);
+quantity!(
+    /// A power, stored in watts.
+    Power,
+    "W"
+);
+quantity!(
+    /// A one-dimensional length, stored in meters.
+    Length,
+    "m"
+);
+quantity!(
+    /// A two-dimensional area, stored in square meters.
+    Area,
+    "m^2"
+);
+quantity!(
+    /// A frequency, stored in hertz.
+    Frequency,
+    "Hz"
+);
+
+impl Time {
+    /// Creates a time from picoseconds.
+    #[must_use]
+    pub fn from_ps(ps: f64) -> Self {
+        Self(ps * 1e-12)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[must_use]
+    pub fn from_ns(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Creates a time from microseconds.
+    #[must_use]
+    pub fn from_us(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Creates a time from seconds.
+    #[must_use]
+    pub fn from_s(s: f64) -> Self {
+        Self(s)
+    }
+
+    /// Returns the value in picoseconds.
+    #[must_use]
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the value in nanoseconds.
+    #[must_use]
+    pub fn as_ns(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the value in microseconds.
+    #[must_use]
+    pub fn as_us(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the value in seconds.
+    #[must_use]
+    pub fn as_s(self) -> f64 {
+        self.0
+    }
+
+    /// Number of cycles this duration spans at `clock` frequency,
+    /// rounded up to a whole cycle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smart_sfq::units::{Frequency, Time};
+    /// let t = Time::from_ns(0.11);
+    /// let clk = Frequency::from_ghz(52.6);
+    /// assert_eq!(t.cycles_at(clk), 6); // 0.11 ns * 52.6 GHz = 5.79
+    /// ```
+    #[must_use]
+    pub fn cycles_at(self, clock: Frequency) -> u64 {
+        (self.0 * clock.as_si()).ceil() as u64
+    }
+}
+
+impl Energy {
+    /// Creates an energy from attojoules (1e-18 J).
+    #[must_use]
+    pub fn from_aj(aj: f64) -> Self {
+        Self(aj * 1e-18)
+    }
+
+    /// Creates an energy from femtojoules (1e-15 J).
+    #[must_use]
+    pub fn from_fj(fj: f64) -> Self {
+        Self(fj * 1e-15)
+    }
+
+    /// Creates an energy from picojoules (1e-12 J).
+    #[must_use]
+    pub fn from_pj(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Creates an energy from nanojoules (1e-9 J).
+    #[must_use]
+    pub fn from_nj(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Creates an energy from joules.
+    #[must_use]
+    pub fn from_j(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Returns the value in attojoules.
+    #[must_use]
+    pub fn as_aj(self) -> f64 {
+        self.0 * 1e18
+    }
+
+    /// Returns the value in femtojoules.
+    #[must_use]
+    pub fn as_fj(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Returns the value in picojoules.
+    #[must_use]
+    pub fn as_pj(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the value in nanojoules.
+    #[must_use]
+    pub fn as_nj(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the value in joules.
+    #[must_use]
+    pub fn as_j(self) -> f64 {
+        self.0
+    }
+}
+
+impl Power {
+    /// Creates a power from nanowatts.
+    #[must_use]
+    pub fn from_nw(nw: f64) -> Self {
+        Self(nw * 1e-9)
+    }
+
+    /// Creates a power from microwatts.
+    #[must_use]
+    pub fn from_uw(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_mw(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Creates a power from watts.
+    #[must_use]
+    pub fn from_w(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Returns the value in nanowatts.
+    #[must_use]
+    pub fn as_nw(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the value in microwatts.
+    #[must_use]
+    pub fn as_uw(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the value in milliwatts.
+    #[must_use]
+    pub fn as_mw(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the value in watts.
+    #[must_use]
+    pub fn as_w(self) -> f64 {
+        self.0
+    }
+}
+
+impl Length {
+    /// Creates a length from nanometers.
+    #[must_use]
+    pub fn from_nm(nm: f64) -> Self {
+        Self(nm * 1e-9)
+    }
+
+    /// Creates a length from micrometers.
+    #[must_use]
+    pub fn from_um(um: f64) -> Self {
+        Self(um * 1e-6)
+    }
+
+    /// Creates a length from millimeters.
+    #[must_use]
+    pub fn from_mm(mm: f64) -> Self {
+        Self(mm * 1e-3)
+    }
+
+    /// Returns the value in nanometers.
+    #[must_use]
+    pub fn as_nm(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the value in micrometers.
+    #[must_use]
+    pub fn as_um(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the value in millimeters.
+    #[must_use]
+    pub fn as_mm(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the value in meters.
+    #[must_use]
+    pub fn as_m(self) -> f64 {
+        self.0
+    }
+}
+
+impl Area {
+    /// Creates an area from square micrometers.
+    #[must_use]
+    pub fn from_um2(um2: f64) -> Self {
+        Self(um2 * 1e-12)
+    }
+
+    /// Creates an area from square millimeters.
+    #[must_use]
+    pub fn from_mm2(mm2: f64) -> Self {
+        Self(mm2 * 1e-6)
+    }
+
+    /// Returns the value in square micrometers.
+    #[must_use]
+    pub fn as_um2(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the value in square millimeters.
+    #[must_use]
+    pub fn as_mm2(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Frequency {
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Returns the value in gigahertz.
+    #[must_use]
+    pub fn as_ghz(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Returns the value in megahertz.
+    #[must_use]
+    pub fn as_mhz(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// Returns the clock period of this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Time {
+        assert!(self.0 > 0.0, "period of zero frequency");
+        Time(1.0 / self.0)
+    }
+}
+
+// Cross-quantity arithmetic that actually arises in the models.
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Length> for Length {
+    type Output = Area;
+    fn mul(self, rhs: Length) -> Area {
+        Area(self.0 * rhs.0)
+    }
+}
+
+impl Div<Frequency> for f64 {
+    type Output = Time;
+    fn div(self, rhs: Frequency) -> Time {
+        Time(self / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_round_trip() {
+        let t = Time::from_ps(250.0);
+        assert!((t.as_ns() - 0.25).abs() < 1e-12);
+        assert!((t.as_ps() - 250.0).abs() < 1e-9);
+        assert!((Time::from_ns(2.0).as_ps() - 2000.0).abs() < 1e-9);
+        assert!((Time::from_us(1.5).as_ns() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_conversions_round_trip() {
+        let e = Energy::from_fj(0.1);
+        assert!((e.as_aj() - 100.0).abs() < 1e-9);
+        assert!((Energy::from_pj(1.0).as_fj() - 1000.0).abs() < 1e-9);
+        assert!((Energy::from_nj(1.0).as_pj() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_mw(102.0) * Time::from_ns(1.0);
+        assert!((e.as_pj() - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_pj(40.0) / Time::from_ns(2.0);
+        assert!((p.as_mw() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_squared_is_area() {
+        let a = Length::from_um(3.0) * Length::from_um(4.0);
+        assert!((a.as_um2() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Frequency::from_ghz(52.6);
+        assert!((f.period().as_ps() - 19.0114068441).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Frequency::from_ghz(0.0).period();
+    }
+
+    #[test]
+    fn cycles_at_rounds_up() {
+        assert_eq!(Time::from_ns(0.02).cycles_at(Frequency::from_ghz(52.6)), 2);
+        assert_eq!(Time::ZERO.cycles_at(Frequency::from_ghz(52.6)), 0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Time::from_ps(10.0);
+        let b = Time::from_ps(5.0);
+        assert!(((a + b).as_ps() - 15.0).abs() < 1e-9);
+        assert!(((a - b).as_ps() - 5.0).abs() < 1e-9);
+        assert!(((a * 2.0).as_ps() - 20.0).abs() < 1e-9);
+        assert!(((a / 2.0).as_ps() - 5.0).abs() < 1e-9);
+        assert!((a / b - 2.0).abs() < 1e-12);
+        assert!((a.ratio(b) - 2.0).abs() < 1e-12);
+        assert!(((-a).as_ps() + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Time = (1..=4).map(|i| Time::from_ps(f64::from(i))).sum();
+        assert!((total.as_ps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Time::from_s(1.0)), "1 s");
+        assert_eq!(format!("{}", Power::from_w(2.0)), "2 W");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Energy::from_fj(1.0);
+        let b = Energy::from_fj(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((-1.0 * a).abs(), a);
+    }
+}

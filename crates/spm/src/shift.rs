@@ -1,0 +1,226 @@
+//! SHIFT-register SPM arrays (Sec. 2.2).
+//!
+//! A SHIFT array is a set of independent lanes, each a ring of serially
+//! connected DFF word-cells with a feedback loop. Every access shifts the
+//! whole lane by one word position:
+//!
+//! * sequential streaming runs at one word per lane per cycle (0.02 ns),
+//! * reaching a *different* position requires rotating through every
+//!   intervening cell — the paper's "moves many unnecessary bits", and
+//! * the energy of one access is the switching energy of **all** DFFs in
+//!   the lane, which is why SuperNPU's 384 KB lanes burn ~300 pJ per access
+//!   while SMART's 128 B lanes need ~0.1 pJ (Fig. 16).
+
+use smart_cryomem::array::SHIFT_EFFECTIVE_F2;
+use smart_cryomem::tech::MemoryTechnology;
+use smart_sfq::units::{Area, Energy, Power, Time};
+
+/// A banked SHIFT-register scratchpad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftArray {
+    capacity_bytes: u64,
+    banks: u32,
+}
+
+impl ShiftArray {
+    /// Creates a SHIFT array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or bank count is zero, or capacity is not
+    /// divisible by the bank count.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, banks: u32) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        assert!(banks > 0, "bank count must be positive");
+        assert!(
+            capacity_bytes.is_multiple_of(u64::from(banks)),
+            "capacity must divide evenly into banks"
+        );
+        Self {
+            capacity_bytes,
+            banks,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of independent lanes.
+    #[must_use]
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Words (bytes) per lane.
+    #[must_use]
+    pub fn lane_bytes(&self) -> u64 {
+        self.capacity_bytes / u64::from(self.banks)
+    }
+
+    /// Per-shift cycle time: the Table 1 SHIFT access latency (0.02 ns).
+    #[must_use]
+    pub fn cycle_time(&self) -> Time {
+        MemoryTechnology::Shift.parameters().read_latency
+    }
+
+    /// Streaming bandwidth: one word per lane per cycle.
+    #[must_use]
+    pub fn words_per_cycle(&self) -> u64 {
+        u64::from(self.banks)
+    }
+
+    /// Time to stream `words` sequential words across all lanes.
+    #[must_use]
+    pub fn stream_time(&self, words: u64) -> Time {
+        let cycles = words.div_ceil(self.words_per_cycle());
+        self.cycle_time() * cycles as f64
+    }
+
+    /// Time to rotate the lanes to a position `distance_bytes` away (spread
+    /// across lanes, capped at one full lane revolution).
+    #[must_use]
+    pub fn rotate_time(&self, distance_bytes: u64) -> Time {
+        let per_lane = (distance_bytes / u64::from(self.banks)).min(self.lane_bytes());
+        self.cycle_time() * per_lane as f64
+    }
+
+    /// Energy of one lane access: every bit cell in the lane shifts.
+    #[must_use]
+    pub fn energy_per_access(&self) -> Energy {
+        let cells = self.lane_bytes() * 8;
+        MemoryTechnology::Shift.parameters().read_energy * cells as f64
+    }
+
+    /// Fraction of a lane's cells that actually switch per streaming
+    /// access: the data alignment unit clock-gates the inactive segments,
+    /// so only ~1.5% of the lane toggles on a sequential word access.
+    /// Random-position accesses pay the full lane (see
+    /// [`ShiftArray::energy_per_access`] / [`ShiftArray::rotate_energy`]).
+    pub const STREAM_ACTIVITY: f64 = 0.015;
+
+    /// Energy of streaming `words` sequential words: each access shifts the
+    /// active segment of one lane ([`Self::STREAM_ACTIVITY`] of
+    /// [`ShiftArray::energy_per_access`]). This is why SuperNPU's long
+    /// lanes are energy-hungry even on sequential traffic while SMART's
+    /// 128 B staging lanes are ~99% cheaper (Fig. 16).
+    #[must_use]
+    pub fn stream_energy(&self, words: u64) -> Energy {
+        self.energy_per_access() * (Self::STREAM_ACTIVITY * words as f64)
+    }
+
+    /// Energy of a rotation: every skipped byte's eight bit-cells shift
+    /// across all lanes — the paper's "moves many unnecessary bits".
+    #[must_use]
+    pub fn rotate_energy(&self, distance_bytes: u64) -> Energy {
+        let per_lane = (distance_bytes / u64::from(self.banks)).min(self.lane_bytes());
+        let cells = per_lane * u64::from(self.banks) * 8;
+        MemoryTechnology::Shift.parameters().read_energy * cells as f64
+    }
+
+    /// ERSFQ SHIFT arrays have no static power (Table 1: leakage "no").
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        Power::ZERO
+    }
+
+    /// Layout area at the 28 nm JJ scaling assumption, including clock
+    /// splitters and feedback wiring.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        let f2 = 28e-9_f64 * 28e-9;
+        Area::from_si(self.capacity_bytes as f64 * 8.0 * SHIFT_EFFECTIVE_F2 * f2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * 1024;
+
+    fn supernpu_input() -> ShiftArray {
+        // SuperNPU: 24 MB input SHIFT buffer, 64 banks => 384 KB lanes.
+        ShiftArray::new(24 * MB, 64)
+    }
+
+    fn smart_shift() -> ShiftArray {
+        // SMART: 32 KB SHIFT arrays, 256 banks => 128 B lanes.
+        ShiftArray::new(32 * KB, 256)
+    }
+
+    #[test]
+    fn lane_sizes_match_paper_configs() {
+        assert_eq!(supernpu_input().lane_bytes(), 384 * KB);
+        assert_eq!(smart_shift().lane_bytes(), 128);
+        assert_eq!(ShiftArray::new(24 * MB, 256).lane_bytes(), 96 * KB);
+    }
+
+    #[test]
+    fn fig16_access_energy_scale() {
+        // 384 KB lane: ~3.1 M bit cells at 0.1 fJ => ~315 pJ.
+        let e384 = supernpu_input().energy_per_access();
+        assert!(
+            (250.0..=400.0).contains(&e384.as_pj()),
+            "384KB: {} pJ",
+            e384.as_pj()
+        );
+        // 96 KB lane: ~79 pJ.
+        let e96 = ShiftArray::new(24 * MB, 256).energy_per_access();
+        assert!((60.0..=100.0).contains(&e96.as_pj()), "96KB: {} pJ", e96.as_pj());
+        // 128 B lane: ~0.1 pJ — the paper's "reducing the access energy by
+        // 99%".
+        let e128 = smart_shift().energy_per_access();
+        assert!(
+            (0.05..=0.2).contains(&e128.as_pj()),
+            "128B: {} pJ",
+            e128.as_pj()
+        );
+        assert!(e128.as_si() < 0.01 * e96.as_si());
+    }
+
+    #[test]
+    fn streaming_runs_at_bank_parallelism() {
+        let a = smart_shift();
+        // 256 words stream in one cycle.
+        assert!((a.stream_time(256).as_ns() - 0.02).abs() < 1e-12);
+        assert!((a.stream_time(512).as_ns() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_costs_distance() {
+        let a = supernpu_input();
+        // Rotating 64 KB across 64 lanes = 1 KB per lane = 1024 cycles.
+        let t = a.rotate_time(64 * KB);
+        assert!((t.as_ns() - 1024.0 * 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_capped_at_full_revolution() {
+        let a = smart_shift();
+        let t_full = a.rotate_time(u64::MAX);
+        assert!((t_full.as_ns() - 128.0 * 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_leakage() {
+        assert!(supernpu_input().leakage().is_zero());
+    }
+
+    #[test]
+    fn area_scales_with_capacity() {
+        let small = smart_shift().area();
+        let big = supernpu_input().area();
+        assert!(big.as_si() > 100.0 * small.as_si());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must divide evenly")]
+    fn uneven_banks_panics() {
+        let _ = ShiftArray::new(100, 64);
+    }
+}

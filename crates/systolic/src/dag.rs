@@ -1,0 +1,271 @@
+//! The instruction DAG of a convolutional layer (Fig. 15) and memory-object
+//! extraction.
+//!
+//! A layer is unrolled into iterations (folds, possibly coarsened so the ILP
+//! stays tractable). Each iteration `n` is a `Read_Weights` node followed by
+//! a `Matrix_Multiply` node; edge `e_{2n}` enters `Read_Weights_n` and edge
+//! `e_{2n+1}` connects it to `Matrix_Multiply_n`. Edges are annotated with
+//! the memory objects that must be resident (or in flight) when the edge is
+//! crossed — weights for the next `a` iterations, inputs and PSums for the
+//! current and next `a-1` iterations, and the previous iteration's outputs.
+
+use crate::mapping::LayerMapping;
+use crate::trace::DataClass;
+
+/// TPU-style CISC instructions (Sec. 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Send a weight tile to the matrix unit.
+    ReadWeights {
+        /// Iteration index.
+        iteration: u32,
+    },
+    /// Stream inputs through the matrix unit into accumulators.
+    MatrixMultiply {
+        /// Iteration index.
+        iteration: u32,
+    },
+    /// Activations / pooling after the last iteration.
+    Activate,
+    /// DMA from host memory into the SPMs.
+    ReadHostMemory,
+    /// DMA from the SPMs to host memory.
+    WriteHostMemory,
+}
+
+/// A memory object: a multi-byte block with consecutive addresses, the
+/// granularity of SPM allocation (Sec. 4.3 "instead of 1-byte data...").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryObject {
+    /// Dense object id within the layer.
+    pub id: u32,
+    /// Data class (alpha/beta/gamma/delta).
+    pub class: DataClass,
+    /// Iteration that consumes (or produces) the object.
+    pub iteration: u32,
+    /// Object size in bytes.
+    pub bytes: u64,
+    /// Whether the object is written (PSums, outputs) as well as read.
+    pub written: bool,
+}
+
+/// One edge of the layer DAG with its live objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagEdge {
+    /// Edge index (`e_i` in the paper's notation).
+    pub index: u32,
+    /// Source node.
+    pub from: Instruction,
+    /// Destination node.
+    pub to: Instruction,
+    /// Objects that must be live on this edge (ids into
+    /// [`LayerDag::objects`]).
+    pub live_objects: Vec<u32>,
+}
+
+/// The unrolled DAG of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDag {
+    /// Number of iterations after coarsening.
+    pub iterations: u32,
+    /// Folds represented by each iteration.
+    pub folds_per_iteration: u64,
+    /// All memory objects of the layer.
+    pub objects: Vec<MemoryObject>,
+    /// Edges in execution order.
+    pub edges: Vec<DagEdge>,
+}
+
+impl LayerDag {
+    /// Builds the DAG for a mapping, coarsened to at most `max_iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` is zero.
+    #[must_use]
+    pub fn build(mapping: &LayerMapping, max_iterations: u32) -> Self {
+        assert!(max_iterations > 0, "max_iterations must be positive");
+        let folds = mapping.folds().max(1);
+        let iterations = folds.min(u64::from(max_iterations)) as u32;
+        let folds_per_iteration = folds.div_ceil(u64::from(iterations));
+
+        // Objects per iteration: one per class.
+        let weight_bytes = mapping.weight_tile_bytes * folds_per_iteration;
+        let input_bytes =
+            (mapping.live_input_bytes / u64::from(iterations)).max(1);
+        let psum_bytes = mapping.psum_write_words_per_fold.max(1);
+        let output_bytes = (mapping.live_output_bytes / u64::from(iterations)).max(1);
+
+        let mut objects = Vec::with_capacity(iterations as usize * 4);
+        let mut id = 0u32;
+        for n in 0..iterations {
+            for (class, bytes, written) in [
+                (DataClass::Weight, weight_bytes, false),
+                (DataClass::Input, input_bytes, false),
+                (DataClass::Psum, psum_bytes, true),
+                (DataClass::Output, output_bytes, true),
+            ] {
+                objects.push(MemoryObject {
+                    id,
+                    class,
+                    iteration: n,
+                    bytes,
+                    written,
+                });
+                id += 1;
+            }
+        }
+
+        let object_id =
+            |n: u32, class_idx: u32| -> u32 { n * 4 + class_idx };
+
+        let mut edges = Vec::with_capacity(iterations as usize * 2);
+        for n in 0..iterations {
+            // e_{2n}: entering Read_Weights_n. Live: this iteration's
+            // weights/inputs/psums plus the previous outputs.
+            let mut live = vec![
+                object_id(n, 0),
+                object_id(n, 1),
+                object_id(n, 2),
+            ];
+            if n > 0 {
+                live.push(object_id(n - 1, 3));
+            }
+            let from = if n == 0 {
+                Instruction::ReadHostMemory
+            } else {
+                Instruction::MatrixMultiply { iteration: n - 1 }
+            };
+            edges.push(DagEdge {
+                index: 2 * n,
+                from,
+                to: Instruction::ReadWeights { iteration: n },
+                live_objects: live,
+            });
+            // e_{2n+1}: Read_Weights_n -> Matrix_Multiply_n. Live: the
+            // compute set of iteration n.
+            edges.push(DagEdge {
+                index: 2 * n + 1,
+                from: Instruction::ReadWeights { iteration: n },
+                to: Instruction::MatrixMultiply { iteration: n },
+                live_objects: vec![object_id(n, 0), object_id(n, 1), object_id(n, 2), object_id(n, 3)],
+            });
+        }
+
+        Self {
+            iterations,
+            folds_per_iteration,
+            objects,
+            edges,
+        }
+    }
+
+    /// Objects of one class, in iteration order.
+    #[must_use]
+    pub fn objects_of(&self, class: DataClass) -> Vec<&MemoryObject> {
+        self.objects.iter().filter(|o| o.class == class).collect()
+    }
+
+    /// The object consumed by iteration `n` of a class, if any.
+    #[must_use]
+    pub fn object_at(&self, class: DataClass, iteration: u32) -> Option<&MemoryObject> {
+        self.objects
+            .iter()
+            .find(|o| o.class == class && o.iteration == iteration)
+    }
+
+    /// Total bytes of all objects of a class.
+    #[must_use]
+    pub fn class_bytes(&self, class: DataClass) -> u64 {
+        self.objects
+            .iter()
+            .filter(|o| o.class == class)
+            .map(|o| o.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvLayer;
+    use crate::mapping::{ArrayShape, LayerMapping};
+
+    fn dag_for(max_iters: u32) -> LayerDag {
+        let l = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let m = LayerMapping::map(&l, ArrayShape::new(64, 256), 1);
+        LayerDag::build(&m, max_iters)
+    }
+
+    #[test]
+    fn dag_has_two_edges_per_iteration() {
+        let dag = dag_for(16);
+        assert_eq!(dag.edges.len(), dag.iterations as usize * 2);
+    }
+
+    #[test]
+    fn coarsening_caps_iterations() {
+        let dag = dag_for(8);
+        assert_eq!(dag.iterations, 8);
+        // conv2 has 38 folds; 8 iterations cover ceil(38/8) = 5 folds each.
+        assert_eq!(dag.folds_per_iteration, 5);
+    }
+
+    #[test]
+    fn uncapped_dag_uses_fold_count() {
+        let dag = dag_for(1000);
+        assert_eq!(dag.iterations, 38);
+        assert_eq!(dag.folds_per_iteration, 1);
+    }
+
+    #[test]
+    fn four_objects_per_iteration() {
+        let dag = dag_for(8);
+        assert_eq!(dag.objects.len(), 32);
+        for class in DataClass::ALL {
+            assert_eq!(dag.objects_of(class).len(), 8);
+        }
+    }
+
+    #[test]
+    fn edge_structure_matches_fig15() {
+        let dag = dag_for(4);
+        // e_0 comes from host memory.
+        assert_eq!(dag.edges[0].from, Instruction::ReadHostMemory);
+        assert_eq!(dag.edges[0].to, Instruction::ReadWeights { iteration: 0 });
+        // e_1 links read-weights to matrix-multiply.
+        assert_eq!(dag.edges[1].from, Instruction::ReadWeights { iteration: 0 });
+        assert_eq!(dag.edges[1].to, Instruction::MatrixMultiply { iteration: 0 });
+        // e_2 links the previous multiply to the next read-weights.
+        assert_eq!(
+            dag.edges[2].from,
+            Instruction::MatrixMultiply { iteration: 0 }
+        );
+        // The previous iteration's output object is live on e_2.
+        let out0 = dag.object_at(DataClass::Output, 0).unwrap().id;
+        assert!(dag.edges[2].live_objects.contains(&out0));
+    }
+
+    #[test]
+    fn psum_and_output_objects_are_written() {
+        let dag = dag_for(4);
+        for o in &dag.objects {
+            let expect = matches!(o.class, DataClass::Psum | DataClass::Output);
+            assert_eq!(o.written, expect, "{:?}", o.class);
+        }
+    }
+
+    #[test]
+    fn class_bytes_positive() {
+        let dag = dag_for(8);
+        for class in DataClass::ALL {
+            assert!(dag.class_bytes(class) > 0, "{class:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_iterations must be positive")]
+    fn zero_iterations_panics() {
+        let _ = dag_for(0);
+    }
+}

@@ -1,0 +1,396 @@
+//! CNN layer descriptors and their GEMM view.
+//!
+//! A convolutional layer is a 6-nested loop; a weight-stationary systolic
+//! accelerator executes it as a GEMM via im2col:
+//!
+//! * `K = kh * kw * (in_c / groups)` — reduction dimension (array rows)
+//! * `M = out_c` — output channels (array columns)
+//! * `N = out_h * out_w * instances` — output pixels (streamed columns)
+//!
+//! Fully-connected layers are 1x1 convolutions over a 1x1 "image".
+
+/// The kind of a layer, for reporting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Standard (or grouped/depthwise) convolution.
+    Convolution,
+    /// Fully-connected layer.
+    FullyConnected,
+}
+
+/// One CNN layer as the accelerator sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvLayer {
+    /// Human-readable name, e.g. `"conv2_1"`.
+    pub name: String,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// Input feature-map height.
+    pub in_h: u32,
+    /// Input feature-map width.
+    pub in_w: u32,
+    /// Input channels.
+    pub in_c: u32,
+    /// Output channels.
+    pub out_c: u32,
+    /// Kernel height.
+    pub kernel_h: u32,
+    /// Kernel width.
+    pub kernel_w: u32,
+    /// Stride (same both dimensions).
+    pub stride: u32,
+    /// Symmetric zero padding.
+    pub padding: u32,
+    /// Channel groups (`in_c` for depthwise).
+    pub groups: u32,
+    /// How many times this layer runs per inference (e.g. per-proposal
+    /// detection heads). Multiplies `N`.
+    pub instances: u32,
+}
+
+impl ConvLayer {
+    /// Creates a standard convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `groups` does not divide `in_c`, or
+    /// the kernel (with padding) does not fit the input.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: &str,
+        in_h: u32,
+        in_w: u32,
+        in_c: u32,
+        out_c: u32,
+        kernel: u32,
+        stride: u32,
+        padding: u32,
+    ) -> Self {
+        Self::new(
+            name,
+            LayerKind::Convolution,
+            in_h,
+            in_w,
+            in_c,
+            out_c,
+            kernel,
+            kernel,
+            stride,
+            padding,
+            1,
+            1,
+        )
+    }
+
+    /// Creates a depthwise convolution (one filter per channel).
+    ///
+    /// # Panics
+    ///
+    /// As [`ConvLayer::conv`].
+    #[must_use]
+    pub fn depthwise(name: &str, in_h: u32, in_w: u32, channels: u32, kernel: u32, stride: u32, padding: u32) -> Self {
+        Self::new(
+            name,
+            LayerKind::Convolution,
+            in_h,
+            in_w,
+            channels,
+            channels,
+            kernel,
+            kernel,
+            stride,
+            padding,
+            channels,
+            1,
+        )
+    }
+
+    /// Creates a fully-connected layer (`inputs -> outputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` is zero.
+    #[must_use]
+    pub fn fully_connected(name: &str, inputs: u32, outputs: u32) -> Self {
+        Self::new(
+            name,
+            LayerKind::FullyConnected,
+            1,
+            1,
+            inputs,
+            outputs,
+            1,
+            1,
+            1,
+            0,
+            1,
+            1,
+        )
+    }
+
+    /// Creates a fully-connected layer executed `instances` times per
+    /// inference (e.g. per region proposal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    #[must_use]
+    pub fn fully_connected_x(name: &str, inputs: u32, outputs: u32, instances: u32) -> Self {
+        Self::new(
+            name,
+            LayerKind::FullyConnected,
+            1,
+            1,
+            inputs,
+            outputs,
+            1,
+            1,
+            1,
+            0,
+            1,
+            instances,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: &str,
+        kind: LayerKind,
+        in_h: u32,
+        in_w: u32,
+        in_c: u32,
+        out_c: u32,
+        kernel_h: u32,
+        kernel_w: u32,
+        stride: u32,
+        padding: u32,
+        groups: u32,
+        instances: u32,
+    ) -> Self {
+        assert!(!name.is_empty(), "layer name must not be empty");
+        assert!(in_h > 0 && in_w > 0 && in_c > 0 && out_c > 0, "dimensions must be positive");
+        assert!(kernel_h > 0 && kernel_w > 0 && stride > 0, "kernel/stride must be positive");
+        assert!(groups > 0 && in_c.is_multiple_of(groups), "groups must divide input channels");
+        assert!(out_c.is_multiple_of(groups), "groups must divide output channels");
+        assert!(instances > 0, "instances must be positive");
+        assert!(
+            in_h + 2 * padding >= kernel_h && in_w + 2 * padding >= kernel_w,
+            "kernel larger than padded input"
+        );
+        Self {
+            name: name.to_owned(),
+            kind,
+            in_h,
+            in_w,
+            in_c,
+            out_c,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            groups,
+            instances,
+        }
+    }
+
+    /// Output feature-map height.
+    #[must_use]
+    pub fn out_h(&self) -> u32 {
+        (self.in_h + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    #[must_use]
+    pub fn out_w(&self) -> u32 {
+        (self.in_w + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// GEMM reduction dimension `K` (per group).
+    #[must_use]
+    pub fn gemm_k(&self) -> u64 {
+        u64::from(self.kernel_h) * u64::from(self.kernel_w) * u64::from(self.in_c / self.groups)
+    }
+
+    /// GEMM output-channel dimension `M` (per group).
+    #[must_use]
+    pub fn gemm_m(&self) -> u64 {
+        u64::from(self.out_c / self.groups)
+    }
+
+    /// GEMM streamed dimension `N` for a batch of the given size.
+    #[must_use]
+    pub fn gemm_n(&self, batch: u32) -> u64 {
+        u64::from(self.out_h()) * u64::from(self.out_w()) * u64::from(self.instances) * u64::from(batch)
+    }
+
+    /// Multiply-accumulate operations for a batch.
+    #[must_use]
+    pub fn macs(&self, batch: u32) -> u64 {
+        self.gemm_k() * self.gemm_m() * self.gemm_n(batch) * u64::from(self.groups)
+    }
+
+    /// Weight parameter count (bytes at 1 byte/weight).
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        self.gemm_k() * self.gemm_m() * u64::from(self.groups)
+    }
+
+    /// Input feature-map bytes for a batch (1 byte/activation).
+    #[must_use]
+    pub fn input_bytes(&self, batch: u32) -> u64 {
+        u64::from(self.in_h) * u64::from(self.in_w) * u64::from(self.in_c)
+            * u64::from(self.instances)
+            * u64::from(batch)
+    }
+
+    /// Output feature-map bytes for a batch.
+    #[must_use]
+    pub fn output_bytes(&self, batch: u32) -> u64 {
+        self.gemm_n(batch) * u64::from(self.out_c)
+    }
+}
+
+/// A named CNN model: an ordered list of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnnModel {
+    /// Model name, e.g. `"AlexNet"`.
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<ConvLayer>,
+}
+
+impl CnnModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn new(name: &str, layers: Vec<ConvLayer>) -> Self {
+        assert!(!layers.is_empty(), "model must have at least one layer");
+        Self {
+            name: name.to_owned(),
+            layers,
+        }
+    }
+
+    /// Total MACs for one batch.
+    #[must_use]
+    pub fn total_macs(&self, batch: u32) -> u64 {
+        self.layers.iter().map(|l| l.macs(batch)).sum()
+    }
+
+    /// Total weight bytes.
+    #[must_use]
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::weight_bytes).sum()
+    }
+
+    /// The largest single-layer input feature map in bytes (sizing check
+    /// against SPM capacities).
+    #[must_use]
+    pub fn max_input_bytes(&self, batch: u32) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.input_bytes(batch))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        // AlexNet conv1: 227x227x3, 96 filters 11x11 stride 4 -> 55x55.
+        let l = ConvLayer::conv("conv1", 227, 227, 3, 96, 11, 4, 0);
+        assert_eq!(l.out_h(), 55);
+        assert_eq!(l.out_w(), 55);
+        assert_eq!(l.gemm_k(), 363);
+        assert_eq!(l.gemm_m(), 96);
+        assert_eq!(l.gemm_n(1), 3025);
+    }
+
+    #[test]
+    fn padded_conv_preserves_size() {
+        let l = ConvLayer::conv("c", 13, 13, 384, 384, 3, 1, 1);
+        assert_eq!(l.out_h(), 13);
+        assert_eq!(l.out_w(), 13);
+    }
+
+    #[test]
+    fn alexnet_macs_about_one_billion() {
+        // The five conv layers of AlexNet are ~0.66 GMAC; with FC ~0.72.
+        let conv1 = ConvLayer::conv("conv1", 227, 227, 3, 96, 11, 4, 0);
+        assert_eq!(conv1.macs(1), 363 * 96 * 3025);
+    }
+
+    #[test]
+    fn fc_is_1x1_gemm() {
+        let l = ConvLayer::fully_connected("fc6", 9216, 4096);
+        assert_eq!(l.gemm_k(), 9216);
+        assert_eq!(l.gemm_m(), 4096);
+        assert_eq!(l.gemm_n(1), 1);
+        assert_eq!(l.macs(1), 9216 * 4096);
+        assert_eq!(l.weight_bytes(), 9216 * 4096);
+    }
+
+    #[test]
+    fn depthwise_splits_channels() {
+        let l = ConvLayer::depthwise("dw", 112, 112, 64, 3, 1, 1);
+        assert_eq!(l.groups, 64);
+        assert_eq!(l.gemm_k(), 9);
+        assert_eq!(l.gemm_m(), 1);
+        // MACs = 112*112*64*9
+        assert_eq!(l.macs(1), 112 * 112 * 64 * 9);
+    }
+
+    #[test]
+    fn batch_scales_n_and_macs() {
+        let l = ConvLayer::conv("c", 56, 56, 64, 64, 3, 1, 1);
+        assert_eq!(l.gemm_n(4), 4 * l.gemm_n(1));
+        assert_eq!(l.macs(4), 4 * l.macs(1));
+        assert_eq!(l.weight_bytes(), l.gemm_k() * 64);
+    }
+
+    #[test]
+    fn instances_scale_n() {
+        let l = ConvLayer::fully_connected_x("head", 4096, 4096, 128);
+        assert_eq!(l.gemm_n(1), 128);
+    }
+
+    #[test]
+    fn model_aggregates() {
+        let m = CnnModel::new(
+            "tiny",
+            vec![
+                ConvLayer::conv("c1", 8, 8, 3, 8, 3, 1, 1),
+                ConvLayer::fully_connected("fc", 512, 10),
+            ],
+        );
+        assert_eq!(m.total_macs(1), m.layers[0].macs(1) + m.layers[1].macs(1));
+        assert!(m.total_weight_bytes() > 0);
+        assert_eq!(m.max_input_bytes(1), 512.max(8 * 8 * 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than padded input")]
+    fn oversized_kernel_panics() {
+        let _ = ConvLayer::conv("bad", 4, 4, 3, 8, 7, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_channel_depthwise_panics() {
+        let _ = ConvLayer::depthwise("dw", 8, 8, 0, 3, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "model must have at least one layer")]
+    fn empty_model_panics() {
+        let _ = CnnModel::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Weight-stationary mapping of a layer onto a systolic array (SCALE-SIM
+//! style).
+//!
+//! The GEMM is tiled into *folds*: `ceil(K / rows) * ceil(M / cols)` per
+//! group. Each fold deploys one `rows x cols` weight tile, streams `N`
+//! im2col columns through the array (`rows + cols + N - 2` cycles of
+//! pipeline fill, stream, and drain), and accumulates partial sums across
+//! the `K` folds.
+
+use crate::layer::ConvLayer;
+
+/// Systolic PE array dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayShape {
+    /// PE rows (reduction dimension).
+    pub rows: u32,
+    /// PE columns (output-channel dimension).
+    pub cols: u32,
+}
+
+impl ArrayShape {
+    /// Creates an array shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// Total PEs.
+    #[must_use]
+    pub fn pes(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+}
+
+/// The mapping of one layer at one batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerMapping {
+    /// Array shape used.
+    pub shape: ArrayShape,
+    /// Batch size.
+    pub batch: u32,
+    /// K-dimension folds per group.
+    pub k_folds: u64,
+    /// M-dimension folds per group.
+    pub m_folds: u64,
+    /// Channel groups (depthwise).
+    pub groups: u64,
+    /// Streamed columns per fold.
+    pub n: u64,
+    /// Compute cycles of one fold: `rows + cols + n - 2`.
+    pub cycles_per_fold: u64,
+    /// Total MACs.
+    pub macs: u64,
+    /// Bytes of live input data (unique) for the layer.
+    pub live_input_bytes: u64,
+    /// Bytes of live output/PSum data.
+    pub live_output_bytes: u64,
+    /// Bytes of weights.
+    pub weight_bytes: u64,
+    /// Weight-tile bytes per fold.
+    pub weight_tile_bytes: u64,
+    /// Input words streamed per fold (`n * active_rows`).
+    pub input_words_per_fold: u64,
+    /// PSum words read per fold (zero on the first K-fold of each M-fold).
+    pub psum_read_words_per_fold: u64,
+    /// PSum/output words written per fold.
+    pub psum_write_words_per_fold: u64,
+}
+
+impl LayerMapping {
+    /// Maps a layer onto an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn map(layer: &ConvLayer, shape: ArrayShape, batch: u32) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        let k = layer.gemm_k();
+        let m = layer.gemm_m();
+        let n = layer.gemm_n(batch);
+        let k_folds = k.div_ceil(u64::from(shape.rows));
+        let m_folds = m.div_ceil(u64::from(shape.cols));
+        let groups = u64::from(layer.groups);
+        let active_rows = k.min(u64::from(shape.rows));
+        let active_cols = m.min(u64::from(shape.cols));
+        let cycles_per_fold = u64::from(shape.rows) + u64::from(shape.cols) + n.max(1) - 2;
+        Self {
+            shape,
+            batch,
+            k_folds,
+            m_folds,
+            groups,
+            n,
+            cycles_per_fold,
+            macs: layer.macs(batch),
+            live_input_bytes: layer.input_bytes(batch),
+            live_output_bytes: layer.output_bytes(batch),
+            weight_bytes: layer.weight_bytes(),
+            weight_tile_bytes: active_rows * active_cols,
+            input_words_per_fold: n * active_rows,
+            psum_read_words_per_fold: n * active_cols,
+            psum_write_words_per_fold: n * active_cols,
+        }
+    }
+
+    /// Total folds across groups.
+    #[must_use]
+    pub fn folds(&self) -> u64 {
+        self.k_folds * self.m_folds * self.groups
+    }
+
+    /// Total compute cycles (matrix unit busy time).
+    #[must_use]
+    pub fn compute_cycles(&self) -> u64 {
+        self.folds() * self.cycles_per_fold
+    }
+
+    /// PE utilization if memory never stalled: MACs over PE-cycles.
+    #[must_use]
+    pub fn peak_utilization(&self) -> f64 {
+        self.macs as f64 / (self.compute_cycles() as f64 * self.shape.pes() as f64)
+    }
+
+    /// Folds whose PSum reads are skipped (the first K-fold of each M-fold
+    /// writes fresh partial sums).
+    #[must_use]
+    pub fn first_k_folds(&self) -> u64 {
+        self.m_folds * self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvLayer;
+
+    fn supernpu() -> ArrayShape {
+        ArrayShape::new(64, 256)
+    }
+
+    #[test]
+    fn fold_counts() {
+        // conv2 of AlexNet: K = 2400, M = 256, N = 729.
+        let l = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let m = LayerMapping::map(&l, supernpu(), 1);
+        assert_eq!(m.k_folds, 2400_u64.div_ceil(64));
+        assert_eq!(m.m_folds, 1);
+        assert_eq!(m.n, 729);
+        assert_eq!(m.cycles_per_fold, 64 + 256 + 729 - 2);
+    }
+
+    #[test]
+    fn compute_cycles_scale_with_folds() {
+        let l = ConvLayer::fully_connected("fc6", 9216, 4096);
+        let m = LayerMapping::map(&l, supernpu(), 1);
+        assert_eq!(m.k_folds, 144);
+        assert_eq!(m.m_folds, 16);
+        assert_eq!(m.folds(), 144 * 16);
+        assert_eq!(m.compute_cycles(), m.folds() * (64 + 256 + 1 - 2));
+    }
+
+    #[test]
+    fn batch_increases_n_not_folds() {
+        let l = ConvLayer::conv("c", 56, 56, 64, 64, 3, 1, 1);
+        let single = LayerMapping::map(&l, supernpu(), 1);
+        let batch = LayerMapping::map(&l, supernpu(), 8);
+        assert_eq!(single.folds(), batch.folds());
+        assert!(batch.n == 8 * single.n);
+        assert!(batch.peak_utilization() > single.peak_utilization());
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        for l in [
+            ConvLayer::conv("a", 224, 224, 3, 64, 3, 1, 1),
+            ConvLayer::fully_connected("b", 4096, 4096),
+            ConvLayer::depthwise("c", 56, 56, 128, 3, 1, 1),
+        ] {
+            let m = LayerMapping::map(&l, supernpu(), 4);
+            let u = m.peak_utilization();
+            assert!(u > 0.0 && u <= 1.0 + 1e-12, "{}: {u}", l.name);
+        }
+    }
+
+    #[test]
+    fn depthwise_has_poor_utilization() {
+        let l = ConvLayer::depthwise("dw", 56, 56, 128, 3, 1, 1);
+        let m = LayerMapping::map(&l, supernpu(), 1);
+        // K = 9 of 64 rows, M = 1 of 256 cols: utilization is tiny.
+        assert!(m.peak_utilization() < 0.01);
+        assert_eq!(m.groups, 128);
+    }
+
+    #[test]
+    fn weight_tile_capped_by_array() {
+        let l = ConvLayer::fully_connected("fc", 9216, 4096);
+        let m = LayerMapping::map(&l, supernpu(), 1);
+        assert_eq!(m.weight_tile_bytes, 64 * 256);
+    }
+
+    #[test]
+    fn small_layer_tile_smaller_than_array() {
+        let l = ConvLayer::conv("c1", 227, 227, 3, 96, 11, 4, 0);
+        let m = LayerMapping::map(&l, supernpu(), 1);
+        // K = 363 > 64 rows; M = 96 < 256 cols.
+        assert_eq!(m.weight_tile_bytes, 64 * 96);
+        assert_eq!(m.m_folds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_panics() {
+        let l = ConvLayer::conv("c", 8, 8, 3, 8, 3, 1, 1);
+        let _ = LayerMapping::map(&l, supernpu(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "array dimensions must be positive")]
+    fn zero_shape_panics() {
+        let _ = ArrayShape::new(0, 256);
+    }
+}

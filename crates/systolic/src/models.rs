@@ -1,0 +1,435 @@
+//! The six CNN models of the paper's evaluation (Sec. 5): AlexNet,
+//! FasterRCNN, GoogleNet, MobileNet, ResNet50, and VGG16.
+//!
+//! Only layer *shapes* matter to a systolic accelerator simulator — weights
+//! and image content do not affect cycle counts — so the zoo encodes the
+//! published layer dimensions of each network at 1 byte per value.
+
+use crate::layer::{CnnModel, ConvLayer};
+
+/// The model identifiers of the paper's evaluation, in figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// AlexNet (227x227 input).
+    AlexNet,
+    /// Faster R-CNN with a VGG16 backbone (600x800 input, 128 proposals).
+    FasterRcnn,
+    /// GoogleNet / Inception v1 (224x224 input).
+    GoogleNet,
+    /// MobileNet v1 (224x224 input).
+    MobileNet,
+    /// ResNet-50 (224x224 input).
+    ResNet50,
+    /// VGG-16 (224x224 input).
+    Vgg16,
+}
+
+impl ModelId {
+    /// All six models in the paper's figure order.
+    pub const ALL: [Self; 6] = [
+        Self::AlexNet,
+        Self::FasterRcnn,
+        Self::GoogleNet,
+        Self::MobileNet,
+        Self::ResNet50,
+        Self::Vgg16,
+    ];
+
+    /// Figure label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::AlexNet => "AlexNet",
+            Self::FasterRcnn => "FasterRCNN",
+            Self::GoogleNet => "GoogleNet",
+            Self::MobileNet => "MobileNet",
+            Self::ResNet50 => "ResNet50",
+            Self::Vgg16 => "VGG16",
+        }
+    }
+
+    /// Builds the layer list.
+    #[must_use]
+    pub fn build(self) -> CnnModel {
+        match self {
+            Self::AlexNet => alexnet(),
+            Self::FasterRcnn => faster_rcnn(),
+            Self::GoogleNet => googlenet(),
+            Self::MobileNet => mobilenet(),
+            Self::ResNet50 => resnet50(),
+            Self::Vgg16 => vgg16(),
+        }
+    }
+
+    /// Paper batch size for TPU/SMART (Sec. 5: AlexNet 22, VGG16 3, others
+    /// 20).
+    #[must_use]
+    pub fn smart_batch(self) -> u32 {
+        match self {
+            Self::AlexNet => 22,
+            Self::Vgg16 => 3,
+            _ => 20,
+        }
+    }
+
+    /// Paper batch size for SuperNPU (larger SPMs: VGG16 7, others 30).
+    #[must_use]
+    pub fn supernpu_batch(self) -> u32 {
+        match self {
+            Self::Vgg16 => 7,
+            _ => 30,
+        }
+    }
+}
+
+/// AlexNet: 5 conv + 3 FC layers (Krizhevsky 2012), ~61 M parameters and
+/// ~0.7 GMAC (the paper quotes 1.5 G multiply *or* accumulate operations).
+#[must_use]
+pub fn alexnet() -> CnnModel {
+    CnnModel::new(
+        "AlexNet",
+        vec![
+            ConvLayer::conv("conv1", 227, 227, 3, 96, 11, 4, 0),
+            ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2),
+            ConvLayer::conv("conv3", 13, 13, 256, 384, 3, 1, 1),
+            ConvLayer::conv("conv4", 13, 13, 384, 384, 3, 1, 1),
+            ConvLayer::conv("conv5", 13, 13, 384, 256, 3, 1, 1),
+            ConvLayer::fully_connected("fc6", 9216, 4096),
+            ConvLayer::fully_connected("fc7", 4096, 4096),
+            ConvLayer::fully_connected("fc8", 4096, 1000),
+        ],
+    )
+}
+
+/// VGG-16: thirteen 3x3 conv layers + 3 FC layers.
+#[must_use]
+pub fn vgg16() -> CnnModel {
+    let mut layers = Vec::new();
+    let blocks: [(u32, u32, u32, u32); 5] = [
+        // (spatial, in_c, out_c, convs)
+        (224, 3, 64, 2),
+        (112, 64, 128, 2),
+        (56, 128, 256, 3),
+        (28, 256, 512, 3),
+        (14, 512, 512, 3),
+    ];
+    for (bi, (hw, in_c, out_c, convs)) in blocks.into_iter().enumerate() {
+        for ci in 0..convs {
+            let ic = if ci == 0 { in_c } else { out_c };
+            layers.push(ConvLayer::conv(
+                &format!("conv{}_{}", bi + 1, ci + 1),
+                hw,
+                hw,
+                ic,
+                out_c,
+                3,
+                1,
+                1,
+            ));
+        }
+    }
+    layers.push(ConvLayer::fully_connected("fc6", 25088, 4096));
+    layers.push(ConvLayer::fully_connected("fc7", 4096, 4096));
+    layers.push(ConvLayer::fully_connected("fc8", 4096, 1000));
+    CnnModel::new("VGG16", layers)
+}
+
+/// One GoogleNet inception module: 1x1, 3x3-reduce + 3x3, 5x5-reduce + 5x5,
+/// and pool-projection branches.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    layers: &mut Vec<ConvLayer>,
+    name: &str,
+    hw: u32,
+    in_c: u32,
+    c1x1: u32,
+    c3r: u32,
+    c3: u32,
+    c5r: u32,
+    c5: u32,
+    pool_proj: u32,
+) {
+    layers.push(ConvLayer::conv(&format!("{name}/1x1"), hw, hw, in_c, c1x1, 1, 1, 0));
+    layers.push(ConvLayer::conv(&format!("{name}/3x3r"), hw, hw, in_c, c3r, 1, 1, 0));
+    layers.push(ConvLayer::conv(&format!("{name}/3x3"), hw, hw, c3r, c3, 3, 1, 1));
+    layers.push(ConvLayer::conv(&format!("{name}/5x5r"), hw, hw, in_c, c5r, 1, 1, 0));
+    layers.push(ConvLayer::conv(&format!("{name}/5x5"), hw, hw, c5r, c5, 5, 1, 2));
+    layers.push(ConvLayer::conv(&format!("{name}/pool"), hw, hw, in_c, pool_proj, 1, 1, 0));
+}
+
+/// GoogleNet / Inception v1: stem + 9 inception modules + classifier.
+#[must_use]
+pub fn googlenet() -> CnnModel {
+    let mut layers = vec![
+        ConvLayer::conv("conv1", 224, 224, 3, 64, 7, 2, 3),
+        ConvLayer::conv("conv2r", 56, 56, 64, 64, 1, 1, 0),
+        ConvLayer::conv("conv2", 56, 56, 64, 192, 3, 1, 1),
+    ];
+    inception(&mut layers, "3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    inception(&mut layers, "3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    inception(&mut layers, "4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    inception(&mut layers, "4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    inception(&mut layers, "4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    inception(&mut layers, "4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    inception(&mut layers, "4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    inception(&mut layers, "5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    inception(&mut layers, "5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    layers.push(ConvLayer::fully_connected("fc", 1024, 1000));
+    CnnModel::new("GoogleNet", layers)
+}
+
+/// MobileNet v1: standard stem conv plus 13 depthwise-separable blocks.
+#[must_use]
+pub fn mobilenet() -> CnnModel {
+    let mut layers = vec![ConvLayer::conv("conv1", 224, 224, 3, 32, 3, 2, 1)];
+    // (in_c, out_c, stride, input spatial)
+    let blocks: [(u32, u32, u32, u32); 13] = [
+        (32, 64, 1, 112),
+        (64, 128, 2, 112),
+        (128, 128, 1, 56),
+        (128, 256, 2, 56),
+        (256, 256, 1, 28),
+        (256, 512, 2, 28),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 1024, 2, 14),
+        (1024, 1024, 1, 7),
+    ];
+    for (i, (in_c, out_c, stride, hw)) in blocks.into_iter().enumerate() {
+        layers.push(ConvLayer::depthwise(
+            &format!("dw{}", i + 1),
+            hw,
+            hw,
+            in_c,
+            3,
+            stride,
+            1,
+        ));
+        let out_hw = hw / stride;
+        layers.push(ConvLayer::conv(
+            &format!("pw{}", i + 1),
+            out_hw,
+            out_hw,
+            in_c,
+            out_c,
+            1,
+            1,
+            0,
+        ));
+    }
+    layers.push(ConvLayer::fully_connected("fc", 1024, 1000));
+    CnnModel::new("MobileNet", layers)
+}
+
+/// One ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand (plus optional
+/// downsampling projection).
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    layers: &mut Vec<ConvLayer>,
+    name: &str,
+    hw: u32,
+    in_c: u32,
+    mid_c: u32,
+    out_c: u32,
+    stride: u32,
+    project: bool,
+) {
+    layers.push(ConvLayer::conv(&format!("{name}/a"), hw, hw, in_c, mid_c, 1, stride, 0));
+    let hw2 = hw / stride;
+    layers.push(ConvLayer::conv(&format!("{name}/b"), hw2, hw2, mid_c, mid_c, 3, 1, 1));
+    layers.push(ConvLayer::conv(&format!("{name}/c"), hw2, hw2, mid_c, out_c, 1, 1, 0));
+    if project {
+        layers.push(ConvLayer::conv(
+            &format!("{name}/proj"),
+            hw,
+            hw,
+            in_c,
+            out_c,
+            1,
+            stride,
+            0,
+        ));
+    }
+}
+
+/// ResNet-50: stem + 16 bottleneck blocks + classifier.
+#[must_use]
+pub fn resnet50() -> CnnModel {
+    let mut layers = vec![ConvLayer::conv("conv1", 224, 224, 3, 64, 7, 2, 3)];
+    // Stage 2: 56x56, 3 blocks.
+    bottleneck(&mut layers, "res2a", 56, 64, 64, 256, 1, true);
+    for b in ["res2b", "res2c"] {
+        bottleneck(&mut layers, b, 56, 256, 64, 256, 1, false);
+    }
+    // Stage 3: 4 blocks, downsample to 28.
+    bottleneck(&mut layers, "res3a", 56, 256, 128, 512, 2, true);
+    for b in ["res3b", "res3c", "res3d"] {
+        bottleneck(&mut layers, b, 28, 512, 128, 512, 1, false);
+    }
+    // Stage 4: 6 blocks, downsample to 14.
+    bottleneck(&mut layers, "res4a", 28, 512, 256, 1024, 2, true);
+    for b in ["res4b", "res4c", "res4d", "res4e", "res4f"] {
+        bottleneck(&mut layers, b, 14, 1024, 256, 1024, 1, false);
+    }
+    // Stage 5: 3 blocks, downsample to 7.
+    bottleneck(&mut layers, "res5a", 14, 1024, 512, 2048, 2, true);
+    for b in ["res5b", "res5c"] {
+        bottleneck(&mut layers, b, 7, 2048, 512, 2048, 1, false);
+    }
+    layers.push(ConvLayer::fully_connected("fc", 2048, 1000));
+    CnnModel::new("ResNet50", layers)
+}
+
+/// Faster R-CNN: VGG16 backbone at 600x800, region proposal network, and a
+/// per-proposal detection head (128 proposals).
+#[must_use]
+pub fn faster_rcnn() -> CnnModel {
+    let mut layers = Vec::new();
+    let blocks: [(u32, u32, u32, u32, u32); 5] = [
+        // (h, w, in_c, out_c, convs)
+        (600, 800, 3, 64, 2),
+        (300, 400, 64, 128, 2),
+        (150, 200, 128, 256, 3),
+        (75, 100, 256, 512, 3),
+        (37, 50, 512, 512, 3),
+    ];
+    let mut dims_in_c;
+    for (bi, (h, w, in_c, out_c, convs)) in blocks.into_iter().enumerate() {
+        dims_in_c = in_c;
+        for ci in 0..convs {
+            layers.push(ConvLayer {
+                name: format!("conv{}_{}", bi + 1, ci + 1),
+                ..ConvLayer::conv("x", 3, 3, dims_in_c, out_c, 3, 1, 1)
+            });
+            // Fix spatial dims (conv() helper is square; RCNN maps are not).
+            let l = layers.last_mut().expect("just pushed");
+            l.in_h = h;
+            l.in_w = w;
+            dims_in_c = out_c;
+        }
+    }
+    // Region proposal network on the 37x50 feature map.
+    let mut rpn = ConvLayer::conv("rpn/3x3", 3, 3, 512, 512, 3, 1, 1);
+    rpn.in_h = 37;
+    rpn.in_w = 50;
+    layers.push(rpn);
+    let mut rpn_cls = ConvLayer::conv("rpn/cls", 3, 3, 512, 18, 1, 1, 0);
+    rpn_cls.in_h = 37;
+    rpn_cls.in_w = 50;
+    layers.push(rpn_cls);
+    let mut rpn_box = ConvLayer::conv("rpn/bbox", 3, 3, 512, 36, 1, 1, 0);
+    rpn_box.in_h = 37;
+    rpn_box.in_w = 50;
+    layers.push(rpn_box);
+    // Detection head: per-proposal FCs over the 7x7x512 RoI.
+    layers.push(ConvLayer::fully_connected_x("head/fc6", 7 * 7 * 512, 4096, 128));
+    layers.push(ConvLayer::fully_connected_x("head/fc7", 4096, 4096, 128));
+    layers.push(ConvLayer::fully_connected_x("head/cls", 4096, 21, 128));
+    layers.push(ConvLayer::fully_connected_x("head/bbox", 4096, 84, 128));
+    CnnModel::new("FasterRCNN", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build() {
+        for id in ModelId::ALL {
+            let m = id.build();
+            assert_eq!(m.name, id.name());
+            assert!(!m.layers.is_empty(), "{} empty", id.name());
+        }
+    }
+
+    #[test]
+    fn alexnet_parameter_count_near_61m() {
+        // Paper Sec. 1: "61 million parameters".
+        let weights = alexnet().total_weight_bytes();
+        assert!(
+            (55_000_000..=65_000_000).contains(&weights),
+            "got {weights}"
+        );
+    }
+
+    #[test]
+    fn alexnet_mac_count_near_the_papers_1_5g_ops() {
+        // The paper quotes "1.5 billion MAC operations"; the ungrouped
+        // AlexNet we encode (no 2-GPU channel split) is ~1.13 GMAC, i.e.
+        // ~2.3 G individual multiply/add operations — same ballpark.
+        let macs = alexnet().total_macs(1);
+        assert!(
+            (1_000_000_000..=1_300_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn vgg16_macs_near_15_5g() {
+        let macs = vgg16().total_macs(1);
+        assert!(
+            (14_000_000_000..=16_500_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn resnet50_macs_near_4g() {
+        let macs = resnet50().total_macs(1);
+        assert!(
+            (3_500_000_000..=4_500_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn mobilenet_macs_near_0_57g() {
+        let macs = mobilenet().total_macs(1);
+        assert!(
+            (500_000_000..=650_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn googlenet_macs_near_1_5g() {
+        let macs = googlenet().total_macs(1);
+        assert!(
+            (1_300_000_000..=1_700_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn faster_rcnn_is_heaviest() {
+        let rcnn = faster_rcnn().total_macs(1);
+        for id in [ModelId::AlexNet, ModelId::GoogleNet, ModelId::MobileNet, ModelId::ResNet50, ModelId::Vgg16] {
+            assert!(rcnn > id.build().total_macs(1), "{} heavier", id.name());
+        }
+    }
+
+    #[test]
+    fn paper_batch_sizes() {
+        assert_eq!(ModelId::AlexNet.smart_batch(), 22);
+        assert_eq!(ModelId::Vgg16.smart_batch(), 3);
+        assert_eq!(ModelId::ResNet50.smart_batch(), 20);
+        assert_eq!(ModelId::Vgg16.supernpu_batch(), 7);
+        assert_eq!(ModelId::AlexNet.supernpu_batch(), 30);
+    }
+
+    #[test]
+    fn vgg16_has_13_convs_3_fcs() {
+        let m = vgg16();
+        assert_eq!(m.layers.len(), 16);
+    }
+
+    #[test]
+    fn resnet50_has_53_convs_and_fc() {
+        let m = resnet50();
+        // 1 stem + 16 blocks * 3 + 4 projections + 1 fc = 54.
+        assert_eq!(m.layers.len(), 54);
+    }
+}

@@ -1,0 +1,307 @@
+//! Memory-trace generation: the per-fold demand summary the SPM models
+//! consume, and the Fig. 6-style address-trace sample.
+//!
+//! A weight-stationary accelerator's SPM traffic has two very different
+//! components:
+//!
+//! * **streaming** — the im2col input columns, PSum read-modify-writes, and
+//!   weight-tile loads of each fold, which are sequential per bank lane, and
+//! * **realignments** — at fold boundaries the access position of each data
+//!   class jumps (back to the start of the input window, to the PSum block,
+//!   to the next weight tile). A SHIFT lane must *rotate through* the
+//!   intervening cells to reach the new position (the paper's "moves many
+//!   unnecessary bits"); a RANDOM array addresses it directly.
+
+use crate::layer::ConvLayer;
+use crate::mapping::{ArrayShape, LayerMapping};
+
+/// The four memory-object classes of the compiler (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataClass {
+    /// Weights (alpha).
+    Weight,
+    /// Inputs (beta).
+    Input,
+    /// Outputs (gamma).
+    Output,
+    /// Partial sums (delta).
+    Psum,
+}
+
+impl DataClass {
+    /// All classes in Table 3 order.
+    pub const ALL: [Self; 4] = [Self::Weight, Self::Input, Self::Output, Self::Psum];
+
+    /// The paper's Greek letter for the class.
+    #[must_use]
+    pub fn symbol(self) -> char {
+        match self {
+            Self::Weight => 'α',
+            Self::Input => 'β',
+            Self::Output => 'γ',
+            Self::Psum => 'δ',
+        }
+    }
+}
+
+/// One realignment event: a data class's access position jumps by
+/// `distance_bytes` within its live region at a fold boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Realignment {
+    /// Which class realigns.
+    pub class: DataClass,
+    /// How many times per layer it happens.
+    pub count: u64,
+    /// Jump distance in bytes (a SHIFT lane rotates through this much data
+    /// divided across its banks; a RANDOM array pays one access latency).
+    pub distance_bytes: u64,
+}
+
+/// Aggregate per-layer memory demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDemand {
+    /// Streaming words per class for the whole layer (reads).
+    pub stream_reads: [(DataClass, u64); 3],
+    /// Streaming words written (PSums and outputs).
+    pub stream_writes: [(DataClass, u64); 2],
+    /// Realignment events.
+    pub realignments: Vec<Realignment>,
+    /// Weight bytes that must come from DRAM (once per layer).
+    pub dram_weight_bytes: u64,
+    /// Input bytes from DRAM (first layer) or the previous layer's SPM.
+    pub dram_input_bytes: u64,
+    /// Output bytes eventually written towards DRAM/host.
+    pub dram_output_bytes: u64,
+}
+
+impl LayerDemand {
+    /// Derives the demand of a layer mapped onto an array.
+    #[must_use]
+    pub fn derive(layer: &ConvLayer, mapping: &LayerMapping) -> Self {
+        let folds = mapping.folds();
+        let stream_reads = [
+            (DataClass::Weight, mapping.weight_tile_bytes * folds),
+            (DataClass::Input, mapping.input_words_per_fold * folds),
+            (
+                DataClass::Psum,
+                mapping.psum_read_words_per_fold * (folds - mapping.first_k_folds()),
+            ),
+        ];
+        let stream_writes = [
+            (DataClass::Psum, mapping.psum_write_words_per_fold * folds),
+            (DataClass::Output, mapping.live_output_bytes),
+        ];
+
+        // Realignment distances: the live region each class's pointer must
+        // travel across at a fold boundary.
+        //   - inputs: back to the start of the im2col window — on average
+        //     half the live input region;
+        //   - PSums: to the accumulation block of this fold — half the live
+        //     output region;
+        //   - weights: the next tile is adjacent, but the lane holds the
+        //     whole layer's weights: average half a tile span.
+        let realignments = vec![
+            Realignment {
+                class: DataClass::Input,
+                count: folds,
+                distance_bytes: mapping.live_input_bytes / 2,
+            },
+            Realignment {
+                class: DataClass::Psum,
+                count: folds,
+                distance_bytes: mapping.live_output_bytes / 2,
+            },
+            Realignment {
+                class: DataClass::Weight,
+                count: folds,
+                distance_bytes: mapping.weight_tile_bytes / 2,
+            },
+        ];
+
+        Self {
+            stream_reads,
+            stream_writes,
+            realignments,
+            dram_weight_bytes: layer.weight_bytes(),
+            dram_input_bytes: mapping.live_input_bytes,
+            dram_output_bytes: mapping.live_output_bytes,
+        }
+    }
+
+    /// Total streamed words (reads + writes).
+    #[must_use]
+    pub fn total_stream_words(&self) -> u64 {
+        self.stream_reads.iter().map(|(_, w)| w).sum::<u64>()
+            + self.stream_writes.iter().map(|(_, w)| w).sum::<u64>()
+    }
+
+    /// Streamed read words of one class.
+    #[must_use]
+    pub fn reads_of(&self, class: DataClass) -> u64 {
+        self.stream_reads
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(0, |(_, w)| *w)
+    }
+
+    /// Streamed write words of one class.
+    #[must_use]
+    pub fn writes_of(&self, class: DataClass) -> u64 {
+        self.stream_writes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(0, |(_, w)| *w)
+    }
+}
+
+/// One record of a Fig. 6-style trace sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Accelerator cycle.
+    pub cycle: u64,
+    /// PE-array column the access feeds.
+    pub column: u32,
+    /// Byte address.
+    pub address: u64,
+    /// Whether this access is sequential with respect to the previous
+    /// access of the same column (+1), or a jump.
+    pub sequential: bool,
+}
+
+/// Generates the first `cycles` of the weight-read trace of a layer, one
+/// address per (cycle, column) as in Fig. 6. Weights stream sequentially
+/// down each column during `Read_Weights`, then jump to the next tile —
+/// producing the mixed sequential/random pattern the paper illustrates.
+///
+/// # Panics
+///
+/// Panics if `columns` is zero.
+#[must_use]
+pub fn weight_trace_sample(
+    layer: &ConvLayer,
+    shape: ArrayShape,
+    base_address: u64,
+    cycles: u64,
+    columns: u32,
+) -> Vec<TraceRecord> {
+    assert!(columns > 0, "columns must be positive");
+    let k = layer.gemm_k();
+    let rows = u64::from(shape.rows);
+    let mut out = Vec::new();
+    for cycle in 0..cycles {
+        for col in 0..columns {
+            // Column `col` reads the weight for (row = cycle % rows,
+            // column = col) of the current tile; consecutive cycles walk the
+            // rows sequentially, and the tile boundary jumps by K.
+            let tile = cycle / rows;
+            let row = cycle % rows;
+            let address = base_address + u64::from(col) * k + tile * rows + row;
+            let sequential = row != 0;
+            out.push(TraceRecord {
+                cycle,
+                column: col,
+                address,
+                sequential,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvLayer;
+    use crate::mapping::{ArrayShape, LayerMapping};
+
+    fn demand_for(l: &ConvLayer) -> (LayerMapping, LayerDemand) {
+        let m = LayerMapping::map(l, ArrayShape::new(64, 256), 1);
+        let d = LayerDemand::derive(l, &m);
+        (m, d)
+    }
+
+    #[test]
+    fn stream_volumes_consistent() {
+        let l = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let (m, d) = demand_for(&l);
+        assert_eq!(d.reads_of(DataClass::Input), m.input_words_per_fold * m.folds());
+        assert_eq!(d.writes_of(DataClass::Psum), m.psum_write_words_per_fold * m.folds());
+        assert!(d.total_stream_words() > 0);
+    }
+
+    #[test]
+    fn first_k_fold_skips_psum_reads() {
+        let l = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let (m, d) = demand_for(&l);
+        let expected = m.psum_read_words_per_fold * (m.folds() - m.first_k_folds());
+        assert_eq!(d.reads_of(DataClass::Psum), expected);
+        assert!(d.reads_of(DataClass::Psum) < d.writes_of(DataClass::Psum));
+    }
+
+    #[test]
+    fn realignments_cover_three_classes() {
+        let l = ConvLayer::conv("c", 13, 13, 256, 384, 3, 1, 1);
+        let (_, d) = demand_for(&l);
+        let classes: Vec<_> = d.realignments.iter().map(|r| r.class).collect();
+        assert!(classes.contains(&DataClass::Input));
+        assert!(classes.contains(&DataClass::Psum));
+        assert!(classes.contains(&DataClass::Weight));
+    }
+
+    #[test]
+    fn realignment_distance_scales_with_live_data() {
+        let small = ConvLayer::conv("s", 13, 13, 64, 64, 3, 1, 1);
+        let large = ConvLayer::conv("l", 112, 112, 64, 64, 3, 1, 1);
+        let (_, ds) = demand_for(&small);
+        let (_, dl) = demand_for(&large);
+        let dist = |d: &LayerDemand| {
+            d.realignments
+                .iter()
+                .find(|r| r.class == DataClass::Input)
+                .unwrap()
+                .distance_bytes
+        };
+        assert!(dist(&dl) > dist(&ds));
+    }
+
+    #[test]
+    fn dram_traffic_matches_layer_footprints() {
+        let l = ConvLayer::conv("c", 56, 56, 64, 128, 3, 1, 1);
+        let (_, d) = demand_for(&l);
+        assert_eq!(d.dram_weight_bytes, l.weight_bytes());
+        assert_eq!(d.dram_input_bytes, l.input_bytes(1));
+        assert_eq!(d.dram_output_bytes, l.output_bytes(1));
+    }
+
+    #[test]
+    fn fig6_trace_mixes_sequential_and_jumps() {
+        let l = ConvLayer::fully_connected("fc", 4096, 1024);
+        let trace = weight_trace_sample(&l, ArrayShape::new(64, 256), 0x98_9680, 130, 3);
+        assert_eq!(trace.len(), 130 * 3);
+        let seq = trace.iter().filter(|r| r.sequential).count();
+        let jumps = trace.iter().filter(|r| !r.sequential).count();
+        assert!(seq > 0 && jumps > 0);
+        // Columns read K-strided addresses at the same cycle (Fig. 6 shows
+        // column addresses differing by a large stride).
+        let c0 = trace.iter().find(|r| r.cycle == 0 && r.column == 0).unwrap();
+        let c1 = trace.iter().find(|r| r.cycle == 0 && r.column == 1).unwrap();
+        assert_eq!(c1.address - c0.address, l.gemm_k());
+    }
+
+    #[test]
+    fn fig6_trace_sequential_within_tile() {
+        let l = ConvLayer::fully_connected("fc", 4096, 1024);
+        let trace = weight_trace_sample(&l, ArrayShape::new(64, 256), 0, 64, 1);
+        for pair in trace.windows(2) {
+            if pair[1].cycle % 64 != 0 {
+                assert_eq!(pair[1].address, pair[0].address + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn class_symbols() {
+        assert_eq!(DataClass::Weight.symbol(), 'α');
+        assert_eq!(DataClass::Psum.symbol(), 'δ');
+    }
+}

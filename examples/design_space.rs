@@ -1,0 +1,76 @@
+//! Architect's tour of the pipelined CMOS-SFQ array design space.
+//!
+//! Walks the three levels of the paper's Sec. 4.2 methodology:
+//!
+//! 1. device level — PTL hop frequency/energy vs length (Fig. 13 axes),
+//! 2. array level — pipeline frequency vs leakage/area (Fig. 14),
+//! 3. system level — what the chosen design point means for inference.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use smart::core::eval::evaluate;
+use smart::core::scheme::Scheme;
+use smart::cryomem::array::RandomArray;
+use smart::cryomem::pipeline::{explore, max_feasible};
+use smart::sfq::hop::PtlHop;
+use smart::sfq::jj::JosephsonJunction;
+use smart::sfq::units::Length;
+use smart::systolic::models::ModelId;
+
+fn main() {
+    // 1. Device level: how fast can one H-Tree hop clock?
+    println!("PTL hop characteristics (Hypres ERSFQ micro-strip):");
+    let jj = JosephsonJunction::hypres_ersfq();
+    for mm in [0.05, 0.1, 0.2, 0.4, 0.8] {
+        let hop = PtlHop::new(Length::from_mm(mm));
+        println!(
+            "  {:>5.2} mm: f_max = {:>5.1} GHz, {:>5.1} aJ/pulse",
+            mm,
+            hop.max_operating_frequency().as_ghz(),
+            hop.energy_per_pulse(&jj).as_aj()
+        );
+    }
+
+    // 2. Array level: sweep the pipeline frequency.
+    println!("\n28 MB / 256-bank pipelined CMOS-SFQ array design space:");
+    let points = explore(28 * 1024 * 1024, 256, &[2.0, 4.0, 8.0, 9.6, 12.0]);
+    for p in &points {
+        println!(
+            "  {:>5.1} GHz: feasible={:<5} MATs/sub-bank={:<4} leakage={:>6.1} mW area={:>5.1} mm2",
+            p.frequency.as_ghz(),
+            p.feasible,
+            p.mats_per_subbank,
+            p.leakage.as_mw(),
+            p.area.as_mm2()
+        );
+    }
+    let best = max_feasible(&points).expect("feasible point exists");
+    println!(
+        "  -> nTron-limited maximum: {:.1} GHz (paper: 9.6-9.7 GHz)",
+        best.frequency.as_ghz()
+    );
+    println!(
+        "  -> hard cap from the component library: {:.2} GHz",
+        RandomArray::max_pipeline_frequency().as_ghz()
+    );
+
+    // 3. System level: what the array buys on ResNet50.
+    let model = ModelId::ResNet50.build();
+    let sn = evaluate(&Scheme::supernpu(), &model, 1);
+    let pipe = evaluate(&Scheme::pipe(), &model, 1);
+    let smart = evaluate(&Scheme::smart(), &model, 1);
+    println!("\nResNet50 single image:");
+    println!("  SuperNPU : {:>9.2} us", sn.total_time.as_us());
+    println!(
+        "  Pipe     : {:>9.2} us ({:.2}x) — pipelined array alone",
+        pipe.total_time.as_us(),
+        pipe.speedup_over(&sn)
+    );
+    println!(
+        "  SMART    : {:>9.2} us ({:.2}x) — plus the ILP compiler",
+        smart.total_time.as_us(),
+        smart.speedup_over(&sn)
+    );
+}

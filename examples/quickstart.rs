@@ -1,0 +1,47 @@
+//! Quickstart: evaluate SMART against SuperNPU and the TPU on AlexNet.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smart::core::eval::evaluate;
+use smart::core::scheme::Scheme;
+use smart::systolic::models::ModelId;
+
+fn main() {
+    let model = ModelId::AlexNet.build();
+    println!("AlexNet, single-image inference");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "scheme", "latency(us)", "TMAC/s", "energy/img(mJ)"
+    );
+
+    let tpu = evaluate(&Scheme::tpu(), &model, 1);
+    for scheme in [
+        Scheme::tpu(),
+        Scheme::supernpu(),
+        Scheme::pipe(),
+        Scheme::smart(),
+    ] {
+        let r = evaluate(&scheme, &model, 1);
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>14.3}",
+            scheme.name,
+            r.total_time.as_us(),
+            r.throughput_tmacs(),
+            r.energy_per_image().as_j() * 1e3,
+        );
+    }
+
+    let supernpu = evaluate(&Scheme::supernpu(), &model, 1);
+    let smart = evaluate(&Scheme::smart(), &model, 1);
+    println!(
+        "\nSMART vs SuperNPU: {:.1}x faster, {:.0}% less energy",
+        smart.speedup_over(&supernpu),
+        (1.0 - smart.energy.total.as_si() / supernpu.energy.total.as_si()) * 100.0
+    );
+    println!(
+        "SMART vs TPU:      {:.1}x faster",
+        smart.speedup_over(&tpu)
+    );
+}

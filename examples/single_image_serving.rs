@@ -1,0 +1,47 @@
+//! Latency-sensitive serving: the paper's motivating scenario.
+//!
+//! Cloud inference services answer single images — there is no time to form
+//! a large batch (Sec. 1). This example reports the end-to-end single-image
+//! latency of every model on SuperNPU and SMART, plus the tail impact of
+//! the SHIFT realignment stalls.
+//!
+//! ```sh
+//! cargo run --release --example single_image_serving
+//! ```
+
+use smart::core::eval::evaluate;
+use smart::core::scheme::Scheme;
+use smart::systolic::models::ModelId;
+
+fn main() {
+    println!("Single-image serving latency (batch = 1)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>9} {:>22}",
+        "model", "SuperNPU(us)", "SMART(us)", "speedup", "SuperNPU stall share"
+    );
+    let mut log_sum = 0.0;
+    for id in ModelId::ALL {
+        let model = id.build();
+        let sn = evaluate(&Scheme::supernpu(), &model, 1);
+        let sm = evaluate(&Scheme::smart(), &model, 1);
+        let speedup = sm.speedup_over(&sn);
+        log_sum += speedup.ln();
+        // How much of SuperNPU's time is memory (realignment) stalls?
+        let stall: f64 = sn
+            .layers
+            .iter()
+            .map(|l| l.exposed_mem.as_s() + l.stream_stall.as_s())
+            .sum();
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>8.2}x {:>21.1}%",
+            id.name(),
+            sn.total_time.as_us(),
+            sm.total_time.as_us(),
+            speedup,
+            100.0 * stall / sn.total_time.as_s()
+        );
+    }
+    let gmean = (log_sum / ModelId::ALL.len() as f64).exp();
+    println!("\ngmean speedup SMART/SuperNPU (single image): {gmean:.2}x");
+    println!("(paper reports 3.9x on its SCALE-SIM testbed)");
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the SMART reproduction workspace.
+//!
+//! Re-exports every subsystem crate so examples and integration tests can use
+//! a single dependency. See the individual crates for details:
+//!
+//! * [`sfq`] — SFQ device and interconnect models
+//! * [`josim`] — transient circuit simulator (JoSIM substitute)
+//! * [`cryomem`] — cryogenic CACTI-style memory array models
+//! * [`systolic`] — SCALE-SIM-like systolic accelerator simulator
+//! * [`spm`] — scratchpad memory architectures (SHIFT / RANDOM / SMART)
+//! * [`ilp`] — 0/1 integer linear programming solver
+//! * [`compiler`] — ILP-based SPM allocation and prefetching compiler
+//! * [`core`] — end-to-end schemes and evaluation
+
+pub use smart_compiler as compiler;
+pub use smart_core as core;
+pub use smart_cryomem as cryomem;
+pub use smart_ilp as ilp;
+pub use smart_josim as josim;
+pub use smart_sfq as sfq;
+pub use smart_spm as spm;
+pub use smart_systolic as systolic;

@@ -1,0 +1,180 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use smart::compiler::formulation::{compile_layer, FormulationParams};
+use smart::compiler::lifespan::analyze;
+use smart::compiler::schedule::Location;
+use smart::ilp::problem::{Problem, Relation, Sense};
+use smart::ilp::solver::Solver;
+use smart::sfq::ptl::PtlGeometry;
+use smart::sfq::units::{Energy, Frequency, Length, Power, Time};
+use smart::spm::service::SpmService;
+use smart::spm::shift::ShiftArray;
+use smart::systolic::dag::LayerDag;
+use smart::systolic::layer::ConvLayer;
+use smart::systolic::mapping::{ArrayShape, LayerMapping};
+
+proptest! {
+    /// Unit arithmetic: power * time == energy, associative sums.
+    #[test]
+    fn units_power_time_energy(mw in 0.0f64..1e3, ns in 0.0f64..1e6) {
+        let e = Power::from_mw(mw) * Time::from_ns(ns);
+        let expected = mw * 1e-3 * ns * 1e-9;
+        prop_assert!((e.as_j() - expected).abs() <= 1e-12 * expected.max(1.0));
+    }
+
+    /// Unit conversions round-trip.
+    #[test]
+    fn units_round_trip(ps in 0.0f64..1e9) {
+        let t = Time::from_ps(ps);
+        prop_assert!((Time::from_ns(t.as_ns()).as_ps() - ps).abs() < 1e-6 * ps.max(1.0));
+    }
+
+    /// Frequency/period are inverse.
+    #[test]
+    fn frequency_period_inverse(ghz in 0.001f64..1e3) {
+        let f = Frequency::from_ghz(ghz);
+        let back = 1.0 / f.period().as_s();
+        prop_assert!((back - f.as_si()).abs() < 1e-3 * f.as_si());
+    }
+
+    /// PTL delay is linear in length; impedance is length-independent.
+    #[test]
+    fn ptl_delay_linear(mm in 0.01f64..10.0, k in 2.0f64..8.0) {
+        let g = PtlGeometry::hypres_microstrip();
+        let d1 = g.line(Length::from_mm(mm)).delay().as_s();
+        let d2 = g.line(Length::from_mm(mm * k)).delay().as_s();
+        prop_assert!((d2 / d1 - k).abs() < 1e-9 * k);
+    }
+
+    /// SHIFT streaming time is monotone in words and never beats one cycle
+    /// per bank-full.
+    #[test]
+    fn shift_stream_monotone(words_a in 1u64..1_000_000, extra in 1u64..1_000_000) {
+        let a = ShiftArray::new(1 << 20, 64);
+        let t1 = a.serve_stream(words_a, false).time;
+        let t2 = a.serve_stream(words_a + extra, false).time;
+        prop_assert!(t2.as_s() >= t1.as_s());
+        let min_cycles = (words_a + extra).div_ceil(64);
+        prop_assert!(t2.as_ns() >= 0.02 * min_cycles as f64 - 1e-9);
+    }
+
+    /// SHIFT rotation is capped at one lane revolution.
+    #[test]
+    fn shift_rotation_capped(distance in 0u64..u64::MAX / 2) {
+        let a = ShiftArray::new(1 << 20, 64);
+        let t = a.rotate_time(distance);
+        let cap = 0.02e-9 * a.lane_bytes() as f64;
+        prop_assert!(t.as_s() <= cap + 1e-15);
+    }
+
+    /// Layer mapping invariants: folds cover the GEMM, utilization in (0,1].
+    #[test]
+    fn mapping_invariants(
+        hw in 4u32..64,
+        in_c in 1u32..256,
+        out_c in 1u32..512,
+        kernel in 1u32..5,
+        batch in 1u32..8,
+    ) {
+        prop_assume!(hw >= kernel);
+        let layer = ConvLayer::conv("p", hw, hw, in_c, out_c, kernel, 1, 0);
+        let m = LayerMapping::map(&layer, ArrayShape::new(64, 256), batch);
+        prop_assert!(m.k_folds * 64 >= layer.gemm_k());
+        prop_assert!((m.k_folds - 1) * 64 < layer.gemm_k());
+        prop_assert!(m.m_folds * 256 >= layer.gemm_m());
+        let u = m.peak_utilization();
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+        prop_assert_eq!(m.macs, layer.macs(batch));
+    }
+
+    /// Lifespans stay within the DAG's edge range and respect the prefetch
+    /// window.
+    #[test]
+    fn lifespan_invariants(
+        in_c in 16u32..128,
+        out_c in 16u32..256,
+        a in 1u32..6,
+        iters in 2u32..10,
+    ) {
+        let layer = ConvLayer::conv("p", 14, 14, in_c, out_c, 3, 1, 1);
+        let m = LayerMapping::map(&layer, ArrayShape::new(64, 256), 1);
+        let dag = LayerDag::build(&m, iters);
+        let spans = analyze(&dag, a);
+        let max_edge = dag.edges.len() as u32 - 1;
+        for ls in &spans {
+            prop_assert!(ls.first_edge <= ls.last_edge);
+            prop_assert!(ls.last_edge <= max_edge);
+            prop_assert!(ls.prefetch_distance() < a);
+            prop_assert!(ls.fetch_iteration <= ls.use_iteration);
+        }
+    }
+
+    /// The ILP compiler never overfills the SHIFT staging arrays, whatever
+    /// the capacity.
+    #[test]
+    fn compiler_respects_random_capacity(shift_kb in 1u64..64, random_kb in 4u64..512) {
+        let layer = ConvLayer::conv("p", 27, 27, 96, 128, 3, 1, 1);
+        let m = LayerMapping::map(&layer, ArrayShape::new(64, 256), 1);
+        let dag = LayerDag::build(&m, 4);
+        let mut params = FormulationParams::smart_default();
+        params.shift_capacity = shift_kb * 1024;
+        params.random_capacity = random_kb * 1024;
+        let s = compile_layer(&dag, &params);
+        for edge in 0..dag.edges.len() as u32 {
+            let resident: u64 = dag
+                .objects
+                .iter()
+                .filter(|o| s.location_of(o.id) == Location::Random)
+                .filter(|o| {
+                    let ls = s.lifespans[o.id as usize];
+                    ls.first_edge <= edge && edge <= ls.last_edge
+                })
+                .map(|o| o.bytes)
+                .sum();
+            prop_assert!(resident <= params.random_capacity);
+        }
+    }
+
+    /// Branch & bound matches brute force on random 0/1 knapsacks.
+    #[test]
+    fn ilp_matches_brute_force(
+        values in prop::collection::vec(1u32..50, 3..8),
+        weights in prop::collection::vec(1u32..20, 3..8),
+        cap in 10u32..60,
+    ) {
+        let n = values.len().min(weights.len());
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.binary(&format!("x{i}"))).collect();
+        for i in 0..n {
+            p.set_objective(vars[i], f64::from(values[i]));
+        }
+        let terms: Vec<_> = (0..n).map(|i| (vars[i], f64::from(weights[i]))).collect();
+        p.add_constraint(&terms, Relation::Le, f64::from(cap));
+
+        let result = Solver::new().solve(&p);
+        let got = result.solution().expect("knapsack always feasible").objective;
+
+        // Brute force.
+        let mut best = 0u32;
+        for mask in 0u32..(1 << n) {
+            let w: u32 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+            if w <= cap {
+                let v: u32 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+                best = best.max(v);
+            }
+        }
+        prop_assert!((got - f64::from(best)).abs() < 1e-6, "ilp {got} vs brute {best}");
+    }
+
+    /// SHIFT stream energy scales linearly with words.
+    #[test]
+    fn shift_energy_linear(words in 1u64..100_000) {
+        let a = ShiftArray::new(1 << 16, 64);
+        let e1 = a.stream_energy(words);
+        let e2 = a.stream_energy(2 * words);
+        prop_assert!((e2.as_si() / e1.as_si() - 2.0).abs() < 1e-9);
+        prop_assert!(e1.as_si() > 0.0);
+        let _: Energy = e1;
+    }
+}
