@@ -9,12 +9,12 @@ use smart_core::scheme::Scheme;
 use smart_cryomem::subbank::{SubBankConfig, SubBankModel};
 use smart_josim::fixtures::PtlFixture;
 use smart_sfq::ptl::PtlGeometry;
-use smart_sfq::units::Length;
 use smart_sfq::wire::wire_comparison;
 use smart_systolic::dag::LayerDag;
 use smart_systolic::layer::ConvLayer;
 use smart_systolic::mapping::{ArrayShape, LayerMapping};
 use smart_systolic::models::ModelId;
+use smart_units::Length;
 use std::hint::black_box;
 
 fn bench_wire_comparison(c: &mut Criterion) {
@@ -26,9 +26,7 @@ fn bench_wire_comparison(c: &mut Criterion) {
 
 fn bench_subbank_model(c: &mut Criterion) {
     c.bench_function("cryomem_subbank_112kb", |b| {
-        b.iter(|| {
-            SubBankModel::new(black_box(SubBankConfig::scaled_28nm(112 * 1024, 64, 1)))
-        })
+        b.iter(|| SubBankModel::new(black_box(SubBankConfig::scaled_28nm(112 * 1024, 64, 1))))
     });
 }
 

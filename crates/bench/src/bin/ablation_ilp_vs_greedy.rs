@@ -1,60 +1,6 @@
 //! Ablation: the ILP compiler vs the greedy ideal-static allocator across
-//! all AlexNet layers (the software half of SMART's gain over Pipe).
-use smart_compiler::formulation::{compile_layer, FormulationParams};
-use smart_compiler::greedy::allocate;
-use smart_compiler::lifespan::analyze;
-use smart_systolic::dag::LayerDag;
-use smart_systolic::mapping::{ArrayShape, LayerMapping};
-use smart_systolic::models::ModelId;
-
+//! all AlexNet layers (the software half of SMART's gain over Pipe). Run
+//! with `cargo run -p smart-bench --release --bin ablation_ilp_vs_greedy`.
 fn main() {
-    let model = ModelId::AlexNet.build();
-    let params = FormulationParams::smart_default();
-    println!("Ablation: ILP vs greedy allocation objective (higher = more time saved)");
-    println!("{:<8} {:>12} {:>12} {:>8}", "layer", "ILP", "greedy", "gain");
-    let mut ilp_total = 0.0;
-    let mut greedy_total = 0.0;
-    for layer in &model.layers {
-        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
-        let dag = LayerDag::build(&mapping, 6);
-        let ilp = compile_layer(&dag, &params);
-        let greedy = allocate(&dag, &params, analyze(&dag, params.prefetch_window));
-        ilp_total += ilp.objective;
-        greedy_total += greedy.objective;
-        println!(
-            "{:<8} {:>12.0} {:>12.0} {:>7.2}%",
-            layer.name,
-            ilp.objective,
-            greedy.objective,
-            (ilp.objective / greedy.objective.max(1.0) - 1.0) * 100.0
-        );
-    }
-    println!(
-        "total ILP {:.0} vs greedy {:.0} ({:+.2}%)",
-        ilp_total,
-        greedy_total,
-        (ilp_total / greedy_total - 1.0) * 100.0
-    );
-
-    // Contested capacity: shrink the SPMs until placements conflict — here
-    // the ILP's global view beats greedy largest-first.
-    let mut tight = params;
-    tight.shift_capacity = 4 * 1024;
-    tight.random_capacity = 192 * 1024;
-    tight.bytes_per_iteration = 256 * 1024;
-    println!("\nContested capacity (4 KB SHIFT, 192 KB RANDOM, 256 KB/iter):");
-    let mut ilp_total = 0.0;
-    let mut greedy_total = 0.0;
-    for layer in &model.layers {
-        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
-        let dag = LayerDag::build(&mapping, 6);
-        ilp_total += compile_layer(&dag, &tight).objective;
-        greedy_total += allocate(&dag, &tight, analyze(&dag, tight.prefetch_window)).objective;
-    }
-    println!(
-        "total ILP {:.0} vs greedy {:.0} ({:+.2}%)",
-        ilp_total,
-        greedy_total,
-        (ilp_total / greedy_total.max(1.0) - 1.0) * 100.0
-    );
+    print!("{}", smart_bench::ablation_ilp_vs_greedy());
 }

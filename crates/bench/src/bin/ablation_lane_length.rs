@@ -1,25 +1,7 @@
 //! Ablation: SHIFT lane length (bank count at fixed capacity) vs random
 //! access cost and access energy — the design pressure that leads SMART to
-//! 128-byte staging lanes (DESIGN.md Sec. 7).
-use smart_spm::shift::ShiftArray;
-
+//! 128-byte staging lanes. Run with
+//! `cargo run -p smart-bench --release --bin ablation_lane_length`.
 fn main() {
-    println!("Ablation: 24 MB SHIFT SPM, lane length vs random-access cost");
-    println!(
-        "{:>7} {:>10} {:>16} {:>18}",
-        "banks", "lane", "rotate(half) ns", "access energy pJ"
-    );
-    for banks in [16u32, 64, 256, 1024, 4096] {
-        let a = ShiftArray::new(24 * 1024 * 1024, banks);
-        let half = a.lane_bytes() * u64::from(banks) / 2;
-        println!(
-            "{:>7} {:>9}B {:>16.1} {:>18.4}",
-            banks,
-            a.lane_bytes(),
-            a.rotate_time(half).as_ns(),
-            a.energy_per_access().as_pj()
-        );
-    }
-    println!("\nShorter lanes: cheaper random access & cheaper per-access energy,");
-    println!("but more banks means more peripherals — SMART settles on 128 B lanes.");
+    print!("{}", smart_bench::ablation_lane_length());
 }

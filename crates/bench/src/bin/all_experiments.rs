@@ -1,7 +1,37 @@
-//! Regenerates every table and figure of the paper in order.
-fn main() {
-    for (name, report) in smart_bench::all_experiments() {
+//! Regenerates every table and figure of the paper (plus the ablations)
+//! in order.
+//!
+//! ```sh
+//! cargo run --release -p smart-bench --bin all_experiments            # everything
+//! cargo run --release -p smart-bench --bin all_experiments -- --list # names only
+//! cargo run --release -p smart-bench --bin all_experiments -- fig18 fig19
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for name in smart_bench::experiment_names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&str> = if args.is_empty() {
+        smart_bench::experiment_names()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for name in selected {
+        let Some(report) = smart_bench::run_experiment(name) else {
+            eprintln!("unknown experiment `{name}`; try --list");
+            return ExitCode::FAILURE;
+        };
         println!("==== {name} ====");
         println!("{report}");
     }
+    ExitCode::SUCCESS
 }

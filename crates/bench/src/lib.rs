@@ -19,12 +19,12 @@ use smart_josim::fixtures::validate_ptl_model;
 use smart_sfq::components::{Component, ComponentKind};
 use smart_sfq::hop::PtlHop;
 use smart_sfq::jj::JosephsonJunction;
-use smart_sfq::units::Length;
 use smart_sfq::wire::{wire_comparison, WireTechnology};
 use smart_spm::shift::ShiftArray;
 use smart_systolic::mapping::ArrayShape;
 use smart_systolic::models::ModelId;
 use smart_systolic::trace::weight_trace_sample;
+use smart_units::Length;
 use std::fmt::Write as _;
 
 const MB: u64 = 1024 * 1024;
@@ -34,7 +34,11 @@ const MB: u64 = 1024 * 1024;
 pub fn fig02_wires() -> String {
     let mut out = String::from("Figure 2: interconnect comparison (latency ps / energy J)\n");
     let lengths = [10.0, 25.0, 50.0, 100.0, 150.0, 200.0];
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "len(um)", "PTL", "JTL", "CMOS");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "len(um)", "PTL", "JTL", "CMOS"
+    );
     for &um in &lengths {
         let row: Vec<_> = WireTechnology::ALL
             .iter()
@@ -66,13 +70,23 @@ pub fn table1_memories() -> String {
         let cells: Vec<_> = params.iter().map(|p| format!("{:>8}", f(p))).collect();
         format!("{label:<22} {}\n", cells.join(" "))
     };
-    out += &row("Read latency (ns)", &|p| format!("{:.2}", p.read_latency.as_ns()));
-    out += &row("Write latency (ns)", &|p| format!("{:.2}", p.write_latency.as_ns()));
+    out += &row("Read latency (ns)", &|p| {
+        format!("{:.2}", p.read_latency.as_ns())
+    });
+    out += &row("Write latency (ns)", &|p| {
+        format!("{:.2}", p.write_latency.as_ns())
+    });
     out += &row("Cell size (F^2)", &|p| format!("{:.0}", p.cell_size_f2));
-    out += &row("Read energy (fJ)", &|p| format!("{:.1}", p.read_energy.as_fj()));
-    out += &row("Write energy (fJ)", &|p| format!("{:.1}", p.write_energy.as_fj()));
+    out += &row("Read energy (fJ)", &|p| {
+        format!("{:.1}", p.read_energy.as_fj())
+    });
+    out += &row("Write energy (fJ)", &|p| {
+        format!("{:.1}", p.write_energy.as_fj())
+    });
     out += &row("Leakage", &|p| p.leakage.label().to_owned());
-    out += &row("Random access", &|p| if p.random_access { "yes" } else { "no" }.to_owned());
+    out += &row("Random access", &|p| {
+        if p.random_access { "yes" } else { "no" }.to_owned()
+    });
     out
 }
 
@@ -114,8 +128,16 @@ pub fn fig05_homogeneous() -> String {
     let mut out = String::from(
         "Figure 5: SuperNPU with homogeneous cryogenic SPMs, AlexNet single image (norm. to SHIFT)\n",
     );
-    let _ = writeln!(out, "{:<8} {:>10} {:>10} {:>10}", "SPM", "latency", "energy", "area");
-    let _ = writeln!(out, "{:<8} {:>10.3} {:>10.3} {:>10.3}", "SHIFT", 1.0, 1.0, 1.0);
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>10}",
+        "SPM", "latency", "energy", "area"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10.3} {:>10.3} {:>10.3}",
+        "SHIFT", 1.0, 1.0, 1.0
+    );
     for kind in [
         RandomArrayKind::JosephsonCmosSram,
         RandomArrayKind::SheMram,
@@ -144,7 +166,11 @@ pub fn fig06_trace() -> String {
     let fc6 = &model.layers[5];
     let trace = weight_trace_sample(fc6, ArrayShape::new(64, 256), 0x0098_9680, 68, 3);
     let mut out = String::from("Figure 6: memory accesses of SuperNPU (weight reads, fc6)\n");
-    let _ = writeln!(out, "{:>5} {:>12} {:>12} {:>12}", "cyc", "col0", "col1", "col2");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12} {:>12} {:>12}",
+        "cyc", "col0", "col1", "col2"
+    );
     for cycle in [0u64, 1, 2, 3, 62, 63, 64, 65] {
         let cols: Vec<_> = (0..3)
             .map(|c| {
@@ -152,7 +178,11 @@ pub fn fig06_trace() -> String {
                     .iter()
                     .find(|r| r.cycle == cycle && r.column == c)
                     .expect("record");
-                format!("{:#012x}{}", rec.address, if rec.sequential { " " } else { "*" })
+                format!(
+                    "{:#012x}{}",
+                    rec.address,
+                    if rec.sequential { " " } else { "*" }
+                )
             })
             .collect();
         let _ = writeln!(out, "{cycle:>5} {}", cols.join(" "));
@@ -205,11 +235,21 @@ pub fn fig09_htree_breakdown() -> String {
         ("arr", b.array_latency),
         ("other(SFQ)", b.sfq_periphery_latency),
     ] {
-        let _ = writeln!(out, "  {:<11} {:>7.1}%", label, 100.0 * t.as_s() / b.total_latency().as_s());
+        let _ = writeln!(
+            out,
+            "  {:<11} {:>7.1}%",
+            label,
+            100.0 * t.as_s() / b.total_latency().as_s()
+        );
     }
     let te = b.total_energy().as_pj();
     let _ = writeln!(out, "total access energy: {te:.3} pJ");
-    let _ = writeln!(out, "  {:<11} {:>7.1}%", "H-tree", 100.0 * b.htree_energy_share());
+    let _ = writeln!(
+        out,
+        "  {:<11} {:>7.1}%",
+        "H-tree",
+        100.0 * b.htree_energy_share()
+    );
     let _ = writeln!(
         out,
         "  {:<11} {:>7.1}%",
@@ -285,7 +325,8 @@ pub fn fig13_josim_validation() -> String {
 /// Fig. 14: pipeline design-space exploration.
 #[must_use]
 pub fn fig14_design_space() -> String {
-    let mut out = String::from("Figure 14: pipelined CMOS-SFQ array design space (28 MB, 256 banks)\n");
+    let mut out =
+        String::from("Figure 14: pipelined CMOS-SFQ array design space (28 MB, 256 banks)\n");
     let pts = explore(28 * MB, 256, &[1.0, 2.0, 4.0, 6.0, 8.0, 9.6, 12.0]);
     let _ = writeln!(
         out,
@@ -312,9 +353,18 @@ pub fn fig14_design_space() -> String {
 pub fn fig16_access_energy() -> String {
     let mut out = String::from("Figure 16: SPM access energy\n");
     let rows: [(&str, f64); 4] = [
-        ("384KB-SHIFT", ShiftArray::new(24 * MB, 64).energy_per_access().as_pj()),
-        ("96KB-SHIFT", ShiftArray::new(24 * MB, 256).energy_per_access().as_pj()),
-        ("128B-SHIFT", ShiftArray::new(32 * 1024, 256).energy_per_access().as_pj()),
+        (
+            "384KB-SHIFT",
+            ShiftArray::new(24 * MB, 64).energy_per_access().as_pj(),
+        ),
+        (
+            "96KB-SHIFT",
+            ShiftArray::new(24 * MB, 256).energy_per_access().as_pj(),
+        ),
+        (
+            "128B-SHIFT",
+            ShiftArray::new(32 * 1024, 256).energy_per_access().as_pj(),
+        ),
         (
             "192KB-RANDOM",
             RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256)
@@ -540,36 +590,195 @@ pub fn table4_configs() -> String {
     out
 }
 
-/// All experiments in paper order.
+/// Ablation: the ILP compiler vs the greedy ideal-static allocator across
+/// all AlexNet layers (the software half of SMART's gain over Pipe).
+#[must_use]
+pub fn ablation_ilp_vs_greedy() -> String {
+    use smart_compiler::formulation::{compile_layer, FormulationParams};
+    use smart_compiler::greedy::allocate;
+    use smart_compiler::lifespan::analyze;
+    use smart_systolic::dag::LayerDag;
+    use smart_systolic::mapping::LayerMapping;
+
+    let model = ModelId::AlexNet.build();
+    let params = FormulationParams::smart_default();
+    let mut out =
+        String::from("Ablation: ILP vs greedy allocation objective (higher = more time saved)\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>12} {:>8}",
+        "layer", "ILP", "greedy", "gain"
+    );
+    let mut ilp_total = 0.0;
+    let mut greedy_total = 0.0;
+    for layer in &model.layers {
+        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
+        let dag = LayerDag::build(&mapping, 6);
+        let ilp = compile_layer(&dag, &params);
+        let greedy = allocate(&dag, &params, analyze(&dag, params.prefetch_window));
+        ilp_total += ilp.objective;
+        greedy_total += greedy.objective;
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12.0} {:>12.0} {:>7.2}%",
+            layer.name,
+            ilp.objective,
+            greedy.objective,
+            (ilp.objective / greedy.objective.max(1.0) - 1.0) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total ILP {:.0} vs greedy {:.0} ({:+.2}%)",
+        ilp_total,
+        greedy_total,
+        (ilp_total / greedy_total.max(1.0) - 1.0) * 100.0
+    );
+
+    // Contested capacity: shrink the SPMs until placements conflict — here
+    // the ILP's global view beats greedy largest-first.
+    let mut tight = params;
+    tight.shift_capacity = 4 * 1024;
+    tight.random_capacity = 192 * 1024;
+    tight.bytes_per_iteration = 256 * 1024;
+    let _ = writeln!(
+        out,
+        "\nContested capacity (4 KB SHIFT, 192 KB RANDOM, 256 KB/iter):"
+    );
+    let mut ilp_total = 0.0;
+    let mut greedy_total = 0.0;
+    for layer in &model.layers {
+        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
+        let dag = LayerDag::build(&mapping, 6);
+        ilp_total += compile_layer(&dag, &tight).objective;
+        greedy_total += allocate(&dag, &tight, analyze(&dag, tight.prefetch_window)).objective;
+    }
+    let _ = writeln!(
+        out,
+        "total ILP {:.0} vs greedy {:.0} ({:+.2}%)",
+        ilp_total,
+        greedy_total,
+        (ilp_total / greedy_total.max(1.0) - 1.0) * 100.0
+    );
+    out
+}
+
+/// Ablation: SHIFT lane length (bank count at fixed capacity) vs random
+/// access cost and access energy — the design pressure that leads SMART to
+/// 128-byte staging lanes.
+#[must_use]
+pub fn ablation_lane_length() -> String {
+    let mut out = String::from("Ablation: 24 MB SHIFT SPM, lane length vs random-access cost\n");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>10} {:>16} {:>18}",
+        "banks", "lane", "rotate(half) ns", "access energy pJ"
+    );
+    for banks in [16u32, 64, 256, 1024, 4096] {
+        let a = ShiftArray::new(24 * MB, banks);
+        let half = a.lane_bytes() * u64::from(banks) / 2;
+        let _ = writeln!(
+            out,
+            "{:>7} {:>9}B {:>16.1} {:>18.4}",
+            banks,
+            a.lane_bytes(),
+            a.rotate_time(half).as_ns(),
+            a.energy_per_access().as_pj()
+        );
+    }
+    out.push_str("\nShorter lanes: cheaper random access & cheaper per-access energy,\n");
+    out.push_str("but more banks means more peripherals — SMART settles on 128 B lanes.\n");
+    out
+}
+
+/// A figure/table regenerator: takes nothing, returns the printable report.
+type Regenerator = fn() -> String;
+
+/// The single source of truth for the experiment set: `(name, regenerator)`
+/// in paper order followed by the ablations. [`run_experiment`],
+/// [`experiment_names`], and [`all_experiments`] all derive from this
+/// table, so a new entry cannot drift between them.
+const EXPERIMENTS: &[(&str, Regenerator)] = &[
+    ("fig02", fig02_wires),
+    ("table1", table1_memories),
+    ("table2", table2_components),
+    ("fig05", fig05_homogeneous),
+    ("fig06", fig06_trace),
+    ("fig07", fig07_hetero),
+    ("fig09", fig09_htree_breakdown),
+    ("fig12", fig12_subbank_validation),
+    ("fig13", fig13_josim_validation),
+    ("fig14", fig14_design_space),
+    ("fig16", fig16_access_energy),
+    ("fig17", fig17_area),
+    ("fig18", fig18_single_speedup),
+    ("fig19", fig19_batch_speedup),
+    ("fig20", fig20_single_energy),
+    ("fig21", fig21_batch_energy),
+    ("fig22", fig22_shift_capacity),
+    ("fig23", fig23_random_capacity),
+    ("fig24", fig24_prefetch),
+    ("fig25", fig25_write_latency),
+    ("table4", table4_configs),
+    ("ablation_ilp_vs_greedy", ablation_ilp_vs_greedy),
+    ("ablation_lane_length", ablation_lane_length),
+];
+
+/// Runs one experiment by name, returning its report, or `None` for an
+/// unknown name. Names are listed by [`experiment_names`].
+#[must_use]
+pub fn run_experiment(name: &str) -> Option<String> {
+    EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, regen)| regen())
+}
+
+/// Names of every experiment, in paper order followed by the ablations,
+/// without running anything (for `all_experiments --list` and tests).
+#[must_use]
+pub fn experiment_names() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+}
+
+/// All experiments in paper order, followed by the ablations.
 #[must_use]
 pub fn all_experiments() -> Vec<(String, String)> {
-    vec![
-        ("fig02".into(), fig02_wires()),
-        ("table1".into(), table1_memories()),
-        ("table2".into(), table2_components()),
-        ("fig05".into(), fig05_homogeneous()),
-        ("fig06".into(), fig06_trace()),
-        ("fig07".into(), fig07_hetero()),
-        ("fig09".into(), fig09_htree_breakdown()),
-        ("fig12".into(), fig12_subbank_validation()),
-        ("fig13".into(), fig13_josim_validation()),
-        ("fig14".into(), fig14_design_space()),
-        ("fig16".into(), fig16_access_energy()),
-        ("fig17".into(), fig17_area()),
-        ("fig18".into(), fig18_single_speedup()),
-        ("fig19".into(), fig19_batch_speedup()),
-        ("fig20".into(), fig20_single_energy()),
-        ("fig21".into(), fig21_batch_energy()),
-        ("fig22".into(), fig22_shift_capacity()),
-        ("fig23".into(), fig23_random_capacity()),
-        ("fig24".into(), fig24_prefetch()),
-        ("fig25".into(), fig25_write_latency()),
-        ("table4".into(), table4_configs()),
-    ]
+    EXPERIMENTS
+        .iter()
+        .map(|(n, regen)| ((*n).to_owned(), regen()))
+        .collect()
 }
 
 /// Convenience wrapper for evaluating one scheme on one model.
 #[must_use]
 pub fn quick_eval(scheme: &Scheme, id: ModelId, batch: u32) -> InferenceReport {
     evaluate(scheme, &id.build(), batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_names_are_unique_and_known() {
+        let names = experiment_names();
+        let mut seen = std::collections::HashSet::new();
+        for n in &names {
+            assert!(seen.insert(*n), "duplicate experiment name {n}");
+        }
+        assert_eq!(names.len(), 23, "21 figures/tables + 2 ablations");
+        assert!(run_experiment("not_an_experiment").is_none());
+    }
+
+    #[test]
+    fn dispatch_runs_cheap_experiments() {
+        // Smoke the dispatch path on the cheap entries; the expensive
+        // sweeps are exercised by the per-figure binaries and CI's
+        // all_experiments run.
+        for name in ["table2", "table4", "fig16", "ablation_lane_length"] {
+            let report = run_experiment(name).expect("known name");
+            assert!(report.contains(char::is_numeric), "{name} report is empty");
+        }
+    }
 }

@@ -24,10 +24,11 @@
 
 use crate::lifespan::{analyze, Lifespan};
 use crate::schedule::{Location, Placement, Schedule, ScheduleSource};
-use smart_ilp::problem::{Problem, Relation, Sense};
-use smart_ilp::solver::{MipResult, Solver};
+use smart_ilp::problem::{Problem, Relation, Sense, VarId};
+use smart_ilp::solver::{MipSolution, Solver};
 use smart_systolic::dag::LayerDag;
 use smart_systolic::trace::DataClass;
+use smart_units::{Result, SmartError};
 
 /// Cost/capacity parameters of the formulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,7 +79,9 @@ impl FormulationParams {
 /// Builds and solves the allocation ILP for one layer DAG.
 ///
 /// Falls back to the greedy allocator when the solver cannot find a
-/// feasible point (the paper's compiler is "near-optimal" as well).
+/// feasible point (the paper's compiler is "near-optimal" as well). Use
+/// [`compile_layer_strict`] to surface solver failures instead of silently
+/// degrading.
 ///
 /// # Panics
 ///
@@ -86,6 +89,58 @@ impl FormulationParams {
 #[must_use]
 pub fn compile_layer(dag: &LayerDag, params: &FormulationParams) -> Schedule {
     let lifespans = analyze(dag, params.prefetch_window);
+    // The greedy allocation doubles as a warm-start bound: if the node
+    // limit stopped branch & bound before it beat greedy, keep greedy.
+    let greedy = crate::greedy::allocate(dag, params, lifespans.clone());
+    match solve_with_lifespans(dag, params, lifespans) {
+        Ok(s) if s.source == ScheduleSource::IlpFeasible && greedy.objective > s.objective => {
+            greedy
+        }
+        Ok(s) => s,
+        Err(_) => greedy,
+    }
+}
+
+/// Builds and solves the allocation ILP for one layer DAG, surfacing
+/// failures as [`SmartError`] instead of falling back to the greedy
+/// allocator.
+///
+/// # Errors
+///
+/// * [`SmartError::InvalidInput`] when `params.prefetch_window` is zero,
+/// * [`SmartError::Infeasible`] / [`SmartError::Unbounded`] from the
+///   underlying integer program.
+pub fn compile_layer_strict(dag: &LayerDag, params: &FormulationParams) -> Result<Schedule> {
+    if params.prefetch_window == 0 {
+        return Err(SmartError::invalid_input(
+            "prefetch window must be >= 1 iteration",
+        ));
+    }
+    solve_with_lifespans(dag, params, analyze(dag, params.prefetch_window))
+}
+
+/// Shared core of [`compile_layer`] and [`compile_layer_strict`]: formulate
+/// and solve given already-computed lifespans (the analysis is O(objects x
+/// edges) and both entry points need it).
+fn solve_with_lifespans(
+    dag: &LayerDag,
+    params: &FormulationParams,
+    lifespans: Vec<Lifespan>,
+) -> Result<Schedule> {
+    let (p, h_vars, r_vars) = build_problem(dag, params, &lifespans);
+    let sol = Solver::new().with_node_limit(2_000).try_solve(&p)?;
+    Ok(schedule_from(
+        dag, params, lifespans, &sol, &h_vars, &r_vars,
+    ))
+}
+
+/// Assembles the Eq. 5/6 problem: placement binaries, the saving-minus-load
+/// objective, and per-edge capacity / bandwidth / sub-bank constraints.
+fn build_problem(
+    dag: &LayerDag,
+    params: &FormulationParams,
+    lifespans: &[Lifespan],
+) -> (Problem, Vec<VarId>, Vec<VarId>) {
     let n_objects = dag.objects.len();
 
     let mut p = Problem::new(Sense::Maximize);
@@ -96,8 +151,14 @@ pub fn compile_layer(dag: &LayerDag, params: &FormulationParams) -> Schedule {
         let r = p.binary(&format!("r_{}", o.id));
         let bytes = o.bytes as f64;
         // Eq. 5: saving minus load cost, folded per object.
-        p.set_objective(h, bytes * (params.shift_saving_per_byte - params.shift_load_per_byte));
-        p.set_objective(r, bytes * (params.random_saving_per_byte - params.random_load_per_byte));
+        p.set_objective(
+            h,
+            bytes * (params.shift_saving_per_byte - params.shift_load_per_byte),
+        );
+        p.set_objective(
+            r,
+            bytes * (params.random_saving_per_byte - params.random_load_per_byte),
+        );
         p.add_constraint(&[(h, 1.0), (r, 1.0)], Relation::Le, 1.0);
         h_vars.push(h);
         r_vars.push(r);
@@ -141,7 +202,11 @@ pub fn compile_layer(dag: &LayerDag, params: &FormulationParams) -> Schedule {
             })
             .collect();
         if !fetch_terms.is_empty() {
-            p.add_constraint(&fetch_terms, Relation::Le, params.bytes_per_iteration as f64);
+            p.add_constraint(
+                &fetch_terms,
+                Relation::Le,
+                params.bytes_per_iteration as f64,
+            );
         }
         // Sub-bank: count of simultaneous RANDOM fetches.
         let bank_terms: Vec<_> = dag
@@ -155,47 +220,46 @@ pub fn compile_layer(dag: &LayerDag, params: &FormulationParams) -> Schedule {
         }
     }
 
-    let result = Solver::new().with_node_limit(2_000).solve(&p);
-    let proven_optimal = matches!(result, MipResult::Optimal(_));
-    // The greedy allocation doubles as a warm-start bound: if the node
-    // limit stopped branch & bound before it beat greedy, keep greedy.
-    let greedy = crate::greedy::allocate(dag, params, lifespans.clone());
-    match result {
-        MipResult::Optimal(sol) | MipResult::Feasible(sol) => {
-            let source = if proven_optimal {
-                ScheduleSource::IlpOptimal
+    (p, h_vars, r_vars)
+}
+
+/// Decodes a MIP solution into object placements.
+fn schedule_from(
+    dag: &LayerDag,
+    params: &FormulationParams,
+    lifespans: Vec<Lifespan>,
+    sol: &MipSolution,
+    h_vars: &[VarId],
+    r_vars: &[VarId],
+) -> Schedule {
+    let source = if sol.proven_optimal {
+        ScheduleSource::IlpOptimal
+    } else {
+        ScheduleSource::IlpFeasible
+    };
+    let placements = dag
+        .objects
+        .iter()
+        .map(|o| {
+            let location = if sol.value(h_vars[o.id as usize]) > 0.5 {
+                Location::Shift
+            } else if sol.value(r_vars[o.id as usize]) > 0.5 {
+                Location::Random
             } else {
-                ScheduleSource::IlpFeasible
+                Location::Dram
             };
-            let placements = dag
-                .objects
-                .iter()
-                .map(|o| {
-                    let location = if sol.value(h_vars[o.id as usize]) > 0.5 {
-                        Location::Shift
-                    } else if sol.value(r_vars[o.id as usize]) > 0.5 {
-                        Location::Random
-                    } else {
-                        Location::Dram
-                    };
-                    Placement {
-                        object: o.id,
-                        location,
-                    }
-                })
-                .collect();
-            if !proven_optimal && greedy.objective > sol.objective {
-                return greedy;
+            Placement {
+                object: o.id,
+                location,
             }
-            Schedule {
-                placements,
-                lifespans,
-                prefetch_window: params.prefetch_window,
-                objective: sol.objective,
-                source,
-            }
-        }
-        MipResult::Infeasible | MipResult::Unbounded => greedy,
+        })
+        .collect();
+    Schedule {
+        placements,
+        lifespans,
+        prefetch_window: params.prefetch_window,
+        objective: sol.objective,
+        source,
     }
 }
 
@@ -286,6 +350,27 @@ mod tests {
         let dag = dag_for(&l);
         let s = compile_layer(&dag, &FormulationParams::smart_default());
         assert!(s.objective > 0.0);
+    }
+
+    #[test]
+    fn strict_rejects_zero_prefetch_window() {
+        let l = ConvLayer::conv("c", 13, 13, 64, 64, 3, 1, 1);
+        let dag = dag_for(&l);
+        let mut params = FormulationParams::smart_default();
+        params.prefetch_window = 0;
+        let err = compile_layer_strict(&dag, &params).unwrap_err();
+        assert!(matches!(err, SmartError::InvalidInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn strict_matches_fallback_on_solvable_layers() {
+        let l = ConvLayer::conv("c", 13, 13, 64, 64, 3, 1, 1);
+        let dag = dag_for(&l);
+        let params = FormulationParams::smart_default();
+        let strict = compile_layer_strict(&dag, &params).expect("solvable");
+        let fallback = compile_layer(&dag, &params);
+        assert_eq!(strict.source, fallback.source);
+        assert!((strict.objective - fallback.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -18,8 +18,7 @@ use smart_systolic::trace::DataClass;
 pub fn allocate(dag: &LayerDag, params: &FormulationParams, lifespans: Vec<Lifespan>) -> Schedule {
     let edges = dag.edges.len() as u32;
     // Remaining capacity per edge for each array.
-    let mut shift_free: Vec<[i64; 4]> =
-        vec![[params.shift_capacity as i64; 4]; edges as usize];
+    let mut shift_free: Vec<[i64; 4]> = vec![[params.shift_capacity as i64; 4]; edges as usize];
     let mut random_free: Vec<i64> = vec![params.random_capacity as i64; edges as usize];
     // Per-edge fetch budget (the same bandwidth constraint the ILP has).
     let mut fetch_free: Vec<i64> = vec![params.bytes_per_iteration as i64; edges as usize];
@@ -45,8 +44,7 @@ pub fn allocate(dag: &LayerDag, params: &FormulationParams, lifespans: Vec<Lifes
 
         let bandwidth_ok = fetch_free[ls.first_edge as usize] >= bytes;
         let fits_shift = bandwidth_ok
-            && (ls.first_edge..=ls.last_edge)
-                .all(|e| shift_free[e as usize][class_idx] >= bytes);
+            && (ls.first_edge..=ls.last_edge).all(|e| shift_free[e as usize][class_idx] >= bytes);
         let location = if fits_shift {
             for e in ls.first_edge..=ls.last_edge {
                 shift_free[e as usize][class_idx] -= bytes;

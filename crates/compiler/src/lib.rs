@@ -36,6 +36,7 @@ pub mod greedy;
 pub mod lifespan;
 pub mod schedule;
 
-pub use formulation::{compile_layer, FormulationParams};
+pub use formulation::{compile_layer, compile_layer_strict, FormulationParams};
 pub use lifespan::{analyze, resident_bytes_on_edge, Lifespan};
 pub use schedule::{Location, Placement, Schedule, ScheduleSource};
+pub use smart_units::{Result, SmartError};

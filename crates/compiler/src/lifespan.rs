@@ -53,10 +53,7 @@ impl Lifespan {
 #[must_use]
 pub fn analyze(dag: &LayerDag, a: u32) -> Vec<Lifespan> {
     assert!(a > 0, "prefetch window must be at least 1");
-    dag.objects
-        .iter()
-        .map(|o| lifespan_of(dag, o, a))
-        .collect()
+    dag.objects.iter().map(|o| lifespan_of(dag, o, a)).collect()
 }
 
 fn lifespan_of(dag: &LayerDag, o: &MemoryObject, a: u32) -> Lifespan {
@@ -154,7 +151,11 @@ mod tests {
         let a3 = analyze(&d, 3);
         let a1 = analyze(&d, 1);
         // Pick the weight object of iteration 5.
-        let o = d.objects.iter().find(|o| o.class == DataClass::Weight && o.iteration == 5).unwrap();
+        let o = d
+            .objects
+            .iter()
+            .find(|o| o.class == DataClass::Weight && o.iteration == 5)
+            .unwrap();
         let ls3 = a3[o.id as usize];
         let ls1 = a1[o.id as usize];
         assert_eq!(ls3.prefetch_distance(), 2);
@@ -167,7 +168,11 @@ mod tests {
     fn early_iterations_clamp_to_zero() {
         let d = dag();
         let spans = analyze(&d, 4);
-        let o = d.objects.iter().find(|o| o.class == DataClass::Input && o.iteration == 1).unwrap();
+        let o = d
+            .objects
+            .iter()
+            .find(|o| o.class == DataClass::Input && o.iteration == 1)
+            .unwrap();
         assert_eq!(spans[o.id as usize].fetch_iteration, 0);
     }
 
@@ -175,7 +180,11 @@ mod tests {
     fn outputs_live_until_next_iteration() {
         let d = dag();
         let spans = analyze(&d, 3);
-        let o = d.objects.iter().find(|o| o.class == DataClass::Output && o.iteration == 3).unwrap();
+        let o = d
+            .objects
+            .iter()
+            .find(|o| o.class == DataClass::Output && o.iteration == 3)
+            .unwrap();
         let ls = spans[o.id as usize];
         assert_eq!(ls.first_edge, 7);
         assert_eq!(ls.last_edge, 8);

@@ -2,9 +2,9 @@
 //! model the evaluator consumes.
 
 use crate::lifespan::Lifespan;
-use smart_sfq::units::Time;
 use smart_systolic::dag::LayerDag;
 use smart_systolic::trace::DataClass;
+use smart_units::Time;
 
 /// Where an object is allocated for its whole lifespan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -204,7 +204,6 @@ mod tests {
         let without_outputs: u64 = dag
             .objects
             .iter()
-            .filter(|o| o.class != DataClass::Psum || true)
             .filter(|o| o.class != smart_systolic::trace::DataClass::Output)
             .map(|o| o.bytes)
             .sum();

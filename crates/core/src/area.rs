@@ -7,9 +7,9 @@
 use crate::scheme::{PureShiftSpm, SpmOrganization};
 use smart_cryomem::array::RandomArray;
 use smart_sfq::jj::JosephsonJunction;
-use smart_sfq::units::Area;
 use smart_spm::hetero::HeterogeneousSpm;
 use smart_systolic::mapping::ArrayShape;
+use smart_units::Area;
 
 /// JJs per bit-serial SFQ processing element (MAC + accumulator + pipeline
 /// DFFs), following SuperNPU's gate-level-pipelined PE design.

@@ -9,8 +9,8 @@
 //! All three share 300 GB/s of DRAM bandwidth; the 4 K parts pay a 400x
 //! cooling overhead on every joule ([Holmes 2013], paper Sec. 5).
 
-use smart_sfq::units::{Frequency, Power};
 use smart_systolic::mapping::ArrayShape;
+use smart_units::{Frequency, Power};
 
 /// Cooling overhead at 4 K: 400 W of wall power per watt dissipated.
 pub const COOLING_FACTOR: f64 = 400.0;

@@ -17,11 +17,11 @@
 
 use crate::config::{AcceleratorConfig, COOLING_FACTOR};
 use crate::scheme::{Scheme, SpmOrganization};
-use smart_sfq::units::{Energy, Time};
 use smart_spm::service::{AccessCost, SpmService};
 use smart_systolic::layer::CnnModel;
 use smart_systolic::mapping::LayerMapping;
 use smart_systolic::trace::{DataClass, LayerDemand};
+use smart_units::{Energy, Time};
 
 /// Multiplier on SHIFT realignment distance: each fold boundary re-scans
 /// the live region several times because overlapping im2col windows revisit
@@ -114,7 +114,6 @@ impl InferenceReport {
 pub fn evaluate(scheme: &Scheme, model: &CnnModel, batch: u32) -> InferenceReport {
     assert!(batch > 0, "batch must be positive");
     let config = &scheme.config;
-    let period = config.frequency.period();
     let overlap = scheme.policy.overlap_fraction();
 
     let mut layers = Vec::with_capacity(model.layers.len());
@@ -130,16 +129,14 @@ pub fn evaluate(scheme: &Scheme, model: &CnnModel, batch: u32) -> InferenceRepor
         let single = LayerMapping::map(layer, config.shape, 1);
         let single_demand = LayerDemand::derive(layer, &single);
 
-        let compute = period * mapping.compute_cycles() as f64;
+        let compute = mapping.compute_time(config.frequency);
         let (stream_stall, mem_serial, energy) = match &scheme.spm {
             SpmOrganization::Ideal => (Time::ZERO, Time::ZERO, Energy::ZERO),
             SpmOrganization::PureShift(spm) => {
                 serve_pure_shift(spm, &demand, &single_demand, compute, batch)
             }
             SpmOrganization::PureRandom(array) => serve_pure_random(array, &demand, compute),
-            SpmOrganization::Heterogeneous(spm) => {
-                serve_hetero(spm, &mapping, &demand, compute)
-            }
+            SpmOrganization::Heterogeneous(spm) => serve_hetero(spm, &mapping, &demand, compute),
         };
 
         let hidden = compute * overlap;
@@ -254,10 +251,9 @@ fn serve_hetero(
     let t_in = spm
         .input_shift
         .serve_stream(demand.reads_of(DataClass::Input), false);
-    let t_out = spm.output_shift.serve_stream(
-        demand.writes_of(DataClass::Output),
-        true,
-    );
+    let t_out = spm
+        .output_shift
+        .serve_stream(demand.writes_of(DataClass::Output), true);
     let t_w = spm
         .weight_shift
         .serve_stream(demand.reads_of(DataClass::Weight), false);
@@ -323,9 +319,7 @@ fn energy_report(
     }
     let matrix = Energy::from_j(config.mac_energy_j * macs as f64);
     let leak_power = match spm {
-        SpmOrganization::Ideal | SpmOrganization::PureShift(_) => {
-            smart_sfq::units::Power::ZERO
-        }
+        SpmOrganization::Ideal | SpmOrganization::PureShift(_) => smart_units::Power::ZERO,
         SpmOrganization::PureRandom(a) => a.leakage,
         SpmOrganization::Heterogeneous(h) => h.leakage(),
     };
@@ -381,7 +375,10 @@ mod tests {
         let sram = alexnet_single(&Scheme::sram());
         let heter = alexnet_single(&Scheme::heter());
         assert!(heter.speedup_over(&sram) > 1.0, "Heter should beat SRAM");
-        assert!(heter.speedup_over(&sn) < 1.0, "Heter should lose to SuperNPU");
+        assert!(
+            heter.speedup_over(&sn) < 1.0,
+            "Heter should lose to SuperNPU"
+        );
     }
 
     #[test]
@@ -427,15 +424,16 @@ mod tests {
         let model = ModelId::AlexNet.build();
         let sn_gain = {
             let s = Scheme::supernpu();
-            evaluate(&s, &model, 30).throughput_tmacs()
-                / evaluate(&s, &model, 1).throughput_tmacs()
+            evaluate(&s, &model, 30).throughput_tmacs() / evaluate(&s, &model, 1).throughput_tmacs()
         };
         let smart_gain = {
             let s = Scheme::smart();
-            evaluate(&s, &model, 22).throughput_tmacs()
-                / evaluate(&s, &model, 1).throughput_tmacs()
+            evaluate(&s, &model, 22).throughput_tmacs() / evaluate(&s, &model, 1).throughput_tmacs()
         };
-        assert!(smart_gain < sn_gain, "smart {smart_gain:.2} vs sn {sn_gain:.2}");
+        assert!(
+            smart_gain < sn_gain,
+            "smart {smart_gain:.2} vs sn {sn_gain:.2}"
+        );
     }
 
     #[test]

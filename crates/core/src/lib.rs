@@ -9,8 +9,10 @@ pub mod eval;
 pub mod scheme;
 pub mod sensitivity;
 
+pub use area::{matrix_unit_area, ChipArea};
 pub use config::{AcceleratorConfig, COOLING_FACTOR, DRAM_BANDWIDTH};
 pub use eval::{evaluate, EnergyReport, InferenceReport, LayerReport};
-pub use area::{matrix_unit_area, ChipArea};
 pub use scheme::{AllocationPolicy, PureShiftSpm, Scheme, SpmOrganization};
-pub use sensitivity::{prefetch_sweep, random_capacity_sweep, shift_capacity_sweep, write_latency_sweep, SweepPoint};
+pub use sensitivity::{
+    prefetch_sweep, random_capacity_sweep, shift_capacity_sweep, write_latency_sweep, SweepPoint,
+};

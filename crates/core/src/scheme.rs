@@ -256,7 +256,11 @@ mod tests {
 
     #[test]
     fn supernpu_spm_capacities() {
-        let PureShiftSpm { input, output, weight } = PureShiftSpm::supernpu();
+        let PureShiftSpm {
+            input,
+            output,
+            weight,
+        } = PureShiftSpm::supernpu();
         assert_eq!(input.capacity_bytes(), 24 * MB);
         assert_eq!(input.banks(), 64);
         assert_eq!(output.banks(), 256);
@@ -283,8 +287,14 @@ mod tests {
 
     #[test]
     fn fig7_names() {
-        assert_eq!(Scheme::fig7_hetero(RandomArrayKind::Vtm, true).name, "hVTM+p");
-        assert_eq!(Scheme::fig7_hetero(RandomArrayKind::SheMram, false).name, "hMRAM");
+        assert_eq!(
+            Scheme::fig7_hetero(RandomArrayKind::Vtm, true).name,
+            "hVTM+p"
+        );
+        assert_eq!(
+            Scheme::fig7_hetero(RandomArrayKind::SheMram, false).name,
+            "hMRAM"
+        );
     }
 
     #[test]

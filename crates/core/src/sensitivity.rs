@@ -6,9 +6,9 @@
 use crate::eval::evaluate;
 use crate::scheme::{AllocationPolicy, Scheme, SpmOrganization};
 use smart_cryomem::array::RandomArrayKind;
-use smart_sfq::units::Time;
 use smart_spm::hetero::HeterogeneousSpm;
 use smart_systolic::models::ModelId;
+use smart_units::Time;
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;

@@ -12,7 +12,7 @@ use crate::tech::MemoryTechnology;
 use smart_sfq::components::{Component, ComponentKind};
 use smart_sfq::fanout::SfqDecoder;
 use smart_sfq::jj::JosephsonJunction;
-use smart_sfq::units::{Area, Energy, Frequency, Length, Power, Time};
+use smart_units::{Area, Energy, Frequency, Length, Power, Time};
 
 /// Effective SHIFT cell pitch in F^2: the 39 F^2 DFF (Table 1) plus its
 /// clock-splitter share (~39 F^2 — every DFF needs a clock pulse, and SFQ
@@ -67,9 +67,7 @@ impl RandomArrayKind {
     #[must_use]
     pub fn technology(self) -> MemoryTechnology {
         match self {
-            Self::JosephsonCmosSram | Self::PipelinedCmosSfq => {
-                MemoryTechnology::JosephsonCmosSram
-            }
+            Self::JosephsonCmosSram | Self::PipelinedCmosSfq => MemoryTechnology::JosephsonCmosSram,
             Self::Vtm => MemoryTechnology::Vtm,
             Self::SheMram => MemoryTechnology::SheMram,
             Self::Snm => MemoryTechnology::Snm,
@@ -202,9 +200,7 @@ impl RandomArray {
             + ntron.leakage() * f64::from(banks)
             + dcsfq.leakage() * f64::from(banks);
 
-        let cells = Area::from_si(
-            capacity_bytes as f64 * 8.0 * 146.0 * (28e-9_f64 * 28e-9),
-        );
+        let cells = Area::from_si(capacity_bytes as f64 * 8.0 * 146.0 * (28e-9_f64 * 28e-9));
         let area = AreaBreakdown {
             cells,
             decoder: decoder.area(&jj),
@@ -515,11 +511,7 @@ mod tests {
     #[test]
     fn pipelined_array_reaches_9_7_ghz() {
         let f = RandomArray::max_pipeline_frequency();
-        assert!(
-            (9.6..=9.8).contains(&f.as_ghz()),
-            "got {} GHz",
-            f.as_ghz()
-        );
+        assert!((9.6..=9.8).contains(&f.as_ghz()), "got {} GHz", f.as_ghz());
     }
 
     #[test]
@@ -587,12 +579,18 @@ mod tests {
         // SHIFT.
         let cap = 28 * MB;
         let shift = shift_spm_area(48 * MB + 128 * 1024);
-        let vtm = RandomArray::build(RandomArrayKind::Vtm, cap, 256).area.total();
+        let vtm = RandomArray::build(RandomArrayKind::Vtm, cap, 256)
+            .area
+            .total();
         let sram = RandomArray::build(RandomArrayKind::JosephsonCmosSram, cap, 256)
             .area
             .total();
-        let mram = RandomArray::build(RandomArrayKind::SheMram, cap, 256).area.total();
-        let snm = RandomArray::build(RandomArrayKind::Snm, cap, 256).area.total();
+        let mram = RandomArray::build(RandomArrayKind::SheMram, cap, 256)
+            .area
+            .total();
+        let snm = RandomArray::build(RandomArrayKind::Snm, cap, 256)
+            .area
+            .total();
         // All random arrays (58% capacity) are smaller than the SHIFT SPM.
         for (name, a) in [("vtm", vtm), ("sram", sram), ("mram", mram), ("snm", snm)] {
             assert!(
@@ -610,7 +608,11 @@ mod tests {
 
     #[test]
     fn decoder_share_16_to_28_percent_in_superconducting_arrays() {
-        for kind in [RandomArrayKind::Vtm, RandomArrayKind::SheMram, RandomArrayKind::Snm] {
+        for kind in [
+            RandomArrayKind::Vtm,
+            RandomArrayKind::SheMram,
+            RandomArrayKind::Snm,
+        ] {
             let a = RandomArray::build(kind, 16 * MB, 256);
             let share = a.area.decoder.as_si() / a.area.total().as_si();
             assert!(

@@ -11,7 +11,7 @@
 use smart_sfq::components::{Repeater, SplitterUnit};
 use smart_sfq::jj::JosephsonJunction;
 use smart_sfq::ptl::PtlGeometry;
-use smart_sfq::units::{Area, Energy, Length, Power, Time};
+use smart_units::{Area, Energy, Length, Power, Time};
 
 /// CMOS H-Tree over a square array floorplan.
 ///
@@ -191,7 +191,9 @@ impl SfqHTree {
     /// Pipeline stages needed for one direction at the stage time.
     #[must_use]
     pub fn one_way_stages(&self) -> u32 {
-        (self.one_way_latency().as_s() / self.stage_time.as_s()).ceil().max(1.0) as u32
+        (self.one_way_latency().as_s() / self.stage_time.as_s())
+            .ceil()
+            .max(1.0) as u32
     }
 
     /// Number of splitter units in the whole tree (`banks - 1`).
@@ -235,7 +237,8 @@ impl SfqHTree {
         let unit = SplitterUnit::new().area(jj) * (self.splitter_units() as f64 * 2.0);
         let reps = Repeater::new().area(jj) * f64::from(self.repeaters());
         // PTL pitch ~4 um (micro-strip + ground plane keep-out), two nets.
-        let routing = Area::from_si(self.route_length().as_si() * 2.0 * Length::from_um(4.0).as_si());
+        let routing =
+            Area::from_si(self.route_length().as_si() * 2.0 * Length::from_um(4.0).as_si());
         unit + reps + routing
     }
 }
@@ -296,7 +299,10 @@ mod tests {
 
     #[test]
     fn splitter_unit_count_is_banks_minus_one() {
-        assert_eq!(SfqHTree::new(Length::from_mm(4.0), 256).splitter_units(), 255);
+        assert_eq!(
+            SfqHTree::new(Length::from_mm(4.0), 256).splitter_units(),
+            255
+        );
         assert_eq!(SfqHTree::new(Length::from_mm(4.0), 4).splitter_units(), 3);
     }
 

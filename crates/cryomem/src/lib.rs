@@ -9,7 +9,7 @@
 //! * [`subbank`] — CACTI-style CMOS SRAM sub-bank model, validated against
 //!   the 4 K chip demonstration (Fig. 12)
 //! * [`htree`] — CMOS and SFQ H-Tree interconnect models (Fig. 9)
-//! * [`array`] — full random-access arrays, including the paper's pipelined
+//! * [`mod@array`] — full random-access arrays, including the paper's pipelined
 //!   CMOS-SFQ array
 //! * [`pipeline`] — design-space exploration of the pipelined array
 //!   (Fig. 14)

@@ -10,7 +10,7 @@ use crate::htree::SfqHTree;
 use crate::subbank::{SubBankConfig, SubBankModel};
 use smart_sfq::components::{Component, ComponentKind, Repeater};
 use smart_sfq::jj::JosephsonJunction;
-use smart_sfq::units::{Area, Energy, Frequency, Length, Power, Time};
+use smart_units::{Area, Energy, Frequency, Length, Power, Time};
 
 /// One evaluated point of the Fig. 14 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,9 +51,7 @@ pub fn explore(capacity_bytes: u64, banks: u32, frequencies_ghz: &[f64]) -> Vec<
     let bank_bytes = capacity_bytes / u64::from(banks);
 
     let f = 28e-9_f64;
-    let side = Length::from_si(
-        (capacity_bytes as f64 * 8.0 * 146.0 * f * f * 1.5).sqrt(),
-    );
+    let side = Length::from_si((capacity_bytes as f64 * 8.0 * 146.0 * f * f * 1.5).sqrt());
     let htree = SfqHTree::new(side, banks);
 
     frequencies_ghz
@@ -154,7 +152,11 @@ mod tests {
         let pts = sweep();
         for p in &pts {
             if p.frequency.as_ghz() > 9.8 {
-                assert!(!p.feasible, "{} GHz should be infeasible", p.frequency.as_ghz());
+                assert!(
+                    !p.feasible,
+                    "{} GHz should be infeasible",
+                    p.frequency.as_ghz()
+                );
             }
         }
         let best = max_feasible(&pts).expect("some feasible point");
@@ -164,16 +166,28 @@ mod tests {
     #[test]
     fn higher_frequency_needs_more_mats() {
         let pts = sweep();
-        let low = pts.iter().find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6).unwrap();
-        let high = pts.iter().find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6).unwrap();
+        let low = pts
+            .iter()
+            .find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6)
+            .unwrap();
+        let high = pts
+            .iter()
+            .find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6)
+            .unwrap();
         assert!(high.mats_per_subbank >= low.mats_per_subbank);
     }
 
     #[test]
     fn higher_frequency_more_leakage_and_area() {
         let pts = sweep();
-        let low = pts.iter().find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6).unwrap();
-        let high = pts.iter().find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6).unwrap();
+        let low = pts
+            .iter()
+            .find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6)
+            .unwrap();
+        let high = pts
+            .iter()
+            .find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6)
+            .unwrap();
         assert!(high.leakage.as_si() >= low.leakage.as_si());
         assert!(high.area.as_si() >= low.area.as_si());
     }
@@ -181,8 +195,14 @@ mod tests {
     #[test]
     fn repeaters_increase_with_frequency() {
         let pts = sweep();
-        let low = pts.iter().find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6).unwrap();
-        let high = pts.iter().find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6).unwrap();
+        let low = pts
+            .iter()
+            .find(|p| (p.frequency.as_ghz() - 1.0).abs() < 1e-6)
+            .unwrap();
+        let high = pts
+            .iter()
+            .find(|p| (p.frequency.as_ghz() - 9.6).abs() < 1e-6)
+            .unwrap();
         assert!(high.repeaters >= low.repeaters);
     }
 

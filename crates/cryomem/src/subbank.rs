@@ -13,7 +13,7 @@
 //! and 8-12% above the chip energy, mirroring the paper's validation bands.
 
 use crate::mosfet::{MosfetCorner, Temperature};
-use smart_sfq::units::{Area, Energy, Length, Power, Time};
+use smart_units::{Area, Energy, Length, Power, Time};
 
 /// FO4 inverter delay at 300 K, per micron of channel length (ps/um).
 const FO4_PS_PER_UM: f64 = 425.0;
@@ -124,8 +124,8 @@ impl SubBankModel {
         let wl_len_um = f64::from(cols) * pitch_um;
         let bl_len_um = f64::from(rows) * pitch_um;
 
-        let r_per_um = WIRE_RES_28NM_PER_UM * (0.028 / f_um).powi(2)
-            * corner.wire_resistance_factor();
+        let r_per_um =
+            WIRE_RES_28NM_PER_UM * (0.028 / f_um).powi(2) * corner.wire_resistance_factor();
         let c_per_um = WIRE_CAP_PER_UM_FF * 1e-15;
 
         let fo4 = Time::from_ps(FO4_PS_PER_UM * f_um) * corner.delay_factor();
@@ -165,8 +165,8 @@ impl SubBankModel {
 
         // Leakage: bits plus per-MAT peripherals, temperature-scaled.
         let bits = config.capacity_bytes as f64 * 8.0;
-        let leak_300k = bits * LEAK_PER_BIT_28NM * (f_um / 0.028)
-            + f64::from(config.mats) * LEAK_PER_MAT;
+        let leak_300k =
+            bits * LEAK_PER_BIT_28NM * (f_um / 0.028) + f64::from(config.mats) * LEAK_PER_MAT;
         let leakage = Power::from_w(leak_300k * corner.leakage_factor());
 
         // Area: cells plus ~30% peripheral overhead per MAT.
@@ -373,7 +373,8 @@ mod tests {
     #[test]
     fn fig12_validation_latency_3_to_8_percent_conservative() {
         for chip in chip_validation_data() {
-            let model = SubBankModel::new(SubBankConfig::chip_018um(chip.capacity_bytes, chip.mats));
+            let model =
+                SubBankModel::new(SubBankConfig::chip_018um(chip.capacity_bytes, chip.mats));
             let dev = model.access_latency().as_si() / chip.latency.as_si() - 1.0;
             assert!(
                 (0.0..=0.10).contains(&dev),
@@ -389,7 +390,8 @@ mod tests {
     #[test]
     fn fig12_validation_energy_8_to_12_percent_conservative() {
         for chip in chip_validation_data() {
-            let model = SubBankModel::new(SubBankConfig::chip_018um(chip.capacity_bytes, chip.mats));
+            let model =
+                SubBankModel::new(SubBankConfig::chip_018um(chip.capacity_bytes, chip.mats));
             let dev = model.read_energy().as_si() / chip.energy.as_si() - 1.0;
             assert!(
                 (0.05..=0.15).contains(&dev),

@@ -13,7 +13,7 @@
 //! SRAM's 2-4 ns is an *array* latency (28 MB at 4 K); the others are
 //! cell/array access figures from the cited demonstrations.
 
-use smart_sfq::units::{Energy, Time};
+use smart_units::{Energy, Time};
 
 /// Qualitative leakage class used in Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -34,5 +34,6 @@ pub mod simplex;
 pub mod solver;
 
 pub use problem::{Problem, Relation, Sense, VarId};
-pub use simplex::{solve_relaxation, LpResult, LpSolution};
+pub use simplex::{solve_relaxation, try_solve_relaxation, LpResult, LpSolution};
+pub use smart_units::{Result, SmartError};
 pub use solver::{MipResult, MipSolution, Solver};

@@ -7,6 +7,7 @@
 //! termination.
 
 use crate::problem::{Problem, Relation, Sense};
+use smart_units::{Result, SmartError};
 
 const EPS: f64 = 1e-9;
 /// Iteration cap (anti-runaway; Bland's rule prevents cycling well before
@@ -22,6 +23,24 @@ pub enum LpResult {
     Infeasible,
     /// The objective is unbounded.
     Unbounded,
+}
+
+impl LpResult {
+    /// Converts the outcome into the workspace-wide [`Result`], mapping
+    /// [`LpResult::Infeasible`] and [`LpResult::Unbounded`] to their
+    /// [`SmartError`] counterparts.
+    ///
+    /// # Errors
+    ///
+    /// [`SmartError::Infeasible`] or [`SmartError::Unbounded`],
+    /// respectively.
+    pub fn into_result(self) -> Result<LpSolution> {
+        match self {
+            Self::Optimal(s) => Ok(s),
+            Self::Infeasible => Err(SmartError::infeasible("LP relaxation")),
+            Self::Unbounded => Err(SmartError::unbounded("LP relaxation")),
+        }
+    }
 }
 
 /// An optimal LP solution.
@@ -148,6 +167,19 @@ impl Tableau {
     }
 }
 
+/// Like [`solve_relaxation`], but returns the workspace-wide [`Result`]
+/// instead of the three-way [`LpResult`]: use this at API boundaries where
+/// an infeasible or unbounded relaxation is an error rather than a signal
+/// to keep searching.
+///
+/// # Errors
+///
+/// [`SmartError::Infeasible`] when no feasible point exists and
+/// [`SmartError::Unbounded`] when the objective is unbounded.
+pub fn try_solve_relaxation(problem: &Problem, pins: &[Option<f64>]) -> Result<LpSolution> {
+    solve_relaxation(problem, pins).into_result()
+}
+
 /// Solves the LP relaxation of `problem` (integrality dropped), with extra
 /// pinned bounds `x[i] = v` from branch & bound (pass `None` for free).
 ///
@@ -156,7 +188,10 @@ impl Tableau {
 #[must_use]
 pub fn solve_relaxation(problem: &Problem, pins: &[Option<f64>]) -> LpResult {
     let n = problem.num_vars();
-    assert!(pins.len() == n || pins.is_empty(), "pin vector length mismatch");
+    assert!(
+        pins.len() == n || pins.is_empty(),
+        "pin vector length mismatch"
+    );
 
     // Effective bounds.
     let mut lower = Vec::with_capacity(n);
@@ -398,6 +433,38 @@ mod tests {
             panic!("expected optimal")
         };
         assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_solve_relaxation_reports_infeasible() {
+        // x <= 1 but x >= 2: empty feasible region -> SmartError, no panic.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.continuous("x", 0.0, 1.0);
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        let err = try_solve_relaxation(&p, &[]).unwrap_err();
+        assert!(matches!(err, SmartError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_solve_relaxation_reports_unbounded() {
+        // max x with x unbounded above: SmartError::Unbounded, no panic.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.continuous("x", 0.0, f64::INFINITY);
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 0.0);
+        let err = try_solve_relaxation(&p, &[]).unwrap_err();
+        assert!(matches!(err, SmartError::Unbounded { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_solve_relaxation_passes_through_optimum() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.continuous("x", 0.0, 3.0);
+        p.set_objective(x, 2.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 100.0);
+        let s = try_solve_relaxation(&p, &[]).expect("bounded and feasible");
+        assert!((s.objective - 6.0).abs() < 1e-6);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::problem::{Problem, Relation, Sense};
 use crate::simplex::{solve_relaxation, LpResult};
+use smart_units::{Result, SmartError};
 use std::collections::BinaryHeap;
 
 const INT_TOL: f64 = 1e-6;
@@ -34,6 +35,23 @@ impl MipResult {
             _ => None,
         }
     }
+
+    /// Converts the outcome into the workspace-wide [`Result`], mapping
+    /// [`MipResult::Infeasible`] and [`MipResult::Unbounded`] to their
+    /// [`SmartError`] counterparts. The optimal/feasible distinction is
+    /// preserved in [`MipSolution::proven_optimal`].
+    ///
+    /// # Errors
+    ///
+    /// [`SmartError::Infeasible`] or [`SmartError::Unbounded`],
+    /// respectively.
+    pub fn into_result(self) -> Result<MipSolution> {
+        match self {
+            Self::Optimal(s) | Self::Feasible(s) => Ok(s),
+            Self::Infeasible => Err(SmartError::infeasible("integer program")),
+            Self::Unbounded => Err(SmartError::unbounded("integer program relaxation")),
+        }
+    }
 }
 
 /// An integer-feasible solution.
@@ -45,6 +63,10 @@ pub struct MipSolution {
     pub values: Vec<f64>,
     /// Branch & bound nodes explored.
     pub nodes: usize,
+    /// `true` when branch & bound proved this solution optimal; `false`
+    /// when the node limit stopped the search or the greedy repair pass
+    /// produced it.
+    pub proven_optimal: bool,
 }
 
 impl MipSolution {
@@ -82,6 +104,18 @@ impl Solver {
         assert!(limit > 0, "node limit must be positive");
         self.node_limit = limit;
         self
+    }
+
+    /// Like [`Solver::solve`], but returns the workspace-wide [`Result`]:
+    /// infeasible and unbounded programs become [`SmartError`] values
+    /// instead of enum variants the caller has to remember to match.
+    ///
+    /// # Errors
+    ///
+    /// [`SmartError::Infeasible`] when no integer-feasible point exists and
+    /// [`SmartError::Unbounded`] when the relaxation is unbounded.
+    pub fn try_solve(&self, problem: &Problem) -> Result<MipSolution> {
+        self.solve(problem).into_result()
     }
 
     /// Solves the problem.
@@ -132,10 +166,11 @@ impl Solver {
         let mut incumbent: Option<MipSolution> = None;
         let mut nodes = 0usize;
 
-        while let Some(node) = heap.pop() {
-            if nodes >= self.node_limit {
-                break;
-            }
+        // Check the limit before popping: discarding a popped-but-unexplored
+        // node would leave the heap empty and misclassify the incumbent as
+        // proven optimal below.
+        while nodes < self.node_limit {
+            let Some(node) = heap.pop() else { break };
             // Bound pruning.
             if let Some(inc) = &incumbent {
                 if node.bound <= inc.objective * sign + INT_TOL {
@@ -157,7 +192,12 @@ impl Solver {
             // Most fractional integer variable.
             let frac_var = int_vars
                 .iter()
-                .map(|&v| (v, (lp.values[v.index()] - lp.values[v.index()].round()).abs()))
+                .map(|&v| {
+                    (
+                        v,
+                        (lp.values[v.index()] - lp.values[v.index()].round()).abs(),
+                    )
+                })
                 .filter(|(_, f)| *f > INT_TOL)
                 .max_by(|a, b| a.1.total_cmp(&b.1));
 
@@ -172,6 +212,7 @@ impl Solver {
                             objective: lp.objective,
                             values: lp.values,
                             nodes,
+                            proven_optimal: false,
                         });
                     }
                 }
@@ -193,6 +234,7 @@ impl Solver {
             Some(mut s) => {
                 s.nodes = nodes;
                 if heap.is_empty() || nodes < self.node_limit {
+                    s.proven_optimal = true;
                     MipResult::Optimal(s)
                 } else {
                     MipResult::Feasible(s)
@@ -247,6 +289,7 @@ fn greedy_round(problem: &Problem, lp_values: &[f64], nodes: usize) -> MipResult
                 objective,
                 values,
                 nodes,
+                proven_optimal: false,
             });
         };
         // Flip the binary with the largest |coefficient| that is currently 1
@@ -341,6 +384,83 @@ mod tests {
         assert!((s.objective - 2.0).abs() < 1e-6);
         assert!((s.value(x00) - 1.0).abs() < 1e-6);
         assert!((s.value(x11) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_solve_knapsack_that_must_branch() {
+        // max 9a + 9b + 16c s.t. 5a + 5b + 8c <= 10: the LP relaxation is
+        // fractional (c = 1, a = 0.2), so branch & bound must actually
+        // branch to find the integer optimum a + b = 18.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        let c = p.binary("c");
+        p.set_objective(a, 9.0);
+        p.set_objective(b, 9.0);
+        p.set_objective(c, 16.0);
+        p.add_constraint(&[(a, 5.0), (b, 5.0), (c, 8.0)], Relation::Le, 10.0);
+        let s = Solver::new().try_solve(&p).expect("feasible knapsack");
+        assert!((s.objective - 18.0).abs() < 1e-6, "z = {}", s.objective);
+        assert!(s.proven_optimal);
+        assert!(
+            s.nodes > 1,
+            "must have branched, explored {} nodes",
+            s.nodes
+        );
+    }
+
+    #[test]
+    fn node_limit_never_claims_optimality_with_open_nodes() {
+        // With a node limit too small to finish the search, the solver must
+        // not report Optimal / proven_optimal: open nodes remain on the
+        // heap (a popped-but-unexplored node must not be discarded).
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        let c = p.binary("c");
+        p.set_objective(a, 9.0);
+        p.set_objective(b, 9.0);
+        p.set_objective(c, 16.0);
+        p.add_constraint(&[(a, 5.0), (b, 5.0), (c, 8.0)], Relation::Le, 10.0);
+        for limit in 1..4 {
+            let r = Solver::new().with_node_limit(limit).solve(&p);
+            assert!(
+                !matches!(r, MipResult::Optimal(_)),
+                "limit {limit}: claimed optimal with open nodes"
+            );
+            if let Some(s) = r.solution() {
+                assert!(!s.proven_optimal, "limit {limit}");
+            }
+        }
+        // A generous limit does prove optimality.
+        let s = Solver::new().try_solve(&p).expect("feasible");
+        assert!(s.proven_optimal && (s.objective - 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_solve_reports_infeasible() {
+        // Two binaries cannot sum to 3: Err(Infeasible), not a panic.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        p.set_objective(a, 1.0);
+        p.add_constraint(&[(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+        let err = Solver::new().try_solve(&p).unwrap_err();
+        assert!(matches!(err, SmartError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_solve_reports_unbounded() {
+        // A free continuous variable with positive objective and no upper
+        // bound: Err(Unbounded), not a panic.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let y = p.continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(a, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(a, 1.0), (y, 1.0)], Relation::Ge, 0.0);
+        let err = Solver::new().try_solve(&p).unwrap_err();
+        assert!(matches!(err, SmartError::Unbounded { .. }), "{err}");
     }
 
     #[test]

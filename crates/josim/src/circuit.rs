@@ -143,7 +143,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not positive or a node is invalid.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.check(a);
         self.check(b);
         self.elements.push(Element::Resistor { a, b, ohms });
@@ -188,7 +191,8 @@ impl Circuit {
     pub fn current_source(&mut self, from: NodeId, to: NodeId, waveform: Waveform) {
         self.check(from);
         self.check(to);
-        self.elements.push(Element::CurrentSource { from, to, waveform });
+        self.elements
+            .push(Element::CurrentSource { from, to, waveform });
     }
 
     /// Adds an RSJ Josephson junction.
@@ -197,7 +201,10 @@ impl Circuit {
     ///
     /// Panics if any parameter is non-positive or a node is invalid.
     pub fn junction(&mut self, a: NodeId, b: NodeId, ic: f64, resistance: f64, capacitance: f64) {
-        assert!(ic > 0.0 && ic.is_finite(), "critical current must be positive");
+        assert!(
+            ic > 0.0 && ic.is_finite(),
+            "critical current must be positive"
+        );
         assert!(
             resistance > 0.0 && resistance.is_finite(),
             "shunt resistance must be positive"

@@ -79,6 +79,15 @@ impl std::fmt::Display for SimulationError {
 
 impl std::error::Error for SimulationError {}
 
+impl From<SimulationError> for smart_units::SmartError {
+    /// Folds an engine failure into the workspace-wide error type so
+    /// higher layers (fixtures, validation, the evaluator) can thread one
+    /// [`smart_units::Result`] end to end.
+    fn from(e: SimulationError) -> Self {
+        smart_units::SmartError::simulation(e.to_string())
+    }
+}
+
 /// Recorded result of a transient run.
 #[derive(Debug, Clone)]
 pub struct Transient {
@@ -276,7 +285,10 @@ impl Engine {
         } else {
             let mut m = Matrix::zeros(self.unknowns);
             self.stamp_linear(&mut m, h);
-            Some(m.lu().map_err(|s| SimulationError::Singular { column: s.column })?)
+            Some(
+                m.lu()
+                    .map_err(|s| SimulationError::Singular { column: s.column })?,
+            )
         };
 
         let mut x = vec![0.0; self.unknowns];
@@ -623,8 +635,7 @@ mod tests {
             }
         }
         assert!(crossings.len() >= 3, "need oscillations");
-        let period = (crossings[crossings.len() - 1] - crossings[0])
-            / (crossings.len() - 1) as f64;
+        let period = (crossings[crossings.len() - 1] - crossings[0]) / (crossings.len() - 1) as f64;
         let f = 1.0 / period;
         let expected = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
         let err = (f - expected).abs() / expected;
@@ -730,7 +741,10 @@ mod tests {
         let n = ckt.node();
         ckt.resistor(n, Circuit::GROUND, 1.0);
         let engine = Engine::new(ckt);
-        let _ = engine.run(TransientSpec::new(1e-9, 1e-12), &[crate::circuit::NodeId(9)]);
+        let _ = engine.run(
+            TransientSpec::new(1e-9, 1e-12),
+            &[crate::circuit::NodeId(9)],
+        );
     }
 
     #[test]

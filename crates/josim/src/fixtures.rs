@@ -8,10 +8,11 @@
 //! ladder, and a matched termination at the receiver.
 
 use crate::circuit::{Circuit, NodeId};
-use crate::engine::{Engine, SimulationError, Transient, TransientSpec};
+use crate::engine::{Engine, Transient, TransientSpec};
 use crate::waveform::Waveform;
 use smart_sfq::ptl::PtlGeometry;
-use smart_sfq::units::Length;
+use smart_units::Length;
+use smart_units::Result;
 
 /// Number of LC sections per millimeter of line. 40 sections/mm keeps the
 /// discretization (Bragg) cutoff far above the SFQ pulse bandwidth while
@@ -111,8 +112,9 @@ impl PtlFixture {
     ///
     /// # Errors
     ///
-    /// Propagates engine failures (singular matrix / Newton divergence).
-    pub fn run(&self) -> Result<PtlMeasurement, SimulationError> {
+    /// Propagates engine failures (singular matrix / Newton divergence)
+    /// as [`smart_units::SmartError::Simulation`].
+    pub fn run(&self) -> Result<PtlMeasurement> {
         // Simulate long enough for the pulse to arrive plus margin.
         let analytic_delay = self.geometry.delay_per_meter() * self.length.as_m();
         let stop = 20.0e-12 + 3.0 * analytic_delay;
@@ -188,8 +190,9 @@ impl ValidationPoint {
 ///
 /// # Errors
 ///
-/// Propagates engine failures.
-pub fn validate_ptl_model(lengths_mm: &[f64]) -> Result<Vec<ValidationPoint>, SimulationError> {
+/// Propagates engine failures as
+/// [`smart_units::SmartError::Simulation`].
+pub fn validate_ptl_model(lengths_mm: &[f64]) -> Result<Vec<ValidationPoint>> {
     let geometry = PtlGeometry::hypres_microstrip();
     let phi0 = 2.067_833_848e-15;
     let sigma = 1.0e-12;

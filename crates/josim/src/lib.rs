@@ -44,4 +44,5 @@ pub mod waveform;
 pub use circuit::{Circuit, Element, NodeId};
 pub use engine::{Engine, SimulationError, Transient, TransientSpec};
 pub use fixtures::{validate_ptl_model, PtlFixture, PtlMeasurement, ValidationPoint};
+pub use smart_units::{Result, SmartError};
 pub use waveform::Waveform;

@@ -218,20 +218,13 @@ mod tests {
 
     #[test]
     fn random_roundtrip_3x3() {
-        let m = mat(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let m = mat(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let b = [1.0, 2.0, 3.0];
         let x = m.lu().unwrap().solve(&b);
         // Verify A x = b.
-        for r in 0..3 {
-            let mut sum = 0.0;
-            for c in 0..3 {
-                sum += m.get(r, c) * x[c];
-            }
-            assert!((sum - b[r]).abs() < 1e-10);
+        for (r, &rhs) in b.iter().enumerate() {
+            let sum: f64 = x.iter().enumerate().map(|(c, &xc)| m.get(r, c) * xc).sum();
+            assert!((sum - rhs).abs() < 1e-10);
         }
     }
 

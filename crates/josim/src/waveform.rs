@@ -61,7 +61,13 @@ impl Waveform {
     ///
     /// Panics if `sigma` or `period` is not positive or `count` is zero.
     #[must_use]
-    pub fn gaussian_train(amplitude: f64, center: f64, sigma: f64, period: f64, count: u32) -> Self {
+    pub fn gaussian_train(
+        amplitude: f64,
+        center: f64,
+        sigma: f64,
+        period: f64,
+        count: u32,
+    ) -> Self {
         assert!(sigma > 0.0, "pulse width must be positive");
         assert!(period > 0.0, "pulse period must be positive");
         assert!(count > 0, "pulse count must be positive");

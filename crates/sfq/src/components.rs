@@ -13,7 +13,7 @@
 //! | nTron     | 103.02       | 8.8          | 13           |
 
 use crate::jj::JosephsonJunction;
-use crate::units::{Area, Energy, Power, Time};
+use smart_units::{Area, Energy, Power, Time};
 
 /// Kinds of SFQ peripheral components used by the memory models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

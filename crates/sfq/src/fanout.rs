@@ -9,7 +9,7 @@
 
 use crate::components::{Component, ComponentKind};
 use crate::jj::JosephsonJunction;
-use crate::units::{Area, Energy, Power, Time};
+use smart_units::{Area, Energy, Power, Time};
 
 /// A binary tree of splitters that raises fan-out from 1 to `fanout`.
 ///
@@ -161,12 +161,13 @@ impl SfqDecoder {
     #[must_use]
     pub fn energy_per_decode(&self, jj: &JosephsonJunction) -> Energy {
         let splitter = Component::of(ComponentKind::Splitter);
-        let path_splitters =
-            f64::from(SplitterTree::for_fanout(self.outputs()).depth()) * (1.0 + f64::from(self.address_bits));
+        let path_splitters = f64::from(SplitterTree::for_fanout(self.outputs()).depth())
+            * (1.0 + f64::from(self.address_bits));
         // The clock tree broadcasts to all outputs each decode.
-        let clock_broadcast =
-            splitter.energy_per_pulse(jj) * SplitterTree::for_fanout(self.outputs()).splitter_count() as f64;
-        splitter.energy_per_pulse(jj) * path_splitters + clock_broadcast
+        let clock_broadcast = splitter.energy_per_pulse(jj)
+            * SplitterTree::for_fanout(self.outputs()).splitter_count() as f64;
+        splitter.energy_per_pulse(jj) * path_splitters
+            + clock_broadcast
             + jj.switching_energy() * 4.0
     }
 }
@@ -176,7 +177,10 @@ impl SfqDecoder {
 /// output count.
 #[must_use]
 pub fn cmos_decoder_area_f2(address_bits: u32) -> f64 {
-    assert!((1..=32).contains(&address_bits), "address width must be in 1..=32");
+    assert!(
+        (1..=32).contains(&address_bits),
+        "address width must be in 1..=32"
+    );
     // 23_000 F^2 at N = 4 (16 outputs) => ~1_437 F^2 per output.
     let per_output = 23_000.0 / 16.0;
     per_output * (1u64 << address_bits) as f64

@@ -9,7 +9,7 @@
 use crate::components::SplitterUnit;
 use crate::jj::JosephsonJunction;
 use crate::ptl::{PtlGeometry, PtlLine};
-use crate::units::{Energy, Frequency, Length, Time};
+use smart_units::{Energy, Frequency, Length, Time};
 
 /// A splitter unit plus its outgoing PTL segment (one H-Tree hop).
 ///
@@ -17,7 +17,7 @@ use crate::units::{Energy, Frequency, Length, Time};
 ///
 /// ```
 /// use smart_sfq::hop::PtlHop;
-/// use smart_sfq::units::Length;
+/// use smart_units::Length;
 ///
 /// let hop = PtlHop::new(Length::from_mm(0.5));
 /// // Fig. 13a: tens-of-GHz resonance-limited operating frequency.

@@ -14,7 +14,7 @@
 //!   `Ic`, `R`, `C` consumed by the [`smart_josim`](../../josim) transient
 //!   simulator.
 
-use crate::units::{Area, Energy, Frequency, Length, Time};
+use smart_units::{Area, Energy, Frequency, Length, Time};
 
 /// The magnetic flux quantum `Phi0 = h / 2e` in webers (V*s).
 pub const FLUX_QUANTUM: f64 = 2.067_833_848e-15;
@@ -57,7 +57,10 @@ impl JosephsonJunction {
     /// Panics if any parameter is non-positive or non-finite.
     #[must_use]
     pub fn new(ic: f64, resistance: f64, capacitance: f64, diameter: Length) -> Self {
-        assert!(ic > 0.0 && ic.is_finite(), "critical current must be positive");
+        assert!(
+            ic > 0.0 && ic.is_finite(),
+            "critical current must be positive"
+        );
         assert!(
             resistance > 0.0 && resistance.is_finite(),
             "shunt resistance must be positive"
@@ -171,8 +174,7 @@ impl JosephsonJunction {
     /// (overdamped or critically damped) so junctions do not latch.
     #[must_use]
     pub fn stewart_mccumber(&self) -> f64 {
-        2.0 * std::f64::consts::PI * self.ic * self.resistance * self.resistance
-            * self.capacitance
+        2.0 * std::f64::consts::PI * self.ic * self.resistance * self.resistance * self.capacitance
             / FLUX_QUANTUM
     }
 }

@@ -7,7 +7,7 @@
 //! (paper Fig. 2 and Sec. 2.1).
 
 use crate::jj::JosephsonJunction;
-use crate::units::{Area, Energy, Length, Power, Time};
+use smart_units::{Area, Energy, Length, Power, Time};
 
 /// A JTL segment of a given length.
 ///
@@ -15,7 +15,7 @@ use crate::units::{Area, Energy, Length, Power, Time};
 ///
 /// ```
 /// use smart_sfq::jtl::Jtl;
-/// use smart_sfq::units::Length;
+/// use smart_units::Length;
 ///
 /// let jtl = Jtl::new(Length::from_um(100.0));
 /// assert!(jtl.stages() >= 10);
@@ -73,7 +73,9 @@ impl Jtl {
     /// Number of JJ stages (at least one).
     #[must_use]
     pub fn stages(&self) -> u32 {
-        (self.length.as_si() / self.stage_pitch.as_si()).ceil().max(1.0) as u32
+        (self.length.as_si() / self.stage_pitch.as_si())
+            .ceil()
+            .max(1.0) as u32
     }
 
     /// End-to-end propagation latency.
@@ -129,7 +131,9 @@ mod tests {
         let jj = JosephsonJunction::hypres_ersfq();
         let length = Length::from_mm(1.0);
         let jtl_e = Jtl::new(length).energy_per_pulse(&jj);
-        let ptl_e = PtlGeometry::hypres_microstrip().line(length).energy_per_pulse();
+        let ptl_e = PtlGeometry::hypres_microstrip()
+            .line(length)
+            .energy_per_pulse();
         // Paper: "To implement a long line, a JTL consumes 100x more energy
         // than a PTL."
         let ratio = jtl_e.as_si() / ptl_e.as_si();

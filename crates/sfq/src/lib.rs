@@ -12,7 +12,7 @@
 //! ```
 //! use smart_sfq::jj::JosephsonJunction;
 //! use smart_sfq::ptl::PtlGeometry;
-//! use smart_sfq::units::Length;
+//! use smart_units::Length;
 //!
 //! // Price a 1 mm PTL hop in the Hypres ERSFQ process.
 //! let line = PtlGeometry::hypres_microstrip().line(Length::from_mm(1.0));
@@ -33,14 +33,24 @@ pub mod hop;
 pub mod jj;
 pub mod jtl;
 pub mod ptl;
-pub mod units;
 pub mod wire;
 
+/// Deprecated re-export shim: the quantity system moved to the
+/// [`smart_units`] foundation crate so every layer of the workspace can
+/// depend on it without depending on device models. Import from
+/// `smart_units` directly; this alias will be removed next release.
+#[deprecated(
+    since = "0.1.0",
+    note = "the quantity system moved to the `smart-units` crate; \
+            use `smart_units::…` instead of `smart_sfq::units::…`"
+)]
+pub use smart_units as units;
+
 pub use components::{Component, ComponentKind, Repeater, SplitterUnit};
-pub use hop::PtlHop;
 pub use fanout::{SfqDecoder, SplitterTree};
+pub use hop::PtlHop;
 pub use jj::JosephsonJunction;
 pub use jtl::Jtl;
 pub use ptl::{PtlGeometry, PtlLine, SegmentedPtl};
-pub use units::{Area, Energy, Frequency, Length, Power, Time};
+pub use smart_units::{Area, Energy, Frequency, Length, Power, Time};
 pub use wire::{CmosWire, WireDataPoint, WireTechnology};

@@ -16,7 +16,7 @@
 
 use crate::components::Repeater;
 use crate::jj::JosephsonJunction;
-use crate::units::{Energy, Frequency, Length, Time};
+use smart_units::{Energy, Frequency, Length, Time};
 
 /// Permeability of free space (H/m).
 const MU0: f64 = 1.256_637_062e-6;
@@ -34,7 +34,7 @@ const EPS0: f64 = 8.854_187_812e-12;
 ///
 /// ```
 /// use smart_sfq::ptl::PtlGeometry;
-/// use smart_sfq::units::Length;
+/// use smart_units::Length;
 ///
 /// let geom = PtlGeometry::hypres_microstrip();
 /// let line = geom.line(Length::from_mm(1.0));
@@ -420,7 +420,9 @@ mod tests {
         let line = geom().line(Length::from_mm(1.0));
         // Repeater floor is 8.75 ps => ~102 GHz absolute ceiling even for
         // zero-length segments.
-        assert!(line.repeaters_for_frequency(Frequency::from_ghz(200.0)).is_none());
+        assert!(line
+            .repeaters_for_frequency(Frequency::from_ghz(200.0))
+            .is_none());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::jj::JosephsonJunction;
 use crate::jtl::Jtl;
 use crate::ptl::PtlGeometry;
-use crate::units::{Energy, Length, Time};
+use smart_units::{Energy, Length, Time};
 
 /// Distributed-RC parameters of a CMOS wire.
 ///
@@ -31,7 +31,7 @@ impl CmosWire {
     #[must_use]
     pub fn metal_28nm() -> Self {
         Self {
-            resistance_per_meter: 15.0e6,  // 15 ohm/um
+            resistance_per_meter: 15.0e6,   // 15 ohm/um
             capacitance_per_meter: 0.25e-9, // 0.25 fF/um
             vdd: 0.9,
         }
@@ -166,7 +166,11 @@ mod tests {
     #[test]
     fn fig2a_cmos_200um_is_about_100ps() {
         let t = CmosWire::metal_28nm().latency(Length::from_um(200.0));
-        assert!(t.as_ps() > 40.0 && t.as_ps() < 200.0, "got {} ps", t.as_ps());
+        assert!(
+            t.as_ps() > 40.0 && t.as_ps() < 200.0,
+            "got {} ps",
+            t.as_ps()
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use crate::service::{AccessCost, SpmService};
 use crate::shift::ShiftArray;
 use smart_cryomem::array::{RandomArray, RandomArrayKind};
-use smart_sfq::units::{Area, Power};
 use smart_systolic::trace::DataClass;
+use smart_units::{Area, Power};
 
 /// The SMART heterogeneous SPM: per-class SHIFT staging arrays and a shared
 /// RANDOM array.
@@ -27,7 +27,13 @@ impl HeterogeneousSpm {
     /// SHIFT arrays plus a 256-bank 28 MB pipelined CMOS-SFQ array.
     #[must_use]
     pub fn smart_default() -> Self {
-        Self::new(32 * 1024, 256, 28 * 1024 * 1024, 256, RandomArrayKind::PipelinedCmosSfq)
+        Self::new(
+            32 * 1024,
+            256,
+            28 * 1024 * 1024,
+            256,
+            RandomArrayKind::PipelinedCmosSfq,
+        )
     }
 
     /// Builds a heterogeneous SPM with explicit sizes.
@@ -183,10 +189,7 @@ mod tests {
     #[test]
     fn capacity_sums_components() {
         let spm = HeterogeneousSpm::smart_default();
-        assert_eq!(
-            spm.total_capacity(),
-            3 * 32 * 1024 + 28 * 1024 * 1024
-        );
+        assert_eq!(spm.total_capacity(), 3 * 32 * 1024 + 28 * 1024 * 1024);
     }
 
     #[test]

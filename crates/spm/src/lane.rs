@@ -8,7 +8,7 @@
 //! cycles.
 
 use smart_cryomem::tech::MemoryTechnology;
-use smart_sfq::units::Time;
+use smart_units::Time;
 
 /// One functional SHIFT lane: a ring buffer with a read/write port at
 /// position 0 and a feedback loop.
@@ -199,8 +199,7 @@ mod tests {
         let words = 512u64;
         let distance = 200u64;
         let analytic = ShiftArray::new(1024, 1);
-        let predicted =
-            analytic.stream_time(words).as_s() + analytic.rotate_time(distance).as_s();
+        let predicted = analytic.stream_time(words).as_s() + analytic.rotate_time(distance).as_s();
 
         let mut lane = ShiftLane::new(1024);
         for _ in 0..words {

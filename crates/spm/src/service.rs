@@ -8,7 +8,7 @@
 
 use crate::shift::ShiftArray;
 use smart_cryomem::array::RandomArray;
-use smart_sfq::units::{Energy, Time};
+use smart_units::{Energy, Time};
 
 /// Cost of serving a demand: wall-clock service time plus dynamic energy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -13,7 +13,7 @@
 
 use smart_cryomem::array::SHIFT_EFFECTIVE_F2;
 use smart_cryomem::tech::MemoryTechnology;
-use smart_sfq::units::{Area, Energy, Power, Time};
+use smart_units::{Area, Energy, Power, Time};
 
 /// A banked SHIFT-register scratchpad.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,7 +171,11 @@ mod tests {
         );
         // 96 KB lane: ~79 pJ.
         let e96 = ShiftArray::new(24 * MB, 256).energy_per_access();
-        assert!((60.0..=100.0).contains(&e96.as_pj()), "96KB: {} pJ", e96.as_pj());
+        assert!(
+            (60.0..=100.0).contains(&e96.as_pj()),
+            "96KB: {} pJ",
+            e96.as_pj()
+        );
         // 128 B lane: ~0.1 pJ — the paper's "reducing the access energy by
         // 99%".
         let e128 = smart_shift().energy_per_access();

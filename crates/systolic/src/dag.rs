@@ -91,8 +91,7 @@ impl LayerDag {
 
         // Objects per iteration: one per class.
         let weight_bytes = mapping.weight_tile_bytes * folds_per_iteration;
-        let input_bytes =
-            (mapping.live_input_bytes / u64::from(iterations)).max(1);
+        let input_bytes = (mapping.live_input_bytes / u64::from(iterations)).max(1);
         let psum_bytes = mapping.psum_write_words_per_fold.max(1);
         let output_bytes = (mapping.live_output_bytes / u64::from(iterations)).max(1);
 
@@ -116,18 +115,13 @@ impl LayerDag {
             }
         }
 
-        let object_id =
-            |n: u32, class_idx: u32| -> u32 { n * 4 + class_idx };
+        let object_id = |n: u32, class_idx: u32| -> u32 { n * 4 + class_idx };
 
         let mut edges = Vec::with_capacity(iterations as usize * 2);
         for n in 0..iterations {
             // e_{2n}: entering Read_Weights_n. Live: this iteration's
             // weights/inputs/psums plus the previous outputs.
-            let mut live = vec![
-                object_id(n, 0),
-                object_id(n, 1),
-                object_id(n, 2),
-            ];
+            let mut live = vec![object_id(n, 0), object_id(n, 1), object_id(n, 2)];
             if n > 0 {
                 live.push(object_id(n - 1, 3));
             }
@@ -148,7 +142,12 @@ impl LayerDag {
                 index: 2 * n + 1,
                 from: Instruction::ReadWeights { iteration: n },
                 to: Instruction::MatrixMultiply { iteration: n },
-                live_objects: vec![object_id(n, 0), object_id(n, 1), object_id(n, 2), object_id(n, 3)],
+                live_objects: vec![
+                    object_id(n, 0),
+                    object_id(n, 1),
+                    object_id(n, 2),
+                    object_id(n, 3),
+                ],
             });
         }
 
@@ -235,7 +234,10 @@ mod tests {
         assert_eq!(dag.edges[0].to, Instruction::ReadWeights { iteration: 0 });
         // e_1 links read-weights to matrix-multiply.
         assert_eq!(dag.edges[1].from, Instruction::ReadWeights { iteration: 0 });
-        assert_eq!(dag.edges[1].to, Instruction::MatrixMultiply { iteration: 0 });
+        assert_eq!(
+            dag.edges[1].to,
+            Instruction::MatrixMultiply { iteration: 0 }
+        );
         // e_2 links the previous multiply to the next read-weights.
         assert_eq!(
             dag.edges[2].from,

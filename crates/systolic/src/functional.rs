@@ -32,7 +32,10 @@ impl FeatureMap {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn zeros(channels: u32, height: u32, width: u32) -> Self {
-        assert!(channels > 0 && height > 0 && width > 0, "dimensions must be positive");
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "dimensions must be positive"
+        );
         Self {
             channels,
             height,
@@ -47,7 +50,12 @@ impl FeatureMap {
     ///
     /// Panics if any dimension is zero.
     #[must_use]
-    pub fn from_fn(channels: u32, height: u32, width: u32, f: impl Fn(u32, u32, u32) -> i32) -> Self {
+    pub fn from_fn(
+        channels: u32,
+        height: u32,
+        width: u32,
+        f: impl Fn(u32, u32, u32) -> i32,
+    ) -> Self {
         let mut m = Self::zeros(channels, height, width);
         for c in 0..channels {
             for y in 0..height {
@@ -76,7 +84,10 @@ impl FeatureMap {
     /// Panics if out of bounds.
     #[must_use]
     pub fn get(&self, c: u32, y: u32, x: u32) -> i32 {
-        assert!(c < self.channels && y < self.height && x < self.width, "out of bounds");
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "out of bounds"
+        );
         self.data[((c * self.height + y) * self.width + x) as usize]
     }
 
@@ -86,7 +97,10 @@ impl FeatureMap {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, c: u32, y: u32, x: u32, v: i32) {
-        assert!(c < self.channels && y < self.height && x < self.width, "out of bounds");
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "out of bounds"
+        );
         self.data[((c * self.height + y) * self.width + x) as usize] = v;
     }
 }
@@ -112,8 +126,17 @@ impl Weights {
     ///
     /// Panics if any dimension is zero.
     #[must_use]
-    pub fn from_fn(out_c: u32, in_c: u32, kh: u32, kw: u32, f: impl Fn(u32, u32, u32, u32) -> i32) -> Self {
-        assert!(out_c > 0 && in_c > 0 && kh > 0 && kw > 0, "dimensions must be positive");
+    pub fn from_fn(
+        out_c: u32,
+        in_c: u32,
+        kh: u32,
+        kw: u32,
+        f: impl Fn(u32, u32, u32, u32) -> i32,
+    ) -> Self {
+        assert!(
+            out_c > 0 && in_c > 0 && kh > 0 && kw > 0,
+            "dimensions must be positive"
+        );
         let mut data = vec![0; (out_c * in_c * kh * kw) as usize];
         for oc in 0..out_c {
             for ic in 0..in_c {
@@ -124,7 +147,13 @@ impl Weights {
                 }
             }
         }
-        Self { out_c, in_c, kh, kw, data }
+        Self {
+            out_c,
+            in_c,
+            kh,
+            kw,
+            data,
+        }
     }
 
     /// Reads one weight.
@@ -134,7 +163,10 @@ impl Weights {
     /// Panics if out of bounds.
     #[must_use]
     pub fn get(&self, oc: u32, ic: u32, ky: u32, kx: u32) -> i32 {
-        assert!(oc < self.out_c && ic < self.in_c && ky < self.kh && kx < self.kw, "out of bounds");
+        assert!(
+            oc < self.out_c && ic < self.in_c && ky < self.kh && kx < self.kw,
+            "out of bounds"
+        );
         self.data[(((oc * self.in_c + ic) * self.kh + ky) * self.kw + kx) as usize]
     }
 }

@@ -121,6 +121,16 @@ impl LayerMapping {
         self.folds() * self.cycles_per_fold
     }
 
+    /// Wall-clock duration of the compute phase at `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock` is zero.
+    #[must_use]
+    pub fn compute_time(&self, clock: smart_units::Frequency) -> smart_units::Time {
+        clock.period() * self.compute_cycles() as f64
+    }
+
     /// PE utilization if memory never stalled: MACs over PE-cycles.
     #[must_use]
     pub fn peak_utilization(&self) -> f64 {
@@ -153,6 +163,16 @@ mod tests {
         assert_eq!(m.m_folds, 1);
         assert_eq!(m.n, 729);
         assert_eq!(m.cycles_per_fold, 64 + 256 + 729 - 2);
+    }
+
+    #[test]
+    fn compute_time_is_cycles_over_clock() {
+        let l = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let m = LayerMapping::map(&l, supernpu(), 1);
+        let clk = smart_units::Frequency::from_ghz(52.6);
+        let t = m.compute_time(clk);
+        let expected = m.compute_cycles() as f64 / 52.6e9;
+        assert!((t.as_s() - expected).abs() < 1e-15);
     }
 
     #[test]

@@ -149,12 +149,66 @@ fn inception(
     c5: u32,
     pool_proj: u32,
 ) {
-    layers.push(ConvLayer::conv(&format!("{name}/1x1"), hw, hw, in_c, c1x1, 1, 1, 0));
-    layers.push(ConvLayer::conv(&format!("{name}/3x3r"), hw, hw, in_c, c3r, 1, 1, 0));
-    layers.push(ConvLayer::conv(&format!("{name}/3x3"), hw, hw, c3r, c3, 3, 1, 1));
-    layers.push(ConvLayer::conv(&format!("{name}/5x5r"), hw, hw, in_c, c5r, 1, 1, 0));
-    layers.push(ConvLayer::conv(&format!("{name}/5x5"), hw, hw, c5r, c5, 5, 1, 2));
-    layers.push(ConvLayer::conv(&format!("{name}/pool"), hw, hw, in_c, pool_proj, 1, 1, 0));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/1x1"),
+        hw,
+        hw,
+        in_c,
+        c1x1,
+        1,
+        1,
+        0,
+    ));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/3x3r"),
+        hw,
+        hw,
+        in_c,
+        c3r,
+        1,
+        1,
+        0,
+    ));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/3x3"),
+        hw,
+        hw,
+        c3r,
+        c3,
+        3,
+        1,
+        1,
+    ));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/5x5r"),
+        hw,
+        hw,
+        in_c,
+        c5r,
+        1,
+        1,
+        0,
+    ));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/5x5"),
+        hw,
+        hw,
+        c5r,
+        c5,
+        5,
+        1,
+        2,
+    ));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/pool"),
+        hw,
+        hw,
+        in_c,
+        pool_proj,
+        1,
+        1,
+        0,
+    ));
 }
 
 /// GoogleNet / Inception v1: stem + 9 inception modules + classifier.
@@ -237,10 +291,37 @@ fn bottleneck(
     stride: u32,
     project: bool,
 ) {
-    layers.push(ConvLayer::conv(&format!("{name}/a"), hw, hw, in_c, mid_c, 1, stride, 0));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/a"),
+        hw,
+        hw,
+        in_c,
+        mid_c,
+        1,
+        stride,
+        0,
+    ));
     let hw2 = hw / stride;
-    layers.push(ConvLayer::conv(&format!("{name}/b"), hw2, hw2, mid_c, mid_c, 3, 1, 1));
-    layers.push(ConvLayer::conv(&format!("{name}/c"), hw2, hw2, mid_c, out_c, 1, 1, 0));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/b"),
+        hw2,
+        hw2,
+        mid_c,
+        mid_c,
+        3,
+        1,
+        1,
+    ));
+    layers.push(ConvLayer::conv(
+        &format!("{name}/c"),
+        hw2,
+        hw2,
+        mid_c,
+        out_c,
+        1,
+        1,
+        0,
+    ));
     if project {
         layers.push(ConvLayer::conv(
             &format!("{name}/proj"),
@@ -325,7 +406,12 @@ pub fn faster_rcnn() -> CnnModel {
     rpn_box.in_w = 50;
     layers.push(rpn_box);
     // Detection head: per-proposal FCs over the 7x7x512 RoI.
-    layers.push(ConvLayer::fully_connected_x("head/fc6", 7 * 7 * 512, 4096, 128));
+    layers.push(ConvLayer::fully_connected_x(
+        "head/fc6",
+        7 * 7 * 512,
+        4096,
+        128,
+    ));
     layers.push(ConvLayer::fully_connected_x("head/fc7", 4096, 4096, 128));
     layers.push(ConvLayer::fully_connected_x("head/cls", 4096, 21, 128));
     layers.push(ConvLayer::fully_connected_x("head/bbox", 4096, 84, 128));
@@ -388,10 +474,7 @@ mod tests {
     #[test]
     fn mobilenet_macs_near_0_57g() {
         let macs = mobilenet().total_macs(1);
-        assert!(
-            (500_000_000..=650_000_000).contains(&macs),
-            "got {macs}"
-        );
+        assert!((500_000_000..=650_000_000).contains(&macs), "got {macs}");
     }
 
     #[test]
@@ -406,7 +489,13 @@ mod tests {
     #[test]
     fn faster_rcnn_is_heaviest() {
         let rcnn = faster_rcnn().total_macs(1);
-        for id in [ModelId::AlexNet, ModelId::GoogleNet, ModelId::MobileNet, ModelId::ResNet50, ModelId::Vgg16] {
+        for id in [
+            ModelId::AlexNet,
+            ModelId::GoogleNet,
+            ModelId::MobileNet,
+            ModelId::ResNet50,
+            ModelId::Vgg16,
+        ] {
             assert!(rcnn > id.build().total_macs(1), "{} heavier", id.name());
         }
     }

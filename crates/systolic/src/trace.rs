@@ -224,8 +224,14 @@ mod tests {
     fn stream_volumes_consistent() {
         let l = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
         let (m, d) = demand_for(&l);
-        assert_eq!(d.reads_of(DataClass::Input), m.input_words_per_fold * m.folds());
-        assert_eq!(d.writes_of(DataClass::Psum), m.psum_write_words_per_fold * m.folds());
+        assert_eq!(
+            d.reads_of(DataClass::Input),
+            m.input_words_per_fold * m.folds()
+        );
+        assert_eq!(
+            d.writes_of(DataClass::Psum),
+            m.psum_write_words_per_fold * m.folds()
+        );
         assert!(d.total_stream_words() > 0);
     }
 
@@ -283,8 +289,14 @@ mod tests {
         assert!(seq > 0 && jumps > 0);
         // Columns read K-strided addresses at the same cycle (Fig. 6 shows
         // column addresses differing by a large stride).
-        let c0 = trace.iter().find(|r| r.cycle == 0 && r.column == 0).unwrap();
-        let c1 = trace.iter().find(|r| r.cycle == 0 && r.column == 1).unwrap();
+        let c0 = trace
+            .iter()
+            .find(|r| r.cycle == 0 && r.column == 0)
+            .unwrap();
+        let c1 = trace
+            .iter()
+            .find(|r| r.cycle == 0 && r.column == 1)
+            .unwrap();
         assert_eq!(c1.address - c0.address, l.gemm_k());
     }
 

@@ -1,0 +1,111 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible layer of the SMART stack reports through [`SmartError`]:
+//! the ILP solver maps infeasible/unbounded outcomes to
+//! [`SmartError::Infeasible`] / [`SmartError::Unbounded`], the `josim-lite`
+//! transient engine converts its `SimulationError` via `From`, and the
+//! allocation compiler surfaces formulation problems as
+//! [`SmartError::InvalidInput`]. The umbrella `smart` crate re-exports this
+//! one type so downstream users handle a single error everywhere.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, SmartError>;
+
+/// The one error type of the SMART workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmartError {
+    /// An optimization problem (LP relaxation or integer program) has no
+    /// feasible point.
+    Infeasible {
+        /// What was being solved when infeasibility was detected.
+        context: String,
+    },
+    /// An optimization problem's objective is unbounded.
+    Unbounded {
+        /// What was being solved when unboundedness was detected.
+        context: String,
+    },
+    /// A transient circuit simulation failed (singular MNA matrix, Newton
+    /// divergence, ...).
+    Simulation {
+        /// The engine's description of the failure.
+        message: String,
+    },
+    /// A model or formulation was given parameters outside its domain.
+    InvalidInput {
+        /// What was wrong with the input.
+        message: String,
+    },
+}
+
+impl SmartError {
+    /// Convenience constructor for [`SmartError::Infeasible`].
+    #[must_use]
+    pub fn infeasible(context: impl Into<String>) -> Self {
+        Self::Infeasible {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SmartError::Unbounded`].
+    #[must_use]
+    pub fn unbounded(context: impl Into<String>) -> Self {
+        Self::Unbounded {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SmartError::Simulation`].
+    #[must_use]
+    pub fn simulation(message: impl Into<String>) -> Self {
+        Self::Simulation {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SmartError::InvalidInput`].
+    #[must_use]
+    pub fn invalid_input(message: impl Into<String>) -> Self {
+        Self::InvalidInput {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SmartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible { context } => write!(f, "no feasible point: {context}"),
+            Self::Unbounded { context } => write!(f, "unbounded objective: {context}"),
+            Self::Simulation { message } => write!(f, "simulation failed: {message}"),
+            Self::InvalidInput { message } => write!(f, "invalid input: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SmartError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SmartError::infeasible("SPM allocation ILP");
+        assert_eq!(e.to_string(), "no feasible point: SPM allocation ILP");
+        let e = SmartError::unbounded("LP relaxation");
+        assert_eq!(e.to_string(), "unbounded objective: LP relaxation");
+        let e = SmartError::simulation("newton diverged at t = 1e-12 s");
+        assert!(e.to_string().starts_with("simulation failed"));
+        let e = SmartError::invalid_input("prefetch window must be >= 1");
+        assert!(e.to_string().starts_with("invalid input"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SmartError::infeasible("x"));
+    }
+}

@@ -1,0 +1,38 @@
+//! The zero-dependency foundation layer of the SMART workspace.
+//!
+//! Every other crate in the workspace depends on this one (and on nothing
+//! outside the workspace), which keeps the layering acyclic:
+//!
+//! ```text
+//! units → { sfq, systolic, ilp } → { josim, cryomem, compiler }
+//!       → spm → core → bench → smart
+//! ```
+//!
+//! (See the README for the exact per-crate dependency edges.)
+//!
+//! Two things live here:
+//!
+//! * [`quantity`] — strongly-typed physical quantities ([`Time`],
+//!   [`Energy`], [`Power`], [`Length`], [`Area`], [`Frequency`]), stored in
+//!   SI base units so a picosecond can never be confused with a nanosecond,
+//! * [`error`] — the workspace-wide [`SmartError`] type and [`Result`]
+//!   alias that all fallible layers (the ILP solver, the transient circuit
+//!   engine, the allocation compiler) funnel into.
+//!
+//! # Examples
+//!
+//! ```
+//! use smart_units::{Power, Time};
+//!
+//! let leak = Power::from_uw(8.8) * Time::from_ns(10.0);
+//! assert!((leak.as_fj() - 88.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod error;
+pub mod quantity;
+
+pub use error::{Result, SmartError};
+pub use quantity::{Area, Energy, Frequency, Length, Power, Time};

@@ -9,7 +9,7 @@
 //! # Examples
 //!
 //! ```
-//! use smart_sfq::units::{Time, Energy, Power};
+//! use smart_units::{Time, Energy, Power};
 //!
 //! let latency = Time::from_ps(103.02);
 //! assert!((latency.as_ns() - 0.10302).abs() < 1e-12);
@@ -84,7 +84,7 @@ macro_rules! quantity {
             /// # Examples
             ///
             /// ```
-            #[doc = concat!("use smart_sfq::units::", stringify!($name), ";")]
+            #[doc = concat!("use smart_units::", stringify!($name), ";")]
             #[doc = concat!(
                 "let a = ", stringify!($name), "::from_si(4.0);"
             )]
@@ -260,7 +260,7 @@ impl Time {
     /// # Examples
     ///
     /// ```
-    /// use smart_sfq::units::{Frequency, Time};
+    /// use smart_units::{Frequency, Time};
     /// let t = Time::from_ns(0.11);
     /// let clk = Frequency::from_ghz(52.6);
     /// assert_eq!(t.cycles_at(clk), 6); // 0.11 ns * 52.6 GHz = 5.79

@@ -9,17 +9,20 @@ use smart::compiler::formulation::{compile_layer, FormulationParams};
 use smart::compiler::greedy::allocate;
 use smart::compiler::lifespan::analyze;
 use smart::compiler::schedule::Location;
-use smart::sfq::units::Time;
 use smart::systolic::dag::LayerDag;
 use smart::systolic::mapping::{ArrayShape, LayerMapping};
 use smart::systolic::models::ModelId;
+use smart::units::Time;
 
 fn main() {
     let model = ModelId::AlexNet.build();
     let shape = ArrayShape::new(64, 256);
     let params = FormulationParams::smart_default();
 
-    println!("ILP compilation of AlexNet onto SMART (a = {}):", params.prefetch_window);
+    println!(
+        "ILP compilation of AlexNet onto SMART (a = {}):",
+        params.prefetch_window
+    );
     println!(
         "{:<8} {:>6} {:>10} {:>10} {:>9} {:>9} {:>11}",
         "layer", "iters", "SHIFT(B)", "RANDOM(B)", "DRAM(B)", "prefetch", "source"

@@ -16,8 +16,8 @@ use smart::cryomem::array::RandomArray;
 use smart::cryomem::pipeline::{explore, max_feasible};
 use smart::sfq::hop::PtlHop;
 use smart::sfq::jj::JosephsonJunction;
-use smart::sfq::units::Length;
 use smart::systolic::models::ModelId;
+use smart::units::Length;
 
 fn main() {
     // 1. Device level: how fast can one H-Tree hop clock?

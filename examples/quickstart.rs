@@ -40,8 +40,5 @@ fn main() {
         smart.speedup_over(&supernpu),
         (1.0 - smart.energy.total.as_si() / supernpu.energy.total.as_si()) * 100.0
     );
-    println!(
-        "SMART vs TPU:      {:.1}x faster",
-        smart.speedup_over(&tpu)
-    );
+    println!("SMART vs TPU:      {:.1}x faster", smart.speedup_over(&tpu));
 }

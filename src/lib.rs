@@ -3,6 +3,8 @@
 //! Re-exports every subsystem crate so examples and integration tests can use
 //! a single dependency. See the individual crates for details:
 //!
+//! * [`units`] — strongly-typed physical quantities and the workspace-wide
+//!   [`SmartError`]
 //! * [`sfq`] — SFQ device and interconnect models
 //! * [`josim`] — transient circuit simulator (JoSIM substitute)
 //! * [`cryomem`] — cryogenic CACTI-style memory array models
@@ -12,6 +14,9 @@
 //! * [`compiler`] — ILP-based SPM allocation and prefetching compiler
 //! * [`core`] — end-to-end schemes and evaluation
 
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
 pub use smart_compiler as compiler;
 pub use smart_core as core;
 pub use smart_cryomem as cryomem;
@@ -20,3 +25,6 @@ pub use smart_josim as josim;
 pub use smart_sfq as sfq;
 pub use smart_spm as spm;
 pub use smart_systolic as systolic;
+pub use smart_units as units;
+
+pub use smart_units::{Result, SmartError};

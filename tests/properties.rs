@@ -7,14 +7,27 @@ use smart::compiler::schedule::Location;
 use smart::ilp::problem::{Problem, Relation, Sense};
 use smart::ilp::solver::Solver;
 use smart::sfq::ptl::PtlGeometry;
-use smart::sfq::units::{Energy, Frequency, Length, Power, Time};
 use smart::spm::service::SpmService;
 use smart::spm::shift::ShiftArray;
 use smart::systolic::dag::LayerDag;
 use smart::systolic::layer::ConvLayer;
 use smart::systolic::mapping::{ArrayShape, LayerMapping};
+use smart::units::{Energy, Frequency, Length, Power, Time};
+
+/// Cases per property: 64 keeps CI bounded; `PROPTEST_CASES` overrides for
+/// deeper soak runs. Read explicitly here (not left to the harness) so the
+/// behavior is identical under the vendored shim and the real proptest,
+/// where an explicit `with_cases` would otherwise pin the count.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
     /// Unit arithmetic: power * time == energy, associative sums.
     #[test]
     fn units_power_time_energy(mw in 0.0f64..1e3, ns in 0.0f64..1e6) {

@@ -1,0 +1,158 @@
+//! Offline, dependency-free shim of the [criterion](https://crates.io/crates/criterion)
+//! API surface this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal benchmark harness that is call-compatible with the real crate
+//! for what `crates/bench/benches/microbench.rs` needs: [`Criterion`],
+//! [`BenchmarkGroup`], `criterion_group!`, `criterion_main!`, and
+//! [`black_box`].
+//!
+//! Behavior mirrors criterion's two modes: when the binary is launched by
+//! `cargo bench` (cargo passes `--bench`), each benchmark is warmed up and
+//! timed over a fixed iteration budget and a mean wall-clock time is
+//! printed; under `cargo test` (no `--bench` flag) every benchmark runs
+//! exactly once as a smoke test. To switch to the real criterion, point the
+//! workspace `criterion` dependency at the registry — no source changes are
+//! needed.
+
+#![warn(clippy::all)]
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Iterations timed per benchmark in measurement mode. Small on purpose:
+/// the shim reports indicative numbers, not statistics.
+const MEASURE_ITERS: u32 = 10;
+/// Warm-up iterations before timing.
+const WARMUP_ITERS: u32 = 2;
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` when running a bench target under
+        // `cargo bench`; its absence means test mode (like real criterion).
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self { measure }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.measure, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            measure: self.measure,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (shim of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.measure, f);
+        self
+    }
+
+    /// Ends the group (statistics reporting in real criterion; a no-op
+    /// here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; its [`iter`](Bencher::iter) method
+/// times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: bool,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` (or runs it once in test mode).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(MEASURE_ITERS);
+    }
+}
+
+fn run_one<F>(id: &str, measure: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        measure,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    if measure {
+        println!(
+            "{id:<40} {:>14.1} ns/iter (mean of {MEASURE_ITERS})",
+            b.mean_ns
+        );
+    } else {
+        println!("{id}: ok (test mode, 1 iteration)");
+    }
+}
+
+/// Bundles benchmark functions into a runnable group (shim of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates the benchmark `main` (shim of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

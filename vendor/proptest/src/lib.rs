@@ -1,0 +1,274 @@
+//! Offline, dependency-free shim of the [proptest](https://crates.io/crates/proptest)
+//! API surface this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal property-testing harness that is call-compatible with the real
+//! crate for the features `tests/properties.rs` needs:
+//!
+//! * the `proptest! { ... }` macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * numeric range strategies (`lo..hi` on `f64`, `u32`, `u64`, `usize`),
+//! * `prop::collection::vec(strategy, len_range)`,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Sampling is deterministic per test name (a seeded splitmix64 stream), so
+//! failures are reproducible; the case count honours the `PROPTEST_CASES`
+//! environment variable just like the real crate. To switch to the real
+//! proptest, point the workspace `proptest` dependency at the registry —
+//! no source changes are needed.
+
+#![warn(clippy::all)]
+
+/// Strategies: values that can be sampled from a random stream.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values of one type (shim of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let width = (self.end - self.start) as u64;
+                    assert!(width > 0, "empty strategy range");
+                    self.start + (rng.next_u64() % width) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Creates a strategy producing vectors whose length is drawn from
+    /// `len` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the generated test bodies.
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+        /// A `prop_assert!` failed with this message.
+        Fail(String),
+    }
+
+    /// Per-`proptest!` block configuration (shim of `ProptestConfig`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs (before `PROPTEST_CASES`
+        /// override).
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Effective case count: the `PROPTEST_CASES` environment variable wins
+    /// over the in-source configuration.
+    #[must_use]
+    pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases)
+    }
+
+    /// A deterministic splitmix64 stream, seeded per test name so every
+    /// property sees an independent, reproducible sequence.
+    #[derive(Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a test name (FNV-1a hash).
+        #[must_use]
+        pub fn seeded(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// One generated property test. Internal: use [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ($config:expr; $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::resolve_cases(&$config);
+            let mut rng = $crate::test_runner::TestRng::seeded(stringify!($name));
+            let mut ran = 0u32;
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case {case}/{cases}: {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+            assert!(
+                cases == 0 || ran > 0,
+                "property {}: every case was rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+    };
+}
+
+/// Defines property tests (shim of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!($config; $(#[$meta])* fn $name($($arg in $strat),+) $body);)*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!(
+            $crate::test_runner::ProptestConfig::default();
+            $(#[$meta])* fn $name($($arg in $strat),+) $body
+        );)*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// mid-shrink) when it is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    concat!(
+                        "assertion failed: ",
+                        stringify!($left),
+                        " == ",
+                        stringify!($right),
+                        " ({:?} vs {:?})"
+                    ),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a property-test file needs (shim of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespaced strategy constructors (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
