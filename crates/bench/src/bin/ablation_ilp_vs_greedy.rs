@@ -2,5 +2,8 @@
 //! all AlexNet layers (the software half of SMART's gain over Pipe). Run
 //! with `cargo run -p smart-bench --release --bin ablation_ilp_vs_greedy`.
 fn main() {
-    print!("{}", smart_bench::ablation_ilp_vs_greedy());
+    print!(
+        "{}",
+        smart_bench::ablation_ilp_vs_greedy(&smart_bench::ExperimentContext::default())
+    );
 }

@@ -3,5 +3,8 @@
 //! 128-byte staging lanes. Run with
 //! `cargo run -p smart-bench --release --bin ablation_lane_length`.
 fn main() {
-    print!("{}", smart_bench::ablation_lane_length());
+    print!(
+        "{}",
+        smart_bench::ablation_lane_length(&smart_bench::ExperimentContext::default())
+    );
 }

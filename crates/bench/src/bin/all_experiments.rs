@@ -1,37 +1,132 @@
 //! Regenerates every table and figure of the paper (plus the ablations)
-//! in order.
+//! in order, on a worker pool with a shared evaluation cache.
 //!
 //! ```sh
-//! cargo run --release -p smart-bench --bin all_experiments            # everything
-//! cargo run --release -p smart-bench --bin all_experiments -- --list # names only
+//! cargo run --release -p smart-bench --bin all_experiments             # everything
+//! cargo run --release -p smart-bench --bin all_experiments -- --list  # names only
 //! cargo run --release -p smart-bench --bin all_experiments -- fig18 fig19
+//! cargo run --release -p smart-bench --bin all_experiments -- --jobs 4 --json
+//! cargo run --release -p smart-bench --bin all_experiments -- --jobs 2 --check
 //! ```
+//!
+//! * `--jobs N` — worker threads for experiments/sweep points (default:
+//!   available parallelism),
+//! * `--json` / `--csv` — typed output instead of the fixed-width text,
+//! * `--check` — after running, fail (exit 1) if any table contains a
+//!   non-finite numeric cell (the CI smoke gate),
+//! * `--list` — print experiment names and exit.
 
+use smart_bench::{experiment_names, run_experiments, ExperimentContext};
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs: Option<usize> = None;
+    let mut format = Format::Text;
+    let mut check = false;
+    let mut selected: Vec<String> = Vec::new();
 
-    if args.iter().any(|a| a == "--list") {
-        for name in smart_bench::experiment_names() {
-            println!("{name}");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in experiment_names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--json" => format = Format::Json,
+            "--csv" => format = Format::Csv,
+            "--check" => check = true,
+            "--jobs" => {
+                let Some(n) = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                jobs = Some(n);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`; flags: --list --jobs N --json --csv --check");
+                return ExitCode::FAILURE;
+            }
+            name => selected.push(name.to_owned()),
         }
-        return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<&str> = if args.is_empty() {
-        smart_bench::experiment_names()
+    let names = experiment_names();
+    let selected: Vec<&str> = if selected.is_empty() {
+        names.clone()
     } else {
-        args.iter().map(String::as_str).collect()
+        let mut picked = Vec::new();
+        for name in &selected {
+            let Some(&known) = names.iter().find(|&&n| n == name) else {
+                eprintln!("unknown experiment `{name}`; try --list");
+                return ExitCode::FAILURE;
+            };
+            picked.push(known);
+        }
+        picked
     };
 
-    for name in selected {
-        let Some(report) = smart_bench::run_experiment(name) else {
-            eprintln!("unknown experiment `{name}`; try --list");
+    let ctx = jobs.map_or_else(ExperimentContext::default, ExperimentContext::new);
+    let tables = run_experiments(&selected, &ctx);
+
+    match format {
+        Format::Text => {
+            for table in &tables {
+                println!("==== {} ====", table.name);
+                println!("{table}");
+            }
+        }
+        Format::Json => {
+            let bodies: Vec<String> = tables
+                .iter()
+                .map(smart_report::ResultTable::to_json)
+                .collect();
+            println!("[{}]", bodies.join(","));
+        }
+        Format::Csv => {
+            for table in &tables {
+                println!("# {}: {}", table.name, table.title);
+                print!("{}", table.to_csv());
+                println!();
+            }
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for table in &tables {
+            for (row, col, rendered) in table.non_finite_cells() {
+                eprintln!(
+                    "non-finite value in {} at row {row}, column {col}: {rendered}",
+                    table.name
+                );
+                failed = true;
+            }
+        }
+        if failed {
             return ExitCode::FAILURE;
-        };
-        println!("==== {name} ====");
-        println!("{report}");
+        }
+        let stats = ctx.cache.stats();
+        eprintln!(
+            "check ok: {} tables finite; eval cache {} entries, {} hits / {} misses",
+            tables.len(),
+            stats.entries,
+            stats.hits,
+            stats.misses
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig02_wires`.
 fn main() {
-    print!("{}", smart_bench::fig02_wires());
+    print!(
+        "{}",
+        smart_bench::fig02_wires(&smart_bench::ExperimentContext::default())
+    );
 }

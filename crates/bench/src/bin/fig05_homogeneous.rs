@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig05_homogeneous`.
 fn main() {
-    print!("{}", smart_bench::fig05_homogeneous());
+    print!(
+        "{}",
+        smart_bench::fig05_homogeneous(&smart_bench::ExperimentContext::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig06_trace`.
 fn main() {
-    print!("{}", smart_bench::fig06_trace());
+    print!(
+        "{}",
+        smart_bench::fig06_trace(&smart_bench::ExperimentContext::default())
+    );
 }

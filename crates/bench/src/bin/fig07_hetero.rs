@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig07_hetero`.
 fn main() {
-    print!("{}", smart_bench::fig07_hetero());
+    print!(
+        "{}",
+        smart_bench::fig07_hetero(&smart_bench::ExperimentContext::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig09_htree_breakdown`.
 fn main() {
-    print!("{}", smart_bench::fig09_htree_breakdown());
+    print!(
+        "{}",
+        smart_bench::fig09_htree_breakdown(&smart_bench::ExperimentContext::default())
+    );
 }

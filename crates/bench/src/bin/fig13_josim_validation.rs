@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig13_josim_validation`.
 fn main() {
-    print!("{}", smart_bench::fig13_josim_validation());
+    print!(
+        "{}",
+        smart_bench::fig13_josim_validation(&smart_bench::ExperimentContext::default())
+    );
 }

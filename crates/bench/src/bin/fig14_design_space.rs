@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig14_design_space`.
 fn main() {
-    print!("{}", smart_bench::fig14_design_space());
+    print!(
+        "{}",
+        smart_bench::fig14_design_space(&smart_bench::ExperimentContext::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig16_access_energy`.
 fn main() {
-    print!("{}", smart_bench::fig16_access_energy());
+    print!(
+        "{}",
+        smart_bench::fig16_access_energy(&smart_bench::ExperimentContext::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig17_area`.
 fn main() {
-    print!("{}", smart_bench::fig17_area());
+    print!(
+        "{}",
+        smart_bench::fig17_area(&smart_bench::ExperimentContext::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig19_batch_speedup`.
 fn main() {
-    print!("{}", smart_bench::fig19_batch_speedup());
+    print!(
+        "{}",
+        smart_bench::fig19_batch_speedup(&smart_bench::ExperimentContext::default())
+    );
 }

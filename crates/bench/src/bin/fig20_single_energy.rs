@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig20_single_energy`.
 fn main() {
-    print!("{}", smart_bench::fig20_single_energy());
+    print!(
+        "{}",
+        smart_bench::fig20_single_energy(&smart_bench::ExperimentContext::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig22_shift_capacity`.
 fn main() {
-    print!("{}", smart_bench::fig22_shift_capacity());
+    print!(
+        "{}",
+        smart_bench::fig22_shift_capacity(&smart_bench::ExperimentContext::default())
+    );
 }

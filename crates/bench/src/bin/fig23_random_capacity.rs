@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig23_random_capacity`.
 fn main() {
-    print!("{}", smart_bench::fig23_random_capacity());
+    print!(
+        "{}",
+        smart_bench::fig23_random_capacity(&smart_bench::ExperimentContext::default())
+    );
 }

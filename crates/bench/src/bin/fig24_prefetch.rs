@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig24_prefetch`.
 fn main() {
-    print!("{}", smart_bench::fig24_prefetch());
+    print!(
+        "{}",
+        smart_bench::fig24_prefetch(&smart_bench::ExperimentContext::default())
+    );
 }

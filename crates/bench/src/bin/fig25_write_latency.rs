@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin fig25_write_latency`.
 fn main() {
-    print!("{}", smart_bench::fig25_write_latency());
+    print!(
+        "{}",
+        smart_bench::fig25_write_latency(&smart_bench::ExperimentContext::default())
+    );
 }

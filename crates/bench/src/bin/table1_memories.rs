@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin table1_memories`.
 fn main() {
-    print!("{}", smart_bench::table1_memories());
+    print!(
+        "{}",
+        smart_bench::table1_memories(&smart_bench::ExperimentContext::default())
+    );
 }

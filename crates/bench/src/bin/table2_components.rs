@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin table2_components`.
 fn main() {
-    print!("{}", smart_bench::table2_components());
+    print!(
+        "{}",
+        smart_bench::table2_components(&smart_bench::ExperimentContext::default())
+    );
 }

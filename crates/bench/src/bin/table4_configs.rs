@@ -1,5 +1,8 @@
 //! Regenerates one experiment of the paper. Run with
 //! `cargo run -p smart-bench --release --bin table4_configs`.
 fn main() {
-    print!("{}", smart_bench::table4_configs());
+    print!(
+        "{}",
+        smart_bench::table4_configs(&smart_bench::ExperimentContext::default())
+    );
 }

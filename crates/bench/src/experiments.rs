@@ -1,0 +1,793 @@
+//! The experiment builders: one function per table/figure of the paper
+//! (plus the ablations), each producing a typed
+//! [`ResultTable`] instead of pre-formatted text.
+//!
+//! Builders share one [`ExperimentContext`]: its evaluation cache
+//! deduplicates the baseline evaluations that recur across figures (the
+//! TPU and SuperNPU reports divide every speedup/energy column), and its
+//! `jobs` knob fans model/scheme grids and sweep points across worker
+//! threads. The legacy text output of every figure is derived from the
+//! table by [`ResultTable::to_text`].
+
+use crate::ExperimentContext;
+use smart_core::area::ChipArea;
+use smart_core::scheme::Scheme;
+use smart_cryomem::array::{fig9_breakdown, RandomArray, RandomArrayKind};
+use smart_cryomem::pipeline::explore;
+use smart_cryomem::subbank::{chip_validation_data, SubBankConfig, SubBankModel};
+use smart_cryomem::tech::MemoryTechnology;
+use smart_josim::fixtures::validate_ptl_model;
+use smart_report::{ColumnSpec, ResultTable, Scenario, Unit, Value};
+use smart_sfq::components::{Component, ComponentKind};
+use smart_sfq::hop::PtlHop;
+use smart_sfq::jj::JosephsonJunction;
+use smart_sfq::wire::{wire_comparison, WireTechnology};
+use smart_spm::shift::ShiftArray;
+use smart_systolic::mapping::ArrayShape;
+use smart_systolic::models::ModelId;
+use smart_systolic::trace::weight_trace_sample;
+use smart_units::Length;
+
+const MB: u64 = 1024 * 1024;
+
+/// Fig. 2: PTL vs JTL vs CMOS wire latency and energy across lengths.
+#[must_use]
+pub fn fig02_wires(_ctx: &ExperimentContext) -> ResultTable {
+    let lengths = [10.0, 25.0, 50.0, 100.0, 150.0, 200.0];
+    let mut t = ResultTable::new(
+        "fig02",
+        "Figure 2: interconnect comparison (latency ps / energy J)",
+    );
+    t.columns = vec![ColumnSpec::right("len(um)", 8)];
+    for tech in WireTechnology::ALL {
+        t.columns
+            .push(ColumnSpec::right(format!("{}(ps)", tech.name()), 10));
+        t.columns
+            .push(ColumnSpec::right(format!("{}(J)", tech.name()), 10));
+    }
+    for &um in &lengths {
+        let mut row = vec![Value::num(um, 0)];
+        for &tech in WireTechnology::ALL.iter() {
+            let p = smart_sfq::wire::wire_point(tech, Length::from_um(um));
+            row.push(Value::time(p.latency, Unit::Ps, 3));
+            row.push(Value::sci(p.energy.as_j(), 2));
+        }
+        t.push_row(row);
+    }
+    t.push_summary(
+        "points",
+        Value::count(wire_comparison(&lengths).len() as u64),
+    );
+    t
+}
+
+/// Table 1: the cryogenic memory technology comparison.
+#[must_use]
+pub fn table1_memories(_ctx: &ExperimentContext) -> ResultTable {
+    let mut t = ResultTable::new("table1", "Table 1: cryogenic memory comparison");
+    t.columns = vec![ColumnSpec::left("Feature", 22)];
+    for label in ["SHIFT", "VTM", "SRAM", "MRAM", "SNM"] {
+        t.columns.push(ColumnSpec::right(label, 8));
+    }
+    let params: Vec<_> = MemoryTechnology::ALL
+        .iter()
+        .map(|t| t.parameters())
+        .collect();
+    let row = |label: &str,
+               f: &dyn Fn(&smart_cryomem::tech::TechnologyParameters) -> Value|
+     -> Vec<Value> {
+        let mut cells = vec![Value::text(label)];
+        cells.extend(params.iter().map(f));
+        cells
+    };
+    t.push_row(row("Read latency (ns)", &|p| {
+        Value::time(p.read_latency, Unit::Ns, 2)
+    }));
+    t.push_row(row("Write latency (ns)", &|p| {
+        Value::time(p.write_latency, Unit::Ns, 2)
+    }));
+    t.push_row(row("Cell size (F^2)", &|p| Value::num(p.cell_size_f2, 0)));
+    t.push_row(row("Read energy (fJ)", &|p| {
+        Value::energy(p.read_energy, Unit::Fj, 1)
+    }));
+    t.push_row(row("Write energy (fJ)", &|p| {
+        Value::energy(p.write_energy, Unit::Fj, 1)
+    }));
+    t.push_row(row("Leakage", &|p| Value::text(p.leakage.label())));
+    t.push_row(row("Random access", &|p| {
+        Value::text(if p.random_access { "yes" } else { "no" })
+    }));
+    t
+}
+
+/// Table 2: SFQ H-Tree component latency and power.
+#[must_use]
+pub fn table2_components(_ctx: &ExperimentContext) -> ResultTable {
+    let mut t = ResultTable::new("table2", "Table 2: SFQ H-Tree components");
+    t.columns = vec![
+        ColumnSpec::left("Component", 10),
+        ColumnSpec::right("Latency(ps)", 12),
+        ColumnSpec::right("Leakage(uW)", 16),
+        ColumnSpec::right("Dynamic(nW)", 16),
+    ];
+    for kind in [
+        ComponentKind::Splitter,
+        ComponentKind::Driver,
+        ComponentKind::Receiver,
+        ComponentKind::NTron,
+    ] {
+        let c = Component::of(kind);
+        t.push_row(vec![
+            Value::text(kind.name()),
+            Value::time(c.latency(), Unit::Ps, 2),
+            Value::power(c.leakage(), Unit::Uw, 3),
+            Value::power(c.dynamic_power(), Unit::Nw, 3),
+        ]);
+    }
+    t
+}
+
+/// Fig. 5: SuperNPU with homogeneous SPMs of each technology on AlexNet
+/// (latency / energy / area, normalized to SHIFT).
+#[must_use]
+pub fn fig05_homogeneous(ctx: &ExperimentContext) -> ResultTable {
+    let shift = ctx.cache.report(&Scheme::supernpu(), ModelId::AlexNet, 1);
+    let shift_area = ChipArea::of(&Scheme::supernpu().spm, ArrayShape::new(64, 256)).total();
+    let mut t = ResultTable::new(
+        "fig05",
+        "Figure 5: SuperNPU with homogeneous cryogenic SPMs, AlexNet single image (norm. to SHIFT)",
+    );
+    t.columns = vec![
+        ColumnSpec::left("SPM", 8),
+        ColumnSpec::right("latency", 10),
+        ColumnSpec::right("energy", 10),
+        ColumnSpec::right("area", 10),
+    ];
+    t.push_row(vec![
+        Value::text("SHIFT"),
+        Value::num(1.0, 3),
+        Value::num(1.0, 3),
+        Value::num(1.0, 3),
+    ]);
+    let scenario = Scenario::over(
+        "fig05",
+        &["spm-technology"],
+        vec![
+            RandomArrayKind::JosephsonCmosSram,
+            RandomArrayKind::SheMram,
+            RandomArrayKind::Snm,
+            RandomArrayKind::Vtm,
+        ],
+    );
+    for (name, latency, energy, area) in scenario.run(ctx.jobs, |&kind| {
+        let scheme = Scheme::fig5_homogeneous(kind);
+        let r = ctx.cache.report(&scheme, ModelId::AlexNet, 1);
+        let area = ChipArea::of(&scheme.spm, ArrayShape::new(64, 256)).total();
+        (
+            scheme.name,
+            r.total_time.ratio(shift.total_time),
+            r.energy.total.ratio(shift.energy.total),
+            area.ratio(shift_area),
+        )
+    }) {
+        t.push_row(vec![
+            Value::text(name),
+            Value::num(latency, 3),
+            Value::num(energy, 3),
+            Value::num(area, 3),
+        ]);
+    }
+    t
+}
+
+/// Fig. 6: a weight-read trace sample with sequential and random accesses.
+#[must_use]
+pub fn fig06_trace(_ctx: &ExperimentContext) -> ResultTable {
+    let model = ModelId::AlexNet.build();
+    let fc6 = &model.layers[5];
+    let trace = weight_trace_sample(fc6, ArrayShape::new(64, 256), 0x0098_9680, 68, 3);
+    let mut t = ResultTable::new(
+        "fig06",
+        "Figure 6: memory accesses of SuperNPU (weight reads, fc6)",
+    );
+    t.columns = vec![
+        ColumnSpec::right("cyc", 5),
+        ColumnSpec::right("col0", 12),
+        ColumnSpec::right("col1", 12),
+        ColumnSpec::right("col2", 12),
+    ];
+    for cycle in [0u64, 1, 2, 3, 62, 63, 64, 65] {
+        let mut row = vec![Value::count(cycle)];
+        for c in 0..3 {
+            let rec = trace
+                .iter()
+                .find(|r| r.cycle == cycle && r.column == c)
+                .expect("record");
+            row.push(Value::text(format!(
+                "{:#012x}{}",
+                rec.address,
+                if rec.sequential { " " } else { "*" }
+            )));
+        }
+        t.push_row(row);
+    }
+    t.push_note("(* marks a non-sequential jump: the tile boundary)");
+    t
+}
+
+/// Fig. 7: heterogeneous SPM latency on AlexNet, normalized to SHIFT.
+#[must_use]
+pub fn fig07_hetero(ctx: &ExperimentContext) -> ResultTable {
+    let shift = ctx.cache.report(&Scheme::supernpu(), ModelId::AlexNet, 1);
+    let mut t = ResultTable::new(
+        "fig07",
+        "Figure 7: heterogeneous SPM inference latency, AlexNet (norm. to SHIFT)",
+    );
+    t.columns = vec![
+        ColumnSpec::left("scheme", 8),
+        ColumnSpec::right("norm.latency", 12),
+    ];
+    t.push_row(vec![Value::text("SHIFT"), Value::num(1.0, 3)]);
+    let scenario = Scenario::over(
+        "fig07",
+        &["random-technology", "prefetch"],
+        vec![
+            (RandomArrayKind::JosephsonCmosSram, false),
+            (RandomArrayKind::SheMram, false),
+            (RandomArrayKind::Snm, false),
+            (RandomArrayKind::Vtm, false),
+            (RandomArrayKind::Vtm, true),
+        ],
+    );
+    for (name, norm) in scenario.run(ctx.jobs, |&(kind, prefetch)| {
+        let scheme = Scheme::fig7_hetero(kind, prefetch);
+        let r = ctx.cache.report(&scheme, ModelId::AlexNet, 1);
+        (scheme.name, r.total_time.ratio(shift.total_time))
+    }) {
+        t.push_row(vec![Value::text(name), Value::num(norm, 3)]);
+    }
+    t
+}
+
+/// Fig. 9: CMOS H-Tree latency/energy shares in the 28 MB Josephson-CMOS
+/// array.
+#[must_use]
+pub fn fig09_htree_breakdown(_ctx: &ExperimentContext) -> ResultTable {
+    let b = fig9_breakdown();
+    let mut t = ResultTable::new(
+        "fig09",
+        "Figure 9: 256-bank 28 MB Josephson-CMOS array breakdown",
+    );
+    t.columns = vec![
+        ColumnSpec::left("part", 11),
+        ColumnSpec::right("latency", 9),
+        ColumnSpec::right("energy", 9),
+    ];
+    let tl = b.total_latency();
+    let te = b.total_energy();
+    let lat = |x: smart_units::Time| Value::percent(x.ratio(tl), 1);
+    let blank = || Value::text("");
+    t.push_row(vec![
+        Value::text("H-tree"),
+        lat(b.htree_latency),
+        Value::percent(b.htree_energy_share(), 1),
+    ]);
+    t.push_row(vec![
+        Value::text("cdec"),
+        lat(b.cmos_decoder_latency),
+        blank(),
+    ]);
+    t.push_row(vec![Value::text("BL"), lat(b.bitline_latency), blank()]);
+    t.push_row(vec![Value::text("sen"), lat(b.sense_latency), blank()]);
+    t.push_row(vec![Value::text("arr"), lat(b.array_latency), blank()]);
+    t.push_row(vec![
+        Value::text("sub-bank"),
+        blank(),
+        Value::percent(b.subbank_energy.ratio(te), 1),
+    ]);
+    t.push_row(vec![
+        Value::text("other(SFQ)"),
+        lat(b.sfq_periphery_latency),
+        Value::percent(b.sfq_periphery_energy.ratio(te), 1),
+    ]);
+    t.push_summary(
+        "total access latency",
+        Value::time(tl, Unit::Ns, 2).with_unit_suffix(),
+    );
+    t.push_summary(
+        "total access energy",
+        Value::energy(te, Unit::Pj, 3).with_unit_suffix(),
+    );
+    t
+}
+
+/// Fig. 12: sub-bank model vs the 4 K chip demonstration.
+#[must_use]
+pub fn fig12_subbank_validation(_ctx: &ExperimentContext) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig12",
+        "Figure 12: CMOS sub-bank validation vs 4K chip (0.18um)",
+    );
+    t.columns = vec![
+        ColumnSpec::left("config", 8),
+        ColumnSpec::right("chip(ns)", 12),
+        ColumnSpec::right("model(ns)", 12),
+        ColumnSpec::right("dev", 8),
+        ColumnSpec::right("chip(pJ)", 12),
+        ColumnSpec::right("model(pJ)", 12),
+        ColumnSpec::right("dev", 8),
+    ];
+    for chip in chip_validation_data() {
+        let m = SubBankModel::new(SubBankConfig::chip_018um(chip.capacity_bytes, chip.mats));
+        t.push_row(vec![
+            Value::text(chip.label),
+            Value::time(chip.latency, Unit::Ns, 3),
+            Value::time(m.access_latency(), Unit::Ns, 3),
+            Value::percent(m.access_latency().ratio(chip.latency) - 1.0, 1),
+            Value::energy(chip.energy, Unit::Pj, 4),
+            Value::energy(m.read_energy(), Unit::Pj, 4),
+            Value::percent(m.read_energy().ratio(chip.energy) - 1.0, 1),
+        ]);
+    }
+    t
+}
+
+/// Fig. 13: analytic H-Tree hop model vs the `josim-lite` transient
+/// simulation.
+#[must_use]
+pub fn fig13_josim_validation(_ctx: &ExperimentContext) -> ResultTable {
+    let lengths = [0.1, 0.2, 0.4, 0.6, 0.8];
+    let pts = validate_ptl_model(&lengths).expect("simulation runs");
+    let jj = JosephsonJunction::hypres_ersfq();
+    let mut t = ResultTable::new("fig13", "Figure 13: SFQ H-Tree model vs josim-lite");
+    t.columns = vec![
+        ColumnSpec::right("len(mm)", 8),
+        ColumnSpec::right("model(ps)", 12),
+        ColumnSpec::right("josim(ps)", 12),
+        ColumnSpec::right("dev", 8),
+        ColumnSpec::right("f_max(GHz)", 14),
+        ColumnSpec::right("hop E(aJ)", 12),
+    ];
+    for p in &pts {
+        let hop = PtlHop::new(p.length);
+        t.push_row(vec![
+            Value::length(p.length, Unit::Mm, 2),
+            Value::quantity(p.analytic_delay, Unit::Ps, 3),
+            Value::quantity(p.simulated_delay, Unit::Ps, 3),
+            Value::percent(p.delay_error(), 1),
+            Value::frequency(hop.max_operating_frequency(), Unit::Ghz, 1),
+            Value::energy(hop.energy_per_pulse(&jj), Unit::Aj, 1),
+        ]);
+    }
+    t
+}
+
+/// Fig. 14: pipeline design-space exploration.
+#[must_use]
+pub fn fig14_design_space(_ctx: &ExperimentContext) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig14",
+        "Figure 14: pipelined CMOS-SFQ array design space (28 MB, 256 banks)",
+    );
+    let pts = explore(28 * MB, 256, &[1.0, 2.0, 4.0, 6.0, 8.0, 9.6, 12.0]);
+    t.columns = vec![
+        ColumnSpec::right("f(GHz)", 8),
+        ColumnSpec::right("feasible", 9),
+        ColumnSpec::right("MATs/sb", 8),
+        ColumnSpec::right("repeaters", 10),
+        ColumnSpec::right("leak(mW)", 12),
+        ColumnSpec::right("area(mm2)", 10),
+    ];
+    for p in &pts {
+        t.push_row(vec![
+            Value::frequency(p.frequency, Unit::Ghz, 1),
+            Value::Bool(p.feasible),
+            Value::count(u64::from(p.mats_per_subbank)),
+            Value::count(u64::from(p.repeaters)),
+            Value::power(p.leakage, Unit::Mw, 2),
+            Value::area(p.area, Unit::Mm2, 2),
+        ]);
+    }
+    t
+}
+
+/// Fig. 16: per-access energy of the SPM arrays.
+#[must_use]
+pub fn fig16_access_energy(_ctx: &ExperimentContext) -> ResultTable {
+    let mut t = ResultTable::new("fig16", "Figure 16: SPM access energy");
+    t.columns = vec![
+        ColumnSpec::left("array", 14),
+        ColumnSpec::right("energy", 13),
+    ];
+    t.show_header = false;
+    let rows = [
+        (
+            "384KB-SHIFT",
+            ShiftArray::new(24 * MB, 64).energy_per_access(),
+        ),
+        (
+            "96KB-SHIFT",
+            ShiftArray::new(24 * MB, 256).energy_per_access(),
+        ),
+        (
+            "128B-SHIFT",
+            ShiftArray::new(32 * 1024, 256).energy_per_access(),
+        ),
+        (
+            "192KB-RANDOM",
+            RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256).read_energy,
+        ),
+    ];
+    for (label, e) in rows {
+        t.push_row(vec![
+            Value::text(label),
+            Value::energy(e, Unit::Pj, 4).with_unit_suffix(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 17: area breakdown of SuperNPU vs SMART.
+#[must_use]
+pub fn fig17_area(_ctx: &ExperimentContext) -> ResultTable {
+    let shape = ArrayShape::new(64, 256);
+    let sn = ChipArea::of(&Scheme::supernpu().spm, shape);
+    let sm = ChipArea::of(&Scheme::smart().spm, shape);
+    let mut t = ResultTable::new("fig17", "Figure 17: area breakdown (mm^2)");
+    t.columns = vec![ColumnSpec::left("scheme", 10)];
+    for label in [
+        "matrix", "SHIFT", "array", "dec", "H-Tree", "other", "total",
+    ] {
+        t.columns.push(ColumnSpec::right(label, 8));
+    }
+    for (name, a) in [("SuperNPU", sn), ("SMART", sm)] {
+        let mut row = vec![Value::text(name)];
+        for part in [
+            a.matrix,
+            a.shift,
+            a.array,
+            a.decoder,
+            a.htree,
+            a.other,
+            a.total(),
+        ] {
+            row.push(Value::area(part, Unit::Mm2, 2));
+        }
+        t.push_row(row);
+    }
+    t.push_summary(
+        "SMART / SuperNPU total",
+        Value::num(sm.total().ratio(sn.total()), 3),
+    );
+    t.push_note("(paper: 1.03)");
+    t
+}
+
+/// The Figs. 18-21 grid: per model, the TPU baseline and every Fig. 18
+/// scheme, evaluated through the shared cache on the context's worker
+/// pool. Returns one row of column values per model plus the gmean row.
+fn tpu_normalized_grid(
+    ctx: &ExperimentContext,
+    name: &str,
+    batch_mode: bool,
+    metric: impl Fn(&smart_core::eval::InferenceReport, &smart_core::eval::InferenceReport) -> f64
+        + Sync,
+) -> (Vec<(&'static str, Vec<f64>)>, Vec<f64>) {
+    let schemes = Scheme::figure18_set();
+    let scenario = Scenario::over(name, &["model"], ModelId::ALL.to_vec());
+    let rows: Vec<(&'static str, Vec<f64>)> = scenario.run(ctx.jobs, |&id| {
+        let tpu_batch = if batch_mode { id.smart_batch() } else { 1 };
+        let tpu = ctx.cache.report(&Scheme::tpu(), id, tpu_batch);
+        let cells: Vec<f64> = schemes
+            .iter()
+            .map(|s| {
+                let b = if !batch_mode {
+                    1
+                } else if s.name == "SHIFT" {
+                    id.supernpu_batch()
+                } else {
+                    id.smart_batch()
+                };
+                let r = ctx.cache.report(s, id, b);
+                metric(&r, &tpu)
+            })
+            .collect();
+        (id.name(), cells)
+    });
+    let mut logs = vec![0.0f64; schemes.len()];
+    for (_, cells) in &rows {
+        for (l, x) in logs.iter_mut().zip(cells) {
+            *l += x.ln();
+        }
+    }
+    let gmeans: Vec<f64> = logs
+        .iter()
+        .map(|l| (l / ModelId::ALL.len() as f64).exp())
+        .collect();
+    (rows, gmeans)
+}
+
+fn grid_table(
+    name: &str,
+    title: &str,
+    width: usize,
+    precision: usize,
+    rows: Vec<(&'static str, Vec<f64>)>,
+    gmeans: Vec<f64>,
+) -> ResultTable {
+    let mut t = ResultTable::new(name, title);
+    t.column_sep = String::new();
+    t.columns = vec![ColumnSpec::left("model", 12)];
+    for s in Scheme::figure18_set() {
+        t.columns.push(ColumnSpec::right(s.name, width));
+    }
+    for (model, cells) in rows {
+        let mut row = vec![Value::text(model)];
+        row.extend(cells.iter().map(|&x| Value::num(x, precision)));
+        t.push_row(row);
+    }
+    let mut row = vec![Value::text("gmean")];
+    row.extend(gmeans.iter().map(|&x| Value::num(x, precision)));
+    t.push_row(row);
+    t
+}
+
+/// Fig. 18: single-image speedup over TPU.
+#[must_use]
+pub fn fig18_single_speedup(ctx: &ExperimentContext) -> ResultTable {
+    let (rows, gmeans) = tpu_normalized_grid(ctx, "fig18", false, |r, tpu| r.speedup_over(tpu));
+    grid_table(
+        "fig18",
+        "Figure 18: single-image throughput normalized to TPU",
+        9,
+        2,
+        rows,
+        gmeans,
+    )
+}
+
+/// Fig. 19: batch speedup over TPU.
+#[must_use]
+pub fn fig19_batch_speedup(ctx: &ExperimentContext) -> ResultTable {
+    let (rows, gmeans) = tpu_normalized_grid(ctx, "fig19", true, |r, tpu| r.speedup_over(tpu));
+    grid_table(
+        "fig19",
+        "Figure 19: batch throughput normalized to TPU",
+        9,
+        2,
+        rows,
+        gmeans,
+    )
+}
+
+/// Fig. 20: single-image energy normalized to TPU.
+#[must_use]
+pub fn fig20_single_energy(ctx: &ExperimentContext) -> ResultTable {
+    let (rows, gmeans) = tpu_normalized_grid(ctx, "fig20", false, |r, tpu| {
+        r.energy_per_image().ratio(tpu.energy_per_image())
+    });
+    grid_table(
+        "fig20",
+        "Figure 20: single-image energy per inference normalized to TPU",
+        10,
+        3,
+        rows,
+        gmeans,
+    )
+}
+
+/// Fig. 21: batch energy normalized to TPU.
+#[must_use]
+pub fn fig21_batch_energy(ctx: &ExperimentContext) -> ResultTable {
+    let (rows, gmeans) = tpu_normalized_grid(ctx, "fig21", true, |r, tpu| {
+        r.energy_per_image().ratio(tpu.energy_per_image())
+    });
+    grid_table(
+        "fig21",
+        "Figure 21: batch energy per inference normalized to TPU",
+        10,
+        3,
+        rows,
+        gmeans,
+    )
+}
+
+fn sweep_table(
+    name: &str,
+    title: &str,
+    pts: &[smart_core::sensitivity::SweepPoint],
+) -> ResultTable {
+    let mut t = ResultTable::new(name, title);
+    t.columns = vec![
+        ColumnSpec::left("param", 8),
+        ColumnSpec::right("single", 10),
+        ColumnSpec::right("batch", 10),
+    ];
+    for p in pts {
+        t.push_row(vec![
+            Value::text(p.label.clone()),
+            Value::num(p.single, 2),
+            Value::num(p.batch, 2),
+        ]);
+    }
+    t
+}
+
+/// Fig. 22: SHIFT staging capacity sensitivity.
+#[must_use]
+pub fn fig22_shift_capacity(ctx: &ExperimentContext) -> ResultTable {
+    sweep_table(
+        "fig22",
+        "Figure 22: SHIFT capacity sensitivity (speedup over SuperNPU)",
+        &smart_core::sensitivity::shift_capacity_sweep(&ctx.cache, &[16, 32, 64, 128], ctx.jobs),
+    )
+}
+
+/// Fig. 23: RANDOM array capacity sensitivity.
+#[must_use]
+pub fn fig23_random_capacity(ctx: &ExperimentContext) -> ResultTable {
+    sweep_table(
+        "fig23",
+        "Figure 23: RANDOM capacity sensitivity (speedup over SuperNPU)",
+        &smart_core::sensitivity::random_capacity_sweep(&ctx.cache, &[14, 28, 56, 112], ctx.jobs),
+    )
+}
+
+/// Fig. 24: prefetch iteration count sensitivity.
+#[must_use]
+pub fn fig24_prefetch(ctx: &ExperimentContext) -> ResultTable {
+    sweep_table(
+        "fig24",
+        "Figure 24: prefetch iteration sensitivity (speedup over SuperNPU)",
+        &smart_core::sensitivity::prefetch_sweep(&ctx.cache, &[1, 2, 3, 4, 5], ctx.jobs),
+    )
+}
+
+/// Fig. 25: RANDOM write latency sensitivity.
+#[must_use]
+pub fn fig25_write_latency(ctx: &ExperimentContext) -> ResultTable {
+    sweep_table(
+        "fig25",
+        "Figure 25: RANDOM write latency sensitivity (speedup over SuperNPU)",
+        &smart_core::sensitivity::write_latency_sweep(&ctx.cache, &[0.11, 2.0, 3.0], ctx.jobs),
+    )
+}
+
+/// Table 4: the baseline configurations.
+#[must_use]
+pub fn table4_configs(_ctx: &ExperimentContext) -> ResultTable {
+    let mut t = ResultTable::new("table4", "Table 4: baseline configurations");
+    t.columns = vec![
+        ColumnSpec::left("config", 10),
+        ColumnSpec::right("clock(GHz)", 10),
+        ColumnSpec::right("rows", 6),
+        ColumnSpec::right("cols", 6),
+        ColumnSpec::right("peak(TMAC/s)", 13),
+        ColumnSpec::right("cryogenic", 10),
+    ];
+    for c in [
+        smart_core::config::AcceleratorConfig::tpu(),
+        smart_core::config::AcceleratorConfig::supernpu(),
+        smart_core::config::AcceleratorConfig::smart(),
+    ] {
+        t.push_row(vec![
+            Value::text(c.name),
+            Value::frequency(c.frequency, Unit::Ghz, 1),
+            Value::count(u64::from(c.shape.rows)),
+            Value::count(u64::from(c.shape.cols)),
+            Value::num(c.peak_tmacs(), 0),
+            Value::Bool(c.cryogenic),
+        ]);
+    }
+    t
+}
+
+/// Ablation: the ILP compiler vs the greedy ideal-static allocator across
+/// all AlexNet layers (the software half of SMART's gain over Pipe).
+#[must_use]
+pub fn ablation_ilp_vs_greedy(ctx: &ExperimentContext) -> ResultTable {
+    use smart_compiler::formulation::{compile_layer, FormulationParams};
+    use smart_compiler::greedy::allocate;
+    use smart_compiler::lifespan::analyze;
+    use smart_systolic::dag::LayerDag;
+    use smart_systolic::mapping::LayerMapping;
+
+    let model = ModelId::AlexNet.build();
+    let params = FormulationParams::smart_default();
+    let mut t = ResultTable::new(
+        "ablation_ilp_vs_greedy",
+        "Ablation: ILP vs greedy allocation objective (higher = more time saved)",
+    );
+    t.columns = vec![
+        ColumnSpec::left("layer", 8),
+        ColumnSpec::right("ILP", 12),
+        ColumnSpec::right("greedy", 12),
+        ColumnSpec::right("gain", 8),
+    ];
+    // Per-layer ILP and greedy compilations are independent; fan them out.
+    let scenario = Scenario::over(
+        "ablation_ilp_vs_greedy",
+        &["layer"],
+        model.layers.iter().collect::<Vec<_>>(),
+    );
+    let compiled = scenario.run(ctx.jobs, |layer| {
+        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
+        let dag = LayerDag::build(&mapping, 6);
+        let ilp = compile_layer(&dag, &params);
+        let greedy = allocate(&dag, &params, analyze(&dag, params.prefetch_window));
+        (layer.name.clone(), ilp.objective, greedy.objective)
+    });
+    let mut ilp_total = 0.0;
+    let mut greedy_total = 0.0;
+    for (name, ilp, greedy) in compiled {
+        ilp_total += ilp;
+        greedy_total += greedy;
+        t.push_row(vec![
+            Value::text(name),
+            Value::num(ilp, 0),
+            Value::num(greedy, 0),
+            Value::percent(ilp / greedy.max(1.0) - 1.0, 2),
+        ]);
+    }
+    t.push_summary("total ILP", Value::num(ilp_total, 0));
+    t.push_summary("total greedy", Value::num(greedy_total, 0));
+    t.push_summary(
+        "total gain",
+        Value::percent(ilp_total / greedy_total.max(1.0) - 1.0, 2),
+    );
+
+    // Contested capacity: shrink the SPMs until placements conflict — here
+    // the ILP's global view beats greedy largest-first.
+    let mut tight = params;
+    tight.shift_capacity = 4 * 1024;
+    tight.random_capacity = 192 * 1024;
+    tight.bytes_per_iteration = 256 * 1024;
+    let contested = scenario.run(ctx.jobs, |layer| {
+        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
+        let dag = LayerDag::build(&mapping, 6);
+        let ilp = compile_layer(&dag, &tight).objective;
+        let greedy = allocate(&dag, &tight, analyze(&dag, tight.prefetch_window)).objective;
+        (ilp, greedy)
+    });
+    let ilp_total: f64 = contested.iter().map(|(i, _)| i).sum();
+    let greedy_total: f64 = contested.iter().map(|(_, g)| g).sum();
+    t.push_summary("contested ILP", Value::num(ilp_total, 0));
+    t.push_summary("contested greedy", Value::num(greedy_total, 0));
+    t.push_summary(
+        "contested gain",
+        Value::percent(ilp_total / greedy_total.max(1.0) - 1.0, 2),
+    );
+    t.push_note("(contested capacity: 4 KB SHIFT, 192 KB RANDOM, 256 KB/iter)");
+    t
+}
+
+/// Ablation: SHIFT lane length (bank count at fixed capacity) vs random
+/// access cost and access energy — the design pressure that leads SMART to
+/// 128-byte staging lanes.
+#[must_use]
+pub fn ablation_lane_length(_ctx: &ExperimentContext) -> ResultTable {
+    let mut t = ResultTable::new(
+        "ablation_lane_length",
+        "Ablation: 24 MB SHIFT SPM, lane length vs random-access cost",
+    );
+    t.columns = vec![
+        ColumnSpec::right("banks", 7),
+        ColumnSpec::right("lane", 10),
+        ColumnSpec::right("rotate(half) ns", 16),
+        ColumnSpec::right("access energy pJ", 18),
+    ];
+    for banks in [16u32, 64, 256, 1024, 4096] {
+        let a = ShiftArray::new(24 * MB, banks);
+        let half = a.lane_bytes() * u64::from(banks) / 2;
+        t.push_row(vec![
+            Value::count(u64::from(banks)),
+            Value::text(format!("{}B", a.lane_bytes())),
+            Value::time(a.rotate_time(half), Unit::Ns, 1),
+            Value::energy(a.energy_per_access(), Unit::Pj, 4),
+        ]);
+    }
+    t.push_note("");
+    t.push_note("Shorter lanes: cheaper random access & cheaper per-access energy,");
+    t.push_note("but more banks means more peripherals — SMART settles on 128 B lanes.");
+    t
+}

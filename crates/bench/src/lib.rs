@@ -1,704 +1,105 @@
-//! Experiment regenerators: one function per table/figure of the paper.
+//! The typed, parallel experiment engine: one builder per table/figure of
+//! the paper, all producing [`ResultTable`]s.
 //!
-//! Every function returns the printable report so the per-figure binaries
+//! Every builder shares one implementation across the per-figure binaries
 //! (`cargo run -p smart-bench --bin fig18_single_speedup`), the
-//! `all_experiments` binary, and the integration tests share one
-//! implementation.
+//! `all_experiments` runner, and the tests. Builders take an
+//! [`ExperimentContext`] — a shared memoized [`EvalCache`] plus a worker
+//! count — so repeated evaluation points (the TPU/SuperNPU baselines
+//! behind every normalized figure) are computed once, and independent
+//! experiments / sweep points / grid cells run concurrently.
+//!
+//! ```no_run
+//! use smart_bench::{all_experiments, run_experiment, ExperimentContext};
+//!
+//! let ctx = ExperimentContext::new(4);
+//! let fig18 = run_experiment("fig18", &ctx).expect("known name");
+//! println!("{fig18}");            // legacy fixed-width text
+//! println!("{}", fig18.to_json()); // typed rows for scripts
+//! let all = all_experiments(&ctx); // every figure, 4-way parallel
+//! assert_eq!(all.len(), 23);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use smart_core::area::ChipArea;
+mod experiments;
+
+pub use experiments::{
+    ablation_ilp_vs_greedy, ablation_lane_length, fig02_wires, fig05_homogeneous, fig06_trace,
+    fig07_hetero, fig09_htree_breakdown, fig12_subbank_validation, fig13_josim_validation,
+    fig14_design_space, fig16_access_energy, fig17_area, fig18_single_speedup, fig19_batch_speedup,
+    fig20_single_energy, fig21_batch_energy, fig22_shift_capacity, fig23_random_capacity,
+    fig24_prefetch, fig25_write_latency, table1_memories, table2_components, table4_configs,
+};
+
+use smart_core::cache::EvalCache;
 use smart_core::eval::{evaluate, InferenceReport};
 use smart_core::scheme::Scheme;
-use smart_cryomem::array::{fig9_breakdown, RandomArray, RandomArrayKind};
-use smart_cryomem::pipeline::explore;
-use smart_cryomem::subbank::{chip_validation_data, SubBankConfig, SubBankModel};
-use smart_cryomem::tech::MemoryTechnology;
-use smart_josim::fixtures::validate_ptl_model;
-use smart_sfq::components::{Component, ComponentKind};
-use smart_sfq::hop::PtlHop;
-use smart_sfq::jj::JosephsonJunction;
-use smart_sfq::wire::{wire_comparison, WireTechnology};
-use smart_spm::shift::ShiftArray;
-use smart_systolic::mapping::ArrayShape;
+use smart_report::{parallel_map, ResultTable};
 use smart_systolic::models::ModelId;
-use smart_systolic::trace::weight_trace_sample;
-use smart_units::Length;
-use std::fmt::Write as _;
+use std::sync::Arc;
 
-const MB: u64 = 1024 * 1024;
-
-/// Fig. 2: PTL vs JTL vs CMOS wire latency and energy across lengths.
-#[must_use]
-pub fn fig02_wires() -> String {
-    let mut out = String::from("Figure 2: interconnect comparison (latency ps / energy J)\n");
-    let lengths = [10.0, 25.0, 50.0, 100.0, 150.0, 200.0];
-    let _ = writeln!(
-        out,
-        "{:>8} {:>12} {:>12} {:>12}",
-        "len(um)", "PTL", "JTL", "CMOS"
-    );
-    for &um in &lengths {
-        let row: Vec<_> = WireTechnology::ALL
-            .iter()
-            .map(|&t| {
-                let p = smart_sfq::wire::wire_point(t, Length::from_um(um));
-                format!("{:8.3}ps/{:8.2e}J", p.latency.as_ps(), p.energy.as_j())
-            })
-            .collect();
-        let _ = writeln!(out, "{um:>8} {}", row.join(" "));
-    }
-    let _ = writeln!(out, "points = {}", wire_comparison(&lengths).len());
-    out
+/// Shared state of one experiment run: the memoized evaluation cache and
+/// the worker-thread budget every builder fans out with.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// Memoized `(Scheme, ModelId, batch)` evaluation results, shared
+    /// across experiments and worker threads.
+    pub cache: Arc<EvalCache>,
+    /// Worker-thread budget for this context's fan-outs (sweep points,
+    /// grid cells). `1` means fully sequential. [`run_experiments`] splits
+    /// the budget between the experiment level and the per-experiment
+    /// level so total concurrency stays ~`jobs`, not `jobs^2`.
+    pub jobs: usize,
 }
 
-/// Table 1: the cryogenic memory technology comparison.
-#[must_use]
-pub fn table1_memories() -> String {
-    let mut out = String::from("Table 1: cryogenic memory comparison\n");
-    let _ = writeln!(
-        out,
-        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Feature", "SHIFT", "VTM", "SRAM", "MRAM", "SNM"
-    );
-    let params: Vec<_> = MemoryTechnology::ALL
-        .iter()
-        .map(|t| t.parameters())
-        .collect();
-    let row = |label: &str, f: &dyn Fn(&smart_cryomem::tech::TechnologyParameters) -> String| {
-        let cells: Vec<_> = params.iter().map(|p| format!("{:>8}", f(p))).collect();
-        format!("{label:<22} {}\n", cells.join(" "))
-    };
-    out += &row("Read latency (ns)", &|p| {
-        format!("{:.2}", p.read_latency.as_ns())
-    });
-    out += &row("Write latency (ns)", &|p| {
-        format!("{:.2}", p.write_latency.as_ns())
-    });
-    out += &row("Cell size (F^2)", &|p| format!("{:.0}", p.cell_size_f2));
-    out += &row("Read energy (fJ)", &|p| {
-        format!("{:.1}", p.read_energy.as_fj())
-    });
-    out += &row("Write energy (fJ)", &|p| {
-        format!("{:.1}", p.write_energy.as_fj())
-    });
-    out += &row("Leakage", &|p| p.leakage.label().to_owned());
-    out += &row("Random access", &|p| {
-        if p.random_access { "yes" } else { "no" }.to_owned()
-    });
-    out
-}
-
-/// Table 2: SFQ H-Tree component latency and power.
-#[must_use]
-pub fn table2_components() -> String {
-    let mut out = String::from("Table 2: SFQ H-Tree components\n");
-    let _ = writeln!(
-        out,
-        "{:<10} {:>12} {:>16} {:>16}",
-        "Component", "Latency(ps)", "Leakage(uW)", "Dynamic(nW)"
-    );
-    for kind in [
-        ComponentKind::Splitter,
-        ComponentKind::Driver,
-        ComponentKind::Receiver,
-        ComponentKind::NTron,
-    ] {
-        let c = Component::of(kind);
-        let _ = writeln!(
-            out,
-            "{:<10} {:>12.2} {:>16.3} {:>16.3}",
-            kind.name(),
-            c.latency().as_ps(),
-            c.leakage().as_uw(),
-            c.dynamic_power().as_nw()
-        );
-    }
-    out
-}
-
-/// Fig. 5: SuperNPU with homogeneous SPMs of each technology on AlexNet
-/// (latency / energy / area, normalized to SHIFT).
-#[must_use]
-pub fn fig05_homogeneous() -> String {
-    let model = ModelId::AlexNet.build();
-    let shift = evaluate(&Scheme::supernpu(), &model, 1);
-    let shift_area = ChipArea::of(&Scheme::supernpu().spm, ArrayShape::new(64, 256)).total();
-    let mut out = String::from(
-        "Figure 5: SuperNPU with homogeneous cryogenic SPMs, AlexNet single image (norm. to SHIFT)\n",
-    );
-    let _ = writeln!(
-        out,
-        "{:<8} {:>10} {:>10} {:>10}",
-        "SPM", "latency", "energy", "area"
-    );
-    let _ = writeln!(
-        out,
-        "{:<8} {:>10.3} {:>10.3} {:>10.3}",
-        "SHIFT", 1.0, 1.0, 1.0
-    );
-    for kind in [
-        RandomArrayKind::JosephsonCmosSram,
-        RandomArrayKind::SheMram,
-        RandomArrayKind::Snm,
-        RandomArrayKind::Vtm,
-    ] {
-        let scheme = Scheme::fig5_homogeneous(kind);
-        let r = evaluate(&scheme, &model, 1);
-        let area = ChipArea::of(&scheme.spm, ArrayShape::new(64, 256)).total();
-        let _ = writeln!(
-            out,
-            "{:<8} {:>10.3} {:>10.3} {:>10.3}",
-            scheme.name,
-            r.total_time.as_si() / shift.total_time.as_si(),
-            r.energy.total.as_si() / shift.energy.total.as_si(),
-            area.as_si() / shift_area.as_si()
-        );
-    }
-    out
-}
-
-/// Fig. 6: a weight-read trace sample with sequential and random accesses.
-#[must_use]
-pub fn fig06_trace() -> String {
-    let model = ModelId::AlexNet.build();
-    let fc6 = &model.layers[5];
-    let trace = weight_trace_sample(fc6, ArrayShape::new(64, 256), 0x0098_9680, 68, 3);
-    let mut out = String::from("Figure 6: memory accesses of SuperNPU (weight reads, fc6)\n");
-    let _ = writeln!(
-        out,
-        "{:>5} {:>12} {:>12} {:>12}",
-        "cyc", "col0", "col1", "col2"
-    );
-    for cycle in [0u64, 1, 2, 3, 62, 63, 64, 65] {
-        let cols: Vec<_> = (0..3)
-            .map(|c| {
-                let rec = trace
-                    .iter()
-                    .find(|r| r.cycle == cycle && r.column == c)
-                    .expect("record");
-                format!(
-                    "{:#012x}{}",
-                    rec.address,
-                    if rec.sequential { " " } else { "*" }
-                )
-            })
-            .collect();
-        let _ = writeln!(out, "{cycle:>5} {}", cols.join(" "));
-    }
-    out += "(* marks a non-sequential jump: the tile boundary)\n";
-    out
-}
-
-/// Fig. 7: heterogeneous SPM latency on AlexNet, normalized to SHIFT.
-#[must_use]
-pub fn fig07_hetero() -> String {
-    let model = ModelId::AlexNet.build();
-    let shift = evaluate(&Scheme::supernpu(), &model, 1);
-    let mut out =
-        String::from("Figure 7: heterogeneous SPM inference latency, AlexNet (norm. to SHIFT)\n");
-    let _ = writeln!(out, "{:<8} {:>12}", "scheme", "norm.latency");
-    let _ = writeln!(out, "{:<8} {:>12.3}", "SHIFT", 1.0);
-    for (kind, prefetch) in [
-        (RandomArrayKind::JosephsonCmosSram, false),
-        (RandomArrayKind::SheMram, false),
-        (RandomArrayKind::Snm, false),
-        (RandomArrayKind::Vtm, false),
-        (RandomArrayKind::Vtm, true),
-    ] {
-        let scheme = Scheme::fig7_hetero(kind, prefetch);
-        let r = evaluate(&scheme, &model, 1);
-        let _ = writeln!(
-            out,
-            "{:<8} {:>12.3}",
-            scheme.name,
-            r.total_time.as_si() / shift.total_time.as_si()
-        );
-    }
-    out
-}
-
-/// Fig. 9: CMOS H-Tree latency/energy shares in the 28 MB Josephson-CMOS
-/// array.
-#[must_use]
-pub fn fig09_htree_breakdown() -> String {
-    let b = fig9_breakdown();
-    let mut out = String::from("Figure 9: 256-bank 28 MB Josephson-CMOS array breakdown\n");
-    let tl = b.total_latency().as_ns();
-    let _ = writeln!(out, "total access latency: {tl:.2} ns");
-    for (label, t) in [
-        ("H-tree", b.htree_latency),
-        ("cdec", b.cmos_decoder_latency),
-        ("BL", b.bitline_latency),
-        ("sen", b.sense_latency),
-        ("arr", b.array_latency),
-        ("other(SFQ)", b.sfq_periphery_latency),
-    ] {
-        let _ = writeln!(
-            out,
-            "  {:<11} {:>7.1}%",
-            label,
-            100.0 * t.as_s() / b.total_latency().as_s()
-        );
-    }
-    let te = b.total_energy().as_pj();
-    let _ = writeln!(out, "total access energy: {te:.3} pJ");
-    let _ = writeln!(
-        out,
-        "  {:<11} {:>7.1}%",
-        "H-tree",
-        100.0 * b.htree_energy_share()
-    );
-    let _ = writeln!(
-        out,
-        "  {:<11} {:>7.1}%",
-        "sub-bank",
-        100.0 * b.subbank_energy.as_si() / b.total_energy().as_si()
-    );
-    let _ = writeln!(
-        out,
-        "  {:<11} {:>7.1}%",
-        "other(SFQ)",
-        100.0 * b.sfq_periphery_energy.as_si() / b.total_energy().as_si()
-    );
-    out
-}
-
-/// Fig. 12: sub-bank model vs the 4 K chip demonstration.
-#[must_use]
-pub fn fig12_subbank_validation() -> String {
-    let mut out = String::from("Figure 12: CMOS sub-bank validation vs 4K chip (0.18um)\n");
-    let _ = writeln!(
-        out,
-        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
-        "config", "chip(ns)", "model(ns)", "dev", "chip(pJ)", "model(pJ)", "dev"
-    );
-    for chip in chip_validation_data() {
-        let m = SubBankModel::new(SubBankConfig::chip_018um(chip.capacity_bytes, chip.mats));
-        let lat_dev = m.access_latency().as_si() / chip.latency.as_si() - 1.0;
-        let e_dev = m.read_energy().as_si() / chip.energy.as_si() - 1.0;
-        let _ = writeln!(
-            out,
-            "{:<8} {:>12.3} {:>12.3} {:>7.1}% {:>12.4} {:>12.4} {:>7.1}%",
-            chip.label,
-            chip.latency.as_ns(),
-            m.access_latency().as_ns(),
-            lat_dev * 100.0,
-            chip.energy.as_pj(),
-            m.read_energy().as_pj(),
-            e_dev * 100.0
-        );
-    }
-    out
-}
-
-/// Fig. 13: analytic H-Tree hop model vs the `josim-lite` transient
-/// simulation.
-#[must_use]
-pub fn fig13_josim_validation() -> String {
-    let mut out = String::from("Figure 13: SFQ H-Tree model vs josim-lite\n");
-    let lengths = [0.1, 0.2, 0.4, 0.6, 0.8];
-    let pts = validate_ptl_model(&lengths).expect("simulation runs");
-    let jj = JosephsonJunction::hypres_ersfq();
-    let _ = writeln!(
-        out,
-        "{:>8} {:>12} {:>12} {:>8} {:>14} {:>12}",
-        "len(mm)", "model(ps)", "josim(ps)", "dev", "f_max(GHz)", "hop E(aJ)"
-    );
-    for p in &pts {
-        let hop = PtlHop::new(p.length);
-        let _ = writeln!(
-            out,
-            "{:>8.2} {:>12.3} {:>12.3} {:>7.1}% {:>14.1} {:>12.1}",
-            p.length.as_mm(),
-            p.analytic_delay * 1e12,
-            p.simulated_delay * 1e12,
-            p.delay_error() * 100.0,
-            hop.max_operating_frequency().as_ghz(),
-            hop.energy_per_pulse(&jj).as_aj()
-        );
-    }
-    out
-}
-
-/// Fig. 14: pipeline design-space exploration.
-#[must_use]
-pub fn fig14_design_space() -> String {
-    let mut out =
-        String::from("Figure 14: pipelined CMOS-SFQ array design space (28 MB, 256 banks)\n");
-    let pts = explore(28 * MB, 256, &[1.0, 2.0, 4.0, 6.0, 8.0, 9.6, 12.0]);
-    let _ = writeln!(
-        out,
-        "{:>8} {:>9} {:>8} {:>10} {:>12} {:>10}",
-        "f(GHz)", "feasible", "MATs/sb", "repeaters", "leak(mW)", "area(mm2)"
-    );
-    for p in &pts {
-        let _ = writeln!(
-            out,
-            "{:>8.1} {:>9} {:>8} {:>10} {:>12.2} {:>10.2}",
-            p.frequency.as_ghz(),
-            p.feasible,
-            p.mats_per_subbank,
-            p.repeaters,
-            p.leakage.as_mw(),
-            p.area.as_mm2()
-        );
-    }
-    out
-}
-
-/// Fig. 16: per-access energy of the SPM arrays.
-#[must_use]
-pub fn fig16_access_energy() -> String {
-    let mut out = String::from("Figure 16: SPM access energy\n");
-    let rows: [(&str, f64); 4] = [
-        (
-            "384KB-SHIFT",
-            ShiftArray::new(24 * MB, 64).energy_per_access().as_pj(),
-        ),
-        (
-            "96KB-SHIFT",
-            ShiftArray::new(24 * MB, 256).energy_per_access().as_pj(),
-        ),
-        (
-            "128B-SHIFT",
-            ShiftArray::new(32 * 1024, 256).energy_per_access().as_pj(),
-        ),
-        (
-            "192KB-RANDOM",
-            RandomArray::build(RandomArrayKind::PipelinedCmosSfq, 28 * MB, 256)
-                .read_energy
-                .as_pj(),
-        ),
-    ];
-    for (label, pj) in rows {
-        let _ = writeln!(out, "{label:<14} {pj:>10.4} pJ");
-    }
-    out
-}
-
-/// Fig. 17: area breakdown of SuperNPU vs SMART.
-#[must_use]
-pub fn fig17_area() -> String {
-    let mut out = String::from("Figure 17: area breakdown (mm^2)\n");
-    let shape = ArrayShape::new(64, 256);
-    let sn = ChipArea::of(&Scheme::supernpu().spm, shape);
-    let sm = ChipArea::of(&Scheme::smart().spm, shape);
-    let _ = writeln!(
-        out,
-        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "scheme", "matrix", "SHIFT", "array", "dec", "H-Tree", "other", "total"
-    );
-    for (name, a) in [("SuperNPU", sn), ("SMART", sm)] {
-        let _ = writeln!(
-            out,
-            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
-            name,
-            a.matrix.as_mm2(),
-            a.shift.as_mm2(),
-            a.array.as_mm2(),
-            a.decoder.as_mm2(),
-            a.htree.as_mm2(),
-            a.other.as_mm2(),
-            a.total().as_mm2()
-        );
-    }
-    let _ = writeln!(
-        out,
-        "SMART / SuperNPU total = {:.3} (paper: 1.03)",
-        sm.total().as_si() / sn.total().as_si()
-    );
-    out
-}
-
-fn perf_table(batch_mode: bool) -> String {
-    let mut out = String::new();
-    let schemes = Scheme::figure18_set();
-    let _ = write!(out, "{:<12}", "model");
-    for s in &schemes {
-        let _ = write!(out, "{:>9}", s.name);
-    }
-    out.push('\n');
-    let mut logs = vec![0.0f64; schemes.len()];
-    for id in ModelId::ALL {
-        let model = id.build();
-        let tpu_batch = if batch_mode { id.smart_batch() } else { 1 };
-        let tpu = evaluate(&Scheme::tpu(), &model, tpu_batch);
-        let _ = write!(out, "{:<12}", id.name());
-        for (i, s) in schemes.iter().enumerate() {
-            let b = if !batch_mode {
-                1
-            } else if s.name == "SHIFT" {
-                id.supernpu_batch()
-            } else {
-                id.smart_batch()
-            };
-            let r = evaluate(s, &model, b);
-            let x = r.speedup_over(&tpu);
-            logs[i] += x.ln();
-            let _ = write!(out, "{x:>9.2}");
+impl ExperimentContext {
+    /// A context with an empty cache and an explicit worker budget
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            cache: Arc::new(EvalCache::new()),
+            jobs: jobs.max(1),
         }
-        out.push('\n');
     }
-    let _ = write!(out, "{:<12}", "gmean");
-    for l in &logs {
-        let _ = write!(out, "{:>9.2}", (l / ModelId::ALL.len() as f64).exp());
+
+    /// A fully sequential context: deterministic single-thread execution
+    /// for debugging and tests. (The per-figure binaries use
+    /// [`ExperimentContext::default`], i.e. available parallelism.)
+    #[must_use]
+    pub fn single_threaded() -> Self {
+        Self::new(1)
     }
-    out.push('\n');
-    out
-}
 
-/// Fig. 18: single-image speedup over TPU.
-#[must_use]
-pub fn fig18_single_speedup() -> String {
-    format!(
-        "Figure 18: single-image throughput normalized to TPU\n{}",
-        perf_table(false)
-    )
-}
-
-/// Fig. 19: batch speedup over TPU.
-#[must_use]
-pub fn fig19_batch_speedup() -> String {
-    format!(
-        "Figure 19: batch throughput normalized to TPU\n{}",
-        perf_table(true)
-    )
-}
-
-fn energy_table(batch_mode: bool) -> String {
-    let mut out = String::new();
-    let schemes = Scheme::figure18_set();
-    let _ = write!(out, "{:<12}", "model");
-    for s in &schemes {
-        let _ = write!(out, "{:>10}", s.name);
-    }
-    out.push('\n');
-    let mut logs = vec![0.0f64; schemes.len()];
-    for id in ModelId::ALL {
-        let model = id.build();
-        let tpu_batch = if batch_mode { id.smart_batch() } else { 1 };
-        let tpu = evaluate(&Scheme::tpu(), &model, tpu_batch);
-        let _ = write!(out, "{:<12}", id.name());
-        for (i, s) in schemes.iter().enumerate() {
-            let b = if !batch_mode {
-                1
-            } else if s.name == "SHIFT" {
-                id.supernpu_batch()
-            } else {
-                id.smart_batch()
-            };
-            let r = evaluate(s, &model, b);
-            let x = r.energy_per_image().as_si() / tpu.energy_per_image().as_si();
-            logs[i] += x.ln();
-            let _ = write!(out, "{x:>10.3}");
+    /// A context sharing this one's cache with a different worker budget
+    /// (how [`run_experiments`] hands experiments their share of `jobs`).
+    #[must_use]
+    pub fn with_jobs(&self, jobs: usize) -> Self {
+        Self {
+            cache: Arc::clone(&self.cache),
+            jobs: jobs.max(1),
         }
-        out.push('\n');
     }
-    let _ = write!(out, "{:<12}", "gmean");
-    for l in &logs {
-        let _ = write!(out, "{:>10.3}", (l / ModelId::ALL.len() as f64).exp());
+}
+
+impl Default for ExperimentContext {
+    /// Defaults to the machine's available parallelism.
+    fn default() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
     }
-    out.push('\n');
-    out
 }
 
-/// Fig. 20: single-image energy normalized to TPU.
-#[must_use]
-pub fn fig20_single_energy() -> String {
-    format!(
-        "Figure 20: single-image energy per inference normalized to TPU\n{}",
-        energy_table(false)
-    )
-}
+/// A figure/table builder: takes the shared context, returns the typed
+/// result.
+pub type Experiment = fn(&ExperimentContext) -> ResultTable;
 
-/// Fig. 21: batch energy normalized to TPU.
-#[must_use]
-pub fn fig21_batch_energy() -> String {
-    format!(
-        "Figure 21: batch energy per inference normalized to TPU\n{}",
-        energy_table(true)
-    )
-}
-
-fn sweep_report(title: &str, pts: &[smart_core::sensitivity::SweepPoint]) -> String {
-    let mut out = format!("{title}\n");
-    let _ = writeln!(out, "{:<8} {:>10} {:>10}", "param", "single", "batch");
-    for p in pts {
-        let _ = writeln!(out, "{:<8} {:>10.2} {:>10.2}", p.label, p.single, p.batch);
-    }
-    out
-}
-
-/// Fig. 22: SHIFT staging capacity sensitivity.
-#[must_use]
-pub fn fig22_shift_capacity() -> String {
-    sweep_report(
-        "Figure 22: SHIFT capacity sensitivity (speedup over SuperNPU)",
-        &smart_core::sensitivity::shift_capacity_sweep(&[16, 32, 64, 128]),
-    )
-}
-
-/// Fig. 23: RANDOM array capacity sensitivity.
-#[must_use]
-pub fn fig23_random_capacity() -> String {
-    sweep_report(
-        "Figure 23: RANDOM capacity sensitivity (speedup over SuperNPU)",
-        &smart_core::sensitivity::random_capacity_sweep(&[14, 28, 56, 112]),
-    )
-}
-
-/// Fig. 24: prefetch iteration count sensitivity.
-#[must_use]
-pub fn fig24_prefetch() -> String {
-    sweep_report(
-        "Figure 24: prefetch iteration sensitivity (speedup over SuperNPU)",
-        &smart_core::sensitivity::prefetch_sweep(&[1, 2, 3, 4, 5]),
-    )
-}
-
-/// Fig. 25: RANDOM write latency sensitivity.
-#[must_use]
-pub fn fig25_write_latency() -> String {
-    sweep_report(
-        "Figure 25: RANDOM write latency sensitivity (speedup over SuperNPU)",
-        &smart_core::sensitivity::write_latency_sweep(&[0.11, 2.0, 3.0]),
-    )
-}
-
-/// Table 4: the baseline configurations.
-#[must_use]
-pub fn table4_configs() -> String {
-    let mut out = String::from("Table 4: baseline configurations\n");
-    for c in [
-        smart_core::config::AcceleratorConfig::tpu(),
-        smart_core::config::AcceleratorConfig::supernpu(),
-        smart_core::config::AcceleratorConfig::smart(),
-    ] {
-        let _ = writeln!(
-            out,
-            "{:<10} {:>6.1} GHz  {:>4}x{:<4} PE  {:>7.0} TMAC/s peak  cryogenic={}",
-            c.name,
-            c.frequency.as_ghz(),
-            c.shape.rows,
-            c.shape.cols,
-            c.peak_tmacs(),
-            c.cryogenic
-        );
-    }
-    out
-}
-
-/// Ablation: the ILP compiler vs the greedy ideal-static allocator across
-/// all AlexNet layers (the software half of SMART's gain over Pipe).
-#[must_use]
-pub fn ablation_ilp_vs_greedy() -> String {
-    use smart_compiler::formulation::{compile_layer, FormulationParams};
-    use smart_compiler::greedy::allocate;
-    use smart_compiler::lifespan::analyze;
-    use smart_systolic::dag::LayerDag;
-    use smart_systolic::mapping::LayerMapping;
-
-    let model = ModelId::AlexNet.build();
-    let params = FormulationParams::smart_default();
-    let mut out =
-        String::from("Ablation: ILP vs greedy allocation objective (higher = more time saved)\n");
-    let _ = writeln!(
-        out,
-        "{:<8} {:>12} {:>12} {:>8}",
-        "layer", "ILP", "greedy", "gain"
-    );
-    let mut ilp_total = 0.0;
-    let mut greedy_total = 0.0;
-    for layer in &model.layers {
-        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
-        let dag = LayerDag::build(&mapping, 6);
-        let ilp = compile_layer(&dag, &params);
-        let greedy = allocate(&dag, &params, analyze(&dag, params.prefetch_window));
-        ilp_total += ilp.objective;
-        greedy_total += greedy.objective;
-        let _ = writeln!(
-            out,
-            "{:<8} {:>12.0} {:>12.0} {:>7.2}%",
-            layer.name,
-            ilp.objective,
-            greedy.objective,
-            (ilp.objective / greedy.objective.max(1.0) - 1.0) * 100.0
-        );
-    }
-    let _ = writeln!(
-        out,
-        "total ILP {:.0} vs greedy {:.0} ({:+.2}%)",
-        ilp_total,
-        greedy_total,
-        (ilp_total / greedy_total.max(1.0) - 1.0) * 100.0
-    );
-
-    // Contested capacity: shrink the SPMs until placements conflict — here
-    // the ILP's global view beats greedy largest-first.
-    let mut tight = params;
-    tight.shift_capacity = 4 * 1024;
-    tight.random_capacity = 192 * 1024;
-    tight.bytes_per_iteration = 256 * 1024;
-    let _ = writeln!(
-        out,
-        "\nContested capacity (4 KB SHIFT, 192 KB RANDOM, 256 KB/iter):"
-    );
-    let mut ilp_total = 0.0;
-    let mut greedy_total = 0.0;
-    for layer in &model.layers {
-        let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
-        let dag = LayerDag::build(&mapping, 6);
-        ilp_total += compile_layer(&dag, &tight).objective;
-        greedy_total += allocate(&dag, &tight, analyze(&dag, tight.prefetch_window)).objective;
-    }
-    let _ = writeln!(
-        out,
-        "total ILP {:.0} vs greedy {:.0} ({:+.2}%)",
-        ilp_total,
-        greedy_total,
-        (ilp_total / greedy_total.max(1.0) - 1.0) * 100.0
-    );
-    out
-}
-
-/// Ablation: SHIFT lane length (bank count at fixed capacity) vs random
-/// access cost and access energy — the design pressure that leads SMART to
-/// 128-byte staging lanes.
-#[must_use]
-pub fn ablation_lane_length() -> String {
-    let mut out = String::from("Ablation: 24 MB SHIFT SPM, lane length vs random-access cost\n");
-    let _ = writeln!(
-        out,
-        "{:>7} {:>10} {:>16} {:>18}",
-        "banks", "lane", "rotate(half) ns", "access energy pJ"
-    );
-    for banks in [16u32, 64, 256, 1024, 4096] {
-        let a = ShiftArray::new(24 * MB, banks);
-        let half = a.lane_bytes() * u64::from(banks) / 2;
-        let _ = writeln!(
-            out,
-            "{:>7} {:>9}B {:>16.1} {:>18.4}",
-            banks,
-            a.lane_bytes(),
-            a.rotate_time(half).as_ns(),
-            a.energy_per_access().as_pj()
-        );
-    }
-    out.push_str("\nShorter lanes: cheaper random access & cheaper per-access energy,\n");
-    out.push_str("but more banks means more peripherals — SMART settles on 128 B lanes.\n");
-    out
-}
-
-/// A figure/table regenerator: takes nothing, returns the printable report.
-type Regenerator = fn() -> String;
-
-/// The single source of truth for the experiment set: `(name, regenerator)`
+/// The single source of truth for the experiment set: `(name, builder)`
 /// in paper order followed by the ablations. [`run_experiment`],
 /// [`experiment_names`], and [`all_experiments`] all derive from this
 /// table, so a new entry cannot drift between them.
-const EXPERIMENTS: &[(&str, Regenerator)] = &[
+const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("fig02", fig02_wires),
     ("table1", table1_memories),
     ("table2", table2_components),
@@ -724,14 +125,14 @@ const EXPERIMENTS: &[(&str, Regenerator)] = &[
     ("ablation_lane_length", ablation_lane_length),
 ];
 
-/// Runs one experiment by name, returning its report, or `None` for an
-/// unknown name. Names are listed by [`experiment_names`].
+/// Runs one experiment by name, returning its typed table, or `None` for
+/// an unknown name. Names are listed by [`experiment_names`].
 #[must_use]
-pub fn run_experiment(name: &str) -> Option<String> {
+pub fn run_experiment(name: &str, ctx: &ExperimentContext) -> Option<ResultTable> {
     EXPERIMENTS
         .iter()
         .find(|(n, _)| *n == name)
-        .map(|(_, regen)| regen())
+        .map(|(_, build)| build(ctx))
 }
 
 /// Names of every experiment, in paper order followed by the ablations,
@@ -741,13 +142,30 @@ pub fn experiment_names() -> Vec<&'static str> {
     EXPERIMENTS.iter().map(|(n, _)| *n).collect()
 }
 
-/// All experiments in paper order, followed by the ablations.
+/// All experiments in paper order, followed by the ablations, fanned over
+/// the context's worker pool with the shared evaluation cache.
 #[must_use]
-pub fn all_experiments() -> Vec<(String, String)> {
-    EXPERIMENTS
+pub fn all_experiments(ctx: &ExperimentContext) -> Vec<ResultTable> {
+    run_experiments(&experiment_names(), ctx)
+}
+
+/// Runs a selection of experiments concurrently, preserving the given
+/// order. Unknown names are skipped (validate against
+/// [`experiment_names`] first to report them).
+///
+/// The `jobs` budget is split across the two fan-out levels: up to
+/// `min(jobs, experiments)` experiments run concurrently, and each
+/// receives `jobs / outer` workers for its internal sweeps/grids, so
+/// total concurrency stays around `jobs` rather than `jobs^2`.
+#[must_use]
+pub fn run_experiments(names: &[&str], ctx: &ExperimentContext) -> Vec<ResultTable> {
+    let selected: Vec<&(&str, Experiment)> = names
         .iter()
-        .map(|(n, regen)| ((*n).to_owned(), regen()))
-        .collect()
+        .filter_map(|name| EXPERIMENTS.iter().find(|(n, _)| n == name))
+        .collect();
+    let outer = ctx.jobs.min(selected.len()).max(1);
+    let inner = ctx.with_jobs(ctx.jobs / outer);
+    parallel_map(outer, &selected, |(_, build)| build(&inner))
 }
 
 /// Convenience wrapper for evaluating one scheme on one model.
@@ -768,7 +186,9 @@ mod tests {
             assert!(seen.insert(*n), "duplicate experiment name {n}");
         }
         assert_eq!(names.len(), 23, "21 figures/tables + 2 ablations");
-        assert!(run_experiment("not_an_experiment").is_none());
+        assert!(
+            run_experiment("not_an_experiment", &ExperimentContext::single_threaded()).is_none()
+        );
     }
 
     #[test]
@@ -776,9 +196,27 @@ mod tests {
         // Smoke the dispatch path on the cheap entries; the expensive
         // sweeps are exercised by the per-figure binaries and CI's
         // all_experiments run.
+        let ctx = ExperimentContext::single_threaded();
         for name in ["table2", "table4", "fig16", "ablation_lane_length"] {
-            let report = run_experiment(name).expect("known name");
-            assert!(report.contains(char::is_numeric), "{name} report is empty");
+            let table = run_experiment(name, &ctx).expect("known name");
+            assert_eq!(table.name, name);
+            assert!(!table.rows.is_empty(), "{name} table is empty");
+            assert!(
+                table.to_text().contains(char::is_numeric),
+                "{name} report is empty"
+            );
+            assert!(
+                table.non_finite_cells().is_empty(),
+                "{name} has non-finite cells"
+            );
         }
+    }
+
+    #[test]
+    fn run_experiments_preserves_selection_order() {
+        let ctx = ExperimentContext::new(2);
+        let tables = run_experiments(&["table4", "table2", "bogus"], &ctx);
+        let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["table4", "table2"]);
     }
 }

@@ -1,0 +1,162 @@
+//! [`EvalCache`]: a thread-safe memoization layer over [`evaluate`].
+//!
+//! The paper's figures re-evaluate the same points constantly — every
+//! speedup figure divides by the same TPU/SuperNPU baselines, the
+//! sensitivity sweeps re-price SuperNPU at every sweep point, and the
+//! prefetch sweep's `a = 3` point *is* the SMART scheme of Figs. 18-21.
+//! Keying on the full `(Scheme, ModelId, batch)` value (not the display
+//! name: sweeps reuse the name "SMART" across physically different SPMs)
+//! makes those recomputations a hash lookup, and the `Mutex`-guarded map
+//! makes one cache shareable across the experiment runner's worker
+//! threads.
+
+use crate::eval::{evaluate, InferenceReport};
+use crate::scheme::Scheme;
+use smart_systolic::models::ModelId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/size counters of an [`EvalCache`] (for reporting and tuning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that ran the evaluator.
+    pub misses: u64,
+    /// Distinct `(Scheme, ModelId, batch)` points stored.
+    pub entries: usize,
+}
+
+/// A memoized, thread-safe front end to [`evaluate`].
+///
+/// Reports are returned as [`Arc`]s so concurrent experiments share one
+/// allocation per evaluated point. Under a race, two threads may evaluate
+/// the same point concurrently; the first insertion wins and the results
+/// are identical (the evaluator is deterministic), so the only cost is the
+/// duplicated work of that one point. The lock is never held while
+/// evaluating.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<(Scheme, ModelId, u32), Arc<InferenceReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized equivalent of
+    /// `evaluate(scheme, &model.build(), batch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero (like [`evaluate`]), or if the map mutex
+    /// was poisoned by a panicking evaluation on another thread.
+    #[must_use]
+    pub fn report(&self, scheme: &Scheme, model: ModelId, batch: u32) -> Arc<InferenceReport> {
+        // One key clone per lookup, reused on the miss path. (A borrowed
+        // probe would need `(Scheme, ModelId, u32)` to have a borrowed
+        // form; a Scheme clone is a few dozen Copy fields, far below the
+        // cost of the evaluation it saves.)
+        let key = (scheme.clone(), model, batch);
+        if let Some(found) = self.map.lock().expect("eval cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(evaluate(scheme, &model.build(), batch));
+        Arc::clone(
+            self.map
+                .lock()
+                .expect("eval cache poisoned")
+                .entry(key)
+                .or_insert(report),
+        )
+    }
+
+    /// Current counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map mutex was poisoned.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("eval cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_equals_uncached() {
+        let cache = EvalCache::new();
+        let scheme = Scheme::smart();
+        let direct = evaluate(&scheme, &ModelId::AlexNet.build(), 1);
+        let cached = cache.report(&scheme, ModelId::AlexNet, 1);
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = EvalCache::new();
+        let scheme = Scheme::supernpu();
+        let a = cache.report(&scheme, ModelId::AlexNet, 1);
+        let b = cache.report(&scheme, ModelId::AlexNet, 1);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_hardware_with_same_name_does_not_collide() {
+        // Sweeps reuse the display name "SMART" across different SPMs; the
+        // cache must key on the full scheme value.
+        let cache = EvalCache::new();
+        let smart = Scheme::smart();
+        let mut tweaked = smart.clone();
+        tweaked.policy = crate::scheme::AllocationPolicy::Prefetch { window: 1 };
+        assert_eq!(smart.name, tweaked.name);
+        let a = cache.report(&smart, ModelId::AlexNet, 1);
+        let b = cache.report(&tweaked, ModelId::AlexNet, 1);
+        assert_ne!(a.total_time, b.total_time);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn batch_is_part_of_the_key() {
+        let cache = EvalCache::new();
+        let scheme = Scheme::supernpu();
+        let single = cache.report(&scheme, ModelId::AlexNet, 1);
+        let batch = cache.report(&scheme, ModelId::AlexNet, 30);
+        assert_ne!(single.batch, batch.batch);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn shared_across_scoped_threads() {
+        let cache = EvalCache::new();
+        let scheme = Scheme::pipe();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let r = cache.report(&scheme, ModelId::AlexNet, 1);
+                    assert!(r.total_time.as_s() > 0.0);
+                });
+            }
+        });
+        // All four threads resolved to one stored entry (a benign race may
+        // cost duplicate evaluations but never duplicate entries).
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

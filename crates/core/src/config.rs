@@ -21,6 +21,8 @@ pub const DRAM_BANDWIDTH: f64 = 300.0e9;
 /// An accelerator configuration row of Table 4.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorConfig {
+    // NOTE: `Eq`/`Hash` are implemented manually below because of the raw
+    // `mac_energy_j: f64` field; keep them in sync when adding fields.
     /// Display name.
     pub name: &'static str,
     /// Clock frequency.
@@ -80,6 +82,23 @@ impl AcceleratorConfig {
     #[must_use]
     pub fn peak_tmacs(&self) -> f64 {
         self.shape.pes() as f64 * self.frequency.as_si() / 1e12
+    }
+}
+
+/// Configurations are evaluation-cache key components (see
+/// [`crate::cache::EvalCache`]). A NaN `mac_energy_j` would break
+/// reflexivity; NaN is never a meaningful calibration value here.
+impl Eq for AcceleratorConfig {}
+
+impl std::hash::Hash for AcceleratorConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.frequency.hash(state);
+        self.shape.hash(state);
+        self.cryogenic.hash(state);
+        // Normalize -0.0 so Hash agrees with the derived PartialEq.
+        (self.mac_energy_j + 0.0).to_bits().hash(state);
+        self.average_power.hash(state);
     }
 }
 

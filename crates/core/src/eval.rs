@@ -21,7 +21,7 @@ use smart_spm::service::{AccessCost, SpmService};
 use smart_systolic::layer::CnnModel;
 use smart_systolic::mapping::LayerMapping;
 use smart_systolic::trace::{DataClass, LayerDemand};
-use smart_units::{Energy, Time};
+use smart_units::{Energy, SmartError, Time};
 
 /// Multiplier on SHIFT realignment distance: each fold boundary re-scans
 /// the live region several times because overlapping im2col windows revisit
@@ -92,16 +92,79 @@ impl InferenceReport {
     }
 
     /// Throughput normalized to a reference report (the figures' "norm.
+    /// perf."), or a typed error when the ratio is not a finite positive
+    /// number (zero-time reference, zero-MAC reference, non-finite
+    /// inputs).
+    ///
+    /// # Errors
+    ///
+    /// [`SmartError::InvalidInput`] when the reference throughput is zero
+    /// or non-finite, or the resulting ratio is non-finite.
+    pub fn try_speedup_over(&self, reference: &Self) -> Result<f64, SmartError> {
+        let denominator = reference.throughput_tmacs();
+        if !denominator.is_finite() || denominator <= 0.0 {
+            return Err(SmartError::invalid_input(format!(
+                "reference report {}/{} has zero or non-finite throughput ({denominator} TMAC/s)",
+                reference.scheme, reference.model
+            )));
+        }
+        let ratio = self.throughput_tmacs() / denominator;
+        if !ratio.is_finite() {
+            return Err(SmartError::invalid_input(format!(
+                "speedup of {}/{} over {}/{} is non-finite",
+                self.scheme, self.model, reference.scheme, reference.model
+            )));
+        }
+        Ok(ratio)
+    }
+
+    /// Throughput normalized to a reference report (the figures' "norm.
     /// perf.").
+    ///
+    /// Never returns NaN: a degenerate comparison (zero-time or zero-MAC
+    /// reference) saturates to [`f64::INFINITY`] — deliberately *not* a
+    /// finite stand-in, so the experiment runner's non-finite check
+    /// (`all_experiments --check`) still flags the broken baseline instead
+    /// of letting a huge finite number pass as a plausible speedup. Use
+    /// [`InferenceReport::try_speedup_over`] for a typed error instead.
     #[must_use]
     pub fn speedup_over(&self, reference: &Self) -> f64 {
-        self.throughput_tmacs() / reference.throughput_tmacs()
+        self.try_speedup_over(reference).unwrap_or(f64::INFINITY)
+    }
+
+    /// Energy per inferred image, or a typed error for a degenerate
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// [`SmartError::InvalidInput`] when the report's batch is zero (only
+    /// possible for hand-constructed reports; [`evaluate`] rejects a zero
+    /// batch) or its total energy is non-finite.
+    pub fn try_energy_per_image(&self) -> Result<Energy, SmartError> {
+        if self.batch == 0 {
+            return Err(SmartError::invalid_input(format!(
+                "report {}/{} has batch 0",
+                self.scheme, self.model
+            )));
+        }
+        let per_image = self.energy.total / f64::from(self.batch);
+        if !per_image.is_finite() {
+            return Err(SmartError::invalid_input(format!(
+                "energy per image of {}/{} is non-finite",
+                self.scheme, self.model
+            )));
+        }
+        Ok(per_image)
     }
 
     /// Energy per inferred image.
+    ///
+    /// Never divides by zero: a (hand-constructed) zero batch is treated
+    /// as one image. Use [`InferenceReport::try_energy_per_image`] to
+    /// detect that case instead.
     #[must_use]
     pub fn energy_per_image(&self) -> Energy {
-        self.energy.total / f64::from(self.batch)
+        self.energy.total / f64::from(self.batch.max(1))
     }
 }
 
@@ -470,6 +533,67 @@ mod tests {
                 scheme.name
             );
         }
+    }
+
+    /// A degenerate hand-constructed report (no layers, zero time, zero
+    /// batch) for the guard tests.
+    fn degenerate() -> InferenceReport {
+        InferenceReport {
+            scheme: "degenerate",
+            model: "none".to_owned(),
+            batch: 0,
+            layers: Vec::new(),
+            total_time: Time::ZERO,
+            macs: 0,
+            energy: EnergyReport {
+                matrix: Energy::ZERO,
+                spm_dynamic: Energy::ZERO,
+                spm_static: Energy::ZERO,
+                total: Energy::from_j(1.0),
+            },
+        }
+    }
+
+    #[test]
+    fn speedup_over_degenerate_reference_is_a_typed_error() {
+        let good = alexnet_single(&Scheme::smart());
+        let bad = degenerate();
+        let err = good.try_speedup_over(&bad).unwrap_err();
+        assert!(matches!(err, SmartError::InvalidInput { .. }), "{err}");
+        // The infallible form saturates to +inf (never NaN), so the
+        // runner's non-finite check still catches the degenerate baseline.
+        let saturated = good.speedup_over(&bad);
+        assert!(!saturated.is_nan());
+        assert_eq!(saturated, f64::INFINITY);
+    }
+
+    #[test]
+    fn speedup_between_real_reports_matches_try_variant() {
+        let sn = alexnet_single(&Scheme::supernpu());
+        let smart = alexnet_single(&Scheme::smart());
+        let fallible = smart.try_speedup_over(&sn).expect("finite");
+        assert!((smart.speedup_over(&sn) - fallible).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_image_zero_batch_is_guarded() {
+        let bad = degenerate();
+        let err = bad.try_energy_per_image().unwrap_err();
+        assert!(matches!(err, SmartError::InvalidInput { .. }), "{err}");
+        // Documented saturation: batch 0 is priced as one image.
+        let e = bad.energy_per_image();
+        assert!(e.is_finite());
+        assert!((e.as_j() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_image_real_report_is_finite_and_divides_batch() {
+        let model = ModelId::AlexNet.build();
+        let s = Scheme::supernpu();
+        let r = evaluate(&s, &model, 30);
+        let per_image = r.try_energy_per_image().expect("finite");
+        assert!((per_image.as_si() - r.energy.total.as_si() / 30.0).abs() < 1e-18);
+        assert_eq!(per_image, r.energy_per_image());
     }
 
     #[test]

@@ -4,12 +4,14 @@
 #![warn(clippy::all)]
 
 pub mod area;
+pub mod cache;
 pub mod config;
 pub mod eval;
 pub mod scheme;
 pub mod sensitivity;
 
 pub use area::{matrix_unit_area, ChipArea};
+pub use cache::{CacheStats, EvalCache};
 pub use config::{AcceleratorConfig, COOLING_FACTOR, DRAM_BANDWIDTH};
 pub use eval::{evaluate, EnergyReport, InferenceReport, LayerReport};
 pub use scheme::{AllocationPolicy, PureShiftSpm, Scheme, SpmOrganization};

@@ -19,7 +19,7 @@ const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
 
 /// SHIFT-only SPM set (SuperNPU's organization).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PureShiftSpm {
     /// Input buffer.
     pub input: ShiftArray,
@@ -42,7 +42,7 @@ impl PureShiftSpm {
 }
 
 /// How data is allocated and prefetched onto the SPM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllocationPolicy {
     /// Ideal static allocation, no prefetch: loads overlap compute only via
     /// natural double buffering (~half hidden).
@@ -74,7 +74,7 @@ impl AllocationPolicy {
 }
 
 /// An SPM organization under evaluation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SpmOrganization {
     /// Idealized SPM (the TPU baseline): never stalls the array.
     Ideal,
@@ -89,7 +89,12 @@ pub enum SpmOrganization {
 }
 
 /// A named evaluation scheme: accelerator config + SPM + policy.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A `Scheme` is a pure value: two schemes that compare equal evaluate
+/// identically, which is what lets [`crate::cache::EvalCache`] key its
+/// memoization on `(Scheme, ModelId, batch)` rather than on display names
+/// (sweeps reuse the name "SMART" across physically different SPMs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Scheme {
     /// Display name used in the figures.
     pub name: &'static str,

@@ -2,10 +2,16 @@
 //! capacity (Fig. 23), prefetch iteration count (Fig. 24), and RANDOM write
 //! latency (Fig. 25). All results are gmean speedups over SuperNPU across
 //! the six CNN models, for single-image and batch inference.
+//!
+//! Every sweep evaluates through a shared [`EvalCache`], so the SuperNPU
+//! baselines (one single-image and one batch evaluation per model) are
+//! computed once per cache rather than once per sweep point, and sweep
+//! points run concurrently on up to `jobs` worker threads.
 
-use crate::eval::evaluate;
+use crate::cache::EvalCache;
 use crate::scheme::{AllocationPolicy, Scheme, SpmOrganization};
 use smart_cryomem::array::RandomArrayKind;
+use smart_report::parallel_map;
 use smart_spm::hetero::HeterogeneousSpm;
 use smart_systolic::models::ModelId;
 use smart_units::Time;
@@ -25,18 +31,17 @@ pub struct SweepPoint {
 }
 
 /// Geometric mean of per-model speedups of `scheme` over SuperNPU.
-fn gmean_speedup(scheme: &Scheme, batch_mode: bool) -> f64 {
+fn gmean_speedup(cache: &EvalCache, scheme: &Scheme, batch_mode: bool) -> f64 {
     let baseline = Scheme::supernpu();
     let mut log_sum = 0.0;
     for id in ModelId::ALL {
-        let model = id.build();
         let (b_scheme, b_base) = if batch_mode {
             (id.smart_batch(), id.supernpu_batch())
         } else {
             (1, 1)
         };
-        let r = evaluate(scheme, &model, b_scheme);
-        let base = evaluate(&baseline, &model, b_base);
+        let r = cache.report(scheme, id, b_scheme);
+        let base = cache.report(&baseline, id, b_base);
         log_sum += (r.throughput_tmacs() / base.throughput_tmacs()).ln();
     }
     (log_sum / ModelId::ALL.len() as f64).exp()
@@ -51,91 +56,84 @@ fn smart_with_spm(spm: HeterogeneousSpm, policy: AllocationPolicy) -> Scheme {
     }
 }
 
+/// Prices one labelled scheme variant at both batch modes.
+fn sweep_point(cache: &EvalCache, label: String, scheme: &Scheme) -> SweepPoint {
+    SweepPoint {
+        label,
+        single: gmean_speedup(cache, scheme, false),
+        batch: gmean_speedup(cache, scheme, true),
+    }
+}
+
 /// Fig. 22: sweep the per-class SHIFT staging capacity.
 #[must_use]
-pub fn shift_capacity_sweep(capacities_kb: &[u64]) -> Vec<SweepPoint> {
-    capacities_kb
-        .iter()
-        .map(|&kb| {
-            let spm = HeterogeneousSpm::new(
-                kb * KB,
-                256,
-                28 * MB,
-                256,
-                RandomArrayKind::PipelinedCmosSfq,
-            );
-            let scheme = smart_with_spm(spm, AllocationPolicy::Prefetch { window: 3 });
-            SweepPoint {
-                label: format!("{kb}KB"),
-                single: gmean_speedup(&scheme, false),
-                batch: gmean_speedup(&scheme, true),
-            }
-        })
-        .collect()
+pub fn shift_capacity_sweep(
+    cache: &EvalCache,
+    capacities_kb: &[u64],
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    parallel_map(jobs, capacities_kb, |&kb| {
+        let spm = HeterogeneousSpm::new(
+            kb * KB,
+            256,
+            28 * MB,
+            256,
+            RandomArrayKind::PipelinedCmosSfq,
+        );
+        let scheme = smart_with_spm(spm, AllocationPolicy::Prefetch { window: 3 });
+        sweep_point(cache, format!("{kb}KB"), &scheme)
+    })
 }
 
 /// Fig. 23: sweep the shared RANDOM array capacity.
 #[must_use]
-pub fn random_capacity_sweep(capacities_mb: &[u64]) -> Vec<SweepPoint> {
-    capacities_mb
-        .iter()
-        .map(|&mb| {
-            let spm = HeterogeneousSpm::new(
-                32 * KB,
-                256,
-                mb * MB,
-                256,
-                RandomArrayKind::PipelinedCmosSfq,
-            );
-            let scheme = smart_with_spm(spm, AllocationPolicy::Prefetch { window: 3 });
-            SweepPoint {
-                label: format!("{mb}MB"),
-                single: gmean_speedup(&scheme, false),
-                batch: gmean_speedup(&scheme, true),
-            }
-        })
-        .collect()
+pub fn random_capacity_sweep(
+    cache: &EvalCache,
+    capacities_mb: &[u64],
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    parallel_map(jobs, capacities_mb, |&mb| {
+        let spm = HeterogeneousSpm::new(
+            32 * KB,
+            256,
+            mb * MB,
+            256,
+            RandomArrayKind::PipelinedCmosSfq,
+        );
+        let scheme = smart_with_spm(spm, AllocationPolicy::Prefetch { window: 3 });
+        sweep_point(cache, format!("{mb}MB"), &scheme)
+    })
 }
 
 /// Fig. 24: sweep the prefetch iteration count `a` (1 = no prefetch).
 #[must_use]
-pub fn prefetch_sweep(windows: &[u32]) -> Vec<SweepPoint> {
-    windows
-        .iter()
-        .map(|&a| {
-            let scheme = smart_with_spm(
-                HeterogeneousSpm::smart_default(),
-                AllocationPolicy::Prefetch { window: a },
-            );
-            SweepPoint {
-                label: format!("a={a}"),
-                single: gmean_speedup(&scheme, false),
-                batch: gmean_speedup(&scheme, true),
-            }
-        })
-        .collect()
+pub fn prefetch_sweep(cache: &EvalCache, windows: &[u32], jobs: usize) -> Vec<SweepPoint> {
+    parallel_map(jobs, windows, |&a| {
+        let scheme = smart_with_spm(
+            HeterogeneousSpm::smart_default(),
+            AllocationPolicy::Prefetch { window: a },
+        );
+        sweep_point(cache, format!("a={a}"), &scheme)
+    })
 }
 
 /// Fig. 25: sweep the RANDOM array write latency (0.11 ns pipelined CMOS-SFQ
 /// vs the 2 ns / 3 ns of dense MRAM/SNM cells).
 #[must_use]
-pub fn write_latency_sweep(latencies_ns: &[f64]) -> Vec<SweepPoint> {
-    latencies_ns
-        .iter()
-        .map(|&ns| {
-            let mut spm = HeterogeneousSpm::smart_default();
-            spm.random.write_latency = Time::from_ns(ns);
-            // A slower write also throttles the per-bank issue rate for
-            // writes.
-            spm.random.issue_interval = spm.random.issue_interval.max(Time::from_ns(ns / 8.0));
-            let scheme = smart_with_spm(spm, AllocationPolicy::Prefetch { window: 3 });
-            SweepPoint {
-                label: format!("{ns}ns"),
-                single: gmean_speedup(&scheme, false),
-                batch: gmean_speedup(&scheme, true),
-            }
-        })
-        .collect()
+pub fn write_latency_sweep(
+    cache: &EvalCache,
+    latencies_ns: &[f64],
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    parallel_map(jobs, latencies_ns, |&ns| {
+        let mut spm = HeterogeneousSpm::smart_default();
+        spm.random.write_latency = Time::from_ns(ns);
+        // A slower write also throttles the per-bank issue rate for
+        // writes.
+        spm.random.issue_interval = spm.random.issue_interval.max(Time::from_ns(ns / 8.0));
+        let scheme = smart_with_spm(spm, AllocationPolicy::Prefetch { window: 3 });
+        sweep_point(cache, format!("{ns}ns"), &scheme)
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +142,8 @@ mod tests {
 
     #[test]
     fn fig22_small_shift_hurts() {
-        let pts = shift_capacity_sweep(&[16, 32]);
+        let cache = EvalCache::new();
+        let pts = shift_capacity_sweep(&cache, &[16, 32], 2);
         assert!(
             pts[0].single < pts[1].single,
             "16KB {} should trail 32KB {}",
@@ -156,7 +155,8 @@ mod tests {
 
     #[test]
     fn fig23_larger_random_helps_batch_more() {
-        let pts = random_capacity_sweep(&[14, 28, 112]);
+        let cache = EvalCache::new();
+        let pts = random_capacity_sweep(&cache, &[14, 28, 112], 2);
         // 14 MB hurts relative to 28 MB.
         assert!(pts[0].batch <= pts[1].batch);
         // 112 MB helps batches (or at least never hurts).
@@ -168,7 +168,8 @@ mod tests {
 
     #[test]
     fn fig24_prefetch_saturates_at_3() {
-        let pts = prefetch_sweep(&[1, 2, 3, 4]);
+        let cache = EvalCache::new();
+        let pts = prefetch_sweep(&cache, &[1, 2, 3, 4], 2);
         assert!(pts[0].single < pts[2].single, "a=1 must trail a=3");
         assert!(pts[1].single <= pts[2].single * 1.001);
         let rel = (pts[3].single - pts[2].single).abs() / pts[2].single;
@@ -177,9 +178,33 @@ mod tests {
 
     #[test]
     fn fig25_slow_writes_hurt() {
-        let pts = write_latency_sweep(&[0.11, 2.0, 3.0]);
+        let cache = EvalCache::new();
+        let pts = write_latency_sweep(&cache, &[0.11, 2.0, 3.0], 2);
         assert!(pts[1].single < pts[0].single);
         assert!(pts[2].single <= pts[1].single * 1.001);
         assert!(pts[2].batch < pts[0].batch);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        // The pool must not change results, only wall-clock.
+        let cache = EvalCache::new();
+        let seq = prefetch_sweep(&cache, &[1, 3, 5], 1);
+        let par = prefetch_sweep(&cache, &[1, 3, 5], 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sweeps_share_the_baseline_through_the_cache() {
+        let cache = EvalCache::new();
+        let _ = shift_capacity_sweep(&cache, &[32, 64], 2);
+        let before = cache.stats();
+        // The random sweep's 28 MB point *is* the shift sweep's 32 KB point
+        // (the paper's default SMART SPM), so only the 56 MB scheme
+        // evaluates: 1 new scheme x 6 models x 2 modes = 12 evaluations.
+        let _ = random_capacity_sweep(&cache, &[28, 56], 2);
+        let after = cache.stats();
+        assert_eq!(after.misses - before.misses, 12);
+        assert!(after.hits > before.hits, "baseline lookups must hit");
     }
 }

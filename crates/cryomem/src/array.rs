@@ -76,7 +76,7 @@ impl RandomArrayKind {
 }
 
 /// Area decomposition of an array (drives the Fig. 5c / Fig. 17 stacks).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct AreaBreakdown {
     /// Storage cells.
     pub cells: Area,
@@ -97,7 +97,10 @@ impl AreaBreakdown {
 }
 
 /// Metrics bundle of a built random-access array.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash` (via the [`smart_units`] quantity impls) let a fully
+/// specified array participate in evaluation-cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RandomArray {
     /// Which organization this is.
     pub kind: RandomArrayKind,

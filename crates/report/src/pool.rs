@@ -1,0 +1,91 @@
+//! An order-preserving worker pool built on [`std::thread::scope`].
+//!
+//! The experiment engine fans independent work items (whole experiments,
+//! sweep points, model/scheme grid cells) across a bounded number of OS
+//! threads. Work is claimed from a shared atomic cursor, so uneven item
+//! costs balance themselves; results land back at their item's index, so
+//! callers see the same ordering as a sequential `map`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `jobs` worker threads, preserving order.
+///
+/// `jobs <= 1` (or a single item) runs inline on the caller's thread with
+/// no synchronization. Threads are scoped, so `f` may borrow from the
+/// caller's stack (e.g. a shared evaluation cache).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers finish.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(4, &items, |&x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel() {
+        let items: Vec<i32> = (0..17).collect();
+        assert_eq!(
+            parallel_map(1, &items, |&x| x + 1),
+            parallel_map(8, &items, |&x| x + 1)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u8> = vec![];
+        assert!(parallel_map(4, &none, |&x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7], |&x: &i32| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let base = 10usize;
+        let items: Vec<usize> = (0..32).collect();
+        let out = parallel_map(3, &items, |&x| x + base);
+        assert_eq!(out[31], 41);
+    }
+}

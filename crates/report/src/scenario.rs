@@ -1,0 +1,92 @@
+//! [`Scenario`]: a named sweep over typed evaluation points.
+//!
+//! A scenario is the *input* side of an experiment: its identity, the axes
+//! being swept (human-readable, for `--list` style introspection), and the
+//! concrete points to evaluate. The point type is generic — `smart-bench`
+//! instantiates it with `(Scheme, ModelId, batch)` grids for the
+//! performance figures and with capacity/window values for the sensitivity
+//! sweeps — so this layer stays free of accelerator types and the whole
+//! engine can be tested with plain integers.
+
+use crate::pool::parallel_map;
+
+/// A named sweep: what is being varied ([`Scenario::axes`]) and the points
+/// to evaluate ([`Scenario::points`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario<P> {
+    /// Scenario name (usually the experiment name, e.g. `fig18`).
+    pub name: String,
+    /// Human-readable description of each sweep axis, e.g.
+    /// `["model", "scheme"]`.
+    pub axes: Vec<String>,
+    /// The evaluation points, in presentation order.
+    pub points: Vec<P>,
+}
+
+impl<P> Scenario<P> {
+    /// An empty scenario.
+    #[must_use]
+    pub fn new(name: impl Into<String>, axes: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            axes: axes.iter().map(|&a| a.to_owned()).collect(),
+            points: Vec::new(),
+        }
+    }
+
+    /// A scenario over an existing point list.
+    #[must_use]
+    pub fn over(name: impl Into<String>, axes: &[&str], points: Vec<P>) -> Self {
+        Self {
+            points,
+            ..Self::new(name, axes)
+        }
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the scenario has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Evaluates every point on up to `jobs` worker threads, preserving
+    /// point order (see [`parallel_map`]). The closure typically closes
+    /// over a shared evaluation cache, which deduplicates points that
+    /// recur across scenarios.
+    pub fn run<R, F>(&self, jobs: usize, f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        parallel_map(jobs, &self.points, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_points_in_order() {
+        let s = Scenario::over("squares", &["x"], (0u64..20).collect());
+        assert_eq!(s.len(), 20);
+        assert!(!s.is_empty());
+        let out = s.run(4, |&x| x * x);
+        assert_eq!(out[7], 49);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn axes_are_recorded() {
+        let s: Scenario<u8> = Scenario::new("empty", &["model", "scheme"]);
+        assert_eq!(s.axes, vec!["model", "scheme"]);
+        assert!(s.is_empty());
+    }
+}

@@ -35,17 +35,6 @@ pub mod jtl;
 pub mod ptl;
 pub mod wire;
 
-/// Deprecated re-export shim: the quantity system moved to the
-/// [`smart_units`] foundation crate so every layer of the workspace can
-/// depend on it without depending on device models. Import from
-/// `smart_units` directly; this alias will be removed next release.
-#[deprecated(
-    since = "0.1.0",
-    note = "the quantity system moved to the `smart-units` crate; \
-            use `smart_units::…` instead of `smart_sfq::units::…`"
-)]
-pub use smart_units as units;
-
 pub use components::{Component, ComponentKind, Repeater, SplitterUnit};
 pub use fanout::{SfqDecoder, SplitterTree};
 pub use hop::PtlHop;

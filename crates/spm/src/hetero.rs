@@ -10,7 +10,7 @@ use smart_units::{Area, Power};
 
 /// The SMART heterogeneous SPM: per-class SHIFT staging arrays and a shared
 /// RANDOM array.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HeterogeneousSpm {
     /// SHIFT staging array for inputs.
     pub input_shift: ShiftArray,

@@ -16,7 +16,7 @@ use smart_cryomem::tech::MemoryTechnology;
 use smart_units::{Area, Energy, Power, Time};
 
 /// A banked SHIFT-register scratchpad.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ShiftArray {
     capacity_bytes: u64,
     banks: u32,

@@ -171,6 +171,23 @@ macro_rules! quantity {
                 write!(f, "{} {}", self.0, $unit)
             }
         }
+
+        /// Quantities are used as memoization-cache key components (e.g.
+        /// `smart_core`'s evaluation cache keys on a full `Scheme`), which
+        /// requires total equality. A NaN quantity would break reflexivity;
+        /// NaN is never a meaningful physical value here and is treated as
+        /// an upstream bug (the experiment runner rejects non-finite
+        /// results).
+        impl Eq for $name {}
+
+        /// Hashes the IEEE-754 bit pattern, normalizing `-0.0` to `+0.0`
+        /// so that `Hash` stays consistent with `PartialEq` (which treats
+        /// the two zeros as equal).
+        impl std::hash::Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                (self.0 + 0.0).to_bits().hash(state);
+            }
+        }
     };
 }
 

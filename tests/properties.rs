@@ -180,6 +180,32 @@ proptest! {
         prop_assert!((got - f64::from(best)).abs() < 1e-6, "ilp {got} vs brute {best}");
     }
 
+    /// Memoized evaluation is *identical* to direct evaluation: the cache
+    /// layer must never change a result, whatever the scheme/model/batch.
+    #[test]
+    fn cached_evaluation_identical(
+        scheme_idx in 0usize..6,
+        model_idx in 0usize..6,
+        batch in 1u32..8,
+    ) {
+        use smart::core::cache::EvalCache;
+        use smart::core::eval::evaluate;
+        use smart::core::scheme::Scheme;
+        use smart::systolic::models::ModelId;
+
+        let mut schemes = Scheme::figure18_set();
+        schemes.push(Scheme::tpu());
+        let scheme = &schemes[scheme_idx];
+        let id = ModelId::ALL[model_idx];
+        let cache = EvalCache::new();
+        let direct = evaluate(scheme, &id.build(), batch);
+        let cached = cache.report(scheme, id, batch);
+        prop_assert_eq!(&*cached, &direct);
+        // A second (hitting) lookup returns the same report again.
+        let again = cache.report(scheme, id, batch);
+        prop_assert_eq!(&*again, &direct);
+    }
+
     /// SHIFT stream energy scales linearly with words.
     #[test]
     fn shift_energy_linear(words in 1u64..100_000) {
