@@ -1,0 +1,120 @@
+//! The CI-enforced performance harness for the PR-3 hot paths: the
+//! warm-started ILP engine behind `ablation_ilp_vs_greedy`, the memoized
+//! evaluator cache, and the `parallel_map` worker pool.
+//!
+//! Run it and refresh the committed baseline with:
+//!
+//! ```sh
+//! cargo bench -p smart-bench --bench ilp -- --bench --save-json "$PWD/BENCH_ilp.json"
+//! ```
+//!
+//! (The bench binary runs with the package directory as its cwd, so the
+//! output path should be anchored to the workspace root.)
+//!
+//! CI runs the same harness in `--quick` mode, writes a fresh
+//! `BENCH_ilp.new.json`, and fails the `bench` job if any `ilp_*`
+//! benchmark regressed more than 25% against the committed `BENCH_ilp.json`
+//! (see `bench_check`). Baselines are machine-relative: refresh the file
+//! when the reference machine changes, not to absorb a regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_bench::{ablation_ilp_vs_greedy, ExperimentContext};
+use smart_compiler::formulation::{compile_layer_ctx, FormulationParams};
+use smart_core::cache::EvalCache;
+use smart_core::scheme::Scheme;
+use smart_core::sensitivity::allocation_capacity_sweep;
+use smart_core::SolverContext;
+use smart_report::parallel_map;
+use smart_systolic::dag::LayerDag;
+use smart_systolic::layer::ConvLayer;
+use smart_systolic::mapping::{ArrayShape, LayerMapping};
+use smart_systolic::models::ModelId;
+use std::hint::black_box;
+
+/// The whole ILP-vs-greedy ablation (16 branch & bound searches: every
+/// AlexNet layer at default and contested capacities) — the wall-clock
+/// target of the PR-3 rewrite.
+fn bench_ilp_ablation(c: &mut Criterion) {
+    let ctx = ExperimentContext::single_threaded();
+    c.bench_function("ilp_ablation_ilp_vs_greedy", |b| {
+        b.iter(|| ablation_ilp_vs_greedy(black_box(&ctx)))
+    });
+}
+
+/// One layer compilation, cold solver context each call (the per-layer
+/// branch & bound cost on its own).
+fn bench_ilp_compile_layer(c: &mut Criterion) {
+    let layer = ConvLayer::conv("conv3", 13, 13, 256, 384, 3, 1, 1);
+    let mapping = LayerMapping::map(&layer, ArrayShape::new(64, 256), 1);
+    let dag = LayerDag::build(&mapping, 6);
+    let params = FormulationParams::smart_default();
+    c.bench_function("ilp_compile_conv3_cold_ctx", |b| {
+        b.iter(|| compile_layer_ctx(black_box(&dag), black_box(&params), &SolverContext::new()))
+    });
+}
+
+/// The compiler-side capacity sweep through one shared `SolverContext`:
+/// after the first point, every root relaxation warm-starts from a stored
+/// basis (rhs-only changes).
+fn bench_ilp_warm_sweep(c: &mut Criterion) {
+    c.bench_function("ilp_allocation_sweep_warm_3pts", |b| {
+        b.iter(|| {
+            let solver = SolverContext::new();
+            allocation_capacity_sweep(black_box(&solver), ModelId::AlexNet, &[16, 32, 64], 1)
+        })
+    });
+}
+
+/// EvalCache hit path: the memoized lookup the sensitivity sweeps lean on.
+fn bench_eval_cache_hit(c: &mut Criterion) {
+    let cache = EvalCache::new();
+    let scheme = Scheme::smart();
+    let _ = cache.report(&scheme, ModelId::AlexNet, 1); // warm
+    c.bench_function("eval_cache_hit_alexnet", |b| {
+        b.iter(|| cache.report(black_box(&scheme), ModelId::AlexNet, 1))
+    });
+}
+
+/// EvalCache miss path: one full evaluation plus the insertion.
+fn bench_eval_cache_miss(c: &mut Criterion) {
+    let scheme = Scheme::smart();
+    c.bench_function("eval_cache_miss_alexnet", |b| {
+        b.iter(|| {
+            let cache = EvalCache::new();
+            cache.report(black_box(&scheme), ModelId::AlexNet, 1)
+        })
+    });
+}
+
+/// `parallel_map` scaling over a fixed CPU-bound workload: 1 worker vs 4.
+/// On a single-core runner the 4-way run measures pool overhead instead of
+/// speedup — the gate only compares each variant against its own baseline.
+fn bench_parallel_map(c: &mut Criterion) {
+    let items: Vec<u64> = (0..8).collect();
+    let work = |&seed: &u64| -> f64 {
+        let mut acc = seed as f64 + 1.5;
+        for i in 0..20_000u32 {
+            acc = (acc * 1.000_000_11 + f64::from(i)).sqrt() + 1.0;
+        }
+        acc
+    };
+    let mut g = c.benchmark_group("parallel_map");
+    g.bench_function("jobs1_8items", |b| {
+        b.iter(|| parallel_map(1, black_box(&items), work))
+    });
+    g.bench_function("jobs4_8items", |b| {
+        b.iter(|| parallel_map(4, black_box(&items), work))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ilp_ablation,
+    bench_ilp_compile_layer,
+    bench_ilp_warm_sweep,
+    bench_eval_cache_hit,
+    bench_eval_cache_miss,
+    bench_parallel_map,
+);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Compares a fresh criterion run against a committed `BENCH_*.json`
+//! baseline and fails (exit 1) on regressions — the CI perf gate.
+//!
+//! ```sh
+//! cargo bench -p smart-bench --bench ilp -- --bench --quick --save-json BENCH_ilp.new.json
+//! cargo run --release -p smart-bench --bin bench_check -- \
+//!     --baseline BENCH_ilp.json --current BENCH_ilp.new.json --max-regression 0.25
+//! ```
+//!
+//! * `--max-regression R` — fail when `current > baseline * (1 + R)`
+//!   (default 0.25);
+//! * `--filter PREFIX` — only gate benchmark ids starting with `PREFIX`
+//!   (repeatable; default: every id present in both files);
+//! * ids present in only one file are reported but never fail the gate
+//!   (new benchmarks need a baseline refresh, not a red build).
+//!
+//! Baselines are machine-relative wall-clock means; refresh them with the
+//! command in the README's Performance section when the reference machine
+//! changes, never to absorb an unexplained regression.
+
+use std::process::ExitCode;
+
+/// Minimal parser for the shim's `{"benchmarks": [{"id": ..,
+/// "mean_ns": ..}]}` files: scans for the `"id"`/`"mean_ns"` pairs in
+/// order. Not a general JSON parser — the format is produced by this
+/// workspace's criterion shim only.
+fn parse(body: &str, path: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in body.split("\"id\"").skip(1) {
+        let Some(start) = chunk.find('"') else {
+            continue;
+        };
+        let rest = &chunk[start + 1..];
+        let Some(end) = rest.find('"') else { continue };
+        let id = rest[..end].to_owned();
+        let Some(mean_at) = rest.find("\"mean_ns\"") else {
+            eprintln!("{path}: entry `{id}` has no mean_ns; skipped");
+            continue;
+        };
+        let tail = &rest[mean_at + "\"mean_ns\"".len()..];
+        let num: String = tail
+            .chars()
+            .skip_while(|c| *c == ':' || c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        match num.parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= 0.0 => out.push((id, v)),
+            _ => eprintln!("{path}: entry `{id}` has unparsable mean_ns `{num}`; skipped"),
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> Option<Vec<(String, f64)>> {
+    match std::fs::read_to_string(path) {
+        Ok(body) => Some(parse(&body, path)),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut max_regression = 0.25f64;
+    let mut filters: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--current" => current_path = it.next().cloned(),
+            "--filter" => {
+                if let Some(f) = it.next() {
+                    filters.push(f.clone());
+                }
+            }
+            "--max-regression" => {
+                let Some(r) = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|r| *r >= 0.0)
+                else {
+                    eprintln!("--max-regression needs a non-negative number");
+                    return ExitCode::FAILURE;
+                };
+                max_regression = r;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; flags: --baseline F --current F \
+                     [--max-regression R] [--filter PREFIX]..."
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("usage: bench_check --baseline BENCH_ilp.json --current BENCH_ilp.new.json");
+        return ExitCode::FAILURE;
+    };
+    let (Some(baseline), Some(current)) = (load(&baseline_path), load(&current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!(
+            "empty benchmark set (baseline {}, current {})",
+            baseline.len(),
+            current.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let gated = |id: &str| filters.is_empty() || filters.iter().any(|f| id.starts_with(f.as_str()));
+    let mut failed = false;
+    let mut compared = 0usize;
+    for (id, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(cid, _)| cid == id) else {
+            eprintln!("~ {id}: in baseline only (refresh pending?)");
+            continue;
+        };
+        let ratio = cur / base.max(1e-9);
+        let marker = if ratio > 1.0 + max_regression && gated(id) {
+            failed = true;
+            compared += 1;
+            "FAIL"
+        } else if gated(id) {
+            compared += 1;
+            "ok"
+        } else {
+            "skip"
+        };
+        println!(
+            "{marker:>4}  {id:<40} baseline {base:>14.1} ns  current {cur:>14.1} ns  ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for (id, _) in &current {
+        if !baseline.iter().any(|(bid, _)| bid == id) {
+            eprintln!("~ {id}: in current only (add to the committed baseline)");
+        }
+    }
+    if compared == 0 {
+        eprintln!("no benchmarks matched the gate filters {filters:?}");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        eprintln!(
+            "perf gate failed: regression above {:.0}%",
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf gate ok: {compared} benchmarks within {:.0}%",
+        max_regression * 100.0
+    );
+    ExitCode::SUCCESS
+}

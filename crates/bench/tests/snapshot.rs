@@ -1,0 +1,47 @@
+//! Golden-snapshot test: the text output of every experiment must match
+//! the committed `tests/snapshots/all_experiments.txt` byte for byte, so
+//! *any* figure drift fails `cargo test` (and the CI `golden-snapshot`
+//! job) — not just non-finite cells.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```sh
+//! cargo run --release -p smart-bench --bin all_experiments -- --jobs 2 \
+//!     > tests/snapshots/all_experiments.txt
+//! ```
+
+use smart_bench::{all_experiments, ExperimentContext};
+
+#[test]
+fn all_experiments_text_matches_committed_snapshot() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/snapshots/all_experiments.txt"
+    );
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("missing snapshot {path}: {e} — regenerate it (see module docs)")
+    });
+
+    // Reproduce the all_experiments binary's text format exactly.
+    let ctx = ExperimentContext::new(2);
+    let mut produced = String::new();
+    for table in all_experiments(&ctx) {
+        produced.push_str(&format!("==== {} ====\n{table}\n", table.name));
+    }
+
+    if produced != committed {
+        // Point at the first differing line instead of dumping ~230 lines.
+        let line = produced
+            .lines()
+            .zip(committed.lines())
+            .position(|(a, b)| a != b)
+            .map_or_else(
+                || produced.lines().count().min(committed.lines().count()),
+                |i| i + 1,
+            );
+        panic!(
+            "all_experiments text drifted from {path} at line {line}; \
+             if the change is intentional, regenerate the snapshot (see module docs)"
+        );
+    }
+}

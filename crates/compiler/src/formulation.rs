@@ -26,6 +26,7 @@ use crate::lifespan::{analyze, Lifespan};
 use crate::schedule::{Location, Placement, Schedule, ScheduleSource};
 use smart_ilp::problem::{Problem, Relation, Sense, VarId};
 use smart_ilp::solver::{MipSolution, Solver};
+use smart_ilp::SolverContext;
 use smart_systolic::dag::LayerDag;
 use smart_systolic::trace::DataClass;
 use smart_units::{Result, SmartError};
@@ -76,23 +77,46 @@ impl FormulationParams {
     }
 }
 
-/// Builds and solves the allocation ILP for one layer DAG.
+/// Builds and solves the allocation ILP for one layer DAG with a private,
+/// throwaway [`SolverContext`].
 ///
 /// Falls back to the greedy allocator when the solver cannot find a
 /// feasible point (the paper's compiler is "near-optimal" as well). Use
 /// [`compile_layer_strict`] to surface solver failures instead of silently
-/// degrading.
+/// degrading, and [`compile_layer_ctx`] to share warm-start state across a
+/// sweep of related compilations.
 ///
 /// # Panics
 ///
 /// Panics if `params.prefetch_window` is zero.
 #[must_use]
 pub fn compile_layer(dag: &LayerDag, params: &FormulationParams) -> Schedule {
+    compile_layer_ctx(dag, params, &SolverContext::new())
+}
+
+/// Like [`compile_layer`], threading a shared [`SolverContext`] through the
+/// solver so adjacent compilations (the same layer at different capacities,
+/// the ablation's default-vs-contested runs, sensitivity sweeps) warm-start
+/// from each other's optimal bases.
+///
+/// The greedy allocation is computed first and seeded as the solver's
+/// initial incumbent, so best-bound pruning starts at node zero and a
+/// node-limited search can never return something worse than greedy.
+///
+/// # Panics
+///
+/// Panics if `params.prefetch_window` is zero.
+#[must_use]
+pub fn compile_layer_ctx(
+    dag: &LayerDag,
+    params: &FormulationParams,
+    solver: &SolverContext,
+) -> Schedule {
     let lifespans = analyze(dag, params.prefetch_window);
-    // The greedy allocation doubles as a warm-start bound: if the node
-    // limit stopped branch & bound before it beat greedy, keep greedy.
     let greedy = crate::greedy::allocate(dag, params, lifespans.clone());
-    match solve_with_lifespans(dag, params, lifespans) {
+    match solve_with_lifespans(dag, params, lifespans, &greedy, solver) {
+        // The incumbent seed makes the solver's result at least as good as
+        // greedy; this guard only survives as a numerical backstop.
         Ok(s) if s.source == ScheduleSource::IlpFeasible && greedy.objective > s.objective => {
             greedy
         }
@@ -111,31 +135,82 @@ pub fn compile_layer(dag: &LayerDag, params: &FormulationParams) -> Schedule {
 /// * [`SmartError::Infeasible`] / [`SmartError::Unbounded`] from the
 ///   underlying integer program.
 pub fn compile_layer_strict(dag: &LayerDag, params: &FormulationParams) -> Result<Schedule> {
+    compile_layer_strict_ctx(dag, params, &SolverContext::new())
+}
+
+/// Like [`compile_layer_strict`], with a shared [`SolverContext`] (see
+/// [`compile_layer_ctx`]).
+///
+/// # Errors
+///
+/// As for [`compile_layer_strict`].
+pub fn compile_layer_strict_ctx(
+    dag: &LayerDag,
+    params: &FormulationParams,
+    solver: &SolverContext,
+) -> Result<Schedule> {
     if params.prefetch_window == 0 {
         return Err(SmartError::invalid_input(
             "prefetch window must be >= 1 iteration",
         ));
     }
-    solve_with_lifespans(dag, params, analyze(dag, params.prefetch_window))
+    let lifespans = analyze(dag, params.prefetch_window);
+    // The greedy allocation seeds the solver's bound here too, so the
+    // strict and fallback entry points explore identically and return the
+    // same schedules on solvable layers.
+    let greedy = crate::greedy::allocate(dag, params, lifespans.clone());
+    solve_with_lifespans(dag, params, lifespans, &greedy, solver)
 }
 
-/// Shared core of [`compile_layer`] and [`compile_layer_strict`]: formulate
-/// and solve given already-computed lifespans (the analysis is O(objects x
-/// edges) and both entry points need it).
+/// Shared core of the `compile_layer*` entry points: formulate and solve
+/// given already-computed lifespans (the analysis is O(objects x edges) and
+/// every entry point needs it), seeding the greedy schedule as the initial
+/// incumbent.
 fn solve_with_lifespans(
     dag: &LayerDag,
     params: &FormulationParams,
     lifespans: Vec<Lifespan>,
+    greedy: &Schedule,
+    solver: &SolverContext,
 ) -> Result<Schedule> {
     let (p, h_vars, r_vars) = build_problem(dag, params, &lifespans);
-    let sol = Solver::new().with_node_limit(2_000).try_solve(&p)?;
+    let seed = seed_values(dag, greedy, &h_vars, &r_vars, p.num_vars());
+    let sol = Solver::new()
+        .with_node_limit(2_000)
+        .with_incumbent(seed)
+        .try_solve_with(&p, solver)?;
     Ok(schedule_from(
         dag, params, lifespans, &sol, &h_vars, &r_vars,
     ))
 }
 
+/// Encodes a (greedy) schedule as ILP variable values, for incumbent
+/// seeding: `h_o = 1` for SHIFT placements, `r_o = 1` for RANDOM ones.
+fn seed_values(
+    dag: &LayerDag,
+    schedule: &Schedule,
+    h_vars: &[VarId],
+    r_vars: &[VarId],
+    n_vars: usize,
+) -> Vec<f64> {
+    let mut values = vec![0.0; n_vars];
+    for o in &dag.objects {
+        match schedule.location_of(o.id) {
+            Location::Shift => values[h_vars[o.id as usize].index()] = 1.0,
+            Location::Random => values[r_vars[o.id as usize].index()] = 1.0,
+            Location::Dram => {}
+        }
+    }
+    values
+}
+
 /// Assembles the Eq. 5/6 problem: placement binaries, the saving-minus-load
 /// objective, and per-edge capacity / bandwidth / sub-bank constraints.
+///
+/// Adjacent edges usually see the same live/fetch sets, so the per-edge
+/// loops produce long runs of *identical* rows; those are deduplicated
+/// before reaching the solver (a duplicate constraint cannot change the
+/// feasible region, but every extra row widens the simplex basis).
 fn build_problem(
     dag: &LayerDag,
     params: &FormulationParams,
@@ -164,6 +239,22 @@ fn build_problem(
         r_vars.push(r);
     }
 
+    let mut seen = std::collections::HashSet::new();
+    let mut add_unique = |p: &mut Problem, terms: &[(VarId, f64)], rhs: f64| {
+        if terms.is_empty() {
+            return;
+        }
+        let mut key = Vec::with_capacity(terms.len() * 2 + 1);
+        for (v, k) in terms {
+            key.push(v.index() as u64);
+            key.push(k.to_bits());
+        }
+        key.push(rhs.to_bits());
+        if seen.insert(key) {
+            p.add_constraint(terms, Relation::Le, rhs);
+        }
+    };
+
     let edges = dag.edges.len() as u32;
     for edge in 0..edges {
         // SHIFT capacity per class.
@@ -175,9 +266,7 @@ fn build_problem(
                 .filter(|o| live_on(&lifespans[o.id as usize], edge))
                 .map(|o| (h_vars[o.id as usize], o.bytes as f64))
                 .collect();
-            if !terms.is_empty() {
-                p.add_constraint(&terms, Relation::Le, params.shift_capacity as f64);
-            }
+            add_unique(&mut p, &terms, params.shift_capacity as f64);
         }
         // RANDOM capacity (shared).
         let terms: Vec<_> = dag
@@ -186,9 +275,7 @@ fn build_problem(
             .filter(|o| live_on(&lifespans[o.id as usize], edge))
             .map(|o| (r_vars[o.id as usize], o.bytes as f64))
             .collect();
-        if !terms.is_empty() {
-            p.add_constraint(&terms, Relation::Le, params.random_capacity as f64);
-        }
+        add_unique(&mut p, &terms, params.random_capacity as f64);
         // Bandwidth: objects whose fetch edge is this edge.
         let fetch_terms: Vec<_> = dag
             .objects
@@ -201,13 +288,7 @@ fn build_problem(
                 ]
             })
             .collect();
-        if !fetch_terms.is_empty() {
-            p.add_constraint(
-                &fetch_terms,
-                Relation::Le,
-                params.bytes_per_iteration as f64,
-            );
-        }
+        add_unique(&mut p, &fetch_terms, params.bytes_per_iteration as f64);
         // Sub-bank: count of simultaneous RANDOM fetches.
         let bank_terms: Vec<_> = dag
             .objects
@@ -215,9 +296,7 @@ fn build_problem(
             .filter(|o| lifespans[o.id as usize].first_edge == edge)
             .map(|o| (r_vars[o.id as usize], 1.0))
             .collect();
-        if !bank_terms.is_empty() {
-            p.add_constraint(&bank_terms, Relation::Le, f64::from(params.random_banks));
-        }
+        add_unique(&mut p, &bank_terms, f64::from(params.random_banks));
     }
 
     (p, h_vars, r_vars)
@@ -260,6 +339,7 @@ fn schedule_from(
         prefetch_window: params.prefetch_window,
         objective: sol.objective,
         source,
+        nodes: sol.nodes,
     }
 }
 

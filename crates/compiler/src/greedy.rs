@@ -6,6 +6,12 @@
 //! (SHIFT, then RANDOM) whose per-edge capacity still fits them; leftovers
 //! stay in DRAM. No prefetch decisions beyond the window already baked into
 //! the lifespans.
+//!
+//! Beyond serving as a baseline, the greedy schedule seeds branch & bound:
+//! `formulation` encodes its placements as ILP variable values and hands
+//! them to the solver as the initial incumbent, so best-bound pruning is
+//! active from the first node and the search only has to *improve on*
+//! greedy rather than rediscover it.
 
 use crate::formulation::FormulationParams;
 use crate::lifespan::Lifespan;
@@ -80,6 +86,7 @@ pub fn allocate(dag: &LayerDag, params: &FormulationParams, lifespans: Vec<Lifes
         prefetch_window: params.prefetch_window,
         objective,
         source: ScheduleSource::Greedy,
+        nodes: 0,
     }
 }
 

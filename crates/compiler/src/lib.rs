@@ -36,7 +36,11 @@ pub mod greedy;
 pub mod lifespan;
 pub mod schedule;
 
-pub use formulation::{compile_layer, compile_layer_strict, FormulationParams};
+pub use formulation::{
+    compile_layer, compile_layer_ctx, compile_layer_strict, compile_layer_strict_ctx,
+    FormulationParams,
+};
 pub use lifespan::{analyze, resident_bytes_on_edge, Lifespan};
 pub use schedule::{Location, Placement, Schedule, ScheduleSource};
+pub use smart_ilp::{SolverContext, SolverContextStats};
 pub use smart_units::{Result, SmartError};

@@ -50,6 +50,10 @@ pub struct Schedule {
     pub objective: f64,
     /// Provenance.
     pub source: ScheduleSource,
+    /// Branch & bound nodes the solver explored to produce this schedule
+    /// (0 for greedy allocations — and for ILP schedules whose seeded
+    /// greedy incumbent was already provably optimal).
+    pub nodes: usize,
 }
 
 impl Schedule {
@@ -162,6 +166,7 @@ mod tests {
             prefetch_window: a,
             objective: 0.0,
             source: ScheduleSource::Greedy,
+            nodes: 0,
         };
         (dag, schedule)
     }

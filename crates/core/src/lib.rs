@@ -16,5 +16,7 @@ pub use config::{AcceleratorConfig, COOLING_FACTOR, DRAM_BANDWIDTH};
 pub use eval::{evaluate, EnergyReport, InferenceReport, LayerReport};
 pub use scheme::{AllocationPolicy, PureShiftSpm, Scheme, SpmOrganization};
 pub use sensitivity::{
-    prefetch_sweep, random_capacity_sweep, shift_capacity_sweep, write_latency_sweep, SweepPoint,
+    allocation_capacity_sweep, prefetch_sweep, random_capacity_sweep, shift_capacity_sweep,
+    write_latency_sweep, AllocationPoint, SweepPoint,
 };
+pub use smart_compiler::{SolverContext, SolverContextStats};

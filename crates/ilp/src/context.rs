@@ -1,0 +1,171 @@
+//! [`SolverContext`]: cross-solve warm-start state.
+//!
+//! Sweep-style workloads (the ILP ablation's default-vs-contested capacity
+//! runs, the compiler-side capacity sensitivity in `smart-core`) solve long
+//! runs of LPs that share a constraint *structure* and differ only in
+//! right-hand sides. A [`SolverContext`] remembers the optimal root basis
+//! of every structure it has seen (keyed by a fingerprint over the
+//! matrix, variables, and objective, *excluding* right-hand sides), so the
+//! next solve of an adjacent point starts from a dual-feasible basis and
+//! typically reoptimizes in a handful of dual simplex pivots instead of a
+//! full cold solve. Sweeps that change bounds or objective coefficients
+//! produce different fingerprints and simply solve cold — reuse never
+//! risks a stale basis.
+//!
+//! The context is `Sync`: one instance can be shared across the experiment
+//! runner's worker threads (the map is mutex-guarded, the counters are
+//! atomic), matching how `smart_report::parallel_map` fans sweep points
+//! out.
+
+use crate::problem::Problem;
+use crate::revised::Basis;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters describing how much reuse a [`SolverContext`] delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverContextStats {
+    /// Solves that found a stored basis for their problem structure.
+    pub warm_attempts: u64,
+    /// Warm attempts that actually reoptimized from the stored basis
+    /// (no cold fallback).
+    pub warm_hits: u64,
+    /// Solves that started cold (no stored basis, or fallback).
+    pub cold_solves: u64,
+    /// Distinct problem structures with a stored basis.
+    pub stored_bases: usize,
+}
+
+/// Shared warm-start state threaded through
+/// `smart_compiler::formulation::compile_layer_ctx` and
+/// `smart_core::sensitivity` sweeps.
+#[derive(Debug, Default)]
+pub struct SolverContext {
+    bases: Mutex<HashMap<u64, Arc<Basis>>>,
+    warm_attempts: AtomicU64,
+    warm_hits: AtomicU64,
+    cold_solves: AtomicU64,
+}
+
+impl SolverContext {
+    /// An empty context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis map mutex was poisoned.
+    #[must_use]
+    pub fn stats(&self) -> SolverContextStats {
+        SolverContextStats {
+            warm_attempts: self.warm_attempts.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            cold_solves: self.cold_solves.load(Ordering::Relaxed),
+            stored_bases: self.bases.lock().expect("solver context poisoned").len(),
+        }
+    }
+
+    pub(crate) fn lookup(&self, fp: u64) -> Option<Arc<Basis>> {
+        let found = self
+            .bases
+            .lock()
+            .expect("solver context poisoned")
+            .get(&fp)
+            .cloned();
+        if found.is_some() {
+            self.warm_attempts.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    pub(crate) fn store(&self, fp: u64, basis: Arc<Basis>) {
+        self.bases
+            .lock()
+            .expect("solver context poisoned")
+            .insert(fp, basis);
+    }
+
+    pub(crate) fn note_warm_hit(&self) {
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_cold(&self) {
+        self.cold_solves.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fingerprint of a problem's warm-start-compatible structure: sense,
+/// variables (bounds, integrality, objective), and constraint matrix
+/// (relation + terms) — everything *except* the right-hand sides, which a
+/// stored basis stays dual-feasible across.
+#[must_use]
+pub(crate) fn fingerprint(p: &Problem) -> u64 {
+    let mut h = DefaultHasher::new();
+    (p.num_vars() as u64).hash(&mut h);
+    (p.num_constraints() as u64).hash(&mut h);
+    matches!(p.sense, crate::problem::Sense::Maximize).hash(&mut h);
+    for v in &p.variables {
+        v.lower.to_bits().hash(&mut h);
+        v.upper.to_bits().hash(&mut h);
+        v.integer.hash(&mut h);
+        v.objective.to_bits().hash(&mut h);
+    }
+    for c in &p.constraints {
+        (c.relation as u8).hash(&mut h);
+        (c.terms.len() as u64).hash(&mut h);
+        for &(v, k) in &c.terms {
+            (v.index() as u64).hash(&mut h);
+            k.to_bits().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    fn knapsack(rhs: f64, weight: f64) -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        p.set_objective(a, 3.0);
+        p.set_objective(b, 2.0);
+        p.add_constraint(&[(a, weight), (b, 1.0)], Relation::Le, rhs);
+        p
+    }
+
+    #[test]
+    fn fingerprint_ignores_rhs_but_not_matrix() {
+        let base = fingerprint(&knapsack(2.0, 1.0));
+        assert_eq!(base, fingerprint(&knapsack(5.0, 1.0)), "rhs-only change");
+        assert_ne!(base, fingerprint(&knapsack(2.0, 4.0)), "matrix change");
+    }
+
+    #[test]
+    fn stats_track_storage() {
+        let ctx = SolverContext::new();
+        assert_eq!(ctx.stats(), SolverContextStats::default());
+        let basis = Arc::new(crate::revised::Basis {
+            basic: vec![2],
+            status: vec![
+                crate::revised::Status::Lower,
+                crate::revised::Status::Lower,
+                crate::revised::Status::Basic,
+            ],
+        });
+        ctx.store(7, basis);
+        assert_eq!(ctx.stats().stored_bases, 1);
+        assert!(ctx.lookup(7).is_some());
+        assert!(ctx.lookup(8).is_none());
+        assert_eq!(ctx.stats().warm_attempts, 1);
+    }
+}

@@ -1,10 +1,18 @@
 //! A from-scratch 0/1 integer linear programming solver.
 //!
 //! The paper solves its SPM allocation/prefetch formulation with Gurobi;
-//! this crate is the reproduction's substitute: a dense two-phase primal
-//! simplex for LP relaxations ([`simplex`]) under best-first branch & bound
-//! ([`solver`]), with a greedy rounding fallback so compilation always
-//! terminates.
+//! this crate is the reproduction's substitute. The hot path is a *sparse
+//! revised simplex* over a compressed-sparse-column standard form
+//! ([`revised`]) — bounded variables handled implicitly (no upper-bound
+//! rows), an `m x m` basis inverse instead of a full tableau, and
+//! warm-startable bases — under best-first branch & bound ([`solver`]) that
+//! reoptimizes every child node from its parent's basis with a few dual
+//! simplex pivots, prunes against a caller-seeded incumbent, and falls back
+//! to greedy rounding so compilation always terminates. A [`SolverContext`]
+//! carries optimal bases *between* solves, so sweeps over capacities or
+//! budgets (same constraint structure, different right-hand sides) become
+//! cheap reoptimizations. The original dense tableau lives on in [`dense`]
+//! as the property-test oracle.
 //!
 //! # Quick start
 //!
@@ -25,15 +33,39 @@
 //! let result = Solver::new().solve(&p);
 //! assert!((result.solution().unwrap().objective - 10.0).abs() < 1e-6);
 //! ```
+//!
+//! Sweep-style callers share a [`SolverContext`] so adjacent solves
+//! warm-start from each other's bases:
+//!
+//! ```
+//! use smart_ilp::{Problem, Relation, Sense, Solver, SolverContext};
+//!
+//! let ctx = SolverContext::new();
+//! for capacity in [7.0, 6.0, 5.0] {
+//!     let mut p = Problem::new(Sense::Maximize);
+//!     let a = p.binary("a");
+//!     let b = p.binary("b");
+//!     p.set_objective(a, 10.0);
+//!     p.set_objective(b, 6.0);
+//!     p.add_constraint(&[(a, 5.0), (b, 4.0)], Relation::Le, capacity);
+//!     let _ = Solver::new().solve_with(&p, &ctx);
+//! }
+//! assert!(ctx.stats().warm_attempts >= 2);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod context;
+pub mod dense;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
 pub mod solver;
 
+pub use context::{SolverContext, SolverContextStats};
 pub use problem::{Problem, Relation, Sense, VarId};
+pub use revised::Basis;
 pub use simplex::{solve_relaxation, try_solve_relaxation, LpResult, LpSolution};
 pub use smart_units::{Result, SmartError};
 pub use solver::{MipResult, MipSolution, Solver};

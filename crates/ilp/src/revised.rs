@@ -1,0 +1,1464 @@
+//! Sparse revised simplex with bounded variables and warm starts — the
+//! solver's hot path.
+//!
+//! The LP is held in standard form `A x + s = b` over a compressed sparse
+//! column (`StandardForm`) matrix: one slack column per row (`Le` rows get
+//! `s >= 0`, `Ge` rows `s <= 0`, `Eq` rows `s = 0`) and *no* explicit
+//! upper-bound rows — variable bounds are handled implicitly by the
+//! bounded-variable ratio test, which shrinks the basis from
+//! `constraints + bounds` rows (the old dense tableau) to `constraints`
+//! rows. Rows are scaled by their largest coefficient and the objective by
+//! its largest coefficient, so absolute tolerances are meaningful even for
+//! byte-sized formulation coefficients.
+//!
+//! Only an `m x m` basis inverse is maintained (product-form updates with
+//! periodic refactorization); pricing walks the sparse columns. An `Lp`
+//! workspace is long-lived — branch & bound keeps one per search — and a
+//! solve can start three ways (`Warm`):
+//!
+//! * **`Live`**: the workspace still holds the optimal basis and inverse of
+//!   the *previous* solve (the parent node, when the search dives into a
+//!   child). Only the bounds change; a few *dual simplex* pivots restore
+//!   primal feasibility with no refactorization at all.
+//! * **`Basis`**: a stored [`Basis`] from an earlier solve (a sibling
+//!   subtree popped off the best-first heap, or a
+//!   [`crate::context::SolverContext`] hit from an adjacent sweep point).
+//!   The inverse is rebuilt once, then dual (bound/rhs changes) or primal
+//!   (objective changes) reoptimization proceeds as above.
+//! * **`Cold`**: slack basis, artificial columns only on infeasible rows,
+//!   then phase two.
+//!
+//! The dense tableau implementation survives in [`crate::dense`] as the
+//! reference oracle for the property suite.
+
+use crate::problem::{Problem, Relation, Sense};
+use crate::simplex::{LpResult, LpSolution};
+
+/// Primal feasibility tolerance (on row-scaled values).
+const FEAS_TOL: f64 = 1e-7;
+/// Dual feasibility tolerance (on objective-scaled reduced costs).
+const DUAL_TOL: f64 = 1e-7;
+/// Smallest acceptable pivot magnitude.
+const PIVOT_TOL: f64 = 1e-8;
+/// Iteration cap per simplex phase (anti-runaway).
+const MAX_ITERS: usize = 50_000;
+/// Basis-inverse refactorization interval (bounds drift).
+const REFACTOR_EVERY: usize = 64;
+/// Degenerate steps tolerated before switching to Bland's rule.
+const STALL_LIMIT: usize = 30;
+
+/// Bound status of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// In the basis.
+    Basic,
+    /// Nonbasic at its lower bound.
+    Lower,
+    /// Nonbasic at its upper bound.
+    Upper,
+}
+
+/// A simplex basis: the basic column of every row plus each column's bound
+/// status. It is small (O(rows + columns) integers), cheap to clone, and
+/// the unit of warm-start reuse — between branch & bound nodes and, through
+/// [`crate::context::SolverContext`], between whole solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    pub(crate) basic: Vec<usize>,
+    pub(crate) status: Vec<Status>,
+}
+
+/// Standard-form LP: CSC structural columns, implicit unit slack columns,
+/// row/objective scaling, and default (node-independent) bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct StandardForm {
+    pub m: usize,
+    pub n_struct: usize,
+    /// Structural + slack columns.
+    pub n_total: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    val: Vec<f64>,
+    /// Row-scaled right-hand sides.
+    pub rhs: Vec<f64>,
+    /// Internal objective: max-sense, divided by the largest |coefficient|.
+    pub obj: Vec<f64>,
+    /// Default lower bounds, length `n_total`.
+    pub lower: Vec<f64>,
+    /// Default upper bounds, length `n_total`.
+    pub upper: Vec<f64>,
+    /// The factor the internal objective was divided by (for mapping
+    /// reduced costs back to original units).
+    pub obj_scale: f64,
+}
+
+impl StandardForm {
+    /// Builds the scaled standard form of a [`Problem`].
+    pub(crate) fn build(p: &Problem) -> Self {
+        let n = p.variables.len();
+        let m = p.constraints.len();
+        let sign = match p.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+
+        // Row scales: largest |coefficient| per row.
+        let row_scale: Vec<f64> = p
+            .constraints
+            .iter()
+            .map(|c| {
+                c.terms
+                    .iter()
+                    .map(|(_, k)| k.abs())
+                    .fold(0.0f64, f64::max)
+                    .max(1e-12)
+            })
+            .collect();
+
+        // Gather per-column entries (accumulating duplicates).
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (i, c) in p.constraints.iter().enumerate() {
+            for &(v, k) in &c.terms {
+                cols[v.index()].push((i, k / row_scale[i]));
+            }
+        }
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        let mut val = Vec::new();
+        col_ptr.push(0);
+        for entries in &mut cols {
+            entries.sort_unstable_by_key(|&(r, _)| r);
+            let mut last_row = usize::MAX;
+            for &(r, v) in entries.iter() {
+                if r == last_row {
+                    *val.last_mut().expect("entry just pushed") += v;
+                } else {
+                    row_idx.push(r);
+                    val.push(v);
+                    last_row = r;
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+
+        let obj_scale = p
+            .variables
+            .iter()
+            .map(|v| v.objective.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+
+        let mut lower = Vec::with_capacity(n + m);
+        let mut upper = Vec::with_capacity(n + m);
+        let mut obj = Vec::with_capacity(n + m);
+        for v in &p.variables {
+            lower.push(v.lower);
+            upper.push(v.upper);
+            obj.push(sign * v.objective / obj_scale);
+        }
+        let mut rhs = Vec::with_capacity(m);
+        for (i, c) in p.constraints.iter().enumerate() {
+            rhs.push(c.rhs / row_scale[i]);
+            let (lo, up) = match c.relation {
+                Relation::Le => (0.0, f64::INFINITY),
+                Relation::Ge => (f64::NEG_INFINITY, 0.0),
+                Relation::Eq => (0.0, 0.0),
+            };
+            lower.push(lo);
+            upper.push(up);
+            obj.push(0.0);
+        }
+
+        Self {
+            m,
+            n_struct: n,
+            n_total: n + m,
+            col_ptr,
+            row_idx,
+            val,
+            rhs,
+            obj,
+            lower,
+            upper,
+            obj_scale,
+        }
+    }
+
+    /// Effective bounds under branch & bound pins (`x[i] = v`).
+    pub(crate) fn bounds_with_pins(&self, pins: &[Option<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = self.lower.clone();
+        let mut up = self.upper.clone();
+        for (i, pin) in pins.iter().enumerate() {
+            if let Some(v) = *pin {
+                lo[i] = v;
+                up[i] = v;
+            }
+        }
+        (lo, up)
+    }
+}
+
+/// How one LP solve ended.
+#[derive(Debug)]
+pub(crate) enum SolveOutcome {
+    /// Optimal: structural values, true-objective value, and the final
+    /// basis (absent when a redundant row kept an artificial basic).
+    Optimal {
+        values: Vec<f64>,
+        objective: f64,
+        basis: Option<Basis>,
+    },
+    Infeasible,
+    Unbounded,
+}
+
+/// How to start a solve (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Warm<'a> {
+    /// Continue from the workspace's still-installed previous basis.
+    Live,
+    /// Rebuild the inverse from a stored basis, then reoptimize.
+    Basis(&'a Basis),
+    /// Slack basis + phase one.
+    Cold,
+}
+
+/// Per-solve instrumentation (aggregated by the solver/context layers).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SolveTrace {
+    /// A warm start (live or stored basis) was actually used — no cold
+    /// fallback.
+    pub warm_used: bool,
+}
+
+/// One-shot relaxation solve used by the public `solve_relaxation` API and
+/// unit tests: fresh workspace, bounds from pins, mapped to [`LpResult`].
+pub(crate) fn solve_with_pins(
+    form: &StandardForm,
+    p: &Problem,
+    pins: &[Option<f64>],
+    warm: Option<&Basis>,
+    trace: &mut SolveTrace,
+) -> (LpResult, Option<Basis>) {
+    let (lo, up) = if pins.is_empty() {
+        (form.lower.clone(), form.upper.clone())
+    } else {
+        form.bounds_with_pins(pins)
+    };
+    let mut lp = Lp::new(form);
+    let warm = warm.map_or(Warm::Cold, Warm::Basis);
+    match lp.solve(p, lo, up, warm, trace, true) {
+        SolveOutcome::Optimal {
+            values,
+            objective,
+            basis,
+        } => (LpResult::Optimal(LpSolution { objective, values }), basis),
+        SolveOutcome::Infeasible => (LpResult::Infeasible, None),
+        SolveOutcome::Unbounded => (LpResult::Unbounded, None),
+    }
+}
+
+enum PrimalEnd {
+    Optimal,
+    Unbounded,
+    IterLimit,
+}
+
+enum DualEnd {
+    PrimalFeasible,
+    Infeasible,
+    Stalled,
+}
+
+/// A reusable LP workspace: the standard form plus node bounds, artificial
+/// columns, basis, dense basis inverse, and basic values. Branch & bound
+/// keeps one alive for the whole search so a dive into a child node reuses
+/// the just-computed factorization (`Warm::Live`).
+pub(crate) struct Lp<'a> {
+    form: &'a StandardForm,
+    /// Bounds over structural + slack + artificial columns.
+    lo: Vec<f64>,
+    up: Vec<f64>,
+    /// Artificial columns as `(row, sign)` unit vectors.
+    art: Vec<(usize, f64)>,
+    /// Current-phase objective (length of `lo`).
+    obj: Vec<f64>,
+    basic: Vec<usize>,
+    status: Vec<Status>,
+    /// Row-major m x m basis inverse.
+    binv: Vec<f64>,
+    /// Values of the basic variables, by row.
+    xb: Vec<f64>,
+    pivots: usize,
+    /// The workspace holds a clean optimal basis (no artificials basic)
+    /// from the previous solve, usable via [`Warm::Live`].
+    live_ok: bool,
+    /// Scratch buffers (avoid per-iteration allocation).
+    scratch_y: Vec<f64>,
+    scratch_w: Vec<f64>,
+    scratch_d: Vec<f64>,
+    scratch_a: Vec<f64>,
+    /// Bounds of the previous solve (for incremental rebinds on dives).
+    prev_lo: Vec<f64>,
+    prev_up: Vec<f64>,
+}
+
+impl<'a> Lp<'a> {
+    pub(crate) fn new(form: &'a StandardForm) -> Self {
+        let m = form.m;
+        Self {
+            form,
+            lo: form.lower.clone(),
+            up: form.upper.clone(),
+            art: Vec::new(),
+            obj: form.obj.clone(),
+            basic: (0..m).map(|i| form.n_struct + i).collect(),
+            status: vec![Status::Lower; form.n_total],
+            binv: vec![0.0; m * m],
+            xb: vec![0.0; m],
+            pivots: 0,
+            live_ok: false,
+            scratch_y: vec![0.0; m],
+            scratch_w: vec![0.0; m],
+            scratch_d: Vec::new(),
+            scratch_a: Vec::new(),
+            prev_lo: Vec::new(),
+            prev_up: Vec::new(),
+        }
+    }
+
+    /// Solves with compact pins `(variable, value)` applied over the
+    /// form's default bounds — the branch & bound node path. `base` holds
+    /// search-wide fixings (reduced-cost fixing), `pins` the node's
+    /// branching decisions. Bound vectors are filled in place; nothing is
+    /// allocated for the bounds.
+    pub(crate) fn solve_pinned(
+        &mut self,
+        p: &Problem,
+        base: &[(usize, f64)],
+        pins: &[(usize, f64)],
+        warm: Warm,
+        trace: &mut SolveTrace,
+        want_basis: bool,
+    ) -> SolveOutcome {
+        self.drop_artificials();
+        std::mem::swap(&mut self.lo, &mut self.prev_lo);
+        std::mem::swap(&mut self.up, &mut self.prev_up);
+        self.lo.resize(self.form.n_total, 0.0);
+        self.up.resize(self.form.n_total, 0.0);
+        self.lo.copy_from_slice(&self.form.lower);
+        self.up.copy_from_slice(&self.form.upper);
+        for &(i, v) in base.iter().chain(pins) {
+            self.lo[i] = v;
+            self.up[i] = v;
+        }
+        self.solve_prepared(p, warm, trace, want_basis)
+    }
+
+    /// Whether [`Warm::Live`] is currently possible.
+    pub(crate) fn live_available(&self) -> bool {
+        self.live_ok
+    }
+
+    /// Solves under the given bounds. `Live`/`Basis` fall back to a cold
+    /// start if the warm basis cannot be reused.
+    pub(crate) fn solve(
+        &mut self,
+        p: &Problem,
+        lo: Vec<f64>,
+        up: Vec<f64>,
+        warm: Warm,
+        trace: &mut SolveTrace,
+        want_basis: bool,
+    ) -> SolveOutcome {
+        self.drop_artificials();
+        self.lo = lo;
+        self.up = up;
+        self.lo.truncate(self.form.n_total);
+        self.up.truncate(self.form.n_total);
+        // This entry point bypasses the previous-bounds bookkeeping of
+        // `solve_pinned`; clear it so a later live rebind recomputes basic
+        // values from scratch instead of from stale deltas.
+        self.prev_lo.clear();
+        self.prev_up.clear();
+        self.solve_prepared(p, warm, trace, want_basis)
+    }
+
+    /// Shared solve body; assumes `self.lo`/`self.up` are set and no
+    /// artificial columns remain.
+    fn solve_prepared(
+        &mut self,
+        p: &Problem,
+        warm: Warm,
+        trace: &mut SolveTrace,
+        want_basis: bool,
+    ) -> SolveOutcome {
+        self.live_ok = false;
+        match warm {
+            Warm::Live => {
+                // A live basis was optimal for this same objective, so it
+                // stays dual feasible under any bound change: skip the
+                // pricing scan.
+                if let Some(outcome) = self.reoptimize(p, false, want_basis) {
+                    trace.warm_used = true;
+                    return outcome;
+                }
+                self.solve_cold(p, want_basis)
+            }
+            Warm::Basis(basis) => {
+                if let Some(outcome) = self.try_warm(basis, p, want_basis) {
+                    trace.warm_used = true;
+                    return outcome;
+                }
+                self.solve_cold(p, want_basis)
+            }
+            Warm::Cold => self.solve_cold(p, want_basis),
+        }
+    }
+
+    /// Removes any artificial columns left over from a previous cold
+    /// solve.
+    fn drop_artificials(&mut self) {
+        self.art.clear();
+        self.lo.truncate(self.form.n_total);
+        self.up.truncate(self.form.n_total);
+        self.obj.truncate(self.form.n_total);
+        self.status.truncate(self.form.n_total);
+    }
+
+    fn ncols(&self) -> usize {
+        self.form.n_total + self.art.len()
+    }
+
+    /// Applies `f(row, value)` over the nonzeros of column `j`.
+    fn with_col<F: FnMut(usize, f64)>(&self, j: usize, mut f: F) {
+        if j < self.form.n_struct {
+            for k in self.form.col_ptr[j]..self.form.col_ptr[j + 1] {
+                f(self.form.row_idx[k], self.form.val[k]);
+            }
+        } else if j < self.form.n_total {
+            f(j - self.form.n_struct, 1.0);
+        } else {
+            let (row, sign) = self.art[j - self.form.n_total];
+            f(row, sign);
+        }
+    }
+
+    /// `w = B^-1 A_j`.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        let m = self.form.m;
+        w.fill(0.0);
+        self.with_col(j, |r, v| {
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi += v * self.binv[i * m + r];
+            }
+        });
+    }
+
+    /// `y = c_B^T B^-1` for the current-phase objective.
+    fn compute_y(&self, y: &mut [f64]) {
+        let m = self.form.m;
+        y.fill(0.0);
+        for i in 0..m {
+            let c = self.obj[self.basic[i]];
+            if c != 0.0 {
+                for (r, yr) in y.iter_mut().enumerate() {
+                    *yr += c * self.binv[i * m + r];
+                }
+            }
+        }
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut d = self.obj[j];
+        self.with_col(j, |r, v| d -= y[r] * v);
+        d
+    }
+
+    /// Value a nonbasic column sits at.
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            Status::Upper => self.up[j],
+            _ => self.lo[j],
+        }
+    }
+
+    /// Whether column `j` can move at all (fixed columns never enter).
+    fn movable(&self, j: usize) -> bool {
+        self.up[j] - self.lo[j] > 1e-12
+    }
+
+    /// Recomputes `xb = B^-1 (b - N x_N)` from scratch.
+    fn compute_xb(&mut self) {
+        let m = self.form.m;
+        let mut t = self.form.rhs.clone();
+        for j in 0..self.ncols() {
+            if self.status[j] != Status::Basic {
+                let v = self.nb_value(j);
+                if v != 0.0 {
+                    self.with_col(j, |r, val| t[r] -= val * v);
+                }
+            }
+        }
+        for i in 0..m {
+            let mut s = 0.0;
+            for (r, tr) in t.iter().enumerate() {
+                s += self.binv[i * m + r] * tr;
+            }
+            self.xb[i] = s;
+        }
+    }
+
+    /// Rebuilds the dense basis inverse by Gauss-Jordan elimination with
+    /// partial pivoting. Returns `false` when the basis matrix is singular.
+    fn invert_basis(&mut self) -> bool {
+        let m = self.form.m;
+        if m == 0 {
+            return true;
+        }
+        // aug = [B | I], row-major, 2m columns.
+        let w = 2 * m;
+        let mut aug = vec![0.0; m * w];
+        for (i, row) in aug.chunks_exact_mut(w).enumerate() {
+            row[m + i] = 1.0;
+        }
+        for (col, &j) in self.basic.iter().enumerate() {
+            self.with_col(j, |r, v| aug[r * w + col] += v);
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best = col;
+            let mut best_mag = aug[col * w + col].abs();
+            for r in col + 1..m {
+                let mag = aug[r * w + col].abs();
+                if mag > best_mag {
+                    best = r;
+                    best_mag = mag;
+                }
+            }
+            if best_mag < 1e-10 {
+                return false;
+            }
+            if best != col {
+                for c in 0..w {
+                    aug.swap(col * w + c, best * w + c);
+                }
+            }
+            let piv = aug[col * w + col];
+            for c in 0..w {
+                aug[col * w + c] /= piv;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = aug[r * w + col];
+                    if f.abs() > 1e-14 {
+                        for c in 0..w {
+                            aug[r * w + c] -= f * aug[col * w + c];
+                        }
+                    }
+                }
+            }
+        }
+        for r in 0..m {
+            for c in 0..m {
+                self.binv[r * m + c] = aug[r * w + m + c];
+            }
+        }
+        self.pivots = 0;
+        true
+    }
+
+    /// Product-form update of the inverse after pivoting column `q`
+    /// (direction `w = B^-1 A_q`) into row `r`.
+    fn pivot_update(&mut self, r: usize, w: &[f64]) {
+        let m = self.form.m;
+        let piv = w[r];
+        for c in 0..m {
+            self.binv[r * m + c] /= piv;
+        }
+        for (i, &f) in w.iter().enumerate() {
+            if i != r && f.abs() > 1e-14 {
+                for c in 0..m {
+                    self.binv[i * m + c] -= f * self.binv[r * m + c];
+                }
+            }
+        }
+        self.pivots += 1;
+    }
+
+    fn maybe_refactor(&mut self) {
+        if self.pivots >= REFACTOR_EVERY && self.invert_basis() {
+            self.compute_xb();
+        }
+    }
+
+    /// Bounded-variable primal simplex on the current-phase objective.
+    /// Requires a primal-feasible starting basis.
+    fn primal(&mut self) -> PrimalEnd {
+        let mut y = std::mem::take(&mut self.scratch_y);
+        let mut w = std::mem::take(&mut self.scratch_w);
+        let mut bland = false;
+        let mut stalls = 0usize;
+        for _ in 0..MAX_ITERS {
+            self.maybe_refactor();
+            self.compute_y(&mut y);
+
+            // Entering column: Dantzig (largest violation), Bland on stall.
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.ncols() {
+                if self.status[j] == Status::Basic || !self.movable(j) {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let viol = match self.status[j] {
+                    Status::Lower => d,
+                    Status::Upper => -d,
+                    Status::Basic => unreachable!(),
+                };
+                if viol > DUAL_TOL {
+                    if bland {
+                        entering = Some((j, d));
+                        break;
+                    }
+                    if entering.is_none_or(|(_, best)| viol > best.abs()) {
+                        entering = Some((j, d));
+                    }
+                }
+            }
+            let Some((q, _)) = entering else {
+                self.scratch_y = y;
+                self.scratch_w = w;
+                return PrimalEnd::Optimal;
+            };
+
+            self.ftran(q, &mut w);
+            let dir = if self.status[q] == Status::Lower {
+                1.0
+            } else {
+                -1.0
+            };
+
+            // Bounded ratio test: the entering column moves by `t >= 0`;
+            // basics move by `-dir * t * w`.
+            let mut t_best = self.up[q] - self.lo[q]; // own bound flip
+            let mut leave: Option<(usize, Status)> = None;
+            for (i, &wi) in w.iter().enumerate() {
+                let e = dir * wi;
+                let b = self.basic[i];
+                if e > PIVOT_TOL {
+                    let room = (self.xb[i] - self.lo[b]).max(0.0);
+                    let t = room / e;
+                    if t < t_best - 1e-12
+                        || (bland
+                            && (t - t_best).abs() <= 1e-12
+                            && leave.is_some_and(|(p, _)| b < self.basic[p]))
+                    {
+                        t_best = t;
+                        leave = Some((i, Status::Lower));
+                    }
+                } else if e < -PIVOT_TOL && self.up[b].is_finite() {
+                    let room = (self.up[b] - self.xb[i]).max(0.0);
+                    let t = room / -e;
+                    if t < t_best - 1e-12
+                        || (bland
+                            && (t - t_best).abs() <= 1e-12
+                            && leave.is_some_and(|(p, _)| b < self.basic[p]))
+                    {
+                        t_best = t;
+                        leave = Some((i, Status::Upper));
+                    }
+                }
+            }
+            if t_best.is_infinite() {
+                self.scratch_y = y;
+                self.scratch_w = w;
+                return PrimalEnd::Unbounded;
+            }
+            if t_best < 1e-10 {
+                stalls += 1;
+                if stalls > STALL_LIMIT {
+                    bland = true;
+                }
+            } else {
+                stalls = 0;
+            }
+
+            let xq = self.nb_value(q) + dir * t_best;
+            for (xi, &wi) in self.xb.iter_mut().zip(w.iter()) {
+                *xi -= dir * t_best * wi;
+            }
+            match leave {
+                None => {
+                    // Bound flip: the entering column crosses to its other
+                    // bound without a basis change.
+                    self.status[q] = if self.status[q] == Status::Lower {
+                        Status::Upper
+                    } else {
+                        Status::Lower
+                    };
+                }
+                Some((r, side)) => {
+                    self.status[self.basic[r]] = side;
+                    self.basic[r] = q;
+                    self.status[q] = Status::Basic;
+                    self.xb[r] = xq;
+                    self.pivot_update(r, &w);
+                }
+            }
+        }
+        self.scratch_y = y;
+        self.scratch_w = w;
+        PrimalEnd::IterLimit
+    }
+
+    /// Scaled feasibility tolerance for column `j` (infinite bounds do not
+    /// widen it).
+    fn feas_tol(&self, j: usize) -> f64 {
+        let lo = if self.lo[j].is_finite() {
+            self.lo[j].abs()
+        } else {
+            0.0
+        };
+        let up = if self.up[j].is_finite() {
+            self.up[j].abs()
+        } else {
+            0.0
+        };
+        FEAS_TOL * lo.max(up).max(1.0)
+    }
+
+    /// Largest primal bound violation among basic variables.
+    fn worst_violation(&self) -> Option<(usize, bool, f64)> {
+        let mut worst: Option<(usize, bool, f64)> = None;
+        for i in 0..self.form.m {
+            let b = self.basic[i];
+            let tol = self.feas_tol(b);
+            let below = self.lo[b] - self.xb[i];
+            let above = self.xb[i] - self.up[b];
+            if below > tol && worst.is_none_or(|(_, _, v)| below > v) {
+                worst = Some((i, true, below));
+            }
+            if above > tol && worst.is_none_or(|(_, _, v)| above > v) {
+                worst = Some((i, false, above));
+            }
+        }
+        worst
+    }
+
+    /// Bounded-variable dual simplex: restores primal feasibility while
+    /// preserving dual feasibility (the warm-start reoptimizer after bound
+    /// or rhs changes).
+    fn dual(&mut self) -> DualEnd {
+        let m = self.form.m;
+        let mut y = std::mem::take(&mut self.scratch_y);
+        let mut w = std::mem::take(&mut self.scratch_w);
+        let mut d = std::mem::take(&mut self.scratch_d);
+        let mut alphas = std::mem::take(&mut self.scratch_a);
+        let end = self.dual_loop(m, &mut y, &mut w, &mut d, &mut alphas);
+        self.scratch_y = y;
+        self.scratch_w = w;
+        self.scratch_d = d;
+        self.scratch_a = alphas;
+        end
+    }
+
+    fn dual_loop(
+        &mut self,
+        m: usize,
+        y: &mut [f64],
+        w: &mut [f64],
+        d: &mut Vec<f64>,
+        alphas: &mut Vec<f64>,
+    ) -> DualEnd {
+        // Reduced costs are priced once and then maintained incrementally
+        // across pivots (`d_j -= theta * alpha_j`); a pivot-choice drift
+        // only costs extra pivots, never correctness, because the primal
+        // polish after the dual re-prices from scratch.
+        let ncols = self.ncols();
+        d.resize(ncols, 0.0);
+        alphas.resize(ncols, 0.0);
+        self.compute_y(y);
+        for (j, dj) in d.iter_mut().enumerate() {
+            *dj = if self.status[j] == Status::Basic {
+                0.0
+            } else {
+                self.reduced_cost(j, y)
+            };
+        }
+        for _ in 0..MAX_ITERS {
+            self.maybe_refactor();
+            let Some((r, below, _)) = self.worst_violation() else {
+                return DualEnd::PrimalFeasible;
+            };
+            let rho = &self.binv[r * m..(r + 1) * m];
+
+            // Entering column: among sign-compatible candidates, the one
+            // whose reduced cost reaches zero first keeps dual feasibility.
+            let mut best: Option<(usize, f64)> = None; // (col, ratio)
+            for j in 0..ncols {
+                if self.status[j] == Status::Basic || !self.movable(j) {
+                    alphas[j] = 0.0;
+                    continue;
+                }
+                let mut alpha = 0.0;
+                self.with_col(j, |row, v| alpha += rho[row] * v);
+                alphas[j] = alpha;
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // Moving j by `delta * t` changes `xb[r]` by
+                // `-delta * alpha * t`; pick columns that push `xb[r]`
+                // toward the violated bound.
+                let delta = if self.status[j] == Status::Lower {
+                    1.0
+                } else {
+                    -1.0
+                };
+                let pushes_up = delta * alpha < 0.0;
+                if pushes_up != below {
+                    continue;
+                }
+                let ratio = d[j].abs() / alpha.abs();
+                if best.is_none_or(|(_, r0)| ratio < r0) {
+                    best = Some((j, ratio));
+                }
+            }
+            let Some((q, _)) = best else {
+                return DualEnd::Infeasible;
+            };
+
+            self.ftran(q, w);
+            if w[r].abs() <= PIVOT_TOL {
+                // Numerical disagreement between the row and column views:
+                // refactorize once, then give up on the warm path.
+                if !self.invert_basis() {
+                    return DualEnd::Stalled;
+                }
+                self.compute_xb();
+                continue;
+            }
+            // Step length: the leaving variable travels to its violated
+            // bound; basics update incrementally (no full recompute).
+            let leaving = self.basic[r];
+            let bnd = if below {
+                self.lo[leaving]
+            } else {
+                self.up[leaving]
+            };
+            let delta = if self.status[q] == Status::Lower {
+                1.0
+            } else {
+                -1.0
+            };
+            let t = (self.xb[r] - bnd) / (delta * w[r]);
+            let xq = self.nb_value(q) + delta * t;
+            for (xi, &wi) in self.xb.iter_mut().zip(w.iter()) {
+                *xi -= delta * t * wi;
+            }
+            // Dual price update: after the pivot, d_j -= theta * alpha_j
+            // with theta = d_q / alpha_q; the leaving column (alpha = 1)
+            // picks up -theta, the entering one goes to zero.
+            let theta = d[q] / alphas[q];
+            if theta != 0.0 {
+                for j in 0..ncols {
+                    if alphas[j] != 0.0 {
+                        d[j] -= theta * alphas[j];
+                    }
+                }
+            }
+            d[leaving] = -theta;
+            d[q] = 0.0;
+            self.status[leaving] = if below { Status::Lower } else { Status::Upper };
+            self.basic[r] = q;
+            self.status[q] = Status::Basic;
+            self.xb[r] = xq;
+            self.pivot_update(r, w);
+        }
+        DualEnd::Stalled
+    }
+
+    fn dual_feasible(&self) -> bool {
+        let m = self.form.m;
+        let mut y = vec![0.0; m];
+        self.compute_y(&mut y);
+        for j in 0..self.ncols() {
+            if self.status[j] == Status::Basic || !self.movable(j) {
+                continue;
+            }
+            let d = self.reduced_cost(j, &y);
+            let bad = match self.status[j] {
+                Status::Lower => d > DUAL_TOL * 10.0,
+                Status::Upper => d < -DUAL_TOL * 10.0,
+                Status::Basic => unreachable!(),
+            };
+            if bad {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn primal_feasible(&self) -> bool {
+        self.worst_violation().is_none()
+    }
+
+    /// Normalizes nonbasic statuses against the current bounds (a column
+    /// cannot sit at an infinite bound) and recomputes basic values.
+    ///
+    /// When the previous solve's bounds are known (`solve_pinned` keeps
+    /// them), the basic values are updated *incrementally* from the few
+    /// nonbasic columns whose resting value actually moved — a dive
+    /// changes one pin, not the whole problem.
+    fn rebind(&mut self) {
+        let n_total = self.form.n_total;
+        let incremental = self.prev_lo.len() == n_total && self.prev_up.len() == n_total;
+        let mut w = std::mem::take(&mut self.scratch_w);
+        let mut moved = 0usize;
+        for j in 0..n_total {
+            if self.status[j] == Status::Basic {
+                continue;
+            }
+            let old = if incremental {
+                match self.status[j] {
+                    Status::Upper => self.prev_up[j],
+                    _ => self.prev_lo[j],
+                }
+            } else {
+                0.0
+            };
+            if self.status[j] == Status::Lower && self.lo[j].is_infinite() {
+                self.status[j] = Status::Upper;
+            }
+            if self.status[j] == Status::Upper && self.up[j].is_infinite() {
+                self.status[j] = Status::Lower;
+            }
+            if incremental && moved != usize::MAX {
+                let delta = self.nb_value(j) - old;
+                if delta != 0.0 {
+                    if delta.is_finite() {
+                        // xb -= delta * B^-1 A_j.
+                        self.ftran(j, &mut w);
+                        for (xi, wi) in self.xb.iter_mut().zip(w.iter()) {
+                            *xi -= delta * wi;
+                        }
+                        moved += 1;
+                    } else {
+                        moved = usize::MAX; // infinite flip: full recompute
+                    }
+                }
+            }
+        }
+        self.scratch_w = w;
+        if !incremental || moved == usize::MAX {
+            self.compute_xb();
+        }
+    }
+
+    /// Reoptimizes from the currently-installed basis and inverse after a
+    /// bounds change (`Warm::Live`). `None` means "fall back cold".
+    ///
+    /// `check_dual` skips the dual-feasibility scan when the caller knows
+    /// the basis was optimal for this very objective (a live dive: bound
+    /// changes cannot disturb reduced costs).
+    fn reoptimize(
+        &mut self,
+        p: &Problem,
+        check_dual: bool,
+        want_basis: bool,
+    ) -> Option<SolveOutcome> {
+        self.rebind();
+        if self.primal_feasible() {
+            return match self.primal() {
+                PrimalEnd::Optimal => Some(self.extract(p, want_basis)),
+                PrimalEnd::Unbounded => Some(SolveOutcome::Unbounded),
+                PrimalEnd::IterLimit => None,
+            };
+        }
+        if !check_dual || self.dual_feasible() {
+            return match self.dual() {
+                // The dual maintains dual feasibility, so a primal-feasible
+                // end state is optimal; the primal call below re-prices and
+                // normally exits without pivoting (it also mops up any
+                // incremental-pricing drift).
+                DualEnd::PrimalFeasible => match self.primal() {
+                    PrimalEnd::Optimal => Some(self.extract(p, want_basis)),
+                    PrimalEnd::Unbounded => Some(SolveOutcome::Unbounded),
+                    PrimalEnd::IterLimit => None,
+                },
+                DualEnd::Infeasible => {
+                    // The workspace still holds a consistent, dual-feasible
+                    // basis (dual pivots preserve both invariants), so the
+                    // next node of the same search can keep reusing it.
+                    self.live_ok = true;
+                    Some(SolveOutcome::Infeasible)
+                }
+                DualEnd::Stalled => None,
+            };
+        }
+        None
+    }
+
+    /// Attempts a warm start from a stored `basis`; `None` means "fall
+    /// back to a cold start".
+    fn try_warm(&mut self, basis: &Basis, p: &Problem, want_basis: bool) -> Option<SolveOutcome> {
+        if basis.basic.len() != self.form.m || basis.status.len() != self.form.n_total {
+            return None;
+        }
+        self.basic.copy_from_slice(&basis.basic);
+        self.status.copy_from_slice(&basis.status);
+        if !self.invert_basis() {
+            return None;
+        }
+        self.reoptimize(p, true, want_basis)
+    }
+
+    /// Cold start: slack basis, artificial phase one where needed, then
+    /// the real objective.
+    fn solve_cold(&mut self, p: &Problem, want_basis: bool) -> SolveOutcome {
+        let m = self.form.m;
+        let n_total = self.form.n_total;
+        self.drop_artificials();
+        self.status.clear();
+        self.status.resize(n_total, Status::Lower);
+        for j in 0..n_total {
+            if self.lo[j].is_infinite() {
+                self.status[j] = Status::Upper;
+            }
+        }
+        for i in 0..m {
+            self.basic[i] = self.form.n_struct + i;
+            self.status[self.form.n_struct + i] = Status::Basic;
+        }
+        self.binv.fill(0.0);
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+        self.pivots = 0;
+        self.compute_xb();
+
+        // Phase one: artificial columns only on rows whose slack start is
+        // out of bounds.
+        let mut art_rows = Vec::new();
+        for i in 0..m {
+            let s = self.basic[i];
+            let tol = self.feas_tol(s);
+            if self.xb[i] > self.up[s] + tol {
+                art_rows.push((i, true, 1.0));
+            } else if self.xb[i] < self.lo[s] - tol {
+                art_rows.push((i, false, -1.0));
+            }
+        }
+        if !art_rows.is_empty() {
+            for &(row, at_upper, sgn) in &art_rows {
+                let j = n_total + self.art.len();
+                self.art.push((row, sgn));
+                self.lo.push(0.0);
+                self.up.push(f64::INFINITY);
+                self.obj.push(0.0);
+                // The slack leaves the basis at its violated bound; the
+                // artificial absorbs the residual (positive by sign
+                // choice).
+                let s = self.basic[row];
+                self.status[s] = if at_upper {
+                    Status::Upper
+                } else {
+                    Status::Lower
+                };
+                self.basic[row] = j;
+                self.status.push(Status::Basic);
+            }
+            // The basis is still diagonal, but negative-sign artificials
+            // are -e_i columns: flip their inverse entries in place.
+            for &(row, sign) in &self.art {
+                if self.basic[row] >= n_total {
+                    self.binv[row * m + row] = sign;
+                }
+            }
+            self.compute_xb();
+            // Phase-one objective: maximize -(sum of artificials).
+            self.obj = vec![0.0; self.ncols()];
+            for k in 0..self.art.len() {
+                self.obj[n_total + k] = -1.0;
+            }
+            match self.primal() {
+                PrimalEnd::Unbounded => unreachable!("phase one is bounded below"),
+                // On the (anti-runaway) iteration cap, don't guess: judge
+                // by the residual infeasibility below, like a normal exit.
+                PrimalEnd::IterLimit | PrimalEnd::Optimal => {}
+            }
+            let infeasibility: f64 = (0..m)
+                .filter(|&i| self.basic[i] >= n_total)
+                .map(|i| self.xb[i].max(0.0))
+                .sum();
+            if infeasibility > 1e-6 {
+                return SolveOutcome::Infeasible;
+            }
+            self.retire_artificials();
+        }
+
+        // Phase two: the real objective.
+        self.obj.clear();
+        self.obj.extend_from_slice(&self.form.obj);
+        self.obj.resize(self.ncols(), 0.0);
+        match self.primal() {
+            PrimalEnd::Optimal | PrimalEnd::IterLimit => self.extract(p, want_basis),
+            PrimalEnd::Unbounded => SolveOutcome::Unbounded,
+        }
+    }
+
+    /// After phase one: fix artificials at zero and pivot basic ones out
+    /// where a usable pivot exists (a redundant row may keep one).
+    fn retire_artificials(&mut self) {
+        let m = self.form.m;
+        let n_total = self.form.n_total;
+        for k in 0..self.art.len() {
+            let j = n_total + k;
+            self.lo[j] = 0.0;
+            self.up[j] = 0.0;
+        }
+        let mut w = vec![0.0; m];
+        for r in 0..m {
+            if self.basic[r] < n_total {
+                continue;
+            }
+            // Prefer the row's own slack, then any structural column.
+            let slack = self.form.n_struct + r;
+            let candidates = std::iter::once(slack).chain(0..self.form.n_struct);
+            for j in candidates {
+                if self.status[j] == Status::Basic {
+                    continue;
+                }
+                self.ftran(j, &mut w);
+                if w[r].abs() > 1e-7 {
+                    // Zero-step pivot: the entering column keeps its bound
+                    // value; only the basis bookkeeping changes.
+                    let art = self.basic[r];
+                    self.status[art] = Status::Lower;
+                    self.basic[r] = j;
+                    self.status[j] = Status::Basic;
+                    self.pivot_update(r, &w);
+                    self.compute_xb();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Reduced costs of the structural columns in *original* objective
+    /// units, for the current (phase-two) objective and installed basis.
+    /// Meaningful right after an optimal solve; used for reduced-cost
+    /// fixing in branch & bound.
+    pub(crate) fn structural_reduced_costs(&mut self) -> Vec<f64> {
+        let mut y = std::mem::take(&mut self.scratch_y);
+        self.compute_y(&mut y);
+        let d = (0..self.form.n_struct)
+            .map(|j| {
+                if self.status[j] == Status::Basic {
+                    0.0
+                } else {
+                    self.reduced_cost(j, &y) * self.form.obj_scale
+                }
+            })
+            .collect();
+        self.scratch_y = y;
+        d
+    }
+
+    /// Reads out structural values, recomputes the objective from the
+    /// original (unscaled) coefficients, and packages the basis.
+    fn extract(&mut self, p: &Problem, want_basis: bool) -> SolveOutcome {
+        let n = self.form.n_struct;
+        let mut values = vec![0.0; n];
+        for (j, value) in values.iter_mut().enumerate() {
+            *value = match self.status[j] {
+                Status::Basic => 0.0, // filled below
+                Status::Upper => self.up[j],
+                Status::Lower => self.lo[j],
+            };
+        }
+        for (i, &b) in self.basic.iter().enumerate() {
+            if b < n {
+                values[b] = self.xb[i];
+            }
+        }
+        let objective = p
+            .variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.objective * values[i])
+            .sum();
+        self.live_ok = self.basic.iter().all(|&b| b < self.form.n_total);
+        let basis = if want_basis && self.live_ok {
+            Some(Basis {
+                basic: self.basic.clone(),
+                status: self.status[..self.form.n_total].to_vec(),
+            })
+        } else {
+            None
+        };
+        SolveOutcome::Optimal {
+            values,
+            objective,
+            basis,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation, Sense};
+
+    fn solve(p: &Problem, pins: &[Option<f64>]) -> LpResult {
+        let form = StandardForm::build(p);
+        solve_with_pins(&form, p, pins, None, &mut SolveTrace::default()).0
+    }
+
+    #[test]
+    fn matches_dense_on_textbook_max() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.continuous("x", 0.0, f64::INFINITY);
+        let y = p.continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(x, 5.0);
+        p.set_objective(y, 4.0);
+        p.add_constraint(&[(x, 6.0), (y, 4.0)], Relation::Le, 24.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Le, 6.0);
+        let LpResult::Optimal(s) = solve(&p, &[]) else {
+            panic!("expected optimal")
+        };
+        assert!((s.objective - 21.0).abs() < 1e-6, "z = {}", s.objective);
+        assert!((s.values[0] - 3.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_one_handles_ge_and_eq() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.continuous("x", 0.0, f64::INFINITY);
+        let y = p.continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(x, 2.0);
+        p.set_objective(y, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let LpResult::Optimal(s) = solve(&p, &[]) else {
+            panic!("expected optimal")
+        };
+        assert!((s.objective - 8.0).abs() < 1e-6, "z = {}", s.objective);
+
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.continuous("x", 0.0, 2.0);
+        let y = p.continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(x, 1.0);
+        p.set_objective(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        let LpResult::Optimal(s) = solve(&p, &[]) else {
+            panic!("expected optimal")
+        };
+        assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.continuous("x", 0.0, 1.0);
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(solve(&p, &[]), LpResult::Infeasible);
+
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.continuous("x", 0.0, f64::INFINITY);
+        p.set_objective(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 0.0);
+        assert_eq!(solve(&p, &[]), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn pins_respected_without_explicit_rows() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.binary("x");
+        let y = p.binary("y");
+        p.set_objective(x, 3.0);
+        p.set_objective(y, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        let LpResult::Optimal(s) = solve(&p, &[Some(0.0), None]) else {
+            panic!("expected optimal")
+        };
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert!(s.values[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_after_rhs_tightening_matches_cold() {
+        // A capacity-style LP: solve, keep the basis, shrink the rhs, and
+        // re-solve warm — the dual simplex must land on the cold optimum.
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| p.binary(&format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective(v, 10.0 - i as f64);
+        }
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Relation::Le, 4.0);
+
+        let form = StandardForm::build(&p);
+        let mut trace = SolveTrace::default();
+        let (res, basis) = solve_with_pins(&form, &p, &[], None, &mut trace);
+        let LpResult::Optimal(cold) = res else {
+            panic!("cold solve failed")
+        };
+        assert!((cold.objective - 34.0).abs() < 1e-6);
+        let basis = basis.expect("storable basis");
+
+        let mut tighter = p.clone();
+        tighter.constraints[0].rhs = 2.0;
+        let tight_form = StandardForm::build(&tighter);
+        let mut warm_trace = SolveTrace::default();
+        let (warm_res, _) =
+            solve_with_pins(&tight_form, &tighter, &[], Some(&basis), &mut warm_trace);
+        let LpResult::Optimal(warm) = warm_res else {
+            panic!("warm solve failed")
+        };
+        assert!(warm_trace.warm_used, "warm path must be taken");
+        let (cold_res, _) =
+            solve_with_pins(&tight_form, &tighter, &[], None, &mut SolveTrace::default());
+        let LpResult::Optimal(cold2) = cold_res else {
+            panic!("cold re-solve failed")
+        };
+        assert!(
+            (warm.objective - cold2.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold2.objective
+        );
+    }
+
+    #[test]
+    fn warm_start_with_pin_matches_cold() {
+        // Branch & bound's exact pattern: optimal parent basis, then a
+        // child with one variable pinned.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        let c = p.binary("c");
+        p.set_objective(a, 9.0);
+        p.set_objective(b, 9.0);
+        p.set_objective(c, 16.0);
+        p.add_constraint(&[(a, 5.0), (b, 5.0), (c, 8.0)], Relation::Le, 10.0);
+
+        let form = StandardForm::build(&p);
+        let (root, basis) = solve_with_pins(&form, &p, &[], None, &mut SolveTrace::default());
+        let LpResult::Optimal(_) = root else {
+            panic!("root failed")
+        };
+        let basis = basis.expect("storable basis");
+        for pin in [0.0, 1.0] {
+            let pins = vec![None, None, Some(pin)];
+            let mut trace = SolveTrace::default();
+            let (warm, _) = solve_with_pins(&form, &p, &pins, Some(&basis), &mut trace);
+            let (cold, _) = solve_with_pins(&form, &p, &pins, None, &mut SolveTrace::default());
+            match (warm, cold) {
+                (LpResult::Optimal(w), LpResult::Optimal(c)) => {
+                    assert!(
+                        (w.objective - c.objective).abs() < 1e-6,
+                        "pin {pin}: warm {} vs cold {}",
+                        w.objective,
+                        c.objective
+                    );
+                }
+                (w, c) => assert_eq!(w, c, "pin {pin}"),
+            }
+        }
+    }
+
+    #[test]
+    fn live_reoptimize_matches_fresh_solves() {
+        // The dive pattern: keep one workspace, change pins, re-solve live.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        let c = p.binary("c");
+        p.set_objective(a, 9.0);
+        p.set_objective(b, 9.0);
+        p.set_objective(c, 16.0);
+        p.add_constraint(&[(a, 5.0), (b, 5.0), (c, 8.0)], Relation::Le, 10.0);
+        let form = StandardForm::build(&p);
+
+        let mut lp = Lp::new(&form);
+        let root = lp.solve(
+            &p,
+            form.lower.clone(),
+            form.upper.clone(),
+            Warm::Cold,
+            &mut SolveTrace::default(),
+            true,
+        );
+        assert!(matches!(root, SolveOutcome::Optimal { .. }));
+        assert!(lp.live_available());
+
+        for pins in [
+            vec![None, None, Some(1.0)],
+            vec![None, None, Some(0.0)],
+            vec![Some(1.0), None, Some(1.0)],
+        ] {
+            let (lo, up) = form.bounds_with_pins(&pins);
+            let mut trace = SolveTrace::default();
+            let live = lp.solve(&p, lo, up, Warm::Live, &mut trace, false);
+            let (fresh, _) = solve_with_pins(&form, &p, &pins, None, &mut SolveTrace::default());
+            match (live, fresh) {
+                (
+                    SolveOutcome::Optimal { objective, .. },
+                    LpResult::Optimal(LpSolution {
+                        objective: fresh_obj,
+                        ..
+                    }),
+                ) => {
+                    assert!(
+                        (objective - fresh_obj).abs() < 1e-6,
+                        "{pins:?}: live {objective} vs fresh {fresh_obj}"
+                    );
+                }
+                (SolveOutcome::Infeasible, LpResult::Infeasible) => {}
+                (live, fresh) => panic!("{pins:?}: live {live:?} vs fresh {fresh:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_keeps_byte_sized_coefficients_stable() {
+        // Formulation-sized magnitudes: byte coefficients in the millions.
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| p.binary(&format!("h{i}"))).collect();
+        let bytes = [
+            600_000.0,
+            1_200_000.0,
+            300_000.0,
+            2_400_000.0,
+            150_000.0,
+            75_000.0,
+            900_000.0,
+            37_500.0,
+        ];
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective(v, bytes[i] * 0.95);
+        }
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, bytes[i]))
+            .collect();
+        p.add_constraint(&terms, Relation::Le, 3_000_000.0);
+        let LpResult::Optimal(s) = solve(&p, &[]) else {
+            panic!("expected optimal")
+        };
+        let dense = crate::dense::solve_relaxation_dense(&p, &[]);
+        let LpResult::Optimal(d) = dense else {
+            panic!("dense failed")
+        };
+        let rel = (s.objective - d.objective).abs() / d.objective.abs().max(1.0);
+        assert!(
+            rel < 1e-9,
+            "sparse {} vs dense {}",
+            s.objective,
+            d.objective
+        );
+    }
+}

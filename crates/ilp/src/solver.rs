@@ -1,17 +1,75 @@
-//! Branch & bound over the LP relaxation, with a greedy-rounding fallback.
+//! Branch & bound over the LP relaxation, with warm-started node solves,
+//! incumbent seeding, and a greedy-rounding fallback.
 //!
-//! Best-first search on the most-fractional integer variable. The node
-//! limit bounds runtime; if it is hit with an incumbent, the incumbent is
-//! returned flagged as near-optimal (the paper's compiler is itself only
-//! "near-optimal", Sec. 4.3); if no incumbent exists, a greedy rounding
-//! repair pass is attempted.
+//! Best-first search on the most-fractional integer variable. The sparse
+//! standard form is built **once** per solve; each node only overrides
+//! variable bounds (its pins) and warm-starts the dual simplex from its
+//! parent's optimal basis, so a child LP typically reoptimizes in a handful
+//! of pivots instead of a cold two-phase solve. A caller-supplied incumbent
+//! ([`Solver::with_incumbent`] — e.g. the compiler's greedy allocation)
+//! seeds the best-bound pruning from node zero, and an incumbent callback
+//! ([`Solver::solve_with_callback`]) observes every improvement.
+//!
+//! The node limit bounds runtime; if it is hit with an incumbent, the
+//! incumbent is returned flagged as near-optimal (the paper's compiler is
+//! itself only "near-optimal", Sec. 4.3); if no incumbent exists, a greedy
+//! rounding repair pass is attempted.
 
+use crate::context::{fingerprint, SolverContext};
 use crate::problem::{Problem, Relation, Sense};
-use crate::simplex::{solve_relaxation, LpResult};
+use crate::revised::{Lp, SolveOutcome, SolveTrace, StandardForm, Warm};
 use smart_units::{Result, SmartError};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 const INT_TOL: f64 = 1e-6;
+
+/// Objective granularity for pure-integer objectives: when every variable
+/// with a nonzero objective coefficient is integer, any feasible objective
+/// is an integer combination of the coefficients, so improving solutions
+/// are at least `gcd(coefficients)` apart and nodes inside that window of
+/// the incumbent can be pruned *exactly*. Returns 0.0 when no useful
+/// granularity exists (continuous objective terms, or a vanishing gcd).
+fn objective_granularity(problem: &Problem) -> f64 {
+    let mut g = 0.0f64;
+    let mut cmax = 0.0f64;
+    for v in &problem.variables {
+        let c = v.objective.abs();
+        if c <= 0.0 {
+            continue;
+        }
+        if !v.integer {
+            return 0.0;
+        }
+        cmax = cmax.max(c);
+        g = float_gcd(g, c);
+    }
+    // Noise floor: a gcd at rounding-error scale is meaningless.
+    if g <= 1e-6 * cmax.max(1.0) {
+        0.0
+    } else {
+        g
+    }
+}
+
+/// Euclid's algorithm on floats, tolerating representation noise.
+fn float_gcd(a: f64, b: f64) -> f64 {
+    let (mut a, mut b) = (a.max(b), a.min(b));
+    if b == 0.0 {
+        return a;
+    }
+    let tol = 1e-9 * a.max(1.0);
+    for _ in 0..128 {
+        if b <= tol {
+            return a;
+        }
+        let r = a % b;
+        let r = if r <= tol || b - r <= tol { 0.0 } else { r };
+        a = b;
+        b = r;
+    }
+    0.0
+}
 
 /// Solver outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,13 +143,20 @@ impl MipSolution {
 #[derive(Debug, Clone)]
 pub struct Solver {
     node_limit: usize,
+    warm_start: bool,
+    seed: Option<Vec<f64>>,
 }
 
 impl Solver {
-    /// Creates a solver with the default node limit (20 000).
+    /// Creates a solver with the default node limit (20 000) and
+    /// warm-started node relaxations.
     #[must_use]
     pub fn new() -> Self {
-        Self { node_limit: 20_000 }
+        Self {
+            node_limit: 20_000,
+            warm_start: true,
+            seed: None,
+        }
     }
 
     /// Overrides the node limit.
@@ -103,6 +168,29 @@ impl Solver {
     pub fn with_node_limit(mut self, limit: usize) -> Self {
         assert!(limit > 0, "node limit must be positive");
         self.node_limit = limit;
+        self
+    }
+
+    /// Disables (or re-enables) warm-starting child relaxations from the
+    /// parent's basis. Cold mode exists for A/B verification — the property
+    /// suite asserts warm and cold searches reach the same objective.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Seeds the search with a known feasible point (variable values in
+    /// declaration order) whose objective becomes the initial best bound.
+    ///
+    /// The seed is validated against bounds, integrality, and constraints;
+    /// an invalid seed is silently ignored (the search then starts with no
+    /// incumbent, exactly as without a seed). The compiler seeds its greedy
+    /// allocation here, so branch & bound starts pruning immediately and a
+    /// node-limited search can never return something worse than greedy.
+    #[must_use]
+    pub fn with_incumbent(mut self, values: Vec<f64>) -> Self {
+        self.seed = Some(values);
         self
     }
 
@@ -118,27 +206,158 @@ impl Solver {
         self.solve(problem).into_result()
     }
 
+    /// Like [`Solver::solve_with`], returning the workspace-wide
+    /// [`Result`].
+    ///
+    /// # Errors
+    ///
+    /// [`SmartError::Infeasible`] or [`SmartError::Unbounded`], as for
+    /// [`Solver::try_solve`].
+    pub fn try_solve_with(&self, problem: &Problem, ctx: &SolverContext) -> Result<MipSolution> {
+        self.solve_with(problem, ctx).into_result()
+    }
+
     /// Solves the problem.
     #[must_use]
     pub fn solve(&self, problem: &Problem) -> MipResult {
-        let n = problem.num_vars();
+        self.solve_impl(problem, None, &mut |_| {})
+    }
+
+    /// Solves the problem, reusing (and contributing to) the context's
+    /// stored bases: the root relaxation warm-starts from the basis of the
+    /// last structurally-identical problem, which makes sweeps over
+    /// right-hand sides (capacities, budgets) reoptimizations instead of
+    /// cold solves.
+    #[must_use]
+    pub fn solve_with(&self, problem: &Problem, ctx: &SolverContext) -> MipResult {
+        self.solve_impl(problem, Some(ctx), &mut |_| {})
+    }
+
+    /// Like [`Solver::solve_with`], invoking `on_incumbent` for every
+    /// accepted incumbent (the validated seed first, if any, then each
+    /// strict improvement found by the search).
+    #[must_use]
+    pub fn solve_with_callback(
+        &self,
+        problem: &Problem,
+        ctx: Option<&SolverContext>,
+        on_incumbent: &mut dyn FnMut(&MipSolution),
+    ) -> MipResult {
+        self.solve_impl(problem, ctx, on_incumbent)
+    }
+
+    fn solve_impl(
+        &self,
+        problem: &Problem,
+        ctx: Option<&SolverContext>,
+        on_incumbent: &mut dyn FnMut(&MipSolution),
+    ) -> MipResult {
         let int_vars = problem.integer_vars();
         let sign = match problem.sense {
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
         };
 
-        // Root relaxation.
-        let root = match solve_relaxation(problem, &vec![None; n]) {
-            LpResult::Optimal(s) => s,
-            LpResult::Infeasible => return MipResult::Infeasible,
-            LpResult::Unbounded => return MipResult::Unbounded,
+        let form = StandardForm::build(problem);
+        let fp = ctx.map(|_| fingerprint(problem));
+        let granularity = objective_granularity(problem);
+        // Pruning margin: a node whose bound cannot beat the incumbent by
+        // at least one objective quantum (minus float slack) holds nothing
+        // better. Falls back to the plain integrality tolerance.
+        let prune_margin = |inc_objective: f64| -> f64 {
+            if granularity > 0.0 {
+                (granularity - 1e-6 * (1.0 + inc_objective.abs())).max(INT_TOL)
+            } else {
+                INT_TOL
+            }
         };
+
+        // Seed incumbent (validated; ignored when infeasible).
+        let mut incumbent: Option<MipSolution> = self
+            .seed
+            .as_deref()
+            .and_then(|vals| validate_seed(problem, vals))
+            .map(|(objective, values)| MipSolution {
+                objective,
+                values,
+                nodes: 0,
+                proven_optimal: false,
+            });
+        if let Some(inc) = &incumbent {
+            on_incumbent(inc);
+        }
+
+        // Root relaxation, warm-started from the context when a basis for
+        // this problem structure is stored. One LP workspace lives for the
+        // whole search: dives into child nodes reuse its installed
+        // factorization (`Warm::Live`).
+        let mut lp = Lp::new(&form);
+        let stored = ctx.and_then(|c| c.lookup(fp.expect("fp set with ctx")));
+        let mut trace = SolveTrace::default();
+        let root_warm = stored.as_deref().map_or(Warm::Cold, Warm::Basis);
+        let root_outcome = lp.solve(
+            problem,
+            form.lower.clone(),
+            form.upper.clone(),
+            root_warm,
+            &mut trace,
+            true,
+        );
+        if let Some(c) = ctx {
+            if trace.warm_used {
+                c.note_warm_hit();
+            } else {
+                c.note_cold();
+            }
+        }
+        let (root_values, root_objective, root_basis) = match root_outcome {
+            SolveOutcome::Optimal {
+                values,
+                objective,
+                basis,
+            } => (values, objective, basis),
+            SolveOutcome::Infeasible => {
+                // A validated seed proves feasibility; trust it over a
+                // numerically confused relaxation.
+                return match incumbent {
+                    Some(s) => MipResult::Feasible(s),
+                    None => MipResult::Infeasible,
+                };
+            }
+            SolveOutcome::Unbounded => return MipResult::Unbounded,
+        };
+        let root_arc = root_basis.map(Arc::new);
+        if let (Some(c), Some(f), Some(b)) = (ctx, fp, root_arc.clone()) {
+            c.store(f, b);
+        }
+
+        // Reduced-cost fixing: with an incumbent in hand (the seed), any
+        // integer variable sitting at a bound in the root relaxation whose
+        // reduced cost already eats the whole optimality gap can be fixed
+        // there for the entire search — a strictly better solution cannot
+        // move it.
+        let mut fixed: Vec<(usize, f64)> = Vec::new();
+        if self.warm_start && lp.live_available() {
+            if let Some(inc) = &incumbent {
+                let gap =
+                    root_objective * sign - (inc.objective * sign + prune_margin(inc.objective));
+                let d = lp.structural_reduced_costs();
+                for &v in &int_vars {
+                    let j = v.index();
+                    let x = root_values[j];
+                    if (x - x.round()).abs() <= INT_TOL && d[j].abs() > gap.max(0.0) {
+                        fixed.push((j, x.round()));
+                    }
+                }
+            }
+        }
 
         #[derive(Debug)]
         struct Node {
             bound: f64, // objective * sign (higher = more promising)
-            pins: Vec<Option<f64>>,
+            /// Compact branching decisions `(variable, pinned value)` on
+            /// the path from the root.
+            pins: Vec<(usize, f64)>,
         }
         impl PartialEq for Node {
             fn eq(&self, other: &Self) -> bool {
@@ -158,82 +377,122 @@ impl Solver {
         }
 
         let mut heap = BinaryHeap::new();
-        heap.push(Node {
-            bound: root.objective * sign,
-            pins: vec![None; n],
+        // The dive slot: the child processed immediately after its parent.
+        // Within one search the objective never changes, so the live
+        // workspace basis stays *dual feasible* for every node — dives and
+        // heap pops alike reoptimize from it with a few dual simplex
+        // pivots and no refactorization.
+        let mut dive: Option<Node> = Some(Node {
+            bound: root_objective * sign,
+            pins: Vec::new(),
         });
 
-        let mut incumbent: Option<MipSolution> = None;
         let mut nodes = 0usize;
 
-        // Check the limit before popping: discarding a popped-but-unexplored
-        // node would leave the heap empty and misclassify the incumbent as
-        // proven optimal below.
+        // Check the limit before taking a node: discarding a popped-but-
+        // unexplored node would leave the search empty and misclassify the
+        // incumbent as proven optimal below.
         while nodes < self.node_limit {
-            let Some(node) = heap.pop() else { break };
-            // Bound pruning.
+            let node = match dive.take() {
+                Some(node) => node,
+                None => match heap.pop() {
+                    Some(node) => node,
+                    None => break,
+                },
+            };
+            // Best-bound pruning (granularity-aware).
             if let Some(inc) = &incumbent {
-                if node.bound <= inc.objective * sign + INT_TOL {
+                if node.bound <= inc.objective * sign + prune_margin(inc.objective) {
                     continue;
                 }
             }
             nodes += 1;
-            let lp = match solve_relaxation(problem, &node.pins) {
-                LpResult::Optimal(s) => s,
-                LpResult::Infeasible => continue,
-                LpResult::Unbounded => return MipResult::Unbounded,
+            let warm = if self.warm_start && lp.live_available() {
+                Warm::Live
+            } else {
+                Warm::Cold
             };
+            let mut trace = SolveTrace::default();
+            let (values, objective) =
+                match lp.solve_pinned(problem, &fixed, &node.pins, warm, &mut trace, false) {
+                    SolveOutcome::Optimal {
+                        values, objective, ..
+                    } => (values, objective),
+                    SolveOutcome::Infeasible => continue,
+                    SolveOutcome::Unbounded => return MipResult::Unbounded,
+                };
             if let Some(inc) = &incumbent {
-                if lp.objective * sign <= inc.objective * sign + INT_TOL {
+                if objective * sign <= inc.objective * sign + prune_margin(inc.objective) {
                     continue;
                 }
             }
 
-            // Most fractional integer variable.
+            // Branching variable: among fractional integer variables,
+            // weight fractionality by the objective coefficient — driving
+            // the heaviest undecided placement to a bound degrades the
+            // child bounds fastest, which is what best-bound pruning
+            // feeds on.
             let frac_var = int_vars
                 .iter()
                 .map(|&v| {
+                    let frac = (values[v.index()] - values[v.index()].round()).abs();
                     (
                         v,
-                        (lp.values[v.index()] - lp.values[v.index()].round()).abs(),
+                        frac,
+                        frac * problem.variables[v.index()].objective.abs().max(1.0),
                     )
                 })
-                .filter(|(_, f)| *f > INT_TOL)
-                .max_by(|a, b| a.1.total_cmp(&b.1));
+                .filter(|(_, f, _)| *f > INT_TOL)
+                .max_by(|a, b| a.2.total_cmp(&b.2))
+                .map(|(v, f, _)| (v, f));
 
             match frac_var {
                 None => {
                     // Integer feasible.
                     let better = incumbent
                         .as_ref()
-                        .is_none_or(|inc| lp.objective * sign > inc.objective * sign + INT_TOL);
+                        .is_none_or(|inc| objective * sign > inc.objective * sign + INT_TOL);
                     if better {
-                        incumbent = Some(MipSolution {
-                            objective: lp.objective,
-                            values: lp.values,
+                        let s = MipSolution {
+                            objective,
+                            values,
                             nodes,
                             proven_optimal: false,
-                        });
+                        };
+                        on_incumbent(&s);
+                        incumbent = Some(s);
                     }
                 }
                 Some((v, _)) => {
-                    let val = lp.values[v.index()];
-                    for pin in [val.floor(), val.ceil()] {
-                        let mut pins = node.pins.clone();
-                        pins[v.index()] = Some(pin);
-                        heap.push(Node {
-                            bound: lp.objective * sign,
-                            pins,
-                        });
-                    }
+                    let val = values[v.index()];
+                    // Dive toward the nearer integer; the sibling waits on
+                    // the heap.
+                    let (first, second) = if val - val.floor() >= 0.5 {
+                        (val.ceil(), val.floor())
+                    } else {
+                        (val.floor(), val.ceil())
+                    };
+                    let mut dive_pins = node.pins.clone();
+                    dive_pins.push((v.index(), first));
+                    let mut sibling_pins = node.pins;
+                    sibling_pins.push((v.index(), second));
+                    dive = Some(Node {
+                        bound: objective * sign,
+                        pins: dive_pins,
+                    });
+                    heap.push(Node {
+                        bound: objective * sign,
+                        pins: sibling_pins,
+                    });
                 }
             }
         }
 
+        let exhausted = heap.is_empty() && dive.is_none();
         match incumbent {
             Some(mut s) => {
                 s.nodes = nodes;
-                if heap.is_empty() || nodes < self.node_limit {
+                if exhausted {
                     s.proven_optimal = true;
                     MipResult::Optimal(s)
                 } else {
@@ -242,7 +501,7 @@ impl Solver {
             }
             None => {
                 // Greedy fallback: round the root relaxation and check.
-                greedy_round(problem, &root.values, nodes)
+                greedy_round(problem, &root_values, nodes)
             }
         }
     }
@@ -252,6 +511,43 @@ impl Default for Solver {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Validates a seed incumbent: bounds, integrality of integer variables,
+/// and every constraint within a scaled tolerance. Returns the recomputed
+/// objective and the values on success.
+fn validate_seed(problem: &Problem, values: &[f64]) -> Option<(f64, Vec<f64>)> {
+    if values.len() != problem.num_vars() {
+        return None;
+    }
+    for (i, v) in problem.variables.iter().enumerate() {
+        let x = values[i];
+        if !x.is_finite() || x < v.lower - INT_TOL || x > v.upper + INT_TOL {
+            return None;
+        }
+        if v.integer && (x - x.round()).abs() > INT_TOL {
+            return None;
+        }
+    }
+    for c in &problem.constraints {
+        let lhs: f64 = c.terms.iter().map(|(v, k)| k * values[v.index()]).sum();
+        let tol = 1e-6 * (1.0 + c.rhs.abs());
+        let ok = match c.relation {
+            Relation::Le => lhs <= c.rhs + tol,
+            Relation::Ge => lhs >= c.rhs - tol,
+            Relation::Eq => (lhs - c.rhs).abs() <= tol,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    let objective = problem
+        .variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v.objective * values[i])
+        .sum();
+    Some((objective, values.to_vec()))
 }
 
 /// Rounds integer variables of an LP point and repairs feasibility by
@@ -519,5 +815,144 @@ mod tests {
         // A valid vertex cover of a path of 20 nodes needs >= 9 nodes.
         let chosen = s.values.iter().filter(|&&v| v > 0.5).count();
         assert!(chosen >= 9);
+    }
+
+    fn branchy_knapsack() -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.binary("a");
+        let b = p.binary("b");
+        let c = p.binary("c");
+        p.set_objective(a, 9.0);
+        p.set_objective(b, 9.0);
+        p.set_objective(c, 16.0);
+        p.add_constraint(&[(a, 5.0), (b, 5.0), (c, 8.0)], Relation::Le, 10.0);
+        p
+    }
+
+    #[test]
+    fn warm_and_cold_searches_agree() {
+        let p = branchy_knapsack();
+        let warm = Solver::new().try_solve(&p).expect("warm");
+        let cold = Solver::new()
+            .with_warm_start(false)
+            .try_solve(&p)
+            .expect("cold");
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert!(warm.proven_optimal && cold.proven_optimal);
+    }
+
+    #[test]
+    fn seeded_incumbent_prunes_and_is_never_lost() {
+        let p = branchy_knapsack();
+        // Optimal seed: the search only has to prove it.
+        let s = Solver::new()
+            .with_incumbent(vec![1.0, 1.0, 0.0])
+            .try_solve(&p)
+            .expect("feasible");
+        assert!((s.objective - 18.0).abs() < 1e-9);
+        assert!(s.proven_optimal);
+        // Suboptimal seed: the search must still find the optimum.
+        let s = Solver::new()
+            .with_incumbent(vec![0.0, 0.0, 1.0])
+            .try_solve(&p)
+            .expect("feasible");
+        assert!((s.objective - 18.0).abs() < 1e-6);
+        // With a 1-node limit and a seed, the seed survives.
+        let r = Solver::new()
+            .with_incumbent(vec![0.0, 0.0, 1.0])
+            .with_node_limit(1)
+            .solve(&p);
+        let s = r.solution().expect("seed survives");
+        assert!(s.objective >= 16.0 - 1e-9);
+    }
+
+    #[test]
+    fn invalid_seed_is_ignored() {
+        let p = branchy_knapsack();
+        for bad in [
+            vec![1.0, 1.0, 1.0],      // violates the capacity
+            vec![0.5, 0.0, 0.0],      // fractional binary
+            vec![2.0, 0.0, 0.0],      // out of bounds
+            vec![1.0, 1.0],           // wrong arity
+            vec![f64::NAN, 0.0, 0.0], // non-finite
+        ] {
+            let s = Solver::new()
+                .with_incumbent(bad.clone())
+                .try_solve(&p)
+                .expect("solvable");
+            assert!(
+                (s.objective - 18.0).abs() < 1e-6,
+                "seed {bad:?} corrupted the search: {}",
+                s.objective
+            );
+        }
+    }
+
+    #[test]
+    fn incumbent_callback_observes_seed_and_improvements() {
+        let p = branchy_knapsack();
+        let mut seen: Vec<f64> = Vec::new();
+        let r = Solver::new()
+            .with_incumbent(vec![0.0, 0.0, 1.0])
+            .solve_with_callback(&p, None, &mut |s| seen.push(s.objective));
+        assert!(matches!(r, MipResult::Optimal(_)));
+        assert!(seen.len() >= 2, "seed + at least one improvement: {seen:?}");
+        assert!((seen[0] - 16.0).abs() < 1e-9, "first is the seed");
+        assert!(
+            seen.windows(2).all(|w| w[1] > w[0]),
+            "monotone improvements: {seen:?}"
+        );
+        assert!((seen.last().unwrap() - 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn context_reuses_bases_across_rhs_sweep() {
+        // The same knapsack structure at shrinking capacities: every solve
+        // after the first should warm-start from the stored basis.
+        let ctx = SolverContext::new();
+        let mut objectives = Vec::new();
+        for cap in [10.0, 9.0, 8.0, 7.0] {
+            let mut p = Problem::new(Sense::Maximize);
+            let a = p.binary("a");
+            let b = p.binary("b");
+            let c = p.binary("c");
+            p.set_objective(a, 9.0);
+            p.set_objective(b, 9.0);
+            p.set_objective(c, 16.0);
+            p.add_constraint(&[(a, 5.0), (b, 5.0), (c, 8.0)], Relation::Le, cap);
+            let s = Solver::new().try_solve_with(&p, &ctx).expect("feasible");
+            objectives.push(s.objective);
+        }
+        // cap 10: a+b = 18; caps 9 and 8: c = 16; cap 7: a alone = 9.
+        assert_eq!(objectives, vec![18.0, 16.0, 16.0, 9.0]);
+        let stats = ctx.stats();
+        assert_eq!(stats.stored_bases, 1, "one structure, one stored basis");
+        assert!(
+            stats.warm_attempts >= 3,
+            "later sweep points warm-start: {stats:?}"
+        );
+        assert!(stats.warm_hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn context_solutions_match_contextless_solutions() {
+        let ctx = SolverContext::new();
+        for cap in [10.0, 7.0, 12.0, 5.0] {
+            let mut p = branchy_knapsack();
+            p.constraints[0].rhs = cap;
+            let with_ctx = Solver::new().solve_with(&p, &ctx);
+            let without = Solver::new().solve(&p);
+            match (&with_ctx, &without) {
+                (MipResult::Optimal(a), MipResult::Optimal(b)) => {
+                    assert!(
+                        (a.objective - b.objective).abs() < 1e-9,
+                        "cap {cap}: {} vs {}",
+                        a.objective,
+                        b.objective
+                    );
+                }
+                _ => assert_eq!(with_ctx, without, "cap {cap}"),
+            }
+        }
     }
 }

@@ -217,3 +217,182 @@ proptest! {
         let _: Energy = e1;
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// The sparse revised simplex and the dense reference tableau agree on
+    /// random feasible (and infeasible, and unbounded) LPs: same outcome
+    /// kind, and equal objectives when both are optimal.
+    #[test]
+    fn sparse_and_dense_relaxations_agree(
+        uppers in prop::collection::vec(1u32..8, 2..6),
+        coefs in prop::collection::vec(1u32..12, 4..24),
+        objs in prop::collection::vec(1u32..20, 2..6),
+        rhs_a in 1u32..40,
+        rhs_b in 1u32..40,
+        relation_pick in 0u32..3,
+        minimize in 0u32..2,
+    ) {
+        use smart::ilp::dense::solve_relaxation_dense;
+        use smart::ilp::simplex::solve_relaxation;
+        use smart::ilp::LpResult;
+
+        let n = uppers.len().min(objs.len());
+        let sense = if minimize == 1 { Sense::Minimize } else { Sense::Maximize };
+        let mut p = Problem::new(sense);
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.continuous(&format!("x{i}"), 0.0, f64::from(uppers[i])))
+            .collect();
+        for i in 0..n {
+            p.set_objective(vars[i], f64::from(objs[i]));
+        }
+        let rel = match relation_pick {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        let terms_a: Vec<_> = (0..n)
+            .map(|i| (vars[i], f64::from(coefs[i % coefs.len()])))
+            .collect();
+        let terms_b: Vec<_> = (0..n)
+            .map(|i| (vars[i], f64::from(coefs[(i + n) % coefs.len()])))
+            .collect();
+        p.add_constraint(&terms_a, Relation::Le, f64::from(rhs_a));
+        p.add_constraint(&terms_b, rel, f64::from(rhs_b));
+
+        let sparse = solve_relaxation(&p, &[]);
+        let dense = solve_relaxation_dense(&p, &[]);
+        match (&sparse, &dense) {
+            (LpResult::Optimal(s), LpResult::Optimal(d)) => {
+                let rel_err = (s.objective - d.objective).abs()
+                    / d.objective.abs().max(1.0);
+                prop_assert!(
+                    rel_err < 1e-6,
+                    "sparse {} vs dense {}",
+                    s.objective,
+                    d.objective
+                );
+            }
+            (LpResult::Infeasible, LpResult::Infeasible)
+            | (LpResult::Unbounded, LpResult::Unbounded) => {}
+            (s, d) => prop_assert!(false, "outcome mismatch: sparse {s:?} vs dense {d:?}"),
+        }
+    }
+
+    /// Warm-started branch & bound (live bases + dual simplex) reaches the
+    /// same objective as a fully cold-started search on random knapsacks
+    /// with a side constraint.
+    #[test]
+    fn warm_and_cold_branch_and_bound_agree(
+        values in prop::collection::vec(1u32..50, 3..9),
+        weights in prop::collection::vec(1u32..20, 3..9),
+        cap in 10u32..60,
+        pair_cap in 1u32..3,
+    ) {
+        let n = values.len().min(weights.len());
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.binary(&format!("x{i}"))).collect();
+        for i in 0..n {
+            p.set_objective(vars[i], f64::from(values[i]));
+        }
+        let terms: Vec<_> = (0..n).map(|i| (vars[i], f64::from(weights[i]))).collect();
+        p.add_constraint(&terms, Relation::Le, f64::from(cap));
+        // A second, tighter structure so branching actually happens.
+        p.add_constraint(
+            &[(vars[0], 1.0), (vars[1], 1.0)],
+            Relation::Le,
+            f64::from(pair_cap),
+        );
+
+        let warm = Solver::new().solve(&p);
+        let cold = Solver::new().with_warm_start(false).solve(&p);
+        let w = warm.solution();
+        let c = cold.solution();
+        prop_assert!(w.is_some() && c.is_some(), "knapsack must be feasible");
+        let (w, c) = (w.unwrap(), c.unwrap());
+        prop_assert!(
+            (w.objective - c.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            w.objective,
+            c.objective
+        );
+        prop_assert!(w.proven_optimal == c.proven_optimal);
+    }
+
+    /// A shared SolverContext (cross-solve warm starts) never changes
+    /// results across an rhs sweep — only wall-clock.
+    #[test]
+    fn solver_context_reuse_is_transparent(
+        values in prop::collection::vec(1u32..30, 3..7),
+        weights in prop::collection::vec(1u32..15, 3..7),
+        caps in prop::collection::vec(5u32..50, 2..5),
+    ) {
+        use smart::ilp::SolverContext;
+
+        let n = values.len().min(weights.len());
+        let ctx = SolverContext::new();
+        for &cap in &caps {
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> = (0..n).map(|i| p.binary(&format!("x{i}"))).collect();
+            for i in 0..n {
+                p.set_objective(vars[i], f64::from(values[i]));
+            }
+            let terms: Vec<_> = (0..n).map(|i| (vars[i], f64::from(weights[i]))).collect();
+            p.add_constraint(&terms, Relation::Le, f64::from(cap));
+
+            let with_ctx = Solver::new().solve_with(&p, &ctx);
+            let fresh = Solver::new().solve(&p);
+            match (with_ctx.solution(), fresh.solution()) {
+                (Some(a), Some(b)) => prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-6,
+                    "cap {cap}: ctx {} vs fresh {}",
+                    a.objective,
+                    b.objective
+                ),
+                (a, b) => prop_assert!(a.is_some() == b.is_some(), "cap {cap}"),
+            }
+        }
+    }
+
+    /// Incumbent seeding is sound: seeding any feasible point never makes
+    /// the solver return something worse, and a seeded complete search
+    /// still finds the brute-force optimum.
+    #[test]
+    fn seeded_search_matches_brute_force(
+        values in prop::collection::vec(1u32..40, 3..8),
+        weights in prop::collection::vec(1u32..20, 3..8),
+        cap in 10u32..60,
+        seed_mask in 0u32..256,
+    ) {
+        let n = values.len().min(weights.len());
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.binary(&format!("x{i}"))).collect();
+        for i in 0..n {
+            p.set_objective(vars[i], f64::from(values[i]));
+        }
+        let terms: Vec<_> = (0..n).map(|i| (vars[i], f64::from(weights[i]))).collect();
+        p.add_constraint(&terms, Relation::Le, f64::from(cap));
+
+        // A (possibly infeasible, then ignored) random seed.
+        let seed: Vec<f64> = (0..n)
+            .map(|i| f64::from(seed_mask >> i & 1))
+            .collect();
+        let got = Solver::new()
+            .with_incumbent(seed)
+            .solve(&p)
+            .solution()
+            .expect("knapsack feasible")
+            .objective;
+
+        let mut best = 0u32;
+        for mask in 0u32..(1 << n) {
+            let w: u32 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+            if w <= cap {
+                let v: u32 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+                best = best.max(v);
+            }
+        }
+        prop_assert!((got - f64::from(best)).abs() < 1e-6, "seeded {got} vs brute {best}");
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! The build environment has no registry access, so the workspace vendors a
 //! minimal benchmark harness that is call-compatible with the real crate
-//! for what `crates/bench/benches/microbench.rs` needs: [`Criterion`],
+//! for what the `crates/bench/benches/` targets need: [`Criterion`],
 //! [`BenchmarkGroup`], `criterion_group!`, `criterion_main!`, and
 //! [`black_box`].
 //!
@@ -11,12 +11,24 @@
 //! `cargo bench` (cargo passes `--bench`), each benchmark is warmed up and
 //! timed over a fixed iteration budget and a mean wall-clock time is
 //! printed; under `cargo test` (no `--bench` flag) every benchmark runs
-//! exactly once as a smoke test. To switch to the real criterion, point the
-//! workspace `criterion` dependency at the registry — no source changes are
-//! needed.
+//! exactly once as a smoke test.
+//!
+//! Two shim-specific flags support the CI perf gate (pass them after the
+//! `--` separator of `cargo bench`):
+//!
+//! * `--quick` — cut the measurement budget (3 iterations instead of 10),
+//!   criterion's quick mode;
+//! * `--save-json <path>` — after all benchmarks ran, write the collected
+//!   `(id, mean_ns)` pairs as machine-readable JSON (the `BENCH_*.json`
+//!   files the `bench_check` tool diffs against committed baselines).
+//!
+//! To switch to the real criterion, point the workspace `criterion`
+//! dependency at the registry — no source changes are needed (drop the two
+//! shim flags from CI invocations).
 
 #![warn(clippy::all)]
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
@@ -25,13 +37,19 @@ pub use std::hint::black_box;
 /// Iterations timed per benchmark in measurement mode. Small on purpose:
 /// the shim reports indicative numbers, not statistics.
 const MEASURE_ITERS: u32 = 10;
+/// Measurement iterations under `--quick`.
+const QUICK_ITERS: u32 = 3;
 /// Warm-up iterations before timing.
 const WARMUP_ITERS: u32 = 2;
+
+/// Collected `(benchmark id, mean ns/iter)` results of this process.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Top-level benchmark driver (shim of `criterion::Criterion`).
 #[derive(Debug)]
 pub struct Criterion {
     measure: bool,
+    iters: u32,
 }
 
 impl Default for Criterion {
@@ -39,7 +57,11 @@ impl Default for Criterion {
         // cargo passes `--bench` when running a bench target under
         // `cargo bench`; its absence means test mode (like real criterion).
         let measure = std::env::args().any(|a| a == "--bench");
-        Self { measure }
+        let quick = std::env::args().any(|a| a == "--quick");
+        Self {
+            measure,
+            iters: if quick { QUICK_ITERS } else { MEASURE_ITERS },
+        }
     }
 }
 
@@ -49,7 +71,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, self.measure, f);
+        run_one(id, self.measure, self.iters, f);
         self
     }
 
@@ -58,6 +80,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_owned(),
             measure: self.measure,
+            iters: self.iters,
             _parent: self,
         }
     }
@@ -68,6 +91,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     measure: bool,
+    iters: u32,
     _parent: &'a mut Criterion,
 }
 
@@ -77,7 +101,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&format!("{}/{}", self.name, id), self.measure, f);
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.measure,
+            self.iters,
+            f,
+        );
         self
     }
 
@@ -91,6 +120,7 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 pub struct Bencher {
     measure: bool,
+    iters: u32,
     /// Mean nanoseconds per iteration, filled in by `iter`.
     mean_ns: f64,
 }
@@ -109,30 +139,64 @@ impl Bencher {
             black_box(routine());
         }
         let start = Instant::now();
-        for _ in 0..MEASURE_ITERS {
+        for _ in 0..self.iters {
             black_box(routine());
         }
-        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(MEASURE_ITERS);
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(self.iters);
     }
 }
 
-fn run_one<F>(id: &str, measure: bool, mut f: F)
+fn run_one<F>(id: &str, measure: bool, iters: u32, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
     let mut b = Bencher {
         measure,
+        iters,
         mean_ns: 0.0,
     };
     f(&mut b);
     if measure {
-        println!(
-            "{id:<40} {:>14.1} ns/iter (mean of {MEASURE_ITERS})",
-            b.mean_ns
-        );
+        println!("{id:<40} {:>14.1} ns/iter (mean of {iters})", b.mean_ns);
+        RESULTS
+            .lock()
+            .expect("results poisoned")
+            .push((id.to_owned(), b.mean_ns));
     } else {
         println!("{id}: ok (test mode, 1 iteration)");
     }
+}
+
+/// Writes the collected results as JSON to the path given via
+/// `--save-json <path>`, if present. Called by `criterion_main!` after all
+/// groups ran; a no-op in test mode or without the flag.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (CI wants a loud failure, not a
+/// silently missing baseline).
+pub fn save_json_if_requested() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(pos) = args.iter().position(|a| a == "--save-json") else {
+        return;
+    };
+    let path = args
+        .get(pos + 1)
+        .expect("--save-json needs a path argument");
+    let results = RESULTS.lock().expect("results poisoned");
+    let mut body =
+        String::from("{\n  \"schema\": \"smart-bench-baseline/1\",\n  \"benchmarks\": [\n");
+    for (i, (id, mean_ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"mean_ns\": {:.1} }}{comma}\n",
+            id.replace('"', "\\\""),
+            mean_ns
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {} benchmark means to {path}", results.len());
 }
 
 /// Bundles benchmark functions into a runnable group (shim of
@@ -153,6 +217,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::save_json_if_requested();
         }
     };
 }
