@@ -1,6 +1,9 @@
-//! The CI-enforced performance harness for the PR-3 hot paths: the
-//! warm-started ILP engine behind `ablation_ilp_vs_greedy`, the memoized
-//! evaluator cache, and the `parallel_map` worker pool.
+//! The CI-enforced performance harness for the numeric hot paths: the
+//! warm-started ILP engine behind `ablation_ilp_vs_greedy` (PR 3), the
+//! memoized evaluator cache, the `parallel_map` worker pool, and the
+//! `josim_*` transient-circuit kernels (PR 4: the adaptive sparse MNA
+//! engine against the seed fixed-step dense engine on identical JTL and
+//! PTL netlists).
 //!
 //! Run it and refresh the committed baseline with:
 //!
@@ -24,7 +27,9 @@ use smart_core::cache::EvalCache;
 use smart_core::scheme::Scheme;
 use smart_core::sensitivity::allocation_capacity_sweep;
 use smart_core::SolverContext;
+use smart_josim::cells::{CellCircuit, CellSpec};
 use smart_report::parallel_map;
+use smart_sfq::cells::{JtlChainSpec, PtlLinkSpec};
 use smart_systolic::dag::LayerDag;
 use smart_systolic::layer::ConvLayer;
 use smart_systolic::mapping::{ArrayShape, LayerMapping};
@@ -108,6 +113,63 @@ fn bench_parallel_map(c: &mut Criterion) {
     g.finish();
 }
 
+/// The JTL-chain cells of the characterization sweep, built once; both
+/// engine variants below simulate exactly these netlists.
+fn jtl_sweep_cells() -> Vec<CellCircuit> {
+    [4u32, 8, 12]
+        .iter()
+        .map(|&s| CellCircuit::build(&CellSpec::Jtl(JtlChainSpec::standard(s))))
+        .collect()
+}
+
+/// The warm JTL sweep on the adaptive sparse engine: workspaces (sparsity
+/// pattern, symbolic LU, buffers) are prepared once, so the loop measures
+/// pure stepping — the PR-4 acceptance target is >= 2x over
+/// `josim_jtl_sweep_fixed_dense` at matched flux accuracy.
+fn bench_josim_jtl_adaptive(c: &mut Criterion) {
+    let cells = jtl_sweep_cells();
+    let mut workspaces: Vec<_> = cells
+        .iter()
+        .map(|w| w.engine().prepare_workspace())
+        .collect();
+    c.bench_function("josim_jtl_sweep_adaptive_sparse", |b| {
+        b.iter(|| {
+            for (cell, ws) in cells.iter().zip(workspaces.iter_mut()) {
+                let m = cell.measure_adaptive(ws).expect("simulates");
+                black_box(m);
+            }
+        })
+    });
+}
+
+/// The same sweep on the seed engine: fixed 0.02 ps steps, dense LU
+/// factored from scratch every Newton iteration.
+fn bench_josim_jtl_fixed_dense(c: &mut Criterion) {
+    let cells = jtl_sweep_cells();
+    c.bench_function("josim_jtl_sweep_fixed_dense", |b| {
+        b.iter(|| {
+            for cell in &cells {
+                let m = cell.measure_fixed().expect("simulates");
+                black_box(m);
+            }
+        })
+    });
+}
+
+/// A linear (junction-free) adaptive run: the 0.4 mm PTL ladder, where
+/// the cached full/half-step factorizations make quiescent stretches
+/// refactor nothing.
+fn bench_josim_ptl_adaptive(c: &mut Criterion) {
+    let cell = CellCircuit::build(&CellSpec::Ptl(PtlLinkSpec::from_mm(0.4)));
+    let mut ws = cell.engine().prepare_workspace();
+    c.bench_function("josim_ptl_adaptive_sparse", |b| {
+        b.iter(|| {
+            let m = cell.measure_adaptive(&mut ws).expect("simulates");
+            black_box(m);
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_ilp_ablation,
@@ -116,5 +178,8 @@ criterion_group!(
     bench_eval_cache_hit,
     bench_eval_cache_miss,
     bench_parallel_map,
+    bench_josim_jtl_adaptive,
+    bench_josim_jtl_fixed_dense,
+    bench_josim_ptl_adaptive,
 );
 criterion_main!(benches);

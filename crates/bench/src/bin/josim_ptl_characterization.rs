@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin josim_ptl_characterization`.
+fn main() {
+    print!(
+        "{}",
+        smart_bench::josim_ptl_characterization(&smart_bench::ExperimentContext::default())
+    );
+}

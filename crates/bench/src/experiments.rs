@@ -16,8 +16,10 @@ use smart_cryomem::array::{fig9_breakdown, RandomArray, RandomArrayKind};
 use smart_cryomem::pipeline::explore;
 use smart_cryomem::subbank::{chip_validation_data, SubBankConfig, SubBankModel};
 use smart_cryomem::tech::MemoryTechnology;
+use smart_josim::cells::CellSpec;
 use smart_josim::fixtures::validate_ptl_model;
 use smart_report::{ColumnSpec, ResultTable, Scenario, Unit, Value};
+use smart_sfq::cells::{JtlChainSpec, PtlLinkSpec, SplitterFanoutSpec};
 use smart_sfq::components::{Component, ComponentKind};
 use smart_sfq::hop::PtlHop;
 use smart_sfq::jj::JosephsonJunction;
@@ -789,5 +791,169 @@ pub fn ablation_lane_length(_ctx: &ExperimentContext) -> ResultTable {
     t.push_note("");
     t.push_note("Shorter lanes: cheaper random access & cheaper per-access energy,");
     t.push_note("but more banks means more peripherals — SMART settles on 128 B lanes.");
+    t
+}
+
+/// Circuit characterization: JTL chains swept over stage count and bias,
+/// simulated with the adaptive sparse engine and validated against the
+/// closed-form `smart_sfq::jtl` model (~2 ps/stage).
+#[must_use]
+pub fn josim_jtl_characterization(ctx: &ExperimentContext) -> ResultTable {
+    // Stage sweep at the standard bias, then a bias sweep at 8 stages.
+    // The bias sweep includes the 750 center on purpose: that spec is the
+    // same `CellSpec` as the 8-stage point above, so one of the two rows
+    // is served from the shared `CircuitCache` (and the identical rows
+    // double as a determinism check in the committed snapshot).
+    let mut points: Vec<JtlChainSpec> = [4u32, 6, 8, 12]
+        .iter()
+        .map(|&s| JtlChainSpec::standard(s))
+        .collect();
+    points.extend(
+        [650u32, 700, 750, 800, 850]
+            .iter()
+            .map(|&b| JtlChainSpec::new(8, 100_000, b)),
+    );
+    let scenario = Scenario::over("josim_jtl", &["stages", "bias"], points);
+    let measured = scenario.run(ctx.jobs, |spec| {
+        let m = ctx
+            .circuits
+            .measure(&CellSpec::Jtl(*spec))
+            .expect("JTL chain simulates");
+        (*spec, m)
+    });
+
+    let mut t = ResultTable::new(
+        "josim_jtl",
+        "JTL chain characterization (adaptive sparse MNA vs closed-form model)",
+    );
+    t.columns = vec![
+        ColumnSpec::right("stages", 7),
+        ColumnSpec::right("bias(Ic)", 9),
+        ColumnSpec::right("sim(ps/st)", 11),
+        ColumnSpec::right("model(ps/st)", 13),
+        ColumnSpec::right("dev", 8),
+        ColumnSpec::right("E(aJ)", 9),
+        ColumnSpec::right("pulses", 7),
+        ColumnSpec::right("steps", 7),
+    ];
+    for (spec, m) in &measured {
+        let model = spec.closed_form_stage_delay().as_s();
+        t.push_row(vec![
+            Value::count(u64::from(spec.stages)),
+            Value::num(f64::from(spec.bias_pm) * 1e-3, 2),
+            Value::quantity(m.delay_per_hop, Unit::Ps, 3),
+            Value::quantity(model, Unit::Ps, 3),
+            Value::percent((m.delay_per_hop - model) / model, 1),
+            Value::sci(m.dissipated_energy * 1e18, 2),
+            Value::count(u64::from(m.max_output_pulses)),
+            Value::count(m.steps as u64),
+        ]);
+    }
+    let worst = measured
+        .iter()
+        .map(|(spec, m)| {
+            let model = spec.closed_form_stage_delay().as_s();
+            ((m.delay_per_hop - model) / model).abs()
+        })
+        .fold(0.0f64, f64::max);
+    t.push_summary("max |dev| vs model", Value::percent(worst, 1));
+    t
+}
+
+/// Circuit characterization: splitter fan-out trees. The validation is
+/// digital — one input pulse must arrive exactly once at *every* leaf —
+/// with root-to-leaf latency and dissipation per broadcast alongside.
+#[must_use]
+pub fn josim_fanout_characterization(ctx: &ExperimentContext) -> ResultTable {
+    let points: Vec<SplitterFanoutSpec> = [2u32, 4, 8]
+        .iter()
+        .map(|&l| SplitterFanoutSpec::standard(l))
+        .collect();
+    let scenario = Scenario::over("josim_fanout", &["leaves"], points);
+    let measured = scenario.run(ctx.jobs, |spec| {
+        let m = ctx
+            .circuits
+            .measure(&CellSpec::Fanout(*spec))
+            .expect("fan-out tree simulates");
+        (*spec, m)
+    });
+
+    let mut t = ResultTable::new(
+        "josim_fanout",
+        "Splitter fan-out tree characterization (adaptive sparse MNA)",
+    );
+    t.columns = vec![
+        ColumnSpec::right("leaves", 7),
+        ColumnSpec::right("depth", 6),
+        ColumnSpec::right("delay(ps)", 10),
+        ColumnSpec::right("per-level(ps)", 14),
+        ColumnSpec::right("E(aJ)", 9),
+        ColumnSpec::right("min p", 6),
+        ColumnSpec::right("max p", 6),
+        ColumnSpec::right("steps", 7),
+    ];
+    let mut all_leaves_fired = true;
+    for (spec, m) in &measured {
+        all_leaves_fired &= m.delivered_exactly_one();
+        t.push_row(vec![
+            Value::count(u64::from(spec.leaves)),
+            Value::count(u64::from(spec.depth())),
+            Value::quantity(m.delay, Unit::Ps, 3),
+            Value::quantity(m.delay_per_hop, Unit::Ps, 3),
+            Value::sci(m.dissipated_energy * 1e18, 2),
+            Value::count(u64::from(m.min_output_pulses)),
+            Value::count(u64::from(m.max_output_pulses)),
+            Value::count(m.steps as u64),
+        ]);
+    }
+    t.push_summary(
+        "every leaf fired exactly once",
+        Value::text(if all_leaves_fired { "yes" } else { "NO" }),
+    );
+    t
+}
+
+/// Circuit characterization: PTL links re-measured with the adaptive
+/// sparse engine against the Eq. 4 closed-form delay — the same ladder
+/// netlists as the Fig. 13 fixed-step validation, at a fraction of the
+/// steps.
+#[must_use]
+pub fn josim_ptl_characterization(ctx: &ExperimentContext) -> ResultTable {
+    let points: Vec<PtlLinkSpec> = [0.1f64, 0.2, 0.4, 0.6, 0.8]
+        .iter()
+        .map(|&mm| PtlLinkSpec::from_mm(mm))
+        .collect();
+    let scenario = Scenario::over("josim_ptl", &["length"], points);
+    let measured = scenario.run(ctx.jobs, |spec| {
+        let m = ctx
+            .circuits
+            .measure(&CellSpec::Ptl(*spec))
+            .expect("PTL link simulates");
+        (*spec, m)
+    });
+
+    let mut t = ResultTable::new(
+        "josim_ptl",
+        "PTL link characterization (adaptive sparse MNA vs Eq. 4 model)",
+    );
+    t.columns = vec![
+        ColumnSpec::right("len(mm)", 8),
+        ColumnSpec::right("model(ps)", 10),
+        ColumnSpec::right("sim(ps)", 9),
+        ColumnSpec::right("dev", 8),
+        ColumnSpec::right("E(aJ)", 9),
+        ColumnSpec::right("steps", 7),
+    ];
+    for (spec, m) in &measured {
+        let model = spec.closed_form_delay();
+        t.push_row(vec![
+            Value::length(spec.length(), Unit::Mm, 2),
+            Value::quantity(model, Unit::Ps, 3),
+            Value::quantity(m.delay, Unit::Ps, 3),
+            Value::percent((m.delay - model) / model, 1),
+            Value::sci(m.dissipated_energy * 1e18, 2),
+            Value::count(m.steps as u64),
+        ]);
+    }
     t
 }

@@ -17,7 +17,7 @@
 //! println!("{fig18}");            // legacy fixed-width text
 //! println!("{}", fig18.to_json()); // typed rows for scripts
 //! let all = all_experiments(&ctx); // every figure, 4-way parallel
-//! assert_eq!(all.len(), 23);
+//! assert_eq!(all.len(), 26);
 //! ```
 
 #![warn(missing_docs)]
@@ -30,23 +30,29 @@ pub use experiments::{
     fig07_hetero, fig09_htree_breakdown, fig12_subbank_validation, fig13_josim_validation,
     fig14_design_space, fig16_access_energy, fig17_area, fig18_single_speedup, fig19_batch_speedup,
     fig20_single_energy, fig21_batch_energy, fig22_shift_capacity, fig23_random_capacity,
-    fig24_prefetch, fig25_write_latency, table1_memories, table2_components, table4_configs,
+    fig24_prefetch, fig25_write_latency, josim_fanout_characterization, josim_jtl_characterization,
+    josim_ptl_characterization, table1_memories, table2_components, table4_configs,
 };
 
 use smart_core::cache::EvalCache;
 use smart_core::eval::{evaluate, InferenceReport};
 use smart_core::scheme::Scheme;
+use smart_josim::cache::CircuitCache;
 use smart_report::{parallel_map, ResultTable};
 use smart_systolic::models::ModelId;
 use std::sync::Arc;
 
-/// Shared state of one experiment run: the memoized evaluation cache and
-/// the worker-thread budget every builder fans out with.
+/// Shared state of one experiment run: the memoized evaluation and
+/// circuit-characterization caches, and the worker-thread budget every
+/// builder fans out with.
 #[derive(Debug)]
 pub struct ExperimentContext {
     /// Memoized `(Scheme, ModelId, batch)` evaluation results, shared
     /// across experiments and worker threads.
     pub cache: Arc<EvalCache>,
+    /// Memoized transient circuit characterizations (JTL chains, fan-out
+    /// trees, PTL links), keyed on the full `CellSpec` value.
+    pub circuits: Arc<CircuitCache>,
     /// Worker-thread budget for this context's fan-outs (sweep points,
     /// grid cells). `1` means fully sequential. [`run_experiments`] splits
     /// the budget between the experiment level and the per-experiment
@@ -55,12 +61,13 @@ pub struct ExperimentContext {
 }
 
 impl ExperimentContext {
-    /// A context with an empty cache and an explicit worker budget
-    /// (clamped to at least 1).
+    /// A context with empty caches and an explicit worker budget (clamped
+    /// to at least 1).
     #[must_use]
     pub fn new(jobs: usize) -> Self {
         Self {
             cache: Arc::new(EvalCache::new()),
+            circuits: Arc::new(CircuitCache::new()),
             jobs: jobs.max(1),
         }
     }
@@ -73,12 +80,13 @@ impl ExperimentContext {
         Self::new(1)
     }
 
-    /// A context sharing this one's cache with a different worker budget
+    /// A context sharing this one's caches with a different worker budget
     /// (how [`run_experiments`] hands experiments their share of `jobs`).
     #[must_use]
     pub fn with_jobs(&self, jobs: usize) -> Self {
         Self {
             cache: Arc::clone(&self.cache),
+            circuits: Arc::clone(&self.circuits),
             jobs: jobs.max(1),
         }
     }
@@ -123,6 +131,9 @@ const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("table4", table4_configs),
     ("ablation_ilp_vs_greedy", ablation_ilp_vs_greedy),
     ("ablation_lane_length", ablation_lane_length),
+    ("josim_jtl", josim_jtl_characterization),
+    ("josim_fanout", josim_fanout_characterization),
+    ("josim_ptl", josim_ptl_characterization),
 ];
 
 /// Runs one experiment by name, returning its typed table, or `None` for
@@ -185,7 +196,11 @@ mod tests {
         for n in &names {
             assert!(seen.insert(*n), "duplicate experiment name {n}");
         }
-        assert_eq!(names.len(), 23, "21 figures/tables + 2 ablations");
+        assert_eq!(
+            names.len(),
+            26,
+            "21 figures/tables + 2 ablations + 3 circuit characterizations"
+        );
         assert!(
             run_experiment("not_an_experiment", &ExperimentContext::single_threaded()).is_none()
         );

@@ -1,0 +1,146 @@
+//! [`CircuitCache`]: a thread-safe memoization layer over
+//! [`crate::cells::characterize`], keyed exactly like the evaluator's
+//! `EvalCache`.
+//!
+//! Characterization sweeps revisit cells: the JTL experiment's stage and
+//! bias sweeps share their `(8 stages, 0.75 Ic)` center point, and any
+//! process that runs the suite more than once (tests exercising several
+//! experiments, a long-lived service re-rendering figures) re-hits whole
+//! grids. Keying on the full integer-encoded [`CellSpec`] value makes
+//! those transient re-simulations a hash lookup, and the `Mutex`-guarded
+//! map makes one cache shareable across `parallel_map` worker threads.
+//! Failed simulations are *not* cached: errors propagate to the caller and
+//! the next lookup retries.
+
+use crate::cells::{characterize, CellMeasurement, CellSpec};
+use smart_units::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/size counters of a [`CircuitCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitCacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that ran a transient simulation.
+    pub misses: u64,
+    /// Distinct cells stored.
+    pub entries: usize,
+}
+
+/// A memoized, thread-safe front end to [`characterize`].
+///
+/// Measurements are returned as [`Arc`]s so concurrent experiments share
+/// one allocation per measured cell. Under a race, two threads may
+/// simulate the same cell concurrently; the first insertion wins and the
+/// results are identical (the engine is deterministic), so the only cost
+/// is that one duplicated run. The lock is never held while simulating.
+#[derive(Debug, Default)]
+pub struct CircuitCache {
+    map: Mutex<HashMap<CellSpec, Arc<CellMeasurement>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CircuitCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized equivalent of [`characterize`]`(spec)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (which are never cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map mutex was poisoned by a panicking simulation on
+    /// another thread.
+    pub fn measure(&self, spec: &CellSpec) -> Result<Arc<CellMeasurement>> {
+        if let Some(found) = self.map.lock().expect("circuit cache poisoned").get(spec) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let measurement = Arc::new(characterize(spec)?);
+        Ok(Arc::clone(
+            self.map
+                .lock()
+                .expect("circuit cache poisoned")
+                .entry(*spec)
+                .or_insert(measurement),
+        ))
+    }
+
+    /// Current counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map mutex was poisoned.
+    #[must_use]
+    pub fn stats(&self) -> CircuitCacheStats {
+        CircuitCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("circuit cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_sfq::cells::{JtlChainSpec, PtlLinkSpec};
+
+    #[test]
+    fn cached_equals_uncached() {
+        let cache = CircuitCache::new();
+        let spec = CellSpec::Ptl(PtlLinkSpec::from_mm(0.2));
+        let direct = characterize(&spec).expect("simulates");
+        let cached = cache.measure(&spec).expect("simulates");
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = CircuitCache::new();
+        let spec = CellSpec::Jtl(JtlChainSpec::standard(4));
+        let a = cache.measure(&spec).expect("simulates");
+        let b = cache.measure(&spec).expect("simulates");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_specs_do_not_collide() {
+        let cache = CircuitCache::new();
+        let a = cache
+            .measure(&CellSpec::Jtl(JtlChainSpec::new(4, 100_000, 700)))
+            .expect("simulates");
+        let b = cache
+            .measure(&CellSpec::Jtl(JtlChainSpec::new(4, 100_000, 750)))
+            .expect("simulates");
+        assert_ne!(a.delay, b.delay);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn shared_across_scoped_threads() {
+        let cache = CircuitCache::new();
+        let spec = CellSpec::Ptl(PtlLinkSpec::from_mm(0.15));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let m = cache.measure(&spec).expect("simulates");
+                    assert!(m.delay > 0.0);
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

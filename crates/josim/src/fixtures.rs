@@ -21,6 +21,62 @@ const SECTIONS_PER_MM: f64 = 40.0;
 /// Minimum number of sections for very short lines.
 const MIN_SECTIONS: usize = 8;
 
+/// Builds the matched-source, matched-load LC ladder every PTL simulation
+/// uses (the Fig. 13 validation fixture and the adaptive characterization
+/// suite share it, so both simulate exactly the same netlist): a Gaussian
+/// SFQ-shaped current pulse into a source resistor `Z`, `sections` LC
+/// sections, and a matched termination. Returns the circuit with its
+/// input/output probe nodes and the section count.
+///
+/// # Panics
+///
+/// Panics if `length` is not positive.
+pub(crate) fn build_ptl_ladder(
+    geometry: &PtlGeometry,
+    length: Length,
+) -> (Circuit, NodeId, NodeId, usize) {
+    assert!(length.as_si() > 0.0, "PTL length must be positive");
+    let sections = ((length.as_mm() * SECTIONS_PER_MM).ceil() as usize).max(MIN_SECTIONS);
+    let l_total = geometry.inductance_per_meter() * length.as_m();
+    let c_total = geometry.capacitance_per_meter() * length.as_m();
+    let l_sec = l_total / sections as f64;
+    let c_sec = c_total / sections as f64;
+    let z = geometry.impedance();
+
+    let mut ckt = Circuit::new();
+    let input = ckt.node();
+
+    // SFQ pulse source: the source resistor Z and the line impedance Z
+    // form a 2:1 divider, so a current pulse of area 2*Phi0/Z launches a
+    // voltage pulse of flux area ~Phi0 onto the line.
+    let phi0 = crate::engine::PHI0;
+    let sigma = 1.0e-12; // ~2 ps FWHM SFQ pulse
+    let area = 2.0 * phi0 / z; // ampere-seconds
+    let amplitude = area / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+    ckt.current_source(
+        Circuit::GROUND,
+        input,
+        Waveform::gaussian(amplitude, 6.0 * sigma, sigma),
+    );
+    // Source matching resistor (the PTL driver's output resistance).
+    ckt.resistor(input, Circuit::GROUND, z);
+
+    // LC ladder.
+    let mut prev = input;
+    let mut last = input;
+    for _ in 0..sections {
+        let next = ckt.node();
+        ckt.inductor(prev, next, l_sec);
+        ckt.capacitor(next, Circuit::GROUND, c_sec);
+        prev = next;
+        last = next;
+    }
+    // Matched termination at the receiver.
+    ckt.resistor(last, Circuit::GROUND, z);
+
+    (ckt, input, last, sections)
+}
+
 /// A built PTL ladder fixture ready to simulate.
 #[derive(Debug)]
 pub struct PtlFixture {
@@ -41,49 +97,11 @@ impl PtlFixture {
     /// Panics if `length` is not positive.
     #[must_use]
     pub fn new(geometry: PtlGeometry, length: Length) -> Self {
-        assert!(length.as_si() > 0.0, "PTL length must be positive");
-        let sections = ((length.as_mm() * SECTIONS_PER_MM).ceil() as usize).max(MIN_SECTIONS);
-        let l_total = geometry.inductance_per_meter() * length.as_m();
-        let c_total = geometry.capacitance_per_meter() * length.as_m();
-        let l_sec = l_total / sections as f64;
-        let c_sec = c_total / sections as f64;
-        let z = geometry.impedance();
-
-        let mut ckt = Circuit::new();
-        let input = ckt.node();
-
-        // SFQ pulse source: the source resistor Z and the line impedance Z
-        // form a 2:1 divider, so a current pulse of area 2*Phi0/Z launches a
-        // voltage pulse of flux area ~Phi0 onto the line.
-        let phi0 = 2.067_833_848e-15;
-        let sigma = 1.0e-12; // ~2 ps FWHM SFQ pulse
-        let area = 2.0 * phi0 / z; // ampere-seconds
-        let amplitude = area / (sigma * (2.0 * std::f64::consts::PI).sqrt());
-        ckt.current_source(
-            Circuit::GROUND,
-            input,
-            Waveform::gaussian(amplitude, 6.0 * sigma, sigma),
-        );
-        // Source matching resistor (the PTL driver's output resistance).
-        ckt.resistor(input, Circuit::GROUND, z);
-
-        // LC ladder.
-        let mut prev = input;
-        let mut last = input;
-        for _ in 0..sections {
-            let next = ckt.node();
-            ckt.inductor(prev, next, l_sec);
-            ckt.capacitor(next, Circuit::GROUND, c_sec);
-            prev = next;
-            last = next;
-        }
-        // Matched termination at the receiver.
-        ckt.resistor(last, Circuit::GROUND, z);
-
+        let (ckt, input, output, sections) = build_ptl_ladder(&geometry, length);
         Self {
             engine: Engine::new(ckt),
             input,
-            output: last,
+            output,
             sections,
             length,
             geometry,
@@ -115,10 +133,14 @@ impl PtlFixture {
     /// Propagates engine failures (singular matrix / Newton divergence)
     /// as [`smart_units::SmartError::Simulation`].
     pub fn run(&self) -> Result<PtlMeasurement> {
-        // Simulate long enough for the pulse to arrive plus margin.
+        // Simulate long enough for the pulse to arrive plus margin. The
+        // margin is rounded up to a whole number of steps: the engine now
+        // clamps the final step to land exactly on `stop`, and rounding
+        // here keeps the integration span identical to the seed's
+        // `ceil(stop / step)` full steps (Fig. 13 numbers unchanged).
         let analytic_delay = self.geometry.delay_per_meter() * self.length.as_m();
-        let stop = 20.0e-12 + 3.0 * analytic_delay;
         let step = 0.02e-12;
+        let stop = step * ((20.0e-12 + 3.0 * analytic_delay) / step).ceil();
         let out = self
             .engine
             .run(TransientSpec::new(stop, step), &[self.input, self.output])?;
@@ -139,7 +161,7 @@ pub struct PtlMeasurement {
 
 impl PtlMeasurement {
     fn extract(out: &Transient) -> Self {
-        let phi0 = 2.067_833_848e-15;
+        let phi0 = crate::engine::PHI0;
         let half = 0.5 * phi0;
         let t_in = out.flux_crossing(0, half).unwrap_or(0.0);
         let t_out = out.flux_crossing(1, half).unwrap_or(t_in);
@@ -194,7 +216,7 @@ impl ValidationPoint {
 /// [`smart_units::SmartError::Simulation`].
 pub fn validate_ptl_model(lengths_mm: &[f64]) -> Result<Vec<ValidationPoint>> {
     let geometry = PtlGeometry::hypres_microstrip();
-    let phi0 = 2.067_833_848e-15;
+    let phi0 = crate::engine::PHI0;
     let sigma = 1.0e-12;
     let z = geometry.impedance();
     let mut out = Vec::with_capacity(lengths_mm.len());

@@ -35,14 +35,22 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adaptive;
+pub mod cache;
+pub mod cells;
 pub mod circuit;
 pub mod engine;
 pub mod fixtures;
 pub mod linalg;
+pub mod sparse;
 pub mod waveform;
 
+pub use adaptive::{AdaptiveSpec, Workspace};
+pub use cache::{CircuitCache, CircuitCacheStats};
+pub use cells::{characterize, CellMeasurement, CellSpec};
 pub use circuit::{Circuit, Element, NodeId};
 pub use engine::{Engine, SimulationError, Transient, TransientSpec};
 pub use fixtures::{validate_ptl_model, PtlFixture, PtlMeasurement, ValidationPoint};
 pub use smart_units::{Result, SmartError};
+pub use sparse::{SparseLu, SparseMatrix, SparsityPattern, SymbolicLu};
 pub use waveform::Waveform;

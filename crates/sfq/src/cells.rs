@@ -1,0 +1,321 @@
+//! Parameterized SFQ cell specifications for circuit-level
+//! characterization.
+//!
+//! These are the *inputs* of the `smart-josim` characterization suite:
+//! typed, hashable descriptions of JTL chains, splitter fan-out trees, and
+//! PTL links. Each spec derives its analog circuit parameters from the
+//! same device models the analytic layer uses — [`crate::jj`] for the
+//! junction (characteristic voltage, Stewart-McCumber damping),
+//! [`crate::jtl::Jtl`] and [`crate::fanout::SplitterTree`] for the
+//! closed-form latency the simulation is validated against, and
+//! [`crate::ptl::PtlGeometry`] for line constants.
+//!
+//! Fields are integer-encoded (nA, per-mille, nm) so that specs implement
+//! `Hash`/`Eq` and can key a memoized characterization cache, exactly like
+//! the evaluator's cache keys on `(Scheme, ModelId, batch)`.
+
+use crate::fanout::SplitterTree;
+use crate::jj::FLUX_QUANTUM;
+use crate::jtl::Jtl;
+use crate::ptl::PtlGeometry;
+use smart_units::{Length, Time};
+
+/// Characteristic voltage `Ic * R` of the shunted junctions used by the
+/// characterization circuits (V). With the `beta_c = 1` capacitance below
+/// and the `beta_L = 3 pi / 4` coupling, 0.5 mV is the calibrated
+/// operating point at which the simulated chain reproduces the closed-form
+/// 2 ps/stage JTL delay at the standard 0.75 Ic bias.
+pub const CHARACTERISTIC_VOLTAGE: f64 = 0.5e-3;
+
+/// A bias-fed chain of `stages` Josephson junctions coupled by inductors —
+/// the circuit-level counterpart of the analytic [`Jtl`] model.
+///
+/// # Examples
+///
+/// ```
+/// use smart_sfq::cells::JtlChainSpec;
+///
+/// let spec = JtlChainSpec::standard(8);
+/// assert_eq!(spec.stages, 8);
+/// assert!((spec.ic() - 100e-6).abs() < 1e-12);
+/// assert!((spec.closed_form_stage_delay().as_ps() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JtlChainSpec {
+    /// Number of junction stages (>= 2: delay is measured across hops).
+    pub stages: u32,
+    /// Junction critical current in nanoamperes.
+    pub ic_na: u64,
+    /// DC bias per junction, in per-mille of `Ic` (700 = 0.7 Ic).
+    pub bias_pm: u32,
+    /// Coupling inductance in femtohenries.
+    pub inductance_fh: u64,
+}
+
+impl JtlChainSpec {
+    /// The standard chain: 100 uA junctions biased at 0.75 Ic with
+    /// `L = 3 Phi0 / (8 Ic)` coupling (`beta_L = 3 pi / 4`), the
+    /// calibrated operating point that reproduces the ~2 ps/stage
+    /// closed-form delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages < 2`.
+    #[must_use]
+    pub fn standard(stages: u32) -> Self {
+        Self::new(stages, 100_000, 750)
+    }
+
+    /// A chain with explicit junction size and bias; the coupling
+    /// inductance keeps `beta_L = 3 pi / 4` (i.e. `L = 3 Phi0 / (8 Ic)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages < 2`, `ic_na` is zero, or `bias_pm` is not in
+    /// `(0, 1000)` (biasing at or beyond `Ic` never settles).
+    #[must_use]
+    pub fn new(stages: u32, ic_na: u64, bias_pm: u32) -> Self {
+        assert!(stages >= 2, "need at least 2 stages to measure a hop");
+        assert!(ic_na > 0, "critical current must be positive");
+        assert!(
+            bias_pm > 0 && bias_pm < 1000,
+            "bias must be a fraction of Ic in (0, 1000) per-mille"
+        );
+        let ic = ic_na as f64 * 1e-9;
+        let l = 3.0 * FLUX_QUANTUM / (8.0 * ic);
+        Self {
+            stages,
+            ic_na,
+            bias_pm,
+            inductance_fh: (l * 1e15).round() as u64,
+        }
+    }
+
+    /// Junction critical current (A).
+    #[must_use]
+    pub fn ic(&self) -> f64 {
+        self.ic_na as f64 * 1e-9
+    }
+
+    /// Per-junction DC bias current (A).
+    #[must_use]
+    pub fn bias_current(&self) -> f64 {
+        self.ic() * f64::from(self.bias_pm) * 1e-3
+    }
+
+    /// Shunt resistance (ohms) fixing the characteristic voltage.
+    #[must_use]
+    pub fn shunt_resistance(&self) -> f64 {
+        CHARACTERISTIC_VOLTAGE / self.ic()
+    }
+
+    /// Junction capacitance (F) at critical damping (`beta_c = 1`).
+    #[must_use]
+    pub fn junction_capacitance(&self) -> f64 {
+        let r = self.shunt_resistance();
+        FLUX_QUANTUM / (2.0 * std::f64::consts::PI * self.ic() * r * r)
+    }
+
+    /// Coupling inductance between stages (H).
+    #[must_use]
+    pub fn coupling_inductance(&self) -> f64 {
+        self.inductance_fh as f64 * 1e-15
+    }
+
+    /// The analytic model of this chain: one [`Jtl`] whose stage count
+    /// matches, at the default Hypres stage pitch.
+    #[must_use]
+    pub fn closed_form(&self) -> Jtl {
+        Jtl::new(Length::from_um(
+            f64::from(self.stages) * Jtl::DEFAULT_STAGE_PITCH_UM,
+        ))
+    }
+
+    /// The closed-form per-stage delay the simulation is validated
+    /// against.
+    #[must_use]
+    pub fn closed_form_stage_delay(&self) -> Time {
+        Time::from_ps(Jtl::DEFAULT_STAGE_DELAY_PS)
+    }
+}
+
+/// A binary splitter tree that broadcasts one SFQ pulse to `leaves`
+/// outputs — the circuit-level counterpart of [`SplitterTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitterFanoutSpec {
+    /// Number of leaf outputs (a power of two, >= 2).
+    pub leaves: u32,
+    /// Junction critical current in nanoamperes (leaf junctions; interior
+    /// junctions are scaled up to drive two branches).
+    pub ic_na: u64,
+    /// DC bias per junction, in per-mille of `Ic`.
+    pub bias_pm: u32,
+}
+
+impl SplitterFanoutSpec {
+    /// The standard tree: 100 uA junctions biased at 0.75 Ic (splitting a
+    /// pulse halves the kick each branch receives, so splitter junctions
+    /// run hotter than JTL stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is not a power of two or is less than 2.
+    #[must_use]
+    pub fn standard(leaves: u32) -> Self {
+        assert!(
+            leaves >= 2 && leaves.is_power_of_two(),
+            "fan-out must be a power of two >= 2"
+        );
+        Self {
+            leaves,
+            ic_na: 100_000,
+            bias_pm: 750,
+        }
+    }
+
+    /// Tree depth (`log2(leaves)`).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.leaves.trailing_zeros()
+    }
+
+    /// Junction critical current (A).
+    #[must_use]
+    pub fn ic(&self) -> f64 {
+        self.ic_na as f64 * 1e-9
+    }
+
+    /// Per-junction DC bias current (A).
+    #[must_use]
+    pub fn bias_current(&self) -> f64 {
+        self.ic() * f64::from(self.bias_pm) * 1e-3
+    }
+
+    /// Shunt resistance (ohms) fixing the characteristic voltage.
+    #[must_use]
+    pub fn shunt_resistance(&self) -> f64 {
+        CHARACTERISTIC_VOLTAGE / self.ic()
+    }
+
+    /// Junction capacitance (F) at critical damping.
+    #[must_use]
+    pub fn junction_capacitance(&self) -> f64 {
+        let r = self.shunt_resistance();
+        FLUX_QUANTUM / (2.0 * std::f64::consts::PI * self.ic() * r * r)
+    }
+
+    /// Branch coupling inductance (H), `beta_L = 3 pi / 4` like the JTL.
+    #[must_use]
+    pub fn coupling_inductance(&self) -> f64 {
+        3.0 * FLUX_QUANTUM / (8.0 * self.ic())
+    }
+
+    /// The analytic model of this tree.
+    #[must_use]
+    pub fn closed_form(&self) -> SplitterTree {
+        SplitterTree::for_fanout(u64::from(self.leaves))
+    }
+}
+
+/// A passive-transmission-line link of a given length in the Hypres
+/// micro-strip geometry — the circuit-level counterpart of
+/// [`PtlGeometry::line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PtlLinkSpec {
+    /// Line length in nanometers.
+    pub length_nm: u64,
+}
+
+impl PtlLinkSpec {
+    /// A link of the given length in millimeters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mm` is not positive and finite.
+    #[must_use]
+    pub fn from_mm(mm: f64) -> Self {
+        assert!(mm > 0.0 && mm.is_finite(), "PTL length must be positive");
+        Self {
+            length_nm: (mm * 1e6).round() as u64,
+        }
+    }
+
+    /// Line length.
+    #[must_use]
+    pub fn length(&self) -> Length {
+        Length::from_nm(self.length_nm as f64)
+    }
+
+    /// The line geometry (Hypres Nb/SiO2 micro-strip).
+    #[must_use]
+    pub fn geometry(&self) -> PtlGeometry {
+        PtlGeometry::hypres_microstrip()
+    }
+
+    /// Closed-form one-way delay (s), Eq. 4.
+    #[must_use]
+    pub fn closed_form_delay(&self) -> f64 {
+        self.geometry().delay_per_meter() * self.length().as_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_chain_parameters() {
+        let s = JtlChainSpec::standard(8);
+        assert!((s.ic() - 100e-6).abs() < 1e-15);
+        assert!((s.bias_current() - 75e-6).abs() < 1e-15);
+        assert!((s.shunt_resistance() - 5.0).abs() < 1e-12);
+        // beta_L = 2 pi L Ic / Phi0 = 3 pi / 4.
+        let beta_l = 2.0 * std::f64::consts::PI * s.coupling_inductance() * s.ic() / FLUX_QUANTUM;
+        assert!(
+            (beta_l - 0.75 * std::f64::consts::PI).abs() < 1e-3,
+            "{beta_l}"
+        );
+        assert_eq!(s.closed_form().stages(), 8);
+    }
+
+    #[test]
+    fn chain_is_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        assert!(set.insert(JtlChainSpec::standard(4)));
+        assert!(!set.insert(JtlChainSpec::standard(4)));
+        assert!(set.insert(JtlChainSpec::new(4, 100_000, 650)));
+    }
+
+    #[test]
+    fn fanout_depth_and_closed_form() {
+        let s = SplitterFanoutSpec::standard(8);
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.closed_form().splitter_count(), 7);
+    }
+
+    #[test]
+    fn ptl_lengths_round_trip() {
+        let s = PtlLinkSpec::from_mm(0.4);
+        assert!((s.length().as_mm() - 0.4).abs() < 1e-9);
+        assert!(s.closed_form_delay() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 stages")]
+    fn one_stage_chain_rejected() {
+        let _ = JtlChainSpec::standard(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_fanout_rejected() {
+        let _ = SplitterFanoutSpec::standard(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be a fraction")]
+    fn overbias_rejected() {
+        let _ = JtlChainSpec::new(4, 100_000, 1000);
+    }
+}

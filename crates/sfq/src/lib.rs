@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cells;
 pub mod components;
 pub mod fanout;
 pub mod hop;
@@ -35,6 +36,7 @@ pub mod jtl;
 pub mod ptl;
 pub mod wire;
 
+pub use cells::{JtlChainSpec, PtlLinkSpec, SplitterFanoutSpec};
 pub use components::{Component, ComponentKind, Repeater, SplitterUnit};
 pub use fanout::{SfqDecoder, SplitterTree};
 pub use hop::PtlHop;

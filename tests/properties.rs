@@ -355,6 +355,150 @@ proptest! {
         }
     }
 
+    /// The sparse LU (fixed symbolic pattern, no pivoting) and the dense
+    /// partial-pivoting LU agree on random stamped MNA-style matrices:
+    /// conductance ladders with random bridges and grounded diagonals —
+    /// exactly the structure the circuit engine stamps.
+    #[test]
+    fn sparse_and_dense_lu_agree_on_stamped_mna(
+        grounds in prop::collection::vec(1u32..100, 3..16),
+        ladder in prop::collection::vec(1u32..100, 3..16),
+        // Each entry encodes one bridge as (a, b, g) in base 16/16/50.
+        bridges in prop::collection::vec(0u64..(16 * 16 * 50), 0..6),
+        rhs in prop::collection::vec(1u32..100, 3..16),
+    ) {
+        use smart::josim::linalg::Matrix;
+        use smart::josim::sparse::{SparseLu, SparseMatrix, SparsityPattern, SymbolicLu};
+
+        let n = grounds.len().min(ladder.len()).min(rhs.len());
+        prop_assume!(n >= 3);
+
+        // Collect stamp positions (the engine's symbolic dry run).
+        let mut positions = Vec::new();
+        let mut stamps: Vec<(usize, usize, f64)> = Vec::new();
+        let conduct = |a: usize, b: Option<usize>, g: f64, st: &mut Vec<(usize, usize, f64)>| {
+            st.push((a, a, g));
+            if let Some(b) = b {
+                st.push((b, b, g));
+                st.push((a, b, -g));
+                st.push((b, a, -g));
+            }
+        };
+        for i in 0..n {
+            conduct(i, None, f64::from(grounds[i]) * 0.1, &mut stamps);
+            if i > 0 {
+                conduct(i, Some(i - 1), f64::from(ladder[i]) * 0.1, &mut stamps);
+            }
+        }
+        for &enc in &bridges {
+            let (a, b) = ((enc % 16) as usize % n, (enc / 16 % 16) as usize % n);
+            let g = (enc / 256 + 1) as f64;
+            if a != b {
+                conduct(a, Some(b), g * 0.1, &mut stamps);
+            }
+        }
+        for &(r, c, _) in &stamps {
+            positions.push((r, c));
+        }
+
+        let mut sparse = SparseMatrix::zeros(SparsityPattern::from_positions(n, &positions));
+        let mut dense = Matrix::zeros(n);
+        for &(r, c, v) in &stamps {
+            sparse.add(r, c, v);
+            dense.add(r, c, v);
+        }
+
+        let mut slu = SparseLu::new(SymbolicLu::analyze(sparse.pattern()));
+        slu.refactor(&sparse).expect("grounded ladder is nonsingular");
+        let b: Vec<f64> = rhs.iter().take(n).map(|&v| f64::from(v)).collect();
+        let xs = slu.solve(&b);
+        let xd = dense.lu().expect("nonsingular").solve(&b);
+        for (s, d) in xs.iter().zip(xd.iter()) {
+            prop_assert!(
+                (s - d).abs() < 1e-8 * d.abs().max(1.0),
+                "sparse {s} vs dense {d}"
+            );
+        }
+    }
+
+    /// The adaptive sparse integrator agrees with a fine fixed-step dense
+    /// run on single-junction fixtures across bias/kick operating points:
+    /// same pulse count, and final flux within a few percent of Phi0.
+    #[test]
+    fn adaptive_matches_fine_fixed_on_jj_fixtures(
+        bias_pm in 500u32..880,
+        kick_pm in 400u32..750,
+    ) {
+        use smart::josim::adaptive::AdaptiveSpec;
+        use smart::josim::circuit::Circuit;
+        use smart::josim::engine::{Engine, TransientSpec};
+        use smart::josim::waveform::Waveform;
+
+        // Keep clear of the switching threshold: a borderline kick can
+        // legitimately resolve either way under different integrators.
+        let sum = bias_pm + kick_pm;
+        prop_assume!(sum >= 1250 || sum <= 900);
+
+        let phi0 = 2.067_833_848e-15;
+        let ic = 100e-6;
+        let r = 3.0;
+        let c = phi0 / (2.0 * std::f64::consts::PI * ic * r * r);
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.junction(n, Circuit::GROUND, ic, r, c);
+        ckt.current_source(Circuit::GROUND, n, Waveform::dc(f64::from(bias_pm) * 1e-3 * ic));
+        ckt.current_source(
+            Circuit::GROUND,
+            n,
+            Waveform::gaussian(f64::from(kick_pm) * 1e-3 * ic, 20e-12, 2e-12),
+        );
+        let engine = Engine::new(ckt);
+        let fixed = engine
+            .run(TransientSpec::new(60e-12, 0.01e-12), &[n])
+            .expect("fixed runs");
+        let adaptive = engine
+            .run_adaptive(AdaptiveSpec::sfq(60e-12), &[n])
+            .expect("adaptive runs");
+
+        prop_assert_eq!(
+            adaptive.pulse_count_after(0, 10e-12),
+            fixed.pulse_count_after(0, 10e-12)
+        );
+        let ff = *fixed.flux(0).last().unwrap();
+        let fa = *adaptive.flux(0).last().unwrap();
+        prop_assert!(
+            (ff - fa).abs() < 0.03 * phi0 + 0.01 * ff.abs(),
+            "final flux: fixed {} vs adaptive {} (phi0 {})", ff, fa, phi0
+        );
+        // Fewer steps is the whole point.
+        prop_assert!(adaptive.times().len() * 4 < fixed.times().len());
+    }
+
+    /// The adaptive engine agrees with the fixed-step oracle on whole
+    /// JTL-chain cells: identical pulse delivery and arrival delays within
+    /// 1%.
+    #[test]
+    fn adaptive_matches_oracle_on_jtl_chains(
+        stages in 2u32..6,
+        bias_pm in 680u32..820,
+    ) {
+        use smart::josim::cells::{CellCircuit, CellSpec};
+        use smart::sfq::cells::JtlChainSpec;
+
+        let spec = JtlChainSpec::new(stages, 100_000, bias_pm);
+        let cell = CellCircuit::build(&CellSpec::Jtl(spec));
+        let mut ws = cell.engine().prepare_workspace();
+        let adaptive = cell.measure_adaptive(&mut ws).expect("adaptive runs");
+        let fixed = cell.measure_fixed().expect("fixed runs");
+
+        prop_assert_eq!(adaptive.min_output_pulses, fixed.min_output_pulses);
+        prop_assert_eq!(adaptive.max_output_pulses, fixed.max_output_pulses);
+        prop_assert!(adaptive.delivered_exactly_one());
+        let rel = (adaptive.delay - fixed.delay).abs() / fixed.delay.max(1e-15);
+        prop_assert!(rel < 0.01, "delay disagreement {:.3}%", rel * 100.0);
+        prop_assert!(adaptive.steps < fixed.steps / 4);
+    }
+
     /// Incumbent seeding is sound: seeding any feasible point never makes
     /// the solver return something worse, and a seeded complete search
     /// still finds the brute-force optimum.
