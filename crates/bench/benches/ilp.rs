@@ -1,9 +1,10 @@
 //! The CI-enforced performance harness for the numeric hot paths: the
 //! warm-started ILP engine behind `ablation_ilp_vs_greedy` (PR 3), the
-//! memoized evaluator cache, the `parallel_map` worker pool, and the
+//! memoized evaluator cache, the `parallel_map` worker pool, the
 //! `josim_*` transient-circuit kernels (PR 4: the adaptive sparse MNA
 //! engine against the seed fixed-step dense engine on identical JTL and
-//! PTL netlists).
+//! PTL netlists), and the `timing_*` cycle-level replay kernels (PR 5:
+//! one-layer replay and cold full-model compile + replay).
 //!
 //! Run it and refresh the committed baseline with:
 //!
@@ -170,6 +171,57 @@ fn bench_josim_ptl_adaptive(c: &mut Criterion) {
     });
 }
 
+/// One VGG16 conv layer replayed through the SMART SPM: mapping, demand,
+/// DAG, and schedule are prepared once, so the loop measures the pure
+/// cycle-level replay engine (the `timing_*` experiments' inner kernel).
+fn bench_timing_vgg_layer_replay(c: &mut Criterion) {
+    use smart_systolic::trace::LayerDemand;
+    use smart_timing::{replay_layer, LayerInstance, TimingConfig};
+
+    let layer = ConvLayer::conv("conv4_2", 28, 28, 512, 512, 3, 1, 1);
+    let scheme = Scheme::smart();
+    let mapping = LayerMapping::map(&layer, scheme.config.shape, 1);
+    let demand = LayerDemand::derive(&layer, &mapping);
+    let dag = LayerDag::build(&mapping, 6);
+    let spm = smart_timing::hetero_spm(&scheme).expect("heterogeneous");
+    let schedule = compile_layer_ctx(
+        &dag,
+        &smart_timing::params_for(spm, scheme.policy),
+        &SolverContext::new(),
+    );
+    let instance = LayerInstance {
+        name: &layer.name,
+        mapping: &mapping,
+        demand: &demand,
+        dag: &dag,
+        schedule: &schedule,
+    };
+    let cfg = TimingConfig::nominal();
+    c.bench_function("timing_vgg_layer_replay", |b| {
+        b.iter(|| {
+            replay_layer(
+                black_box(&instance),
+                spm,
+                scheme.config.frequency,
+                black_box(&cfg),
+            )
+        })
+    });
+}
+
+/// Full-model replay: compile + replay every AlexNet layer on the SMART
+/// scheme (the cost of one cold `timing_*` experiment point).
+fn bench_timing_full_model_replay(c: &mut Criterion) {
+    use smart_timing::{simulate_scheme, TimingConfig};
+
+    let model = ModelId::AlexNet.build();
+    let scheme = Scheme::smart();
+    let cfg = TimingConfig::nominal();
+    c.bench_function("timing_full_model_replay", |b| {
+        b.iter(|| simulate_scheme(black_box(&scheme), black_box(&model), &cfg).expect("simulates"))
+    });
+}
+
 criterion_group!(
     benches,
     bench_ilp_ablation,
@@ -181,5 +233,7 @@ criterion_group!(
     bench_josim_jtl_adaptive,
     bench_josim_jtl_fixed_dense,
     bench_josim_ptl_adaptive,
+    bench_timing_vgg_layer_replay,
+    bench_timing_full_model_replay,
 );
 criterion_main!(benches);

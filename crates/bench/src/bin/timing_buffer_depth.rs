@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin timing_buffer_depth`.
+fn main() {
+    print!(
+        "{}",
+        smart_bench::timing_buffer_depth(&smart_bench::ExperimentContext::default())
+    );
+}

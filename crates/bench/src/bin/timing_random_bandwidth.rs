@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin timing_random_bandwidth`.
+fn main() {
+    print!(
+        "{}",
+        smart_bench::timing_random_bandwidth(&smart_bench::ExperimentContext::default())
+    );
+}

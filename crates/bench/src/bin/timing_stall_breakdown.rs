@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin timing_stall_breakdown`.
+fn main() {
+    print!(
+        "{}",
+        smart_bench::timing_stall_breakdown(&smart_bench::ExperimentContext::default())
+    );
+}

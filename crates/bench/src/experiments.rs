@@ -957,3 +957,299 @@ pub fn josim_ptl_characterization(ctx: &ExperimentContext) -> ResultTable {
     }
     t
 }
+
+/// Shared nominal replay setup of the `timing_*` experiments: the SMART
+/// scheme replayed at the paper's prefetch window through the context's
+/// memoized [`smart_timing::TimingCache`].
+fn timing_replay(
+    ctx: &ExperimentContext,
+    model: ModelId,
+    cfg: &smart_timing::TimingConfig,
+) -> std::sync::Arc<smart_timing::ModelTimingReport> {
+    ctx.timing
+        .report(&Scheme::smart(), model, cfg)
+        .expect("SMART is heterogeneous")
+}
+
+/// Timing replay: per-layer stall breakdown of the SMART scheme on VGG16
+/// (every layer) and ResNet50 (aggregated per stage). The exposed-stall
+/// columns carry the paper's Greek class letters; the placement summary
+/// recompiles the most-stalled layer's schedule to show where its bytes
+/// live.
+#[must_use]
+pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
+    use smart_compiler::formulation::compile_layer;
+    use smart_systolic::dag::LayerDag;
+    use smart_systolic::mapping::LayerMapping;
+    use smart_systolic::trace::DataClass;
+
+    let cfg = smart_timing::TimingConfig::nominal();
+    let scheme = Scheme::smart();
+    let scenario = Scenario::over(
+        "timing_stall_breakdown",
+        &["model"],
+        vec![ModelId::Vgg16, ModelId::ResNet50],
+    );
+    let replays = scenario.run(ctx.jobs, |&id| (id, timing_replay(ctx, id, &cfg)));
+
+    let mut t = ResultTable::new(
+        "timing_stall_breakdown",
+        "Timing replay: per-layer exposed stalls of SMART (cycles; α/β/γ/δ = Table 3 classes)",
+    );
+    t.columns = vec![
+        ColumnSpec::left("model", 9),
+        ColumnSpec::left("layer", 9),
+        ColumnSpec::right("compute(us)", 12),
+        ColumnSpec::right("stream", 8),
+    ];
+    for class in DataClass::ALL {
+        t.columns
+            .push(ColumnSpec::right(format!("{}", class.symbol()), 9));
+    }
+    t.columns.push(ColumnSpec::right("occ", 7));
+    t.columns.push(ColumnSpec::right("total(us)", 10));
+
+    let clock = scheme.config.frequency;
+    let row_of = |model: &str,
+                  layer: &str,
+                  compute: u64,
+                  stream: u64,
+                  exposed: [u64; 4],
+                  busy: u64,
+                  total: u64| {
+        let mut row = vec![
+            Value::text(model),
+            Value::text(layer),
+            Value::time(clock.period() * compute as f64, Unit::Us, 2),
+            Value::count(stream),
+        ];
+        row.extend(exposed.iter().map(|&c| Value::count(c)));
+        row.push(Value::percent(
+            if total == 0 {
+                0.0
+            } else {
+                (busy as f64 / total as f64).min(1.0)
+            },
+            0,
+        ));
+        row.push(Value::time(clock.period() * total as f64, Unit::Us, 2));
+        row
+    };
+
+    for (id, rep) in &replays {
+        match id {
+            // VGG16: all 16 layers individually.
+            ModelId::Vgg16 => {
+                for l in &rep.layers {
+                    t.push_row(row_of(
+                        id.name(),
+                        &l.name,
+                        l.compute_cycles,
+                        l.stream_stall_cycles,
+                        l.exposed_stall_cycles,
+                        l.random_busy_cycles,
+                        l.total_cycles,
+                    ));
+                }
+            }
+            // ResNet50: 54 layers fold into their stages.
+            _ => {
+                let stage_of = |name: &str| {
+                    if name.starts_with("res") {
+                        name[..4].to_owned()
+                    } else {
+                        name.to_owned()
+                    }
+                };
+                let mut order: Vec<String> = Vec::new();
+                let mut agg: std::collections::HashMap<String, (u64, u64, [u64; 4], u64, u64)> =
+                    std::collections::HashMap::new();
+                for l in &rep.layers {
+                    let key = stage_of(&l.name);
+                    if !agg.contains_key(&key) {
+                        order.push(key.clone());
+                    }
+                    let e = agg.entry(key).or_default();
+                    e.0 += l.compute_cycles;
+                    e.1 += l.stream_stall_cycles;
+                    for (a, b) in e.2.iter_mut().zip(&l.exposed_stall_cycles) {
+                        *a += b;
+                    }
+                    e.3 += l.random_busy_cycles;
+                    e.4 += l.total_cycles;
+                }
+                for key in order {
+                    let (c, s, e, b, tot) = agg[&key];
+                    t.push_row(row_of(id.name(), &key, c, s, e, b, tot));
+                }
+            }
+        }
+
+        // Whole-model summary plus the placement mix of the most-stalled
+        // layer (its schedule recompiled against the scheme's geometry).
+        t.push_summary(
+            format!("{} total", id.name()),
+            Value::time(rep.total_time(), Unit::Us, 2).with_unit_suffix(),
+        );
+        let dominant = DataClass::ALL
+            .iter()
+            .copied()
+            .max_by_key(|&c| rep.exposed_of(c))
+            .expect("four classes");
+        t.push_summary(
+            format!("{} dominant stall class", id.name()),
+            Value::text(format!("{dominant} ({})", dominant.symbol())),
+        );
+        if let Some(worst) = rep.layers.iter().max_by_key(|l| l.exposed_total()) {
+            let model = id.build();
+            let layer = model
+                .layers
+                .iter()
+                .find(|l| l.name == worst.name)
+                .expect("replayed layer exists");
+            let spm = smart_timing::hetero_spm(&scheme).expect("heterogeneous");
+            let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
+            let dag = LayerDag::build(&mapping, cfg.max_iterations);
+            let schedule = compile_layer(&dag, &smart_timing::params_for(spm, scheme.policy));
+            let (shift, random, dram) = schedule.bytes_by_location(&dag);
+            t.push_summary(
+                format!("{} most stalled: {}", id.name(), worst.name),
+                Value::text(format!(
+                    "{}KB {}, {}KB {}, {}KB {} ({:.0}% resident)",
+                    shift / 1024,
+                    smart_compiler::Location::Shift,
+                    random / 1024,
+                    smart_compiler::Location::Random,
+                    dram / 1024,
+                    smart_compiler::Location::Dram,
+                    schedule.spm_resident_fraction(&dag) * 100.0
+                )),
+            );
+        }
+    }
+    t.push_note("(stall columns in cycles at 52.6 GHz; occ = RANDOM-array occupancy)");
+    t
+}
+
+/// Timing replay: double-buffer depth sweep at half RANDOM bandwidth.
+/// The ILP schedule fetches at most `a - 1 = 2` iterations ahead, so the
+/// replay saturates at depth 2 — the cycle-level counterpart of Fig. 24's
+/// prefetch saturation.
+#[must_use]
+pub fn timing_buffer_depth(ctx: &ExperimentContext) -> ResultTable {
+    let base = smart_timing::TimingConfig::nominal().with_bandwidth_pct(50);
+    let scenario = Scenario::over("timing_buffer_depth", &["depth"], vec![1u32, 2, 3, 4, 5]);
+    let points = scenario.run(ctx.jobs, |&depth| {
+        let cfg = base.with_depth(depth);
+        let alex = timing_replay(ctx, ModelId::AlexNet, &cfg);
+        let vgg = timing_replay(ctx, ModelId::Vgg16, &cfg);
+        (depth, alex, vgg)
+    });
+
+    let mut t = ResultTable::new(
+        "timing_buffer_depth",
+        "Timing replay: double-buffer depth sweep, SMART at 50% RANDOM bandwidth",
+    );
+    t.columns = vec![
+        ColumnSpec::right("depth", 6),
+        ColumnSpec::right("AlexNet(us)", 12),
+        ColumnSpec::right("stall(cyc)", 11),
+        ColumnSpec::right("hidden", 7),
+        ColumnSpec::right("VGG16(us)", 11),
+        ColumnSpec::right("stall(cyc)", 11),
+    ];
+    for (depth, alex, vgg) in &points {
+        let hidden_fraction = {
+            let work: u64 = alex.layers.iter().map(|l| l.prefetch_work_cycles).sum();
+            let hidden: u64 = alex
+                .layers
+                .iter()
+                .map(smart_timing::TimingReport::prefetch_hidden_cycles)
+                .sum();
+            if work == 0 {
+                0.0
+            } else {
+                hidden as f64 / work as f64
+            }
+        };
+        t.push_row(vec![
+            Value::count(u64::from(*depth)),
+            Value::time(alex.total_time(), Unit::Us, 2),
+            Value::count(alex.exposed_total()),
+            Value::percent(hidden_fraction, 1),
+            Value::time(vgg.total_time(), Unit::Us, 2),
+            Value::count(vgg.exposed_total()),
+        ]);
+    }
+    let saturation = points.windows(2).find(|w| {
+        w[1].1.total_cycles() == w[0].1.total_cycles()
+            && w[1].2.total_cycles() == w[0].2.total_cycles()
+    });
+    t.push_summary(
+        "saturation depth",
+        match saturation {
+            Some(w) => Value::count(u64::from(w[0].0)),
+            None => Value::text("none within sweep"),
+        },
+    );
+    t.push_note("(the a = 3 schedule fetches at most 2 iterations ahead, so depth saturates at 2)");
+    t
+}
+
+/// Timing replay: RANDOM-array bandwidth sensitivity on AlexNet. The
+/// analytic evaluator prices the same scheme identically in every row —
+/// the exposed stalls under constrained bandwidth are precisely what the
+/// cycle-level replay adds. The summary carries the stall-free
+/// cross-validation residual (replay vs analytic on the idealized twin).
+#[must_use]
+pub fn timing_random_bandwidth(ctx: &ExperimentContext) -> ResultTable {
+    let analytic = ctx.cache.report(&Scheme::smart(), ModelId::AlexNet, 1);
+    let base = smart_timing::TimingConfig::nominal();
+    let scenario = Scenario::over(
+        "timing_random_bandwidth",
+        &["bandwidth-pct"],
+        vec![10u32, 25, 50, 100, 400],
+    );
+    let points = scenario.run(ctx.jobs, |&pct| {
+        (
+            pct,
+            timing_replay(ctx, ModelId::AlexNet, &base.with_bandwidth_pct(pct)),
+        )
+    });
+
+    let mut t = ResultTable::new(
+        "timing_random_bandwidth",
+        "Timing replay: RANDOM bandwidth sensitivity, SMART on AlexNet (analytic model is bandwidth-blind)",
+    );
+    t.columns = vec![
+        ColumnSpec::right("bw", 5),
+        ColumnSpec::right("replay(us)", 11),
+        ColumnSpec::right("stall(cyc)", 11),
+        ColumnSpec::right("stream(cyc)", 12),
+        ColumnSpec::right("occ", 7),
+        ColumnSpec::right("vs analytic", 12),
+    ];
+    for (pct, rep) in &points {
+        t.push_row(vec![
+            Value::text(format!("{pct}%")),
+            Value::time(rep.total_time(), Unit::Us, 2),
+            Value::count(rep.exposed_total()),
+            Value::count(rep.stream_stall_cycles()),
+            Value::percent(rep.random_occupancy(), 0),
+            Value::num(rep.total_time().as_s() / analytic.total_time.as_s(), 3),
+        ]);
+    }
+    t.push_summary(
+        "analytic latency (every row)",
+        Value::time(analytic.total_time, Unit::Us, 2).with_unit_suffix(),
+    );
+    let residual =
+        smart_timing::max_layer_deviation(&Scheme::smart(), &ModelId::AlexNet.build(), &base)
+            .expect("SMART is heterogeneous");
+    t.push_summary(
+        "stall-free cross-validation residual",
+        Value::percent(residual, 2),
+    );
+    t.push_note("(the residual is the max per-layer |replay - analytic| on the idealized twin)");
+    t
+}

@@ -17,7 +17,7 @@
 //! println!("{fig18}");            // legacy fixed-width text
 //! println!("{}", fig18.to_json()); // typed rows for scripts
 //! let all = all_experiments(&ctx); // every figure, 4-way parallel
-//! assert_eq!(all.len(), 26);
+//! assert_eq!(all.len(), 29);
 //! ```
 
 #![warn(missing_docs)]
@@ -32,6 +32,7 @@ pub use experiments::{
     fig20_single_energy, fig21_batch_energy, fig22_shift_capacity, fig23_random_capacity,
     fig24_prefetch, fig25_write_latency, josim_fanout_characterization, josim_jtl_characterization,
     josim_ptl_characterization, table1_memories, table2_components, table4_configs,
+    timing_buffer_depth, timing_random_bandwidth, timing_stall_breakdown,
 };
 
 use smart_core::cache::EvalCache;
@@ -40,11 +41,12 @@ use smart_core::scheme::Scheme;
 use smart_josim::cache::CircuitCache;
 use smart_report::{parallel_map, ResultTable};
 use smart_systolic::models::ModelId;
+use smart_timing::TimingCache;
 use std::sync::Arc;
 
-/// Shared state of one experiment run: the memoized evaluation and
-/// circuit-characterization caches, and the worker-thread budget every
-/// builder fans out with.
+/// Shared state of one experiment run: the memoized evaluation,
+/// circuit-characterization, and timing-replay caches, and the
+/// worker-thread budget every builder fans out with.
 #[derive(Debug)]
 pub struct ExperimentContext {
     /// Memoized `(Scheme, ModelId, batch)` evaluation results, shared
@@ -53,6 +55,10 @@ pub struct ExperimentContext {
     /// Memoized transient circuit characterizations (JTL chains, fan-out
     /// trees, PTL links), keyed on the full `CellSpec` value.
     pub circuits: Arc<CircuitCache>,
+    /// Memoized cycle-level replay results, keyed on the full
+    /// `(Scheme, ModelId, TimingConfig)` value (the `timing_*`
+    /// experiments share their nominal SMART replays this way).
+    pub timing: Arc<TimingCache>,
     /// Worker-thread budget for this context's fan-outs (sweep points,
     /// grid cells). `1` means fully sequential. [`run_experiments`] splits
     /// the budget between the experiment level and the per-experiment
@@ -68,6 +74,7 @@ impl ExperimentContext {
         Self {
             cache: Arc::new(EvalCache::new()),
             circuits: Arc::new(CircuitCache::new()),
+            timing: Arc::new(TimingCache::new()),
             jobs: jobs.max(1),
         }
     }
@@ -87,6 +94,7 @@ impl ExperimentContext {
         Self {
             cache: Arc::clone(&self.cache),
             circuits: Arc::clone(&self.circuits),
+            timing: Arc::clone(&self.timing),
             jobs: jobs.max(1),
         }
     }
@@ -134,6 +142,9 @@ const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("josim_jtl", josim_jtl_characterization),
     ("josim_fanout", josim_fanout_characterization),
     ("josim_ptl", josim_ptl_characterization),
+    ("timing_stall_breakdown", timing_stall_breakdown),
+    ("timing_buffer_depth", timing_buffer_depth),
+    ("timing_random_bandwidth", timing_random_bandwidth),
 ];
 
 /// Runs one experiment by name, returning its typed table, or `None` for
@@ -198,8 +209,8 @@ mod tests {
         }
         assert_eq!(
             names.len(),
-            26,
-            "21 figures/tables + 2 ablations + 3 circuit characterizations"
+            29,
+            "21 figures/tables + 2 ablations + 3 circuit characterizations + 3 timing replays"
         );
         assert!(
             run_experiment("not_an_experiment", &ExperimentContext::single_threaded()).is_none()

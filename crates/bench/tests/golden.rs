@@ -101,7 +101,13 @@ fn fig24_saturation_point() {
 fn parallel_and_sequential_runs_agree() {
     let sequential = ExperimentContext::single_threaded();
     let parallel = ExperimentContext::new(4);
-    for name in ["fig05", "fig07", "fig18", "fig25"] {
+    for name in [
+        "fig05",
+        "fig07",
+        "fig18",
+        "fig25",
+        "timing_random_bandwidth",
+    ] {
         let a = run_experiment(name, &sequential).expect(name);
         let b = run_experiment(name, &parallel).expect(name);
         // Run fig18 twice on the parallel context: the second pass is
@@ -133,6 +139,7 @@ fn tables_are_finite_and_render() {
         "fig17",
         "table4",
         "ablation_lane_length",
+        "timing_random_bandwidth",
     ] {
         let t = run_experiment(name, &ctx).expect(name);
         assert!(t.non_finite_cells().is_empty(), "{name} not finite");

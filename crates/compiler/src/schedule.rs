@@ -17,6 +17,16 @@ pub enum Location {
     Dram,
 }
 
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Shift => "SHIFT",
+            Self::Random => "RANDOM",
+            Self::Dram => "DRAM",
+        })
+    }
+}
+
 /// Placement decision for one object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
@@ -84,8 +94,23 @@ impl Schedule {
         (shift, random, dram)
     }
 
+    /// Fraction of the layer's bytes the schedule keeps SPM-resident
+    /// (SHIFT or RANDOM). Returns `0.0` for an empty or zero-byte DAG
+    /// instead of NaN, like [`Schedule::prefetched_fraction`].
+    #[must_use]
+    pub fn spm_resident_fraction(&self, dag: &LayerDag) -> f64 {
+        let (shift, random, dram) = self.bytes_by_location(dag);
+        let total = shift + random + dram;
+        if total == 0 {
+            0.0
+        } else {
+            (shift + random) as f64 / total as f64
+        }
+    }
+
     /// Fraction of SPM-resident bytes whose loads are prefetched at least
-    /// one iteration early.
+    /// one iteration early. Returns `0.0` (not NaN) when nothing is
+    /// resident — including degenerate zero-byte DAGs.
     #[must_use]
     pub fn prefetched_fraction(&self, dag: &LayerDag) -> f64 {
         let mut resident = 0u64;
@@ -198,6 +223,60 @@ mod tests {
         let e1 = s1.exposed_load_time(&dag1, iter_time, load);
         let e3 = s3.exposed_load_time(&dag3, iter_time, load);
         assert!(e3.as_si() < e1.as_si());
+    }
+
+    /// A degenerate DAG whose objects all have zero bytes — the ratio
+    /// helpers must return 0.0, not NaN.
+    fn zero_byte_fixture() -> (LayerDag, Schedule) {
+        let (mut dag, _) = fixture(3);
+        for o in &mut dag.objects {
+            o.bytes = 0;
+        }
+        let lifespans = analyze(&dag, 3);
+        let placements = dag
+            .objects
+            .iter()
+            .map(|o| Placement {
+                object: o.id,
+                location: Location::Shift,
+            })
+            .collect();
+        let schedule = Schedule {
+            placements,
+            lifespans,
+            prefetch_window: 3,
+            objective: 0.0,
+            source: ScheduleSource::Greedy,
+            nodes: 0,
+        };
+        (dag, schedule)
+    }
+
+    #[test]
+    fn zero_byte_dag_fractions_are_zero_not_nan() {
+        let (dag, s) = zero_byte_fixture();
+        let prefetched = s.prefetched_fraction(&dag);
+        let resident = s.spm_resident_fraction(&dag);
+        assert!(!prefetched.is_nan() && !resident.is_nan());
+        assert_eq!(prefetched, 0.0);
+        assert_eq!(resident, 0.0);
+    }
+
+    #[test]
+    fn spm_resident_fraction_counts_both_arrays() {
+        let (dag, mut s) = fixture(3);
+        assert!((s.spm_resident_fraction(&dag) - 1.0).abs() < 1e-12);
+        // Push one object to DRAM: the fraction must drop below one.
+        s.placements[0].location = Location::Dram;
+        let f = s.spm_resident_fraction(&dag);
+        assert!(f < 1.0 && f > 0.0);
+    }
+
+    #[test]
+    fn location_display_names() {
+        assert_eq!(Location::Shift.to_string(), "SHIFT");
+        assert_eq!(Location::Random.to_string(), "RANDOM");
+        assert_eq!(Location::Dram.to_string(), "DRAM");
     }
 
     #[test]

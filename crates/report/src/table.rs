@@ -19,6 +19,8 @@ pub enum Unit {
     Ps,
     /// Nanoseconds.
     Ns,
+    /// Microseconds.
+    Us,
     /// Attojoules.
     Aj,
     /// Femtojoules.
@@ -52,6 +54,7 @@ impl Unit {
         match self {
             Self::Ps => 1e12,
             Self::Ns => 1e9,
+            Self::Us => 1e6,
             Self::Aj => 1e18,
             Self::Fj => 1e15,
             Self::Pj => 1e12,
@@ -72,6 +75,7 @@ impl Unit {
         match self {
             Self::Ps => "ps",
             Self::Ns => "ns",
+            Self::Us => "us",
             Self::Aj => "aJ",
             Self::Fj => "fJ",
             Self::Pj => "pJ",
@@ -197,7 +201,7 @@ impl Value {
     /// A [`Time`] cell.
     #[must_use]
     pub fn time(t: Time, unit: Unit, precision: usize) -> Self {
-        debug_assert!(matches!(unit, Unit::Ps | Unit::Ns));
+        debug_assert!(matches!(unit, Unit::Ps | Unit::Ns | Unit::Us));
         Self::quantity(t.as_si(), unit, precision)
     }
 

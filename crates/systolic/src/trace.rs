@@ -42,6 +42,23 @@ impl DataClass {
             Self::Psum => 'δ',
         }
     }
+
+    /// Lower-case report name (Table 3 terminology).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Weight => "weights",
+            Self::Input => "inputs",
+            Self::Output => "outputs",
+            Self::Psum => "psums",
+        }
+    }
+}
+
+impl std::fmt::Display for DataClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// One realignment event: a data class's access position jumps by
@@ -315,5 +332,13 @@ mod tests {
     fn class_symbols() {
         assert_eq!(DataClass::Weight.symbol(), 'α');
         assert_eq!(DataClass::Psum.symbol(), 'δ');
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(DataClass::Weight.to_string(), "weights");
+        assert_eq!(DataClass::Input.to_string(), "inputs");
+        assert_eq!(DataClass::Output.to_string(), "outputs");
+        assert_eq!(DataClass::Psum.to_string(), "psums");
     }
 }

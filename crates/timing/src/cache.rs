@@ -1,0 +1,152 @@
+//! [`TimingCache`]: a thread-safe memoization layer over
+//! [`crate::validate::simulate_scheme`], mirroring
+//! `smart_core::cache::EvalCache`.
+//!
+//! The timing experiments replay the same `(scheme, model, config)` points
+//! repeatedly — the nominal SMART replay is the baseline row of both the
+//! buffer-depth sweep and the bandwidth sweep — so replays are keyed on
+//! the full scheme/config values and shared as [`Arc`]s across the
+//! experiment runner's worker threads. Errors (non-heterogeneous schemes)
+//! are not cached.
+
+use crate::config::TimingConfig;
+use crate::report::ModelTimingReport;
+use crate::validate::simulate_scheme;
+use smart_core::scheme::Scheme;
+use smart_systolic::models::ModelId;
+use smart_units::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/size counters of a [`TimingCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingCacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that ran the replay simulator.
+    pub misses: u64,
+    /// Distinct `(Scheme, ModelId, TimingConfig)` points stored.
+    pub entries: usize,
+}
+
+/// A memoized, thread-safe front end to the replay simulator.
+#[derive(Debug, Default)]
+pub struct TimingCache {
+    map: Mutex<HashMap<(Scheme, ModelId, TimingConfig), Arc<ModelTimingReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TimingCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized equivalent of
+    /// `simulate_scheme(scheme, &model.build(), cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// [`smart_units::SmartError::InvalidInput`] when the scheme's SPM is
+    /// not heterogeneous (the error is recomputed, never cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map mutex was poisoned by a panicking replay on
+    /// another thread.
+    pub fn report(
+        &self,
+        scheme: &Scheme,
+        model: ModelId,
+        cfg: &TimingConfig,
+    ) -> Result<Arc<ModelTimingReport>> {
+        let key = (scheme.clone(), model, *cfg);
+        if let Some(found) = self.map.lock().expect("timing cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(simulate_scheme(scheme, &model.build(), cfg)?);
+        Ok(Arc::clone(
+            self.map
+                .lock()
+                .expect("timing cache poisoned")
+                .entry(key)
+                .or_insert(report),
+        ))
+    }
+
+    /// Current counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map mutex was poisoned.
+    #[must_use]
+    pub fn stats(&self) -> TimingCacheStats {
+        TimingCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("timing cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let cache = TimingCache::new();
+        let scheme = Scheme::smart();
+        let cfg = TimingConfig::nominal();
+        let a = cache.report(&scheme, ModelId::AlexNet, &cfg).expect("ok");
+        let b = cache.report(&scheme, ModelId::AlexNet, &cfg).expect("ok");
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn config_is_part_of_the_key() {
+        let cache = TimingCache::new();
+        let scheme = Scheme::smart();
+        let nominal = cache
+            .report(&scheme, ModelId::AlexNet, &TimingConfig::nominal())
+            .expect("ok");
+        let slow = cache
+            .report(
+                &scheme,
+                ModelId::AlexNet,
+                &TimingConfig::nominal().with_bandwidth_pct(10),
+            )
+            .expect("ok");
+        assert!(slow.total_cycles() > nominal.total_cycles());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = TimingCache::new();
+        let cfg = TimingConfig::nominal();
+        assert!(cache
+            .report(&Scheme::supernpu(), ModelId::AlexNet, &cfg)
+            .is_err());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn cached_equals_uncached() {
+        let cache = TimingCache::new();
+        let scheme = Scheme::pipe();
+        let cfg = TimingConfig::nominal();
+        let direct =
+            crate::validate::simulate_scheme(&scheme, &ModelId::AlexNet.build(), &cfg).expect("ok");
+        let cached = cache.report(&scheme, ModelId::AlexNet, &cfg).expect("ok");
+        assert_eq!(*cached, direct);
+    }
+}

@@ -1,0 +1,106 @@
+//! [`TimingConfig`]: the replay simulator's policy and scenario knobs.
+//!
+//! The hardware itself (array geometries, latencies, issue intervals) comes
+//! from the evaluated [`smart_core::scheme::Scheme`]; this config carries
+//! the *simulation* choices that the analytic evaluator cannot express —
+//! how deep the double-buffering runs ahead, and how much of the RANDOM
+//! array's nominal bandwidth the replay is allowed to use (the
+//! constrained-bandwidth scenarios of the `timing_random_bandwidth`
+//! experiment).
+
+/// Replay policy knobs. All fields are integers so a config can key the
+/// [`crate::cache::TimingCache`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingConfig {
+    /// Double-buffer depth in iterations: the load for iteration `n` may
+    /// not begin before compute of iteration `n - depth` has finished
+    /// (its staging buffer is still occupied until then). Depth 1 is
+    /// classic double buffering; the ILP schedule's prefetch distances
+    /// only take full effect once `depth >= prefetch_window - 1`.
+    pub buffer_depth: u32,
+    /// RANDOM-array bandwidth scale in percent of nominal (100 = the
+    /// array's own issue interval and access latency). Values below 100
+    /// model a constrained / contended array; large values approximate an
+    /// ideal channel.
+    pub random_bandwidth_pct: u32,
+    /// DAG coarsening cap handed to [`smart_systolic::dag::LayerDag`]
+    /// (the experiment engine compiles with 6).
+    pub max_iterations: u32,
+}
+
+impl TimingConfig {
+    /// The nominal replay configuration: depth 3 (enough for the paper's
+    /// `a = 3` prefetch window), full RANDOM bandwidth, 6-iteration DAGs.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            buffer_depth: 3,
+            random_bandwidth_pct: 100,
+            max_iterations: 6,
+        }
+    }
+
+    /// This config with a different double-buffer depth (clamped to 1).
+    #[must_use]
+    pub fn with_depth(self, depth: u32) -> Self {
+        Self {
+            buffer_depth: depth.max(1),
+            ..self
+        }
+    }
+
+    /// This config with a different RANDOM bandwidth scale (clamped to 1%).
+    #[must_use]
+    pub fn with_bandwidth_pct(self, pct: u32) -> Self {
+        Self {
+            random_bandwidth_pct: pct.max(1),
+            ..self
+        }
+    }
+
+    /// The RANDOM time scale factor: service times are multiplied by
+    /// `100 / random_bandwidth_pct`.
+    #[must_use]
+    pub fn random_time_scale(&self) -> f64 {
+        100.0 / f64::from(self.random_bandwidth_pct.max(1))
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_paper_defaults() {
+        let c = TimingConfig::nominal();
+        assert_eq!(c.buffer_depth, 3);
+        assert_eq!(c.random_bandwidth_pct, 100);
+        assert_eq!(c.max_iterations, 6);
+        assert_eq!(c, TimingConfig::default());
+    }
+
+    #[test]
+    fn builders_clamp() {
+        assert_eq!(TimingConfig::nominal().with_depth(0).buffer_depth, 1);
+        assert_eq!(
+            TimingConfig::nominal()
+                .with_bandwidth_pct(0)
+                .random_bandwidth_pct,
+            1
+        );
+    }
+
+    #[test]
+    fn time_scale_inverts_bandwidth() {
+        let half = TimingConfig::nominal().with_bandwidth_pct(50);
+        assert!((half.random_time_scale() - 2.0).abs() < 1e-12);
+        let quad = TimingConfig::nominal().with_bandwidth_pct(400);
+        assert!((quad.random_time_scale() - 0.25).abs() < 1e-12);
+    }
+}

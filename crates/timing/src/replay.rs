@@ -1,0 +1,505 @@
+//! The cycle-level replay engine: one layer's word streams, realignments,
+//! spills, and compiler-scheduled prefetches replayed through the
+//! heterogeneous SPM on integer accelerator cycles.
+//!
+//! The model is a deterministic event replay over the layer's iteration
+//! DAG with three resources:
+//!
+//! * the **matrix unit**, busy `cycles_per_fold` per fold;
+//! * the per-class **SHIFT staging arrays**, streaming one word per lane
+//!   per SHIFT cycle — an iteration whose staging traffic outruns its
+//!   compute shows up as `stream_stall_cycles`;
+//! * the shared **RANDOM array channel**, a single arbitrated resource
+//!   (bank parallelism is folded into its word rate, exactly as in
+//!   `RandomArray::serve_stream`) that carries prefetch loads, fold-
+//!   boundary realignment accesses, and PSum spill round trips. The
+//!   arbitration is **demand-priority**: realignments, spills, and on-use
+//!   streams are served first, and prefetch loads fill the issue slots
+//!   left over (the internal `PriorityChannel`) — so a prefetch that
+//!   contends with a demand burst arrives late and stalls compute, the
+//!   effect the analytic evaluator's single `overlap_fraction` cannot
+//!   express.
+//!
+//! DRAM overflow traffic (working set beyond the RANDOM capacity) moves on
+//! its own channel at [`smart_core::config::DRAM_BANDWIDTH`], like the
+//! analytic model's separate DRAM path.
+//!
+//! Every stall is attributed to a [`DataClass`]: the class of the
+//! last-arriving prefetch, the class of the realignment that gated an
+//! iteration, PSums for spill overruns, inputs for DRAM thrash.
+
+use crate::config::TimingConfig;
+use crate::report::TimingReport;
+use smart_compiler::schedule::{Location, Schedule};
+use smart_core::config::DRAM_BANDWIDTH;
+use smart_core::eval::PSUM_SPILL_FACTOR;
+use smart_spm::hetero::HeterogeneousSpm;
+use smart_spm::service::SpmService;
+use smart_systolic::dag::LayerDag;
+use smart_systolic::mapping::LayerMapping;
+use smart_systolic::trace::{DataClass, LayerDemand};
+use smart_units::Frequency;
+
+/// Everything the replay needs to know about one compiled layer: the
+/// mapping, its derived demand, the iteration DAG, and the compiler
+/// schedule built *for that DAG*.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerInstance<'a> {
+    /// Layer name (copied into the report).
+    pub name: &'a str,
+    /// Weight-stationary mapping of the layer.
+    pub mapping: &'a LayerMapping,
+    /// Per-layer memory demand derived from the mapping.
+    pub demand: &'a LayerDemand,
+    /// The iteration DAG the schedule was compiled against.
+    pub dag: &'a LayerDag,
+    /// The compiler schedule to replay.
+    pub schedule: &'a Schedule,
+}
+
+/// One prefetch load command derived from the schedule.
+struct Load {
+    class: DataClass,
+    use_iteration: u32,
+    cycles: u64,
+}
+
+/// The RANDOM channel under demand-priority arbitration.
+///
+/// Demand traffic (realignments, PSum spills, on-use streams) is served
+/// work-conserving behind previous demand only; prefetch loads consume
+/// the *gaps* between demand bursts, FIFO among themselves. The model is
+/// optimistic for demand (a demand burst never waits on an in-flight
+/// prefetch — banks preempt per access), which is exactly the
+/// bank-conflict arbitration policy a prefetch engine would use.
+struct PriorityChannel {
+    /// Cursor behind which new demand queues.
+    demand_free: u64,
+    /// Demand busy intervals, non-overlapping, in start order.
+    intervals: Vec<(u64, u64)>,
+    /// Gap-time frontier for the prefetch FIFO.
+    prefetch_frontier: u64,
+    /// First interval the prefetch frontier has not yet passed.
+    interval_idx: usize,
+    /// Total busy cycles (demand + prefetch).
+    busy: u64,
+}
+
+impl PriorityChannel {
+    fn new() -> Self {
+        Self {
+            demand_free: 0,
+            intervals: Vec::new(),
+            prefetch_frontier: 0,
+            interval_idx: 0,
+            busy: 0,
+        }
+    }
+
+    /// Serves a demand burst requested at `request`; returns completion.
+    fn demand(&mut self, request: u64, work: u64) -> u64 {
+        let start = request.max(self.demand_free);
+        let done = start + work;
+        if work > 0 {
+            self.demand_free = done;
+            self.busy += work;
+            match self.intervals.last_mut() {
+                Some(last) if last.1 >= start => last.1 = done,
+                _ => self.intervals.push((start, done)),
+            }
+        }
+        done
+    }
+
+    /// Serves a prefetch load issued at `issue` from leftover issue slots;
+    /// returns completion.
+    fn prefetch(&mut self, issue: u64, work: u64) -> u64 {
+        let mut remaining = work;
+        let mut t = issue.max(self.prefetch_frontier);
+        self.busy += work;
+        while remaining > 0 {
+            while self
+                .intervals
+                .get(self.interval_idx)
+                .is_some_and(|&(_, end)| end <= t)
+            {
+                self.interval_idx += 1;
+            }
+            match self.intervals.get(self.interval_idx) {
+                Some(&(start, end)) if t >= start => {
+                    t = end;
+                    self.interval_idx += 1;
+                }
+                Some(&(start, end)) => {
+                    let gap = (start - t).min(remaining);
+                    t += gap;
+                    remaining -= gap;
+                    if remaining > 0 {
+                        t = end;
+                        self.interval_idx += 1;
+                    }
+                }
+                None => {
+                    t += remaining;
+                    remaining = 0;
+                }
+            }
+        }
+        self.prefetch_frontier = t;
+        t
+    }
+}
+
+/// Splits `total` across iterations proportionally to each iteration's
+/// fold share, exactly (prefix differences, so the shares sum to `total`).
+fn proportional_shares(total: u64, folds_per_iter: &[u64], folds_total: u64) -> Vec<u64> {
+    let mut shares = Vec::with_capacity(folds_per_iter.len());
+    let mut cum = 0u64;
+    let mut prev = 0u64;
+    for &f in folds_per_iter {
+        cum += f;
+        // total <= ~2^40 words and cum <= folds_total <= ~2^24, so the
+        // product fits u128 comfortably (and usually u64).
+        let upto = (u128::from(total) * u128::from(cum) / u128::from(folds_total)) as u64;
+        shares.push(upto - prev);
+        prev = upto;
+    }
+    shares
+}
+
+/// Replays one layer through the heterogeneous SPM under the compiler's
+/// schedule. Cycle counts are in accelerator clock cycles at `clock`.
+///
+/// # Panics
+///
+/// Panics if the instance's `dag`/`schedule` disagree on object count
+/// (they must come from the same compilation).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn replay_layer(
+    layer: &LayerInstance<'_>,
+    spm: &HeterogeneousSpm,
+    clock: Frequency,
+    cfg: &TimingConfig,
+) -> TimingReport {
+    let LayerInstance {
+        name,
+        mapping,
+        demand,
+        dag,
+        schedule,
+    } = *layer;
+    assert_eq!(
+        dag.objects.len(),
+        schedule.placements.len(),
+        "schedule must belong to this DAG"
+    );
+    let period = clock.period().as_s();
+    let cycles_of = |seconds: f64| -> u64 {
+        debug_assert!(seconds >= 0.0);
+        (seconds / period).ceil() as u64
+    };
+    let scale = cfg.random_time_scale();
+    let random = &spm.random;
+    let rd_latency = random.effective_read_latency().as_s() * scale;
+    let wr_latency = random.write_latency.as_s() * scale;
+    let word_interval = random.issue_interval.as_s() * scale / f64::from(random.banks);
+    let random_read = |words: u64| -> u64 {
+        if words == 0 {
+            0
+        } else {
+            cycles_of(rd_latency + (words - 1) as f64 * word_interval)
+        }
+    };
+    let random_write = |words: u64| -> u64 {
+        if words == 0 {
+            0
+        } else {
+            cycles_of(wr_latency + (words - 1) as f64 * word_interval)
+        }
+    };
+
+    // --- Per-iteration static demand -----------------------------------
+    let iterations = dag.iterations as usize;
+    let folds_total = mapping.folds().max(1);
+    let base = folds_total / iterations as u64;
+    let rem = (folds_total % iterations as u64) as usize;
+    let folds_per_iter: Vec<u64> = (0..iterations).map(|n| base + u64::from(n < rem)).collect();
+
+    let share = |total: u64| proportional_shares(total, &folds_per_iter, folds_total);
+    let in_words = share(demand.reads_of(DataClass::Input));
+    let out_words = share(demand.writes_of(DataClass::Output));
+    let w_words = share(demand.reads_of(DataClass::Weight));
+
+    // PSum spill round trips (same working-set criterion as the analytic
+    // `serve_hetero`).
+    let psum_ws = mapping.live_output_bytes / mapping.m_folds.max(1);
+    let psum_words = demand.reads_of(DataClass::Psum) + demand.writes_of(DataClass::Psum);
+    let spill_total = if psum_ws > spm.output_shift.capacity_bytes() {
+        (psum_words as f64 * PSUM_SPILL_FACTOR) as u64
+    } else {
+        0
+    };
+    let spill_words = share(spill_total);
+
+    // DRAM overflow of the activation working set.
+    let working_set = mapping.live_input_bytes + mapping.live_output_bytes;
+    let dram_bytes = share(working_set.saturating_sub(random.capacity_bytes));
+
+    // Fold-boundary realignment accesses, one RANDOM access latency each.
+    let realign_access = cycles_of(rd_latency);
+    let realigns: Vec<(DataClass, Vec<u64>)> = demand
+        .realignments
+        .iter()
+        .map(|r| (r.class, share(r.count)))
+        .collect();
+
+    // --- Prefetch loads and on-use streams from the schedule -----------
+    let depth = cfg.buffer_depth.max(1);
+    let mut loads_by_iter: Vec<Vec<Load>> = (0..iterations).map(|_| Vec::new()).collect();
+    // Objects the schedule left in DRAM stream through the RANDOM array
+    // *during* their use iteration instead (the evaluator's no-thrashing
+    // assumption: per-layer loads never wait on raw DRAM bandwidth, but an
+    // unprefetchable stream can still outlive its iteration's compute).
+    let mut streams_by_iter: Vec<Vec<(DataClass, u64)>> =
+        (0..iterations).map(|_| Vec::new()).collect();
+    for o in &dag.objects {
+        if o.class == DataClass::Output {
+            continue; // outputs drain asynchronously
+        }
+        let ls = &schedule.lifespans[o.id as usize];
+        match schedule.location_of(o.id) {
+            // SPM-resident objects load through the RANDOM array, as early
+            // as the schedule allows and the double buffer permits.
+            Location::Shift | Location::Random => {
+                let issue_at = ls
+                    .fetch_iteration
+                    .max(ls.use_iteration.saturating_sub(depth));
+                loads_by_iter[issue_at.min(dag.iterations - 1) as usize].push(Load {
+                    class: o.class,
+                    use_iteration: ls.use_iteration,
+                    cycles: random_read(o.bytes),
+                });
+            }
+            Location::Dram => {
+                streams_by_iter[ls.use_iteration.min(dag.iterations - 1) as usize]
+                    .push((o.class, random_read(o.bytes)));
+            }
+        }
+    }
+    for list in &mut loads_by_iter {
+        list.sort_by_key(|l| (l.use_iteration, l.class as u32));
+    }
+    for list in &mut streams_by_iter {
+        list.sort_by_key(|&(class, _)| class as u32);
+    }
+
+    // --- The replay ----------------------------------------------------
+    let mut prev_end = 0u64;
+    let mut channel = PriorityChannel::new();
+    let mut dram_free = 0u64;
+    let mut prefetch_work = 0u64;
+    let mut prefetch_stall = 0u64;
+    let mut compute_cycles = 0u64;
+    let mut stream_stall = 0u64;
+    let mut exposed = [0u64; 4];
+    // Completion times of in-flight loads, keyed by use iteration.
+    let mut pending: Vec<(u32, DataClass, u64)> = Vec::new();
+    // Realignment completion gate for the next iteration.
+    let mut realign_gate: Option<(u64, DataClass)> = None;
+
+    let class_idx = |c: DataClass| DataClass::ALL.iter().position(|&x| x == c).expect("class");
+
+    for n in 0..iterations {
+        // 1. Launch this boundary's prefetches. They fill the RANDOM
+        // channel's leftover issue slots, overlapping compute of this and
+        // later iterations.
+        for load in &loads_by_iter[n] {
+            let done = channel.prefetch(prev_end, load.cycles);
+            prefetch_work += load.cycles;
+            pending.push((load.use_iteration, load.class, done));
+        }
+
+        // 2. Compute may start once its operands arrived and the previous
+        // boundary's realignments finished.
+        let mut start = prev_end;
+        let mut stall_source: Option<(DataClass, bool)> = None;
+        if let Some((done, class)) = realign_gate.take() {
+            if done > start {
+                start = done;
+                stall_source = Some((class, false));
+            }
+        }
+        for &(use_iter, class, done) in &pending {
+            if use_iter == n as u32 && done > start {
+                start = done;
+                stall_source = Some((class, true));
+            }
+        }
+        pending.retain(|&(use_iter, ..)| use_iter > n as u32);
+        let stall = start - prev_end;
+        if stall > 0 {
+            let (class, is_load) = stall_source.expect("a stall has a source");
+            exposed[class_idx(class)] += stall;
+            if is_load {
+                prefetch_stall += stall;
+            }
+        }
+
+        // 3. The iteration runs at the slower of compute and staging
+        // streaming.
+        let compute = folds_per_iter[n] * mapping.cycles_per_fold;
+        compute_cycles += compute;
+        let svc_in = cycles_of(spm.input_shift.serve_stream(in_words[n], false).time.as_s());
+        let svc_out = cycles_of(
+            spm.output_shift
+                .serve_stream(out_words[n], true)
+                .time
+                .as_s(),
+        );
+        let svc_w = cycles_of(spm.weight_shift.serve_stream(w_words[n], false).time.as_s());
+        let dur = compute.max(svc_in).max(svc_out).max(svc_w);
+        stream_stall += dur - compute;
+        let mut end = start + dur;
+
+        // 4. Demand traffic of this iteration: unprefetchable (DRAM-
+        // placed) object streams, PSum spill round trips, and DRAM
+        // overflow must finish before the iteration retires.
+        for &(class, cyc) in &streams_by_iter[n] {
+            let done = channel.demand(start, cyc);
+            if done > end {
+                exposed[class_idx(class)] += done - end;
+                end = done;
+            }
+        }
+        if spill_words[n] > 0 {
+            let rd = random_read(spill_words[n] / 2);
+            let wr = random_write(spill_words[n] - spill_words[n] / 2);
+            let done = channel.demand(start, rd + wr);
+            if done > end {
+                exposed[class_idx(DataClass::Psum)] += done - end;
+                end = done;
+            }
+        }
+        if dram_bytes[n] > 0 {
+            let cyc = cycles_of(dram_bytes[n] as f64 / DRAM_BANDWIDTH);
+            let s = start.max(dram_free);
+            let done = s + cyc;
+            dram_free = done;
+            if done > end {
+                exposed[class_idx(DataClass::Input)] += done - end;
+                end = done;
+            }
+        }
+
+        // 5. This iteration's fold-boundary realignments: the alignment
+        // unit works ahead during compute, but the repositioning must be
+        // done before the next iteration consumes the arrays.
+        for (class, counts) in &realigns {
+            let work = counts[n] * realign_access;
+            if work == 0 {
+                continue;
+            }
+            let done = channel.demand(start, work);
+            if realign_gate.is_none_or(|(t, _)| done > t) {
+                realign_gate = Some((done, *class));
+            }
+        }
+
+        prev_end = end;
+    }
+
+    TimingReport {
+        name: name.to_owned(),
+        total_cycles: prev_end,
+        compute_cycles,
+        stream_stall_cycles: stream_stall,
+        exposed_stall_cycles: exposed,
+        prefetch_work_cycles: prefetch_work,
+        prefetch_stall_cycles: prefetch_stall,
+        random_busy_cycles: channel.busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_compiler::formulation::{compile_layer, FormulationParams};
+    use smart_systolic::layer::ConvLayer;
+    use smart_systolic::mapping::ArrayShape;
+
+    fn fixture(cfg: &TimingConfig) -> TimingReport {
+        let layer = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let mapping = LayerMapping::map(&layer, ArrayShape::new(64, 256), 1);
+        let demand = LayerDemand::derive(&layer, &mapping);
+        let dag = LayerDag::build(&mapping, cfg.max_iterations);
+        let schedule = compile_layer(&dag, &FormulationParams::smart_default());
+        let spm = HeterogeneousSpm::smart_default();
+        replay_layer(
+            &LayerInstance {
+                name: &layer.name,
+                mapping: &mapping,
+                demand: &demand,
+                dag: &dag,
+                schedule: &schedule,
+            },
+            &spm,
+            Frequency::from_ghz(52.6),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let r = fixture(&TimingConfig::nominal());
+        assert!(r.is_consistent(), "{r:?}");
+        assert!(r.total_cycles >= r.compute_cycles);
+    }
+
+    #[test]
+    fn compute_cycles_match_mapping() {
+        let layer = ConvLayer::conv("conv2", 27, 27, 96, 256, 5, 1, 2);
+        let mapping = LayerMapping::map(&layer, ArrayShape::new(64, 256), 1);
+        let r = fixture(&TimingConfig::nominal());
+        assert_eq!(r.compute_cycles, mapping.compute_cycles());
+    }
+
+    #[test]
+    fn constrained_bandwidth_never_faster() {
+        let nominal = fixture(&TimingConfig::nominal());
+        let slow = fixture(&TimingConfig::nominal().with_bandwidth_pct(10));
+        assert!(slow.total_cycles >= nominal.total_cycles);
+        assert!(slow.exposed_total() >= nominal.exposed_total());
+    }
+
+    #[test]
+    fn deeper_buffer_never_slower() {
+        let shallow = fixture(&TimingConfig::nominal().with_depth(1));
+        let deep = fixture(&TimingConfig::nominal().with_depth(4));
+        assert!(deep.total_cycles <= shallow.total_cycles);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = fixture(&TimingConfig::nominal());
+        let b = fixture(&TimingConfig::nominal());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_grows_when_bandwidth_shrinks() {
+        let nominal = fixture(&TimingConfig::nominal());
+        let slow = fixture(&TimingConfig::nominal().with_bandwidth_pct(25));
+        assert!(slow.random_busy_cycles > nominal.random_busy_cycles);
+    }
+
+    #[test]
+    fn proportional_shares_are_exact() {
+        let folds = [7u64, 7, 7, 7, 7, 3];
+        let shares = proportional_shares(1_000_003, &folds, 38);
+        assert_eq!(shares.iter().sum::<u64>(), 1_000_003);
+        assert_eq!(shares.len(), folds.len());
+        // Rough proportionality.
+        assert!(shares[0] > shares[5]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Scheme-level simulation and cross-validation against the analytic
+//! evaluator.
+//!
+//! [`simulate_scheme`] compiles every layer of a model with the ILP
+//! compiler (the same Eq. 5/6 formulation the experiments use) and replays
+//! the resulting schedules through the scheme's heterogeneous SPM.
+//!
+//! [`stall_free_variant`] builds the *validation twin* of a scheme: the
+//! same geometry with an idealized RANDOM array (vanishing access latency
+//! and issue interval). On that twin the analytic evaluator exposes no
+//! memory time and the replay hides every prefetch, so the two must agree
+//! on every layer — [`max_layer_deviation`] measures how closely they do.
+//! On the *real* array the replay sees arbitration and late prefetches the
+//! analytic `overlap_fraction` cannot, which is the simulator's purpose.
+
+use crate::cache::TimingCache;
+use crate::config::TimingConfig;
+use crate::replay::{replay_layer, LayerInstance};
+use crate::report::{ModelTimingReport, TimingReport};
+use smart_compiler::formulation::{compile_layer_ctx, FormulationParams};
+use smart_compiler::SolverContext;
+use smart_core::eval::evaluate;
+use smart_core::scheme::{AllocationPolicy, Scheme, SpmOrganization};
+use smart_spm::hetero::HeterogeneousSpm;
+use smart_systolic::dag::LayerDag;
+use smart_systolic::layer::CnnModel;
+use smart_systolic::mapping::LayerMapping;
+use smart_systolic::trace::LayerDemand;
+use smart_units::{Result, SmartError, Time};
+
+/// The scheme's heterogeneous SPM, or a typed error for organizations the
+/// replay simulator does not model (ideal, pure-SHIFT, pure-RANDOM).
+///
+/// # Errors
+///
+/// [`SmartError::InvalidInput`] unless the scheme is heterogeneous.
+pub fn hetero_spm(scheme: &Scheme) -> Result<&HeterogeneousSpm> {
+    match &scheme.spm {
+        SpmOrganization::Heterogeneous(spm) => Ok(spm),
+        other => Err(SmartError::invalid_input(format!(
+            "timing replay needs a heterogeneous SPM; scheme {} has {other:?}",
+            scheme.name
+        ))),
+    }
+}
+
+/// The scheme's prefetch window: the ILP `a` for prefetching policies, 1
+/// (no prefetch) for static allocation.
+#[must_use]
+pub fn prefetch_window(policy: AllocationPolicy) -> u32 {
+    match policy {
+        AllocationPolicy::Static => 1,
+        AllocationPolicy::Prefetch { window } => window.max(1),
+    }
+}
+
+/// Formulation parameters matching a scheme's SPM geometry and policy, so
+/// the replayed schedules are compiled against the hardware they run on.
+#[must_use]
+pub fn params_for(spm: &HeterogeneousSpm, policy: AllocationPolicy) -> FormulationParams {
+    FormulationParams {
+        shift_capacity: spm.input_shift.capacity_bytes(),
+        random_capacity: spm.random.capacity_bytes,
+        random_banks: spm.random.banks,
+        prefetch_window: prefetch_window(policy),
+        ..FormulationParams::smart_default()
+    }
+}
+
+/// Compiles and replays every layer of `model` on `scheme`. Layers run
+/// sequentially through one shared [`SolverContext`] so adjacent
+/// compilations warm-start, and the whole function is deterministic.
+///
+/// # Errors
+///
+/// [`SmartError::InvalidInput`] when the scheme's SPM is not
+/// heterogeneous.
+pub fn simulate_scheme(
+    scheme: &Scheme,
+    model: &CnnModel,
+    cfg: &TimingConfig,
+) -> Result<ModelTimingReport> {
+    let spm = hetero_spm(scheme)?;
+    let params = params_for(spm, scheme.policy);
+    let solver = SolverContext::new();
+    let layers: Vec<TimingReport> = model
+        .layers
+        .iter()
+        .map(|layer| {
+            let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
+            let demand = LayerDemand::derive(layer, &mapping);
+            let dag = LayerDag::build(&mapping, cfg.max_iterations);
+            let schedule = compile_layer_ctx(&dag, &params, &solver);
+            replay_layer(
+                &LayerInstance {
+                    name: &layer.name,
+                    mapping: &mapping,
+                    demand: &demand,
+                    dag: &dag,
+                    schedule: &schedule,
+                },
+                spm,
+                scheme.config.frequency,
+                cfg,
+            )
+        })
+        .collect();
+    Ok(ModelTimingReport {
+        scheme: scheme.name,
+        model: model.name.clone(),
+        clock: scheme.config.frequency,
+        layers,
+    })
+}
+
+/// The validation twin of a scheme: same SPM geometry with an idealized
+/// RANDOM array (attosecond access latency and issue interval). The
+/// analytic evaluator and the replay simulator must agree on this twin —
+/// every RANDOM-side term vanishes on both sides, leaving only compute and
+/// SHIFT streaming, which both model word-exactly.
+///
+/// # Errors
+///
+/// [`SmartError::InvalidInput`] when the scheme's SPM is not
+/// heterogeneous.
+pub fn stall_free_variant(scheme: &Scheme) -> Result<Scheme> {
+    let spm = hetero_spm(scheme)?;
+    let mut idealized = *spm;
+    let ideal = Time::from_s(1e-18);
+    idealized.random.read_latency = ideal;
+    idealized.random.write_latency = ideal;
+    idealized.random.issue_interval = ideal;
+    Ok(Scheme {
+        spm: SpmOrganization::Heterogeneous(idealized),
+        ..scheme.clone()
+    })
+}
+
+/// Cross-validates the replay against the analytic evaluator on the
+/// stall-free twin of `scheme`: returns the maximum relative deviation of
+/// per-layer total latency (and of the model total) between
+/// [`simulate_scheme`] and [`evaluate`].
+///
+/// # Errors
+///
+/// [`SmartError::InvalidInput`] when the scheme's SPM is not
+/// heterogeneous.
+pub fn max_layer_deviation(scheme: &Scheme, model: &CnnModel, cfg: &TimingConfig) -> Result<f64> {
+    let twin = stall_free_variant(scheme)?;
+    let sim = simulate_scheme(&twin, model, cfg)?;
+    let analytic = evaluate(&twin, model, 1);
+    let mut worst: f64 = 0.0;
+    for (s, a) in sim.layers.iter().zip(&analytic.layers) {
+        let sim_t = s.total_time(sim.clock).as_s();
+        let ana_t = a.total.as_s();
+        worst = worst.max((sim_t - ana_t).abs() / ana_t.max(1e-30));
+    }
+    let sim_total = sim.total_time().as_s();
+    let ana_total = analytic.total_time.as_s();
+    worst = worst.max((sim_total - ana_total).abs() / ana_total.max(1e-30));
+    Ok(worst)
+}
+
+/// Memoized [`simulate_scheme`] for a model id (the entry point the
+/// experiment builders use through [`TimingCache`]).
+///
+/// # Errors
+///
+/// As for [`simulate_scheme`].
+pub fn simulate_model(
+    cache: &TimingCache,
+    scheme: &Scheme,
+    model: smart_systolic::models::ModelId,
+    cfg: &TimingConfig,
+) -> Result<std::sync::Arc<ModelTimingReport>> {
+    cache.report(scheme, model, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_systolic::models::ModelId;
+
+    #[test]
+    fn non_heterogeneous_schemes_are_rejected() {
+        let err = simulate_scheme(
+            &Scheme::supernpu(),
+            &ModelId::AlexNet.build(),
+            &TimingConfig::nominal(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SmartError::InvalidInput { .. }), "{err}");
+        assert!(hetero_spm(&Scheme::tpu()).is_err());
+    }
+
+    #[test]
+    fn params_follow_scheme_geometry() {
+        let scheme = Scheme::smart();
+        let spm = hetero_spm(&scheme).expect("hetero");
+        let p = params_for(spm, scheme.policy);
+        assert_eq!(p.shift_capacity, 32 * 1024);
+        assert_eq!(p.random_capacity, 28 * 1024 * 1024);
+        assert_eq!(p.random_banks, 256);
+        assert_eq!(p.prefetch_window, 3);
+        assert_eq!(params_for(spm, AllocationPolicy::Static).prefetch_window, 1);
+    }
+
+    #[test]
+    fn simulate_smart_alexnet_is_consistent() {
+        let report = simulate_scheme(
+            &Scheme::smart(),
+            &ModelId::AlexNet.build(),
+            &TimingConfig::nominal(),
+        )
+        .expect("simulates");
+        assert_eq!(report.layers.len(), 8);
+        for l in &report.layers {
+            assert!(l.is_consistent(), "{}: {l:?}", l.name);
+            assert!(l.total_cycles > 0);
+        }
+        assert!(report.total_time().as_s() > 0.0);
+    }
+
+    #[test]
+    fn stall_free_twin_agrees_with_analytic_within_1pct() {
+        let model = ModelId::AlexNet.build();
+        for scheme in [Scheme::heter(), Scheme::pipe(), Scheme::smart()] {
+            let dev = max_layer_deviation(&scheme, &model, &TimingConfig::nominal())
+                .expect("heterogeneous");
+            assert!(dev < 0.01, "{}: deviation {:.4}", scheme.name, dev);
+        }
+    }
+
+    #[test]
+    fn simulated_total_never_beats_analytic_ideal() {
+        let model = ModelId::AlexNet.build();
+        let scheme = Scheme::smart();
+        let sim = simulate_scheme(&scheme, &model, &TimingConfig::nominal()).expect("simulates");
+        for (s, layer) in sim.layers.iter().zip(&model.layers) {
+            let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
+            assert!(
+                s.compute_cycles == mapping.compute_cycles(),
+                "{}: compute drifted",
+                layer.name
+            );
+            assert!(s.total_cycles >= mapping.compute_cycles());
+        }
+    }
+}

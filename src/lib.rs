@@ -13,6 +13,7 @@
 //! * [`ilp`] — 0/1 integer linear programming solver
 //! * [`compiler`] — ILP-based SPM allocation and prefetching compiler
 //! * [`core`] — end-to-end schemes and evaluation
+//! * [`timing`] — cycle-level SPM/systolic replay simulator
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -25,6 +26,7 @@ pub use smart_josim as josim;
 pub use smart_sfq as sfq;
 pub use smart_spm as spm;
 pub use smart_systolic as systolic;
+pub use smart_timing as timing;
 pub use smart_units as units;
 
 pub use smart_units::{Result, SmartError};

@@ -206,6 +206,80 @@ proptest! {
         prop_assert_eq!(&*again, &direct);
     }
 
+    /// The cycle-level replay is bounded below by the analytic compute
+    /// ideal on random layer/mapping pairs, and its cycle accounting
+    /// identity holds.
+    #[test]
+    fn timing_replay_bounded_below_by_compute(
+        hw in 8u32..40,
+        in_c in 8u32..128,
+        out_c in 16u32..256,
+        kernel in 1u32..4,
+        depth in 1u32..5,
+    ) {
+        use smart::core::scheme::Scheme;
+        use smart::systolic::layer::{CnnModel, ConvLayer};
+        use smart::timing::{simulate_scheme, TimingConfig};
+
+        let layer = ConvLayer::conv("p", hw, hw, in_c, out_c, kernel, 1, 1);
+        let mapping = LayerMapping::map(&layer, ArrayShape::new(64, 256), 1);
+        let model = CnnModel::new("p", vec![layer]);
+        let cfg = TimingConfig::nominal().with_depth(depth);
+        let sim = simulate_scheme(&Scheme::smart(), &model, &cfg).expect("heterogeneous");
+        let report = &sim.layers[0];
+        prop_assert!(report.is_consistent(), "{report:?}");
+        prop_assert_eq!(report.compute_cycles, mapping.compute_cycles());
+        prop_assert!(report.total_cycles >= mapping.compute_cycles());
+        prop_assert!(report.random_occupancy() >= 0.0 && report.random_occupancy() <= 1.0);
+    }
+
+    /// In the stall-free regime (idealized RANDOM twin, buffer depth
+    /// covering the prefetch window) the replay agrees with the analytic
+    /// evaluator within 1% on random layer/window pairs.
+    #[test]
+    fn timing_stall_free_matches_analytic(
+        hw in 8u32..40,
+        in_c in 8u32..128,
+        out_c in 16u32..256,
+        window in 1u32..5,
+    ) {
+        use smart::core::scheme::{AllocationPolicy, Scheme};
+        use smart::systolic::layer::{CnnModel, ConvLayer};
+        use smart::timing::{max_layer_deviation, TimingConfig};
+
+        let layer = ConvLayer::conv("p", hw, hw, in_c, out_c, 3, 1, 1);
+        let model = CnnModel::new("p", vec![layer]);
+        let mut scheme = Scheme::smart();
+        scheme.policy = AllocationPolicy::Prefetch { window };
+        let cfg = TimingConfig::nominal().with_depth(window.max(1));
+        let dev = max_layer_deviation(&scheme, &model, &cfg).expect("heterogeneous");
+        prop_assert!(dev < 0.01, "stall-free deviation {dev:.4}");
+    }
+
+    /// The replay simulator is a pure function: repeated simulations of
+    /// the same `(scheme, model, config)` point are identical whether
+    /// they go through the memoized cache or not (the `--jobs` fan-outs
+    /// of the timing experiments rely on this).
+    #[test]
+    fn timing_replay_deterministic_through_cache(
+        pct_idx in 0usize..3,
+        depth in 1u32..4,
+    ) {
+        use smart::core::scheme::Scheme;
+        use smart::systolic::models::ModelId;
+        use smart::timing::{simulate_scheme, TimingCache, TimingConfig};
+
+        let pct = [25u32, 50, 100][pct_idx];
+        let cfg = TimingConfig::nominal().with_depth(depth).with_bandwidth_pct(pct);
+        let scheme = Scheme::smart();
+        let cache = TimingCache::new();
+        let direct = simulate_scheme(&scheme, &ModelId::AlexNet.build(), &cfg).expect("ok");
+        let cached = cache.report(&scheme, ModelId::AlexNet, &cfg).expect("ok");
+        let again = cache.report(&scheme, ModelId::AlexNet, &cfg).expect("ok");
+        prop_assert_eq!(&*cached, &direct);
+        prop_assert_eq!(&*again, &direct);
+    }
+
     /// SHIFT stream energy scales linearly with words.
     #[test]
     fn shift_energy_linear(words in 1u64..100_000) {
