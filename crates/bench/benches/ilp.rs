@@ -3,8 +3,11 @@
 //! memoized evaluator cache, the `parallel_map` worker pool, the
 //! `josim_*` transient-circuit kernels (PR 4: the adaptive sparse MNA
 //! engine against the seed fixed-step dense engine on identical JTL and
-//! PTL netlists), and the `timing_*` cycle-level replay kernels (PR 5:
-//! one-layer replay and cold full-model compile + replay).
+//! PTL netlists), the `timing_*` cycle-level replay kernels (PR 5:
+//! one-layer replay and cold full-model compile + replay), and the
+//! incremental-sweep paths (PR 6: delta replay and the batched
+//! struct-of-arrays kernel against per-point simulation, plus the
+//! process-level cold-vs-warm `--cache-dir` comparison).
 //!
 //! Run it and refresh the committed baseline with:
 //!
@@ -22,7 +25,7 @@
 //! when the reference machine changes, not to absorb a regression.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smart_bench::{ablation_ilp_vs_greedy, ExperimentContext};
+use smart_bench::{ablation_ilp_vs_greedy, run_experiments, ExperimentContext};
 use smart_compiler::formulation::{compile_layer_ctx, FormulationParams};
 use smart_core::cache::EvalCache;
 use smart_core::scheme::Scheme;
@@ -222,6 +225,87 @@ fn bench_timing_full_model_replay(c: &mut Criterion) {
     });
 }
 
+/// A 16-point RANDOM-bandwidth sweep of AlexNet on SMART, three ways:
+///
+/// * `per_point_16pt` — one full `simulate_scheme` (ILP compile + replay)
+///   per point, the pre-PR-6 cost of a sweep;
+/// * `delta_16pt` — one `prepare_model` then 16 cheap finish passes
+///   (delta replay);
+/// * `batched_16pt` — one `prepare_model` then one pass of the
+///   struct-of-arrays kernel over all 16 lanes;
+/// * `batched_warm_16pt` — the kernel alone, prepass prebuilt (the cost a
+///   warm-process sweep actually pays per uncached config batch).
+///
+/// The PR-6 acceptance target is `delta`/`batched` >= 5x over `per_point`.
+fn bench_timing_sweep(c: &mut Criterion) {
+    use smart_timing::{prepare_model, replay_sweep, simulate_scheme, TimingConfig};
+
+    let model = ModelId::AlexNet.build();
+    let scheme = Scheme::smart();
+    let nominal = TimingConfig::nominal();
+    let cfgs: Vec<TimingConfig> = (1..=16)
+        .map(|i| nominal.with_bandwidth_pct(i * 25))
+        .collect();
+
+    let mut g = c.benchmark_group("timing_sweep");
+    g.bench_function("per_point_16pt", |b| {
+        b.iter(|| {
+            for cfg in &cfgs {
+                black_box(simulate_scheme(&scheme, &model, cfg).expect("simulates"));
+            }
+        })
+    });
+    g.bench_function("delta_16pt", |b| {
+        b.iter(|| {
+            let prepass = prepare_model(&scheme, &model, nominal.max_iterations).expect("prepares");
+            for cfg in &cfgs {
+                black_box(prepass.replay(cfg));
+            }
+        })
+    });
+    g.bench_function("batched_16pt", |b| {
+        b.iter(|| {
+            let prepass = prepare_model(&scheme, &model, nominal.max_iterations).expect("prepares");
+            black_box(replay_sweep(&prepass, &cfgs))
+        })
+    });
+    let prepass = prepare_model(&scheme, &model, nominal.max_iterations).expect("prepares");
+    g.bench_function("batched_warm_16pt", |b| {
+        b.iter(|| black_box(replay_sweep(black_box(&prepass), &cfgs)))
+    });
+    g.finish();
+}
+
+/// Process-level cold vs warm: the two timing sweep experiments run with a
+/// fresh context (cold) against a fresh context that first loads the
+/// persisted stores a previous run saved (`--cache-dir` warm). The PR-6
+/// acceptance target is warm >= 2x over cold.
+fn bench_cold_vs_warm_process(c: &mut Criterion) {
+    let selection = ["timing_random_bandwidth", "timing_buffer_depth"];
+    let dir = std::env::temp_dir().join(format!("smart-bench-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let seed = ExperimentContext::single_threaded();
+    let _ = run_experiments(&selection, &seed);
+    seed.save_caches(&dir).expect("saves");
+
+    let mut g = c.benchmark_group("cold_vs_warm_process");
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let ctx = ExperimentContext::single_threaded();
+            black_box(run_experiments(&selection, &ctx))
+        })
+    });
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let ctx = ExperimentContext::single_threaded();
+            ctx.load_caches(&dir);
+            black_box(run_experiments(&selection, &ctx))
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     benches,
     bench_ilp_ablation,
@@ -235,5 +319,7 @@ criterion_group!(
     bench_josim_ptl_adaptive,
     bench_timing_vgg_layer_replay,
     bench_timing_full_model_replay,
+    bench_timing_sweep,
+    bench_cold_vs_warm_process,
 );
 criterion_main!(benches);

@@ -14,9 +14,13 @@
 //! * `--json` / `--csv` — typed output instead of the fixed-width text,
 //! * `--check` — after running, fail (exit 1) if any table contains a
 //!   non-finite numeric cell (the CI smoke gate),
+//! * `--cache-dir DIR` — load the persistent eval/circuit/timing/basis
+//!   stores from `DIR` before running and save them back after, so a
+//!   repeated run starts warm (byte-identical output, much faster),
 //! * `--list` — print experiment names and exit.
 
 use smart_bench::{experiment_names, run_experiments, ExperimentContext};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut format = Format::Text;
     let mut check = false;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -56,8 +61,17 @@ fn main() -> ExitCode {
                 };
                 jobs = Some(n);
             }
+            "--cache-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--cache-dir needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                cache_dir = Some(PathBuf::from(dir));
+            }
             other if other.starts_with("--") => {
-                eprintln!("unknown flag `{other}`; flags: --list --jobs N --json --csv --check");
+                eprintln!(
+                    "unknown flag `{other}`; flags: --list --jobs N --json --csv --check --cache-dir DIR"
+                );
                 return ExitCode::FAILURE;
             }
             name => selected.push(name.to_owned()),
@@ -80,7 +94,23 @@ fn main() -> ExitCode {
     };
 
     let ctx = jobs.map_or_else(ExperimentContext::default, ExperimentContext::new);
+    if let Some(dir) = &cache_dir {
+        let warm = ctx.load_caches(dir);
+        eprintln!(
+            "cache-dir: {} warm entries loaded ({} eval, {} circuit, {} timing, {} bases)",
+            warm.total(),
+            warm.eval,
+            warm.circuits,
+            warm.timing,
+            warm.bases
+        );
+    }
     let tables = run_experiments(&selected, &ctx);
+    if let Some(dir) = &cache_dir {
+        if let Err(e) = ctx.save_caches(dir) {
+            eprintln!("cache-dir: save failed: {e}");
+        }
+    }
 
     match format {
         Format::Text => {

@@ -688,7 +688,7 @@ pub fn table4_configs(_ctx: &ExperimentContext) -> ResultTable {
 /// all AlexNet layers (the software half of SMART's gain over Pipe).
 #[must_use]
 pub fn ablation_ilp_vs_greedy(ctx: &ExperimentContext) -> ResultTable {
-    use smart_compiler::formulation::{compile_layer, FormulationParams};
+    use smart_compiler::formulation::{compile_layer_ctx, FormulationParams};
     use smart_compiler::greedy::allocate;
     use smart_compiler::lifespan::analyze;
     use smart_systolic::dag::LayerDag;
@@ -707,6 +707,10 @@ pub fn ablation_ilp_vs_greedy(ctx: &ExperimentContext) -> ResultTable {
         ColumnSpec::right("gain", 8),
     ];
     // Per-layer ILP and greedy compilations are independent; fan them out.
+    // The shared solver context both warm-starts root relaxations and —
+    // under `--cache-dir` — replays whole solves from the persisted
+    // solution memo, which is what makes this experiment near-free warm.
+    let solver = ctx.timing.solver();
     let scenario = Scenario::over(
         "ablation_ilp_vs_greedy",
         &["layer"],
@@ -715,7 +719,7 @@ pub fn ablation_ilp_vs_greedy(ctx: &ExperimentContext) -> ResultTable {
     let compiled = scenario.run(ctx.jobs, |layer| {
         let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
         let dag = LayerDag::build(&mapping, 6);
-        let ilp = compile_layer(&dag, &params);
+        let ilp = compile_layer_ctx(&dag, &params, solver);
         let greedy = allocate(&dag, &params, analyze(&dag, params.prefetch_window));
         (layer.name.clone(), ilp.objective, greedy.objective)
     });
@@ -747,7 +751,7 @@ pub fn ablation_ilp_vs_greedy(ctx: &ExperimentContext) -> ResultTable {
     let contested = scenario.run(ctx.jobs, |layer| {
         let mapping = LayerMapping::map(layer, ArrayShape::new(64, 256), 1);
         let dag = LayerDag::build(&mapping, 6);
-        let ilp = compile_layer(&dag, &tight).objective;
+        let ilp = compile_layer_ctx(&dag, &tight, solver).objective;
         let greedy = allocate(&dag, &tight, analyze(&dag, tight.prefetch_window)).objective;
         (ilp, greedy)
     });
@@ -1138,13 +1142,25 @@ pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
 #[must_use]
 pub fn timing_buffer_depth(ctx: &ExperimentContext) -> ResultTable {
     let base = smart_timing::TimingConfig::nominal().with_bandwidth_pct(50);
-    let scenario = Scenario::over("timing_buffer_depth", &["depth"], vec![1u32, 2, 3, 4, 5]);
-    let points = scenario.run(ctx.jobs, |&depth| {
-        let cfg = base.with_depth(depth);
-        let alex = timing_replay(ctx, ModelId::AlexNet, &cfg);
-        let vgg = timing_replay(ctx, ModelId::Vgg16, &cfg);
-        (depth, alex, vgg)
-    });
+    let depths = [1u32, 2, 3, 4, 5];
+    let cfgs: Vec<smart_timing::TimingConfig> =
+        depths.iter().map(|&d| base.with_depth(d)).collect();
+    // One batched sweep per model: each pays a single ILP compile and one
+    // pass of the struct-of-arrays replay kernel for all its uncached
+    // depths (bit-identical to per-point replays).
+    let alex = ctx
+        .timing
+        .sweep(&Scheme::smart(), ModelId::AlexNet, &cfgs)
+        .expect("SMART is heterogeneous");
+    let vgg = ctx
+        .timing
+        .sweep(&Scheme::smart(), ModelId::Vgg16, &cfgs)
+        .expect("SMART is heterogeneous");
+    let points: Vec<_> = depths
+        .iter()
+        .zip(alex.into_iter().zip(vgg))
+        .map(|(&depth, (a, v))| (depth, a, v))
+        .collect();
 
     let mut t = ResultTable::new(
         "timing_buffer_depth",
@@ -1205,17 +1221,15 @@ pub fn timing_buffer_depth(ctx: &ExperimentContext) -> ResultTable {
 pub fn timing_random_bandwidth(ctx: &ExperimentContext) -> ResultTable {
     let analytic = ctx.cache.report(&Scheme::smart(), ModelId::AlexNet, 1);
     let base = smart_timing::TimingConfig::nominal();
-    let scenario = Scenario::over(
-        "timing_random_bandwidth",
-        &["bandwidth-pct"],
-        vec![10u32, 25, 50, 100, 400],
-    );
-    let points = scenario.run(ctx.jobs, |&pct| {
-        (
-            pct,
-            timing_replay(ctx, ModelId::AlexNet, &base.with_bandwidth_pct(pct)),
-        )
-    });
+    let pcts = [10u32, 25, 50, 100, 400];
+    let cfgs: Vec<smart_timing::TimingConfig> =
+        pcts.iter().map(|&p| base.with_bandwidth_pct(p)).collect();
+    // One ILP compile + one batched kernel pass for all uncached points.
+    let reports = ctx
+        .timing
+        .sweep(&Scheme::smart(), ModelId::AlexNet, &cfgs)
+        .expect("SMART is heterogeneous");
+    let points: Vec<_> = pcts.iter().copied().zip(reports).collect();
 
     let mut t = ResultTable::new(
         "timing_random_bandwidth",

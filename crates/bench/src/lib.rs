@@ -42,7 +42,31 @@ use smart_josim::cache::CircuitCache;
 use smart_report::{parallel_map, ResultTable};
 use smart_systolic::models::ModelId;
 use smart_timing::TimingCache;
+use std::path::Path;
 use std::sync::Arc;
+
+/// How many entries a [`ExperimentContext::load_caches`] call found in
+/// each persisted store (all zeros when the directory is empty, missing,
+/// or holds corrupted/version-mismatched files — the run starts cold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheLoadSummary {
+    /// Warm analytic-evaluation reports.
+    pub eval: usize,
+    /// Warm circuit characterizations.
+    pub circuits: usize,
+    /// Warm cycle-level replay reports.
+    pub timing: usize,
+    /// Warm-start ILP bases.
+    pub bases: usize,
+}
+
+impl CacheLoadSummary {
+    /// Total warm entries across all stores.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.eval + self.circuits + self.timing + self.bases
+    }
+}
 
 /// Shared state of one experiment run: the memoized evaluation,
 /// circuit-characterization, and timing-replay caches, and the
@@ -98,6 +122,37 @@ impl ExperimentContext {
             jobs: jobs.max(1),
         }
     }
+
+    /// Warms every cache from the persisted stores in `dir` (the
+    /// `--cache-dir` of a previous run). Each store falls back to cold
+    /// independently: a missing, truncated, corrupted, or
+    /// version-mismatched file loads zero entries and never fails the run.
+    /// Warm entries are bit-exact — a warm run's output is byte-identical
+    /// to the cold run that wrote the stores.
+    pub fn load_caches(&self, dir: &Path) -> CacheLoadSummary {
+        CacheLoadSummary {
+            eval: smart_core::cache::load(&self.cache, dir),
+            circuits: smart_josim::cache::load(&self.circuits, dir),
+            timing: smart_timing::persist::load(&self.timing, dir),
+            bases: self.timing.solver().load_from(dir),
+        }
+    }
+
+    /// Persists every cache into `dir` (creating it if needed) so the next
+    /// process can [`ExperimentContext::load_caches`] and start warm.
+    /// Writes are atomic (temp file + rename), so a crashed run leaves the
+    /// previous stores intact.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn save_caches(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        smart_core::cache::save(&self.cache, dir)?;
+        smart_josim::cache::save(&self.circuits, dir)?;
+        smart_timing::persist::save(&self.timing, dir)?;
+        self.timing.solver().save_to(dir)
+    }
 }
 
 impl Default for ExperimentContext {
@@ -105,6 +160,43 @@ impl Default for ExperimentContext {
     fn default() -> Self {
         Self::new(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
     }
+}
+
+/// Parses a `--cache-dir DIR` flag out of the process arguments (how the
+/// per-figure sweep binaries opt into persistent warm starts without a
+/// full CLI parser). Returns `None` when absent or valueless.
+#[must_use]
+pub fn cache_dir_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--cache-dir" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Runs one builder with the persistent stores of `cache_dir` (when
+/// given): load before, save after. The shared body of the per-figure
+/// sweep binaries; save failures warn on stderr rather than discarding
+/// the table.
+#[must_use]
+pub fn run_cached(
+    build: Experiment,
+    ctx: &ExperimentContext,
+    cache_dir: Option<&Path>,
+) -> ResultTable {
+    if let Some(dir) = cache_dir {
+        let warm = ctx.load_caches(dir);
+        eprintln!("cache-dir: {} warm entries loaded", warm.total());
+    }
+    let table = build(ctx);
+    if let Some(dir) = cache_dir {
+        if let Err(e) = ctx.save_caches(dir) {
+            eprintln!("cache-dir: save failed: {e}");
+        }
+    }
+    table
 }
 
 /// A figure/table builder: takes the shared context, returns the typed

@@ -1,4 +1,5 @@
-//! [`EvalCache`]: a thread-safe memoization layer over [`evaluate`].
+//! [`EvalCache`]: a thread-safe, single-flight memoization layer over
+//! [`evaluate`], with a persistable warm tier.
 //!
 //! The paper's figures re-evaluate the same points constantly — every
 //! speedup figure divides by the same TPU/SuperNPU baselines, the
@@ -9,18 +10,38 @@
 //! makes those recomputations a hash lookup, and the `Mutex`-guarded map
 //! makes one cache shareable across the experiment runner's worker
 //! threads.
+//!
+//! Concurrent misses on one key are **single-flight**: each key maps to an
+//! [`OnceLock`] cell, so the first thread to claim it runs the evaluator
+//! while the rest block on the cell and share the result — the old
+//! drop-the-lock-then-insert window that could evaluate a point twice is
+//! gone (`concurrent_misses_evaluate_once` pins this).
+//!
+//! Behind the exact-key map sits a **warm store**: content-hash-keyed
+//! reports persisted by a previous process ([`save`]/[`load`], through the
+//! [`smart_units::codec`] container). A warm entry is consulted on a miss
+//! before the evaluator runs, values round-trip bit-exactly (IEEE bit
+//! patterns), and a missing/corrupt/version-mismatched file simply loads
+//! zero entries — the run starts cold, never wrong.
 
-use crate::eval::{evaluate, InferenceReport};
+use crate::eval::{evaluate, EnergyReport, InferenceReport, LayerReport};
 use crate::scheme::Scheme;
 use smart_systolic::models::ModelId;
+use smart_units::codec::{content_hash, ByteReader, ByteWriter, Store};
+use smart_units::{Energy, Time};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Key = (Scheme, ModelId, u32);
+type Slot = Arc<OnceLock<Arc<InferenceReport>>>;
 
 /// Hit/miss/size counters of an [`EvalCache`] (for reporting and tuning).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the map.
+    /// Lookups served without running the evaluator (an exact-map or
+    /// warm-store entry, or another thread's in-flight evaluation).
     pub hits: u64,
     /// Lookups that ran the evaluator.
     pub misses: u64,
@@ -28,17 +49,18 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// A memoized, thread-safe front end to [`evaluate`].
+/// A memoized, thread-safe, single-flight front end to [`evaluate`].
 ///
 /// Reports are returned as [`Arc`]s so concurrent experiments share one
-/// allocation per evaluated point. Under a race, two threads may evaluate
-/// the same point concurrently; the first insertion wins and the results
-/// are identical (the evaluator is deterministic), so the only cost is the
-/// duplicated work of that one point. The lock is never held while
-/// evaluating.
+/// allocation per evaluated point. The lock is never held while
+/// evaluating; concurrent misses of one key block on the point's
+/// [`OnceLock`] cell instead of evaluating twice.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    map: Mutex<HashMap<(Scheme, ModelId, u32), Arc<InferenceReport>>>,
+    map: Mutex<HashMap<Key, Slot>>,
+    /// Content-hash-keyed reports reloaded from a previous process;
+    /// consulted on a miss, never written during a run.
+    warm: Mutex<HashMap<u128, Arc<InferenceReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -55,8 +77,8 @@ impl EvalCache {
     ///
     /// # Panics
     ///
-    /// Panics if `batch` is zero (like [`evaluate`]), or if the map mutex
-    /// was poisoned by a panicking evaluation on another thread.
+    /// Panics if `batch` is zero (like [`evaluate`]), or if the cache was
+    /// poisoned by a panicking evaluation on another thread.
     #[must_use]
     pub fn report(&self, scheme: &Scheme, model: ModelId, batch: u32) -> Arc<InferenceReport> {
         // One key clone per lookup, reused on the miss path. (A borrowed
@@ -64,19 +86,50 @@ impl EvalCache {
         // form; a Scheme clone is a few dozen Copy fields, far below the
         // cost of the evaluation it saves.)
         let key = (scheme.clone(), model, batch);
-        if let Some(found) = self.map.lock().expect("eval cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(found);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let report = Arc::new(evaluate(scheme, &model.build(), batch));
-        Arc::clone(
-            self.map
+        let cell = {
+            let mut map = self.map.lock().expect("eval cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut ran = false;
+        let report = Arc::clone(cell.get_or_init(|| {
+            ran = true;
+            let probe = (scheme.clone(), model, batch);
+            if let Some(found) = self
+                .warm
                 .lock()
-                .expect("eval cache poisoned")
-                .entry(key)
-                .or_insert(report),
-        )
+                .expect("eval warm store poisoned")
+                .get(&content_hash(&probe))
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(found);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(evaluate(scheme, &model.build(), batch))
+        }));
+        if !ran {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        report
+    }
+
+    /// Installs `entries` (content-hash keyed, from a persisted store) as
+    /// the warm tier; returns how many are now loaded.
+    fn load_warm_entries(&self, entries: HashMap<u128, Arc<InferenceReport>>) -> usize {
+        let mut warm = self.warm.lock().expect("eval warm store poisoned");
+        *warm = entries;
+        warm.len()
+    }
+
+    /// Every persistable entry: the warm tier plus all ready cells.
+    fn snapshot_entries(&self) -> HashMap<u128, Arc<InferenceReport>> {
+        let mut out = self.warm.lock().expect("eval warm store poisoned").clone();
+        let map = self.map.lock().expect("eval cache poisoned");
+        for (key, cell) in map.iter() {
+            if let Some(report) = cell.get() {
+                out.insert(content_hash(key), Arc::clone(report));
+            }
+        }
+        out
     }
 
     /// Current counters.
@@ -92,6 +145,140 @@ impl EvalCache {
             entries: self.map.lock().expect("eval cache poisoned").len(),
         }
     }
+}
+
+// --- Persistence ------------------------------------------------------
+
+/// Store tag of the eval-cache file.
+const TAG: &str = "smart-eval-cache";
+
+/// Bump when the serialized report layout changes (older files then fall
+/// back to cold).
+const VERSION: u32 = 1;
+
+/// File name of the eval store inside a `--cache-dir`.
+pub const FILE_NAME: &str = "eval-cache.bin";
+
+/// Interns a scheme name loaded from a store (reports carry
+/// `&'static str` names; each distinct name leaks once per process).
+fn intern(name: String) -> &'static str {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut names = NAMES
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("intern table poisoned");
+    if let Some(found) = names.iter().find(|n| **n == name) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    names.push(leaked);
+    leaked
+}
+
+fn write_report(w: &mut ByteWriter, report: &InferenceReport) {
+    w.str(report.scheme);
+    w.str(&report.model);
+    w.u32(report.batch);
+    w.u64(report.layers.len() as u64);
+    for l in &report.layers {
+        w.str(&l.name);
+        w.f64(l.compute.as_si());
+        w.f64(l.stream_stall.as_si());
+        w.f64(l.exposed_mem.as_si());
+        w.f64(l.total.as_si());
+        w.u64(l.macs);
+        w.f64(l.spm_energy.as_si());
+    }
+    w.f64(report.total_time.as_si());
+    w.u64(report.macs);
+    w.f64(report.energy.matrix.as_si());
+    w.f64(report.energy.spm_dynamic.as_si());
+    w.f64(report.energy.spm_static.as_si());
+    w.f64(report.energy.total.as_si());
+}
+
+fn read_report(r: &mut ByteReader<'_>) -> Option<InferenceReport> {
+    let scheme = intern(r.str()?);
+    let model = r.str()?;
+    let batch = r.u32()?;
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut layers = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        layers.push(LayerReport {
+            name: r.str()?,
+            compute: Time::from_si(r.f64()?),
+            stream_stall: Time::from_si(r.f64()?),
+            exposed_mem: Time::from_si(r.f64()?),
+            total: Time::from_si(r.f64()?),
+            macs: r.u64()?,
+            spm_energy: Energy::from_si(r.f64()?),
+        });
+    }
+    Some(InferenceReport {
+        scheme,
+        model,
+        batch,
+        layers,
+        total_time: Time::from_si(r.f64()?),
+        macs: r.u64()?,
+        energy: EnergyReport {
+            matrix: Energy::from_si(r.f64()?),
+            spm_dynamic: Energy::from_si(r.f64()?),
+            spm_static: Energy::from_si(r.f64()?),
+            total: Energy::from_si(r.f64()?),
+        },
+    })
+}
+
+/// Serializes every persistable entry of `cache` into a store payload.
+#[must_use]
+pub fn to_bytes(cache: &EvalCache) -> Vec<u8> {
+    let entries = cache.snapshot_entries();
+    let mut keys: Vec<&u128> = entries.keys().collect();
+    keys.sort_unstable(); // deterministic file bytes
+    let mut w = ByteWriter::new();
+    w.u64(entries.len() as u64);
+    for key in keys {
+        w.u128(*key);
+        write_report(&mut w, &entries[key]);
+    }
+    w.into_bytes()
+}
+
+fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<InferenceReport>>> {
+    let mut r = ByteReader::new(payload);
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut entries = HashMap::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let key = r.u128()?;
+        entries.insert(key, Arc::new(read_report(&mut r)?));
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    Some(entries)
+}
+
+/// Saves `cache` to `dir/`[`FILE_NAME`] (atomically).
+///
+/// # Errors
+///
+/// Any underlying filesystem error.
+pub fn save(cache: &EvalCache, dir: &Path) -> std::io::Result<()> {
+    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))
+}
+
+/// Loads `dir/`[`FILE_NAME`] into `cache`'s warm tier; returns how many
+/// entries are now warm. A missing, corrupted, truncated, or
+/// version-mismatched file loads zero entries — the run starts cold.
+pub fn load(cache: &EvalCache, dir: &Path) -> usize {
+    let Some(payload) = Store::read_file(&dir.join(FILE_NAME), TAG, VERSION) else {
+        return 0;
+    };
+    let Some(entries) = from_bytes(&payload) else {
+        return 0;
+    };
+    cache.load_warm_entries(entries)
 }
 
 #[cfg(test)]
@@ -144,19 +331,52 @@ mod tests {
     }
 
     #[test]
-    fn shared_across_scoped_threads() {
+    fn concurrent_misses_evaluate_once() {
+        // Single-flight: four threads racing on one cold key run the
+        // evaluator exactly once and share the stored Arc.
         let cache = EvalCache::new();
         let scheme = Scheme::pipe();
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    let r = cache.report(&scheme, ModelId::AlexNet, 1);
-                    assert!(r.total_time.as_s() > 0.0);
-                });
-            }
+        let reports: Vec<Arc<InferenceReport>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.report(&scheme, ModelId::AlexNet, 1)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("joins"))
+                .collect()
         });
-        // All four threads resolved to one stored entry (a benign race may
-        // cost duplicate evaluations but never duplicate entries).
-        assert_eq!(cache.stats().entries, 1);
+        for r in &reports {
+            assert!(r.total_time.as_s() > 0.0);
+            assert!(Arc::ptr_eq(&reports[0], r));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one evaluation ran: {stats:?}");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn persisted_cache_round_trips_bit_exactly() {
+        let dir = std::env::temp_dir().join(format!("smart-eval-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cold = EvalCache::new();
+        let scheme = Scheme::smart();
+        let direct = cold.report(&scheme, ModelId::AlexNet, 1);
+        save(&cold, &dir).expect("saves");
+
+        let warm = EvalCache::new();
+        assert_eq!(load(&warm, &dir), 1);
+        let reloaded = warm.report(&scheme, ModelId::AlexNet, 1);
+        assert_eq!(*reloaded, *direct, "warm result identical to cold");
+        assert_eq!(warm.stats().misses, 0, "served without evaluating");
+
+        // Corruption falls back to cold.
+        let path = dir.join(FILE_NAME);
+        let mut bad = std::fs::read(&path).expect("reads");
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x08;
+        std::fs::write(&path, &bad).expect("writes");
+        assert_eq!(load(&EvalCache::new(), &dir), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

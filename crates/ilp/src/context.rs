@@ -12,16 +12,31 @@
 //! produce different fingerprints and simply solve cold — reuse never
 //! risks a stale basis.
 //!
+//! Alongside the basis store sits an exact-match **solution memo**: full
+//! MIP solutions keyed by a 128-bit content hash over the *complete*
+//! problem (matrix, bounds, objective, right-hand sides), the incumbent
+//! seed, and the solver configuration. The branch & bound search is
+//! deterministic, so an identical solve replays the stored
+//! [`MipSolution`] verbatim — same objective, values, node count, and
+//! optimality flag — and skips the search entirely. This is what makes a
+//! warm `--cache-dir` rerun of the ILP ablation near-free: the root-basis
+//! warm start only shortcuts the root relaxation, while the memo
+//! shortcuts the whole tree.
+//!
 //! The context is `Sync`: one instance can be shared across the experiment
 //! runner's worker threads (the map is mutex-guarded, the counters are
 //! atomic), matching how `smart_report::parallel_map` fans sweep points
 //! out.
 
 use crate::problem::Problem;
-use crate::revised::Basis;
+use crate::revised::{Basis, Status};
+use crate::solver::MipSolution;
+use smart_units::codec::content_hash;
+use smart_units::codec::{ByteReader, ByteWriter, Store};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -37,6 +52,11 @@ pub struct SolverContextStats {
     pub cold_solves: u64,
     /// Distinct problem structures with a stored basis.
     pub stored_bases: usize,
+    /// Solves answered verbatim from the exact-match solution memo
+    /// (branch & bound skipped entirely).
+    pub solution_hits: u64,
+    /// Distinct exact problems with a memoized solution.
+    pub stored_solutions: usize,
 }
 
 /// Shared warm-start state threaded through
@@ -45,9 +65,11 @@ pub struct SolverContextStats {
 #[derive(Debug, Default)]
 pub struct SolverContext {
     bases: Mutex<HashMap<u64, Arc<Basis>>>,
+    solutions: Mutex<HashMap<u128, Arc<MipSolution>>>,
     warm_attempts: AtomicU64,
     warm_hits: AtomicU64,
     cold_solves: AtomicU64,
+    solution_hits: AtomicU64,
 }
 
 impl SolverContext {
@@ -69,6 +91,12 @@ impl SolverContext {
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             cold_solves: self.cold_solves.load(Ordering::Relaxed),
             stored_bases: self.bases.lock().expect("solver context poisoned").len(),
+            solution_hits: self.solution_hits.load(Ordering::Relaxed),
+            stored_solutions: self
+                .solutions
+                .lock()
+                .expect("solver context poisoned")
+                .len(),
         }
     }
 
@@ -99,7 +127,204 @@ impl SolverContext {
     pub(crate) fn note_cold(&self) {
         self.cold_solves.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn solution_lookup(&self, key: u128) -> Option<Arc<MipSolution>> {
+        let found = self
+            .solutions
+            .lock()
+            .expect("solver context poisoned")
+            .get(&key)
+            .cloned();
+        if found.is_some() {
+            self.solution_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    pub(crate) fn solution_store(&self, key: u128, solution: Arc<MipSolution>) {
+        self.solutions
+            .lock()
+            .expect("solver context poisoned")
+            .insert(key, solution);
+    }
+
+    /// Serializes every stored basis and memoized solution into a store
+    /// payload (keys sorted, so the bytes are deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a context mutex was poisoned.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let bases = self.bases.lock().expect("solver context poisoned");
+        let mut fps: Vec<&u64> = bases.keys().collect();
+        fps.sort_unstable();
+        let mut w = ByteWriter::new();
+        w.u64(bases.len() as u64);
+        for fp in fps {
+            let basis = &bases[fp];
+            w.u64(*fp);
+            w.u64(basis.basic.len() as u64);
+            for &col in &basis.basic {
+                w.u64(col as u64);
+            }
+            w.u64(basis.status.len() as u64);
+            for &s in &basis.status {
+                w.u8(match s {
+                    Status::Basic => 0,
+                    Status::Lower => 1,
+                    Status::Upper => 2,
+                });
+            }
+        }
+        let solutions = self.solutions.lock().expect("solver context poisoned");
+        let mut keys: Vec<&u128> = solutions.keys().collect();
+        keys.sort_unstable();
+        w.u64(solutions.len() as u64);
+        for key in keys {
+            let sol = &solutions[key];
+            w.u128(*key);
+            w.f64(sol.objective);
+            w.u64(sol.values.len() as u64);
+            for &v in &sol.values {
+                w.f64(v);
+            }
+            w.u64(sol.nodes as u64);
+            w.u8(u8::from(sol.proven_optimal));
+        }
+        w.into_bytes()
+    }
+
+    /// Replaces the stored bases and memoized solutions with the
+    /// payload's; `0` on any malformed byte (and the store is left
+    /// unchanged — the fall-back-to-cold path). A reloaded basis is only
+    /// ever *attempted*: the simplex refactorizes and falls back to a cold
+    /// solve if it does not fit its problem. A reloaded solution is keyed
+    /// by a content hash of the complete problem plus solver
+    /// configuration, so a stale file simply never matches.
+    ///
+    /// Returns the total number of entries (bases plus solutions) now
+    /// stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a context mutex was poisoned.
+    pub fn load_bytes(&self, payload: &[u8]) -> usize {
+        let mut r = ByteReader::new(payload);
+        let Some(n) = r.u64().and_then(|n| usize::try_from(n).ok()) else {
+            return 0;
+        };
+        let mut entries = HashMap::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let Some(fp) = r.u64() else { return 0 };
+            let Some(basic) = r.u64_vec() else { return 0 };
+            let basic: Vec<usize> = basic.iter().map(|&c| c as usize).collect();
+            let Some(len) = r.u64().and_then(|n| usize::try_from(n).ok()) else {
+                return 0;
+            };
+            if len > payload.len() {
+                return 0;
+            }
+            let mut status = Vec::with_capacity(len);
+            for _ in 0..len {
+                status.push(match r.u8() {
+                    Some(0) => Status::Basic,
+                    Some(1) => Status::Lower,
+                    Some(2) => Status::Upper,
+                    _ => return 0,
+                });
+            }
+            entries.insert(fp, Arc::new(Basis { basic, status }));
+        }
+        let Some(n_sol) = r.u64().and_then(|n| usize::try_from(n).ok()) else {
+            return 0;
+        };
+        let mut sol_entries = HashMap::with_capacity(n_sol.min(4096));
+        for _ in 0..n_sol {
+            let Some(key) = r.u128() else { return 0 };
+            let Some(objective) = r.f64() else { return 0 };
+            let Some(len) = r.u64().and_then(|n| usize::try_from(n).ok()) else {
+                return 0;
+            };
+            if len > payload.len() {
+                return 0;
+            }
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                let Some(v) = r.f64() else { return 0 };
+                values.push(v);
+            }
+            let Some(nodes) = r.u64().and_then(|n| usize::try_from(n).ok()) else {
+                return 0;
+            };
+            let proven_optimal = match r.u8() {
+                Some(0) => false,
+                Some(1) => true,
+                _ => return 0,
+            };
+            sol_entries.insert(
+                key,
+                Arc::new(MipSolution {
+                    objective,
+                    values,
+                    nodes,
+                    proven_optimal,
+                }),
+            );
+        }
+        if !r.is_empty() {
+            return 0;
+        }
+        let mut bases = self.bases.lock().expect("solver context poisoned");
+        let mut solutions = self.solutions.lock().expect("solver context poisoned");
+        *bases = entries;
+        *solutions = sol_entries;
+        bases.len() + solutions.len()
+    }
+
+    /// Saves the basis store to `dir/`[`BASIS_FILE_NAME`] (atomically).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis map mutex was poisoned.
+    pub fn save_to(&self, dir: &Path) -> std::io::Result<()> {
+        Store::write_file(
+            &dir.join(BASIS_FILE_NAME),
+            BASIS_TAG,
+            BASIS_VERSION,
+            self.to_bytes(),
+        )
+    }
+
+    /// Loads `dir/`[`BASIS_FILE_NAME`] into this context; returns how many
+    /// entries (bases plus memoized solutions) are now stored. A missing,
+    /// corrupted, truncated, or version-mismatched file loads zero —
+    /// solves start cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis map mutex was poisoned.
+    pub fn load_from(&self, dir: &Path) -> usize {
+        let Some(payload) = Store::read_file(&dir.join(BASIS_FILE_NAME), BASIS_TAG, BASIS_VERSION)
+        else {
+            return 0;
+        };
+        self.load_bytes(&payload)
+    }
 }
+
+/// Store tag of the warm-start basis file.
+const BASIS_TAG: &str = "smart-ilp-bases";
+
+/// Bump when the serialized basis/solution layout changes.
+const BASIS_VERSION: u32 = 2;
+
+/// File name of the basis store inside a `--cache-dir`.
+pub const BASIS_FILE_NAME: &str = "ilp-bases.bin";
 
 /// Fingerprint of a problem's warm-start-compatible structure: sense,
 /// variables (bounds, integrality, objective), and constraint matrix
@@ -128,6 +353,70 @@ pub(crate) fn fingerprint(p: &Problem) -> u64 {
     h.finish()
 }
 
+/// Hashable view of everything that determines a deterministic solve's
+/// outcome: the complete problem (including right-hand sides, which the
+/// structural [`fingerprint`] deliberately skips), the incumbent seed, and
+/// the solver configuration. Variable names are excluded — they never
+/// influence the search.
+struct SolveKey<'a> {
+    problem: &'a Problem,
+    seed: Option<&'a [f64]>,
+    node_limit: usize,
+    warm_start: bool,
+}
+
+impl Hash for SolveKey<'_> {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        let p = self.problem;
+        (p.num_vars() as u64).hash(h);
+        (p.num_constraints() as u64).hash(h);
+        matches!(p.sense, crate::problem::Sense::Maximize).hash(h);
+        for v in &p.variables {
+            v.lower.to_bits().hash(h);
+            v.upper.to_bits().hash(h);
+            v.integer.hash(h);
+            v.objective.to_bits().hash(h);
+        }
+        for c in &p.constraints {
+            (c.relation as u8).hash(h);
+            c.rhs.to_bits().hash(h);
+            (c.terms.len() as u64).hash(h);
+            for &(v, k) in &c.terms {
+                (v.index() as u64).hash(h);
+                k.to_bits().hash(h);
+            }
+        }
+        match self.seed {
+            None => 0u8.hash(h),
+            Some(vals) => {
+                1u8.hash(h);
+                (vals.len() as u64).hash(h);
+                for v in vals {
+                    v.to_bits().hash(h);
+                }
+            }
+        }
+        (self.node_limit as u64).hash(h);
+        self.warm_start.hash(h);
+    }
+}
+
+/// 128-bit exact-solve key for the solution memo (see [`SolveKey`]).
+#[must_use]
+pub(crate) fn solution_key(
+    problem: &Problem,
+    seed: Option<&[f64]>,
+    node_limit: usize,
+    warm_start: bool,
+) -> u128 {
+    content_hash(&SolveKey {
+        problem,
+        seed,
+        node_limit,
+        warm_start,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +437,68 @@ mod tests {
         let base = fingerprint(&knapsack(2.0, 1.0));
         assert_eq!(base, fingerprint(&knapsack(5.0, 1.0)), "rhs-only change");
         assert_ne!(base, fingerprint(&knapsack(2.0, 4.0)), "matrix change");
+    }
+
+    #[test]
+    fn basis_store_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("smart-ilp-bases-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ctx = SolverContext::new();
+        assert_eq!(ctx.load_from(&dir), 0, "missing file loads cold");
+        ctx.store(
+            11,
+            Arc::new(Basis {
+                basic: vec![0, 3],
+                status: vec![Status::Basic, Status::Lower, Status::Upper, Status::Basic],
+            }),
+        );
+        ctx.store(
+            5,
+            Arc::new(Basis {
+                basic: vec![1],
+                status: vec![Status::Lower, Status::Basic],
+            }),
+        );
+        ctx.solution_store(
+            0xdead_beef_u128 << 64 | 7,
+            Arc::new(MipSolution {
+                objective: 42.5,
+                values: vec![1.0, 0.0, 3.0],
+                nodes: 17,
+                proven_optimal: true,
+            }),
+        );
+        assert_eq!(ctx.to_bytes(), ctx.to_bytes(), "deterministic bytes");
+        ctx.save_to(&dir).expect("saves");
+
+        let warm = SolverContext::new();
+        assert_eq!(warm.load_from(&dir), 3, "2 bases + 1 solution");
+        let reloaded = warm.lookup(11).expect("stored basis");
+        assert_eq!(reloaded.basic, vec![0, 3]);
+        assert_eq!(
+            reloaded.status,
+            vec![Status::Basic, Status::Lower, Status::Upper, Status::Basic]
+        );
+        let sol = warm
+            .solution_lookup(0xdead_beef_u128 << 64 | 7)
+            .expect("stored solution");
+        assert_eq!(sol.objective, 42.5);
+        assert_eq!(sol.values, vec![1.0, 0.0, 3.0]);
+        assert_eq!(sol.nodes, 17);
+        assert!(sol.proven_optimal);
+        assert_eq!(warm.stats().solution_hits, 1);
+
+        // Truncation and bit corruption fall back to cold.
+        let path = dir.join(BASIS_FILE_NAME);
+        let good = std::fs::read(&path).expect("reads");
+        std::fs::write(&path, &good[..good.len() / 2]).expect("writes");
+        assert_eq!(SolverContext::new().load_from(&dir), 0);
+        let mut bad = good;
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x04;
+        std::fs::write(&path, &bad).expect("writes");
+        assert_eq!(SolverContext::new().load_from(&dir), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

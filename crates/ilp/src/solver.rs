@@ -15,7 +15,7 @@
 //! itself only "near-optimal", Sec. 4.3); if no incumbent exists, a greedy
 //! rounding repair pass is attempted.
 
-use crate::context::{fingerprint, SolverContext};
+use crate::context::{fingerprint, solution_key, SolverContext};
 use crate::problem::{Problem, Relation, Sense};
 use crate::revised::{Lp, SolveOutcome, SolveTrace, StandardForm, Warm};
 use smart_units::{Result, SmartError};
@@ -260,6 +260,30 @@ impl Solver {
 
         let form = StandardForm::build(problem);
         let fp = ctx.map(|_| fingerprint(problem));
+        // Exact-match solution memo: branch & bound is deterministic, so a
+        // solve of an identical (problem, seed, config) triple replays the
+        // stored solution verbatim — objective, values, node count, and
+        // optimality flag included — without touching the tree. This is
+        // the path that makes warm `--cache-dir` reruns of ILP-heavy
+        // experiments near-free.
+        let memo_key = ctx.map(|_| {
+            solution_key(
+                problem,
+                self.seed.as_deref(),
+                self.node_limit,
+                self.warm_start,
+            )
+        });
+        if let (Some(c), Some(k)) = (ctx, memo_key) {
+            if let Some(sol) = c.solution_lookup(k) {
+                let sol = MipSolution::clone(&sol);
+                return if sol.proven_optimal {
+                    MipResult::Optimal(sol)
+                } else {
+                    MipResult::Feasible(sol)
+                };
+            }
+        }
         let granularity = objective_granularity(problem);
         // Pruning margin: a node whose bound cannot beat the incumbent by
         // at least one objective quantum (minus float slack) holds nothing
@@ -489,7 +513,7 @@ impl Solver {
         }
 
         let exhausted = heap.is_empty() && dive.is_none();
-        match incumbent {
+        let result = match incumbent {
             Some(mut s) => {
                 s.nodes = nodes;
                 if exhausted {
@@ -503,7 +527,13 @@ impl Solver {
                 // Greedy fallback: round the root relaxation and check.
                 greedy_round(problem, &root_values, nodes)
             }
+        };
+        if let (Some(c), Some(k)) = (ctx, memo_key) {
+            if let MipResult::Optimal(s) | MipResult::Feasible(s) = &result {
+                c.solution_store(k, Arc::new(s.clone()));
+            }
         }
+        result
     }
 }
 

@@ -1,4 +1,4 @@
-//! [`CircuitCache`]: a thread-safe memoization layer over
+//! [`CircuitCache`]: a thread-safe, single-flight memoization layer over
 //! [`crate::cells::characterize`], keyed exactly like the evaluator's
 //! `EvalCache`.
 //!
@@ -11,17 +11,28 @@
 //! map makes one cache shareable across `parallel_map` worker threads.
 //! Failed simulations are *not* cached: errors propagate to the caller and
 //! the next lookup retries.
+//!
+//! Concurrent misses on one cell are **single-flight** (an [`OnceLock`]
+//! per spec: one thread simulates, the rest block and share), and a
+//! content-hash-keyed **warm store** persisted by a previous process
+//! ([`save`]/[`load`] through the [`smart_units::codec`] container) is
+//! consulted before any transient simulation runs. A missing, corrupted,
+//! or version-mismatched store loads zero entries — cold, never wrong.
 
 use crate::cells::{characterize, CellMeasurement, CellSpec};
+use smart_units::codec::{content_hash, ByteReader, ByteWriter, Store};
 use smart_units::Result;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Slot = Arc<OnceLock<Result<Arc<CellMeasurement>>>>;
 
 /// Hit/miss/size counters of a [`CircuitCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CircuitCacheStats {
-    /// Lookups served from the map.
+    /// Lookups served without running a transient simulation.
     pub hits: u64,
     /// Lookups that ran a transient simulation.
     pub misses: u64,
@@ -29,16 +40,18 @@ pub struct CircuitCacheStats {
     pub entries: usize,
 }
 
-/// A memoized, thread-safe front end to [`characterize`].
+/// A memoized, thread-safe, single-flight front end to [`characterize`].
 ///
 /// Measurements are returned as [`Arc`]s so concurrent experiments share
-/// one allocation per measured cell. Under a race, two threads may
-/// simulate the same cell concurrently; the first insertion wins and the
-/// results are identical (the engine is deterministic), so the only cost
-/// is that one duplicated run. The lock is never held while simulating.
+/// one allocation per measured cell. The lock is never held while
+/// simulating; concurrent misses of one spec block on the cell's
+/// [`OnceLock`] instead of simulating twice.
 #[derive(Debug, Default)]
 pub struct CircuitCache {
-    map: Mutex<HashMap<CellSpec, Arc<CellMeasurement>>>,
+    map: Mutex<HashMap<CellSpec, Slot>>,
+    /// Content-hash-keyed measurements reloaded from a previous process;
+    /// consulted on a miss, never written during a run.
+    warm: Mutex<HashMap<u128, Arc<CellMeasurement>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -58,22 +71,66 @@ impl CircuitCache {
     ///
     /// # Panics
     ///
-    /// Panics if the map mutex was poisoned by a panicking simulation on
+    /// Panics if the cache was poisoned by a panicking simulation on
     /// another thread.
     pub fn measure(&self, spec: &CellSpec) -> Result<Arc<CellMeasurement>> {
-        if let Some(found) = self.map.lock().expect("circuit cache poisoned").get(spec) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(found));
+        let cell = {
+            let mut map = self.map.lock().expect("circuit cache poisoned");
+            Arc::clone(map.entry(*spec).or_default())
+        };
+        let mut ran = false;
+        let result = cell
+            .get_or_init(|| {
+                ran = true;
+                if let Some(found) = self
+                    .warm
+                    .lock()
+                    .expect("circuit warm store poisoned")
+                    .get(&content_hash(spec))
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(found));
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                characterize(spec).map(Arc::new)
+            })
+            .clone();
+        if ran && result.is_err() {
+            // Errors are not cached: drop the cell so the next lookup
+            // retries (only if it is still ours).
+            let mut map = self.map.lock().expect("circuit cache poisoned");
+            if map.get(spec).is_some_and(|c| Arc::ptr_eq(c, &cell)) {
+                map.remove(spec);
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let measurement = Arc::new(characterize(spec)?);
-        Ok(Arc::clone(
-            self.map
-                .lock()
-                .expect("circuit cache poisoned")
-                .entry(*spec)
-                .or_insert(measurement),
-        ))
+        if !ran && result.is_ok() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Installs `entries` (content-hash keyed, from a persisted store) as
+    /// the warm tier; returns how many are now loaded.
+    fn load_warm_entries(&self, entries: HashMap<u128, Arc<CellMeasurement>>) -> usize {
+        let mut warm = self.warm.lock().expect("circuit warm store poisoned");
+        *warm = entries;
+        warm.len()
+    }
+
+    /// Every persistable entry: the warm tier plus all ready `Ok` cells.
+    fn snapshot_entries(&self) -> HashMap<u128, Arc<CellMeasurement>> {
+        let mut out = self
+            .warm
+            .lock()
+            .expect("circuit warm store poisoned")
+            .clone();
+        let map = self.map.lock().expect("circuit cache poisoned");
+        for (spec, cell) in map.iter() {
+            if let Some(Ok(m)) = cell.get() {
+                out.insert(content_hash(spec), Arc::clone(m));
+            }
+        }
+        out
     }
 
     /// Current counters.
@@ -89,6 +146,82 @@ impl CircuitCache {
             entries: self.map.lock().expect("circuit cache poisoned").len(),
         }
     }
+}
+
+// --- Persistence ------------------------------------------------------
+
+/// Store tag of the circuit-cache file.
+const TAG: &str = "smart-circuit-cache";
+
+/// Bump when the serialized measurement layout changes.
+const VERSION: u32 = 1;
+
+/// File name of the circuit store inside a `--cache-dir`.
+pub const FILE_NAME: &str = "circuit-cache.bin";
+
+/// Serializes every persistable entry of `cache` into a store payload.
+#[must_use]
+pub fn to_bytes(cache: &CircuitCache) -> Vec<u8> {
+    let entries = cache.snapshot_entries();
+    let mut keys: Vec<&u128> = entries.keys().collect();
+    keys.sort_unstable(); // deterministic file bytes
+    let mut w = ByteWriter::new();
+    w.u64(entries.len() as u64);
+    for key in keys {
+        let m = &entries[key];
+        w.u128(*key);
+        w.f64(m.delay);
+        w.f64(m.delay_per_hop);
+        w.u32(m.min_output_pulses);
+        w.u32(m.max_output_pulses);
+        w.f64(m.dissipated_energy);
+        w.u64(m.steps as u64);
+    }
+    w.into_bytes()
+}
+
+fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<CellMeasurement>>> {
+    let mut r = ByteReader::new(payload);
+    let n = usize::try_from(r.u64()?).ok()?;
+    let mut entries = HashMap::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let key = r.u128()?;
+        let m = CellMeasurement {
+            delay: r.f64()?,
+            delay_per_hop: r.f64()?,
+            min_output_pulses: r.u32()?,
+            max_output_pulses: r.u32()?,
+            dissipated_energy: r.f64()?,
+            steps: usize::try_from(r.u64()?).ok()?,
+        };
+        entries.insert(key, Arc::new(m));
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    Some(entries)
+}
+
+/// Saves `cache` to `dir/`[`FILE_NAME`] (atomically).
+///
+/// # Errors
+///
+/// Any underlying filesystem error.
+pub fn save(cache: &CircuitCache, dir: &Path) -> std::io::Result<()> {
+    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))
+}
+
+/// Loads `dir/`[`FILE_NAME`] into `cache`'s warm tier; returns how many
+/// entries are now warm. A missing, corrupted, truncated, or
+/// version-mismatched file loads zero entries — the run starts cold.
+pub fn load(cache: &CircuitCache, dir: &Path) -> usize {
+    let Some(payload) = Store::read_file(&dir.join(FILE_NAME), TAG, VERSION) else {
+        return 0;
+    };
+    let Some(entries) = from_bytes(&payload) else {
+        return 0;
+    };
+    cache.load_warm_entries(entries)
 }
 
 #[cfg(test)]
@@ -130,17 +263,50 @@ mod tests {
     }
 
     #[test]
-    fn shared_across_scoped_threads() {
+    fn concurrent_misses_simulate_once() {
+        // Single-flight: four threads racing on one cold spec run the
+        // transient engine exactly once and share the stored Arc.
         let cache = CircuitCache::new();
         let spec = CellSpec::Ptl(PtlLinkSpec::from_mm(0.15));
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    let m = cache.measure(&spec).expect("simulates");
-                    assert!(m.delay > 0.0);
-                });
-            }
+        let all: Vec<Arc<CellMeasurement>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.measure(&spec).expect("simulates")))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("joins"))
+                .collect()
         });
-        assert_eq!(cache.stats().entries, 1);
+        for m in &all {
+            assert!(m.delay > 0.0);
+            assert!(Arc::ptr_eq(&all[0], m));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one simulation ran: {stats:?}");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn persisted_cache_round_trips_bit_exactly() {
+        let dir = std::env::temp_dir().join(format!("smart-josim-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cold = CircuitCache::new();
+        let spec = CellSpec::Jtl(JtlChainSpec::standard(6));
+        let direct = cold.measure(&spec).expect("simulates");
+        save(&cold, &dir).expect("saves");
+
+        let warm = CircuitCache::new();
+        assert_eq!(load(&warm, &dir), 1);
+        let reloaded = warm.measure(&spec).expect("warm");
+        assert_eq!(*reloaded, *direct, "warm result identical to cold");
+        assert_eq!(warm.stats().misses, 0, "served without simulating");
+
+        // Truncation falls back to cold.
+        let path = dir.join(FILE_NAME);
+        let good = std::fs::read(&path).expect("reads");
+        std::fs::write(&path, &good[..good.len() - 3]).expect("writes");
+        assert_eq!(load(&CircuitCache::new(), &dir), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

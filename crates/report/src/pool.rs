@@ -2,14 +2,20 @@
 //!
 //! The experiment engine fans independent work items (whole experiments,
 //! sweep points, model/scheme grid cells) across a bounded number of OS
-//! threads. Work is claimed from a shared atomic cursor, so uneven item
-//! costs balance themselves; results land back at their item's index, so
-//! callers see the same ordering as a sequential `map`.
+//! threads. Work is claimed from a shared atomic cursor in small chunks,
+//! so uneven item costs balance themselves while cheap items amortize the
+//! claim; results land back at their item's index, so callers see the
+//! same ordering as a sequential `map`. The calling thread is one of the
+//! workers: `jobs` workers spawn only `jobs - 1` threads, and the caller
+//! starts claiming items immediately instead of blocking on joins —
+//! which is what keeps a small fan-out (few items, trivial `f`) from
+//! costing more at `jobs = 4` than at `jobs = 1`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Maps `f` over `items` on up to `jobs` worker threads, preserving order.
+/// Maps `f` over `items` on up to `jobs` workers (the caller plus
+/// `jobs - 1` spawned threads), preserving order.
 ///
 /// `jobs <= 1` (or a single item) runs inline on the caller's thread with
 /// no synchronization. Threads are scoped, so `f` may borrow from the
@@ -31,16 +37,27 @@ where
 
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // Chunked claiming: ~8 claims per worker over the whole run, but never
+    // a chunk so large that one slow worker strands work (uneven costs
+    // still balance across the remaining claims).
+    let chunk = (items.len() / (workers * 8)).max(1);
+
+    let run = || loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= items.len() {
+            break;
+        }
+        for (item, slot) in items.iter().zip(&slots).skip(start).take(chunk) {
+            let result = f(item);
+            *slot.lock().expect("result slot poisoned") = Some(result);
+        }
+    };
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
+        for _ in 1..workers {
+            scope.spawn(run);
         }
+        run(); // the caller is the last worker
     });
 
     slots
@@ -79,6 +96,21 @@ mod tests {
         let none: Vec<u8> = vec![];
         assert!(parallel_map(4, &none, |&x| x).is_empty());
         assert_eq!(parallel_map(4, &[7], |&x: &i32| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_index() {
+        // Sizes around the chunking thresholds (chunk > 1 kicks in at
+        // items >= workers * 16) and worker counts that do not divide the
+        // item count evenly.
+        for jobs in [2usize, 3, 4, 7] {
+            for len in [2usize, 15, 16, 31, 64, 257] {
+                let items: Vec<usize> = (0..len).collect();
+                let out = parallel_map(jobs, &items, |&x| x * 3);
+                let expected: Vec<usize> = items.iter().map(|&x| x * 3).collect();
+                assert_eq!(out, expected, "jobs={jobs} len={len}");
+            }
+        }
     }
 
     #[test]

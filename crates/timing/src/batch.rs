@@ -1,0 +1,265 @@
+//! The batched struct-of-arrays sweep kernel: every sweep scenario
+//! advances over a layer in lockstep.
+//!
+//! A buffer-depth or bandwidth sweep replays the *same* prepass under many
+//! [`TimingConfig`]s. Replaying them one scenario at a time walks the
+//! prepass arrays (durations, spill shares, realignment counts, stream
+//! lists) once per scenario; [`replay_sweep_layer`] instead walks each
+//! iteration **once** and advances all scenarios against it, with the
+//! scenario state held in parallel arrays (struct-of-arrays) and the
+//! per-word RANDOM latency math hoisted into one [`RandomCosts`] table per
+//! scenario up front:
+//!
+//! * the matrix/SHIFT duration, spill share, DRAM share, and realignment
+//!   counts of iteration `n` are loaded once and applied to every
+//!   scenario;
+//! * load bucketing (the only depth-dependent preprocessing) is computed
+//!   once per *distinct* buffer depth and shared across scenarios, with
+//!   per-scenario cycle pricing folded in at issue time;
+//! * scenarios never interact, so each lane's result is bit-identical to
+//!   [`LayerPrepass::replay`] under its own config — pinned by the
+//!   `sweep_matches_scalar_replay` test here and the
+//!   `batched_sweep_equivalence` property test at the workspace root.
+//!
+//! [`replay_sweep`] is the model-level entry point the buffer-depth and
+//! bandwidth experiments drive (through `TimingCache::sweep`).
+
+use crate::config::TimingConfig;
+use crate::replay::{class_idx, LayerPrepass, PriorityChannel, RandomCosts};
+use crate::report::{ModelTimingReport, TimingReport};
+use crate::validate::ModelPrepass;
+use smart_core::config::DRAM_BANDWIDTH;
+use smart_systolic::trace::DataClass;
+
+/// Per-scenario mutable replay state, struct-of-arrays over the sweep
+/// lanes (index = scenario).
+struct SweepState {
+    prev_end: Vec<u64>,
+    dram_free: Vec<u64>,
+    prefetch_work: Vec<u64>,
+    prefetch_stall: Vec<u64>,
+    exposed: Vec<[u64; 4]>,
+    channels: Vec<PriorityChannel>,
+    /// In-flight loads per lane: `(use_iteration, class, done)`.
+    pending: Vec<Vec<(u32, DataClass, u64)>>,
+    realign_gate: Vec<Option<(u64, DataClass)>>,
+}
+
+impl SweepState {
+    fn new(lanes: usize) -> Self {
+        Self {
+            prev_end: vec![0; lanes],
+            dram_free: vec![0; lanes],
+            prefetch_work: vec![0; lanes],
+            prefetch_stall: vec![0; lanes],
+            exposed: vec![[0; 4]; lanes],
+            channels: (0..lanes).map(|_| PriorityChannel::new()).collect(),
+            pending: (0..lanes).map(|_| Vec::new()).collect(),
+            realign_gate: vec![None; lanes],
+        }
+    }
+}
+
+/// Replays one layer prepass under every config in `cfgs` in lockstep.
+/// Lane `s` of the result is bit-identical to
+/// `prepass.replay(&costs[s], &cfgs[s])`.
+///
+/// # Panics
+///
+/// Panics when `costs` and `cfgs` disagree on length.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn replay_sweep_layer(
+    prepass: &LayerPrepass,
+    costs: &[RandomCosts],
+    cfgs: &[TimingConfig],
+) -> Vec<TimingReport> {
+    assert_eq!(costs.len(), cfgs.len(), "one cost table per scenario");
+    let lanes = cfgs.len();
+    let iterations = prepass.iterations as usize;
+
+    // Load bucketing is the only preprocessing that depends on a config
+    // knob (the buffer depth): compute it once per distinct depth and let
+    // lanes with equal depth share (cycle pricing differs per lane but the
+    // bucket membership and order do not).
+    let depths: Vec<u32> = cfgs.iter().map(|c| c.buffer_depth.max(1)).collect();
+    let mut distinct: Vec<u32> = depths.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let shared_buckets: Vec<_> = distinct.iter().map(|&d| prepass.bucket_loads(d)).collect();
+    let bucket_idx: Vec<usize> = depths
+        .iter()
+        .map(|d| distinct.iter().position(|x| x == d).expect("present"))
+        .collect();
+
+    let mut st = SweepState::new(lanes);
+    let mut compute_cycles = 0u64;
+    let mut stream_stall = 0u64;
+
+    for n in 0..iterations {
+        // Config-independent per-iteration facts, loaded once per
+        // iteration for all lanes.
+        let compute = prepass.compute_per_iter[n];
+        compute_cycles += compute;
+        let dur = prepass.dur_per_iter[n];
+        stream_stall += dur - compute;
+        let spill = prepass.spill_words[n];
+        let dram = prepass.dram_bytes[n];
+        let streams = &prepass.streams_by_iter[n];
+
+        for s in 0..lanes {
+            let channel = &mut st.channels[s];
+            let cost = &costs[s];
+            let prev_end = st.prev_end[s];
+
+            // 1. Launch this boundary's prefetches.
+            for load in &shared_buckets[bucket_idx[s]][n] {
+                let cycles = cost.read(load.words);
+                let done = channel.prefetch(prev_end, cycles);
+                st.prefetch_work[s] += cycles;
+                st.pending[s].push((load.use_iteration, load.class, done));
+            }
+
+            // 2. Compute starts once operands arrived and the previous
+            // boundary's realignments finished.
+            let mut start = prev_end;
+            let mut stall_source: Option<(DataClass, bool)> = None;
+            if let Some((done, class)) = st.realign_gate[s].take() {
+                if done > start {
+                    start = done;
+                    stall_source = Some((class, false));
+                }
+            }
+            for &(use_iter, class, done) in &st.pending[s] {
+                if use_iter == n as u32 && done > start {
+                    start = done;
+                    stall_source = Some((class, true));
+                }
+            }
+            st.pending[s].retain(|&(use_iter, ..)| use_iter > n as u32);
+            let stall = start - prev_end;
+            if stall > 0 {
+                let (class, is_load) = stall_source.expect("a stall has a source");
+                st.exposed[s][class_idx(class)] += stall;
+                if is_load {
+                    st.prefetch_stall[s] += stall;
+                }
+            }
+
+            // 3. The iteration itself (shared duration).
+            let mut end = start + dur;
+
+            // 4. Demand traffic: streams, spill round trips, DRAM
+            // overflow.
+            for &(class, words) in streams {
+                let done = channel.demand(start, cost.read(words));
+                if done > end {
+                    st.exposed[s][class_idx(class)] += done - end;
+                    end = done;
+                }
+            }
+            if spill > 0 {
+                let rd = cost.read(spill / 2);
+                let wr = cost.write(spill - spill / 2);
+                let done = channel.demand(start, rd + wr);
+                if done > end {
+                    st.exposed[s][class_idx(DataClass::Psum)] += done - end;
+                    end = done;
+                }
+            }
+            if dram > 0 {
+                let cyc = cost.cycles_of(dram as f64 / DRAM_BANDWIDTH);
+                let begin = start.max(st.dram_free[s]);
+                let done = begin + cyc;
+                st.dram_free[s] = done;
+                if done > end {
+                    st.exposed[s][class_idx(DataClass::Input)] += done - end;
+                    end = done;
+                }
+            }
+
+            // 5. Fold-boundary realignments gate the next iteration.
+            for (class, counts) in &prepass.realigns {
+                let work = counts[n] * cost.realign_access;
+                if work == 0 {
+                    continue;
+                }
+                let done = channel.demand(start, work);
+                if st.realign_gate[s].is_none_or(|(t, _)| done > t) {
+                    st.realign_gate[s] = Some((done, *class));
+                }
+            }
+
+            st.prev_end[s] = end;
+        }
+    }
+
+    (0..lanes)
+        .map(|s| TimingReport {
+            name: prepass.name().to_owned(),
+            total_cycles: st.prev_end[s],
+            compute_cycles,
+            stream_stall_cycles: stream_stall,
+            exposed_stall_cycles: st.exposed[s],
+            prefetch_work_cycles: st.prefetch_work[s],
+            prefetch_stall_cycles: st.prefetch_stall[s],
+            random_busy_cycles: st.channels[s].busy,
+        })
+        .collect()
+}
+
+/// Replays a whole prepared model under every config in `cfgs`, layer by
+/// layer in lockstep. Element `s` of the result is bit-identical to
+/// `prepass.replay(&cfgs[s])`.
+///
+/// # Panics
+///
+/// Panics when any config's `max_iterations` differs from the value the
+/// prepass was compiled with (same contract as [`ModelPrepass::replay`]).
+#[must_use]
+pub fn replay_sweep(prepass: &ModelPrepass, cfgs: &[TimingConfig]) -> Vec<ModelTimingReport> {
+    prepass.sweep(cfgs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::prepare_model;
+    use smart_core::scheme::Scheme;
+    use smart_systolic::models::ModelId;
+
+    #[test]
+    fn sweep_matches_scalar_replay() {
+        let nominal = TimingConfig::nominal();
+        let prepass = prepare_model(&Scheme::smart(), &ModelId::AlexNet.build(), 6).expect("ok");
+        let cfgs: Vec<TimingConfig> = [10u32, 25, 50, 100, 400]
+            .iter()
+            .flat_map(|&pct| {
+                [1u32, 3, 5]
+                    .iter()
+                    .map(move |&d| nominal.with_depth(d).with_bandwidth_pct(pct))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let batched = replay_sweep(&prepass, &cfgs);
+        assert_eq!(batched.len(), cfgs.len());
+        for (cfg, got) in cfgs.iter().zip(&batched) {
+            assert_eq!(*got, prepass.replay(cfg), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let prepass = prepare_model(&Scheme::smart(), &ModelId::AlexNet.build(), 6).expect("ok");
+        assert!(replay_sweep(&prepass, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost table per scenario")]
+    fn mismatched_costs_are_rejected() {
+        let prepass = prepare_model(&Scheme::smart(), &ModelId::AlexNet.build(), 6).expect("ok");
+        let cfg = TimingConfig::nominal();
+        let costs = [prepass.costs(&cfg)];
+        let _ = replay_sweep_layer(&prepass.layers()[0], &costs, &[cfg, cfg]);
+    }
+}

@@ -1,4 +1,4 @@
-//! [`TimingCache`]: a thread-safe memoization layer over
+//! [`TimingCache`]: a thread-safe, single-flight memoization layer over
 //! [`crate::validate::simulate_scheme`], mirroring
 //! `smart_core::cache::EvalCache`.
 //!
@@ -8,21 +8,45 @@
 //! the full scheme/config values and shared as [`Arc`]s across the
 //! experiment runner's worker threads. Errors (non-heterogeneous schemes)
 //! are not cached.
+//!
+//! Concurrent misses on one key are **single-flight**: the map stores an
+//! [`OnceLock`] cell per key, so the first thread to claim a cell runs the
+//! replay while every other thread blocks on the same cell and shares the
+//! result — the old drop-the-lock-then-insert window that let two threads
+//! replay the same model twice is gone (`concurrent_misses_replay_once`
+//! pins this).
+//!
+//! Two more tiers sit behind the exact-key map:
+//!
+//! * a **warm store** of content-hash-keyed reports loaded from a previous
+//!   process via [`crate::persist`] — consulted on a miss before the
+//!   replay runs, so a `--cache-dir` run starts warm;
+//! * the **sweep path** ([`TimingCache::sweep`]): uncached points of a
+//!   config sweep are compiled once per `(scheme, model)` through
+//!   [`crate::validate::prepare_model`] and replayed by the batched
+//!   struct-of-arrays kernel, instead of paying one full
+//!   `simulate_scheme` per point.
 
 use crate::config::TimingConfig;
 use crate::report::ModelTimingReport;
-use crate::validate::simulate_scheme;
+use crate::validate::prepare_model_ctx;
+use smart_compiler::SolverContext;
 use smart_core::scheme::Scheme;
 use smart_systolic::models::ModelId;
+use smart_units::codec::content_hash;
 use smart_units::Result;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Key = (Scheme, ModelId, TimingConfig);
+type Slot = Arc<OnceLock<Result<Arc<ModelTimingReport>>>>;
 
 /// Hit/miss/size counters of a [`TimingCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingCacheStats {
-    /// Lookups served from the map.
+    /// Lookups served without running the replay simulator (an exact-map
+    /// or warm-store entry, or another thread's in-flight replay).
     pub hits: u64,
     /// Lookups that ran the replay simulator.
     pub misses: u64,
@@ -30,10 +54,20 @@ pub struct TimingCacheStats {
     pub entries: usize,
 }
 
-/// A memoized, thread-safe front end to the replay simulator.
+/// A memoized, thread-safe, single-flight front end to the replay
+/// simulator.
 #[derive(Debug, Default)]
 pub struct TimingCache {
-    map: Mutex<HashMap<(Scheme, ModelId, TimingConfig), Arc<ModelTimingReport>>>,
+    map: Mutex<HashMap<Key, Slot>>,
+    /// Content-hash-keyed reports reloaded from a previous process (see
+    /// [`crate::persist`]); consulted on a miss, never written during a
+    /// run.
+    warm: Mutex<HashMap<u128, Arc<ModelTimingReport>>>,
+    /// ILP warm-start state threaded through every replay compile this
+    /// cache runs, so bases reuse across models — and, via
+    /// [`SolverContext::save_to`]/[`SolverContext::load_from`], across
+    /// processes.
+    solver: SolverContext,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -43,6 +77,45 @@ impl TimingCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The ILP warm-start context this cache compiles through (exposed so
+    /// callers can persist its basis store next to the report store).
+    #[must_use]
+    pub fn solver(&self) -> &SolverContext {
+        &self.solver
+    }
+
+    /// The cell for `key`, plus whether this call created it (and
+    /// therefore owns its initialization).
+    fn slot(&self, key: &Key) -> (Slot, bool) {
+        let mut map = self.map.lock().expect("timing cache poisoned");
+        if let Some(cell) = map.get(key) {
+            (Arc::clone(cell), false)
+        } else {
+            let cell: Slot = Arc::new(OnceLock::new());
+            map.insert(key.clone(), Arc::clone(&cell));
+            (Arc::clone(&cell), true)
+        }
+    }
+
+    /// Drops `key` from the map if it still holds exactly `cell` (the
+    /// errors-are-not-cached path: the next lookup retries).
+    fn evict(&self, key: &Key, cell: &Slot) {
+        let mut map = self.map.lock().expect("timing cache poisoned");
+        if map.get(key).is_some_and(|c| Arc::ptr_eq(c, cell)) {
+            map.remove(key);
+        }
+    }
+
+    /// The warm-store entry for `key`, if a previous process persisted
+    /// one.
+    fn warm_lookup(&self, key: &Key) -> Option<Arc<ModelTimingReport>> {
+        self.warm
+            .lock()
+            .expect("timing warm store poisoned")
+            .get(&content_hash(key))
+            .cloned()
     }
 
     /// The memoized equivalent of
@@ -55,8 +128,8 @@ impl TimingCache {
     ///
     /// # Panics
     ///
-    /// Panics if the map mutex was poisoned by a panicking replay on
-    /// another thread.
+    /// Panics if the cache was poisoned by a panicking replay on another
+    /// thread.
     pub fn report(
         &self,
         scheme: &Scheme,
@@ -64,19 +137,171 @@ impl TimingCache {
         cfg: &TimingConfig,
     ) -> Result<Arc<ModelTimingReport>> {
         let key = (scheme.clone(), model, *cfg);
-        if let Some(found) = self.map.lock().expect("timing cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(found));
+        let (cell, _) = self.slot(&key);
+        let mut ran = false;
+        let result = cell
+            .get_or_init(|| {
+                ran = true;
+                if let Some(found) = self.warm_lookup(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(found);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                prepare_model_ctx(scheme, &model.build(), cfg.max_iterations, &self.solver)
+                    .map(|prepass| Arc::new(prepass.replay(cfg)))
+            })
+            .clone();
+        if ran && result.is_err() {
+            self.evict(&key, &cell);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let report = Arc::new(simulate_scheme(scheme, &model.build(), cfg)?);
-        Ok(Arc::clone(
-            self.map
-                .lock()
-                .expect("timing cache poisoned")
-                .entry(key)
-                .or_insert(report),
-        ))
+        if !ran && result.is_ok() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Replays a whole config sweep over `(scheme, model)`: cached points
+    /// are served from the map or warm store, and the *uncached* points
+    /// share one ILP compile ([`prepare_model_ctx`]) and one pass of the
+    /// batched struct-of-arrays kernel instead of a full `simulate_scheme`
+    /// each. Point results are bit-identical to [`TimingCache::report`]
+    /// (same prepass, same finish pass) and are stored in the map like any
+    /// other lookup. Configs may mix `max_iterations`; points are grouped
+    /// per value.
+    ///
+    /// # Errors
+    ///
+    /// [`smart_units::SmartError::InvalidInput`] when the scheme's SPM is
+    /// not heterogeneous (nothing is cached in that case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was poisoned by a panicking replay on another
+    /// thread.
+    pub fn sweep(
+        &self,
+        scheme: &Scheme,
+        model: ModelId,
+        cfgs: &[TimingConfig],
+    ) -> Result<Vec<Arc<ModelTimingReport>>> {
+        let mut results: Vec<Option<Arc<ModelTimingReport>>> = vec![None; cfgs.len()];
+        let mut cells: Vec<(Slot, bool)> = Vec::with_capacity(cfgs.len());
+        let mut ours: Vec<usize> = Vec::new();
+        for (i, cfg) in cfgs.iter().enumerate() {
+            let key = (scheme.clone(), model, *cfg);
+            let (cell, created) = self.slot(&key);
+            if created {
+                if let Some(found) = self.warm_lookup(&key) {
+                    // Warm entries publish immediately (another thread may
+                    // already be waiting on the cell).
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let _ = cell.set(Ok(Arc::clone(&found)));
+                    results[i] = Some(found);
+                } else {
+                    ours.push(i);
+                }
+            }
+            cells.push((cell, created));
+        }
+
+        // Batch-compute the points this call owns, one prepass per
+        // distinct max_iterations.
+        let mut pending = ours;
+        while let Some(&first) = pending.first() {
+            let max_iterations = cfgs[first].max_iterations;
+            let (group, rest): (Vec<usize>, Vec<usize>) = pending
+                .into_iter()
+                .partition(|&i| cfgs[i].max_iterations == max_iterations);
+            pending = rest;
+            let prepass =
+                match prepare_model_ctx(scheme, &model.build(), max_iterations, &self.solver) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // Errors are not cached: withdraw every cell this call
+                        // created (including warm-published ones would be
+                        // wrong — those are valid results — so only the
+                        // uninitialized ones go).
+                        for &i in group.iter().chain(&pending) {
+                            let key = (scheme.clone(), model, cfgs[i]);
+                            self.evict(&key, &cells[i].0);
+                        }
+                        return Err(e);
+                    }
+                };
+            let group_cfgs: Vec<TimingConfig> = group.iter().map(|&i| cfgs[i]).collect();
+            let reports = prepass.sweep(&group_cfgs);
+            for (&i, report) in group.iter().zip(reports) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let report = Arc::new(report);
+                // If a racing `report()` call initialized our cell first,
+                // its (identical, deterministic) value wins.
+                let stored = cells[i]
+                    .0
+                    .get_or_init(|| Ok(report))
+                    .clone()
+                    .expect("batched replay is infallible");
+                results[i] = Some(stored);
+            }
+        }
+
+        // Points owned by other in-flight calls (or already ready): wait
+        // on their cells; the fallback closure only runs if that owner
+        // errored out and evicted the cell before we read it.
+        for (i, cfg) in cfgs.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            let (cell, created) = &cells[i];
+            let mut ran = false;
+            let result = cell
+                .get_or_init(|| {
+                    ran = true;
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    prepare_model_ctx(scheme, &model.build(), cfg.max_iterations, &self.solver)
+                        .map(|prepass| Arc::new(prepass.replay(cfg)))
+                })
+                .clone();
+            if ran && result.is_err() {
+                let key = (scheme.clone(), model, *cfg);
+                self.evict(&key, cell);
+            }
+            if !ran && !*created {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            results[i] = Some(result?);
+        }
+
+        Ok(results.into_iter().map(|r| r.expect("filled")).collect())
+    }
+
+    /// Installs `entries` (content-hash keyed, from a persisted store) as
+    /// the warm tier; returns how many are now loaded. Existing warm
+    /// entries are replaced wholesale.
+    pub(crate) fn load_warm_entries(
+        &self,
+        entries: HashMap<u128, Arc<ModelTimingReport>>,
+    ) -> usize {
+        let mut warm = self.warm.lock().expect("timing warm store poisoned");
+        *warm = entries;
+        warm.len()
+    }
+
+    /// Every persistable entry: the warm tier plus all ready `Ok` cells
+    /// (which shadow warm entries of the same key, though by construction
+    /// they are identical).
+    pub(crate) fn snapshot_entries(&self) -> HashMap<u128, Arc<ModelTimingReport>> {
+        let mut out = self
+            .warm
+            .lock()
+            .expect("timing warm store poisoned")
+            .clone();
+        let map = self.map.lock().expect("timing cache poisoned");
+        for (key, cell) in map.iter() {
+            if let Some(Ok(report)) = cell.get() {
+                out.insert(content_hash(key), Arc::clone(report));
+            }
+        }
+        out
     }
 
     /// Current counters.
@@ -148,5 +373,73 @@ mod tests {
             crate::validate::simulate_scheme(&scheme, &ModelId::AlexNet.build(), &cfg).expect("ok");
         let cached = cache.report(&scheme, ModelId::AlexNet, &cfg).expect("ok");
         assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn concurrent_misses_replay_once() {
+        // The single-flight cell: N threads racing on one cold key run
+        // the replay exactly once and all share its Arc.
+        let cache = TimingCache::new();
+        let scheme = Scheme::smart();
+        let cfg = TimingConfig::nominal();
+        let reports: Vec<Arc<ModelTimingReport>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.report(&scheme, ModelId::AlexNet, &cfg).expect("ok")))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("joins"))
+                .collect()
+        });
+        for r in &reports[1..] {
+            assert!(Arc::ptr_eq(&reports[0], r));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one replay ran: {stats:?}");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_reports() {
+        let swept = TimingCache::new();
+        let pointwise = TimingCache::new();
+        let scheme = Scheme::smart();
+        let nominal = TimingConfig::nominal();
+        let cfgs: Vec<TimingConfig> = [1u32, 2, 3, 4, 5]
+            .iter()
+            .map(|&d| nominal.with_depth(d).with_bandwidth_pct(50))
+            .collect();
+        let batch = swept.sweep(&scheme, ModelId::AlexNet, &cfgs).expect("ok");
+        assert_eq!(batch.len(), cfgs.len());
+        for (cfg, got) in cfgs.iter().zip(&batch) {
+            let want = pointwise
+                .report(&scheme, ModelId::AlexNet, cfg)
+                .expect("ok");
+            assert_eq!(**got, *want, "{cfg:?}");
+        }
+        // The sweep cached every point: re-sweeping is all hits.
+        let before = swept.stats();
+        assert_eq!(before.entries, cfgs.len());
+        let again = swept.sweep(&scheme, ModelId::AlexNet, &cfgs).expect("ok");
+        for (a, b) in batch.iter().zip(&again) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        let after = swept.stats();
+        assert_eq!(after.misses, before.misses, "no recompute");
+        assert_eq!(after.hits, before.hits + cfgs.len() as u64);
+    }
+
+    #[test]
+    fn sweep_errors_cache_nothing() {
+        let cache = TimingCache::new();
+        let cfgs = [
+            TimingConfig::nominal(),
+            TimingConfig::nominal().with_depth(1),
+        ];
+        assert!(cache
+            .sweep(&Scheme::tpu(), ModelId::AlexNet, &cfgs)
+            .is_err());
+        assert_eq!(cache.stats().entries, 0);
     }
 }

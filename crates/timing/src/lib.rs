@@ -48,17 +48,20 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod cache;
 pub mod config;
+pub mod persist;
 pub mod replay;
 pub mod report;
 pub mod validate;
 
+pub use batch::{replay_sweep, replay_sweep_layer};
 pub use cache::{TimingCache, TimingCacheStats};
 pub use config::TimingConfig;
-pub use replay::{replay_layer, LayerInstance};
+pub use replay::{replay_layer, LayerInstance, LayerPrepass, RandomCosts};
 pub use report::{ModelTimingReport, TimingReport};
 pub use validate::{
-    hetero_spm, max_layer_deviation, params_for, prefetch_window, simulate_model, simulate_scheme,
-    stall_free_variant,
+    hetero_spm, max_layer_deviation, params_for, prefetch_window, prepare_model, prepare_model_ctx,
+    simulate_model, simulate_scheme, stall_free_variant, ModelPrepass,
 };

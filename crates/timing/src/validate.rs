@@ -15,8 +15,8 @@
 
 use crate::cache::TimingCache;
 use crate::config::TimingConfig;
-use crate::replay::{replay_layer, LayerInstance};
-use crate::report::{ModelTimingReport, TimingReport};
+use crate::replay::{LayerInstance, LayerPrepass, RandomCosts};
+use crate::report::ModelTimingReport;
 use smart_compiler::formulation::{compile_layer_ctx, FormulationParams};
 use smart_compiler::SolverContext;
 use smart_core::eval::evaluate;
@@ -67,9 +67,173 @@ pub fn params_for(spm: &HeterogeneousSpm, policy: AllocationPolicy) -> Formulati
     }
 }
 
-/// Compiles and replays every layer of `model` on `scheme`. Layers run
-/// sequentially through one shared [`SolverContext`] so adjacent
+/// The compiled, config-independent half of a whole-model simulation: one
+/// [`LayerPrepass`] per layer, plus the scheme context the finish passes
+/// need ([`Self::replay`] prices each config against the captured SPM and
+/// clock). Built once by [`prepare_model`] — which pays the ILP compile —
+/// and replayed per [`TimingConfig`], so a sweep compiles each layer once
+/// instead of once per point.
+#[derive(Debug, Clone)]
+pub struct ModelPrepass {
+    /// Scheme name (copied into each report).
+    scheme: &'static str,
+    /// Model name (copied into each report).
+    model: String,
+    /// The scheme's heterogeneous SPM.
+    spm: HeterogeneousSpm,
+    /// Accelerator clock.
+    clock: smart_units::Frequency,
+    /// The DAG coarsening cap the layers were compiled with; every
+    /// replayed config must carry the same value.
+    max_iterations: u32,
+    /// Per-layer prepasses, in model order.
+    pub(crate) layers: Vec<LayerPrepass>,
+}
+
+impl ModelPrepass {
+    /// The per-scenario RANDOM cost table for this prepass's SPM and
+    /// clock.
+    #[must_use]
+    pub fn costs(&self, cfg: &TimingConfig) -> RandomCosts {
+        RandomCosts::new(&self.spm, self.clock, cfg)
+    }
+
+    /// The per-layer prepasses, in model order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerPrepass] {
+        &self.layers
+    }
+
+    /// The per-config finish pass over every layer, bit-identical to
+    /// [`simulate_scheme`] on the same scheme/model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.max_iterations` differs from the value the layers
+    /// were compiled with — the iteration DAG is baked into the prepass,
+    /// so such a replay would silently simulate the wrong DAG.
+    #[must_use]
+    pub fn replay(&self, cfg: &TimingConfig) -> ModelTimingReport {
+        assert_eq!(
+            cfg.max_iterations, self.max_iterations,
+            "prepass compiled with max_iterations {} replayed with {}",
+            self.max_iterations, cfg.max_iterations
+        );
+        let costs = self.costs(cfg);
+        ModelTimingReport {
+            scheme: self.scheme,
+            model: self.model.clone(),
+            clock: self.clock,
+            layers: self.layers.iter().map(|l| l.replay(&costs, cfg)).collect(),
+        }
+    }
+
+    /// Replays every config in `cfgs` through the struct-of-arrays sweep
+    /// kernel, layer by layer in lockstep. Element `s` is bit-identical
+    /// to `self.replay(&cfgs[s])`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ModelPrepass::replay`], for any config in the sweep.
+    #[must_use]
+    pub fn sweep(&self, cfgs: &[TimingConfig]) -> Vec<ModelTimingReport> {
+        for cfg in cfgs {
+            assert_eq!(
+                cfg.max_iterations, self.max_iterations,
+                "prepass compiled with max_iterations {} swept with {}",
+                self.max_iterations, cfg.max_iterations
+            );
+        }
+        let costs: Vec<RandomCosts> = cfgs.iter().map(|c| self.costs(c)).collect();
+        let mut reports: Vec<ModelTimingReport> = cfgs
+            .iter()
+            .map(|_| ModelTimingReport {
+                scheme: self.scheme,
+                model: self.model.clone(),
+                clock: self.clock,
+                layers: Vec::with_capacity(self.layers.len()),
+            })
+            .collect();
+        for layer in &self.layers {
+            let lanes = crate::batch::replay_sweep_layer(layer, &costs, cfgs);
+            for (report, lane) in reports.iter_mut().zip(lanes) {
+                report.layers.push(lane);
+            }
+        }
+        reports
+    }
+}
+
+/// Compiles every layer of `model` on `scheme` (the ILP plus the
+/// config-independent replay prepass), without replaying anything. Layers
+/// run sequentially through one shared [`SolverContext`] so adjacent
 /// compilations warm-start, and the whole function is deterministic.
+///
+/// # Errors
+///
+/// [`SmartError::InvalidInput`] when the scheme's SPM is not
+/// heterogeneous.
+pub fn prepare_model(
+    scheme: &Scheme,
+    model: &CnnModel,
+    max_iterations: u32,
+) -> Result<ModelPrepass> {
+    prepare_model_ctx(scheme, model, max_iterations, &SolverContext::new())
+}
+
+/// Like [`prepare_model`], threading a caller-owned [`SolverContext`]
+/// through every layer compilation, so bases warm-start across models and
+/// — through the context's persisted basis store — across processes.
+/// Warm starts never change the optimum (the simplex refactorizes and
+/// falls back cold when a stored basis does not fit), so results are
+/// identical to [`prepare_model`]'s.
+///
+/// # Errors
+///
+/// [`SmartError::InvalidInput`] when the scheme's SPM is not
+/// heterogeneous.
+pub fn prepare_model_ctx(
+    scheme: &Scheme,
+    model: &CnnModel,
+    max_iterations: u32,
+    solver: &SolverContext,
+) -> Result<ModelPrepass> {
+    let spm = hetero_spm(scheme)?;
+    let params = params_for(spm, scheme.policy);
+    let layers: Vec<LayerPrepass> = model
+        .layers
+        .iter()
+        .map(|layer| {
+            let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
+            let demand = LayerDemand::derive(layer, &mapping);
+            let dag = LayerDag::build(&mapping, max_iterations);
+            let schedule = compile_layer_ctx(&dag, &params, solver);
+            LayerPrepass::build(
+                &LayerInstance {
+                    name: &layer.name,
+                    mapping: &mapping,
+                    demand: &demand,
+                    dag: &dag,
+                    schedule: &schedule,
+                },
+                spm,
+                scheme.config.frequency,
+            )
+        })
+        .collect();
+    Ok(ModelPrepass {
+        scheme: scheme.name,
+        model: model.name.clone(),
+        spm: *spm,
+        clock: scheme.config.frequency,
+        max_iterations,
+        layers,
+    })
+}
+
+/// Compiles and replays every layer of `model` on `scheme`: exactly
+/// [`prepare_model`] followed by [`ModelPrepass::replay`], which is what
+/// makes delta replay equivalent to full simulation by construction.
 ///
 /// # Errors
 ///
@@ -80,37 +244,7 @@ pub fn simulate_scheme(
     model: &CnnModel,
     cfg: &TimingConfig,
 ) -> Result<ModelTimingReport> {
-    let spm = hetero_spm(scheme)?;
-    let params = params_for(spm, scheme.policy);
-    let solver = SolverContext::new();
-    let layers: Vec<TimingReport> = model
-        .layers
-        .iter()
-        .map(|layer| {
-            let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
-            let demand = LayerDemand::derive(layer, &mapping);
-            let dag = LayerDag::build(&mapping, cfg.max_iterations);
-            let schedule = compile_layer_ctx(&dag, &params, &solver);
-            replay_layer(
-                &LayerInstance {
-                    name: &layer.name,
-                    mapping: &mapping,
-                    demand: &demand,
-                    dag: &dag,
-                    schedule: &schedule,
-                },
-                spm,
-                scheme.config.frequency,
-                cfg,
-            )
-        })
-        .collect();
-    Ok(ModelTimingReport {
-        scheme: scheme.name,
-        model: model.name.clone(),
-        clock: scheme.config.frequency,
-        layers,
-    })
+    Ok(prepare_model(scheme, model, cfg.max_iterations)?.replay(cfg))
 }
 
 /// The validation twin of a scheme: same SPM geometry with an idealized
@@ -219,6 +353,33 @@ mod tests {
             assert!(l.total_cycles > 0);
         }
         assert!(report.total_time().as_s() > 0.0);
+    }
+
+    #[test]
+    fn prepared_model_replays_identically_across_configs() {
+        let scheme = Scheme::smart();
+        let model = ModelId::AlexNet.build();
+        let nominal = TimingConfig::nominal();
+        let prepass = prepare_model(&scheme, &model, nominal.max_iterations).expect("prepares");
+        for cfg in [
+            nominal,
+            nominal.with_depth(1),
+            nominal.with_bandwidth_pct(25),
+            nominal.with_depth(5).with_bandwidth_pct(400),
+        ] {
+            let delta = prepass.replay(&cfg);
+            let full = simulate_scheme(&scheme, &model, &cfg).expect("simulates");
+            assert_eq!(delta, full, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_iterations")]
+    fn replaying_a_foreign_dag_depth_is_rejected() {
+        let prepass = prepare_model(&Scheme::smart(), &ModelId::AlexNet.build(), 6).expect("ok");
+        let mut cfg = TimingConfig::nominal();
+        cfg.max_iterations = 4;
+        let _ = prepass.replay(&cfg);
     }
 
     #[test]

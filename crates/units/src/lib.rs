@@ -10,14 +10,16 @@
 //!
 //! (See the README for the exact per-crate dependency edges.)
 //!
-//! Two things live here:
+//! Three things live here:
 //!
 //! * [`quantity`] — strongly-typed physical quantities ([`Time`],
 //!   [`Energy`], [`Power`], [`Length`], [`Area`], [`Frequency`]), stored in
 //!   SI base units so a picosecond can never be confused with a nanosecond,
 //! * [`error`] — the workspace-wide [`SmartError`] type and [`Result`]
 //!   alias that all fallible layers (the ILP solver, the transient circuit
-//!   engine, the allocation compiler) funnel into.
+//!   engine, the allocation compiler) funnel into,
+//! * [`codec`] — the hand-rolled versioned binary store format the
+//!   persistent warm-start caches serialize through.
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod codec;
 pub mod error;
 pub mod quantity;
 

@@ -290,6 +290,160 @@ proptest! {
         prop_assert!(e1.as_si() > 0.0);
         let _: Energy = e1;
     }
+
+    /// Delta replay and the batched sweep kernel are bit-identical to a
+    /// full per-config simulation on random layer/config pairs: one
+    /// prepass finished under each config equals compiling and replaying
+    /// from scratch.
+    #[test]
+    fn timing_delta_replay_equals_full_replay(
+        hw in 8u32..32,
+        in_c in 8u32..96,
+        out_c in 16u32..192,
+        kernel in 1u32..4,
+        depths in 1u32..5,
+        pct_idx in 0usize..4,
+    ) {
+        use smart::core::scheme::Scheme;
+        use smart::systolic::layer::{CnnModel, ConvLayer};
+        use smart::timing::{prepare_model, replay_sweep, simulate_scheme, TimingConfig};
+
+        let layer = ConvLayer::conv("p", hw, hw, in_c, out_c, kernel, 1, 1);
+        let model = CnnModel::new("p", vec![layer]);
+        let pct = [10u32, 50, 100, 400][pct_idx];
+        let cfgs: Vec<TimingConfig> = (1..=depths)
+            .map(|d| TimingConfig::nominal().with_depth(d).with_bandwidth_pct(pct))
+            .collect();
+        let scheme = Scheme::smart();
+        let prepass = prepare_model(&scheme, &model, cfgs[0].max_iterations).expect("heterogeneous");
+        let batched = replay_sweep(&prepass, &cfgs);
+        for (cfg, lane) in cfgs.iter().zip(&batched) {
+            let full = simulate_scheme(&scheme, &model, cfg).expect("heterogeneous");
+            prop_assert_eq!(&prepass.replay(cfg), &full);
+            prop_assert_eq!(lane, &full);
+        }
+    }
+
+    /// A persisted-then-reloaded timing cache serves results bit-identical
+    /// to the cold run that wrote it, without replaying, and re-saving the
+    /// warm cache reproduces the same file bytes.
+    #[test]
+    fn timing_warm_reload_is_byte_identical(
+        depth in 1u32..4,
+        pct_idx in 0usize..3,
+    ) {
+        use smart::core::scheme::Scheme;
+        use smart::systolic::models::ModelId;
+        use smart::timing::{persist, TimingCache, TimingConfig};
+
+        let pct = [25u32, 50, 100][pct_idx];
+        let cfg = TimingConfig::nominal().with_depth(depth).with_bandwidth_pct(pct);
+        let scheme = Scheme::smart();
+        let dir = unique_temp_dir("timing-warm");
+        let cold = TimingCache::new();
+        let direct = cold.report(&scheme, ModelId::AlexNet, &cfg).expect("heterogeneous");
+        prop_assert_eq!(persist::to_bytes(&cold), persist::to_bytes(&cold));
+        persist::save(&cold, &dir).expect("saves");
+
+        let warm = TimingCache::new();
+        prop_assert_eq!(persist::load(&warm, &dir), 1);
+        let reloaded = warm.report(&scheme, ModelId::AlexNet, &cfg).expect("heterogeneous");
+        prop_assert_eq!(&*reloaded, &*direct);
+        prop_assert_eq!(warm.stats().misses, 0);
+        prop_assert_eq!(persist::to_bytes(&warm), persist::to_bytes(&cold));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Same round trip for the analytic evaluation cache: warm results are
+    /// bit-identical and served without evaluating.
+    #[test]
+    fn eval_warm_reload_is_byte_identical(
+        batch in 1u32..16,
+        id_idx in 0usize..3,
+    ) {
+        use smart::core::cache::{self, EvalCache};
+        use smart::core::scheme::Scheme;
+        use smart::systolic::models::ModelId;
+
+        let id = [ModelId::AlexNet, ModelId::Vgg16, ModelId::ResNet50][id_idx];
+        let scheme = Scheme::smart();
+        let dir = unique_temp_dir("eval-warm");
+        let cold = EvalCache::new();
+        let direct = cold.report(&scheme, id, batch);
+        cache::save(&cold, &dir).expect("saves");
+
+        let warm = EvalCache::new();
+        prop_assert_eq!(cache::load(&warm, &dir), 1);
+        let reloaded = warm.report(&scheme, id, batch);
+        prop_assert_eq!(&*reloaded, &*direct);
+        prop_assert_eq!(warm.stats().misses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Any truncation or byte corruption of a persisted store loads zero
+    /// entries — the run falls back to cold, it never errors and never
+    /// serves a damaged report.
+    #[test]
+    fn corrupt_cache_store_falls_back_to_cold(
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        flip in 1u8..255,
+    ) {
+        use smart::timing::{persist, TimingCache};
+
+        let good = pristine_timing_store();
+        let dir = unique_temp_dir("timing-corrupt");
+        let path = dir.join(persist::FILE_NAME);
+
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = (cut_frac * (good.len() - 1) as f64) as usize;
+        std::fs::write(&path, &good[..cut]).expect("writes");
+        prop_assert_eq!(persist::load(&TimingCache::new(), &dir), 0);
+
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let at = (flip_frac * (good.len() - 1) as f64) as usize;
+        let mut bad = good.to_vec();
+        bad[at] ^= flip;
+        std::fs::write(&path, &bad).expect("writes");
+        prop_assert_eq!(persist::load(&TimingCache::new(), &dir), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A per-case scratch directory (pid + atomic counter, so concurrent test
+/// threads and repeated cases never collide).
+fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "smart-prop-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The intact bytes of a one-entry persisted timing store, built once per
+/// process (corruption cases mutate copies of this).
+fn pristine_timing_store() -> &'static [u8] {
+    use smart::core::scheme::Scheme;
+    use smart::systolic::models::ModelId;
+    use smart::timing::{persist, TimingCache, TimingConfig};
+    use std::sync::OnceLock;
+
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = unique_temp_dir("timing-pristine");
+        let cache = TimingCache::new();
+        cache
+            .report(&Scheme::smart(), ModelId::AlexNet, &TimingConfig::nominal())
+            .expect("heterogeneous");
+        persist::save(&cache, &dir).expect("saves");
+        let bytes = std::fs::read(dir.join(persist::FILE_NAME)).expect("reads");
+        std::fs::remove_dir_all(&dir).ok();
+        bytes
+    })
 }
 
 proptest! {
