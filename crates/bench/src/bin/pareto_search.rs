@@ -1,0 +1,214 @@
+//! Design-space Pareto search over generated accelerator geometries.
+//!
+//! Sweeps the default 1000-point heterogeneous grid (or the small 18-point
+//! grid with `--small`) through the staged search engine: parallel
+//! analytic objectives, ε-dominance pruning, warm-started ILP enrichment
+//! of the survivors, and cycle-level replay confirmation of the frontier.
+//!
+//! ```sh
+//! cargo run --release -p smart-bench --bin pareto_search
+//! cargo run --release -p smart-bench --bin pareto_search -- --jobs 8 --json
+//! cargo run --release -p smart-bench --bin pareto_search -- --cache-dir target/warm
+//! cargo run --release -p smart-bench --bin pareto_search -- --small --check
+//! ```
+//!
+//! * `--jobs N` — worker threads for the analytic fan-out (default:
+//!   available parallelism; the ILP/replay stages are sequential by
+//!   design, so the frontier is identical for every `N`),
+//! * `--small` — the 18-point grid instead of the 1000-point one,
+//! * `--json` — a JSON object with the frontier table plus search,
+//!   cache, and solver counters (instead of the fixed-width text),
+//! * `--check` — after searching, verify the invariants (finite
+//!   objectives, frontier ⊆ survivors, no dominated frontier point, and a
+//!   sequential `--jobs 1` rerun producing the identical outcome); exit 1
+//!   on any violation,
+//! * `--cache-dir DIR` — load the persistent eval/timing/basis stores
+//!   from `DIR` before searching and save them back after, so a repeated
+//!   search starts warm (identical frontier, much faster).
+
+use smart_bench::{frontier_table, ExperimentContext};
+use smart_search::{dominates, search, SearchConfig, SearchOutcome, SearchSpace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pareto_search [--jobs N] [--small] [--json] [--check] [--cache-dir DIR]");
+    ExitCode::FAILURE
+}
+
+/// Verifies the search invariants; returns every violation found.
+fn check_outcome(out: &SearchOutcome, rerun: &SearchOutcome) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (i, p) in out.points.iter().enumerate() {
+        if !p.objectives.is_finite() {
+            bad.push(format!(
+                "point {i}: non-finite objectives {:?}",
+                p.objectives
+            ));
+        }
+    }
+    for i in &out.frontier {
+        if !out.survivors.contains(i) {
+            bad.push(format!("frontier point {i} missing from the survivor set"));
+        }
+        if let Some(j) = (0..out.points.len())
+            .find(|&j| dominates(&out.points[j].objectives, &out.points[*i].objectives))
+        {
+            bad.push(format!("frontier point {i} is dominated by point {j}"));
+        }
+    }
+    if rerun.frontier != out.frontier || rerun.survivors != out.survivors {
+        bad.push("sequential --jobs 1 rerun produced a different outcome".to_owned());
+    }
+    for (i, (a, b)) in out.points.iter().zip(&rerun.points).enumerate() {
+        if a.objectives != b.objectives {
+            bad.push(format!(
+                "point {i}: objectives differ from the --jobs 1 rerun"
+            ));
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let mut jobs: Option<usize> = None;
+    let mut small = false;
+    let mut json = false;
+    let mut check = false;
+    let mut cache_dir: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--small" => small = true,
+            "--json" => json = true,
+            "--check" => check = true,
+            "--jobs" => {
+                let Some(n) = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    return usage();
+                };
+                jobs = Some(n);
+            }
+            "--cache-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--cache-dir needs a directory");
+                    return usage();
+                };
+                cache_dir = Some(PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let ctx = jobs.map_or_else(ExperimentContext::default, ExperimentContext::new);
+    if let Some(dir) = &cache_dir {
+        let warm = ctx.load_caches(dir);
+        eprintln!("cache-dir: {} warm entries loaded", warm.total());
+    }
+
+    let space = if small {
+        SearchSpace::small()
+    } else {
+        SearchSpace::default_grid()
+    };
+    let cfg = SearchConfig::new(ctx.jobs);
+    let started = Instant::now();
+    let out = match search(&space, &cfg, &ctx.cache, &ctx.timing) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("search failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if let Some(dir) = &cache_dir {
+        if let Err(e) = ctx.save_caches(dir) {
+            eprintln!("cache-dir: save failed: {e}");
+        }
+    }
+
+    let table = frontier_table(
+        "pareto_search",
+        &format!(
+            "Design-space search: Pareto frontier of the {}-point heterogeneous grid (AlexNet, batch 1)",
+            out.stats.space
+        ),
+        &out,
+    );
+    let s = out.stats;
+    if json {
+        // The table's own JSON plus the run counters (satellite stats the
+        // fixed-width text has no room for).
+        println!(
+            "{{\"table\":{},\"stats\":{{\
+             \"space\":{},\"pruned\":{},\"survivors\":{},\"frontier\":{},\
+             \"ilp_compiles\":{},\
+             \"eval_hits\":{},\"eval_misses\":{},\
+             \"timing_hits\":{},\"timing_misses\":{},\
+             \"warm_attempts\":{},\"warm_hits\":{},\"cold_solves\":{},\"solution_hits\":{},\
+             \"seconds\":{:.3},\"configs_per_second\":{:.1}}}}}",
+            table.to_json(),
+            s.space,
+            s.pruned,
+            s.survivors,
+            s.frontier,
+            s.ilp_compiles,
+            s.eval_hits,
+            s.eval_misses,
+            s.timing_hits,
+            s.timing_misses,
+            s.warm_attempts,
+            s.warm_hits,
+            s.cold_solves,
+            s.solution_hits,
+            elapsed,
+            s.space as f64 / elapsed.max(1e-9),
+        );
+    } else {
+        print!("{table}");
+        eprintln!(
+            "{} configs in {:.2}s ({:.0} configs/s); eval {}h/{}m, replay {}h/{}m, \
+             solver {} warm / {} memo / {} cold",
+            s.space,
+            elapsed,
+            s.space as f64 / elapsed.max(1e-9),
+            s.eval_hits,
+            s.eval_misses,
+            s.timing_hits,
+            s.timing_misses,
+            s.warm_hits,
+            s.solution_hits,
+            s.cold_solves,
+        );
+    }
+
+    if check {
+        let rerun = match search(&space, &SearchConfig::new(1), &ctx.cache, &ctx.timing) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("check rerun failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let bad = check_outcome(&out, &rerun);
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("CHECK FAILED: {b}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("check passed: {} invariants verified", out.points.len());
+    }
+    ExitCode::SUCCESS
+}

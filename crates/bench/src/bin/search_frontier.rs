@@ -1,0 +1,12 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin search_frontier`.
+//! Pass `--cache-dir DIR` to start warm from (and refresh) the persistent
+//! stores of a previous run.
+fn main() {
+    let ctx = smart_bench::ExperimentContext::default();
+    let dir = smart_bench::cache_dir_arg();
+    print!(
+        "{}",
+        smart_bench::run_cached(smart_bench::search_frontier, &ctx, dir.as_deref())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates one experiment of the paper. Run with
+//! `cargo run -p smart-bench --release --bin search_warm_vs_cold`.
+fn main() {
+    print!(
+        "{}",
+        smart_bench::search_warm_vs_cold(&smart_bench::ExperimentContext::default())
+    );
+}

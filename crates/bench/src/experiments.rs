@@ -19,6 +19,7 @@ use smart_cryomem::tech::MemoryTechnology;
 use smart_josim::cells::CellSpec;
 use smart_josim::fixtures::validate_ptl_model;
 use smart_report::{ColumnSpec, ResultTable, Scenario, Unit, Value};
+use smart_search::{SearchConfig, SearchSpace};
 use smart_sfq::cells::{JtlChainSpec, PtlLinkSpec, SplitterFanoutSpec};
 use smart_sfq::components::{Component, ComponentKind};
 use smart_sfq::hop::PtlHop;
@@ -982,9 +983,6 @@ fn timing_replay(
 /// live.
 #[must_use]
 pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
-    use smart_compiler::formulation::compile_layer;
-    use smart_systolic::dag::LayerDag;
-    use smart_systolic::mapping::LayerMapping;
     use smart_systolic::trace::DataClass;
 
     let cfg = smart_timing::TimingConfig::nominal();
@@ -1111,11 +1109,14 @@ pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
                 .iter()
                 .find(|l| l.name == worst.name)
                 .expect("replayed layer exists");
-            let spm = smart_timing::hetero_spm(&scheme).expect("heterogeneous");
-            let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
-            let dag = LayerDag::build(&mapping, cfg.max_iterations);
-            let schedule = compile_layer(&dag, &smart_timing::params_for(spm, scheme.policy));
-            let (shift, random, dram) = schedule.bytes_by_location(&dag);
+            let compiled = smart_timing::compile_scheme_layer(
+                &scheme,
+                layer,
+                cfg.max_iterations,
+                ctx.timing.solver(),
+            )
+            .expect("heterogeneous");
+            let (shift, random, dram) = compiled.schedule.bytes_by_location(&compiled.dag);
             t.push_summary(
                 format!("{} most stalled: {}", id.name(), worst.name),
                 Value::text(format!(
@@ -1126,7 +1127,7 @@ pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
                     smart_compiler::Location::Random,
                     dram / 1024,
                     smart_compiler::Location::Dram,
-                    schedule.spm_resident_fraction(&dag) * 100.0
+                    compiled.schedule.spm_resident_fraction(&compiled.dag) * 100.0
                 )),
             );
         }
@@ -1266,4 +1267,226 @@ pub fn timing_random_bandwidth(ctx: &ExperimentContext) -> ResultTable {
     );
     t.push_note("(the residual is the max per-layer |replay - analytic| on the idealized twin)");
     t
+}
+
+/// Design-space search: the latency/energy/area Pareto frontier of the
+/// small heterogeneous grid, each frontier point ILP-enriched and
+/// confirmed by the cycle-level replay.
+#[must_use]
+pub fn search_frontier(ctx: &ExperimentContext) -> ResultTable {
+    let space = SearchSpace::small();
+    let cfg = SearchConfig::new(ctx.jobs);
+    let out = smart_search::search(&space, &cfg, &ctx.cache, &ctx.timing)
+        .expect("the small grid is valid and heterogeneous");
+    frontier_table(
+        "search_frontier",
+        "Design-space search: Pareto frontier of the small heterogeneous grid (AlexNet, batch 1)",
+        &out,
+    )
+}
+
+/// Renders a search outcome's Pareto frontier as a [`ResultTable`] (shared
+/// by the `search_frontier` experiment and the `pareto_search` binary).
+#[must_use]
+pub fn frontier_table(name: &str, title: &str, out: &smart_search::SearchOutcome) -> ResultTable {
+    let mut t = ResultTable::new(name, title);
+    t.columns = vec![
+        ColumnSpec::left("family", 7),
+        ColumnSpec::right("window", 7),
+        ColumnSpec::left("random", 12),
+        ColumnSpec::right("banks", 6),
+        ColumnSpec::right("shift(KB)", 10),
+        ColumnSpec::right("random(MB)", 11),
+        ColumnSpec::right("latency(us)", 12),
+        ColumnSpec::right("energy(J)", 10),
+        ColumnSpec::right("area(mm2)", 10),
+        ColumnSpec::right("resident", 9),
+        ColumnSpec::right("replay/ana", 11),
+    ];
+    for p in out.frontier_points() {
+        let (shift, random, banks, kind) = hetero_axes(&p.params);
+        let ilp = p.ilp.expect("frontier points are enriched");
+        let replay = p.replay.expect("frontier points are replayed");
+        t.push_row(vec![
+            Value::text(p.params.name),
+            Value::text(
+                p.params
+                    .prefetch_window
+                    .map_or("static".to_owned(), |a| format!("a={a}")),
+            ),
+            Value::text(kind.name()),
+            Value::count(u64::from(banks)),
+            Value::count(shift / 1024),
+            Value::count(random / MB),
+            Value::time(p.objectives.latency, Unit::Us, 2),
+            Value::sci(p.objectives.energy.as_j(), 2),
+            Value::num(p.objectives.area.as_mm2(), 1),
+            Value::percent(ilp.resident_fraction(), 0),
+            Value::num(replay.vs_analytic, 3),
+        ]);
+    }
+    t.push_summary("space", Value::count(out.stats.space as u64));
+    t.push_summary(
+        "pruned (eps-dominated)",
+        Value::count(out.stats.pruned as u64),
+    );
+    t.push_summary(
+        "survivors (ILP-enriched)",
+        Value::count(out.stats.survivors as u64),
+    );
+    t.push_summary("frontier", Value::count(out.stats.frontier as u64));
+    t.push_note("(objectives are analytic; replay/ana cross-checks each frontier point's latency)");
+    t
+}
+
+/// Design-space search: the staged engine vs the naive per-config
+/// baseline on the same grid — identical frontier, a fraction of the
+/// solver work.
+#[must_use]
+pub fn search_warm_vs_cold(ctx: &ExperimentContext) -> ResultTable {
+    // Fresh caches: the counters below are this experiment's own work, not
+    // whatever concurrently-running experiments put into the shared ones.
+    let space = SearchSpace::small();
+    let cfg = SearchConfig::new(ctx.jobs);
+    let eval = smart_core::cache::EvalCache::new();
+    let timing = smart_timing::TimingCache::new();
+    let warm = smart_search::search(&space, &cfg, &eval, &timing).expect("valid grid");
+    let cold = smart_search::search_naive(&space, &cfg).expect("valid grid");
+
+    let mut t = ResultTable::new(
+        "search_warm_vs_cold",
+        "Design-space search: warm-started engine vs naive cold baseline (small grid)",
+    );
+    t.columns = vec![
+        ColumnSpec::left("run", 12),
+        ColumnSpec::right("evals", 6),
+        ColumnSpec::right("ilp compiles", 13),
+        ColumnSpec::right("cold", 5),
+        ColumnSpec::right("warm hits", 10),
+        ColumnSpec::right("memo hits", 10),
+        ColumnSpec::right("replays", 8),
+        ColumnSpec::right("pruned", 7),
+    ];
+    let row = |label: &str, s: &smart_search::SearchStats| {
+        vec![
+            Value::text(label),
+            Value::count(s.eval_misses),
+            Value::count(s.ilp_compiles),
+            Value::count(s.cold_solves),
+            Value::count(s.warm_hits),
+            Value::count(s.solution_hits),
+            Value::count(s.timing_misses),
+            Value::count(s.pruned as u64),
+        ]
+    };
+    t.push_row(row("naive cold", &cold.stats));
+    t.push_row(row("engine warm", &warm.stats));
+    t.push_summary(
+        "frontiers identical",
+        Value::text(if warm.frontier == cold.frontier {
+            "yes"
+        } else {
+            "NO"
+        }),
+    );
+    t.push_summary(
+        "ILP compiles saved",
+        Value::percent(
+            1.0 - warm.stats.ilp_compiles as f64 / cold.stats.ilp_compiles.max(1) as f64,
+            0,
+        ),
+    );
+    t.push_note(
+        "(cold/warm/memo count ILP solves by start mode; pruning skips stages 2-3 entirely)",
+    );
+    t
+}
+
+/// Design-space search: the frontier gap between the prefetching SMART
+/// family and the static Pipe family over identical hardware axes.
+#[must_use]
+pub fn search_frontier_gap(ctx: &ExperimentContext) -> ResultTable {
+    let axes = |windows: Vec<Option<u32>>| SearchSpace {
+        windows,
+        random_banks: vec![256],
+        kinds: vec![RandomArrayKind::PipelinedCmosSfq],
+        shift_kb: vec![16, 32, 64],
+        random_mb: vec![14, 28, 42],
+        shift_banks: 256,
+    };
+    let cfg = SearchConfig::new(ctx.jobs);
+    let pipe =
+        smart_search::search(&axes(vec![None]), &cfg, &ctx.cache, &ctx.timing).expect("valid grid");
+    let smart = smart_search::search(&axes(vec![Some(3)]), &cfg, &ctx.cache, &ctx.timing)
+        .expect("valid grid");
+
+    let mut t = ResultTable::new(
+        "search_frontier_gap",
+        "Design-space search: SMART (a=3) vs Pipe frontier gap on shared hardware axes",
+    );
+    t.columns = vec![
+        ColumnSpec::right("shift(KB)", 10),
+        ColumnSpec::right("random(MB)", 11),
+        ColumnSpec::right("Pipe(us)", 9),
+        ColumnSpec::right("SMART(us)", 10),
+        ColumnSpec::right("speedup", 8),
+        ColumnSpec::left("on frontier", 12),
+    ];
+    let mut log_sum = 0.0;
+    for (i, (p, s)) in pipe.points.iter().zip(&smart.points).enumerate() {
+        let (shift, random) = hetero_split(&p.params);
+        let speedup = p.objectives.latency.as_s() / s.objectives.latency.as_s();
+        log_sum += speedup.ln();
+        let membership = match (pipe.frontier.contains(&i), smart.frontier.contains(&i)) {
+            (true, true) => "both",
+            (true, false) => "Pipe",
+            (false, true) => "SMART",
+            (false, false) => "-",
+        };
+        t.push_row(vec![
+            Value::count(shift / 1024),
+            Value::count(random / MB),
+            Value::time(p.objectives.latency, Unit::Us, 2),
+            Value::time(s.objectives.latency, Unit::Us, 2),
+            Value::num(speedup, 2),
+            Value::text(membership),
+        ]);
+    }
+    let points = pipe.points.len();
+    t.push_summary(
+        "gmean prefetch speedup",
+        Value::num((log_sum / points as f64).exp(), 3),
+    );
+    t.push_summary(
+        "Pipe/SMART frontier sizes",
+        Value::text(format!("{}/{}", pipe.stats.frontier, smart.stats.frontier)),
+    );
+    t.push_note("(same SPM geometry per row; the only delta is the ILP's prefetch window)");
+    t
+}
+
+/// The SHIFT/RANDOM byte split of a heterogeneous search point.
+fn hetero_split(params: &smart_core::geometry::GeometryParams) -> (u64, u64) {
+    let (shift, random, _, _) = hetero_axes(params);
+    (shift, random)
+}
+
+/// The SHIFT/RANDOM bytes, RANDOM bank count, and technology of a
+/// heterogeneous search point.
+fn hetero_axes(params: &smart_core::geometry::GeometryParams) -> (u64, u64, u32, RandomArrayKind) {
+    match params.spm {
+        smart_core::geometry::SpmGeometry::Heterogeneous {
+            capacity_bytes,
+            shift_bytes,
+            random_banks,
+            kind,
+            ..
+        } => (
+            shift_bytes,
+            capacity_bytes - 3 * shift_bytes,
+            random_banks,
+            kind,
+        ),
+        _ => unreachable!("search grids are heterogeneous"),
+    }
 }

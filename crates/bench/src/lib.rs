@@ -17,7 +17,7 @@
 //! println!("{fig18}");            // legacy fixed-width text
 //! println!("{}", fig18.to_json()); // typed rows for scripts
 //! let all = all_experiments(&ctx); // every figure, 4-way parallel
-//! assert_eq!(all.len(), 29);
+//! assert_eq!(all.len(), 32);
 //! ```
 
 #![warn(missing_docs)]
@@ -30,9 +30,10 @@ pub use experiments::{
     fig07_hetero, fig09_htree_breakdown, fig12_subbank_validation, fig13_josim_validation,
     fig14_design_space, fig16_access_energy, fig17_area, fig18_single_speedup, fig19_batch_speedup,
     fig20_single_energy, fig21_batch_energy, fig22_shift_capacity, fig23_random_capacity,
-    fig24_prefetch, fig25_write_latency, josim_fanout_characterization, josim_jtl_characterization,
-    josim_ptl_characterization, table1_memories, table2_components, table4_configs,
-    timing_buffer_depth, timing_random_bandwidth, timing_stall_breakdown,
+    fig24_prefetch, fig25_write_latency, frontier_table, josim_fanout_characterization,
+    josim_jtl_characterization, josim_ptl_characterization, search_frontier, search_frontier_gap,
+    search_warm_vs_cold, table1_memories, table2_components, table4_configs, timing_buffer_depth,
+    timing_random_bandwidth, timing_stall_breakdown,
 };
 
 use smart_core::cache::EvalCache;
@@ -237,6 +238,9 @@ const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("timing_stall_breakdown", timing_stall_breakdown),
     ("timing_buffer_depth", timing_buffer_depth),
     ("timing_random_bandwidth", timing_random_bandwidth),
+    ("search_frontier", search_frontier),
+    ("search_warm_vs_cold", search_warm_vs_cold),
+    ("search_frontier_gap", search_frontier_gap),
 ];
 
 /// Runs one experiment by name, returning its typed table, or `None` for
@@ -301,8 +305,9 @@ mod tests {
         }
         assert_eq!(
             names.len(),
-            29,
-            "21 figures/tables + 2 ablations + 3 circuit characterizations + 3 timing replays"
+            32,
+            "21 figures/tables + 2 ablations + 3 circuit characterizations \
+             + 3 timing replays + 3 design-space searches"
         );
         assert!(
             run_experiment("not_an_experiment", &ExperimentContext::single_threaded()).is_none()

@@ -201,3 +201,48 @@ fn ablation_ilp_objectives_pinned() {
     // a conscious decision, not an accident.
     pin(summary("contested ILP"), 1_768_172.6, "contested ILP");
 }
+
+/// PR-7 cache round trip: a warm `--cache-dir` search must reproduce the
+/// cold run's frontier table byte for byte, with the analytic and replay
+/// stages served entirely from the persisted stores.
+#[test]
+fn search_cache_roundtrip_is_byte_identical() {
+    use smart_search::{search, SearchConfig, SearchSpace};
+
+    let dir = std::env::temp_dir().join(format!("smart-golden-search-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let space = SearchSpace::small();
+
+    let cold_ctx = ctx();
+    let cold = search(
+        &space,
+        &SearchConfig::new(2),
+        &cold_ctx.cache,
+        &cold_ctx.timing,
+    )
+    .expect("cold search");
+    cold_ctx.save_caches(&dir).expect("saves");
+    let cold_text = smart_bench::frontier_table("golden", "golden", &cold).to_string();
+
+    let warm_ctx = ctx();
+    assert!(warm_ctx.load_caches(&dir).total() > 0, "stores must load");
+    let warm = search(
+        &space,
+        &SearchConfig::new(2),
+        &warm_ctx.cache,
+        &warm_ctx.timing,
+    )
+    .expect("warm search");
+    let warm_text = smart_bench::frontier_table("golden", "golden", &warm).to_string();
+
+    assert_eq!(cold_text, warm_text, "warm frontier table drifted");
+    assert_eq!(
+        warm.stats.eval_misses, 0,
+        "analytic stage must be fully warm"
+    );
+    assert_eq!(
+        warm.stats.timing_misses, 0,
+        "replay stage must be fully warm"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

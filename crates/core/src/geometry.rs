@@ -1,0 +1,699 @@
+//! Parameterized hardware geometry generator.
+//!
+//! The fixed Table-4 constructors of [`Scheme`] describe *one* hand-picked
+//! design point each. [`GeometryParams`] turns them into a generator in the
+//! `sram22` idiom: a plain-data parameter struct with build-time validation
+//! that elaborates a full [`Scheme`] (accelerator config + SPM hierarchy +
+//! allocation policy) from free parameters, so a design-space search can
+//! enumerate thousands of candidate geometries without ever constructing an
+//! invalid one.
+//!
+//! Every named constructor (`tpu`, `supernpu`, `sram`, `heter`, `pipe`,
+//! `smart`, the Fig. 5/7 variants) is re-expressed here and pinned by
+//! round-trip tests against the handwritten schemes, so the generator and
+//! the paper's fixed design points can never drift apart.
+//!
+//! Invalid parameters — zero array dims, a SHIFT/RANDOM split larger than
+//! the SPM budget, a zero-port RANDOM array — are rejected by
+//! [`GeometryParams::build`] with a typed [`SmartError`] *before* any
+//! subcomponent constructor (which would panic) runs.
+
+use crate::config::AcceleratorConfig;
+use crate::scheme::{AllocationPolicy, PureShiftSpm, Scheme, SpmOrganization};
+use smart_cryomem::array::{RandomArray, RandomArrayKind};
+use smart_spm::hetero::HeterogeneousSpm;
+use smart_spm::shift::ShiftArray;
+use smart_systolic::mapping::ArrayShape;
+use smart_units::{Frequency, Power, Result, SmartError};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Free parameters of one SHIFT staging array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShiftGeometry {
+    /// Total capacity in bytes (must divide evenly across the banks).
+    pub capacity_bytes: u64,
+    /// Bank (lane) count.
+    pub banks: u32,
+}
+
+impl ShiftGeometry {
+    /// A `capacity`/`banks` pair.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, banks: u32) -> Self {
+        Self {
+            capacity_bytes,
+            banks,
+        }
+    }
+
+    fn validate(&self, what: &str) -> Result<()> {
+        if self.capacity_bytes == 0 {
+            return Err(SmartError::invalid_input(format!(
+                "{what}: SHIFT capacity must be positive"
+            )));
+        }
+        if self.banks == 0 {
+            return Err(SmartError::invalid_input(format!(
+                "{what}: SHIFT bank count must be positive"
+            )));
+        }
+        if !self.capacity_bytes.is_multiple_of(u64::from(self.banks)) {
+            return Err(SmartError::invalid_input(format!(
+                "{what}: SHIFT capacity {} B does not divide evenly across {} banks",
+                self.capacity_bytes, self.banks
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validates a RANDOM array's port/capacity parameters against
+/// [`RandomArray::build`]'s preconditions.
+fn validate_random(capacity_bytes: u64, banks: u32, what: &str) -> Result<()> {
+    if capacity_bytes == 0 {
+        return Err(SmartError::invalid_input(format!(
+            "{what}: RANDOM capacity must be positive"
+        )));
+    }
+    if banks == 0 {
+        return Err(SmartError::invalid_input(format!(
+            "{what}: RANDOM array has zero ports (banks)"
+        )));
+    }
+    if banks == 1 || !banks.is_power_of_two() {
+        return Err(SmartError::invalid_input(format!(
+            "{what}: RANDOM bank count {banks} must be a power of two > 1"
+        )));
+    }
+    Ok(())
+}
+
+/// Free parameters of the on-chip SPM organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpmGeometry {
+    /// Idealized SPM (the TPU baseline): never stalls the array.
+    Ideal,
+    /// SHIFT-only arrays, one per data class (the SuperNPU organization).
+    PureShift {
+        /// Input buffer geometry.
+        input: ShiftGeometry,
+        /// Output/PSum buffer geometry.
+        output: ShiftGeometry,
+        /// Weight buffer geometry.
+        weight: ShiftGeometry,
+    },
+    /// One shared random-access array for everything.
+    PureRandom {
+        /// Memory technology.
+        kind: RandomArrayKind,
+        /// Total capacity in bytes.
+        capacity_bytes: u64,
+        /// Bank (port) count — must be a power of two > 1.
+        banks: u32,
+    },
+    /// SHIFT staging + shared RANDOM array (the SMART organization). The
+    /// RANDOM capacity is what remains of `capacity_bytes` after the three
+    /// per-class SHIFT staging arrays take `shift_bytes` each, so the split
+    /// is validated against the total budget at build time.
+    Heterogeneous {
+        /// Total SPM budget in bytes (3 SHIFT arrays + RANDOM array).
+        capacity_bytes: u64,
+        /// Per-class SHIFT staging capacity in bytes (three arrays total).
+        shift_bytes: u64,
+        /// SHIFT bank (lane) count.
+        shift_banks: u32,
+        /// RANDOM bank (port) count — must be a power of two > 1.
+        random_banks: u32,
+        /// RANDOM memory technology.
+        kind: RandomArrayKind,
+    },
+}
+
+impl SpmGeometry {
+    /// The heterogeneous split used by `Heter`/`Pipe`/`SMART` and the
+    /// Fig. 7 variants: three 32 KB SHIFT staging arrays + 28 MB RANDOM,
+    /// both 256-banked.
+    #[must_use]
+    pub fn smart_split(kind: RandomArrayKind) -> Self {
+        Self::Heterogeneous {
+            capacity_bytes: 3 * 32 * KB + 28 * MB,
+            shift_bytes: 32 * KB,
+            shift_banks: 256,
+            random_banks: 256,
+            kind,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match *self {
+            Self::Ideal => Ok(()),
+            Self::PureShift {
+                input,
+                output,
+                weight,
+            } => {
+                input.validate("input")?;
+                output.validate("output")?;
+                weight.validate("weight")
+            }
+            Self::PureRandom {
+                capacity_bytes,
+                banks,
+                ..
+            } => validate_random(capacity_bytes, banks, "SPM"),
+            Self::Heterogeneous {
+                capacity_bytes,
+                shift_bytes,
+                shift_banks,
+                random_banks,
+                ..
+            } => {
+                ShiftGeometry::new(shift_bytes, shift_banks).validate("staging")?;
+                let staged = 3 * shift_bytes;
+                if staged >= capacity_bytes {
+                    return Err(SmartError::invalid_input(format!(
+                        "SPM split exceeds capacity: 3 x {shift_bytes} B of SHIFT staging \
+                         leaves no RANDOM capacity in a {capacity_bytes} B budget"
+                    )));
+                }
+                validate_random(capacity_bytes - staged, random_banks, "RANDOM")
+            }
+        }
+    }
+
+    fn elaborate(&self) -> SpmOrganization {
+        match *self {
+            Self::Ideal => SpmOrganization::Ideal,
+            Self::PureShift {
+                input,
+                output,
+                weight,
+            } => SpmOrganization::PureShift(PureShiftSpm {
+                input: ShiftArray::new(input.capacity_bytes, input.banks),
+                output: ShiftArray::new(output.capacity_bytes, output.banks),
+                weight: ShiftArray::new(weight.capacity_bytes, weight.banks),
+            }),
+            Self::PureRandom {
+                kind,
+                capacity_bytes,
+                banks,
+            } => SpmOrganization::PureRandom(RandomArray::build(kind, capacity_bytes, banks)),
+            Self::Heterogeneous {
+                capacity_bytes,
+                shift_bytes,
+                shift_banks,
+                random_banks,
+                kind,
+            } => SpmOrganization::Heterogeneous(HeterogeneousSpm::new(
+                shift_bytes,
+                shift_banks,
+                capacity_bytes - 3 * shift_bytes,
+                random_banks,
+                kind,
+            )),
+        }
+    }
+}
+
+/// Free parameters of a complete accelerator design point.
+///
+/// [`GeometryParams::build`] validates everything a downstream constructor
+/// would panic on and elaborates a [`Scheme`]; the named constructors
+/// reproduce the paper's fixed design points exactly (pinned by the
+/// round-trip tests below).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometryParams {
+    /// Display name of the elaborated scheme.
+    pub name: &'static str,
+    /// Display name of the accelerator configuration (Table 4 row). Named
+    /// schemes share config rows under different scheme names ("SHIFT",
+    /// "SRAM" and "Heter" all run the "SuperNPU" matrix unit).
+    pub config_name: &'static str,
+    /// Systolic array rows.
+    pub rows: u32,
+    /// Systolic array columns.
+    pub cols: u32,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Whether the accelerator operates at 4 K (pays cooling).
+    pub cryogenic: bool,
+    /// Matrix-unit energy per MAC in joules.
+    pub mac_energy_j: f64,
+    /// Average chip power in watts for fixed-power accelerators.
+    pub average_power_w: Option<f64>,
+    /// On-chip SPM organization.
+    pub spm: SpmGeometry,
+    /// `None` elaborates [`AllocationPolicy::Static`]; `Some(a)` the ILP
+    /// compiler's prefetch policy with window `a >= 1`.
+    pub prefetch_window: Option<u32>,
+}
+
+impl GeometryParams {
+    /// Validates the parameters and elaborates the full [`Scheme`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmartError::InvalidInput`] on any parameter a downstream
+    /// constructor would reject: zero array dims, a non-positive or
+    /// non-finite clock, SHIFT capacities that do not divide across their
+    /// banks, a SHIFT/RANDOM split exceeding the SPM budget, or a RANDOM
+    /// array whose port count is zero / not a power of two > 1.
+    pub fn build(&self) -> Result<Scheme> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(SmartError::invalid_input(format!(
+                "PE array must be non-empty, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        if !self.clock_ghz.is_finite() || self.clock_ghz <= 0.0 {
+            return Err(SmartError::invalid_input(format!(
+                "clock must be finite and positive, got {} GHz",
+                self.clock_ghz
+            )));
+        }
+        if !self.mac_energy_j.is_finite() || self.mac_energy_j < 0.0 {
+            return Err(SmartError::invalid_input(format!(
+                "per-MAC energy must be finite and non-negative, got {} J",
+                self.mac_energy_j
+            )));
+        }
+        if let Some(w) = self.average_power_w {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(SmartError::invalid_input(format!(
+                    "average power must be finite and positive, got {w} W"
+                )));
+            }
+        }
+        if self.prefetch_window == Some(0) {
+            return Err(SmartError::invalid_input(
+                "prefetch window 0 is meaningless; use None for static allocation",
+            ));
+        }
+        self.spm.validate()?;
+
+        Ok(Scheme {
+            name: self.name,
+            config: AcceleratorConfig {
+                name: self.config_name,
+                frequency: Frequency::from_ghz(self.clock_ghz),
+                shape: ArrayShape::new(self.rows, self.cols),
+                cryogenic: self.cryogenic,
+                mac_energy_j: self.mac_energy_j,
+                average_power: self.average_power_w.map(Power::from_w),
+            },
+            spm: self.spm.elaborate(),
+            policy: match self.prefetch_window {
+                None => AllocationPolicy::Static,
+                Some(window) => AllocationPolicy::Prefetch { window },
+            },
+        })
+    }
+
+    /// The SuperNPU matrix unit shared by every SFQ design point: 52.6 GHz,
+    /// 64x256, 1.35 fJ/MAC at 4 K.
+    #[must_use]
+    fn sfq_base(name: &'static str, spm: SpmGeometry, prefetch_window: Option<u32>) -> Self {
+        Self {
+            name,
+            config_name: "SuperNPU",
+            rows: 64,
+            cols: 256,
+            clock_ghz: 52.6,
+            cryogenic: true,
+            mac_energy_j: 1.35e-15,
+            average_power_w: None,
+            spm,
+            prefetch_window,
+        }
+    }
+
+    /// The TPU baseline ([`Scheme::tpu`]).
+    #[must_use]
+    pub fn tpu() -> Self {
+        Self {
+            name: "TPU",
+            config_name: "TPU",
+            rows: 256,
+            cols: 256,
+            clock_ghz: 0.7,
+            cryogenic: false,
+            mac_energy_j: 0.0,
+            average_power_w: Some(40.0),
+            spm: SpmGeometry::Ideal,
+            prefetch_window: None,
+        }
+    }
+
+    /// SuperNPU ([`Scheme::supernpu`]): SHIFT-only SPMs.
+    #[must_use]
+    pub fn supernpu() -> Self {
+        Self::sfq_base(
+            "SHIFT",
+            SpmGeometry::PureShift {
+                input: ShiftGeometry::new(24 * MB, 64),
+                output: ShiftGeometry::new(24 * MB, 256),
+                weight: ShiftGeometry::new(128 * KB, 64),
+            },
+            None,
+        )
+    }
+
+    /// SuperNPU with Josephson-CMOS SRAM SPMs ([`Scheme::sram`]).
+    #[must_use]
+    pub fn sram() -> Self {
+        Self::sfq_base(
+            "SRAM",
+            SpmGeometry::PureRandom {
+                kind: RandomArrayKind::JosephsonCmosSram,
+                capacity_bytes: 28 * MB,
+                banks: 256,
+            },
+            None,
+        )
+    }
+
+    /// `Heter` ([`Scheme::heter`]): SRAM plus SHIFT staging.
+    #[must_use]
+    pub fn heter() -> Self {
+        Self::sfq_base(
+            "Heter",
+            SpmGeometry::smart_split(RandomArrayKind::JosephsonCmosSram),
+            None,
+        )
+    }
+
+    /// `Pipe` ([`Scheme::pipe`]): Heter with the pipelined CMOS-SFQ array.
+    #[must_use]
+    pub fn pipe() -> Self {
+        let mut p = Self::sfq_base(
+            "Pipe",
+            SpmGeometry::smart_split(RandomArrayKind::PipelinedCmosSfq),
+            None,
+        );
+        p.config_name = "SMART";
+        p
+    }
+
+    /// `SMART` ([`Scheme::smart`]): Pipe plus the ILP compiler, `a = 3`.
+    #[must_use]
+    pub fn smart() -> Self {
+        let mut p = Self::sfq_base(
+            "SMART",
+            SpmGeometry::smart_split(RandomArrayKind::PipelinedCmosSfq),
+            Some(3),
+        );
+        p.config_name = "SMART";
+        p
+    }
+
+    /// Fig. 5 homogeneous-SPM variants ([`Scheme::fig5_homogeneous`]).
+    #[must_use]
+    pub fn fig5_homogeneous(kind: RandomArrayKind) -> Self {
+        let name = match kind {
+            RandomArrayKind::JosephsonCmosSram => "SRAM",
+            RandomArrayKind::SheMram => "MRAM",
+            RandomArrayKind::Snm => "SNM",
+            RandomArrayKind::Vtm => "VTM",
+            RandomArrayKind::PipelinedCmosSfq => "CMOS-SFQ",
+        };
+        Self::sfq_base(
+            name,
+            SpmGeometry::PureRandom {
+                kind,
+                capacity_bytes: 28 * MB + 64 * KB,
+                banks: 256,
+            },
+            None,
+        )
+    }
+
+    /// Fig. 7 heterogeneous-SPM variants ([`Scheme::fig7_hetero`]).
+    #[must_use]
+    pub fn fig7_hetero(kind: RandomArrayKind, prefetch: bool) -> Self {
+        let name = match (kind, prefetch) {
+            (RandomArrayKind::JosephsonCmosSram, _) => "hSRAM",
+            (RandomArrayKind::SheMram, _) => "hMRAM",
+            (RandomArrayKind::Snm, _) => "hSNM",
+            (RandomArrayKind::Vtm, false) => "hVTM",
+            (RandomArrayKind::Vtm, true) => "hVTM+p",
+            (RandomArrayKind::PipelinedCmosSfq, _) => "hCMOS-SFQ",
+        };
+        Self::sfq_base(name, SpmGeometry::smart_split(kind), prefetch.then_some(3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-generator constructor bodies, kept verbatim as golden
+    /// literals: [`Scheme`]'s named constructors now elaborate through
+    /// [`GeometryParams`], and these pins are what keep the generator from
+    /// drifting away from the paper's fixed design points.
+    mod handwritten {
+        use super::*;
+
+        pub fn tpu() -> Scheme {
+            Scheme {
+                name: "TPU",
+                config: AcceleratorConfig::tpu(),
+                spm: SpmOrganization::Ideal,
+                policy: AllocationPolicy::Static,
+            }
+        }
+
+        pub fn supernpu() -> Scheme {
+            Scheme {
+                name: "SHIFT",
+                config: AcceleratorConfig::supernpu(),
+                spm: SpmOrganization::PureShift(PureShiftSpm::supernpu()),
+                policy: AllocationPolicy::Static,
+            }
+        }
+
+        pub fn sram() -> Scheme {
+            Scheme {
+                name: "SRAM",
+                config: AcceleratorConfig::supernpu(),
+                spm: SpmOrganization::PureRandom(RandomArray::build(
+                    RandomArrayKind::JosephsonCmosSram,
+                    28 * MB,
+                    256,
+                )),
+                policy: AllocationPolicy::Static,
+            }
+        }
+
+        pub fn heter() -> Scheme {
+            Scheme {
+                name: "Heter",
+                config: AcceleratorConfig::supernpu(),
+                spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::new(
+                    32 * KB,
+                    256,
+                    28 * MB,
+                    256,
+                    RandomArrayKind::JosephsonCmosSram,
+                )),
+                policy: AllocationPolicy::Static,
+            }
+        }
+
+        pub fn pipe() -> Scheme {
+            Scheme {
+                name: "Pipe",
+                config: AcceleratorConfig::smart(),
+                spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::smart_default()),
+                policy: AllocationPolicy::Static,
+            }
+        }
+
+        pub fn smart() -> Scheme {
+            Scheme {
+                name: "SMART",
+                config: AcceleratorConfig::smart(),
+                spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::smart_default()),
+                policy: AllocationPolicy::Prefetch { window: 3 },
+            }
+        }
+
+        pub fn fig5_homogeneous(kind: RandomArrayKind) -> Scheme {
+            let name = match kind {
+                RandomArrayKind::JosephsonCmosSram => "SRAM",
+                RandomArrayKind::SheMram => "MRAM",
+                RandomArrayKind::Snm => "SNM",
+                RandomArrayKind::Vtm => "VTM",
+                RandomArrayKind::PipelinedCmosSfq => "CMOS-SFQ",
+            };
+            Scheme {
+                name,
+                config: AcceleratorConfig::supernpu(),
+                spm: SpmOrganization::PureRandom(RandomArray::build(kind, 28 * MB + 64 * KB, 256)),
+                policy: AllocationPolicy::Static,
+            }
+        }
+
+        pub fn fig7_hetero(kind: RandomArrayKind, prefetch: bool) -> Scheme {
+            let name = match (kind, prefetch) {
+                (RandomArrayKind::JosephsonCmosSram, _) => "hSRAM",
+                (RandomArrayKind::SheMram, _) => "hMRAM",
+                (RandomArrayKind::Snm, _) => "hSNM",
+                (RandomArrayKind::Vtm, false) => "hVTM",
+                (RandomArrayKind::Vtm, true) => "hVTM+p",
+                (RandomArrayKind::PipelinedCmosSfq, _) => "hCMOS-SFQ",
+            };
+            Scheme {
+                name,
+                config: AcceleratorConfig::supernpu(),
+                spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::new(
+                    32 * KB,
+                    256,
+                    28 * MB,
+                    256,
+                    kind,
+                )),
+                policy: if prefetch {
+                    AllocationPolicy::Prefetch { window: 3 }
+                } else {
+                    AllocationPolicy::Static
+                },
+            }
+        }
+    }
+
+    /// Every named generator elaborates *exactly* the handwritten scheme —
+    /// same config, SPM subcomponents, and policy (`Scheme` is `Eq`).
+    #[test]
+    fn golden_round_trips() {
+        let pairs: Vec<(Scheme, Scheme)> = vec![
+            (GeometryParams::tpu().build().unwrap(), handwritten::tpu()),
+            (
+                GeometryParams::supernpu().build().unwrap(),
+                handwritten::supernpu(),
+            ),
+            (GeometryParams::sram().build().unwrap(), handwritten::sram()),
+            (
+                GeometryParams::heter().build().unwrap(),
+                handwritten::heter(),
+            ),
+            (GeometryParams::pipe().build().unwrap(), handwritten::pipe()),
+            (
+                GeometryParams::smart().build().unwrap(),
+                handwritten::smart(),
+            ),
+        ];
+        for (generated, golden) in &pairs {
+            assert_eq!(generated, golden, "{}", golden.name);
+        }
+        // The public constructors are the same elaboration.
+        let public = [
+            Scheme::tpu(),
+            Scheme::supernpu(),
+            Scheme::sram(),
+            Scheme::heter(),
+            Scheme::pipe(),
+            Scheme::smart(),
+        ];
+        for (s, (_, golden)) in public.iter().zip(&pairs) {
+            assert_eq!(s, golden, "public {}", golden.name);
+        }
+    }
+
+    #[test]
+    fn golden_round_trips_fig5_fig7() {
+        for kind in RandomArrayKind::ALL {
+            assert_eq!(
+                GeometryParams::fig5_homogeneous(kind).build().unwrap(),
+                handwritten::fig5_homogeneous(kind),
+                "fig5 {kind:?}"
+            );
+            for prefetch in [false, true] {
+                assert_eq!(
+                    GeometryParams::fig7_hetero(kind, prefetch).build().unwrap(),
+                    handwritten::fig7_hetero(kind, prefetch),
+                    "fig7 {kind:?} prefetch={prefetch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut p = GeometryParams::smart();
+        p.rows = 0;
+        assert!(p.build().is_err());
+        let mut p = GeometryParams::smart();
+        p.cols = 0;
+        assert!(p.build().is_err());
+    }
+
+    #[test]
+    fn split_exceeding_capacity_rejected() {
+        let mut p = GeometryParams::smart();
+        p.spm = SpmGeometry::Heterogeneous {
+            capacity_bytes: 64 * KB,
+            shift_bytes: 32 * KB,
+            shift_banks: 256,
+            random_banks: 256,
+            kind: RandomArrayKind::PipelinedCmosSfq,
+        };
+        let err = p.build().unwrap_err().to_string();
+        assert!(err.contains("split exceeds capacity"), "{err}");
+    }
+
+    #[test]
+    fn zero_port_random_rejected() {
+        let mut p = GeometryParams::sram();
+        p.spm = SpmGeometry::PureRandom {
+            kind: RandomArrayKind::JosephsonCmosSram,
+            capacity_bytes: 28 * MB,
+            banks: 0,
+        };
+        let err = p.build().unwrap_err().to_string();
+        assert!(err.contains("zero ports"), "{err}");
+    }
+
+    #[test]
+    fn non_power_of_two_random_rejected() {
+        let mut p = GeometryParams::sram();
+        p.spm = SpmGeometry::PureRandom {
+            kind: RandomArrayKind::JosephsonCmosSram,
+            capacity_bytes: 28 * MB,
+            banks: 3,
+        };
+        assert!(p.build().is_err());
+    }
+
+    #[test]
+    fn uneven_shift_banks_rejected() {
+        let mut p = GeometryParams::smart();
+        p.spm = SpmGeometry::Heterogeneous {
+            capacity_bytes: 28 * MB,
+            shift_bytes: 1000, // not a multiple of 256
+            shift_banks: 256,
+            random_banks: 256,
+            kind: RandomArrayKind::PipelinedCmosSfq,
+        };
+        assert!(p.build().is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let mut p = GeometryParams::smart();
+        p.prefetch_window = Some(0);
+        assert!(p.build().is_err());
+        p.prefetch_window = None;
+        assert_eq!(p.build().unwrap().policy, AllocationPolicy::Static);
+    }
+
+    #[test]
+    fn bad_clock_rejected() {
+        for clock in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut p = GeometryParams::smart();
+            p.clock_ghz = clock;
+            assert!(p.build().is_err(), "clock {clock}");
+        }
+    }
+}

@@ -7,6 +7,7 @@ pub mod area;
 pub mod cache;
 pub mod config;
 pub mod eval;
+pub mod geometry;
 pub mod scheme;
 pub mod sensitivity;
 
@@ -14,6 +15,7 @@ pub use area::{matrix_unit_area, ChipArea};
 pub use cache::{CacheStats, EvalCache};
 pub use config::{AcceleratorConfig, COOLING_FACTOR, DRAM_BANDWIDTH};
 pub use eval::{evaluate, EnergyReport, InferenceReport, LayerReport};
+pub use geometry::{GeometryParams, ShiftGeometry, SpmGeometry};
 pub use scheme::{AllocationPolicy, PureShiftSpm, Scheme, SpmOrganization};
 pub use sensitivity::{
     allocation_capacity_sweep, prefetch_sweep, random_capacity_sweep, shift_capacity_sweep,

@@ -11,6 +11,7 @@
 //! * `SMART` — Pipe plus the ILP compiler with prefetch window `a = 3`.
 
 use crate::config::AcceleratorConfig;
+use crate::geometry::GeometryParams;
 use smart_cryomem::array::{RandomArray, RandomArrayKind};
 use smart_spm::hetero::HeterogeneousSpm;
 use smart_spm::shift::ShiftArray;
@@ -107,81 +108,48 @@ pub struct Scheme {
 }
 
 impl Scheme {
+    /// Elaborates a named generator; every named geometry is valid by
+    /// construction (pinned by the round-trip tests in
+    /// [`crate::geometry`]).
+    fn of(params: &GeometryParams) -> Self {
+        params.build().expect("named geometries are valid")
+    }
+
     /// The TPU baseline.
     #[must_use]
     pub fn tpu() -> Self {
-        Self {
-            name: "TPU",
-            config: AcceleratorConfig::tpu(),
-            spm: SpmOrganization::Ideal,
-            policy: AllocationPolicy::Static,
-        }
+        Self::of(&GeometryParams::tpu())
     }
 
     /// SuperNPU (the `SHIFT` bars of Figs. 18-21).
     #[must_use]
     pub fn supernpu() -> Self {
-        Self {
-            name: "SHIFT",
-            config: AcceleratorConfig::supernpu(),
-            spm: SpmOrganization::PureShift(PureShiftSpm::supernpu()),
-            policy: AllocationPolicy::Static,
-        }
+        Self::of(&GeometryParams::supernpu())
     }
 
     /// SuperNPU with Josephson-CMOS SRAM SPMs at TPU capacity.
     #[must_use]
     pub fn sram() -> Self {
-        Self {
-            name: "SRAM",
-            config: AcceleratorConfig::supernpu(),
-            spm: SpmOrganization::PureRandom(RandomArray::build(
-                RandomArrayKind::JosephsonCmosSram,
-                28 * MB,
-                256,
-            )),
-            policy: AllocationPolicy::Static,
-        }
+        Self::of(&GeometryParams::sram())
     }
 
     /// `Heter`: SRAM plus 32 KB SHIFT staging arrays, ideal static
     /// allocation.
     #[must_use]
     pub fn heter() -> Self {
-        Self {
-            name: "Heter",
-            config: AcceleratorConfig::supernpu(),
-            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::new(
-                32 * KB,
-                256,
-                28 * MB,
-                256,
-                RandomArrayKind::JosephsonCmosSram,
-            )),
-            policy: AllocationPolicy::Static,
-        }
+        Self::of(&GeometryParams::heter())
     }
 
     /// `Pipe`: Heter with the pipelined CMOS-SFQ RANDOM array.
     #[must_use]
     pub fn pipe() -> Self {
-        Self {
-            name: "Pipe",
-            config: AcceleratorConfig::smart(),
-            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::smart_default()),
-            policy: AllocationPolicy::Static,
-        }
+        Self::of(&GeometryParams::pipe())
     }
 
     /// `SMART`: Pipe plus the ILP compiler with `a = 3`.
     #[must_use]
     pub fn smart() -> Self {
-        Self {
-            name: "SMART",
-            config: AcceleratorConfig::smart(),
-            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::smart_default()),
-            policy: AllocationPolicy::Prefetch { window: 3 },
-        }
+        Self::of(&GeometryParams::smart())
     }
 
     /// All five SFQ schemes of Figs. 18-21, in figure order.
@@ -202,19 +170,7 @@ impl Scheme {
     /// 256-bank array of the summed capacity).
     #[must_use]
     pub fn fig5_homogeneous(kind: RandomArrayKind) -> Self {
-        let name = match kind {
-            RandomArrayKind::JosephsonCmosSram => "SRAM",
-            RandomArrayKind::SheMram => "MRAM",
-            RandomArrayKind::Snm => "SNM",
-            RandomArrayKind::Vtm => "VTM",
-            RandomArrayKind::PipelinedCmosSfq => "CMOS-SFQ",
-        };
-        Self {
-            name,
-            config: AcceleratorConfig::supernpu(),
-            spm: SpmOrganization::PureRandom(RandomArray::build(kind, 28 * MB + 64 * KB, 256)),
-            policy: AllocationPolicy::Static,
-        }
+        Self::of(&GeometryParams::fig5_homogeneous(kind))
     }
 
     /// Fig. 7 heterogeneous-SPM variants: 32 KB SHIFT staging + a 28 MB
@@ -222,30 +178,7 @@ impl Scheme {
     /// (the `hVTM+p` bar).
     #[must_use]
     pub fn fig7_hetero(kind: RandomArrayKind, prefetch: bool) -> Self {
-        let name = match (kind, prefetch) {
-            (RandomArrayKind::JosephsonCmosSram, _) => "hSRAM",
-            (RandomArrayKind::SheMram, _) => "hMRAM",
-            (RandomArrayKind::Snm, _) => "hSNM",
-            (RandomArrayKind::Vtm, false) => "hVTM",
-            (RandomArrayKind::Vtm, true) => "hVTM+p",
-            (RandomArrayKind::PipelinedCmosSfq, _) => "hCMOS-SFQ",
-        };
-        Self {
-            name,
-            config: AcceleratorConfig::supernpu(),
-            spm: SpmOrganization::Heterogeneous(HeterogeneousSpm::new(
-                32 * KB,
-                256,
-                28 * MB,
-                256,
-                kind,
-            )),
-            policy: if prefetch {
-                AllocationPolicy::Prefetch { window: 3 }
-            } else {
-                AllocationPolicy::Static
-            },
-        }
+        Self::of(&GeometryParams::fig7_hetero(kind, prefetch))
     }
 }
 

@@ -62,6 +62,7 @@ pub use config::TimingConfig;
 pub use replay::{replay_layer, LayerInstance, LayerPrepass, RandomCosts};
 pub use report::{ModelTimingReport, TimingReport};
 pub use validate::{
-    hetero_spm, max_layer_deviation, params_for, prefetch_window, prepare_model, prepare_model_ctx,
-    simulate_model, simulate_scheme, stall_free_variant, ModelPrepass,
+    compile_scheme_layer, hetero_spm, max_layer_deviation, params_for, prefetch_window,
+    prepare_model, prepare_model_ctx, simulate_model, simulate_scheme, stall_free_variant,
+    LayerCompilation, ModelPrepass,
 };

@@ -18,12 +18,13 @@ use crate::config::TimingConfig;
 use crate::replay::{LayerInstance, LayerPrepass, RandomCosts};
 use crate::report::ModelTimingReport;
 use smart_compiler::formulation::{compile_layer_ctx, FormulationParams};
+use smart_compiler::schedule::Schedule;
 use smart_compiler::SolverContext;
 use smart_core::eval::evaluate;
 use smart_core::scheme::{AllocationPolicy, Scheme, SpmOrganization};
 use smart_spm::hetero::HeterogeneousSpm;
 use smart_systolic::dag::LayerDag;
-use smart_systolic::layer::CnnModel;
+use smart_systolic::layer::{CnnModel, ConvLayer};
 use smart_systolic::mapping::LayerMapping;
 use smart_systolic::trace::LayerDemand;
 use smart_units::{Result, SmartError, Time};
@@ -64,6 +65,93 @@ pub fn params_for(spm: &HeterogeneousSpm, policy: AllocationPolicy) -> Formulati
         random_banks: spm.random.banks,
         prefetch_window: prefetch_window(policy),
         ..FormulationParams::smart_default()
+    }
+}
+
+/// One layer taken through the full compile pipeline: mapping → demand →
+/// iteration DAG → ILP schedule. This is the plumbing every consumer of the
+/// compiler shares — the replay prepass ([`prepare_model_ctx`]), the
+/// stall-breakdown experiment, and the design-space search — deduplicated
+/// here so the pipeline exists exactly once.
+#[derive(Debug, Clone)]
+pub struct LayerCompilation {
+    /// The layer's fold mapping onto the scheme's array shape (batch 1).
+    pub mapping: LayerMapping,
+    /// Streaming demand derived from the mapping.
+    pub demand: LayerDemand,
+    /// The coarsened iteration DAG.
+    pub dag: LayerDag,
+    /// The ILP (or provably-optimal greedy) allocation schedule.
+    pub schedule: Schedule,
+}
+
+impl LayerCompilation {
+    /// The config-independent replay prepass of this compilation.
+    #[must_use]
+    pub fn prepass(
+        &self,
+        name: &str,
+        spm: &HeterogeneousSpm,
+        clock: smart_units::Frequency,
+    ) -> LayerPrepass {
+        LayerPrepass::build(
+            &LayerInstance {
+                name,
+                mapping: &self.mapping,
+                demand: &self.demand,
+                dag: &self.dag,
+                schedule: &self.schedule,
+            },
+            spm,
+            clock,
+        )
+    }
+}
+
+/// Compiles one layer of `scheme` end to end — mapping, demand, DAG, and
+/// the ILP allocation schedule — through a caller-owned [`SolverContext`]
+/// so adjacent compilations (neighboring design points, other layers of
+/// the same model) warm-start from each other's bases.
+///
+/// # Errors
+///
+/// [`SmartError::InvalidInput`] when the scheme's SPM is not
+/// heterogeneous.
+pub fn compile_scheme_layer(
+    scheme: &Scheme,
+    layer: &ConvLayer,
+    max_iterations: u32,
+    solver: &SolverContext,
+) -> Result<LayerCompilation> {
+    let spm = hetero_spm(scheme)?;
+    let params = params_for(spm, scheme.policy);
+    Ok(compile_layer_for(
+        layer,
+        scheme,
+        &params,
+        max_iterations,
+        solver,
+    ))
+}
+
+/// [`compile_scheme_layer`] with the formulation parameters already in
+/// hand (sweeps that perturb capacities reuse one `params` across layers).
+fn compile_layer_for(
+    layer: &ConvLayer,
+    scheme: &Scheme,
+    params: &FormulationParams,
+    max_iterations: u32,
+    solver: &SolverContext,
+) -> LayerCompilation {
+    let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
+    let demand = LayerDemand::derive(layer, &mapping);
+    let dag = LayerDag::build(&mapping, max_iterations);
+    let schedule = compile_layer_ctx(&dag, params, solver);
+    LayerCompilation {
+        mapping,
+        demand,
+        dag,
+        schedule,
     }
 }
 
@@ -204,18 +292,8 @@ pub fn prepare_model_ctx(
         .layers
         .iter()
         .map(|layer| {
-            let mapping = LayerMapping::map(layer, scheme.config.shape, 1);
-            let demand = LayerDemand::derive(layer, &mapping);
-            let dag = LayerDag::build(&mapping, max_iterations);
-            let schedule = compile_layer_ctx(&dag, &params, solver);
-            LayerPrepass::build(
-                &LayerInstance {
-                    name: &layer.name,
-                    mapping: &mapping,
-                    demand: &demand,
-                    dag: &dag,
-                    schedule: &schedule,
-                },
+            compile_layer_for(layer, scheme, &params, max_iterations, solver).prepass(
+                &layer.name,
                 spm,
                 scheme.config.frequency,
             )

@@ -14,6 +14,8 @@
 //! * [`compiler`] — ILP-based SPM allocation and prefetching compiler
 //! * [`core`] — end-to-end schemes and evaluation
 //! * [`timing`] — cycle-level SPM/systolic replay simulator
+//! * [`search`] — design-space search: geometry grids, Pareto pruning, and
+//!   warm-started incremental evaluation
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -23,6 +25,7 @@ pub use smart_core as core;
 pub use smart_cryomem as cryomem;
 pub use smart_ilp as ilp;
 pub use smart_josim as josim;
+pub use smart_search as search;
 pub use smart_sfq as sfq;
 pub use smart_spm as spm;
 pub use smart_systolic as systolic;

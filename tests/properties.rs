@@ -768,3 +768,137 @@ proptest! {
         prop_assert!((got - f64::from(best)).abs() < 1e-6, "seeded {got} vs brute {best}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// The geometry generator is total: whatever the parameters — zero
+    /// dims, absurd splits, broken bank counts — `build` returns a typed
+    /// result and never panics, and every `Ok` scheme satisfies the
+    /// invariants the downstream constructors would otherwise panic on.
+    #[test]
+    fn geometry_build_total_and_sound(
+        rows in 0u32..512,
+        cols in 0u32..512,
+        clock_pick in 0usize..6,
+        capacity_kb in 0u64..(64 * 1024),
+        shift_kb in 0u64..256,
+        shift_banks in 0u32..512,
+        random_banks in 0u32..512,
+        kind_idx in 0usize..5,
+        window_pick in 0u32..9,
+    ) {
+        use smart::core::geometry::{GeometryParams, SpmGeometry};
+        use smart::core::scheme::AllocationPolicy;
+        use smart::cryomem::array::RandomArrayKind;
+
+        let clock = [52.6, 0.7, 0.0, -1.0, f64::NAN, f64::INFINITY][clock_pick];
+        let window = window_pick.checked_sub(1); // None, Some(0), ..., Some(7)
+        let params = GeometryParams {
+            spm: SpmGeometry::Heterogeneous {
+                capacity_bytes: capacity_kb * 1024,
+                shift_bytes: shift_kb * 1024,
+                shift_banks,
+                random_banks,
+                kind: RandomArrayKind::ALL[kind_idx],
+            },
+            rows,
+            cols,
+            clock_ghz: clock,
+            prefetch_window: window,
+            ..GeometryParams::smart()
+        };
+        match params.build() {
+            Err(e) => {
+                // Typed rejection, with the offending parameter named.
+                prop_assert!(!e.to_string().is_empty());
+            }
+            Ok(scheme) => {
+                prop_assert!(rows > 0 && cols > 0);
+                prop_assert!(clock.is_finite() && clock > 0.0);
+                prop_assert!(shift_banks > 0 && (shift_kb * 1024).is_multiple_of(u64::from(shift_banks)));
+                prop_assert!(random_banks > 1 && random_banks.is_power_of_two());
+                prop_assert!(3 * shift_kb < capacity_kb);
+                let expected = match window {
+                    None => AllocationPolicy::Static,
+                    Some(a) => {
+                        prop_assert!(a >= 1);
+                        AllocationPolicy::Prefetch { window: a }
+                    }
+                };
+                prop_assert_eq!(scheme.policy, expected);
+            }
+        }
+    }
+
+    /// Every named generator elaborates exactly its handwritten scheme
+    /// (the umbrella-level view of the `crates/core` golden pins).
+    #[test]
+    fn geometry_generators_match_named_schemes(pick in 0usize..6) {
+        use smart::core::geometry::GeometryParams;
+        use smart::core::scheme::Scheme;
+
+        let (generated, handwritten) = match pick {
+            0 => (GeometryParams::tpu(), Scheme::tpu()),
+            1 => (GeometryParams::supernpu(), Scheme::supernpu()),
+            2 => (GeometryParams::sram(), Scheme::sram()),
+            3 => (GeometryParams::heter(), Scheme::heter()),
+            4 => (GeometryParams::pipe(), Scheme::pipe()),
+            _ => (GeometryParams::smart(), Scheme::smart()),
+        };
+        prop_assert_eq!(generated.build().expect("named points are valid"), handwritten);
+    }
+
+    /// Pareto pruning invariants on random objective clouds: the frontier
+    /// is a subset of the ε-survivors for every ε >= 0, no frontier point
+    /// is dominated, and ε = 0 degenerates to exact dominance.
+    #[test]
+    fn pareto_pruning_invariants(
+        lats in prop::collection::vec(1u32..1000, 1..60),
+        energies in prop::collection::vec(1u32..1000, 1..60),
+        areas in prop::collection::vec(1u32..1000, 1..60),
+        eps in 0.0f64..0.5,
+    ) {
+        use smart::search::{epsilon_survivors, pareto_frontier, Objectives};
+        use smart::units::Area;
+
+        let n = lats.len().min(energies.len()).min(areas.len());
+        let objs: Vec<Objectives> = (0..n)
+            .map(|i| Objectives {
+                latency: Time::from_ns(f64::from(lats[i])),
+                energy: Energy::from_j(f64::from(energies[i])),
+                area: Area::from_mm2(f64::from(areas[i])),
+            })
+            .collect();
+        let frontier = pareto_frontier(&objs);
+        prop_assert!(!frontier.is_empty());
+        let survivors = epsilon_survivors(&objs, eps);
+        for i in &frontier {
+            prop_assert!(survivors.contains(i), "frontier {i} pruned at eps {eps}");
+            for (j, o) in objs.iter().enumerate() {
+                prop_assert!(
+                    !smart::search::dominates(o, &objs[*i]),
+                    "frontier {i} dominated by {j}"
+                );
+            }
+        }
+        prop_assert_eq!(epsilon_survivors(&objs, 0.0), frontier);
+    }
+
+    /// Every point of the search grids builds a valid scheme, and the
+    /// generated SPM budget follows the 3-SHIFT + RANDOM split.
+    #[test]
+    fn search_grid_points_always_build(small in 0u32..2) {
+        use smart::core::geometry::SpmGeometry;
+        use smart::search::SearchSpace;
+
+        let space = if small == 1 { SearchSpace::small() } else { SearchSpace::default_grid() };
+        let points = space.points();
+        prop_assert_eq!(points.len(), space.len());
+        for p in &points {
+            let scheme = p.build().expect("grid points are valid");
+            prop_assert!(matches!(p.spm, SpmGeometry::Heterogeneous { .. }));
+            prop_assert!(scheme.config.frequency.as_si() > 0.0);
+        }
+    }
+}
