@@ -10,7 +10,9 @@
 //! process-level cold-vs-warm `--cache-dir` comparison), and the
 //! design-space search engine (PR 7: the staged warm-started search
 //! against naive per-config cold solves over the 1000-point grid, plus
-//! the pure pruning kernel).
+//! the pure pruning kernel), and the multi-tenant serving dispatch
+//! kernel (PR 8: the full saturation sweep grid over prebuilt tenant
+//! profiles).
 //!
 //! Run it and refresh the committed baseline with:
 //!
@@ -375,6 +377,67 @@ fn bench_frontier_prune_rate(c: &mut Criterion) {
     });
 }
 
+/// The serving dispatch simulator over prebuilt tenant profiles: the
+/// full `serving_saturation` sweep grid (6 loads x 3 schemes under
+/// `cargo bench`, 2 x 3 in the once-through smoke run under `cargo
+/// test`) with the one-off `TenantProfile` prepasses paid outside the
+/// loop — so the measurement is the pure queueing/dispatch kernel every
+/// added sweep point costs.
+fn bench_serving_saturation_sweep(c: &mut Criterion) {
+    use smart_serving::{simulate, ServingConfig, Tenant, TenantProfile, Workload};
+    use smart_timing::{TimingCache, TimingConfig};
+
+    let tenants = vec![
+        Tenant::of(ModelId::AlexNet, 3.0),
+        Tenant::of(ModelId::MobileNet, 1.0),
+    ];
+    let cfg = TimingConfig::nominal();
+    let cache = TimingCache::new();
+    let schemes = [Scheme::heter(), Scheme::pipe(), Scheme::smart()];
+    let profs: Vec<Vec<TenantProfile>> = schemes
+        .iter()
+        .map(|s| {
+            tenants
+                .iter()
+                .map(|t| TenantProfile::build(s, t.model, &cfg, &cache).expect("heterogeneous"))
+                .collect()
+        })
+        .collect();
+    let capacities: Vec<f64> = profs
+        .iter()
+        .map(|p| {
+            let total: f64 = tenants.iter().map(|t| t.weight).sum();
+            1.0 / p
+                .iter()
+                .zip(&tenants)
+                .map(|(p, t)| (t.weight / total) / p.standalone_rps())
+                .sum::<f64>()
+        })
+        .collect();
+    let loads: &[f64] = if std::env::args().any(|a| a == "--bench") {
+        &[0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
+    } else {
+        &[0.5, 1.0]
+    };
+    let slo: Vec<u64> = profs[0].iter().map(|p| p.standalone_cycles() * 8).collect();
+
+    c.bench_function("serving_saturation_sweep", |b| {
+        b.iter(|| {
+            for (prof, &capacity) in profs.iter().zip(&capacities) {
+                for &load in loads {
+                    let w = Workload::poisson(tenants.clone(), load * capacity, 42);
+                    black_box(simulate(
+                        prof,
+                        &w,
+                        400,
+                        &ServingConfig::fcfs().with_slo(slo.clone()),
+                    ));
+                }
+            }
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_ilp_ablation,
@@ -393,5 +456,6 @@ criterion_group!(
     bench_search_cold,
     bench_search_warm,
     bench_frontier_prune_rate,
+    bench_serving_saturation_sweep,
 );
 criterion_main!(benches);

@@ -1,9 +1,12 @@
-//! Ablation: the ILP compiler vs the greedy ideal-static allocator across
-//! all AlexNet layers (the software half of SMART's gain over Pipe). Run
-//! with `cargo run -p smart-bench --release --bin ablation_ilp_vs_greedy`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::ablation_ilp_vs_greedy(&smart_bench::ExperimentContext::default())
-    );
+//! ILP vs greedy allocation ablation
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single(
+        "ablation_ilp_vs_greedy",
+        "ILP vs greedy allocation ablation",
+    )
 }

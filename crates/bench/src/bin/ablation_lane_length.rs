@@ -1,10 +1,9 @@
-//! Ablation: SHIFT lane length (bank count at fixed capacity) vs random
-//! access cost and access energy — the design pressure that leads SMART to
-//! 128-byte staging lanes. Run with
-//! `cargo run -p smart-bench --release --bin ablation_lane_length`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::ablation_lane_length(&smart_bench::ExperimentContext::default())
-    );
+//! PTL lane-length ablation
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("ablation_lane_length", "PTL lane-length ablation")
 }

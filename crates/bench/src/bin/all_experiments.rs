@@ -1,118 +1,66 @@
-//! Regenerates every table and figure of the paper (plus the ablations)
-//! in order, on a worker pool with a shared evaluation cache.
+//! Regenerates every table and figure of the paper (plus the ablations
+//! and the timing/search/serving studies) in order, on a worker pool
+//! with a shared evaluation cache.
 //!
 //! ```sh
 //! cargo run --release -p smart-bench --bin all_experiments             # everything
-//! cargo run --release -p smart-bench --bin all_experiments -- --list  # names only
+//! cargo run --release -p smart-bench --bin all_experiments -- --list  # catalogue
 //! cargo run --release -p smart-bench --bin all_experiments -- fig18 fig19
-//! cargo run --release -p smart-bench --bin all_experiments -- --jobs 4 --json
+//! cargo run --release -p smart-bench --bin all_experiments -- --filter serving
 //! cargo run --release -p smart-bench --bin all_experiments -- --jobs 2 --check
 //! ```
 //!
-//! * `--jobs N` — worker threads for experiments/sweep points (default:
-//!   available parallelism),
-//! * `--json` / `--csv` — typed output instead of the fixed-width text,
-//! * `--check` — after running, fail (exit 1) if any table contains a
-//!   non-finite numeric cell (the CI smoke gate),
-//! * `--cache-dir DIR` — load the persistent eval/circuit/timing/basis
-//!   stores from `DIR` before running and save them back after, so a
-//!   repeated run starts warm (byte-identical output, much faster),
-//! * `--list` — print experiment names and exit.
+//! All flags come from the shared `smart_bench::cli` module; see
+//! `--help`. Experiments can be selected positionally by exact name or
+//! with `--filter` by group tag / name substring.
 
-use smart_bench::{experiment_names, run_experiments, ExperimentContext};
-use std::path::PathBuf;
+use smart_bench::cli::{self, CliSpec, Format};
+use smart_bench::{registry, run_experiments};
 use std::process::ExitCode;
 
-#[derive(Clone, Copy, PartialEq)]
-enum Format {
-    Text,
-    Json,
-    Csv,
-}
+const SPEC: CliSpec = CliSpec {
+    bin: "all_experiments",
+    about: "regenerate every experiment of the paper reproduction",
+    extras: &[],
+    positional: Some("EXPERIMENT"),
+};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut jobs: Option<usize> = None;
-    let mut format = Format::Text;
-    let mut check = false;
-    let mut cache_dir: Option<PathBuf> = None;
-    let mut selected: Vec<String> = Vec::new();
+    let args = SPEC.parse_env_or_exit();
 
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--list" => {
-                for name in experiment_names() {
-                    println!("{name}");
-                }
-                return ExitCode::SUCCESS;
-            }
-            "--json" => format = Format::Json,
-            "--csv" => format = Format::Csv,
-            "--check" => check = true,
-            "--jobs" => {
-                let Some(n) = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-                else {
-                    eprintln!("--jobs needs a positive integer");
-                    return ExitCode::FAILURE;
-                };
-                jobs = Some(n);
-            }
-            "--cache-dir" => {
-                let Some(dir) = it.next() else {
-                    eprintln!("--cache-dir needs a directory");
-                    return ExitCode::FAILURE;
-                };
-                cache_dir = Some(PathBuf::from(dir));
-            }
-            other if other.starts_with("--") => {
-                eprintln!(
-                    "unknown flag `{other}`; flags: --list --jobs N --json --csv --check --cache-dir DIR"
-                );
-                return ExitCode::FAILURE;
-            }
-            name => selected.push(name.to_owned()),
-        }
-    }
-
-    let names = experiment_names();
-    let selected: Vec<&str> = if selected.is_empty() {
-        names.clone()
-    } else {
+    // Positional names (exact, validated) narrow the set first; --filter
+    // tags narrow by group/substring. Both empty = everything.
+    let mut selected = registry::filtered(&args.filters);
+    if !args.positional.is_empty() {
         let mut picked = Vec::new();
-        for name in &selected {
-            let Some(&known) = names.iter().find(|&&n| n == name) else {
+        for name in &args.positional {
+            let Some(d) = registry::find(name) else {
                 eprintln!("unknown experiment `{name}`; try --list");
                 return ExitCode::FAILURE;
             };
-            picked.push(known);
+            if args.filters.is_empty() || selected.iter().any(|s| s.name == d.name) {
+                picked.push(d);
+            }
         }
-        picked
-    };
-
-    let ctx = jobs.map_or_else(ExperimentContext::default, ExperimentContext::new);
-    if let Some(dir) = &cache_dir {
-        let warm = ctx.load_caches(dir);
-        eprintln!(
-            "cache-dir: {} warm entries loaded ({} eval, {} circuit, {} timing, {} bases)",
-            warm.total(),
-            warm.eval,
-            warm.circuits,
-            warm.timing,
-            warm.bases
-        );
-    }
-    let tables = run_experiments(&selected, &ctx);
-    if let Some(dir) = &cache_dir {
-        if let Err(e) = ctx.save_caches(dir) {
-            eprintln!("cache-dir: save failed: {e}");
-        }
+        selected = picked;
     }
 
-    match format {
+    if args.list {
+        cli::print_listing(&selected);
+        return ExitCode::SUCCESS;
+    }
+
+    let ctx = args.context();
+    if let Some(dir) = &args.cache_dir {
+        ctx.load_caches_verbose(dir);
+    }
+    let names: Vec<&str> = selected.iter().map(|d| d.name).collect();
+    let tables = run_experiments(&names, &ctx);
+    if let Some(dir) = &args.cache_dir {
+        ctx.save_caches_or_warn(dir);
+    }
+
+    match args.format {
         Format::Text => {
             for table in &tables {
                 println!("==== {} ====", table.name);
@@ -135,18 +83,8 @@ fn main() -> ExitCode {
         }
     }
 
-    if check {
-        let mut failed = false;
-        for table in &tables {
-            for (row, col, rendered) in table.non_finite_cells() {
-                eprintln!(
-                    "non-finite value in {} at row {row}, column {col}: {rendered}",
-                    table.name
-                );
-                failed = true;
-            }
-        }
-        if failed {
+    if args.check {
+        if !cli::check_tables(&tables) {
             return ExitCode::FAILURE;
         }
         let stats = ctx.cache.stats();

@@ -10,7 +10,8 @@
 //! * `--max-regression R` — fail when `current > baseline * (1 + R)`
 //!   (default 0.25);
 //! * `--filter PREFIX` — only gate benchmark ids starting with `PREFIX`
-//!   (repeatable; default: every id present in both files);
+//!   (the shared repeatable flag; default: every id present in both
+//!   files);
 //! * ids present in only one file are reported but never fail the gate
 //!   (new benchmarks need a baseline refresh, not a red build).
 //!
@@ -18,7 +19,31 @@
 //! command in the README's Performance section when the reference machine
 //! changes, never to absorb an unexplained regression.
 
+use smart_bench::cli::{parse_non_negative, require_value, CliSpec, ExtraFlag};
 use std::process::ExitCode;
+
+const SPEC: CliSpec = CliSpec {
+    bin: "bench_check",
+    about: "gate a fresh criterion run against a committed baseline",
+    extras: &[
+        ExtraFlag {
+            flag: "--baseline",
+            value: Some("FILE"),
+            help: "committed BENCH_*.json baseline (required)",
+        },
+        ExtraFlag {
+            flag: "--current",
+            value: Some("FILE"),
+            help: "fresh --save-json output to gate (required)",
+        },
+        ExtraFlag {
+            flag: "--max-regression",
+            value: Some("R"),
+            help: "fail when current > baseline * (1 + R) (default 0.25)",
+        },
+    ],
+    positional: None,
+};
 
 /// Minimal parser for the shim's `{"benchmarks": [{"id": ..,
 /// "mean_ns": ..}]}` files: scans for the `"id"`/`"mean_ns"` pairs in
@@ -62,46 +87,29 @@ fn load(path: &str) -> Option<Vec<(String, f64)>> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut baseline_path = None;
-    let mut current_path = None;
-    let mut max_regression = 0.25f64;
-    let mut filters: Vec<String> = Vec::new();
+    let args = SPEC.parse_env_or_exit();
 
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--baseline" => baseline_path = it.next().cloned(),
-            "--current" => current_path = it.next().cloned(),
-            "--filter" => {
-                if let Some(f) = it.next() {
-                    filters.push(f.clone());
-                }
-            }
-            "--max-regression" => {
-                let Some(r) = it
-                    .next()
-                    .and_then(|v| v.parse::<f64>().ok())
-                    .filter(|r| *r >= 0.0)
-                else {
-                    eprintln!("--max-regression needs a non-negative number");
-                    return ExitCode::FAILURE;
-                };
-                max_regression = r;
-            }
-            other => {
-                eprintln!(
-                    "unknown argument `{other}`; flags: --baseline F --current F \
-                     [--max-regression R] [--filter PREFIX]..."
-                );
+    let max_regression = match args.value_of("--max-regression") {
+        Some(v) => match parse_non_negative("--max-regression", Some(v)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
-        }
-    }
-    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
-        eprintln!("usage: bench_check --baseline BENCH_ilp.json --current BENCH_ilp.new.json");
-        return ExitCode::FAILURE;
+        },
+        None => 0.25,
     };
+    let required = |flag: &str| -> Result<String, String> {
+        require_value(flag, "file path", args.value_of(flag))
+    };
+    let (baseline_path, current_path) = match (required("--baseline"), required("--current")) {
+        (Ok(b), Ok(c)) => (b, c),
+        _ => {
+            eprintln!("usage: bench_check --baseline BENCH_ilp.json --current BENCH_ilp.new.json");
+            return ExitCode::FAILURE;
+        }
+    };
+    let filters = &args.filters;
     let (Some(baseline), Some(current)) = (load(&baseline_path), load(&current_path)) else {
         return ExitCode::FAILURE;
     };

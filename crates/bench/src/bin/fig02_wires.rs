@@ -1,8 +1,12 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig02_wires`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig02_wires(&smart_bench::ExperimentContext::default())
-    );
+//! fig02: Fig. 2 interconnect comparison (PTL vs JTL vs CMOS wires)
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single(
+        "fig02",
+        "fig02: Fig. 2 interconnect comparison (PTL vs JTL vs CMOS wires)",
+    )
 }

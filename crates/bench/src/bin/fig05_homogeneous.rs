@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig05_homogeneous`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig05_homogeneous(&smart_bench::ExperimentContext::default())
-    );
+//! fig05: Fig. 5 homogeneous-SPM SuperNPU variants
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig05", "fig05: Fig. 5 homogeneous-SPM SuperNPU variants")
 }

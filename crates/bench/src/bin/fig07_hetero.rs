@@ -1,8 +1,12 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig07_hetero`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig07_hetero(&smart_bench::ExperimentContext::default())
-    );
+//! fig07: Fig. 7 heterogeneous SHIFT+RANDOM SPM comparison
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single(
+        "fig07",
+        "fig07: Fig. 7 heterogeneous SHIFT+RANDOM SPM comparison",
+    )
 }

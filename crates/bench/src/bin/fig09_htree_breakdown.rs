@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig09_htree_breakdown`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig09_htree_breakdown(&smart_bench::ExperimentContext::default())
-    );
+//! fig09: Fig. 9 H-tree latency/energy breakdown
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig09", "fig09: Fig. 9 H-tree latency/energy breakdown")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig14_design_space`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig14_design_space(&smart_bench::ExperimentContext::default())
-    );
+//! fig14: Fig. 14 RANDOM-array design space
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig14", "fig14: Fig. 14 RANDOM-array design space")
 }

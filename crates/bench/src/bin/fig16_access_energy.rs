@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig16_access_energy`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig16_access_energy(&smart_bench::ExperimentContext::default())
-    );
+//! fig16: Fig. 16 access-energy comparison
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig16", "fig16: Fig. 16 access-energy comparison")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig18_single_speedup`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig18_single_speedup(&smart_bench::ExperimentContext::default())
-    );
+//! fig18: Fig. 18 single-image speedups over TPU
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig18", "fig18: Fig. 18 single-image speedups over TPU")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig19_batch_speedup`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig19_batch_speedup(&smart_bench::ExperimentContext::default())
-    );
+//! fig19: Fig. 19 batched speedups over TPU
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig19", "fig19: Fig. 19 batched speedups over TPU")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig20_single_energy`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig20_single_energy(&smart_bench::ExperimentContext::default())
-    );
+//! fig20: Fig. 20 single-image energy comparison
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig20", "fig20: Fig. 20 single-image energy comparison")
 }

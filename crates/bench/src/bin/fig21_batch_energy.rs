@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig21_batch_energy`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig21_batch_energy(&smart_bench::ExperimentContext::default())
-    );
+//! fig21: Fig. 21 batched energy comparison
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig21", "fig21: Fig. 21 batched energy comparison")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig23_random_capacity`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig23_random_capacity(&smart_bench::ExperimentContext::default())
-    );
+//! fig23: Fig. 23 RANDOM capacity sensitivity
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig23", "fig23: Fig. 23 RANDOM capacity sensitivity")
 }

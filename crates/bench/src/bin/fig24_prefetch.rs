@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig24_prefetch`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig24_prefetch(&smart_bench::ExperimentContext::default())
-    );
+//! fig24: Fig. 24 prefetch-distance sensitivity
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig24", "fig24: Fig. 24 prefetch-distance sensitivity")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin fig25_write_latency`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::fig25_write_latency(&smart_bench::ExperimentContext::default())
-    );
+//! fig25: Fig. 25 write-latency sensitivity
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("fig25", "fig25: Fig. 25 write-latency sensitivity")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin josim_jtl_characterization`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::josim_jtl_characterization(&smart_bench::ExperimentContext::default())
-    );
+//! JTL chain transient characterization
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("josim_jtl", "JTL chain transient characterization")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin josim_ptl_characterization`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::josim_ptl_characterization(&smart_bench::ExperimentContext::default())
-    );
+//! PTL link transient characterization
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("josim_ptl", "PTL link transient characterization")
 }

@@ -1,9 +1,10 @@
 //! Design-space Pareto search over generated accelerator geometries.
 //!
-//! Sweeps the default 1000-point heterogeneous grid (or the small 18-point
-//! grid with `--small`) through the staged search engine: parallel
-//! analytic objectives, ε-dominance pruning, warm-started ILP enrichment
-//! of the survivors, and cycle-level replay confirmation of the frontier.
+//! Sweeps the default 1000-point heterogeneous grid (or the small
+//! 18-point grid with `--small`) through the staged search engine:
+//! parallel analytic objectives, ε-dominance pruning, warm-started ILP
+//! enrichment of the survivors, and cycle-level replay confirmation of
+//! the frontier.
 //!
 //! ```sh
 //! cargo run --release -p smart-bench --bin pareto_search
@@ -12,30 +13,27 @@
 //! cargo run --release -p smart-bench --bin pareto_search -- --small --check
 //! ```
 //!
-//! * `--jobs N` — worker threads for the analytic fan-out (default:
-//!   available parallelism; the ILP/replay stages are sequential by
-//!   design, so the frontier is identical for every `N`),
-//! * `--small` — the 18-point grid instead of the 1000-point one,
-//! * `--json` — a JSON object with the frontier table plus search,
-//!   cache, and solver counters (instead of the fixed-width text),
-//! * `--check` — after searching, verify the invariants (finite
-//!   objectives, frontier ⊆ survivors, no dominated frontier point, and a
-//!   sequential `--jobs 1` rerun producing the identical outcome); exit 1
-//!   on any violation,
-//! * `--cache-dir DIR` — load the persistent eval/timing/basis stores
-//!   from `DIR` before searching and save them back after, so a repeated
-//!   search starts warm (identical frontier, much faster).
+//! Flags come from the shared `smart_bench::cli` module (see `--help`);
+//! `--check` verifies the search invariants (finite objectives,
+//! frontier ⊆ survivors, no dominated frontier point, and a sequential
+//! `--jobs 1` rerun producing the identical outcome).
 
-use smart_bench::{frontier_table, ExperimentContext};
+use smart_bench::cli::{CliSpec, ExtraFlag, Format};
+use smart_bench::frontier_table;
 use smart_search::{dominates, search, SearchConfig, SearchOutcome, SearchSpace};
-use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-fn usage() -> ExitCode {
-    eprintln!("usage: pareto_search [--jobs N] [--small] [--json] [--check] [--cache-dir DIR]");
-    ExitCode::FAILURE
-}
+const SPEC: CliSpec = CliSpec {
+    bin: "pareto_search",
+    about: "staged Pareto search over generated accelerator geometries",
+    extras: &[ExtraFlag {
+        flag: "--small",
+        value: None,
+        help: "the 18-point grid instead of the 1000-point one",
+    }],
+    positional: None,
+};
 
 /// Verifies the search invariants; returns every violation found.
 fn check_outcome(out: &SearchOutcome, rerun: &SearchOutcome) -> Vec<String> {
@@ -72,51 +70,28 @@ fn check_outcome(out: &SearchOutcome, rerun: &SearchOutcome) -> Vec<String> {
 }
 
 fn main() -> ExitCode {
-    let mut jobs: Option<usize> = None;
-    let mut small = false;
-    let mut json = false;
-    let mut check = false;
-    let mut cache_dir: Option<PathBuf> = None;
-
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--small" => small = true,
-            "--json" => json = true,
-            "--check" => check = true,
-            "--jobs" => {
-                let Some(n) = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-                else {
-                    eprintln!("--jobs needs a positive integer");
-                    return usage();
-                };
-                jobs = Some(n);
-            }
-            "--cache-dir" => {
-                let Some(dir) = it.next() else {
-                    eprintln!("--cache-dir needs a directory");
-                    return usage();
-                };
-                cache_dir = Some(PathBuf::from(dir));
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                return usage();
-            }
+    let args = SPEC.parse_env_or_exit();
+    let selected = args.filters.is_empty()
+        || args
+            .filters
+            .iter()
+            .any(|f| "pareto_search".contains(f.as_str()) || f == "search");
+    if args.list {
+        if selected {
+            println!("pareto_search");
         }
+        return ExitCode::SUCCESS;
+    }
+    if !selected {
+        return ExitCode::SUCCESS;
     }
 
-    let ctx = jobs.map_or_else(ExperimentContext::default, ExperimentContext::new);
-    if let Some(dir) = &cache_dir {
-        let warm = ctx.load_caches(dir);
-        eprintln!("cache-dir: {} warm entries loaded", warm.total());
+    let ctx = args.context();
+    if let Some(dir) = &args.cache_dir {
+        ctx.load_caches_verbose(dir);
     }
 
-    let space = if small {
+    let space = if args.has("--small") {
         SearchSpace::small()
     } else {
         SearchSpace::default_grid()
@@ -132,10 +107,8 @@ fn main() -> ExitCode {
     };
     let elapsed = started.elapsed().as_secs_f64();
 
-    if let Some(dir) = &cache_dir {
-        if let Err(e) = ctx.save_caches(dir) {
-            eprintln!("cache-dir: save failed: {e}");
-        }
+    if let Some(dir) = &args.cache_dir {
+        ctx.save_caches_or_warn(dir);
     }
 
     let table = frontier_table(
@@ -147,53 +120,61 @@ fn main() -> ExitCode {
         &out,
     );
     let s = out.stats;
-    if json {
-        // The table's own JSON plus the run counters (satellite stats the
-        // fixed-width text has no room for).
-        println!(
-            "{{\"table\":{},\"stats\":{{\
-             \"space\":{},\"pruned\":{},\"survivors\":{},\"frontier\":{},\
-             \"ilp_compiles\":{},\
-             \"eval_hits\":{},\"eval_misses\":{},\
-             \"timing_hits\":{},\"timing_misses\":{},\
-             \"warm_attempts\":{},\"warm_hits\":{},\"cold_solves\":{},\"solution_hits\":{},\
-             \"seconds\":{:.3},\"configs_per_second\":{:.1}}}}}",
-            table.to_json(),
-            s.space,
-            s.pruned,
-            s.survivors,
-            s.frontier,
-            s.ilp_compiles,
-            s.eval_hits,
-            s.eval_misses,
-            s.timing_hits,
-            s.timing_misses,
-            s.warm_attempts,
-            s.warm_hits,
-            s.cold_solves,
-            s.solution_hits,
-            elapsed,
-            s.space as f64 / elapsed.max(1e-9),
-        );
-    } else {
-        print!("{table}");
-        eprintln!(
-            "{} configs in {:.2}s ({:.0} configs/s); eval {}h/{}m, replay {}h/{}m, \
-             solver {} warm / {} memo / {} cold",
-            s.space,
-            elapsed,
-            s.space as f64 / elapsed.max(1e-9),
-            s.eval_hits,
-            s.eval_misses,
-            s.timing_hits,
-            s.timing_misses,
-            s.warm_hits,
-            s.solution_hits,
-            s.cold_solves,
-        );
+    match args.format {
+        Format::Json => {
+            // The table's own JSON plus the run counters (satellite stats
+            // the fixed-width text has no room for).
+            println!(
+                "{{\"table\":{},\"stats\":{{\
+                 \"space\":{},\"pruned\":{},\"survivors\":{},\"frontier\":{},\
+                 \"ilp_compiles\":{},\
+                 \"eval_hits\":{},\"eval_misses\":{},\
+                 \"timing_hits\":{},\"timing_misses\":{},\
+                 \"warm_attempts\":{},\"warm_hits\":{},\"cold_solves\":{},\"solution_hits\":{},\
+                 \"seconds\":{:.3},\"configs_per_second\":{:.1}}}}}",
+                table.to_json(),
+                s.space,
+                s.pruned,
+                s.survivors,
+                s.frontier,
+                s.ilp_compiles,
+                s.eval_hits,
+                s.eval_misses,
+                s.timing_hits,
+                s.timing_misses,
+                s.warm_attempts,
+                s.warm_hits,
+                s.cold_solves,
+                s.solution_hits,
+                elapsed,
+                s.space as f64 / elapsed.max(1e-9),
+            );
+        }
+        Format::Csv => {
+            println!("# {}: {}", table.name, table.title);
+            print!("{}", table.to_csv());
+            println!();
+        }
+        Format::Text => {
+            print!("{table}");
+            eprintln!(
+                "{} configs in {:.2}s ({:.0} configs/s); eval {}h/{}m, replay {}h/{}m, \
+                 solver {} warm / {} memo / {} cold",
+                s.space,
+                elapsed,
+                s.space as f64 / elapsed.max(1e-9),
+                s.eval_hits,
+                s.eval_misses,
+                s.timing_hits,
+                s.timing_misses,
+                s.warm_hits,
+                s.solution_hits,
+                s.cold_solves,
+            );
+        }
     }
 
-    if check {
+    if args.check {
         let rerun = match search(&space, &SearchConfig::new(1), &ctx.cache, &ctx.timing) {
             Ok(out) => out,
             Err(e) => {

@@ -1,8 +1,12 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin search_warm_vs_cold`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::search_warm_vs_cold(&smart_bench::ExperimentContext::default())
-    );
+//! Warm vs cold design-space search comparison
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single(
+        "search_warm_vs_cold",
+        "Warm vs cold design-space search comparison",
+    )
 }

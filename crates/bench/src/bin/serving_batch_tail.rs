@@ -1,0 +1,9 @@
+//! `serving_batch_tail`: the batch-formation trade on SMART — staging
+//! amortization vs tail latency across batch sizes and windows.
+
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single(
+        "serving_batch_tail",
+        "Serving batch formation on SMART: tail latency vs staging amortization",
+    )
+}

@@ -1,0 +1,9 @@
+//! `serving_saturation`: p99 tail latency and goodput vs offered load
+//! for Heter / Pipe / SMART under one FCFS discipline and a shared SLO.
+
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single(
+        "serving_saturation",
+        "Serving saturation sweep: tail latency and goodput vs offered load per scheme",
+    )
+}

@@ -1,0 +1,9 @@
+//! `serving_tenant_mix`: tails and SPM-thrash across balanced, skewed,
+//! and bursty tenant mixes on every serving scheme.
+
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single(
+        "serving_tenant_mix",
+        "Serving tenant mixes: tail latency and SPM thrash across schemes",
+    )
+}

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin table1_memories`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::table1_memories(&smart_bench::ExperimentContext::default())
-    );
+//! table1: Table 1 memory-technology survey
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("table1", "table1: Table 1 memory-technology survey")
 }

@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin table2_components`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::table2_components(&smart_bench::ExperimentContext::default())
-    );
+//! table2: Table 2 SFQ component library
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("table2", "table2: Table 2 SFQ component library")
 }

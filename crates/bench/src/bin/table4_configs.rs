@@ -1,8 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin table4_configs`.
-fn main() {
-    print!(
-        "{}",
-        smart_bench::table4_configs(&smart_bench::ExperimentContext::default())
-    );
+//! table4: Table 4 evaluated configurations
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("table4", "table4: Table 4 evaluated configurations")
 }

@@ -1,12 +1,9 @@
-//! Regenerates one experiment of the paper. Run with
-//! `cargo run -p smart-bench --release --bin timing_random_bandwidth`.
-//! Pass `--cache-dir DIR` to start warm from (and refresh) the persistent
-//! stores of a previous run.
-fn main() {
-    let ctx = smart_bench::ExperimentContext::default();
-    let dir = smart_bench::cache_dir_arg();
-    print!(
-        "{}",
-        smart_bench::run_cached(smart_bench::timing_random_bandwidth, &ctx, dir.as_deref())
-    );
+//! RANDOM-bandwidth replay sweep
+//!
+//! One of the per-experiment front ends: prints the bare fixed-width
+//! table by default, and accepts the standard `smart-bench` flag set
+//! (`--jobs --json --csv --check --cache-dir --list --filter --help`)
+//! via the shared CLI module.
+fn main() -> std::process::ExitCode {
+    smart_bench::cli::run_single("timing_random_bandwidth", "RANDOM-bandwidth replay sweep")
 }

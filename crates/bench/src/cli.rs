@@ -1,0 +1,550 @@
+//! The shared command-line front end of every `smart-bench` binary.
+//!
+//! Before this module each binary hand-rolled its own `std::env::args`
+//! loop, so flag names, error strings, and help text drifted (three
+//! different "unknown flag" messages, two `--jobs` validators). Now a
+//! binary declares a [`CliSpec`] — its name, a one-line description, and
+//! any extra flags beyond the standard set — and gets:
+//!
+//! * the standard flags every binary accepts: `--jobs N`, `--json`,
+//!   `--csv`, `--check`, `--cache-dir DIR`, `--list`,
+//!   `--filter TAG` (repeatable), `--help`;
+//! * consistent error messages (one canonical string per failure mode,
+//!   exercised by `tests/cli.rs` against every binary);
+//! * `--help` text generated from the spec, so it cannot go stale.
+//!
+//! Per-figure binaries don't even declare a spec: [`run_single`] wires
+//! the standard flags to one registry entry (bare-table text output,
+//! byte-identical to the pre-redesign binaries in the default
+//! invocation).
+
+use crate::registry::{self, ExperimentDescriptor};
+use crate::ExperimentContext;
+use smart_report::ResultTable;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Output encoding selected by `--json` / `--csv` (text is the default;
+/// the last format flag wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Fixed-width text, byte-stable for the golden snapshot.
+    #[default]
+    Text,
+    /// The table's typed JSON.
+    Json,
+    /// One CSV block per table.
+    Csv,
+}
+
+/// An extra flag a binary accepts beyond the standard set.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtraFlag {
+    /// The flag itself, with leading dashes (`"--small"`).
+    pub flag: &'static str,
+    /// Placeholder name of the value (`Some("R")`), or `None` for a
+    /// boolean flag.
+    pub value: Option<&'static str>,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// What a binary's command line looks like.
+#[derive(Debug, Clone, Copy)]
+pub struct CliSpec {
+    /// Binary name (for usage/help).
+    pub bin: &'static str,
+    /// One-line description (first line of `--help`).
+    pub about: &'static str,
+    /// Extra flags beyond the standard set.
+    pub extras: &'static [ExtraFlag],
+    /// Placeholder for positional arguments (`Some("EXPERIMENT")`), or
+    /// `None` to reject positionals.
+    pub positional: Option<&'static str>,
+}
+
+/// Parsed command line: the standard flags plus whatever extras the spec
+/// declared.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// `--jobs N` (validated positive); `None` = available parallelism.
+    pub jobs: Option<usize>,
+    /// `--json` / `--csv` / default text.
+    pub format: Format,
+    /// `--check`: verify invariants after running, exit 1 on violation.
+    pub check: bool,
+    /// `--cache-dir DIR`: persistent warm-start stores.
+    pub cache_dir: Option<PathBuf>,
+    /// `--list`: print what would run and exit.
+    pub list: bool,
+    /// Every `--filter` value, in order.
+    pub filters: Vec<String>,
+    /// Extra flags seen, in order, with their values.
+    pub extras: Vec<(String, Option<String>)>,
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Whether an extra boolean flag was passed.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.extras.iter().any(|(f, _)| f == flag)
+    }
+
+    /// The last value of an extra valued flag.
+    #[must_use]
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// An [`ExperimentContext`] honoring `--jobs` (default: available
+    /// parallelism).
+    #[must_use]
+    pub fn context(&self) -> ExperimentContext {
+        self.jobs
+            .map_or_else(ExperimentContext::default, ExperimentContext::new)
+    }
+}
+
+/// Validates the value of a positive-integer flag (`--jobs`). The error
+/// string is the canonical one every binary prints.
+///
+/// # Errors
+///
+/// `"{flag} needs a positive integer"`.
+pub fn parse_positive(flag: &str, value: Option<&str>) -> Result<usize, String> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer"))
+}
+
+/// Validates the value of a non-negative-number flag
+/// (`--max-regression`).
+///
+/// # Errors
+///
+/// `"{flag} needs a non-negative number"`.
+pub fn parse_non_negative(flag: &str, value: Option<&str>) -> Result<f64, String> {
+    value
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|r| *r >= 0.0 && r.is_finite())
+        .ok_or_else(|| format!("{flag} needs a non-negative number"))
+}
+
+/// Requires a flag's value to be present (`--cache-dir`, `--filter`, …).
+///
+/// # Errors
+///
+/// `"{flag} needs a {noun}"`.
+pub fn require_value(flag: &str, noun: &str, value: Option<&str>) -> Result<String, String> {
+    value
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{flag} needs a {noun}"))
+}
+
+const STANDARD_FLAGS: &[ExtraFlag] = &[
+    ExtraFlag {
+        flag: "--jobs",
+        value: Some("N"),
+        help: "worker threads (default: available parallelism)",
+    },
+    ExtraFlag {
+        flag: "--json",
+        value: None,
+        help: "typed JSON output instead of fixed-width text",
+    },
+    ExtraFlag {
+        flag: "--csv",
+        value: None,
+        help: "CSV output instead of fixed-width text",
+    },
+    ExtraFlag {
+        flag: "--check",
+        value: None,
+        help: "verify invariants after running; exit 1 on violation",
+    },
+    ExtraFlag {
+        flag: "--cache-dir",
+        value: Some("DIR"),
+        help: "load persistent warm-start stores before, save after",
+    },
+    ExtraFlag {
+        flag: "--list",
+        value: None,
+        help: "print what would run (name, group, figure) and exit",
+    },
+    ExtraFlag {
+        flag: "--filter",
+        value: Some("TAG"),
+        help: "select experiments by group tag or name substring (repeatable)",
+    },
+    ExtraFlag {
+        flag: "--help",
+        value: None,
+        help: "print this help and exit",
+    },
+];
+
+impl CliSpec {
+    /// A spec with no extras and no positionals (the per-figure
+    /// binaries).
+    #[must_use]
+    pub const fn standard(bin: &'static str, about: &'static str) -> Self {
+        Self {
+            bin,
+            about,
+            extras: &[],
+            positional: None,
+        }
+    }
+
+    /// The one-line usage string.
+    #[must_use]
+    pub fn usage(&self) -> String {
+        let mut s = format!("usage: {} [FLAGS]", self.bin);
+        if let Some(pos) = self.positional {
+            s.push_str(&format!(" [{pos}]..."));
+        }
+        s
+    }
+
+    /// The full `--help` text, generated from the spec.
+    #[must_use]
+    pub fn help(&self) -> String {
+        let mut s = format!("{}\n\n{}\n\nflags:\n", self.about, self.usage());
+        let all = STANDARD_FLAGS.iter().chain(self.extras.iter());
+        for f in all {
+            let left = match f.value {
+                Some(v) => format!("{} {v}", f.flag),
+                None => f.flag.to_owned(),
+            };
+            s.push_str(&format!("  {left:<18} {}\n", f.help));
+        }
+        s
+    }
+
+    /// The flag list for the canonical unknown-flag error.
+    fn flag_list(&self) -> String {
+        STANDARD_FLAGS
+            .iter()
+            .chain(self.extras.iter())
+            .map(|f| match f.value {
+                Some(v) => format!("{} {v}", f.flag),
+                None => f.flag.to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Parses an argument list into either arguments to run with or the
+    /// help text to print ([`Parsed`]).
+    ///
+    /// # Errors
+    ///
+    /// The canonical message for the first invalid argument.
+    pub fn parse<I: IntoIterator<Item = String>>(&self, argv: I) -> Result<Parsed, String> {
+        let mut args = Args::default();
+        let argv: Vec<String> = argv.into_iter().collect();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Ok(Parsed::Help(self.help())),
+                "--json" => args.format = Format::Json,
+                "--csv" => args.format = Format::Csv,
+                "--check" => args.check = true,
+                "--list" => args.list = true,
+                "--jobs" => {
+                    args.jobs = Some(parse_positive("--jobs", it.next().map(String::as_str))?);
+                }
+                "--cache-dir" => {
+                    args.cache_dir = Some(PathBuf::from(require_value(
+                        "--cache-dir",
+                        "directory",
+                        it.next().map(String::as_str),
+                    )?));
+                }
+                "--filter" => {
+                    args.filters.push(require_value(
+                        "--filter",
+                        "group tag or name substring",
+                        it.next().map(String::as_str),
+                    )?);
+                }
+                other => {
+                    if let Some(extra) = self.extras.iter().find(|f| f.flag == other) {
+                        let value = match extra.value {
+                            Some(noun) => {
+                                Some(require_value(other, noun, it.next().map(String::as_str))?)
+                            }
+                            None => None,
+                        };
+                        args.extras.push((other.to_owned(), value));
+                    } else if other.starts_with('-') {
+                        return Err(format!(
+                            "unknown flag `{other}`; flags: {}",
+                            self.flag_list()
+                        ));
+                    } else if self.positional.is_some() {
+                        args.positional.push(other.to_owned());
+                    } else {
+                        return Err(format!(
+                            "unexpected argument `{other}` ({} takes no positional arguments)",
+                            self.bin
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(Parsed::Run(args))
+    }
+
+    /// Parses the process arguments, printing help (exit 0) or the error
+    /// plus usage (exit 2) as needed.
+    #[must_use]
+    pub fn parse_env_or_exit(&self) -> Args {
+        match self.parse(std::env::args().skip(1)) {
+            Ok(Parsed::Run(args)) => args,
+            Ok(Parsed::Help(text)) => {
+                println!("{text}");
+                std::process::exit(0);
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Outcome of [`CliSpec::parse`]: run, or print help.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Normal run with the parsed arguments.
+    Run(Args),
+    /// `--help`: print this text and exit 0.
+    Help(String),
+}
+
+/// Prints the `--list` line of one experiment (shared between
+/// `all_experiments` and the per-figure binaries so the format cannot
+/// drift): `name  group  figure`.
+pub fn print_listing(descriptors: &[&ExperimentDescriptor]) {
+    for d in descriptors {
+        println!("{:<24} {:<9} {}", d.name, d.group.tag(), d.figure);
+    }
+}
+
+/// Renders one table in the selected format. Text is the bare
+/// fixed-width table (the per-figure binaries' historical output);
+/// `all_experiments` adds its own `==== name ====` headers.
+pub fn print_table(table: &ResultTable, format: Format) {
+    match format {
+        Format::Text => print!("{table}"),
+        Format::Json => println!("{}", table.to_json()),
+        Format::Csv => {
+            println!("# {}: {}", table.name, table.title);
+            print!("{}", table.to_csv());
+            println!();
+        }
+    }
+}
+
+/// The non-finite-cell gate behind every binary's `--check`: reports
+/// each offending cell on stderr, returns whether all cells were finite.
+pub fn check_tables(tables: &[ResultTable]) -> bool {
+    let mut ok = true;
+    for table in tables {
+        for (row, col, rendered) in table.non_finite_cells() {
+            eprintln!(
+                "non-finite value in {} at row {row}, column {col}: {rendered}",
+                table.name
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// The whole main body of a per-figure binary: standard flags wired to
+/// one registry experiment. The default invocation prints the bare
+/// fixed-width table, byte-identical to the pre-redesign binaries.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the registry (a compile-time-known name;
+/// the registry test catches a typo before any binary ships).
+#[must_use]
+pub fn run_single(name: &str, about: &'static str) -> ExitCode {
+    let descriptor = registry::find(name)
+        .unwrap_or_else(|| panic!("binary references unknown experiment `{name}`"));
+    let spec = CliSpec {
+        bin: descriptor.name,
+        about,
+        extras: &[],
+        positional: None,
+    };
+    let args = spec.parse_env_or_exit();
+
+    let selected = args.filters.is_empty() || args.filters.iter().any(|f| descriptor.matches(f));
+    if args.list {
+        if selected {
+            print_listing(&[descriptor]);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !selected {
+        // A filter that deselects the binary's only experiment runs
+        // nothing — same semantics as all_experiments with no match.
+        return ExitCode::SUCCESS;
+    }
+
+    let ctx = args.context();
+    let table = crate::run_cached(descriptor.run, &ctx, args.cache_dir.as_deref());
+    print_table(&table, args.format);
+    if args.check && !check_tables(std::slice::from_ref(&table)) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CliSpec {
+        CliSpec {
+            bin: "test_bin",
+            about: "a test spec",
+            extras: &[
+                ExtraFlag {
+                    flag: "--small",
+                    value: None,
+                    help: "small grid",
+                },
+                ExtraFlag {
+                    flag: "--max-regression",
+                    value: Some("R"),
+                    help: "gate threshold",
+                },
+            ],
+            positional: Some("EXPERIMENT"),
+        }
+    }
+
+    fn parse(words: &[&str]) -> Result<Parsed, String> {
+        spec().parse(words.iter().map(|s| (*s).to_owned()))
+    }
+
+    fn args(words: &[&str]) -> Args {
+        match parse(words) {
+            Ok(Parsed::Run(a)) => a,
+            other => panic!("expected a run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn standard_flags_round_trip() {
+        let a = args(&[
+            "--jobs",
+            "4",
+            "--json",
+            "--check",
+            "--cache-dir",
+            "/tmp/x",
+            "--filter",
+            "timing",
+            "--filter",
+            "serving_",
+            "fig18",
+        ]);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.format, Format::Json);
+        assert!(a.check);
+        assert_eq!(a.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(a.filters, ["timing", "serving_"]);
+        assert_eq!(a.positional, ["fig18"]);
+        assert!(!a.list);
+    }
+
+    #[test]
+    fn extras_are_collected_in_order() {
+        let a = args(&["--small", "--max-regression", "0.3"]);
+        assert!(a.has("--small"));
+        assert_eq!(a.value_of("--max-regression"), Some("0.3"));
+        assert_eq!(a.value_of("--small"), None);
+        assert!(!a.has("--csv"));
+    }
+
+    #[test]
+    fn canonical_error_strings() {
+        assert_eq!(
+            parse(&["--jobs", "0"]).unwrap_err(),
+            "--jobs needs a positive integer"
+        );
+        assert_eq!(
+            parse(&["--jobs"]).unwrap_err(),
+            "--jobs needs a positive integer"
+        );
+        assert_eq!(
+            parse(&["--cache-dir"]).unwrap_err(),
+            "--cache-dir needs a directory"
+        );
+        assert_eq!(
+            parse(&["--max-regression"]).map(|_| ()),
+            Err("--max-regression needs a R".to_owned())
+        );
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.starts_with("unknown flag `--bogus`; flags: "), "{err}");
+        assert!(err.contains("--jobs N"), "{err}");
+        assert!(err.contains("--small"), "{err}");
+    }
+
+    #[test]
+    fn positionals_only_where_declared() {
+        let no_pos = CliSpec::standard("fig", "about");
+        let err = no_pos.parse(["stray".to_owned()]).map(|_| ()).unwrap_err();
+        assert!(err.contains("takes no positional arguments"), "{err}");
+    }
+
+    #[test]
+    fn help_lists_every_flag() {
+        let h = match parse(&["--help"]) {
+            Ok(Parsed::Help(h)) => h,
+            other => panic!("expected help, got {other:?}"),
+        };
+        for f in STANDARD_FLAGS {
+            assert!(h.contains(f.flag), "help is missing {}", f.flag);
+        }
+        assert!(h.contains("--small"));
+        assert!(h.contains("--max-regression R"));
+        assert!(h.contains("a test spec"));
+    }
+
+    #[test]
+    fn validators_expose_canonical_messages() {
+        assert_eq!(parse_positive("--jobs", Some("3")), Ok(3));
+        assert_eq!(
+            parse_positive("--jobs", Some("nope")).unwrap_err(),
+            "--jobs needs a positive integer"
+        );
+        assert_eq!(
+            parse_non_negative("--max-regression", Some("0.25")),
+            Ok(0.25)
+        );
+        assert_eq!(
+            parse_non_negative("--max-regression", Some("-0.1")).unwrap_err(),
+            "--max-regression needs a non-negative number"
+        );
+        assert_eq!(
+            require_value("--baseline", "file path", None).unwrap_err(),
+            "--baseline needs a file path"
+        );
+    }
+}

@@ -17,13 +17,24 @@
 //! println!("{fig18}");            // legacy fixed-width text
 //! println!("{}", fig18.to_json()); // typed rows for scripts
 //! let all = all_experiments(&ctx); // every figure, 4-way parallel
-//! assert_eq!(all.len(), 32);
+//! assert_eq!(all.len(), 35);
 //! ```
+//!
+//! Experiments are catalogued in the typed [`registry`]
+//! ([`registry::ExperimentDescriptor`]: name, paper figure, group tag,
+//! runner), and every binary under `src/bin/` parses its command line
+//! through the shared [`cli`] module, so `--list`, `--filter`, and the
+//! flag error messages are identical everywhere.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cli;
 mod experiments;
+pub mod registry;
+mod serving;
+
+pub use serving::{serving_batch_tail, serving_saturation, serving_tenant_mix};
 
 pub use experiments::{
     ablation_ilp_vs_greedy, ablation_lane_length, fig02_wires, fig05_homogeneous, fig06_trace,
@@ -139,6 +150,32 @@ impl ExperimentContext {
         }
     }
 
+    /// [`ExperimentContext::load_caches`] plus the canonical stderr
+    /// summary line every binary prints for `--cache-dir` (one
+    /// implementation, so the wording cannot drift).
+    pub fn load_caches_verbose(&self, dir: &Path) -> CacheLoadSummary {
+        let warm = self.load_caches(dir);
+        eprintln!(
+            "cache-dir: {} warm entries loaded ({} eval, {} circuit, {} timing, {} bases)",
+            warm.total(),
+            warm.eval,
+            warm.circuits,
+            warm.timing,
+            warm.bases
+        );
+        warm
+    }
+
+    /// [`ExperimentContext::save_caches`] with the canonical stderr
+    /// warning on failure instead of an error return — results already
+    /// computed should never be discarded because the warm store could
+    /// not be written.
+    pub fn save_caches_or_warn(&self, dir: &Path) {
+        if let Err(e) = self.save_caches(dir) {
+            eprintln!("cache-dir: save failed: {e}");
+        }
+    }
+
     /// Persists every cache into `dir` (creating it if needed) so the next
     /// process can [`ExperimentContext::load_caches`] and start warm.
     /// Writes are atomic (temp file + rename), so a crashed run leaves the
@@ -163,24 +200,10 @@ impl Default for ExperimentContext {
     }
 }
 
-/// Parses a `--cache-dir DIR` flag out of the process arguments (how the
-/// per-figure sweep binaries opt into persistent warm starts without a
-/// full CLI parser). Returns `None` when absent or valueless.
-#[must_use]
-pub fn cache_dir_arg() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--cache-dir" {
-            return args.next().map(std::path::PathBuf::from);
-        }
-    }
-    None
-}
-
 /// Runs one builder with the persistent stores of `cache_dir` (when
-/// given): load before, save after. The shared body of the per-figure
-/// sweep binaries; save failures warn on stderr rather than discarding
-/// the table.
+/// given): load before (with the canonical stderr summary), save after.
+/// The shared body of the per-figure binaries; save failures warn on
+/// stderr rather than discarding the table.
 #[must_use]
 pub fn run_cached(
     build: Experiment,
@@ -188,14 +211,11 @@ pub fn run_cached(
     cache_dir: Option<&Path>,
 ) -> ResultTable {
     if let Some(dir) = cache_dir {
-        let warm = ctx.load_caches(dir);
-        eprintln!("cache-dir: {} warm entries loaded", warm.total());
+        ctx.load_caches_verbose(dir);
     }
     let table = build(ctx);
     if let Some(dir) = cache_dir {
-        if let Err(e) = ctx.save_caches(dir) {
-            eprintln!("cache-dir: save failed: {e}");
-        }
+        ctx.save_caches_or_warn(dir);
     }
     table
 }
@@ -204,64 +224,22 @@ pub fn run_cached(
 /// result.
 pub type Experiment = fn(&ExperimentContext) -> ResultTable;
 
-/// The single source of truth for the experiment set: `(name, builder)`
-/// in paper order followed by the ablations. [`run_experiment`],
-/// [`experiment_names`], and [`all_experiments`] all derive from this
-/// table, so a new entry cannot drift between them.
-const EXPERIMENTS: &[(&str, Experiment)] = &[
-    ("fig02", fig02_wires),
-    ("table1", table1_memories),
-    ("table2", table2_components),
-    ("fig05", fig05_homogeneous),
-    ("fig06", fig06_trace),
-    ("fig07", fig07_hetero),
-    ("fig09", fig09_htree_breakdown),
-    ("fig12", fig12_subbank_validation),
-    ("fig13", fig13_josim_validation),
-    ("fig14", fig14_design_space),
-    ("fig16", fig16_access_energy),
-    ("fig17", fig17_area),
-    ("fig18", fig18_single_speedup),
-    ("fig19", fig19_batch_speedup),
-    ("fig20", fig20_single_energy),
-    ("fig21", fig21_batch_energy),
-    ("fig22", fig22_shift_capacity),
-    ("fig23", fig23_random_capacity),
-    ("fig24", fig24_prefetch),
-    ("fig25", fig25_write_latency),
-    ("table4", table4_configs),
-    ("ablation_ilp_vs_greedy", ablation_ilp_vs_greedy),
-    ("ablation_lane_length", ablation_lane_length),
-    ("josim_jtl", josim_jtl_characterization),
-    ("josim_fanout", josim_fanout_characterization),
-    ("josim_ptl", josim_ptl_characterization),
-    ("timing_stall_breakdown", timing_stall_breakdown),
-    ("timing_buffer_depth", timing_buffer_depth),
-    ("timing_random_bandwidth", timing_random_bandwidth),
-    ("search_frontier", search_frontier),
-    ("search_warm_vs_cold", search_warm_vs_cold),
-    ("search_frontier_gap", search_frontier_gap),
-];
-
 /// Runs one experiment by name, returning its typed table, or `None` for
 /// an unknown name. Names are listed by [`experiment_names`].
 #[must_use]
 pub fn run_experiment(name: &str, ctx: &ExperimentContext) -> Option<ResultTable> {
-    EXPERIMENTS
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, build)| build(ctx))
+    registry::find(name).map(|d| (d.run)(ctx))
 }
 
-/// Names of every experiment, in paper order followed by the ablations,
-/// without running anything (for `all_experiments --list` and tests).
+/// Names of every experiment, in registry order (paper figures/tables,
+/// then the beyond-the-paper studies), without running anything.
 #[must_use]
 pub fn experiment_names() -> Vec<&'static str> {
-    EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    registry::REGISTRY.iter().map(|d| d.name).collect()
 }
 
-/// All experiments in paper order, followed by the ablations, fanned over
-/// the context's worker pool with the shared evaluation cache.
+/// All experiments in registry order, fanned over the context's worker
+/// pool with the shared evaluation cache.
 #[must_use]
 pub fn all_experiments(ctx: &ExperimentContext) -> Vec<ResultTable> {
     run_experiments(&experiment_names(), ctx)
@@ -277,13 +255,13 @@ pub fn all_experiments(ctx: &ExperimentContext) -> Vec<ResultTable> {
 /// total concurrency stays around `jobs` rather than `jobs^2`.
 #[must_use]
 pub fn run_experiments(names: &[&str], ctx: &ExperimentContext) -> Vec<ResultTable> {
-    let selected: Vec<&(&str, Experiment)> = names
+    let selected: Vec<&'static registry::ExperimentDescriptor> = names
         .iter()
-        .filter_map(|name| EXPERIMENTS.iter().find(|(n, _)| n == name))
+        .filter_map(|name| registry::find(name))
         .collect();
     let outer = ctx.jobs.min(selected.len()).max(1);
     let inner = ctx.with_jobs(ctx.jobs / outer);
-    parallel_map(outer, &selected, |(_, build)| build(&inner))
+    parallel_map(outer, &selected, |d| (d.run)(&inner))
 }
 
 /// Convenience wrapper for evaluating one scheme on one model.
@@ -305,9 +283,9 @@ mod tests {
         }
         assert_eq!(
             names.len(),
-            32,
+            35,
             "21 figures/tables + 2 ablations + 3 circuit characterizations \
-             + 3 timing replays + 3 design-space searches"
+             + 3 timing replays + 3 design-space searches + 3 serving studies"
         );
         assert!(
             run_experiment("not_an_experiment", &ExperimentContext::single_threaded()).is_none()

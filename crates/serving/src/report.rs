@@ -1,0 +1,251 @@
+//! [`ServingReport`]: what one serving simulation says about tail
+//! latency, goodput, utilization, and SPM thrash.
+//!
+//! The report keeps the full sorted per-request latency sample (cycles)
+//! rather than pre-baked quantiles, so callers can ask for any quantile
+//! — the canonical ones, [`p50`]/[`p99`]/[`p999`], use the nearest-rank
+//! definition (the smallest sample with at least a `q` fraction of the
+//! mass at or below it), which is exact on discrete samples and never
+//! interpolates latencies that no request experienced.
+//!
+//! Rate-style metrics are defined over the *makespan* (first arrival to
+//! last completion): [`goodput_rps`] counts SLO-met completions per
+//! second of makespan, so past the saturation knee it converges to the
+//! server's sustainable service rate rather than echoing the offered
+//! load back.
+//!
+//! [`p50`]: ServingReport::p50
+//! [`p99`]: ServingReport::p99
+//! [`p999`]: ServingReport::p999
+//! [`goodput_rps`]: ServingReport::goodput_rps
+
+use smart_units::{Frequency, Time};
+
+/// Per-tenant slice of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantServingStats {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests of this tenant injected by the trace.
+    pub injected: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completions that met the tenant's SLO deadline.
+    pub slo_met: u64,
+    /// Sorted per-request latencies of this tenant, in cycles.
+    pub latencies: Vec<u64>,
+}
+
+impl TenantServingStats {
+    /// Nearest-rank quantile of this tenant's latency sample, in cycles
+    /// (`0` when the tenant completed nothing).
+    #[must_use]
+    pub fn quantile_cycles(&self, q: f64) -> u64 {
+        quantile(&self.latencies, q)
+    }
+
+    /// Mean latency in cycles (`0.0` when empty).
+    #[must_use]
+    pub fn mean_cycles(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+        }
+    }
+}
+
+/// Result of one serving simulation: a workload replayed through the
+/// dispatch simulator on one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Scheme the tenants were profiled on.
+    pub scheme: &'static str,
+    /// Accelerator clock (cycle counts convert to time with this).
+    pub clock: Frequency,
+    /// Offered aggregate load in requests per second.
+    pub offered_rps: f64,
+    /// Requests injected by the trace.
+    pub injected: u64,
+    /// Requests completed (the simulator drains, so this equals
+    /// [`Self::injected`]; the conservation property test asserts it).
+    pub completed: u64,
+    /// Completions that met their tenant's SLO deadline.
+    pub slo_met: u64,
+    /// First arrival to last completion, in cycles.
+    pub makespan_cycles: u64,
+    /// Cycles the array spent executing layers.
+    pub service_cycles: u64,
+    /// Cycles spent re-staging SPM-resident data across tenant switches
+    /// (the thrash the paper's warm/cold distinction prices).
+    pub switch_cycles: u64,
+    /// Number of cold tenant switches paid.
+    pub switches: u64,
+    /// Sorted per-request latencies across all tenants, in cycles.
+    pub latencies: Vec<u64>,
+    /// Per-tenant breakdown, in workload tenant order.
+    pub per_tenant: Vec<TenantServingStats>,
+}
+
+impl ServingReport {
+    /// Nearest-rank quantile of the aggregate latency sample, in cycles.
+    #[must_use]
+    pub fn quantile_cycles(&self, q: f64) -> u64 {
+        quantile(&self.latencies, q)
+    }
+
+    /// Nearest-rank quantile as wall-clock time.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Time {
+        self.clock.period() * self.quantile_cycles(q) as f64
+    }
+
+    /// Median latency.
+    #[must_use]
+    pub fn p50(&self) -> Time {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    #[must_use]
+    pub fn p99(&self) -> Time {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    #[must_use]
+    pub fn p999(&self) -> Time {
+        self.quantile(0.999)
+    }
+
+    /// Mean latency in cycles (`0.0` when empty).
+    #[must_use]
+    pub fn mean_cycles(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+        }
+    }
+
+    /// Makespan as wall-clock time.
+    #[must_use]
+    pub fn makespan(&self) -> Time {
+        self.clock.period() * self.makespan_cycles as f64
+    }
+
+    /// SLO-met completions per second of makespan. Below saturation this
+    /// tracks the offered load; past the knee it converges to the
+    /// sustainable service rate and then *falls* as queueing pushes
+    /// completions over their deadlines.
+    #[must_use]
+    pub fn goodput_rps(&self) -> f64 {
+        let span_s = self.makespan().as_s();
+        if span_s <= 0.0 {
+            0.0
+        } else {
+            self.slo_met as f64 / span_s
+        }
+    }
+
+    /// Completions (SLO-blind) per second of makespan.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let span_s = self.makespan().as_s();
+        if span_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / span_s
+        }
+    }
+
+    /// Fraction of the makespan the array spent doing useful layer work.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.service_cycles as f64 / self.makespan_cycles as f64
+        }
+    }
+
+    /// SPM-thrash overhead: re-staging cycles as a fraction of all busy
+    /// cycles (service + re-staging). `0.0` when nothing ran.
+    #[must_use]
+    pub fn thrash_overhead(&self) -> f64 {
+        let busy = self.service_cycles + self.switch_cycles;
+        if busy == 0 {
+            0.0
+        } else {
+            self.switch_cycles as f64 / busy as f64
+        }
+    }
+
+    /// Fraction of completions that met their SLO (`1.0` when nothing
+    /// completed, vacuously).
+    #[must_use]
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Nearest-rank quantile of a **sorted** sample: the smallest element
+/// with at least `ceil(q * n)` elements at or below it. `0` on an empty
+/// sample; `q` is clamped to `(0, 1]`.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let q = q.clamp(f64::MIN_POSITIVE, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        let s = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(quantile(&s, 0.50), 50);
+        assert_eq!(quantile(&s, 0.99), 100);
+        assert_eq!(quantile(&s, 0.10), 10);
+        assert_eq!(quantile(&s, 1.0), 100);
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let clock = Frequency::from_ghz(52.6);
+        let r = ServingReport {
+            scheme: "SMART",
+            clock,
+            offered_rps: 1e5,
+            injected: 4,
+            completed: 4,
+            slo_met: 3,
+            makespan_cycles: 1_000_000,
+            service_cycles: 600_000,
+            switch_cycles: 200_000,
+            switches: 2,
+            latencies: vec![100, 200, 300, 400],
+            per_tenant: vec![],
+        };
+        assert_eq!(r.quantile_cycles(0.5), 200);
+        assert_eq!(r.quantile_cycles(0.99), 400);
+        assert!(r.p50() < r.p99());
+        assert!((r.utilization() - 0.6).abs() < 1e-12);
+        assert!((r.thrash_overhead() - 0.25).abs() < 1e-12);
+        assert!((r.slo_attainment() - 0.75).abs() < 1e-12);
+        let span_s = r.makespan().as_s();
+        assert!((r.goodput_rps() - 3.0 / span_s).abs() < 1e-6);
+        assert!(r.throughput_rps() > r.goodput_rps());
+        assert!((r.mean_cycles() - 250.0).abs() < 1e-12);
+    }
+}

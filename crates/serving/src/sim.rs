@@ -1,0 +1,514 @@
+//! The queueing/dispatch simulator: time-multiplexing tenant replays on
+//! one systolic array.
+//!
+//! [`simulate`] runs a deterministic event loop over an arrival trace.
+//! One array serves all tenants; at every decision point the dispatcher
+//! picks the *oldest waiting work* (the parked job or queue head whose
+//! oldest request arrived first — FCFS across tenants, tenant index
+//! breaking ties). Three policy knobs shape the schedule:
+//!
+//! * **batch formation** ([`ServingConfig::batch_window`],
+//!   [`ServingConfig::max_batch`]): a queue head matures when
+//!   `max_batch` same-tenant requests are waiting or the head has waited
+//!   `batch_window` cycles, whichever first. A mature head launches as
+//!   one batch — compute replays per request, staging amortized (see
+//!   [`TenantProfile::batched_layer_cycles`]);
+//! * **preemption at layer boundaries** ([`ServingConfig::quantum_layers`]):
+//!   with a quantum set, the dispatcher serves tenants round-robin
+//!   (least recently served first, oldest request breaking ties) and
+//!   parks the running job at the next layer boundary whenever another
+//!   tenant has work waiting — short-model tenants stop queueing behind
+//!   whole long-model jobs, at the price of extra re-staging. `0`
+//!   disables preemption (run-to-completion, pure FCFS);
+//! * **SPM context-switch cost**: whenever the array turns to a tenant
+//!   other than the one whose data is resident, the layers still to run
+//!   re-stage their SPM-resident bytes through the RANDOM channel first
+//!   ([`TenantProfile::restage_cycles`]). An empty array (start of the
+//!   simulation) is warm by the replay's own convention — the per-layer
+//!   cycles already include first-use staging — so a zero-load request
+//!   finishes in exactly its stand-alone replay latency.
+//!
+//! Determinism: the loop consumes the trace in order, draws no
+//! randomness of its own, and never looks at wall-clock time, so one
+//! `(workload, config)` pair yields one byte-identical [`ServingReport`]
+//! regardless of machine or worker count.
+
+use std::collections::VecDeque;
+
+use crate::profile::TenantProfile;
+use crate::report::{ServingReport, TenantServingStats};
+use crate::workload::Workload;
+
+/// Dispatch-policy knobs of one serving run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Cycles a queue head waits for co-batching before it launches
+    /// alone (`0` = launch immediately).
+    pub batch_window: u64,
+    /// Most requests of one tenant in a batch (`>= 1`).
+    pub max_batch: u32,
+    /// Layers run before the dispatcher reconsiders (`0` =
+    /// run-to-completion, no preemption).
+    pub quantum_layers: u32,
+    /// Per-tenant SLO deadline (arrival to completion) in cycles, in
+    /// workload tenant order. Empty = no SLO (every completion counts as
+    /// goodput).
+    pub slo_cycles: Vec<u64>,
+}
+
+impl ServingConfig {
+    /// Plain FCFS: no batching, no preemption, no SLO.
+    #[must_use]
+    pub fn fcfs() -> Self {
+        Self {
+            batch_window: 0,
+            max_batch: 1,
+            quantum_layers: 0,
+            slo_cycles: Vec::new(),
+        }
+    }
+
+    /// This config with batching up to `max_batch` at `window` cycles.
+    #[must_use]
+    pub fn with_batching(mut self, max_batch: u32, window: u64) -> Self {
+        self.max_batch = max_batch;
+        self.batch_window = window;
+        self
+    }
+
+    /// This config with layer-boundary preemption every `quantum` layers.
+    #[must_use]
+    pub fn with_quantum(mut self, quantum: u32) -> Self {
+        self.quantum_layers = quantum;
+        self
+    }
+
+    /// This config with per-tenant SLO deadlines in cycles.
+    #[must_use]
+    pub fn with_slo(mut self, slo_cycles: Vec<u64>) -> Self {
+        self.slo_cycles = slo_cycles;
+        self
+    }
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self::fcfs()
+    }
+}
+
+/// An in-flight batch: requests of one tenant moving through the model's
+/// layers together.
+#[derive(Debug)]
+struct Job {
+    tenant: usize,
+    /// Arrival cycles of the batched requests (head first).
+    arrivals: Vec<u64>,
+    /// Next layer to run.
+    next_layer: usize,
+}
+
+impl Job {
+    fn oldest(&self) -> u64 {
+        self.arrivals[0]
+    }
+}
+
+/// Runs `workload`'s first `n` requests through the dispatch simulator
+/// on the given per-tenant profiles (one per workload tenant, same
+/// order, all replayed on the same scheme). The simulator drains: every
+/// injected request completes and its latency is sampled.
+///
+/// # Panics
+///
+/// Panics when `profiles` and the workload's tenants disagree in length
+/// or model, when profiles mix schemes or clocks, when
+/// `cfg.max_batch == 0`, or when `cfg.slo_cycles` is non-empty with the
+/// wrong length.
+#[must_use]
+pub fn simulate(
+    profiles: &[TenantProfile],
+    workload: &Workload,
+    n: usize,
+    cfg: &ServingConfig,
+) -> ServingReport {
+    assert_eq!(
+        profiles.len(),
+        workload.tenants.len(),
+        "one profile per tenant"
+    );
+    assert!(!profiles.is_empty(), "serving needs at least one tenant");
+    assert!(cfg.max_batch >= 1, "a batch holds at least one request");
+    assert!(
+        cfg.slo_cycles.is_empty() || cfg.slo_cycles.len() == profiles.len(),
+        "slo_cycles must be empty or one deadline per tenant"
+    );
+    for (p, t) in profiles.iter().zip(&workload.tenants) {
+        assert_eq!(p.model, t.model, "profile/tenant model mismatch");
+        assert_eq!(p.scheme, profiles[0].scheme, "profiles must share a scheme");
+        assert_eq!(p.clock, profiles[0].clock, "profiles must share a clock");
+    }
+    let clock = profiles[0].clock;
+    let trace = workload.trace(n, clock);
+
+    // Suffix sums of the per-layer re-staging cost: switching to a job at
+    // layer l re-stages the resident bytes of layers l.. .
+    let restage_tail: Vec<Vec<u64>> = profiles
+        .iter()
+        .map(|p| {
+            let mut tail = vec![0u64; p.layers() + 1];
+            for l in (0..p.layers()).rev() {
+                tail[l] = tail[l + 1] + p.restage_cycles[l];
+            }
+            tail
+        })
+        .collect();
+
+    // Round-robin bookkeeping (only consulted when a quantum is set):
+    // the dispatch sequence number at which each tenant last ran.
+    let mut last_served = vec![0u64; profiles.len()];
+    let mut seq = 0u64;
+
+    let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); profiles.len()];
+    let mut injected = vec![0u64; profiles.len()];
+    let mut samples: Vec<Vec<u64>> = vec![Vec::new(); profiles.len()];
+    let mut parked: Vec<Job> = Vec::new();
+    let mut next_req = 0usize;
+    let mut now = 0u64;
+    let mut resident: Option<usize> = None;
+    let mut service_cycles = 0u64;
+    let mut switch_cycles = 0u64;
+    let mut switches = 0u64;
+    let mut last_completion = 0u64;
+
+    // Admits every request that has arrived by `now`.
+    macro_rules! admit {
+        () => {
+            while next_req < trace.len() && trace[next_req].arrival <= now {
+                let r = trace[next_req];
+                queues[usize::from(r.tenant)].push_back(r.arrival);
+                injected[usize::from(r.tenant)] += 1;
+                next_req += 1;
+            }
+        };
+    }
+
+    loop {
+        admit!();
+
+        // Candidate selection. Pure FCFS (quantum 0): the parked job or
+        // queue head with the oldest request, parked jobs winning ties
+        // (resuming beats launching at equal age). With a quantum set:
+        // round-robin — least recently served tenant first, request age
+        // breaking ties — so a preempted long job cannot immediately
+        // reclaim the array from the tenants it was parked for.
+        let rank = |t: usize, arrival: u64| {
+            if cfg.quantum_layers == 0 {
+                (0, arrival, t)
+            } else {
+                (last_served[t], arrival, t)
+            }
+        };
+        let best_parked = parked
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, j)| rank(j.tenant, j.oldest()))
+            .map(|(i, j)| (rank(j.tenant, j.oldest()), i));
+        let best_head = queues
+            .iter()
+            .enumerate()
+            .filter_map(|(t, q)| q.front().map(|&a| (rank(t, a), (a, t))))
+            .min();
+
+        let job = match (best_parked, best_head) {
+            (None, None) => {
+                // Idle: jump to the next arrival or finish.
+                if next_req == trace.len() {
+                    break;
+                }
+                now = now.max(trace[next_req].arrival);
+                continue;
+            }
+            (Some((pr, pi)), head) if head.is_none_or(|(hr, _)| pr <= hr) => parked.swap_remove(pi),
+            (Some((_, pi)), None) => parked.swap_remove(pi),
+            (_, Some((_, (head_arrival, t)))) => {
+                // Batch maturity: full, or the head has waited out the
+                // window (with the trace exhausted nothing more can
+                // join, so launch what is queued).
+                let deadline = head_arrival.saturating_add(cfg.batch_window);
+                let full = queues[t].len() >= cfg.max_batch as usize;
+                if !full && now < deadline && next_req < trace.len() {
+                    // Wait for more co-batchable arrivals or the window.
+                    now = deadline.min(trace[next_req].arrival);
+                    continue;
+                }
+                let b = queues[t].len().min(cfg.max_batch as usize);
+                let arrivals: Vec<u64> = queues[t].drain(..b).collect();
+                Job {
+                    tenant: t,
+                    arrivals,
+                    next_layer: 0,
+                }
+            }
+        };
+
+        // Cold switch: another tenant's data is resident, so the layers
+        // still to run re-stage their resident bytes first. An empty
+        // array (None) is warm by the replay convention.
+        let t = job.tenant;
+        if resident.is_some_and(|r| r != t) {
+            let cost = restage_tail[t][job.next_layer];
+            now += cost;
+            switch_cycles += cost;
+            switches += 1;
+        }
+        resident = Some(t);
+
+        // Run the job quantum by quantum, parking it when an older
+        // request of another tenant is waiting at a layer boundary.
+        let mut job = job;
+        let profile = &profiles[t];
+        let batch = u32::try_from(job.arrivals.len()).expect("batch fits u32");
+        loop {
+            let remaining = profile.layers() - job.next_layer;
+            let run = if cfg.quantum_layers == 0 {
+                remaining
+            } else {
+                remaining.min(cfg.quantum_layers as usize)
+            };
+            for l in job.next_layer..job.next_layer + run {
+                let c = profile.batched_layer_cycles(l, batch);
+                now += c;
+                service_cycles += c;
+            }
+            job.next_layer += run;
+            seq += 1;
+            last_served[t] = seq;
+
+            if job.next_layer == profile.layers() {
+                for &arrival in &job.arrivals {
+                    samples[t].push(now - arrival);
+                }
+                last_completion = last_completion.max(now);
+                break;
+            }
+
+            admit!();
+            // Park at the layer boundary when any other tenant has work
+            // waiting; the round-robin rank hands the array to the least
+            // recently served of them.
+            let other_waiting = parked.iter().any(|j| j.tenant != t)
+                || queues
+                    .iter()
+                    .enumerate()
+                    .any(|(qt, q)| qt != t && !q.is_empty());
+            if other_waiting {
+                parked.push(job);
+                break;
+            }
+        }
+    }
+
+    // Assemble the report.
+    let mut per_tenant = Vec::with_capacity(profiles.len());
+    let mut all = Vec::new();
+    let mut completed = 0u64;
+    let mut slo_met = 0u64;
+    for (t, mut lat) in samples.into_iter().enumerate() {
+        lat.sort_unstable();
+        let slo = cfg.slo_cycles.get(t).copied().unwrap_or(u64::MAX);
+        let met = lat.iter().filter(|&&l| l <= slo).count() as u64;
+        completed += lat.len() as u64;
+        slo_met += met;
+        all.extend_from_slice(&lat);
+        per_tenant.push(TenantServingStats {
+            name: profiles[t].name.clone(),
+            injected: injected[t],
+            completed: lat.len() as u64,
+            slo_met: met,
+            latencies: lat,
+        });
+    }
+    all.sort_unstable();
+
+    let first_arrival = trace.first().map_or(0, |r| r.arrival);
+    ServingReport {
+        scheme: profiles[0].scheme,
+        clock,
+        offered_rps: workload.rate_rps,
+        injected: trace.len() as u64,
+        completed,
+        slo_met,
+        makespan_cycles: last_completion.saturating_sub(first_arrival),
+        service_cycles,
+        switch_cycles,
+        switches,
+        latencies: all,
+        per_tenant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Tenant;
+    use smart_systolic::models::ModelId;
+    use smart_units::Frequency;
+
+    /// A synthetic profile: `layers` uniform layers of `total` cycles
+    /// (`compute` of them batch-scaling) with `restage` switch cycles
+    /// each. The simulator only reads the public fields, so tests need
+    /// no ILP compile.
+    fn prof(total: u64, compute: u64, restage: u64, layers: usize) -> TenantProfile {
+        TenantProfile {
+            name: "synthetic".to_owned(),
+            model: ModelId::AlexNet,
+            scheme: "TEST",
+            clock: Frequency::from_ghz(1.0),
+            layer_cycles: vec![total; layers],
+            layer_compute: vec![compute; layers],
+            restage_cycles: vec![restage; layers],
+            resident_fraction: 0.5,
+        }
+    }
+
+    fn two_tenant_workload(rate: f64, seed: u64) -> Workload {
+        Workload::poisson(
+            vec![
+                Tenant::of(ModelId::AlexNet, 1.0),
+                Tenant::of(ModelId::AlexNet, 1.0),
+            ],
+            rate,
+            seed,
+        )
+    }
+
+    #[test]
+    fn zero_load_latency_is_the_standalone_replay() {
+        let p = prof(1_000, 600, 50, 10);
+        let w = Workload::poisson(vec![Tenant::of(ModelId::AlexNet, 1.0)], 10.0, 7);
+        let r = simulate(std::slice::from_ref(&p), &w, 1, &ServingConfig::fcfs());
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.latencies, vec![p.standalone_cycles()]);
+        assert_eq!(r.switch_cycles, 0, "an empty array is warm");
+    }
+
+    #[test]
+    fn requests_are_conserved_and_switches_paid() {
+        let profiles = [prof(1_000, 600, 50, 10), prof(2_000, 1_200, 80, 10)];
+        // 50% load on the slower tenant mix keeps queues finite but
+        // forces plenty of interleaving.
+        let w = two_tenant_workload(3e4, 11);
+        let r = simulate(&profiles, &w, 300, &ServingConfig::fcfs());
+        assert_eq!(r.injected, 300);
+        assert_eq!(r.completed, 300);
+        assert_eq!(
+            r.per_tenant.iter().map(|t| t.completed).sum::<u64>(),
+            r.completed
+        );
+        assert_eq!(
+            r.per_tenant.iter().map(|t| t.injected).sum::<u64>(),
+            r.injected
+        );
+        assert!(r.switches > 0, "alternating tenants must cold-switch");
+        // Run-to-completion never parks mid-model, so every switch
+        // re-stages a full model: 500 cycles into tenant 0, 800 into 1.
+        assert!(r.switch_cycles >= r.switches * 500);
+        assert!(r.switch_cycles <= r.switches * 800);
+        assert!(r.quantile_cycles(0.5) <= r.quantile_cycles(0.99));
+        assert!(r.quantile_cycles(0.99) <= r.quantile_cycles(0.999));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let profiles = [prof(1_000, 600, 50, 10), prof(2_000, 1_200, 80, 10)];
+        let w = two_tenant_workload(5e4, 3);
+        let cfg = ServingConfig::fcfs()
+            .with_batching(4, 20_000)
+            .with_quantum(2);
+        let a = simulate(&profiles, &w, 200, &cfg);
+        let b = simulate(&profiles, &w, 200, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p99_is_monotone_in_offered_load_under_fcfs() {
+        let profiles = [prof(1_000, 600, 50, 10), prof(2_000, 1_200, 80, 10)];
+        let mut last = 0;
+        for rate in [1e4, 2e4, 4e4, 6e4, 8e4] {
+            let r = simulate(
+                &profiles,
+                &two_tenant_workload(rate, 17),
+                400,
+                &ServingConfig::fcfs(),
+            );
+            let p99 = r.quantile_cycles(0.99);
+            assert!(p99 >= last, "p99 regressed at rate {rate}: {p99} < {last}");
+            last = p99;
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_service_cycles() {
+        let profiles = [prof(1_000, 400, 50, 10), prof(1_000, 400, 50, 10)];
+        let w = two_tenant_workload(8e4, 23);
+        let solo = simulate(&profiles, &w, 300, &ServingConfig::fcfs());
+        let batched = simulate(
+            &profiles,
+            &w,
+            300,
+            &ServingConfig::fcfs().with_batching(8, 50_000),
+        );
+        assert_eq!(batched.completed, solo.completed);
+        assert!(
+            batched.service_cycles < solo.service_cycles,
+            "batch {} vs solo {}",
+            batched.service_cycles,
+            solo.service_cycles
+        );
+    }
+
+    #[test]
+    fn preemption_cuts_the_short_tenant_tail() {
+        // Tenant 0 runs 100x longer per request than tenant 1; without
+        // preemption the short tenant queues behind whole long jobs.
+        let profiles = [prof(100_000, 60_000, 500, 10), prof(1_000, 600, 50, 10)];
+        let w = two_tenant_workload(1.5e3, 29);
+        let rtc = simulate(&profiles, &w, 200, &ServingConfig::fcfs());
+        let preempt = simulate(&profiles, &w, 200, &ServingConfig::fcfs().with_quantum(1));
+        assert_eq!(preempt.completed, rtc.completed);
+        let short_p99 = |r: &ServingReport| r.per_tenant[1].quantile_cycles(0.99);
+        assert!(
+            short_p99(&preempt) < short_p99(&rtc),
+            "preempt {} vs run-to-completion {}",
+            short_p99(&preempt),
+            short_p99(&rtc)
+        );
+        assert!(
+            preempt.switch_cycles > rtc.switch_cycles,
+            "preemption must pay more re-staging"
+        );
+    }
+
+    #[test]
+    fn slo_deadlines_gate_goodput() {
+        let profiles = [prof(1_000, 600, 50, 10), prof(2_000, 1_200, 80, 10)];
+        let w = two_tenant_workload(6e4, 31);
+        let loose = simulate(
+            &profiles,
+            &w,
+            300,
+            &ServingConfig::fcfs().with_slo(vec![u64::MAX, u64::MAX]),
+        );
+        let tight = simulate(
+            &profiles,
+            &w,
+            300,
+            &ServingConfig::fcfs().with_slo(vec![10_000, 20_000]),
+        );
+        assert_eq!(loose.slo_met, loose.completed);
+        assert!(tight.slo_met < tight.completed);
+        assert!(tight.goodput_rps() < loose.goodput_rps());
+        assert!(tight.slo_attainment() < 1.0);
+    }
+}

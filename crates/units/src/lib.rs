@@ -19,7 +19,10 @@
 //!   alias that all fallible layers (the ILP solver, the transient circuit
 //!   engine, the allocation compiler) funnel into,
 //! * [`codec`] — the hand-rolled versioned binary store format the
-//!   persistent warm-start caches serialize through.
+//!   persistent warm-start caches serialize through,
+//! * [`rng`] — hand-rolled deterministic pseudo-random generation
+//!   (splitmix64 seeding + xorshift128+) for the serving-workload
+//!   generators.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@
 pub mod codec;
 pub mod error;
 pub mod quantity;
+pub mod rng;
 
 pub use error::{Result, SmartError};
 pub use quantity::{Area, Energy, Frequency, Length, Power, Time};

@@ -16,6 +16,8 @@
 //! * [`timing`] — cycle-level SPM/systolic replay simulator
 //! * [`search`] — design-space search: geometry grids, Pareto pruning, and
 //!   warm-started incremental evaluation
+//! * [`serving`] — multi-tenant serving simulator: seeded request
+//!   generators and a queueing/dispatch model over prepass replays
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -26,6 +28,7 @@ pub use smart_cryomem as cryomem;
 pub use smart_ilp as ilp;
 pub use smart_josim as josim;
 pub use smart_search as search;
+pub use smart_serving as serving;
 pub use smart_sfq as sfq;
 pub use smart_spm as spm;
 pub use smart_systolic as systolic;

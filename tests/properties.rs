@@ -902,3 +902,136 @@ proptest! {
         }
     }
 }
+
+/// A synthetic serving profile: `layers` uniform layers of `total`
+/// cycles (`compute` of them batch-scaling) with `restage` cold-switch
+/// cycles each. The dispatch simulator reads only the public fields, so
+/// the properties need no ILP compile.
+fn serving_profile(
+    total: u64,
+    compute: u64,
+    restage: u64,
+    layers: usize,
+) -> smart::serving::TenantProfile {
+    smart::serving::TenantProfile {
+        name: "synthetic".to_owned(),
+        model: smart::systolic::models::ModelId::AlexNet,
+        scheme: "TEST",
+        clock: Frequency::from_ghz(1.0),
+        layer_cycles: vec![total; layers],
+        layer_compute: vec![compute; layers],
+        restage_cycles: vec![restage; layers],
+        resident_fraction: 0.5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Serving conservation: every injected request completes exactly
+    /// once, per-tenant tallies partition the totals, and the latency
+    /// quantiles are ordered p50 <= p99 <= p999.
+    #[test]
+    fn serving_requests_conserved_and_quantiles_ordered(
+        n in 10usize..120,
+        rate in 1e3f64..5e4,
+        seed in 0u64..1_000,
+        batch in 1u32..4,
+        quantum in 0u32..3,
+    ) {
+        use smart::serving::{simulate, ServingConfig, Tenant, Workload};
+        use smart::systolic::models::ModelId;
+
+        let profiles = [
+            serving_profile(1_000, 600, 50, 8),
+            serving_profile(2_000, 1_200, 80, 6),
+        ];
+        let w = Workload::poisson(
+            vec![Tenant::of(ModelId::AlexNet, 1.0), Tenant::of(ModelId::AlexNet, 2.0)],
+            rate,
+            seed,
+        );
+        let cfg = ServingConfig::fcfs().with_batching(batch, 500).with_quantum(quantum);
+        let r = simulate(&profiles, &w, n, &cfg);
+
+        prop_assert_eq!(r.injected, n as u64);
+        prop_assert_eq!(r.completed, r.injected);
+        prop_assert_eq!(r.latencies.len(), n);
+        prop_assert_eq!(r.per_tenant.iter().map(|t| t.injected).sum::<u64>(), r.injected);
+        prop_assert_eq!(r.per_tenant.iter().map(|t| t.completed).sum::<u64>(), r.completed);
+        prop_assert!(r.p50() <= r.p99(), "p50 {:?} > p99 {:?}", r.p50(), r.p99());
+        prop_assert!(r.p99() <= r.p999(), "p99 {:?} > p999 {:?}", r.p99(), r.p999());
+        prop_assert!(r.makespan_cycles >= r.service_cycles + r.switch_cycles);
+    }
+
+    /// Serving determinism: the same seed reproduces the trace and the
+    /// report bit-for-bit; the simulator itself draws no randomness.
+    #[test]
+    fn serving_same_seed_same_report(
+        n in 10usize..80,
+        rate in 1e3f64..4e4,
+        seed in 0u64..1_000,
+    ) {
+        use smart::serving::{simulate, ServingConfig, Tenant, Workload};
+        use smart::systolic::models::ModelId;
+
+        let profiles = [
+            serving_profile(1_500, 900, 40, 5),
+            serving_profile(900, 500, 30, 7),
+        ];
+        let w = Workload::poisson(
+            vec![Tenant::of(ModelId::AlexNet, 1.0), Tenant::of(ModelId::AlexNet, 1.0)],
+            rate,
+            seed,
+        );
+        prop_assert_eq!(
+            w.trace(n, profiles[0].clock),
+            w.trace(n, profiles[0].clock)
+        );
+        let cfg = ServingConfig::fcfs().with_batching(2, 200);
+        let a = simulate(&profiles, &w, n, &cfg);
+        let b = simulate(&profiles, &w, n, &cfg);
+        prop_assert_eq!(a.latencies, b.latencies);
+        prop_assert_eq!(a.switch_cycles, b.switch_cycles);
+        prop_assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    }
+
+    /// A single tenant under FCFS is an M/D/1 queue: the simulator must
+    /// reproduce the Lindley recurrence with the stand-alone replay as
+    /// the (deterministic) service time — so at low load every request
+    /// that finds the array idle (warm, by the replay convention) costs
+    /// exactly the stand-alone latency, and a request that lands on a
+    /// busy array queues for precisely the residual service.
+    #[test]
+    fn serving_single_tenant_fcfs_is_lindley(
+        n in 1usize..20,
+        seed in 0u64..1_000,
+        total in 500u64..5_000,
+    ) {
+        use smart::serving::{simulate, ServingConfig, Tenant, Workload};
+        use smart::systolic::models::ModelId;
+
+        let p = serving_profile(total, total / 2, 25, 6);
+        let standalone = p.standalone_cycles();
+        // 1 rps against ~micro-second services: gaps dwarf service
+        // times, so nearly every latency is exactly `standalone`.
+        let w = Workload::poisson(vec![Tenant::of(ModelId::AlexNet, 1.0)], 1.0, seed);
+        let trace = w.trace(n, p.clock);
+        let r = simulate(&[p], &w, n, &ServingConfig::fcfs());
+        prop_assert_eq!(r.completed, n as u64);
+        prop_assert_eq!(r.switch_cycles, 0);
+        let mut prev_end = 0u64;
+        let mut expected: Vec<u64> = trace
+            .iter()
+            .map(|req| {
+                let start = req.arrival.max(prev_end);
+                prev_end = start + standalone;
+                prev_end - req.arrival
+            })
+            .collect();
+        expected.sort_unstable();
+        // The report keeps latencies sorted for the quantile scan.
+        prop_assert_eq!(&r.latencies, &expected);
+        prop_assert_eq!(expected[0], standalone);
+    }
+}
