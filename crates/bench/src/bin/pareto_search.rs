@@ -97,6 +97,7 @@ fn main() -> ExitCode {
         SearchSpace::default_grid()
     };
     let cfg = SearchConfig::new(ctx.jobs);
+    // lint:allow(determinism, wall-clock timing is reported on stderr only and never reaches stdout/JSON/snapshot bytes)
     let started = Instant::now();
     let out = match search(&space, &cfg, &ctx.cache, &ctx.timing) {
         Ok(out) => out,
@@ -120,18 +121,35 @@ fn main() -> ExitCode {
         &out,
     );
     let s = out.stats;
+    // Wall-clock timing is observability, not a result: it goes to stderr
+    // in every format, and deliberately never into the stdout JSON (which
+    // must stay deterministic for diffing and snapshotting).
+    eprintln!(
+        "{} configs in {:.2}s ({:.0} configs/s); eval {}h/{}m, replay {}h/{}m, \
+         solver {} warm / {} memo / {} cold",
+        s.space,
+        elapsed,
+        s.space as f64 / elapsed.max(1e-9),
+        s.eval_hits,
+        s.eval_misses,
+        s.timing_hits,
+        s.timing_misses,
+        s.warm_hits,
+        s.solution_hits,
+        s.cold_solves,
+    );
     match args.format {
         Format::Json => {
             // The table's own JSON plus the run counters (satellite stats
-            // the fixed-width text has no room for).
+            // the fixed-width text has no room for). Deterministic fields
+            // only — elapsed time stays on stderr.
             println!(
                 "{{\"table\":{},\"stats\":{{\
                  \"space\":{},\"pruned\":{},\"survivors\":{},\"frontier\":{},\
                  \"ilp_compiles\":{},\
                  \"eval_hits\":{},\"eval_misses\":{},\
                  \"timing_hits\":{},\"timing_misses\":{},\
-                 \"warm_attempts\":{},\"warm_hits\":{},\"cold_solves\":{},\"solution_hits\":{},\
-                 \"seconds\":{:.3},\"configs_per_second\":{:.1}}}}}",
+                 \"warm_attempts\":{},\"warm_hits\":{},\"cold_solves\":{},\"solution_hits\":{}}}}}",
                 table.to_json(),
                 s.space,
                 s.pruned,
@@ -146,8 +164,6 @@ fn main() -> ExitCode {
                 s.warm_hits,
                 s.cold_solves,
                 s.solution_hits,
-                elapsed,
-                s.space as f64 / elapsed.max(1e-9),
             );
         }
         Format::Csv => {
@@ -157,20 +173,6 @@ fn main() -> ExitCode {
         }
         Format::Text => {
             print!("{table}");
-            eprintln!(
-                "{} configs in {:.2}s ({:.0} configs/s); eval {}h/{}m, replay {}h/{}m, \
-                 solver {} warm / {} memo / {} cold",
-                s.space,
-                elapsed,
-                s.space as f64 / elapsed.max(1e-9),
-                s.eval_hits,
-                s.eval_misses,
-                s.timing_hits,
-                s.timing_misses,
-                s.warm_hits,
-                s.solution_hits,
-                s.cold_solves,
-            );
         }
     }
 

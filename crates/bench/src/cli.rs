@@ -308,6 +308,7 @@ impl CliSpec {
     /// plus usage (exit 2) as needed.
     #[must_use]
     pub fn parse_env_or_exit(&self) -> Args {
+        // lint:allow(determinism, the CLI parser is the single sanctioned ambient-state reader; parsed flags become explicit inputs downstream)
         match self.parse(std::env::args().skip(1)) {
             Ok(Parsed::Run(args)) => args,
             Ok(Parsed::Help(text)) => {
@@ -383,6 +384,7 @@ pub fn check_tables(tables: &[ResultTable]) -> bool {
 #[must_use]
 pub fn run_single(name: &str, about: &'static str) -> ExitCode {
     let descriptor = registry::find(name)
+        // lint:allow(panic_freedom, a binary naming an unknown experiment is a compile-time wiring bug; dying at startup is the right surface)
         .unwrap_or_else(|| panic!("binary references unknown experiment `{name}`"));
     let spec = CliSpec {
         bin: descriptor.name,

@@ -9,6 +9,9 @@
 //! threads. The legacy text output of every figure is derived from the
 //! table by [`ResultTable::to_text`].
 
+// lint:allow-file(panic_freedom, experiment builders run under the snapshot/CI harness; a violated builder invariant must abort the run loudly, and every expect states the invariant)
+// lint:allow-file(index, experiment tables index small fixed-size axis arrays defined beside their loops)
+
 use crate::ExperimentContext;
 use smart_core::area::ChipArea;
 use smart_core::scheme::Scheme;
@@ -1063,9 +1066,12 @@ pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
                         name.to_owned()
                     }
                 };
+                // Rows come out in first-appearance (`order`) sequence; the
+                // map itself is key-ordered so no iteration ever observes
+                // hash order.
                 let mut order: Vec<String> = Vec::new();
-                let mut agg: std::collections::HashMap<String, (u64, u64, [u64; 4], u64, u64)> =
-                    std::collections::HashMap::new();
+                let mut agg: std::collections::BTreeMap<String, (u64, u64, [u64; 4], u64, u64)> =
+                    std::collections::BTreeMap::new();
                 for l in &rep.layers {
                     let key = stage_of(&l.name);
                     if !agg.contains_key(&key) {
@@ -1081,7 +1087,7 @@ pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
                     e.4 += l.total_cycles;
                 }
                 for key in order {
-                    let (c, s, e, b, tot) = agg[&key];
+                    let (c, s, e, b, tot) = agg.get(&key).copied().unwrap_or_default();
                     t.push_row(row_of(id.name(), &key, c, s, e, b, tot));
                 }
             }

@@ -183,8 +183,9 @@ impl ExperimentContext {
     ///
     /// # Errors
     ///
-    /// Any underlying filesystem error.
-    pub fn save_caches(&self, dir: &Path) -> std::io::Result<()> {
+    /// [`smart_units::SmartError::Store`] on any underlying filesystem
+    /// failure.
+    pub fn save_caches(&self, dir: &Path) -> smart_units::Result<()> {
         std::fs::create_dir_all(dir)?;
         smart_core::cache::save(&self.cache, dir)?;
         smart_josim::cache::save(&self.circuits, dir)?;

@@ -17,6 +17,8 @@
 //!
 //! [`TimingCache`]: smart_timing::TimingCache
 
+// lint:allow-file(index, tenant and bucket arrays are sized by the same bounds that index them)
+
 use crate::ExperimentContext;
 use smart_core::scheme::Scheme;
 use smart_report::{parallel_map, ColumnSpec, ResultTable, Unit, Value};
@@ -46,6 +48,7 @@ fn profiles(scheme: &Scheme, tenants: &[Tenant], ctx: &ExperimentContext) -> Vec
         .iter()
         .map(|t| {
             TenantProfile::build(scheme, t.model, &cfg, &ctx.timing)
+                // lint:allow(panic_freedom, serving experiments only build heterogeneous schemes, which always profile)
                 .expect("serving schemes are heterogeneous")
         })
         .collect()

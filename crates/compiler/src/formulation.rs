@@ -22,6 +22,8 @@
 //! * sub-bank: at most `banks` objects may be fetched into the RANDOM array
 //!   on the same edge (conflicting fetches serialize).
 
+// lint:allow-file(index, the formulation indexes object/slot matrices sized by its own constructor)
+
 use crate::lifespan::{analyze, Lifespan};
 use crate::schedule::{Location, Placement, Schedule, ScheduleSource};
 use smart_ilp::problem::{Problem, Relation, Sense, VarId};

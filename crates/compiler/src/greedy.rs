@@ -13,6 +13,8 @@
 //! active from the first node and the search only has to *improve on*
 //! greedy rather than rediscover it.
 
+// lint:allow-file(index, greedy allocation walks index pairs bounded by the lane counts it derives)
+
 use crate::formulation::FormulationParams;
 use crate::lifespan::Lifespan;
 use crate::schedule::{Location, Placement, Schedule, ScheduleSource};

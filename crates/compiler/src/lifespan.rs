@@ -7,6 +7,8 @@
 //! iteration `n - a` (the paper's `alpha[n+1, n+a]` annotation on edge
 //! `e_2n`).
 
+// lint:allow-file(index, interval endpoints are clamped to the layer count before use)
+
 use smart_systolic::dag::{LayerDag, MemoryObject};
 use smart_systolic::trace::DataClass;
 

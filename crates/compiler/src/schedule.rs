@@ -1,6 +1,8 @@
 //! Compiler output: per-object placements and the derived load-exposure
 //! model the evaluator consumes.
 
+// lint:allow-file(index, schedule slots are indexed by positions produced by the same pass)
+
 use crate::lifespan::Lifespan;
 use smart_systolic::dag::LayerDag;
 use smart_systolic::trace::DataClass;

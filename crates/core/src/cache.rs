@@ -28,8 +28,9 @@ use crate::eval::{evaluate, EnergyReport, InferenceReport, LayerReport};
 use crate::scheme::Scheme;
 use smart_systolic::models::ModelId;
 use smart_units::codec::{content_hash, ByteReader, ByteWriter, Store};
+use smart_units::sync::lock;
 use smart_units::{Energy, Time};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -57,10 +58,12 @@ pub struct CacheStats {
 /// [`OnceLock`] cell instead of evaluating twice.
 #[derive(Debug, Default)]
 pub struct EvalCache {
+    // lint:allow(determinism, exact-key memo map is lookup-only during a run; serialization iterates the ordered warm tier instead)
     map: Mutex<HashMap<Key, Slot>>,
     /// Content-hash-keyed reports reloaded from a previous process;
-    /// consulted on a miss, never written during a run.
-    warm: Mutex<HashMap<u128, Arc<InferenceReport>>>,
+    /// consulted on a miss, never written during a run. Ordered, so
+    /// serialization is deterministic without a separate sort.
+    warm: Mutex<BTreeMap<u128, Arc<InferenceReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -77,8 +80,9 @@ impl EvalCache {
     ///
     /// # Panics
     ///
-    /// Panics if `batch` is zero (like [`evaluate`]), or if the cache was
-    /// poisoned by a panicking evaluation on another thread.
+    /// Panics if `batch` is zero (like [`evaluate`]). A panicking
+    /// evaluation on another thread costs at most its own memo entry —
+    /// the poison-proof locks keep every other lookup alive.
     #[must_use]
     pub fn report(&self, scheme: &Scheme, model: ModelId, batch: u32) -> Arc<InferenceReport> {
         // One key clone per lookup, reused on the miss path. (A borrowed
@@ -87,19 +91,14 @@ impl EvalCache {
         // cost of the evaluation it saves.)
         let key = (scheme.clone(), model, batch);
         let cell = {
-            let mut map = self.map.lock().expect("eval cache poisoned");
+            let mut map = lock(&self.map);
             Arc::clone(map.entry(key).or_default())
         };
         let mut ran = false;
         let report = Arc::clone(cell.get_or_init(|| {
             ran = true;
             let probe = (scheme.clone(), model, batch);
-            if let Some(found) = self
-                .warm
-                .lock()
-                .expect("eval warm store poisoned")
-                .get(&content_hash(&probe))
-            {
+            if let Some(found) = lock(&self.warm).get(&content_hash(&probe)) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(found);
             }
@@ -114,16 +113,17 @@ impl EvalCache {
 
     /// Installs `entries` (content-hash keyed, from a persisted store) as
     /// the warm tier; returns how many are now loaded.
-    fn load_warm_entries(&self, entries: HashMap<u128, Arc<InferenceReport>>) -> usize {
-        let mut warm = self.warm.lock().expect("eval warm store poisoned");
+    fn load_warm_entries(&self, entries: BTreeMap<u128, Arc<InferenceReport>>) -> usize {
+        let mut warm = lock(&self.warm);
         *warm = entries;
         warm.len()
     }
 
-    /// Every persistable entry: the warm tier plus all ready cells.
-    fn snapshot_entries(&self) -> HashMap<u128, Arc<InferenceReport>> {
-        let mut out = self.warm.lock().expect("eval warm store poisoned").clone();
-        let map = self.map.lock().expect("eval cache poisoned");
+    /// Every persistable entry: the warm tier plus all ready cells,
+    /// ordered by content hash (deterministic store bytes).
+    fn snapshot_entries(&self) -> BTreeMap<u128, Arc<InferenceReport>> {
+        let mut out = lock(&self.warm).clone();
+        let map = lock(&self.map);
         for (key, cell) in map.iter() {
             if let Some(report) = cell.get() {
                 out.insert(content_hash(key), Arc::clone(report));
@@ -133,16 +133,12 @@ impl EvalCache {
     }
 
     /// Current counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the map mutex was poisoned.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("eval cache poisoned").len(),
+            entries: lock(&self.map).len(),
         }
     }
 }
@@ -163,10 +159,7 @@ pub const FILE_NAME: &str = "eval-cache.bin";
 /// `&'static str` names; each distinct name leaks once per process).
 fn intern(name: String) -> &'static str {
     static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
-    let mut names = NAMES
-        .get_or_init(|| Mutex::new(Vec::new()))
-        .lock()
-        .expect("intern table poisoned");
+    let mut names = lock(NAMES.get_or_init(|| Mutex::new(Vec::new())));
     if let Some(found) = names.iter().find(|n| **n == name) {
         return found;
     }
@@ -234,21 +227,20 @@ fn read_report(r: &mut ByteReader<'_>) -> Option<InferenceReport> {
 #[must_use]
 pub fn to_bytes(cache: &EvalCache) -> Vec<u8> {
     let entries = cache.snapshot_entries();
-    let mut keys: Vec<&u128> = entries.keys().collect();
-    keys.sort_unstable(); // deterministic file bytes
     let mut w = ByteWriter::new();
     w.u64(entries.len() as u64);
-    for key in keys {
+    // BTreeMap iteration is key-ordered: deterministic file bytes.
+    for (key, report) in &entries {
         w.u128(*key);
-        write_report(&mut w, &entries[key]);
+        write_report(&mut w, report);
     }
     w.into_bytes()
 }
 
-fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<InferenceReport>>> {
+fn from_bytes(payload: &[u8]) -> Option<BTreeMap<u128, Arc<InferenceReport>>> {
     let mut r = ByteReader::new(payload);
     let n = usize::try_from(r.u64()?).ok()?;
-    let mut entries = HashMap::with_capacity(n.min(4096));
+    let mut entries = BTreeMap::new();
     for _ in 0..n {
         let key = r.u128()?;
         entries.insert(key, Arc::new(read_report(&mut r)?));
@@ -263,9 +255,11 @@ fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<InferenceReport>>> {
 ///
 /// # Errors
 ///
-/// Any underlying filesystem error.
-pub fn save(cache: &EvalCache, dir: &Path) -> std::io::Result<()> {
-    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))
+/// [`smart_units::SmartError::Store`] on any underlying filesystem
+/// failure.
+pub fn save(cache: &EvalCache, dir: &Path) -> smart_units::Result<()> {
+    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))?;
+    Ok(())
 }
 
 /// Loads `dir/`[`FILE_NAME`] into `cache`'s warm tier; returns how many
@@ -378,5 +372,62 @@ mod tests {
         std::fs::write(&path, &bad).expect("writes");
         assert_eq!(load(&EvalCache::new(), &dir), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_store_never_panics_and_loads_cold() {
+        // The PR 6 contract, pinned byte-by-byte: truncations at every
+        // prefix length and a bit flip at every eighth offset load zero
+        // entries — no panic, no partial state.
+        let dir = std::env::temp_dir().join(format!("smart-eval-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cold = EvalCache::new();
+        let _ = cold.report(&Scheme::smart(), ModelId::AlexNet, 1);
+        save(&cold, &dir).expect("saves");
+        let path = dir.join(FILE_NAME);
+        let good = std::fs::read(&path).expect("reads");
+        for cut in [0, 1, good.len() / 3, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).expect("writes");
+            assert_eq!(load(&EvalCache::new(), &dir), 0, "truncated at {cut}");
+        }
+        for i in (0..good.len()).step_by(8) {
+            let mut bad = good.clone();
+            bad[i] ^= 0x20;
+            std::fs::write(&path, &bad).expect("writes");
+            assert_eq!(load(&EvalCache::new(), &dir), 0, "corrupted at {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_to_unwritable_dir_is_a_typed_error() {
+        let err = save(
+            &EvalCache::new(),
+            Path::new("/proc/definitely/not/writable"),
+        )
+        .expect_err("must fail");
+        assert!(
+            matches!(err, smart_units::SmartError::Store { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_evaluation_poisons_nothing_else() {
+        // A worker that panics mid-evaluation (simulated by panicking
+        // while the map lock is held) must not take the cache down with
+        // it: later lookups on other keys still work.
+        let cache = EvalCache::new();
+        let poisoned = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.map.lock();
+                panic!("die holding the cache lock");
+            })
+            .join()
+        });
+        assert!(poisoned.is_err());
+        let report = cache.report(&Scheme::smart(), ModelId::AlexNet, 1);
+        assert!(report.total_time.as_s() > 0.0);
+        assert_eq!(cache.stats().entries, 1);
     }
 }

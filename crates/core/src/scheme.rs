@@ -112,6 +112,7 @@ impl Scheme {
     /// construction (pinned by the round-trip tests in
     /// [`crate::geometry`]).
     fn of(params: &GeometryParams) -> Self {
+        // lint:allow(panic_freedom, the named geometries are fixed constants validated by unit tests, so of() is infallible)
         params.build().expect("named geometries are valid")
     }
 

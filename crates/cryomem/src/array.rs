@@ -331,6 +331,7 @@ impl RandomArray {
             RandomArrayKind::Vtm => 0.05,
             RandomArrayKind::SheMram => 0.45,
             RandomArrayKind::Snm => 1.0,
+            // lint:allow(panic_freedom, this area table is only built for the three RANDOM technologies matched above)
             _ => unreachable!(),
         };
         let area = AreaBreakdown {

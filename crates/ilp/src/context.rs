@@ -33,8 +33,9 @@ use crate::revised::{Basis, Status};
 use crate::solver::MipSolution;
 use smart_units::codec::content_hash;
 use smart_units::codec::{ByteReader, ByteWriter, Store};
+use smart_units::sync::lock;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,8 +65,10 @@ pub struct SolverContextStats {
 /// `smart_core::sensitivity` sweeps.
 #[derive(Debug, Default)]
 pub struct SolverContext {
-    bases: Mutex<HashMap<u64, Arc<Basis>>>,
-    solutions: Mutex<HashMap<u128, Arc<MipSolution>>>,
+    // Key-ordered maps: the persisted store serializes them in iteration
+    // order, so the bytes are deterministic without a sort pass.
+    bases: Mutex<BTreeMap<u64, Arc<Basis>>>,
+    solutions: Mutex<BTreeMap<u128, Arc<MipSolution>>>,
     warm_attempts: AtomicU64,
     warm_hits: AtomicU64,
     cold_solves: AtomicU64,
@@ -80,33 +83,20 @@ impl SolverContext {
     }
 
     /// Current counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the basis map mutex was poisoned.
     #[must_use]
     pub fn stats(&self) -> SolverContextStats {
         SolverContextStats {
             warm_attempts: self.warm_attempts.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             cold_solves: self.cold_solves.load(Ordering::Relaxed),
-            stored_bases: self.bases.lock().expect("solver context poisoned").len(),
+            stored_bases: lock(&self.bases).len(),
             solution_hits: self.solution_hits.load(Ordering::Relaxed),
-            stored_solutions: self
-                .solutions
-                .lock()
-                .expect("solver context poisoned")
-                .len(),
+            stored_solutions: lock(&self.solutions).len(),
         }
     }
 
     pub(crate) fn lookup(&self, fp: u64) -> Option<Arc<Basis>> {
-        let found = self
-            .bases
-            .lock()
-            .expect("solver context poisoned")
-            .get(&fp)
-            .cloned();
+        let found = lock(&self.bases).get(&fp).cloned();
         if found.is_some() {
             self.warm_attempts.fetch_add(1, Ordering::Relaxed);
         }
@@ -114,10 +104,7 @@ impl SolverContext {
     }
 
     pub(crate) fn store(&self, fp: u64, basis: Arc<Basis>) {
-        self.bases
-            .lock()
-            .expect("solver context poisoned")
-            .insert(fp, basis);
+        lock(&self.bases).insert(fp, basis);
     }
 
     pub(crate) fn note_warm_hit(&self) {
@@ -129,12 +116,7 @@ impl SolverContext {
     }
 
     pub(crate) fn solution_lookup(&self, key: u128) -> Option<Arc<MipSolution>> {
-        let found = self
-            .solutions
-            .lock()
-            .expect("solver context poisoned")
-            .get(&key)
-            .cloned();
+        let found = lock(&self.solutions).get(&key).cloned();
         if found.is_some() {
             self.solution_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -142,27 +124,17 @@ impl SolverContext {
     }
 
     pub(crate) fn solution_store(&self, key: u128, solution: Arc<MipSolution>) {
-        self.solutions
-            .lock()
-            .expect("solver context poisoned")
-            .insert(key, solution);
+        lock(&self.solutions).insert(key, solution);
     }
 
     /// Serializes every stored basis and memoized solution into a store
-    /// payload (keys sorted, so the bytes are deterministic).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a context mutex was poisoned.
+    /// payload (maps are key-ordered, so the bytes are deterministic).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let bases = self.bases.lock().expect("solver context poisoned");
-        let mut fps: Vec<&u64> = bases.keys().collect();
-        fps.sort_unstable();
+        let bases = lock(&self.bases);
         let mut w = ByteWriter::new();
         w.u64(bases.len() as u64);
-        for fp in fps {
-            let basis = &bases[fp];
+        for (fp, basis) in bases.iter() {
             w.u64(*fp);
             w.u64(basis.basic.len() as u64);
             for &col in &basis.basic {
@@ -177,12 +149,9 @@ impl SolverContext {
                 });
             }
         }
-        let solutions = self.solutions.lock().expect("solver context poisoned");
-        let mut keys: Vec<&u128> = solutions.keys().collect();
-        keys.sort_unstable();
+        let solutions = lock(&self.solutions);
         w.u64(solutions.len() as u64);
-        for key in keys {
-            let sol = &solutions[key];
+        for (key, sol) in solutions.iter() {
             w.u128(*key);
             w.f64(sol.objective);
             w.u64(sol.values.len() as u64);
@@ -205,16 +174,12 @@ impl SolverContext {
     ///
     /// Returns the total number of entries (bases plus solutions) now
     /// stored.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a context mutex was poisoned.
     pub fn load_bytes(&self, payload: &[u8]) -> usize {
         let mut r = ByteReader::new(payload);
         let Some(n) = r.u64().and_then(|n| usize::try_from(n).ok()) else {
             return 0;
         };
-        let mut entries = HashMap::with_capacity(n.min(4096));
+        let mut entries = BTreeMap::new();
         for _ in 0..n {
             let Some(fp) = r.u64() else { return 0 };
             let Some(basic) = r.u64_vec() else { return 0 };
@@ -239,7 +204,7 @@ impl SolverContext {
         let Some(n_sol) = r.u64().and_then(|n| usize::try_from(n).ok()) else {
             return 0;
         };
-        let mut sol_entries = HashMap::with_capacity(n_sol.min(4096));
+        let mut sol_entries = BTreeMap::new();
         for _ in 0..n_sol {
             let Some(key) = r.u128() else { return 0 };
             let Some(objective) = r.f64() else { return 0 };
@@ -275,8 +240,8 @@ impl SolverContext {
         if !r.is_empty() {
             return 0;
         }
-        let mut bases = self.bases.lock().expect("solver context poisoned");
-        let mut solutions = self.solutions.lock().expect("solver context poisoned");
+        let mut bases = lock(&self.bases);
+        let mut solutions = lock(&self.solutions);
         *bases = entries;
         *solutions = sol_entries;
         bases.len() + solutions.len()
@@ -286,28 +251,22 @@ impl SolverContext {
     ///
     /// # Errors
     ///
-    /// Any underlying filesystem error.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the basis map mutex was poisoned.
-    pub fn save_to(&self, dir: &Path) -> std::io::Result<()> {
+    /// [`smart_units::SmartError::Store`] on any underlying filesystem
+    /// failure.
+    pub fn save_to(&self, dir: &Path) -> smart_units::Result<()> {
         Store::write_file(
             &dir.join(BASIS_FILE_NAME),
             BASIS_TAG,
             BASIS_VERSION,
             self.to_bytes(),
-        )
+        )?;
+        Ok(())
     }
 
     /// Loads `dir/`[`BASIS_FILE_NAME`] into this context; returns how many
     /// entries (bases plus memoized solutions) are now stored. A missing,
     /// corrupted, truncated, or version-mismatched file loads zero —
     /// solves start cold.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the basis map mutex was poisoned.
     pub fn load_from(&self, dir: &Path) -> usize {
         let Some(payload) = Store::read_file(&dir.join(BASIS_FILE_NAME), BASIS_TAG, BASIS_VERSION)
         else {
@@ -499,6 +458,18 @@ mod tests {
         std::fs::write(&path, &bad).expect("writes");
         assert_eq!(SolverContext::new().load_from(&dir), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_to_unwritable_dir_is_a_typed_error() {
+        let ctx = SolverContext::new();
+        let err = ctx
+            .save_to(Path::new("/proc/definitely/not/writable"))
+            .expect_err("must fail, not panic");
+        assert!(
+            matches!(err, smart_units::SmartError::Store { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! Bland's rule is used once degeneracy is detected, guaranteeing
 //! termination.
 
+// lint:allow-file(index, dense simplex tableau kernel; row/column bounds are the tableau dimensions fixed at construction)
+
 use crate::problem::{Problem, Relation, Sense};
 use crate::simplex::{LpResult, LpSolution};
 

@@ -4,6 +4,8 @@
 //! bounded continuous), set objective coefficients, and add linear
 //! constraints. The solver consumes the finished problem.
 
+// lint:allow-file(index, coefficient rows are sized to the variable count by the builder)
+
 /// Handle to a declared variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub(crate) usize);

@@ -31,6 +31,8 @@
 //! The dense tableau implementation survives in [`crate::dense`] as the
 //! reference oracle for the property suite.
 
+// lint:allow-file(index, revised simplex kernel; basis and factor indices are maintained invariants of the algorithm, exercised by the property tests)
+
 use crate::problem::{Problem, Relation, Sense};
 use crate::simplex::{LpResult, LpSolution};
 
@@ -131,6 +133,7 @@ impl StandardForm {
             let mut last_row = usize::MAX;
             for &(r, v) in entries.iter() {
                 if r == last_row {
+                    // lint:allow(panic_freedom, last_mut follows the push in this same loop iteration)
                     *val.last_mut().expect("entry just pushed") += v;
                 } else {
                     row_idx.push(r);
@@ -613,6 +616,7 @@ impl<'a> Lp<'a> {
                 let viol = match self.status[j] {
                     Status::Lower => d,
                     Status::Upper => -d,
+                    // lint:allow(panic_freedom, this loop iterates nonbasic columns only)
                     Status::Basic => unreachable!(),
                 };
                 if viol > DUAL_TOL {
@@ -889,6 +893,7 @@ impl<'a> Lp<'a> {
             let bad = match self.status[j] {
                 Status::Lower => d > DUAL_TOL * 10.0,
                 Status::Upper => d < -DUAL_TOL * 10.0,
+                // lint:allow(panic_freedom, this loop iterates nonbasic columns only)
                 Status::Basic => unreachable!(),
             };
             if bad {
@@ -1081,6 +1086,7 @@ impl<'a> Lp<'a> {
                 self.obj[n_total + k] = -1.0;
             }
             match self.primal() {
+                // lint:allow(panic_freedom, phase one minimizes a sum of bounded artificials, so its primal cannot be unbounded)
                 PrimalEnd::Unbounded => unreachable!("phase one is bounded below"),
                 // On the (anti-runaway) iteration cap, don't guess: judge
                 // by the residual infeasibility below, like a normal exit.

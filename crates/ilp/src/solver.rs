@@ -15,6 +15,8 @@
 //! itself only "near-optimal", Sec. 4.3); if no incumbent exists, a greedy
 //! rounding repair pass is attempted.
 
+// lint:allow-file(index, branch-and-bound indexes variable arrays sized by the formulation)
+
 use crate::context::{fingerprint, solution_key, SolverContext};
 use crate::problem::{Problem, Relation, Sense};
 use crate::revised::{Lp, SolveOutcome, SolveTrace, StandardForm, Warm};
@@ -316,6 +318,7 @@ impl Solver {
         // whole search: dives into child nodes reuse its installed
         // factorization (`Warm::Live`).
         let mut lp = Lp::new(&form);
+        // lint:allow(panic_freedom, fp is Some whenever ctx is Some; both are derived from the same caller argument)
         let stored = ctx.and_then(|c| c.lookup(fp.expect("fp set with ctx")));
         let mut trace = SolveTrace::default();
         let root_warm = stored.as_deref().map_or(Warm::Cold, Warm::Basis);

@@ -23,6 +23,8 @@
 //! runs (parameter sweeps re-simulating the same topology) allocate
 //! nothing beyond the returned trace.
 
+// lint:allow-file(index, step-history indices are bounded by the ring length beside them)
+
 use crate::circuit::NodeId;
 use crate::engine::{ElementStates, Engine, SimulationError, Transient, MAX_NEWTON, NEWTON_TOL};
 use crate::sparse::{SparseLu, SparseMatrix, SymbolicLu};

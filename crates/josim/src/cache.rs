@@ -21,8 +21,9 @@
 
 use crate::cells::{characterize, CellMeasurement, CellSpec};
 use smart_units::codec::{content_hash, ByteReader, ByteWriter, Store};
+use smart_units::sync::lock;
 use smart_units::Result;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -48,10 +49,12 @@ pub struct CircuitCacheStats {
 /// [`OnceLock`] instead of simulating twice.
 #[derive(Debug, Default)]
 pub struct CircuitCache {
+    // lint:allow(determinism, exact-key memo map is lookup-only during a run; serialization iterates the ordered warm tier instead)
     map: Mutex<HashMap<CellSpec, Slot>>,
     /// Content-hash-keyed measurements reloaded from a previous process;
-    /// consulted on a miss, never written during a run.
-    warm: Mutex<HashMap<u128, Arc<CellMeasurement>>>,
+    /// consulted on a miss, never written during a run. Ordered, so
+    /// serialization is deterministic without a separate sort.
+    warm: Mutex<BTreeMap<u128, Arc<CellMeasurement>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -67,27 +70,19 @@ impl CircuitCache {
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures (which are never cached).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache was poisoned by a panicking simulation on
-    /// another thread.
+    /// Propagates simulation failures (which are never cached). A
+    /// panicking simulation on another thread costs at most its own memo
+    /// entry — the poison-proof locks keep every other lookup alive.
     pub fn measure(&self, spec: &CellSpec) -> Result<Arc<CellMeasurement>> {
         let cell = {
-            let mut map = self.map.lock().expect("circuit cache poisoned");
+            let mut map = lock(&self.map);
             Arc::clone(map.entry(*spec).or_default())
         };
         let mut ran = false;
         let result = cell
             .get_or_init(|| {
                 ran = true;
-                if let Some(found) = self
-                    .warm
-                    .lock()
-                    .expect("circuit warm store poisoned")
-                    .get(&content_hash(spec))
-                {
+                if let Some(found) = lock(&self.warm).get(&content_hash(spec)) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::clone(found));
                 }
@@ -98,7 +93,7 @@ impl CircuitCache {
         if ran && result.is_err() {
             // Errors are not cached: drop the cell so the next lookup
             // retries (only if it is still ours).
-            let mut map = self.map.lock().expect("circuit cache poisoned");
+            let mut map = lock(&self.map);
             if map.get(spec).is_some_and(|c| Arc::ptr_eq(c, &cell)) {
                 map.remove(spec);
             }
@@ -111,20 +106,17 @@ impl CircuitCache {
 
     /// Installs `entries` (content-hash keyed, from a persisted store) as
     /// the warm tier; returns how many are now loaded.
-    fn load_warm_entries(&self, entries: HashMap<u128, Arc<CellMeasurement>>) -> usize {
-        let mut warm = self.warm.lock().expect("circuit warm store poisoned");
+    fn load_warm_entries(&self, entries: BTreeMap<u128, Arc<CellMeasurement>>) -> usize {
+        let mut warm = lock(&self.warm);
         *warm = entries;
         warm.len()
     }
 
-    /// Every persistable entry: the warm tier plus all ready `Ok` cells.
-    fn snapshot_entries(&self) -> HashMap<u128, Arc<CellMeasurement>> {
-        let mut out = self
-            .warm
-            .lock()
-            .expect("circuit warm store poisoned")
-            .clone();
-        let map = self.map.lock().expect("circuit cache poisoned");
+    /// Every persistable entry: the warm tier plus all ready `Ok` cells,
+    /// ordered by content hash (deterministic store bytes).
+    fn snapshot_entries(&self) -> BTreeMap<u128, Arc<CellMeasurement>> {
+        let mut out = lock(&self.warm).clone();
+        let map = lock(&self.map);
         for (spec, cell) in map.iter() {
             if let Some(Ok(m)) = cell.get() {
                 out.insert(content_hash(spec), Arc::clone(m));
@@ -134,16 +126,12 @@ impl CircuitCache {
     }
 
     /// Current counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the map mutex was poisoned.
     #[must_use]
     pub fn stats(&self) -> CircuitCacheStats {
         CircuitCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("circuit cache poisoned").len(),
+            entries: lock(&self.map).len(),
         }
     }
 }
@@ -163,12 +151,10 @@ pub const FILE_NAME: &str = "circuit-cache.bin";
 #[must_use]
 pub fn to_bytes(cache: &CircuitCache) -> Vec<u8> {
     let entries = cache.snapshot_entries();
-    let mut keys: Vec<&u128> = entries.keys().collect();
-    keys.sort_unstable(); // deterministic file bytes
     let mut w = ByteWriter::new();
     w.u64(entries.len() as u64);
-    for key in keys {
-        let m = &entries[key];
+    // BTreeMap iteration is key-ordered: deterministic file bytes.
+    for (key, m) in &entries {
         w.u128(*key);
         w.f64(m.delay);
         w.f64(m.delay_per_hop);
@@ -180,10 +166,10 @@ pub fn to_bytes(cache: &CircuitCache) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<CellMeasurement>>> {
+fn from_bytes(payload: &[u8]) -> Option<BTreeMap<u128, Arc<CellMeasurement>>> {
     let mut r = ByteReader::new(payload);
     let n = usize::try_from(r.u64()?).ok()?;
-    let mut entries = HashMap::with_capacity(n.min(4096));
+    let mut entries = BTreeMap::new();
     for _ in 0..n {
         let key = r.u128()?;
         let m = CellMeasurement {
@@ -206,9 +192,11 @@ fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<CellMeasurement>>> {
 ///
 /// # Errors
 ///
-/// Any underlying filesystem error.
-pub fn save(cache: &CircuitCache, dir: &Path) -> std::io::Result<()> {
-    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))
+/// [`smart_units::SmartError::Store`] on any underlying filesystem
+/// failure.
+pub fn save(cache: &CircuitCache, dir: &Path) -> Result<()> {
+    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))?;
+    Ok(())
 }
 
 /// Loads `dir/`[`FILE_NAME`] into `cache`'s warm tier; returns how many
@@ -308,5 +296,43 @@ mod tests {
         std::fs::write(&path, &good[..good.len() - 3]).expect("writes");
         assert_eq!(load(&CircuitCache::new(), &dir), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_store_never_panics_and_loads_cold() {
+        // Truncations at every prefix and a bit flip at every eighth
+        // offset load zero entries — no panic, no partial state.
+        let dir = std::env::temp_dir().join(format!("smart-josim-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cold = CircuitCache::new();
+        cold.measure(&CellSpec::Jtl(JtlChainSpec::standard(4)))
+            .expect("simulates");
+        save(&cold, &dir).expect("saves");
+        let path = dir.join(FILE_NAME);
+        let good = std::fs::read(&path).expect("reads");
+        for cut in [0, 1, good.len() / 3, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).expect("writes");
+            assert_eq!(load(&CircuitCache::new(), &dir), 0, "truncated at {cut}");
+        }
+        for i in (0..good.len()).step_by(8) {
+            let mut bad = good.clone();
+            bad[i] ^= 0x20;
+            std::fs::write(&path, &bad).expect("writes");
+            assert_eq!(load(&CircuitCache::new(), &dir), 0, "corrupted at {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_to_unwritable_dir_is_a_typed_error() {
+        let err = save(
+            &CircuitCache::new(),
+            Path::new("/proc/definitely/not/writable"),
+        )
+        .expect_err("must fail");
+        assert!(
+            matches!(err, smart_units::SmartError::Store { .. }),
+            "{err:?}"
+        );
     }
 }

@@ -13,6 +13,8 @@
 //! which reproduces SFQ pulse emission: each 2*pi phase slip releases a
 //! voltage pulse of area exactly `Phi0`.
 
+// lint:allow-file(index, MNA system indices come from the circuit's node numbering, fixed at build time)
+
 use crate::circuit::{Circuit, Element, NodeId};
 use crate::linalg::{LuFactors, Matrix};
 use crate::sparse::{SparseMatrix, SparsityPattern};
@@ -204,6 +206,7 @@ impl Transient {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn pulse_count(&self, p: usize) -> u32 {
+        // lint:allow(panic_freedom, traces hold one sample per completed step and the initial point)
         let total = *self.flux(p).last().expect("non-empty trace");
         (total / PHI0).round().max(0.0) as u32
     }
@@ -223,6 +226,7 @@ impl Transient {
         let Some(base_idx) = self.times.iter().position(|&t| t >= settle) else {
             return 0;
         };
+        // lint:allow(panic_freedom, traces hold one sample per completed step and the initial point)
         let total = flux.last().expect("non-empty trace") - flux[base_idx];
         (total / PHI0).round().max(0.0) as u32
     }
@@ -444,6 +448,7 @@ impl Engine {
                 self.solve_nonlinear(t, hk, &x, &states)?
             } else if hk == h {
                 let rhs = self.rhs_linear(t, h, &states);
+                // lint:allow(panic_freedom, the factors were computed for h before the stepping loop entered this branch)
                 linear_factors.as_ref().expect("factored").solve(&rhs)
             } else {
                 // Clamped final step: the companion conductances depend on

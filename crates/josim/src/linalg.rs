@@ -6,6 +6,8 @@
 //! fast enough. For linear circuits the factorization is computed once and
 //! reused every timestep.
 
+// lint:allow-file(index, LU kernel; pivot and row indices are bounded by the square dimension asserted at entry)
+
 /// A dense row-major square matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {

@@ -25,6 +25,8 @@
 //! [`crate::linalg`] (which *does* pivot) remains available as the oracle,
 //! and the property suite checks both agree on stamped circuit matrices.
 
+// lint:allow-file(index, CSR kernel; offsets come from the sparsity pattern built beside them)
+
 use crate::linalg::SingularMatrix;
 
 /// Pivot magnitude below which the factorization reports singularity.
@@ -147,6 +149,7 @@ impl SparseMatrix {
         let slot = self
             .pattern
             .slot(row, col)
+            // lint:allow(panic_freedom, assemblers stamp only positions present in the pattern they built)
             .unwrap_or_else(|| panic!("position ({row}, {col}) not in the sparsity pattern"));
         self.values[slot] += value;
     }
@@ -237,6 +240,7 @@ impl SymbolicLu {
             let base = col_idx.len();
             let at = row
                 .binary_search(&i)
+                // lint:allow(panic_freedom, the MNA assembler inserts every diagonal entry)
                 .expect("diagonal present in every row");
             diag.push(base + at);
             col_idx.extend_from_slice(row);

@@ -1,0 +1,195 @@
+//! The `lint:allow` justification grammar.
+//!
+//! A finding is suppressed only by an *explicit, written* justification
+//! in a comment:
+//!
+//! ```text
+//! // lint:allow(<rule>, <reason>)        same line or the line above
+//! // lint:allow-file(<rule>, <reason>)   anywhere in the file, file-wide
+//! ```
+//!
+//! The reason is mandatory — an allow without one is itself a finding
+//! (rule `allow`), as is an allow naming a rule that does not exist
+//! (which would otherwise silently suppress nothing forever).
+//!
+//! Only comments that *start* with `lint:allow` are attempts: a doc
+//! comment or prose comment merely mentioning the grammar (like this
+//! module's) is not parsed, so justifications must be plain `//`
+//! comments of their own.
+
+use crate::rules::RULES;
+
+/// One parsed justification comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed (one of [`RULES`]).
+    pub rule: String,
+    /// The written reason (non-empty by construction).
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Whether this is a `lint:allow-file` (whole-file) suppression.
+    pub file_wide: bool,
+}
+
+/// A malformed `lint:allow` comment (reported as a finding by the
+/// engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAllow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts every `lint:allow` justification from `comments`; malformed
+/// ones come back separately so the engine can flag them.
+#[must_use]
+pub fn parse_allows(comments: &[crate::lexer::Comment]) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim_start().strip_prefix("lint:allow") else {
+            continue;
+        };
+        let (file_wide, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            bad.push(BadAllow {
+                line: c.line,
+                message: "lint:allow needs the form lint:allow(rule, reason)".to_owned(),
+            });
+            continue;
+        };
+        let Some(end) = rest.rfind(')') else {
+            bad.push(BadAllow {
+                line: c.line,
+                message: "lint:allow comment is missing its closing parenthesis".to_owned(),
+            });
+            continue;
+        };
+        // lint:allow(index, end comes from rfind on this same string)
+        let Some((rule, reason)) = rest[..end].split_once(',') else {
+            bad.push(BadAllow {
+                line: c.line,
+                message: "lint:allow needs a reason: lint:allow(rule, reason)".to_owned(),
+            });
+            continue;
+        };
+        let rule = rule.trim();
+        let reason = reason.trim();
+        if reason.is_empty() {
+            bad.push(BadAllow {
+                line: c.line,
+                message: format!("lint:allow({rule}, …) has an empty reason"),
+            });
+            continue;
+        }
+        if !RULES.contains(&rule) {
+            bad.push(BadAllow {
+                line: c.line,
+                message: format!(
+                    "lint:allow names unknown rule `{rule}` (rules: {})",
+                    RULES.join(", ")
+                ),
+            });
+            continue;
+        }
+        allows.push(Allow {
+            rule: rule.to_owned(),
+            reason: reason.to_owned(),
+            line: c.line,
+            file_wide,
+        });
+    }
+    (allows, bad)
+}
+
+/// Whether a finding of `rule` at `line` is justified by `allows`: a
+/// file-wide allow for the rule, or a same-line / previous-line allow.
+#[must_use]
+pub fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == rule && (a.file_wide || a.line == line || a.line + 1 == line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Allow>, Vec<BadAllow>) {
+        parse_allows(&lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_allows_parse() {
+        let (allows, bad) = parse(
+            "// lint:allow(panic_freedom, the map was populated two lines up)\n\
+             x.unwrap();\n\
+             // lint:allow-file(index, bounded numeric kernel)\n",
+        );
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, "panic_freedom");
+        assert!(!allows[0].file_wide);
+        assert_eq!(allows[1].rule, "index");
+        assert!(allows[1].file_wide);
+        assert_eq!(allows[1].reason, "bounded numeric kernel");
+    }
+
+    #[test]
+    fn reasons_are_mandatory() {
+        let (allows, bad) = parse("// lint:allow(panic_freedom)\n// lint:allow(index, )\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 2, "{bad:?}");
+    }
+
+    #[test]
+    fn unknown_rules_are_rejected() {
+        let (allows, bad) = parse("// lint:allow(panics, reason)\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(
+            bad[0].message.contains("unknown rule"),
+            "{}",
+            bad[0].message
+        );
+    }
+
+    #[test]
+    fn suppression_reaches_same_and_next_line_only() {
+        let (allows, _) = parse("// lint:allow(determinism, stderr-only timing)\n");
+        assert!(allowed(&allows, "determinism", 1));
+        assert!(allowed(&allows, "determinism", 2));
+        assert!(!allowed(&allows, "determinism", 3));
+        assert!(!allowed(&allows, "panic_freedom", 1));
+    }
+
+    #[test]
+    fn file_wide_suppression_reaches_everywhere() {
+        let (allows, _) = parse("// lint:allow-file(index, bounded kernel)\n");
+        assert!(allowed(&allows, "index", 4000));
+    }
+
+    #[test]
+    fn prose_mentions_of_the_grammar_are_not_attempts() {
+        let (allows, bad) = parse(
+            "/// explained as `lint:allow(<rule>, <reason>)` in docs\n\
+             //! see the lint:allow section\n\
+             // the lint:allow(typo grammar, mid-comment) is prose too\n",
+        );
+        assert!(allows.is_empty(), "{allows:?}");
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn allows_inside_raw_strings_are_invisible() {
+        let (allows, bad) = parse(r###"let s = r#"// lint:allow(index, fake)"#; real();"###);
+        assert!(allows.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -1,0 +1,666 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! lint rules, with zero dependencies (the workspace's offline vendoring
+//! policy applies to dev tooling too).
+//!
+//! The rules need four things a regex over raw source cannot deliver:
+//!
+//! * **string-literal opacity** — `"call .unwrap() here"` and
+//!   `r#"// unwrap()"#` must not look like a panic site, so raw strings
+//!   (any `#` depth), byte strings, and escapes are consumed as single
+//!   [`TokenKind::StrLit`] tokens;
+//! * **comment extraction** — `// lint:allow(...)` justifications live in
+//!   comments, so comments are collected (with line numbers) instead of
+//!   discarded, and nested `/* /* */ */` block comments are balanced;
+//! * **lifetimes vs. char literals** — `'a` in `&'a str` is a
+//!   [`TokenKind::Lifetime`], `'a'` is a [`TokenKind::CharLit`]; naive
+//!   quote matching would swallow the rest of the file;
+//! * **test-region tracking** — tokens inside `#[cfg(test)]` / `#[test]`
+//!   items and `mod tests { ... }` blocks are flagged `in_test`, because
+//!   every rule exempts test code.
+//!
+//! The lexer is loss-tolerant by design: anything it does not recognize
+//! becomes a one-character [`TokenKind::Punct`], and malformed source
+//! (which `rustc` would reject anyway) degrades to harmless tokens rather
+//! than an error.
+
+// lint:allow-file(index, a lexer is positional by nature; every index below is bounded by the length checks directly beside it)
+
+/// What a token is, as coarsely as the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    StrLit,
+    /// A numeric literal.
+    NumLit,
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its location and test-region flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Whether the token sits inside a test region (`#[cfg(test)]` /
+    /// `#[test]` item or `mod tests { … }` block).
+    pub in_test: bool,
+}
+
+/// One comment (line or block), with delimiters stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment text without `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+}
+
+/// The output of [`lex`]: the token stream plus the comments beside it.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Whether any non-test token is the identifier `name`.
+    #[must_use]
+    pub fn has_ident(&self, name: &str) -> bool {
+        self.tokens
+            .iter()
+            .any(|t| !t.in_test && matches!(&t.kind, TokenKind::Ident(s) if s == name))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Consumes a `"…"` string with escapes, starting at the opening quote;
+/// returns (index past the closing quote, newlines crossed).
+fn scan_string(chars: &[char], mut j: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut nl = 0;
+    j += 1;
+    while j < n {
+        match chars[j] {
+            // A line-continuation escape (`\` at end of line) still
+            // crosses a newline; miscounting here silently shifts every
+            // finding below the string.
+            '\\' => {
+                if chars.get(j + 1) == Some(&'\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j.min(n), nl)
+}
+
+/// Consumes a raw string starting at the first `#` or `"` after the `r`;
+/// `None` if this is not a raw string head (e.g. a raw identifier
+/// `r#match`).
+fn scan_raw_string(chars: &[char], mut j: usize) -> Option<(usize, u32)> {
+    let n = chars.len();
+    let mut hashes = 0usize;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || chars[j] != '"' {
+        return None;
+    }
+    j += 1;
+    let mut nl = 0;
+    while j < n {
+        if chars[j] == '\n' {
+            nl += 1;
+            j += 1;
+        } else if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut h = 0usize;
+            while k < n && h < hashes && chars[k] == '#' {
+                h += 1;
+                k += 1;
+            }
+            if h == hashes {
+                return Some((k, nl));
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    Some((j, nl))
+}
+
+/// Consumes a char/byte literal starting at the opening `'` (the caller
+/// has already decided this is not a lifetime); returns the index past
+/// the closing quote.
+fn scan_char(chars: &[char], mut j: usize) -> usize {
+    let n = chars.len();
+    j += 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Lexes `src` into tokens and comments, then marks test regions.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let push = |out: &mut Lexed, kind: TokenKind, line: u32| {
+        out.tokens.push(Token {
+            kind,
+            line,
+            in_test: false,
+        });
+    };
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (doc comments included: they still carry allows).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nesting balanced.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let text_start = i + 2;
+            let mut depth = 1usize;
+            let mut j = text_start;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text_end = j.saturating_sub(2).max(text_start).min(n);
+            out.comments.push(Comment {
+                text: chars[text_start..text_end].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings: r"…", r#"…"# (any depth). A raw identifier
+        // (`r#match`) fails the scan and falls through to the ident arm.
+        if c == 'r' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '#') {
+            if let Some((end, nl)) = scan_raw_string(&chars, i + 1) {
+                push(&mut out, TokenKind::StrLit, line);
+                line += nl;
+                i = end;
+                continue;
+            }
+        }
+        // Byte literals: b"…", b'…', br"…", br#"…"#.
+        if c == 'b' && i + 1 < n {
+            if chars[i + 1] == '"' {
+                let (end, nl) = scan_string(&chars, i + 1);
+                push(&mut out, TokenKind::StrLit, line);
+                line += nl;
+                i = end;
+                continue;
+            }
+            if chars[i + 1] == '\'' {
+                let end = scan_char(&chars, i + 1);
+                push(&mut out, TokenKind::CharLit, line);
+                i = end;
+                continue;
+            }
+            if chars[i + 1] == 'r' && i + 2 < n && (chars[i + 2] == '"' || chars[i + 2] == '#') {
+                if let Some((end, nl)) = scan_raw_string(&chars, i + 2) {
+                    push(&mut out, TokenKind::StrLit, line);
+                    line += nl;
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            let (end, nl) = scan_string(&chars, i);
+            push(&mut out, TokenKind::StrLit, line);
+            line += nl;
+            i = end;
+            continue;
+        }
+        // Lifetime vs. char literal.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                let end = scan_char(&chars, i);
+                push(&mut out, TokenKind::CharLit, line);
+                i = end;
+                continue;
+            }
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let mut j = i + 2;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if j == i + 2 && j < n && chars[j] == '\'' {
+                    // Exactly one ident char then a quote: 'x'.
+                    push(&mut out, TokenKind::CharLit, line);
+                    i = j + 1;
+                } else {
+                    // 'a, 'static, '_ — a lifetime.
+                    push(&mut out, TokenKind::Lifetime, line);
+                    i = j;
+                }
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                // Non-ident char literal: '*', ' '.
+                push(&mut out, TokenKind::CharLit, line);
+                i += 3;
+                continue;
+            }
+            push(&mut out, TokenKind::Punct('\''), line);
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            push(&mut out, TokenKind::NumLit, line);
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            push(
+                &mut out,
+                TokenKind::Ident(chars[i..j].iter().collect()),
+                line,
+            );
+            i = j;
+            continue;
+        }
+        push(&mut out, TokenKind::Punct(c), line);
+        i += 1;
+    }
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokenKind::Punct(c)
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    matches!(&t.kind, TokenKind::Ident(i) if i == s)
+}
+
+/// Index of the `]` matching the `[` at `open` (nesting balanced); the
+/// last token if unbalanced.
+fn match_square(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if is_punct(t, '[') {
+            depth += 1;
+        } else if is_punct(t, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open`; the last token if
+/// unbalanced.
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if is_punct(t, '{') {
+            depth += 1;
+        } else if is_punct(t, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// End index of the item starting at `from`: the `}` closing its first
+/// top-level brace, or the first `;` outside any parens/brackets (a
+/// braceless item like `use …;` or a tuple struct).
+fn item_end(tokens: &[Token], from: usize) -> usize {
+    let mut paren = 0i32;
+    let mut square = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(from) {
+        match t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => square += 1,
+            TokenKind::Punct(']') => square -= 1,
+            TokenKind::Punct('{') => return match_brace(tokens, j),
+            TokenKind::Punct(';') if paren == 0 && square == 0 => return j,
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Flags every token inside a test region: an item annotated
+/// `#[cfg(test)]` / `#[test]` (but not `#[cfg(not(test))]`), or a
+/// `mod tests { … }` block.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let n = tokens.len();
+    let mut i = 0usize;
+    while i < n {
+        if i + 1 < n && is_punct(&tokens[i], '#') && is_punct(&tokens[i + 1], '[') {
+            let close = match_square(tokens, i + 1);
+            let mut has_test = false;
+            let mut has_not = false;
+            for t in tokens.iter().take(close + 1).skip(i) {
+                if is_ident(t, "test") {
+                    has_test = true;
+                }
+                if is_ident(t, "not") {
+                    has_not = true;
+                }
+            }
+            if has_test && !has_not {
+                // Skip any further attributes between this one and the item.
+                let mut j = close + 1;
+                while j + 1 < n && is_punct(&tokens[j], '#') && is_punct(&tokens[j + 1], '[') {
+                    j = match_square(tokens, j + 1) + 1;
+                }
+                let end = item_end(tokens, j).min(n.saturating_sub(1));
+                for t in tokens.iter_mut().take(end + 1).skip(i) {
+                    t.in_test = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        if i + 2 < n
+            && is_ident(&tokens[i], "mod")
+            && is_ident(&tokens[i + 1], "tests")
+            && is_punct(&tokens[i + 2], '{')
+        {
+            let end = match_brace(tokens, i + 2);
+            for t in tokens.iter_mut().take(end + 1).skip(i) {
+                t.in_test = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lx: &Lexed) -> Vec<&str> {
+        lx.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // The satellite-4 adversarial case: panic-looking text inside a
+        // raw string must not surface as tokens.
+        let lx = lex(r####"let s = r#"// unwrap() .expect("x") panic!()"#;"####);
+        assert_eq!(idents(&lx), ["let", "s"]);
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::StrLit)
+                .count(),
+            1
+        );
+        assert!(lx.comments.is_empty(), "{:?}", lx.comments);
+    }
+
+    #[test]
+    fn raw_string_hash_depth_is_respected() {
+        let lx = lex(r###"let s = r##"inner "# quote"##; after()"###);
+        assert_eq!(idents(&lx), ["let", "s", "after"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let lx = lex(r##"let a = b"unwrap()"; let c = b'\n'; let r = br#"x"#;"##);
+        assert_eq!(idents(&lx), ["let", "a", "let", "c", "let", "r"]);
+        assert!(lx.tokens.iter().any(|t| t.kind == TokenKind::CharLit));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let lx = lex("before /* outer /* inner */ still outer */ after");
+        assert_eq!(idents(&lx), ["before", "after"]);
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx =
+            lex("fn f<'a>(x: &'a str, c: char) -> &'static str { if c == 'x' { x } else { x } }");
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .count();
+        assert_eq!((lifetimes, chars), (3, 1));
+        // The rest of the file was not swallowed by a bad quote match.
+        assert!(idents(&lx).contains(&"else"));
+    }
+
+    #[test]
+    fn escaped_and_special_char_literals() {
+        let lx = lex(r"let a = '\''; let b = '\\'; let c = '*'; let d = ' ';");
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::CharLit)
+                .count(),
+            4
+        );
+        assert_eq!(
+            idents(&lx),
+            ["let", "a", "let", "b", "let", "c", "let", "d"]
+        );
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let lx = lex(r#"let s = "quote \" then unwrap()"; done()"#);
+        assert_eq!(idents(&lx), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn escaped_newlines_in_strings_still_count_as_lines() {
+        // A `\`-continued string crosses a line; every finding below it
+        // would be off by one if the escape arm swallowed the newline.
+        let lx = lex("let s = \"first \\\n    second\";\nmarker();");
+        let marker = lx
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "marker"))
+            .expect("lexed");
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn comments_carry_text_and_lines() {
+        let lx = lex("line1();\n// lint:allow(index, reason here)\nline3();");
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(lx.comments[0].line, 2);
+        assert!(lx.comments[0]
+            .text
+            .contains("lint:allow(index, reason here)"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_following_item_only() {
+        let src = "
+fn prod() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); }
+}
+fn prod2() { z.unwrap(); }
+";
+        let lx = lex(src);
+        let unwraps: Vec<bool> = lx
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, [false, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let lx = lex("#[cfg(not(test))]\nfn prod() { x.unwrap(); }");
+        assert!(lx.tokens.iter().all(|t| !t.in_test), "{:?}", lx.tokens);
+    }
+
+    #[test]
+    fn test_attr_with_stacked_attributes() {
+        let lx = lex("#[test]\n#[ignore]\nfn t() { x.unwrap(); }\nfn p() { y.unwrap(); }");
+        let unwraps: Vec<bool> = lx
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, [true, false]);
+    }
+
+    #[test]
+    fn mod_tests_without_attr_is_a_test_region() {
+        let lx = lex("mod tests { fn t() { x.unwrap(); } }\nfn p() { y.unwrap(); }");
+        let unwraps: Vec<bool> = lx
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, [true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let lx = lex("#[cfg(test)]\nuse std::collections::HashMap;\nfn p() { q(); }");
+        let hm = lx
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "HashMap"))
+            .expect("lexed");
+        assert!(hm.in_test);
+        let q = lx
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "q"))
+            .expect("lexed");
+        assert!(!q.in_test);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let lx = lex("let a = \"one\ntwo\";\nmarker();");
+        let marker = lx
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "marker"))
+            .expect("lexed");
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_start_raw_strings() {
+        let lx = lex("let r#type = 1; next()");
+        assert!(idents(&lx).contains(&"next"));
+    }
+}

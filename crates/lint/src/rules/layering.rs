@@ -1,0 +1,320 @@
+//! Rule `layering`: the crate DAG matches the documented layer map.
+//!
+//! The README's "Workspace layout" block is the architecture contract:
+//! each crate sits on a numbered layer and may depend only on crates of
+//! *strictly lower* layers (so the graph is acyclic by construction and
+//! a reader can learn the system bottom-up). This rule rebuilds the
+//! real dependency graph from every `Cargo.toml` and checks:
+//!
+//! * the graph is acyclic (defence in depth — cargo would also refuse,
+//!   but a cycle through the README map alone should not go unnoticed);
+//! * every workspace crate appears in the README map and vice versa;
+//! * the documented dependency list of each crate equals the real one
+//!   (`smart-units` is implicit for every crate except itself, per the
+//!   README's own convention);
+//! * every dependency sits on a strictly lower layer than its dependent;
+//! * `dev`-layer crates (tooling like `smart-lint`) may depend on
+//!   anything but nothing may depend on them — they must stay outside
+//!   the product graph.
+
+use crate::rules::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One workspace crate as read from its `Cargo.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrateInfo {
+    /// Package name (e.g. `smart-spm`).
+    pub name: String,
+    /// Repo-relative manifest path, for findings.
+    pub manifest: String,
+    /// Workspace (`smart-*`) dependencies, normal + dev, sorted.
+    pub deps: Vec<String>,
+}
+
+/// One line of the README layer map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerEntry {
+    /// Crate name (e.g. `smart-spm`).
+    pub name: String,
+    /// Numbered layer, or `None` for the `dev` layer.
+    pub layer: Option<u32>,
+    /// Documented dependencies (`smart-units` left implicit).
+    pub deps: Vec<String>,
+    /// 1-based README line of the entry.
+    pub line: u32,
+}
+
+/// The crate every other crate implicitly depends on.
+const IMPLICIT_DEP: &str = "smart-units";
+
+/// Runs the layering rule: `crates` from the manifests, `map` from the
+/// README at `readme` (repo-relative path, for findings).
+#[must_use]
+pub fn check(crates: &[CrateInfo], map: &[LayerEntry], readme: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let by_name: BTreeMap<&str, &CrateInfo> = crates.iter().map(|c| (c.name.as_str(), c)).collect();
+    let entries: BTreeMap<&str, &LayerEntry> = map.iter().map(|e| (e.name.as_str(), e)).collect();
+
+    for cycle in cycles(crates) {
+        findings.push(Finding {
+            file: crates
+                .iter()
+                .find(|c| Some(&c.name) == cycle.first())
+                .map_or_else(|| readme.to_owned(), |c| c.manifest.clone()),
+            line: 0,
+            rule: "layering",
+            message: format!("dependency cycle: {}", cycle.join(" -> ")),
+        });
+    }
+
+    for c in crates {
+        let Some(entry) = entries.get(c.name.as_str()) else {
+            findings.push(Finding {
+                file: readme.to_owned(),
+                line: 0,
+                rule: "layering",
+                message: format!("crate `{}` is missing from the README layer map", c.name),
+            });
+            continue;
+        };
+        // Documented deps + the implicit smart-units edge.
+        let mut documented: BTreeSet<&str> = entry.deps.iter().map(String::as_str).collect();
+        if c.name != IMPLICIT_DEP {
+            documented.insert(IMPLICIT_DEP);
+        }
+        let real: BTreeSet<&str> = c.deps.iter().map(String::as_str).collect();
+        for missing in real.difference(&documented) {
+            findings.push(Finding {
+                file: readme.to_owned(),
+                line: entry.line,
+                rule: "layering",
+                message: format!(
+                    "README omits the real dependency `{}` -> `{missing}`",
+                    c.name
+                ),
+            });
+        }
+        for phantom in documented.difference(&real) {
+            if *phantom == IMPLICIT_DEP {
+                continue; // a crate may genuinely not use units yet
+            }
+            findings.push(Finding {
+                file: readme.to_owned(),
+                line: entry.line,
+                rule: "layering",
+                message: format!(
+                    "README documents `{}` -> `{phantom}` but Cargo.toml has no such dependency",
+                    c.name
+                ),
+            });
+        }
+        // Layer discipline.
+        for dep in &c.deps {
+            let Some(dep_entry) = entries.get(dep.as_str()) else {
+                continue; // missing-from-map finding already emitted for dep
+            };
+            match (entry.layer, dep_entry.layer) {
+                (_, None) => findings.push(Finding {
+                    file: c.manifest.clone(),
+                    line: 0,
+                    rule: "layering",
+                    message: format!(
+                        "`{}` depends on dev-layer crate `{dep}`; dev tooling must stay \
+                         outside the product graph",
+                        c.name
+                    ),
+                }),
+                (Some(mine), Some(theirs)) if theirs >= mine => findings.push(Finding {
+                    file: readme.to_owned(),
+                    line: entry.line,
+                    rule: "layering",
+                    message: format!(
+                        "`{}` (layer {mine}) depends on `{dep}` (layer {theirs}); \
+                         dependencies must sit on strictly lower layers",
+                        c.name
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+
+    for e in map {
+        if !by_name.contains_key(e.name.as_str()) {
+            findings.push(Finding {
+                file: readme.to_owned(),
+                line: e.line,
+                rule: "layering",
+                message: format!(
+                    "README layer map lists `{}` but no such crate exists in the workspace",
+                    e.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Every dependency cycle found by DFS, as `a -> b -> … -> a` paths.
+fn cycles(crates: &[CrateInfo]) -> Vec<Vec<String>> {
+    let graph: BTreeMap<&str, &[String]> = crates
+        .iter()
+        .map(|c| (c.name.as_str(), c.deps.as_slice()))
+        .collect();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let mut found = Vec::new();
+    for c in crates {
+        let mut path: Vec<&str> = Vec::new();
+        dfs(c.name.as_str(), &graph, &mut path, &mut done, &mut found);
+    }
+    found
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    graph: &BTreeMap<&'a str, &'a [String]>,
+    path: &mut Vec<&'a str>,
+    done: &mut BTreeSet<&'a str>,
+    found: &mut Vec<Vec<String>>,
+) {
+    if let Some(start) = path.iter().position(|n| *n == node) {
+        // lint:allow(index, start comes from position() over this same path vec)
+        let mut cycle: Vec<String> = path[start..].iter().map(|s| (*s).to_owned()).collect();
+        cycle.push(node.to_owned());
+        found.push(cycle);
+        return;
+    }
+    if done.contains(node) {
+        return;
+    }
+    path.push(node);
+    for dep in graph.get(node).copied().unwrap_or_default() {
+        dfs(dep, graph, path, done, found);
+    }
+    path.pop();
+    done.insert(node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn krate(name: &str, deps: &[&str]) -> CrateInfo {
+        CrateInfo {
+            name: name.to_owned(),
+            manifest: format!("crates/{}/Cargo.toml", name.trim_start_matches("smart-")),
+            deps: deps.iter().map(|d| (*d).to_owned()).collect(),
+        }
+    }
+
+    fn entry(name: &str, layer: Option<u32>, deps: &[&str], line: u32) -> LayerEntry {
+        LayerEntry {
+            name: name.to_owned(),
+            layer,
+            deps: deps.iter().map(|d| (*d).to_owned()).collect(),
+            line,
+        }
+    }
+
+    fn clean_world() -> (Vec<CrateInfo>, Vec<LayerEntry>) {
+        (
+            vec![
+                krate("smart-units", &[]),
+                krate("smart-sfq", &["smart-units"]),
+                krate("smart-spm", &["smart-sfq", "smart-units"]),
+                krate("smart-lint", &["smart-spm"]),
+            ],
+            vec![
+                entry("smart-units", Some(0), &[], 10),
+                entry("smart-sfq", Some(1), &[], 11),
+                entry("smart-spm", Some(2), &["smart-sfq"], 12),
+                entry("smart-lint", None, &["smart-spm"], 13),
+            ],
+        )
+    }
+
+    #[test]
+    fn a_consistent_workspace_is_clean() {
+        let (crates, map) = clean_world();
+        let f = check(&crates, &map, "README.md");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cycles_are_reported_with_their_path() {
+        let crates = vec![
+            krate("smart-a", &["smart-b"]),
+            krate("smart-b", &["smart-a"]),
+        ];
+        let map = vec![
+            entry("smart-a", Some(1), &["smart-b"], 1),
+            entry("smart-b", Some(1), &["smart-a"], 2),
+        ];
+        let f = check(&crates, &map, "README.md");
+        assert!(
+            f.iter().any(|x| x.message.contains("dependency cycle")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn same_layer_deps_are_flagged() {
+        let (mut crates, mut map) = clean_world();
+        // A second layer-1 crate; sfq grows a sideways dep on it.
+        crates.push(krate("smart-ptl", &["smart-units"]));
+        map.push(entry("smart-ptl", Some(1), &[], 14));
+        crates[1].deps.push("smart-ptl".to_owned());
+        map[1].deps.push("smart-ptl".to_owned());
+        let f = check(&crates, &map, "README.md");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("strictly lower"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn undocumented_and_phantom_edges_are_flagged() {
+        let (crates, mut map) = clean_world();
+        map[2].deps.clear(); // README forgets spm -> sfq
+        map[1].deps.push("smart-spm".to_owned()); // …and invents sfq -> spm
+        let f = check(&crates, &map, "README.md");
+        assert!(f.iter().any(|x| x.message.contains("omits")), "{f:?}");
+        assert!(
+            f.iter().any(|x| x.message.contains("no such dependency")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn crates_missing_from_either_side_are_flagged() {
+        let (crates, mut map) = clean_world();
+        map.remove(1); // sfq undocumented
+        map.push(entry("smart-ghost", Some(3), &[], 40)); // documented, nonexistent
+        let f = check(&crates, &map, "README.md");
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains("missing from the README")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter().any(|x| x.message.contains("no such crate")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn depending_on_a_dev_layer_crate_is_flagged() {
+        let (mut crates, mut map) = clean_world();
+        // A dependency-free dev crate, so the seeded edge cannot also
+        // form a cycle through smart-lint's own deps.
+        crates.push(krate("smart-xtask", &[]));
+        map.push(entry("smart-xtask", None, &[], 14));
+        crates[2].deps.push("smart-xtask".to_owned());
+        map[2].deps.push("smart-xtask".to_owned());
+        let f = check(&crates, &map, "README.md");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("outside the product graph"),
+            "{}",
+            f[0].message
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The rule engine: one module per rule class, one [`Finding`] type.
+//!
+//! Every rule function is **pure over injectable inputs** (lexed source,
+//! dependency lists, registry names, snapshot text) so seeded violations
+//! can be tested without touching the real workspace; the filesystem
+//! walk that feeds them the real workspace lives in
+//! [`crate::workspace`].
+
+pub mod determinism;
+pub mod layering;
+pub mod panic_freedom;
+pub mod registry;
+
+/// Every rule id, in reporting order. `allow` covers malformed
+/// `lint:allow` comments; the rest are the four rule classes (with
+/// `index` the per-file slice-index sub-rule of the panic-freedom
+/// class).
+pub const RULES: &[&str] = &[
+    "layering",
+    "determinism",
+    "panic_freedom",
+    "index",
+    "registry",
+    "allow",
+];
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative file the finding is in.
+    pub file: String,
+    /// 1-based line (0 when the finding is about a file as a whole).
+    pub line: u32,
+    /// The violated rule (one of [`RULES`]).
+    pub rule: &'static str,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}

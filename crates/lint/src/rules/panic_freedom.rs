@@ -1,0 +1,207 @@
+//! Rules `panic_freedom` and `index`: no unjustified panic sites in
+//! library code.
+//!
+//! The persisted-store contract (PR 6) is "corruption costs a warm
+//! start, never a crash", and the experiment engine promises a failed
+//! experiment surfaces as an `Err` row, not an abort. Both die by a
+//! stray `unwrap()`. In non-test *library* code (binaries own their
+//! process and may exit however they like; test code panics by design):
+//!
+//! * `.unwrap()` / `.expect(…)` and `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` each require an inline
+//!   `// lint:allow(panic_freedom, <reason>)` on the same or previous
+//!   line — the reason is the proof obligation ("the map was populated
+//!   two lines up");
+//! * slice/array indexing (`xs[i]`) is reported **per file** under the
+//!   separate `index` rule: numeric kernels index in hundreds of places
+//!   and a per-site justification would be noise, so a file either
+//!   justifies its indexing discipline once with
+//!   `// lint:allow-file(index, <reason>)` or annotates individual
+//!   sites.
+//!
+//! `assert!`-family macros are deliberately exempt: an assert states an
+//! invariant and is the *recommended* replacement for silent indexing.
+
+// lint:allow-file(index, token-stream scanning is positional; every index is guarded by the bounds check beside it)
+
+use crate::allow::{allowed, Allow};
+use crate::lexer::{Lexed, TokenKind};
+use crate::rules::Finding;
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may directly precede a `[` opening an array literal or
+/// type (`for x in [..]`, `return [..]`); a keyword is never a value, so
+/// `keyword[` is not an index expression. `self` is deliberately absent
+/// — `self[i]` indexes via an `Index` impl.
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "else", "in", "let", "loop", "match", "move", "mut", "ref",
+    "return", "static", "while", "yield",
+];
+
+/// Runs the panic-freedom and index rules over one lexed library file.
+#[must_use]
+pub fn check(file: &str, lx: &Lexed, allows: &[Allow]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let tokens = &lx.tokens;
+    let mut index_sites: Vec<u32> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Ident(name) => {
+                let method = PANIC_METHODS.contains(&name.as_str())
+                    && i > 0
+                    && tokens[i - 1].kind == TokenKind::Punct('.')
+                    && i + 1 < tokens.len()
+                    && tokens[i + 1].kind == TokenKind::Punct('(');
+                let mac = PANIC_MACROS.contains(&name.as_str())
+                    && i + 1 < tokens.len()
+                    && tokens[i + 1].kind == TokenKind::Punct('!');
+                if (method || mac) && !allowed(allows, "panic_freedom", t.line) {
+                    let what = if method {
+                        format!(".{name}()")
+                    } else {
+                        format!("{name}!")
+                    };
+                    findings.push(Finding {
+                        file: file.to_owned(),
+                        line: t.line,
+                        rule: "panic_freedom",
+                        message: format!(
+                            "`{what}` in non-test library code; return a SmartError or justify \
+                             with lint:allow(panic_freedom, …)"
+                        ),
+                    });
+                }
+            }
+            TokenKind::Punct('[') => {
+                // An index expression: `[` directly after a value (ident,
+                // `]`, or `)`), as opposed to a type, attribute, or array
+                // literal position.
+                let indexes = i > 0
+                    && match &tokens[i - 1].kind {
+                        TokenKind::Ident(name) => !KEYWORDS.contains(&name.as_str()),
+                        TokenKind::Punct(p) => *p == ']' || *p == ')',
+                        _ => false,
+                    };
+                if indexes && !allowed(allows, "index", t.line) {
+                    index_sites.push(t.line);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(first) = index_sites.first() {
+        findings.push(Finding {
+            file: file.to_owned(),
+            line: *first,
+            rule: "index",
+            message: format!(
+                "{} unchecked slice/array index expression(s) (first here) in non-test library \
+                 code; use get()/asserts or justify once with lint:allow-file(index, …)",
+                index_sites.len()
+            ),
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow::parse_allows;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lx = lex(src);
+        let (allows, _) = parse_allows(&lx.comments);
+        check("x.rs", &lx, &allows)
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_are_flagged() {
+        let f = run("fn f() { x.unwrap(); y.expect(\"msg\"); }");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "panic_freedom"));
+    }
+
+    #[test]
+    fn panic_family_macros_are_flagged() {
+        let f = run("fn f() { panic!(\"boom\"); unreachable!(); todo!(); unimplemented!(); }");
+        assert_eq!(f.len(), 4, "{f:?}");
+    }
+
+    #[test]
+    fn justified_sites_pass() {
+        let f = run("fn f() {\n\
+             // lint:allow(panic_freedom, the cell was initialized on the line above)\n\
+             x.unwrap();\n\
+             }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        assert!(run("fn f() { x.unwrap_or_else(|| 0); y.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_a_raw_string_or_comment_is_invisible() {
+        assert!(
+            run(r###"fn f() { let s = r#".unwrap() and panic!"#; } // .unwrap()"###).is_empty()
+        );
+    }
+
+    #[test]
+    fn test_code_panics_freely() {
+        let f = run("#[cfg(test)]\n\
+             mod tests {\n\
+                 #[test] fn t() { x.unwrap(); panic!(); let v = xs[0]; }\n\
+             }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexing_is_one_finding_per_file() {
+        let f = run("fn f(xs: &[u32], i: usize) -> u32 { xs[i] + xs[i + 1] + xs[0] }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "index");
+        assert!(f[0].message.starts_with("3 unchecked"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn allow_file_clears_indexing() {
+        let f = run(
+            "// lint:allow-file(index, every access is bounds-asserted at entry)\n\
+             fn f(xs: &[u32], i: usize) -> u32 { xs[i] }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn array_literals_after_keywords_are_not_index_sites() {
+        assert!(run(
+            "fn f() -> [f64; 3] { for dk in [-1.0, 0.0, 1.0] { use_it(dk); } return [0.0; 3]; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn types_attributes_and_literals_are_not_index_sites() {
+        assert!(run("#[derive(Debug)]\n\
+             struct S { a: [u64; 4] }\n\
+             fn f() -> Vec<[u8; 2]> { vec![[1, 2], [3, 4]] }")
+        .is_empty());
+    }
+
+    #[test]
+    fn asserts_are_exempt() {
+        assert!(
+            run("fn f(x: u32) { assert!(x > 0); assert_eq!(x, 1); debug_assert!(true); }")
+                .is_empty()
+        );
+    }
+}

@@ -11,8 +11,9 @@
 //! which is what keeps a small fan-out (few items, trivial `f`) from
 //! costing more at `jobs = 4` than at `jobs = 1`.
 
+use smart_units::sync::lock;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Maps `f` over `items` on up to `jobs` workers (the caller plus
 /// `jobs - 1` spawned threads), preserving order.
@@ -49,7 +50,7 @@ where
         }
         for (item, slot) in items.iter().zip(&slots).skip(start).take(chunk) {
             let result = f(item);
-            *slot.lock().expect("result slot poisoned") = Some(result);
+            *lock(slot) = Some(result);
         }
     };
 
@@ -64,7 +65,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // lint:allow(panic_freedom, the scope joined every worker and the cursor covers 0..len, so each slot was filled)
                 .expect("every index was claimed by a worker")
         })
         .collect()

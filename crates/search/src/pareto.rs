@@ -1,5 +1,7 @@
 //! Pareto dominance over (latency, energy, area), all minimized.
 
+// lint:allow-file(index, frontier indices come from enumerate() over the same vec)
+
 use smart_units::{Area, Energy, Time};
 
 /// The three minimized objectives of one design point, all from the

@@ -28,6 +28,8 @@
 //! [`Schedule::spm_resident_fraction`]: smart_compiler::schedule::Schedule::spm_resident_fraction
 //! [`TimingReport`]: smart_timing::TimingReport
 
+// lint:allow-file(index, batch buckets are indexed by positions found in the same slice)
+
 use smart_core::scheme::Scheme;
 use smart_systolic::models::ModelId;
 use smart_timing::{compile_scheme_layer, hetero_spm, RandomCosts, TimingCache, TimingConfig};

@@ -19,6 +19,8 @@
 //! [`p999`]: ServingReport::p999
 //! [`goodput_rps`]: ServingReport::goodput_rps
 
+// lint:allow-file(index, percentile ranks are clamped to the sorted sample length)
+
 use smart_units::{Frequency, Time};
 
 /// Per-tenant slice of a serving run.

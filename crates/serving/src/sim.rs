@@ -33,6 +33,8 @@
 //! `(workload, config)` pair yields one byte-identical [`ServingReport`]
 //! regardless of machine or worker count.
 
+// lint:allow-file(index, queue and tenant indices are bounded by the profile vectors built at admission)
+
 use std::collections::VecDeque;
 
 use crate::profile::TenantProfile;
@@ -268,6 +270,7 @@ pub fn simulate(
         // request of another tenant is waiting at a layer boundary.
         let mut job = job;
         let profile = &profiles[t];
+        // lint:allow(panic_freedom, arrivals per batch are bounded by the admission quantum, far below u32::MAX)
         let batch = u32::try_from(job.arrivals.len()).expect("batch fits u32");
         loop {
             let remaining = profile.layers() - job.next_layer;

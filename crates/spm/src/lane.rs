@@ -7,6 +7,8 @@
 //! that the analytic model's costs equal the functional machine's counted
 //! cycles.
 
+// lint:allow-file(index, the port only ever reads `cells[self.head]` and advance() keeps head < cells.len() by construction)
+
 use smart_cryomem::tech::MemoryTechnology;
 use smart_units::Time;
 

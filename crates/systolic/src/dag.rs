@@ -9,6 +9,8 @@
 //! crossed — weights for the next `a` iterations, inputs and PSums for the
 //! current and next `a-1` iterations, and the previous iteration's outputs.
 
+// lint:allow-file(index, edge endpoints are node ids assigned by this builder)
+
 use crate::mapping::LayerMapping;
 use crate::trace::DataClass;
 

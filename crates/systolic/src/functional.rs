@@ -9,6 +9,8 @@
 //! Values are `i32` (the paper's accelerators are low-precision integer
 //! machines; exact integer arithmetic makes verification crisp).
 
+// lint:allow-file(index, the reference convolution indexes tensors by the dims its loop bounds mirror)
+
 use crate::layer::ConvLayer;
 use crate::mapping::ArrayShape;
 
@@ -317,6 +319,7 @@ pub fn run_systolic(
                 mm as u32,
                 oy,
                 ox,
+                // lint:allow(panic_freedom, bounded i8 products cannot overflow i32; an overflow is a harness bug worth aborting on)
                 i32::try_from(v).expect("accumulator overflow"),
             );
         }

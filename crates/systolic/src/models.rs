@@ -5,6 +5,8 @@
 //! and image content do not affect cycle counts — so the zoo encodes the
 //! published layer dimensions of each network at 1 byte per value.
 
+// lint:allow-file(index, layer tables index dimension arrays of known fixed length)
+
 use crate::layer::{CnnModel, ConvLayer};
 
 /// The model identifiers of the paper's evaluation, in figure order.
@@ -386,6 +388,7 @@ pub fn faster_rcnn() -> CnnModel {
                 ..ConvLayer::conv("x", 3, 3, dims_in_c, out_c, 3, 1, 1)
             });
             // Fix spatial dims (conv() helper is square; RCNN maps are not).
+            // lint:allow(panic_freedom, a layer was pushed on the line above)
             let l = layers.last_mut().expect("just pushed");
             l.in_h = h;
             l.in_w = w;

@@ -24,6 +24,8 @@
 //! [`replay_sweep`] is the model-level entry point the buffer-depth and
 //! bandwidth experiments drive (through `TimingCache::sweep`).
 
+// lint:allow-file(index, batched replay indexes per-config arrays allocated to the config count)
+
 use crate::config::TimingConfig;
 use crate::replay::{class_idx, LayerPrepass, PriorityChannel, RandomCosts};
 use crate::report::{ModelTimingReport, TimingReport};
@@ -89,6 +91,7 @@ pub fn replay_sweep_layer(
     let shared_buckets: Vec<_> = distinct.iter().map(|&d| prepass.bucket_loads(d)).collect();
     let bucket_idx: Vec<usize> = depths
         .iter()
+        // lint:allow(panic_freedom, distinct was deduplicated from these same depths above)
         .map(|d| distinct.iter().position(|x| x == d).expect("present"))
         .collect();
 
@@ -139,6 +142,7 @@ pub fn replay_sweep_layer(
             st.pending[s].retain(|&(use_iter, ..)| use_iter > n as u32);
             let stall = start - prev_end;
             if stall > 0 {
+                // lint:allow(panic_freedom, a nonzero stall always records its source earlier in this loop)
                 let (class, is_load) = stall_source.expect("a stall has a source");
                 st.exposed[s][class_idx(class)] += stall;
                 if is_load {

@@ -27,6 +27,8 @@
 //!   struct-of-arrays kernel, instead of paying one full
 //!   `simulate_scheme` per point.
 
+// lint:allow-file(index, sweep slots are allocated one per requested config before being indexed)
+
 use crate::config::TimingConfig;
 use crate::report::ModelTimingReport;
 use crate::validate::prepare_model_ctx;
@@ -34,8 +36,9 @@ use smart_compiler::SolverContext;
 use smart_core::scheme::Scheme;
 use smart_systolic::models::ModelId;
 use smart_units::codec::content_hash;
+use smart_units::sync::lock;
 use smart_units::Result;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -58,11 +61,12 @@ pub struct TimingCacheStats {
 /// simulator.
 #[derive(Debug, Default)]
 pub struct TimingCache {
+    // lint:allow(determinism, exact-key memo map: lookup-only during a run; serialization iterates the content-hash-ordered warm tier instead)
     map: Mutex<HashMap<Key, Slot>>,
     /// Content-hash-keyed reports reloaded from a previous process (see
     /// [`crate::persist`]); consulted on a miss, never written during a
-    /// run.
-    warm: Mutex<HashMap<u128, Arc<ModelTimingReport>>>,
+    /// run. Key-ordered so persisted store bytes are deterministic.
+    warm: Mutex<BTreeMap<u128, Arc<ModelTimingReport>>>,
     /// ILP warm-start state threaded through every replay compile this
     /// cache runs, so bases reuse across models — and, via
     /// [`SolverContext::save_to`]/[`SolverContext::load_from`], across
@@ -89,7 +93,7 @@ impl TimingCache {
     /// The cell for `key`, plus whether this call created it (and
     /// therefore owns its initialization).
     fn slot(&self, key: &Key) -> (Slot, bool) {
-        let mut map = self.map.lock().expect("timing cache poisoned");
+        let mut map = lock(&self.map);
         if let Some(cell) = map.get(key) {
             (Arc::clone(cell), false)
         } else {
@@ -102,7 +106,7 @@ impl TimingCache {
     /// Drops `key` from the map if it still holds exactly `cell` (the
     /// errors-are-not-cached path: the next lookup retries).
     fn evict(&self, key: &Key, cell: &Slot) {
-        let mut map = self.map.lock().expect("timing cache poisoned");
+        let mut map = lock(&self.map);
         if map.get(key).is_some_and(|c| Arc::ptr_eq(c, cell)) {
             map.remove(key);
         }
@@ -111,11 +115,7 @@ impl TimingCache {
     /// The warm-store entry for `key`, if a previous process persisted
     /// one.
     fn warm_lookup(&self, key: &Key) -> Option<Arc<ModelTimingReport>> {
-        self.warm
-            .lock()
-            .expect("timing warm store poisoned")
-            .get(&content_hash(key))
-            .cloned()
+        lock(&self.warm).get(&content_hash(key)).cloned()
     }
 
     /// The memoized equivalent of
@@ -125,11 +125,6 @@ impl TimingCache {
     ///
     /// [`smart_units::SmartError::InvalidInput`] when the scheme's SPM is
     /// not heterogeneous (the error is recomputed, never cached).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache was poisoned by a panicking replay on another
-    /// thread.
     pub fn report(
         &self,
         scheme: &Scheme,
@@ -173,11 +168,6 @@ impl TimingCache {
     ///
     /// [`smart_units::SmartError::InvalidInput`] when the scheme's SPM is
     /// not heterogeneous (nothing is cached in that case).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache was poisoned by a panicking replay on another
-    /// thread.
     pub fn sweep(
         &self,
         scheme: &Scheme,
@@ -239,6 +229,7 @@ impl TimingCache {
                     .0
                     .get_or_init(|| Ok(report))
                     .clone()
+                    // lint:allow(panic_freedom, cell holds our own Ok or a racing report()'s Ok; Err cells are evicted before publication)
                     .expect("batched replay is infallible");
                 results[i] = Some(stored);
             }
@@ -271,6 +262,7 @@ impl TimingCache {
             results[i] = Some(result?);
         }
 
+        // lint:allow(panic_freedom, every index is filled by one of the three loops above or the fn returned Err)
         Ok(results.into_iter().map(|r| r.expect("filled")).collect())
     }
 
@@ -279,23 +271,20 @@ impl TimingCache {
     /// entries are replaced wholesale.
     pub(crate) fn load_warm_entries(
         &self,
-        entries: HashMap<u128, Arc<ModelTimingReport>>,
+        entries: BTreeMap<u128, Arc<ModelTimingReport>>,
     ) -> usize {
-        let mut warm = self.warm.lock().expect("timing warm store poisoned");
+        let mut warm = lock(&self.warm);
         *warm = entries;
         warm.len()
     }
 
     /// Every persistable entry: the warm tier plus all ready `Ok` cells
     /// (which shadow warm entries of the same key, though by construction
-    /// they are identical).
-    pub(crate) fn snapshot_entries(&self) -> HashMap<u128, Arc<ModelTimingReport>> {
-        let mut out = self
-            .warm
-            .lock()
-            .expect("timing warm store poisoned")
-            .clone();
-        let map = self.map.lock().expect("timing cache poisoned");
+    /// they are identical). Key-ordered, so serializing it in iteration
+    /// order yields deterministic store bytes.
+    pub(crate) fn snapshot_entries(&self) -> BTreeMap<u128, Arc<ModelTimingReport>> {
+        let mut out = lock(&self.warm).clone();
+        let map = lock(&self.map);
         for (key, cell) in map.iter() {
             if let Some(Ok(report)) = cell.get() {
                 out.insert(content_hash(key), Arc::clone(report));
@@ -305,16 +294,12 @@ impl TimingCache {
     }
 
     /// Current counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the map mutex was poisoned.
     #[must_use]
     pub fn stats(&self) -> TimingCacheStats {
         TimingCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("timing cache poisoned").len(),
+            entries: lock(&self.map).len(),
         }
     }
 }

@@ -28,8 +28,9 @@
 use crate::cache::TimingCache;
 use crate::report::{ModelTimingReport, TimingReport};
 use smart_units::codec::{ByteReader, ByteWriter, Store};
+use smart_units::sync::lock;
 use smart_units::Frequency;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -48,10 +49,7 @@ pub const FILE_NAME: &str = "timing-cache.bin";
 /// handful of short strings).
 fn intern(name: String) -> &'static str {
     static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
-    let mut names = NAMES
-        .get_or_init(|| Mutex::new(Vec::new()))
-        .lock()
-        .expect("intern table poisoned");
+    let mut names = lock(NAMES.get_or_init(|| Mutex::new(Vec::new())));
     if let Some(found) = names.iter().find(|n| **n == name) {
         return found;
     }
@@ -125,24 +123,23 @@ fn read_report(r: &mut ByteReader<'_>) -> Option<ModelTimingReport> {
 /// payload.
 #[must_use]
 pub fn to_bytes(cache: &TimingCache) -> Vec<u8> {
+    // Key-ordered map: iteration order is the deterministic file order.
     let entries = cache.snapshot_entries();
-    let mut keys: Vec<&u128> = entries.keys().collect();
-    keys.sort_unstable(); // deterministic file bytes
     let mut w = ByteWriter::new();
     w.u64(entries.len() as u64);
-    for key in keys {
+    for (key, report) in &entries {
         w.u128(*key);
-        write_report(&mut w, &entries[key]);
+        write_report(&mut w, report);
     }
     w.into_bytes()
 }
 
 /// Parses a store payload back into a warm-entry map; `None` on any
 /// truncation or malformed field (the caller falls back to cold).
-fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<ModelTimingReport>>> {
+fn from_bytes(payload: &[u8]) -> Option<BTreeMap<u128, Arc<ModelTimingReport>>> {
     let mut r = ByteReader::new(payload);
     let n = usize::try_from(r.u64()?).ok()?;
-    let mut entries = HashMap::with_capacity(n.min(4096));
+    let mut entries = BTreeMap::new();
     for _ in 0..n {
         let key = r.u128()?;
         entries.insert(key, Arc::new(read_report(&mut r)?));
@@ -157,9 +154,11 @@ fn from_bytes(payload: &[u8]) -> Option<HashMap<u128, Arc<ModelTimingReport>>> {
 ///
 /// # Errors
 ///
-/// Any underlying filesystem error.
-pub fn save(cache: &TimingCache, dir: &Path) -> std::io::Result<()> {
-    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))
+/// [`smart_units::SmartError::Store`] on any underlying filesystem
+/// failure.
+pub fn save(cache: &TimingCache, dir: &Path) -> smart_units::Result<()> {
+    Store::write_file(&dir.join(FILE_NAME), TAG, VERSION, to_bytes(cache))?;
+    Ok(())
 }
 
 /// Loads `dir/`[`FILE_NAME`] into `cache`'s warm tier; returns how many
@@ -237,6 +236,17 @@ mod tests {
             assert_eq!(load(&TimingCache::new(), &dir), 0, "corrupted at {i}");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_to_unwritable_dir_is_a_typed_error() {
+        let cache = TimingCache::new();
+        let err = save(&cache, Path::new("/proc/definitely/not/writable"))
+            .expect_err("must fail, not panic");
+        assert!(
+            matches!(err, smart_units::SmartError::Store { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -50,6 +50,8 @@
 //! this). The struct-of-arrays sweep kernel in [`crate::batch`] drives the
 //! same finish pass over many configs in lockstep.
 
+// lint:allow-file(index, replay indexes class and lane arrays sized by DataClass::ALL and the geometry)
+
 use crate::config::TimingConfig;
 use crate::report::TimingReport;
 use smart_compiler::schedule::{Location, Schedule};
@@ -531,6 +533,7 @@ impl LayerPrepass {
             pending.retain(|&(use_iter, ..)| use_iter > n as u32);
             let stall = start - prev_end;
             if stall > 0 {
+                // lint:allow(panic_freedom, a nonzero stall always records its source earlier in this loop)
                 let (class, is_load) = stall_source.expect("a stall has a source");
                 exposed[class_idx(class)] += stall;
                 if is_load {
@@ -609,6 +612,7 @@ impl LayerPrepass {
 
 /// Index of a class in [`DataClass::ALL`] (the exposed-stall array order).
 pub(crate) fn class_idx(c: DataClass) -> usize {
+    // lint:allow(panic_freedom, DataClass::ALL enumerates every variant)
     DataClass::ALL.iter().position(|&x| x == c).expect("class")
 }
 

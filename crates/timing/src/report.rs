@@ -13,6 +13,8 @@
 //! `overlap_fraction`, while the replay shows *which class's* prefetch,
 //! realignment, or spill was late.
 
+// lint:allow-file(index, class columns are indexed by positions found in DataClass::ALL)
+
 use smart_systolic::trace::DataClass;
 use smart_units::{Frequency, Time};
 
@@ -52,6 +54,7 @@ impl TimingReport {
         let idx = DataClass::ALL
             .iter()
             .position(|&c| c == class)
+            // lint:allow(panic_freedom, DataClass::ALL enumerates every variant)
             .expect("class in ALL");
         self.exposed_stall_cycles[idx]
     }

@@ -38,6 +38,14 @@ pub enum SmartError {
         /// What was wrong with the input.
         message: String,
     },
+    /// A persistent warm-start store could not be written (or, for the
+    /// rare caller that treats it as fatal, read). Load paths never
+    /// produce this: a missing/corrupt/mismatched store falls back to a
+    /// cold start by contract.
+    Store {
+        /// The underlying filesystem/serialization failure.
+        message: String,
+    },
 }
 
 impl SmartError {
@@ -72,6 +80,22 @@ impl SmartError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for [`SmartError::Store`].
+    #[must_use]
+    pub fn store(message: impl Into<String>) -> Self {
+        Self::Store {
+            message: message.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for SmartError {
+    /// Filesystem failures surface as [`SmartError::Store`]: the only I/O
+    /// the workspace performs is reading and writing warm-start stores.
+    fn from(e: std::io::Error) -> Self {
+        Self::store(e.to_string())
+    }
 }
 
 impl fmt::Display for SmartError {
@@ -81,6 +105,7 @@ impl fmt::Display for SmartError {
             Self::Unbounded { context } => write!(f, "unbounded objective: {context}"),
             Self::Simulation { message } => write!(f, "simulation failed: {message}"),
             Self::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            Self::Store { message } => write!(f, "store failed: {message}"),
         }
     }
 }
@@ -101,6 +126,16 @@ mod tests {
         assert!(e.to_string().starts_with("simulation failed"));
         let e = SmartError::invalid_input("prefetch window must be >= 1");
         assert!(e.to_string().starts_with("invalid input"));
+        let e = SmartError::store("disk full");
+        assert_eq!(e.to_string(), "store failed: disk full");
+    }
+
+    #[test]
+    fn io_errors_convert_to_store() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "read-only cache dir");
+        let e = SmartError::from(io);
+        assert!(matches!(e, SmartError::Store { .. }), "{e:?}");
+        assert!(e.to_string().contains("read-only cache dir"));
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   persistent warm-start caches serialize through,
 //! * [`rng`] — hand-rolled deterministic pseudo-random generation
 //!   (splitmix64 seeding + xorshift128+) for the serving-workload
-//!   generators.
+//!   generators,
+//! * [`sync`] — poison-proof locking for the single-insert memo maps
+//!   every cache layer guards (a panicked worker costs a memo entry,
+//!   never a cascading panic).
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@ pub mod codec;
 pub mod error;
 pub mod quantity;
 pub mod rng;
+pub mod sync;
 
 pub use error::{Result, SmartError};
 pub use quantity::{Area, Energy, Frequency, Length, Power, Time};
