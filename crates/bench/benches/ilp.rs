@@ -230,6 +230,30 @@ fn bench_timing_full_model_replay(c: &mut Criterion) {
     });
 }
 
+/// The same full-model replay with the observability hooks in their
+/// shipped-off state: the solver's span hooks behind a disabled tracer
+/// plus the no-op timeline derivation on the finished report. CI gates
+/// the ratio of this id over `timing_full_model_replay` at <= 1.03
+/// (`bench_check --ratio-of/--ratio-to/--max-ratio`), pinning the
+/// "tracing disabled is free" claim with a machine-independent number.
+fn bench_timing_replay_traced_off(c: &mut Criterion) {
+    use smart_timing::{simulate_scheme, trace_model_replay, TimingConfig};
+    use smart_trace::Tracer;
+
+    let model = ModelId::AlexNet.build();
+    let scheme = Scheme::smart();
+    let cfg = TimingConfig::nominal();
+    let tracer = Tracer::disabled();
+    c.bench_function("timing_full_model_replay_traced_off", |b| {
+        b.iter(|| {
+            let report =
+                simulate_scheme(black_box(&scheme), black_box(&model), &cfg).expect("simulates");
+            trace_model_replay(&report, black_box(&tracer), "replay/alexnet");
+            report
+        })
+    });
+}
+
 /// A 16-point RANDOM-bandwidth sweep of AlexNet on SMART, three ways:
 ///
 /// * `per_point_16pt` — one full `simulate_scheme` (ILP compile + replay)
@@ -451,6 +475,7 @@ criterion_group!(
     bench_josim_ptl_adaptive,
     bench_timing_vgg_layer_replay,
     bench_timing_full_model_replay,
+    bench_timing_replay_traced_off,
     bench_timing_sweep,
     bench_cold_vs_warm_process,
     bench_search_cold,

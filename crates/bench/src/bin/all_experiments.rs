@@ -83,17 +83,25 @@ fn main() -> ExitCode {
         }
     }
 
+    if !cli::emit_observability(&args, &ctx) {
+        return ExitCode::FAILURE;
+    }
+
     if args.check {
         if !cli::check_tables(&tables) {
             return ExitCode::FAILURE;
         }
-        let stats = ctx.cache.stats();
+        // Counts come from the unified metrics snapshot — the same
+        // numbers `--metrics` dumps. Single-flight waiters (coalesced)
+        // count as hits here so the line stays deterministic across
+        // worker interleavings.
+        let snap = ctx.metrics_snapshot();
         eprintln!(
             "check ok: {} tables finite; eval cache {} entries, {} hits / {} misses",
             tables.len(),
-            stats.entries,
-            stats.hits,
-            stats.misses
+            snap.gauge("eval_cache.entries").unwrap_or(0),
+            snap.counter("eval_cache.hits") + snap.counter("eval_cache.coalesced"),
+            snap.counter("eval_cache.misses")
         );
     }
     ExitCode::SUCCESS

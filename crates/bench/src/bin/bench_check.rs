@@ -41,6 +41,21 @@ const SPEC: CliSpec = CliSpec {
             value: Some("R"),
             help: "fail when current > baseline * (1 + R) (default 0.25)",
         },
+        ExtraFlag {
+            flag: "--ratio-of",
+            value: Some("ID"),
+            help: "ratio gate numerator: a benchmark id in the current file",
+        },
+        ExtraFlag {
+            flag: "--ratio-to",
+            value: Some("ID"),
+            help: "ratio gate denominator: a benchmark id in the current file",
+        },
+        ExtraFlag {
+            flag: "--max-ratio",
+            value: Some("R"),
+            help: "fail when current(--ratio-of) > R * current(--ratio-to)",
+        },
     ],
     positional: None,
 };
@@ -151,7 +166,39 @@ fn main() -> ExitCode {
             eprintln!("~ {id}: in current only (add to the committed baseline)");
         }
     }
-    if compared == 0 {
+
+    // The ratio gate compares two ids of the *current* file against each
+    // other — a machine-independent relative claim (e.g. "the disabled
+    // tracing hooks cost <= 3% on the replay path"), unlike the absolute
+    // baseline comparison above.
+    let ratio_requested =
+        args.value_of("--ratio-of").is_some() || args.value_of("--ratio-to").is_some();
+    if ratio_requested {
+        let (Some(of_id), Some(to_id)) = (args.value_of("--ratio-of"), args.value_of("--ratio-to"))
+        else {
+            eprintln!("--ratio-of and --ratio-to must be given together");
+            return ExitCode::FAILURE;
+        };
+        let max_ratio = match parse_non_negative("--max-ratio", args.value_of("--max-ratio")) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e} (required with --ratio-of)");
+                return ExitCode::FAILURE;
+            }
+        };
+        let lookup = |id: &str| current.iter().find(|(cid, _)| cid == id).map(|(_, v)| *v);
+        let (Some(of), Some(to)) = (lookup(of_id), lookup(to_id)) else {
+            eprintln!("ratio gate: `{of_id}` or `{to_id}` missing from {current_path}");
+            return ExitCode::FAILURE;
+        };
+        let ratio = of / to.max(1e-9);
+        println!("ratio  {of_id} / {to_id} = {ratio:.3} (max {max_ratio:.3})");
+        if ratio > max_ratio {
+            eprintln!("ratio gate failed: {ratio:.3} > {max_ratio:.3}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if compared == 0 && !ratio_requested {
         eprintln!("no benchmarks matched the gate filters {filters:?}");
         return ExitCode::FAILURE;
     }

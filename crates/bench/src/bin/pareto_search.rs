@@ -18,7 +18,7 @@
 //! frontier ⊆ survivors, no dominated frontier point, and a sequential
 //! `--jobs 1` rerun producing the identical outcome).
 
-use smart_bench::cli::{CliSpec, ExtraFlag, Format};
+use smart_bench::cli::{self, CliSpec, ExtraFlag, Format};
 use smart_bench::frontier_table;
 use smart_search::{dominates, search, SearchConfig, SearchOutcome, SearchSpace};
 use std::process::ExitCode;
@@ -123,20 +123,24 @@ fn main() -> ExitCode {
     let s = out.stats;
     // Wall-clock timing is observability, not a result: it goes to stderr
     // in every format, and deliberately never into the stdout JSON (which
-    // must stay deterministic for diffing and snapshotting).
+    // must stay deterministic for diffing and snapshotting). Cache and
+    // solver counts come from the unified metrics snapshot (the numbers
+    // `--metrics` dumps), with single-flight waiters folded into hits so
+    // the line is stable across worker interleavings.
+    let snap = ctx.metrics_snapshot();
     eprintln!(
         "{} configs in {:.2}s ({:.0} configs/s); eval {}h/{}m, replay {}h/{}m, \
          solver {} warm / {} memo / {} cold",
         s.space,
         elapsed,
         s.space as f64 / elapsed.max(1e-9),
-        s.eval_hits,
-        s.eval_misses,
-        s.timing_hits,
-        s.timing_misses,
-        s.warm_hits,
-        s.solution_hits,
-        s.cold_solves,
+        snap.counter("eval_cache.hits") + snap.counter("eval_cache.coalesced"),
+        snap.counter("eval_cache.misses"),
+        snap.counter("timing_cache.hits") + snap.counter("timing_cache.coalesced"),
+        snap.counter("timing_cache.misses"),
+        snap.counter("ilp.warm_hits"),
+        snap.counter("ilp.solution_hits"),
+        snap.counter("ilp.cold_solves"),
     );
     match args.format {
         Format::Json => {
@@ -174,6 +178,10 @@ fn main() -> ExitCode {
         Format::Text => {
             print!("{table}");
         }
+    }
+
+    if !cli::emit_observability(&args, &ctx) {
+        return ExitCode::FAILURE;
     }
 
     if args.check {

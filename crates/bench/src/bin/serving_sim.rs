@@ -9,7 +9,9 @@
 use smart_bench::cli::{self, parse_non_negative, parse_positive, CliSpec, ExtraFlag};
 use smart_core::scheme::Scheme;
 use smart_report::{ColumnSpec, ResultTable, Unit, Value};
-use smart_serving::{simulate, ArrivalModel, ServingConfig, Tenant, TenantProfile, Workload};
+use smart_serving::{
+    simulate_traced, ArrivalModel, ServingConfig, Tenant, TenantProfile, Workload,
+};
 use smart_systolic::models::ModelId;
 use smart_timing::TimingConfig;
 use std::process::ExitCode;
@@ -249,7 +251,14 @@ fn main() -> ExitCode {
         );
     }
 
-    let report = simulate(&profs, &workload, requests, &config);
+    let report = simulate_traced(
+        &profs,
+        &workload,
+        requests,
+        &config,
+        &ctx.tracer,
+        "serving/",
+    );
 
     let mut t = ResultTable::new(
         "serving_sim",
@@ -306,6 +315,9 @@ fn main() -> ExitCode {
     cli::print_table(&t, args.format);
     if let Some(dir) = args.cache_dir.as_deref() {
         ctx.save_caches_or_warn(dir);
+    }
+    if !cli::emit_observability(&args, &ctx) {
+        return ExitCode::FAILURE;
     }
     if args.check && !cli::check_tables(std::slice::from_ref(&t)) {
         return ExitCode::FAILURE;

@@ -79,6 +79,10 @@ pub struct Args {
     pub list: bool,
     /// Every `--filter` value, in order.
     pub filters: Vec<String>,
+    /// `--trace-out FILE`: write a Chrome trace of the run to FILE.
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics`: print the unified metrics snapshot to stderr.
+    pub metrics: bool,
     /// Extra flags seen, in order, with their values.
     pub extras: Vec<(String, Option<String>)>,
     /// Positional arguments, in order.
@@ -103,11 +107,20 @@ impl Args {
     }
 
     /// An [`ExperimentContext`] honoring `--jobs` (default: available
-    /// parallelism).
+    /// parallelism), with span recording enabled when `--trace-out` was
+    /// given and wall-clock profiling when `--metrics` was.
     #[must_use]
     pub fn context(&self) -> ExperimentContext {
-        self.jobs
-            .map_or_else(ExperimentContext::default, ExperimentContext::new)
+        let mut ctx = self
+            .jobs
+            .map_or_else(ExperimentContext::default, ExperimentContext::new);
+        if self.trace_out.is_some() {
+            ctx = ctx.with_tracer(smart_trace::Tracer::enabled());
+        }
+        if self.metrics {
+            ctx = ctx.with_wall_profile();
+        }
+        ctx
     }
 }
 
@@ -183,6 +196,16 @@ const STANDARD_FLAGS: &[ExtraFlag] = &[
         flag: "--filter",
         value: Some("TAG"),
         help: "select experiments by group tag or name substring (repeatable)",
+    },
+    ExtraFlag {
+        flag: "--trace-out",
+        value: Some("FILE"),
+        help: "write a deterministic Chrome trace of the run to FILE",
+    },
+    ExtraFlag {
+        flag: "--metrics",
+        value: None,
+        help: "print the unified metrics snapshot to stderr after running",
     },
     ExtraFlag {
         flag: "--help",
@@ -276,6 +299,14 @@ impl CliSpec {
                         it.next().map(String::as_str),
                     )?);
                 }
+                "--trace-out" => {
+                    args.trace_out = Some(PathBuf::from(require_value(
+                        "--trace-out",
+                        "file path",
+                        it.next().map(String::as_str),
+                    )?));
+                }
+                "--metrics" => args.metrics = true,
                 other => {
                     if let Some(extra) = self.extras.iter().find(|f| f.flag == other) {
                         let value = match extra.value {
@@ -357,6 +388,41 @@ pub fn print_table(table: &ResultTable, format: Format) {
     }
 }
 
+/// Emits the observability outputs of a finished run, shared by every
+/// binary: writes the Chrome trace when `--trace-out FILE` was given
+/// (validated before writing, so a malformed span tree fails loudly
+/// instead of producing a file Perfetto rejects) and prints the unified
+/// metrics snapshot plus the wall-clock profile on stderr when
+/// `--metrics` was. Returns whether everything requested succeeded.
+pub fn emit_observability(args: &Args, ctx: &ExperimentContext) -> bool {
+    let mut ok = true;
+    if let Some(path) = &args.trace_out {
+        match smart_trace::chrome::export(&ctx.tracer) {
+            Ok(json) => match std::fs::write(path, json) {
+                Ok(()) => eprintln!(
+                    "trace-out: {} events in {} lanes -> {}",
+                    ctx.tracer.event_count(),
+                    ctx.tracer.lanes().len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("trace-out: writing {} failed: {e}", path.display());
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("trace-out: invalid trace: {e}");
+                ok = false;
+            }
+        }
+    }
+    if args.metrics {
+        eprint!("{}", ctx.metrics_snapshot().to_text());
+        eprint!("{}", ctx.wall.to_text("wall"));
+    }
+    ok
+}
+
 /// The non-finite-cell gate behind every binary's `--check`: reports
 /// each offending cell on stderr, returns whether all cells were finite.
 pub fn check_tables(tables: &[ResultTable]) -> bool {
@@ -408,9 +474,15 @@ pub fn run_single(name: &str, about: &'static str) -> ExitCode {
     }
 
     let ctx = args.context();
-    let table = crate::run_cached(descriptor.run, &ctx, args.cache_dir.as_deref());
+    let table = ctx.wall.time(descriptor.name, || {
+        crate::run_cached(descriptor.run, &ctx, args.cache_dir.as_deref())
+    });
     print_table(&table, args.format);
+    let emitted = emit_observability(&args, &ctx);
     if args.check && !check_tables(std::slice::from_ref(&table)) {
+        return ExitCode::FAILURE;
+    }
+    if !emitted {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -996,6 +996,11 @@ pub fn timing_stall_breakdown(ctx: &ExperimentContext) -> ResultTable {
         vec![ModelId::Vgg16, ModelId::ResNet50],
     );
     let replays = scenario.run(ctx.jobs, |&id| (id, timing_replay(ctx, id, &cfg)));
+    // Under --trace-out, derive each replay's per-layer timeline (one
+    // lane per model, on the virtual replay-cycle clock).
+    for (id, rep) in &replays {
+        smart_timing::trace_model_replay(rep, &ctx.tracer, &format!("replay/{}", id.name()));
+    }
 
     let mut t = ResultTable::new(
         "timing_stall_breakdown",

@@ -54,6 +54,9 @@ use smart_josim::cache::CircuitCache;
 use smart_report::{parallel_map, ResultTable};
 use smart_systolic::models::ModelId;
 use smart_timing::TimingCache;
+use smart_trace::metrics::{MetricsRegistry, MetricsSnapshot};
+use smart_trace::wall::WallProfile;
+use smart_trace::Tracer;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -100,6 +103,16 @@ pub struct ExperimentContext {
     /// the budget between the experiment level and the per-experiment
     /// level so total concurrency stays ~`jobs`, not `jobs^2`.
     pub jobs: usize,
+    /// Span recorder for `--trace-out`: disabled (free) by default;
+    /// clones share the same buffer, so experiments running on worker
+    /// threads all land in one trace.
+    pub tracer: Tracer,
+    /// Wall-clock profile for the `--metrics` per-experiment stderr
+    /// tree. Strictly stderr reporting; never feeds deterministic output.
+    pub wall: Arc<WallProfile>,
+    /// Run-level gauges (warm entries loaded per store) merged into
+    /// [`ExperimentContext::metrics_snapshot`].
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl ExperimentContext {
@@ -112,6 +125,9 @@ impl ExperimentContext {
             circuits: Arc::new(CircuitCache::new()),
             timing: Arc::new(TimingCache::new()),
             jobs: jobs.max(1),
+            tracer: Tracer::disabled(),
+            wall: Arc::new(WallProfile::disabled()),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -132,7 +148,72 @@ impl ExperimentContext {
             circuits: Arc::clone(&self.circuits),
             timing: Arc::clone(&self.timing),
             jobs: jobs.max(1),
+            tracer: self.tracer.clone(),
+            wall: Arc::clone(&self.wall),
+            metrics: Arc::clone(&self.metrics),
         }
+    }
+
+    /// This context with span recording switched to `tracer` (clones
+    /// share one buffer). Also hands the tracer to the shared ILP solver
+    /// context so branch-and-bound emits its pivot spans into the same
+    /// trace.
+    #[must_use]
+    pub fn with_tracer(self, tracer: Tracer) -> Self {
+        self.timing.solver().set_tracer(tracer.clone());
+        Self { tracer, ..self }
+    }
+
+    /// This context with wall-clock profiling enabled (the `--metrics`
+    /// per-experiment stderr tree).
+    #[must_use]
+    pub fn with_wall_profile(self) -> Self {
+        Self {
+            wall: Arc::new(WallProfile::enabled()),
+            ..self
+        }
+    }
+
+    /// The unified metrics snapshot of this run: every live cache and
+    /// solver counter poured into one deterministically ordered
+    /// [`MetricsSnapshot`] under dotted names, merged with the run-level
+    /// gauges recorded in [`ExperimentContext::metrics`] (warm entries
+    /// loaded). Hit counts are reported per kind — `*.hits` for callers
+    /// that found a ready entry, `*.coalesced` for single-flight waiters
+    /// that piggybacked on an in-flight computation.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        let eval = self.cache.stats();
+        reg.add("eval_cache.hits", eval.hits);
+        reg.add("eval_cache.misses", eval.misses);
+        reg.add("eval_cache.coalesced", eval.coalesced);
+        reg.set_gauge("eval_cache.entries", eval.entries as u64);
+        let circ = self.circuits.stats();
+        reg.add("circuit_cache.hits", circ.hits);
+        reg.add("circuit_cache.misses", circ.misses);
+        reg.add("circuit_cache.coalesced", circ.coalesced);
+        reg.set_gauge("circuit_cache.entries", circ.entries as u64);
+        let timing = self.timing.stats();
+        reg.add("timing_cache.hits", timing.hits);
+        reg.add("timing_cache.misses", timing.misses);
+        reg.add("timing_cache.coalesced", timing.coalesced);
+        reg.set_gauge("timing_cache.entries", timing.entries as u64);
+        let solver = self.timing.solver().stats();
+        reg.add("ilp.warm_attempts", solver.warm_attempts);
+        reg.add("ilp.warm_hits", solver.warm_hits);
+        reg.add("ilp.cold_solves", solver.cold_solves);
+        reg.add("ilp.solution_hits", solver.solution_hits);
+        reg.add("ilp.pivots", solver.pivots);
+        reg.add("ilp.refactorizations", solver.refactorizations);
+        reg.add("ilp.nodes", solver.nodes);
+        reg.set_gauge("ilp.stored_bases", solver.stored_bases as u64);
+        reg.set_gauge("ilp.stored_solutions", solver.stored_solutions as u64);
+        let mut snap = reg.snapshot();
+        let stored = self.metrics.snapshot();
+        snap.counters.extend(stored.counters);
+        snap.gauges.extend(stored.gauges);
+        snap
     }
 
     /// Warms every cache from the persisted stores in `dir` (the
@@ -142,26 +223,36 @@ impl ExperimentContext {
     /// Warm entries are bit-exact — a warm run's output is byte-identical
     /// to the cold run that wrote the stores.
     pub fn load_caches(&self, dir: &Path) -> CacheLoadSummary {
-        CacheLoadSummary {
+        let warm = CacheLoadSummary {
             eval: smart_core::cache::load(&self.cache, dir),
             circuits: smart_josim::cache::load(&self.circuits, dir),
             timing: smart_timing::persist::load(&self.timing, dir),
             bases: self.timing.solver().load_from(dir),
-        }
+        };
+        self.metrics.set_gauge("warm.eval", warm.eval as u64);
+        self.metrics
+            .set_gauge("warm.circuits", warm.circuits as u64);
+        self.metrics.set_gauge("warm.timing", warm.timing as u64);
+        self.metrics.set_gauge("warm.bases", warm.bases as u64);
+        warm
     }
 
     /// [`ExperimentContext::load_caches`] plus the canonical stderr
     /// summary line every binary prints for `--cache-dir` (one
-    /// implementation, so the wording cannot drift).
+    /// implementation, so the wording cannot drift). The printed counts
+    /// come back out of the metrics registry the load just recorded, so
+    /// this line and the `--metrics` dump cannot disagree.
     pub fn load_caches_verbose(&self, dir: &Path) -> CacheLoadSummary {
         let warm = self.load_caches(dir);
+        let snap = self.metrics.snapshot();
+        let of = |name: &str| snap.gauge(name).unwrap_or(0);
         eprintln!(
             "cache-dir: {} warm entries loaded ({} eval, {} circuit, {} timing, {} bases)",
-            warm.total(),
-            warm.eval,
-            warm.circuits,
-            warm.timing,
-            warm.bases
+            of("warm.eval") + of("warm.circuits") + of("warm.timing") + of("warm.bases"),
+            of("warm.eval"),
+            of("warm.circuits"),
+            of("warm.timing"),
+            of("warm.bases")
         );
         warm
     }
@@ -262,7 +353,9 @@ pub fn run_experiments(names: &[&str], ctx: &ExperimentContext) -> Vec<ResultTab
         .collect();
     let outer = ctx.jobs.min(selected.len()).max(1);
     let inner = ctx.with_jobs(ctx.jobs / outer);
-    parallel_map(outer, &selected, |d| (d.run)(&inner))
+    parallel_map(outer, &selected, |d| {
+        ctx.wall.time(d.name, || (d.run)(&inner))
+    })
 }
 
 /// Convenience wrapper for evaluating one scheme on one model.

@@ -22,7 +22,9 @@
 use crate::ExperimentContext;
 use smart_core::scheme::Scheme;
 use smart_report::{parallel_map, ColumnSpec, ResultTable, Unit, Value};
-use smart_serving::{simulate, ArrivalModel, ServingConfig, Tenant, TenantProfile, Workload};
+use smart_serving::{
+    simulate_traced, ArrivalModel, ServingConfig, Tenant, TenantProfile, Workload,
+};
 use smart_systolic::models::ModelId;
 use smart_timing::TimingConfig;
 
@@ -121,11 +123,19 @@ pub fn serving_saturation(ctx: &ExperimentContext) -> ResultTable {
         .collect();
     let reports = parallel_map(ctx.jobs, &points, |&(l, s)| {
         let w = Workload::poisson(tenants.clone(), loads[l] * capacities[s], 42);
-        simulate(
+        // One lane group per sweep point: the point has a single writer,
+        // so its lanes are deterministic at any --jobs.
+        let prefix = format!(
+            "serving_saturation/{} load {:.1}/",
+            schemes[s].name, loads[l]
+        );
+        simulate_traced(
             &profs[s],
             &w,
             N,
             &ServingConfig::fcfs().with_slo(slo.clone()),
+            &ctx.tracer,
+            &prefix,
         )
     });
 
@@ -185,13 +195,16 @@ pub fn serving_batch_tail(ctx: &ExperimentContext) -> ResultTable {
 
     let reports = parallel_map(ctx.jobs, &policies, |&(batch, wus)| {
         let w = Workload::poisson(tenants.clone(), rate, 42);
-        simulate(
+        let prefix = format!("serving_batch_tail/batch {batch} window {wus}us/");
+        simulate_traced(
             &profs,
             &w,
             N,
             &ServingConfig::fcfs()
                 .with_batching(batch, window_us(wus))
                 .with_slo(slo.clone()),
+            &ctx.tracer,
+            &prefix,
         )
     });
 
@@ -283,7 +296,15 @@ pub fn serving_tenant_mix(ctx: &ExperimentContext) -> ResultTable {
             rate_rps: rate,
             seed: 42,
         };
-        simulate(&profs, &w, N, &ServingConfig::fcfs().with_slo(slo))
+        let prefix = format!("serving_tenant_mix/{} {}/", mixes[m].0, schemes[s].name);
+        simulate_traced(
+            &profs,
+            &w,
+            N,
+            &ServingConfig::fcfs().with_slo(slo),
+            &ctx.tracer,
+            &prefix,
+        )
     });
 
     for (m, (name, _, _)) in mixes.iter().enumerate() {
@@ -355,18 +376,33 @@ mod tests {
 
     #[test]
     fn sweeps_pay_one_prepass_per_scheme_model_pair() {
+        // Asserted through the unified metrics snapshot — the same
+        // counters `--metrics` dumps — so this test and the stderr
+        // reports cannot diverge. Hits are `hits + coalesced`: which
+        // concurrent requester wins the miss is timing-dependent, the
+        // sum is not.
         let ctx = ExperimentContext::new(2);
         let _ = serving_saturation(&ctx);
-        let after_saturation = ctx.timing.stats();
+        let after_saturation = ctx.metrics_snapshot();
         // 3 schemes x 2 models; reference_slo's Heter rebuild and every
         // sweep point are hits.
-        assert_eq!(after_saturation.misses, 6);
-        assert!(after_saturation.hits > 0);
+        assert_eq!(after_saturation.counter("timing_cache.misses"), 6);
+        let warm_after_saturation = after_saturation.counter("timing_cache.hits")
+            + after_saturation.counter("timing_cache.coalesced");
+        assert!(warm_after_saturation > 0);
 
         let _ = serving_batch_tail(&ctx);
-        let after_batch = ctx.timing.stats();
-        assert_eq!(after_batch.misses, 6, "batch_tail reuses the prepasses");
-        assert!(after_batch.hits > after_saturation.hits);
+        let after_batch = ctx.metrics_snapshot();
+        assert_eq!(
+            after_batch.counter("timing_cache.misses"),
+            6,
+            "batch_tail reuses the prepasses"
+        );
+        assert!(
+            after_batch.counter("timing_cache.hits")
+                + after_batch.counter("timing_cache.coalesced")
+                > warm_after_saturation
+        );
     }
 
     #[test]

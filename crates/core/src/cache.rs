@@ -41,11 +41,16 @@ type Slot = Arc<OnceLock<Arc<InferenceReport>>>;
 /// Hit/miss/size counters of an [`EvalCache`] (for reporting and tuning).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served without running the evaluator (an exact-map or
-    /// warm-store entry, or another thread's in-flight evaluation).
+    /// Lookups served from a ready entry (an exact-map or warm-store
+    /// result already stored when the lookup arrived).
     pub hits: u64,
     /// Lookups that ran the evaluator.
     pub misses: u64,
+    /// Lookups that blocked on another thread's in-flight evaluation of
+    /// the same key and shared its result. The hit/coalesced split
+    /// depends on thread timing; `hits + coalesced` is the deterministic
+    /// count of lookups served without running the evaluator.
+    pub coalesced: u64,
     /// Distinct `(Scheme, ModelId, batch)` points stored.
     pub entries: usize,
 }
@@ -66,6 +71,7 @@ pub struct EvalCache {
     warm: Mutex<BTreeMap<u128, Arc<InferenceReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl EvalCache {
@@ -94,6 +100,14 @@ impl EvalCache {
             let mut map = lock(&self.map);
             Arc::clone(map.entry(key).or_default())
         };
+        // Probe before entering the single-flight cell: a ready result is
+        // a plain hit; a lookup that reaches `get_or_init` without
+        // running the closure waited on another thread's in-flight
+        // evaluation and is counted separately as coalesced.
+        if let Some(found) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
         let mut ran = false;
         let report = Arc::clone(cell.get_or_init(|| {
             ran = true;
@@ -106,7 +120,7 @@ impl EvalCache {
             Arc::new(evaluate(scheme, &model.build(), batch))
         }));
         if !ran {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
         }
         report
     }
@@ -138,6 +152,7 @@ impl EvalCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: lock(&self.map).len(),
         }
     }
@@ -345,8 +360,48 @@ mod tests {
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "exactly one evaluation ran: {stats:?}");
-        assert_eq!(stats.hits, 3);
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            3,
+            "the other three lookups were served either from the ready \
+             cell or by waiting on the in-flight one: {stats:?}"
+        );
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn waiter_on_an_in_flight_evaluation_counts_as_coalesced() {
+        // Pin the hit/coalesced distinction: a lookup that arrives while
+        // another thread is *inside* the evaluator must count as
+        // coalesced, not as a plain hit. The barrier guarantees the owner
+        // is inside `get_or_init` before the waiter starts, and the sleep
+        // keeps it there while the waiter's probe misses.
+        let cache = EvalCache::new();
+        let scheme = Scheme::smart();
+        let key = (scheme.clone(), ModelId::AlexNet, 1u32);
+        let cell = {
+            let mut map = lock(&cache.map);
+            Arc::clone(map.entry(key).or_default())
+        };
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cell.get_or_init(|| {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    Arc::new(evaluate(&scheme, &ModelId::AlexNet.build(), 1))
+                });
+            });
+            barrier.wait();
+            let report = cache.report(&scheme, ModelId::AlexNet, 1);
+            assert!(report.total_time.as_s() > 0.0);
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.coalesced),
+            (0, 0, 1),
+            "{stats:?}"
+        );
     }
 
     #[test]

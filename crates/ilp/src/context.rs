@@ -31,6 +31,7 @@
 use crate::problem::Problem;
 use crate::revised::{Basis, Status};
 use crate::solver::MipSolution;
+use smart_trace::Tracer;
 use smart_units::codec::content_hash;
 use smart_units::codec::{ByteReader, ByteWriter, Store};
 use smart_units::sync::lock;
@@ -58,6 +59,12 @@ pub struct SolverContextStats {
     pub solution_hits: u64,
     /// Distinct exact problems with a memoized solution.
     pub stored_solutions: usize,
+    /// Simplex pivots across every solve (both phases, all nodes).
+    pub pivots: u64,
+    /// Basis-inverse refactorizations across every solve.
+    pub refactorizations: u64,
+    /// Branch & bound nodes explored across every solve.
+    pub nodes: u64,
 }
 
 /// Shared warm-start state threaded through
@@ -73,6 +80,12 @@ pub struct SolverContext {
     warm_hits: AtomicU64,
     cold_solves: AtomicU64,
     solution_hits: AtomicU64,
+    pivots: AtomicU64,
+    refactorizations: AtomicU64,
+    nodes: AtomicU64,
+    /// Span sink for per-node solver instrumentation; disabled (free)
+    /// unless a driver installs an enabled tracer.
+    tracer: Mutex<Tracer>,
 }
 
 impl SolverContext {
@@ -92,7 +105,31 @@ impl SolverContext {
             stored_bases: lock(&self.bases).len(),
             solution_hits: self.solution_hits.load(Ordering::Relaxed),
             stored_solutions: lock(&self.solutions).len(),
+            pivots: self.pivots.load(Ordering::Relaxed),
+            refactorizations: self.refactorizations.load(Ordering::Relaxed),
+            nodes: self.nodes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Installs a span sink: every subsequent solve through this context
+    /// records its branch & bound nodes as pivot-time spans on a
+    /// per-problem lane. The default sink is disabled and free.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *lock(&self.tracer) = tracer;
+    }
+
+    /// The installed span sink (cheap clone of a shared buffer handle).
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        lock(&self.tracer).clone()
+    }
+
+    /// Folds one finished search's work counters into the context.
+    pub(crate) fn note_search(&self, pivots: u64, refactorizations: u64, nodes: u64) {
+        self.pivots.fetch_add(pivots, Ordering::Relaxed);
+        self.refactorizations
+            .fetch_add(refactorizations, Ordering::Relaxed);
+        self.nodes.fetch_add(nodes, Ordering::Relaxed);
     }
 
     pub(crate) fn lookup(&self, fp: u64) -> Option<Arc<Basis>> {

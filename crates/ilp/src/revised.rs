@@ -232,6 +232,10 @@ pub(crate) struct SolveTrace {
     /// A warm start (live or stored basis) was actually used — no cold
     /// fallback.
     pub warm_used: bool,
+    /// Simplex pivots this solve performed (both phases).
+    pub pivots: u64,
+    /// Basis-inverse refactorizations this solve performed.
+    pub refactorizations: u64,
 }
 
 /// One-shot relaxation solve used by the public `solve_relaxation` API and
@@ -293,6 +297,10 @@ pub(crate) struct Lp<'a> {
     /// Values of the basic variables, by row.
     xb: Vec<f64>,
     pivots: usize,
+    /// Lifetime pivot / refactorization tallies (never reset; solve entry
+    /// points report per-solve deltas through [`SolveTrace`]).
+    total_pivots: u64,
+    total_refactors: u64,
     /// The workspace holds a clean optimal basis (no artificials basic)
     /// from the previous solve, usable via [`Warm::Live`].
     live_ok: bool,
@@ -320,6 +328,8 @@ impl<'a> Lp<'a> {
             binv: vec![0.0; m * m],
             xb: vec![0.0; m],
             pivots: 0,
+            total_pivots: 0,
+            total_refactors: 0,
             live_ok: false,
             scratch_y: vec![0.0; m],
             scratch_w: vec![0.0; m],
@@ -388,8 +398,23 @@ impl<'a> Lp<'a> {
     }
 
     /// Shared solve body; assumes `self.lo`/`self.up` are set and no
-    /// artificial columns remain.
+    /// artificial columns remain. Reports this solve's pivot and
+    /// refactorization work as deltas of the lifetime tallies.
     fn solve_prepared(
+        &mut self,
+        p: &Problem,
+        warm: Warm,
+        trace: &mut SolveTrace,
+        want_basis: bool,
+    ) -> SolveOutcome {
+        let (pivots_before, refactors_before) = (self.total_pivots, self.total_refactors);
+        let outcome = self.solve_prepared_inner(p, warm, trace, want_basis);
+        trace.pivots = self.total_pivots - pivots_before;
+        trace.refactorizations = self.total_refactors - refactors_before;
+        outcome
+    }
+
+    fn solve_prepared_inner(
         &mut self,
         p: &Problem,
         warm: Warm,
@@ -568,6 +593,7 @@ impl<'a> Lp<'a> {
             }
         }
         self.pivots = 0;
+        self.total_refactors += 1;
         true
     }
 
@@ -587,6 +613,7 @@ impl<'a> Lp<'a> {
             }
         }
         self.pivots += 1;
+        self.total_pivots += 1;
     }
 
     fn maybe_refactor(&mut self) {

@@ -286,6 +286,17 @@ impl Solver {
                 };
             }
         }
+        // Per-solve trace lane, keyed by the solution memo key so
+        // concurrent solves of distinct problems never interleave on one
+        // lane. Virtual time is cumulative simplex pivots within this
+        // solve; memo-hit replays above emit nothing (no pivots spent).
+        let lane = match (ctx.map(|c| c.tracer()), memo_key) {
+            (Some(t), Some(k)) if t.is_enabled() => Some(t.lane(&format!("ilp/{k:032x}"))),
+            _ => None,
+        };
+        if let Some(l) = &lane {
+            l.begin("solve", 0);
+        }
         let granularity = objective_granularity(problem);
         // Pruning margin: a node whose bound cannot beat the incumbent by
         // at least one objective quantum (minus float slack) holds nothing
@@ -337,6 +348,11 @@ impl Solver {
                 c.note_cold();
             }
         }
+        let mut pivots_total = trace.pivots;
+        let mut refactors_total = trace.refactorizations;
+        if let Some(l) = &lane {
+            l.span("root relaxation", 0, pivots_total);
+        }
         let (root_values, root_objective, root_basis) = match root_outcome {
             SolveOutcome::Optimal {
                 values,
@@ -344,6 +360,12 @@ impl Solver {
                 basis,
             } => (values, objective, basis),
             SolveOutcome::Infeasible => {
+                if let Some(c) = ctx {
+                    c.note_search(pivots_total, refactors_total, 0);
+                }
+                if let Some(l) = &lane {
+                    l.end("solve", pivots_total);
+                }
                 // A validated seed proves feasibility; trust it over a
                 // numerically confused relaxation.
                 return match incumbent {
@@ -351,7 +373,15 @@ impl Solver {
                     None => MipResult::Infeasible,
                 };
             }
-            SolveOutcome::Unbounded => return MipResult::Unbounded,
+            SolveOutcome::Unbounded => {
+                if let Some(c) = ctx {
+                    c.note_search(pivots_total, refactors_total, 0);
+                }
+                if let Some(l) = &lane {
+                    l.end("solve", pivots_total);
+                }
+                return MipResult::Unbounded;
+            }
         };
         let root_arc = root_basis.map(Arc::new);
         if let (Some(c), Some(f), Some(b)) = (ctx, fp, root_arc.clone()) {
@@ -440,14 +470,28 @@ impl Solver {
                 Warm::Cold
             };
             let mut trace = SolveTrace::default();
-            let (values, objective) =
-                match lp.solve_pinned(problem, &fixed, &node.pins, warm, &mut trace, false) {
-                    SolveOutcome::Optimal {
-                        values, objective, ..
-                    } => (values, objective),
-                    SolveOutcome::Infeasible => continue,
-                    SolveOutcome::Unbounded => return MipResult::Unbounded,
-                };
+            let node_t0 = pivots_total;
+            let outcome = lp.solve_pinned(problem, &fixed, &node.pins, warm, &mut trace, false);
+            pivots_total += trace.pivots;
+            refactors_total += trace.refactorizations;
+            if let Some(l) = &lane {
+                l.span(&format!("node {nodes}"), node_t0, pivots_total);
+            }
+            let (values, objective) = match outcome {
+                SolveOutcome::Optimal {
+                    values, objective, ..
+                } => (values, objective),
+                SolveOutcome::Infeasible => continue,
+                SolveOutcome::Unbounded => {
+                    if let Some(c) = ctx {
+                        c.note_search(pivots_total, refactors_total, nodes as u64);
+                    }
+                    if let Some(l) = &lane {
+                        l.end("solve", pivots_total);
+                    }
+                    return MipResult::Unbounded;
+                }
+            };
             if let Some(inc) = &incumbent {
                 if objective * sign <= inc.objective * sign + prune_margin(inc.objective) {
                     continue;
@@ -531,6 +575,12 @@ impl Solver {
                 greedy_round(problem, &root_values, nodes)
             }
         };
+        if let Some(c) = ctx {
+            c.note_search(pivots_total, refactors_total, nodes as u64);
+        }
+        if let Some(l) = &lane {
+            l.end("solve", pivots_total);
+        }
         if let (Some(c), Some(k)) = (ctx, memo_key) {
             if let MipResult::Optimal(s) | MipResult::Feasible(s) = &result {
                 c.solution_store(k, Arc::new(s.clone()));

@@ -33,10 +33,16 @@ type Slot = Arc<OnceLock<Result<Arc<CellMeasurement>>>>;
 /// Hit/miss/size counters of a [`CircuitCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CircuitCacheStats {
-    /// Lookups served without running a transient simulation.
+    /// Lookups served from a ready entry (an exact-map or warm-store
+    /// measurement already stored when the lookup arrived).
     pub hits: u64,
     /// Lookups that ran a transient simulation.
     pub misses: u64,
+    /// Lookups that blocked on another thread's in-flight simulation of
+    /// the same spec and shared its result. The hit/coalesced split
+    /// depends on thread timing; `hits + coalesced` is the deterministic
+    /// count of lookups served without simulating.
+    pub coalesced: u64,
     /// Distinct cells stored.
     pub entries: usize,
 }
@@ -57,6 +63,7 @@ pub struct CircuitCache {
     warm: Mutex<BTreeMap<u128, Arc<CellMeasurement>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl CircuitCache {
@@ -78,6 +85,16 @@ impl CircuitCache {
             let mut map = lock(&self.map);
             Arc::clone(map.entry(*spec).or_default())
         };
+        // Probe before entering the single-flight cell: a ready result is
+        // a plain hit; reaching `get_or_init` without running the closure
+        // means this lookup waited on another thread's in-flight
+        // simulation and is counted separately as coalesced.
+        if let Some(result) = cell.get() {
+            if result.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return result.clone();
+        }
         let mut ran = false;
         let result = cell
             .get_or_init(|| {
@@ -99,7 +116,7 @@ impl CircuitCache {
             }
         }
         if !ran && result.is_ok() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
         }
         result
     }
@@ -131,6 +148,7 @@ impl CircuitCache {
         CircuitCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: lock(&self.map).len(),
         }
     }
@@ -271,7 +289,12 @@ mod tests {
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "exactly one simulation ran: {stats:?}");
-        assert_eq!(stats.hits, 3);
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            3,
+            "the other three lookups shared the ready or in-flight \
+             result: {stats:?}"
+        );
         assert_eq!(stats.entries, 1);
     }
 

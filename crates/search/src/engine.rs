@@ -309,9 +309,14 @@ pub fn search(
         survivors: survivors.len(),
         frontier: frontier.len(),
         ilp_compiles,
-        eval_hits: eval_after.hits - eval_before.hits,
+        // Hits include coalesced waits on in-flight work: the split
+        // between the two depends on worker timing, but their sum is
+        // deterministic.
+        eval_hits: (eval_after.hits + eval_after.coalesced)
+            - (eval_before.hits + eval_before.coalesced),
         eval_misses: eval_after.misses - eval_before.misses,
-        timing_hits: timing_after.hits - timing_before.hits,
+        timing_hits: (timing_after.hits + timing_after.coalesced)
+            - (timing_before.hits + timing_before.coalesced),
         timing_misses: timing_after.misses - timing_before.misses,
         warm_attempts: solver_after.warm_attempts - solver_before.warm_attempts,
         warm_hits: solver_after.warm_hits - solver_before.warm_hits,

@@ -40,6 +40,7 @@ use std::collections::VecDeque;
 use crate::profile::TenantProfile;
 use crate::report::{ServingReport, TenantServingStats};
 use crate::workload::Workload;
+use smart_trace::{Lane, Tracer};
 
 /// Dispatch-policy knobs of one serving run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +135,29 @@ pub fn simulate(
     n: usize,
     cfg: &ServingConfig,
 ) -> ServingReport {
+    simulate_traced(profiles, workload, n, cfg, &Tracer::disabled(), "")
+}
+
+/// [`simulate`], recording each request's lifecycle onto `tracer` —
+/// one lane per tenant (named `"<lane_prefix>tenant <index> <name>"`),
+/// carrying `arrive` instants, a `dispatch` instant per formed batch,
+/// `restage` spans for cold switches, `run L<a>..L<b>` spans per
+/// executed quantum, and `preempt` / `complete` instants. Timestamps
+/// are simulated accelerator cycles, so the trace is as deterministic
+/// as the report; a disabled tracer makes this exactly [`simulate`].
+///
+/// # Panics
+///
+/// As [`simulate`].
+#[must_use]
+pub fn simulate_traced(
+    profiles: &[TenantProfile],
+    workload: &Workload,
+    n: usize,
+    cfg: &ServingConfig,
+    tracer: &Tracer,
+    lane_prefix: &str,
+) -> ServingReport {
     assert_eq!(
         profiles.len(),
         workload.tenants.len(),
@@ -152,6 +176,15 @@ pub fn simulate(
     }
     let clock = profiles[0].clock;
     let trace = workload.trace(n, clock);
+
+    // One trace lane per tenant. Lanes are no-ops on a disabled tracer;
+    // the exporter re-sorts each lane by timestamp, so emitting `arrive`
+    // instants at admission time (after later events) is fine.
+    let lanes: Vec<Lane> = profiles
+        .iter()
+        .enumerate()
+        .map(|(t, p)| tracer.lane(&format!("{lane_prefix}tenant {t} {}", p.name)))
+        .collect();
 
     // Suffix sums of the per-layer re-staging cost: switching to a job at
     // layer l re-stages the resident bytes of layers l.. .
@@ -190,6 +223,7 @@ pub fn simulate(
                 let r = trace[next_req];
                 queues[usize::from(r.tenant)].push_back(r.arrival);
                 injected[usize::from(r.tenant)] += 1;
+                lanes[usize::from(r.tenant)].instant("arrive", r.arrival);
                 next_req += 1;
             }
         };
@@ -246,6 +280,9 @@ pub fn simulate(
                 }
                 let b = queues[t].len().min(cfg.max_batch as usize);
                 let arrivals: Vec<u64> = queues[t].drain(..b).collect();
+                if lanes[t].is_enabled() {
+                    lanes[t].instant(&format!("dispatch batch={b}"), now);
+                }
                 Job {
                     tenant: t,
                     arrivals,
@@ -260,6 +297,7 @@ pub fn simulate(
         let t = job.tenant;
         if resident.is_some_and(|r| r != t) {
             let cost = restage_tail[t][job.next_layer];
+            lanes[t].span("restage", now, now + cost);
             now += cost;
             switch_cycles += cost;
             switches += 1;
@@ -279,6 +317,7 @@ pub fn simulate(
             } else {
                 remaining.min(cfg.quantum_layers as usize)
             };
+            let segment_start = now;
             for l in job.next_layer..job.next_layer + run {
                 let c = profile.batched_layer_cycles(l, batch);
                 now += c;
@@ -287,11 +326,19 @@ pub fn simulate(
             job.next_layer += run;
             seq += 1;
             last_served[t] = seq;
+            if lanes[t].is_enabled() && run > 0 {
+                lanes[t].span(
+                    &format!("run L{}..L{}", job.next_layer - run, job.next_layer),
+                    segment_start,
+                    now,
+                );
+            }
 
             if job.next_layer == profile.layers() {
                 for &arrival in &job.arrivals {
                     samples[t].push(now - arrival);
                 }
+                lanes[t].instant("complete", now);
                 last_completion = last_completion.max(now);
                 break;
             }
@@ -306,6 +353,7 @@ pub fn simulate(
                     .enumerate()
                     .any(|(qt, q)| qt != t && !q.is_empty());
             if other_waiting {
+                lanes[t].instant("preempt", now);
                 parked.push(job);
                 break;
             }
@@ -491,6 +539,36 @@ mod tests {
             preempt.switch_cycles > rtc.switch_cycles,
             "preemption must pay more re-staging"
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_lifecycle_lanes() {
+        let profiles = [prof(1_000, 600, 50, 10), prof(2_000, 1_200, 80, 10)];
+        let w = two_tenant_workload(3e4, 11);
+        let cfg = ServingConfig::fcfs().with_quantum(2);
+        let plain = simulate(&profiles, &w, 100, &cfg);
+        let tracer = Tracer::enabled();
+        let traced = simulate_traced(&profiles, &w, 100, &cfg, &tracer, "serving/");
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let lanes = tracer.lanes();
+        let names: Vec<&str> = lanes.keys().map(String::as_str).collect();
+        assert_eq!(
+            names,
+            ["serving/tenant 0 synthetic", "serving/tenant 1 synthetic"]
+        );
+        for (name, events) in &lanes {
+            let has = |n: &str| events.iter().any(|e| e.name.starts_with(n));
+            assert!(has("arrive"), "{name} has arrivals");
+            assert!(has("dispatch batch="), "{name} has dispatches");
+            assert!(has("run L"), "{name} has run segments");
+            assert!(has("complete"), "{name} has completions");
+        }
+        // The lifecycle lanes are a valid, deterministic Chrome trace.
+        let a = smart_trace::chrome::export(&tracer).expect("valid trace");
+        let retracer = Tracer::enabled();
+        let _ = simulate_traced(&profiles, &w, 100, &cfg, &retracer, "serving/");
+        let b = smart_trace::chrome::export(&retracer).expect("valid trace");
+        assert_eq!(a, b, "same seed, byte-identical trace");
     }
 
     #[test]

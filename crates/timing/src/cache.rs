@@ -48,11 +48,16 @@ type Slot = Arc<OnceLock<Result<Arc<ModelTimingReport>>>>;
 /// Hit/miss/size counters of a [`TimingCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingCacheStats {
-    /// Lookups served without running the replay simulator (an exact-map
-    /// or warm-store entry, or another thread's in-flight replay).
+    /// Lookups served from a ready entry (an exact-map or warm-store
+    /// result already stored when the lookup arrived).
     pub hits: u64,
     /// Lookups that ran the replay simulator.
     pub misses: u64,
+    /// Lookups that blocked on another thread's in-flight replay of the
+    /// same key and shared its result. The hit/coalesced split depends
+    /// on thread timing; `hits + coalesced` is the deterministic count
+    /// of lookups served without running the replay.
+    pub coalesced: u64,
     /// Distinct `(Scheme, ModelId, TimingConfig)` points stored.
     pub entries: usize,
 }
@@ -74,6 +79,7 @@ pub struct TimingCache {
     solver: SolverContext,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl TimingCache {
@@ -133,6 +139,16 @@ impl TimingCache {
     ) -> Result<Arc<ModelTimingReport>> {
         let key = (scheme.clone(), model, *cfg);
         let (cell, _) = self.slot(&key);
+        // Probe before entering the single-flight cell: a ready result is
+        // a plain hit; reaching `get_or_init` without running the closure
+        // means this lookup waited on another thread's in-flight replay
+        // and is counted separately as coalesced.
+        if let Some(result) = cell.get() {
+            if result.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return result.clone();
+        }
         let mut ran = false;
         let result = cell
             .get_or_init(|| {
@@ -150,7 +166,7 @@ impl TimingCache {
             self.evict(&key, &cell);
         }
         if !ran && result.is_ok() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
         }
         result
     }
@@ -243,6 +259,18 @@ impl TimingCache {
                 continue;
             }
             let (cell, created) = &cells[i];
+            // Same probe-then-wait split as `report`: ready cells are
+            // plain hits, waiting on another call's in-flight point is
+            // coalesced.
+            if !*created {
+                if let Some(result) = cell.get() {
+                    if result.is_ok() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    results[i] = Some(result.clone()?);
+                    continue;
+                }
+            }
             let mut ran = false;
             let result = cell
                 .get_or_init(|| {
@@ -256,8 +284,8 @@ impl TimingCache {
                 let key = (scheme.clone(), model, *cfg);
                 self.evict(&key, cell);
             }
-            if !ran && !*created {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+            if !ran && !*created && result.is_ok() {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
             }
             results[i] = Some(result?);
         }
@@ -299,6 +327,7 @@ impl TimingCache {
         TimingCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: lock(&self.map).len(),
         }
     }
@@ -381,7 +410,12 @@ mod tests {
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "exactly one replay ran: {stats:?}");
-        assert_eq!(stats.hits, 3);
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            3,
+            "the other three lookups shared the ready or in-flight \
+             result: {stats:?}"
+        );
         assert_eq!(stats.entries, 1);
     }
 

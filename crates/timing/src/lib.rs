@@ -25,6 +25,9 @@
 //!   on which replay and analytic evaluator must agree within 1%;
 //! * [`cache::TimingCache`] — the memoized front end the experiment
 //!   engine's `ExperimentContext` shares across worker threads;
+//! * [`trace::trace_model_replay`] — derives a deterministic span-tree
+//!   timeline (layer spans tiled by the accounting identity) from a
+//!   finished report for `smart-trace` Chrome export;
 //! * [`config::TimingConfig`] — the scenario knobs the analytic model does
 //!   not have: double-buffer depth and RANDOM bandwidth scaling.
 //!
@@ -54,6 +57,7 @@ pub mod config;
 pub mod persist;
 pub mod replay;
 pub mod report;
+pub mod trace;
 pub mod validate;
 
 pub use batch::{replay_sweep, replay_sweep_layer};
@@ -61,6 +65,7 @@ pub use cache::{TimingCache, TimingCacheStats};
 pub use config::TimingConfig;
 pub use replay::{replay_layer, LayerInstance, LayerPrepass, RandomCosts};
 pub use report::{ModelTimingReport, TimingReport};
+pub use trace::trace_model_replay;
 pub use validate::{
     compile_scheme_layer, hetero_spm, max_layer_deviation, params_for, prefetch_window,
     prepare_model, prepare_model_ctx, simulate_model, simulate_scheme, stall_free_variant,

@@ -1,0 +1,211 @@
+//! Chrome trace-event JSON export, validated before serialization.
+//!
+//! The output is the ["JSON Array Format" with a `traceEvents`
+//! envelope]: one process (`pid` 1), one thread per lane, `B`/`E`
+//! duration events and `i` instants, plus a `thread_name` metadata
+//! event per lane so Perfetto / `chrome://tracing` label the tracks.
+//! Lane `tid`s are assigned by sorted lane name, so the same trace
+//! content always serializes to the same bytes — the determinism golden
+//! tests diff two traced runs with `assert_eq!` on the raw strings.
+//!
+//! [`export`] refuses to serialize a malformed trace: [`validate`]
+//! checks every lane for balanced, name-matched span nesting and
+//! monotone non-decreasing timestamps first, so a wiring bug in a
+//! recorder fails the run loudly instead of producing a file the viewer
+//! silently mis-renders.
+//!
+//! ["JSON Array Format" with a `traceEvents` envelope]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{Event, EventKind, Tracer};
+use std::collections::BTreeMap;
+
+/// Validates every lane of a [`Tracer::lanes`] snapshot:
+///
+/// * timestamps are monotone non-decreasing within a lane;
+/// * `B`/`E` events nest: every `E` matches the name of the innermost
+///   open `B`, and no span is left open at the end of a lane.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation, naming the lane.
+pub fn validate(lanes: &BTreeMap<String, Vec<Event>>) -> Result<(), String> {
+    for (lane, events) in lanes {
+        let mut last_ts = 0u64;
+        let mut open: Vec<&str> = Vec::new();
+        for e in events {
+            if e.ts < last_ts {
+                return Err(format!(
+                    "lane `{lane}`: timestamp went backwards ({} after {last_ts}) at `{}`",
+                    e.ts, e.name
+                ));
+            }
+            last_ts = e.ts;
+            match e.kind {
+                EventKind::Begin => open.push(&e.name),
+                EventKind::End => match open.pop() {
+                    Some(top) if top == e.name => {}
+                    Some(top) => {
+                        return Err(format!(
+                            "lane `{lane}`: span end `{}` closes open span `{top}`",
+                            e.name
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "lane `{lane}`: span end `{}` with no open span",
+                            e.name
+                        ))
+                    }
+                },
+                EventKind::Mark => {}
+            }
+        }
+        if let Some(top) = open.pop() {
+            return Err(format!("lane `{lane}`: span `{top}` never ends"));
+        }
+    }
+    Ok(())
+}
+
+/// Serializes the tracer's lanes as Chrome trace-event JSON.
+///
+/// # Errors
+///
+/// Propagates [`validate`]'s description when the recorded events do not
+/// form a well-nested, monotone trace.
+pub fn export(tracer: &Tracer) -> Result<String, String> {
+    let lanes = tracer.lanes();
+    validate(&lanes)?;
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    for (tid, (lane, events)) in lanes.iter().enumerate() {
+        let tid = tid + 1;
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(lane)
+            ),
+            &mut out,
+        );
+        for e in events {
+            let line = match e.kind {
+                EventKind::Begin | EventKind::End => format!(
+                    "{{\"name\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+                    escape(&e.name),
+                    if e.kind == EventKind::Begin { "B" } else { "E" },
+                    e.ts
+                ),
+                EventKind::Mark => format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
+                     \"s\":\"t\"}}",
+                    escape(&e.name),
+                    e.ts
+                ),
+            };
+            push(line, &mut out);
+        }
+    }
+    out.push_str("\n]}\n");
+    Ok(out)
+}
+
+/// JSON string escaping for event and lane names.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_deterministic_and_lane_ordered() {
+        let make = || {
+            let t = Tracer::enabled();
+            // Record lanes out of name order; export must not care.
+            let b = t.lane("z lane");
+            b.span("work", 5, 9);
+            let a = t.lane("a lane");
+            a.instant("tick", 2);
+            t
+        };
+        let one = export(&make()).expect("valid");
+        let two = export(&make()).expect("valid");
+        assert_eq!(one, two);
+        let a_at = one.find("a lane").expect("a lane present");
+        let z_at = one.find("z lane").expect("z lane present");
+        assert!(a_at < z_at, "lanes serialize in name order:\n{one}");
+        assert!(one.contains("\"ph\":\"B\""));
+        assert!(one.contains("\"ph\":\"E\""));
+        assert!(one.contains("\"ph\":\"i\""));
+        assert!(one.contains("\"ph\":\"M\""));
+    }
+
+    #[test]
+    fn empty_tracer_exports_an_empty_event_array() {
+        let json = export(&Tracer::enabled()).expect("valid");
+        assert_eq!(json, "{\"traceEvents\":[\n\n]}\n");
+        assert_eq!(export(&Tracer::disabled()).expect("valid"), json);
+    }
+
+    #[test]
+    fn unbalanced_spans_are_rejected() {
+        let t = Tracer::enabled();
+        t.lane("l").begin("open", 1);
+        let err = export(&t).expect_err("unclosed span");
+        assert!(err.contains("never ends"), "{err}");
+
+        let t = Tracer::enabled();
+        t.lane("l").end("stray", 1);
+        let err = export(&t).expect_err("stray end");
+        assert!(err.contains("no open span"), "{err}");
+
+        let t = Tracer::enabled();
+        let lane = t.lane("l");
+        lane.begin("outer", 1);
+        lane.end("inner", 2);
+        let err = export(&t).expect_err("mismatched end");
+        assert!(err.contains("closes open span"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_sorting_repairs_out_of_order_recording() {
+        // An instant stamped before an already-recorded span is legal —
+        // the snapshot sorts per lane before validation.
+        let t = Tracer::enabled();
+        let lane = t.lane("l");
+        lane.span("late", 100, 200);
+        lane.instant("early", 10);
+        assert!(export(&t).is_ok());
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let t = Tracer::enabled();
+        t.lane("quote \" lane").instant("tab\there", 1);
+        let json = export(&t).expect("valid");
+        assert!(json.contains("quote \\\" lane"));
+        assert!(json.contains("tab\\there"));
+        assert_eq!(escape("a\\b\nc\u{1}"), "a\\\\b\\nc\\u0001");
+    }
+}

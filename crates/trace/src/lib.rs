@@ -1,0 +1,300 @@
+//! Layer 0: structured spans, a unified metrics registry, and
+//! deterministic trace export.
+//!
+//! The simulators of this workspace run on *virtual* clocks — replay
+//! cycles, simulated serving microseconds, ILP pivot counts — so their
+//! execution timelines can be recorded **deterministically**: two traced
+//! runs of the same seed produce byte-identical trace files, something a
+//! wall-clock profiler can never offer. Three pillars:
+//!
+//! * **Spans & events** ([`Tracer`] / [`Lane`]): a lightweight handle
+//!   that records nested spans and instant events stamped with virtual
+//!   time onto named lanes (one lane per tenant / model / problem). A
+//!   disabled tracer is a no-op cheap enough for replay inner loops —
+//!   every recording call is a single `Option` check.
+//! * **Metrics** ([`MetricsRegistry`] / [`MetricsSnapshot`]): named
+//!   monotonic counters and gauges with deterministic `BTreeMap`
+//!   ordering, absorbing the scattered per-cache and per-solver counter
+//!   structs behind one dump format (text or CSV).
+//! * **Exporters** ([`chrome`]): Chrome trace-event JSON loadable in
+//!   Perfetto / `chrome://tracing`, validated (balanced span nesting,
+//!   per-lane monotone timestamps) before a byte is written.
+//!
+//! The one deliberately *non*-deterministic corner is [`wall`]: a
+//! wall-clock profiling sink for coarse per-experiment timing, kept in
+//! its own module so the determinism lint exemption is scoped to it.
+//!
+//! # Example
+//!
+//! ```
+//! use smart_trace::{chrome, Tracer};
+//!
+//! let tracer = Tracer::enabled();
+//! let lane = tracer.lane("tenant 0 AlexNet");
+//! lane.instant("arrive", 10);
+//! lane.begin("run L0..L3", 40);
+//! lane.end("run L0..L3", 90);
+//! let json = chrome::export(&tracer).expect("valid trace");
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod wall;
+
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use wall::WallProfile;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Poison-tolerant lock: a panicked recorder loses its own events only,
+/// never the whole trace.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What one recorded event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opens (Chrome `ph: "B"`).
+    Begin,
+    /// A span closes (Chrome `ph: "E"`).
+    End,
+    /// A zero-duration instant (Chrome `ph: "i"`). Named `Mark` rather
+    /// than `Instant` so the identifier can never be confused with (or
+    /// lint-matched as) the wall-clock `std::time::Instant` — this crate
+    /// records virtual time only.
+    Mark,
+}
+
+/// One recorded event on a lane, stamped with virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Span or instant name.
+    pub name: String,
+    /// Virtual timestamp (cycles, simulated µs, pivots — the recorder's
+    /// clock; exported as Chrome µs).
+    pub ts: u64,
+}
+
+/// Per-lane event storage. Lanes are keyed by name so the export order
+/// (and therefore the output bytes) never depends on recording order
+/// across threads — only the *within-lane* sequence matters, and each
+/// lane has a single logical writer.
+type Lanes = Mutex<BTreeMap<String, Arc<Mutex<Vec<Event>>>>>;
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    lanes: Lanes,
+}
+
+/// A handle recording spans and instant events onto named lanes.
+///
+/// Cloning is cheap (a shared buffer); a [`Tracer::disabled`] tracer
+/// records nothing and costs one `Option` check per call.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buf: Option<Arc<TraceBuf>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { buf: None }
+    }
+
+    /// A tracer that records events.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            buf: Some(Arc::new(TraceBuf::default())),
+        }
+    }
+
+    /// Whether this tracer records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// The lane named `name`, created on first use. On a disabled tracer
+    /// the returned lane is a no-op.
+    #[must_use]
+    pub fn lane(&self, name: &str) -> Lane {
+        let events = self.buf.as_ref().map(|buf| {
+            let mut lanes = lock(&buf.lanes);
+            match lanes.get(name) {
+                Some(events) => Arc::clone(events),
+                None => {
+                    let events = Arc::new(Mutex::new(Vec::new()));
+                    lanes.insert(name.to_owned(), Arc::clone(&events));
+                    events
+                }
+            }
+        });
+        Lane { events }
+    }
+
+    /// Every lane's events, keyed by lane name, each lane stably sorted
+    /// by timestamp (recording order breaks ties, so nesting survives).
+    /// This is the exporters' input; the name-keyed `BTreeMap` makes the
+    /// result — and everything serialized from it — deterministic.
+    #[must_use]
+    pub fn lanes(&self) -> BTreeMap<String, Vec<Event>> {
+        let Some(buf) = &self.buf else {
+            return BTreeMap::new();
+        };
+        let lanes = lock(&buf.lanes);
+        lanes
+            .iter()
+            .map(|(name, events)| {
+                let mut events = lock(events).clone();
+                events.sort_by_key(|e| e.ts);
+                (name.clone(), events)
+            })
+            .collect()
+    }
+
+    /// Total recorded events across lanes.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.buf.as_ref().map_or(0, |buf| {
+            lock(&buf.lanes).values().map(|v| lock(v).len()).sum()
+        })
+    }
+}
+
+/// A recording handle for one lane. No-op when obtained from a disabled
+/// tracer; otherwise each call appends one event under the lane's lock.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    events: Option<Arc<Mutex<Vec<Event>>>>,
+}
+
+impl Lane {
+    fn push(&self, kind: EventKind, name: &str, ts: u64) {
+        if let Some(events) = &self.events {
+            lock(events).push(Event {
+                kind,
+                name: name.to_owned(),
+                ts,
+            });
+        }
+    }
+
+    /// Whether events recorded here are kept (mirror of the owning
+    /// tracer's [`Tracer::is_enabled`]); lets callers skip building
+    /// event names on the disabled path.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Opens a span at virtual time `ts`.
+    pub fn begin(&self, name: &str, ts: u64) {
+        self.push(EventKind::Begin, name, ts);
+    }
+
+    /// Closes the innermost open span at virtual time `ts`. Chrome pairs
+    /// `E` with the nearest unmatched `B` on the lane, so `name` is
+    /// advisory — the validator checks it matches anyway.
+    pub fn end(&self, name: &str, ts: u64) {
+        self.push(EventKind::End, name, ts);
+    }
+
+    /// Records a complete `[start, end]` span.
+    pub fn span(&self, name: &str, start: u64, end: u64) {
+        self.begin(name, start);
+        self.end(name, end.max(start));
+    }
+
+    /// Records a zero-duration instant event.
+    pub fn instant(&self, name: &str, ts: u64) {
+        self.push(EventKind::Mark, name, ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        let lane = t.lane("x");
+        assert!(!t.is_enabled());
+        assert!(!lane.is_enabled());
+        lane.begin("a", 0);
+        lane.end("a", 5);
+        lane.instant("b", 3);
+        assert_eq!(t.event_count(), 0);
+        assert!(t.lanes().is_empty());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Tracer::default().is_enabled());
+    }
+
+    #[test]
+    fn lanes_are_name_keyed_and_ts_sorted() {
+        let t = Tracer::enabled();
+        let b = t.lane("b");
+        let a = t.lane("a");
+        b.span("late", 10, 20);
+        // Emitted after, stamped before: the snapshot re-sorts.
+        b.instant("early", 5);
+        a.instant("only", 1);
+        let lanes = t.lanes();
+        let names: Vec<&str> = lanes.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a", "b"]);
+        let b_events = &lanes["b"];
+        assert_eq!(b_events[0].name, "early");
+        assert_eq!(b_events[1].kind, EventKind::Begin);
+        assert_eq!(t.event_count(), 4);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_recording_order() {
+        let t = Tracer::enabled();
+        let lane = t.lane("l");
+        lane.begin("outer", 7);
+        lane.begin("inner", 7);
+        lane.end("inner", 7);
+        lane.end("outer", 7);
+        let lanes = t.lanes();
+        let kinds: Vec<EventKind> = lanes["l"].iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                EventKind::Begin,
+                EventKind::Begin,
+                EventKind::End,
+                EventKind::End
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::enabled();
+        let clone = t.clone();
+        clone.lane("l").instant("e", 1);
+        assert_eq!(t.event_count(), 1);
+    }
+
+    #[test]
+    fn span_clamps_inverted_ends() {
+        let t = Tracer::enabled();
+        t.lane("l").span("s", 10, 4);
+        let lanes = t.lanes();
+        assert_eq!(lanes["l"][1].ts, 10, "end is clamped to start");
+    }
+}

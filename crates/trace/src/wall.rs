@@ -1,0 +1,126 @@
+//! [`WallProfile`]: the explicitly non-deterministic wall-clock sink.
+//!
+//! Everything else in this crate is stamped with virtual time and is
+//! byte-reproducible; coarse "where did the seconds go" profiling of
+//! the experiment drivers is the one place wall clocks are the right
+//! tool. This module quarantines that: durations recorded here are for
+//! **stderr reporting only** and must never reach stdout tables, trace
+//! files, or persisted store bytes. Keeping the `Instant` reads in one
+//! module scopes the determinism-lint exemption to exactly this file.
+
+// lint:allow-file(determinism, wall-clock profiling sink: durations are stderr-only reporting and never reach stdout, trace files, or store bytes)
+
+use crate::lock;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One timed entry: label and elapsed microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallEntry {
+    /// What was timed (an experiment name, a phase).
+    pub label: String,
+    /// Elapsed wall time in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// A wall-clock profiling sink: times closures, renders a stderr
+/// summary tree. Disabled by default; a disabled profile still runs the
+/// closures but records nothing.
+#[derive(Debug, Default)]
+pub struct WallProfile {
+    enabled: bool,
+    entries: Mutex<Vec<WallEntry>>,
+}
+
+impl WallProfile {
+    /// A recording profile.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A no-op profile (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether closures run under [`WallProfile::time`] are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f`, recording its wall duration under `label` when enabled.
+    pub fn time<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        lock(&self.entries).push(WallEntry {
+            label: label.to_owned(),
+            elapsed_us,
+        });
+        out
+    }
+
+    /// The recorded entries, in completion order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<WallEntry> {
+        lock(&self.entries).clone()
+    }
+
+    /// A stderr-ready summary tree: one line per entry under a root line
+    /// with the recorded total. Empty string when nothing was recorded.
+    #[must_use]
+    pub fn to_text(&self, root: &str) -> String {
+        let entries = self.entries();
+        if entries.is_empty() {
+            return String::new();
+        }
+        let total: u64 = entries.iter().map(|e| e.elapsed_us).sum();
+        let width = entries.iter().map(|e| e.label.len()).max().unwrap_or(0);
+        let mut out = format!("{root}: {:.1} ms wall\n", total as f64 / 1e3);
+        for e in &entries {
+            out.push_str(&format!(
+                "  {:<width$} {:>10.1} ms\n",
+                e.label,
+                e.elapsed_us as f64 / 1e3
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profile_runs_but_records_nothing() {
+        let p = WallProfile::disabled();
+        assert!(!p.is_enabled());
+        assert_eq!(p.time("x", || 41 + 1), 42);
+        assert!(p.entries().is_empty());
+        assert_eq!(p.to_text("root"), "");
+    }
+
+    #[test]
+    fn enabled_profile_records_each_closure() {
+        let p = WallProfile::enabled();
+        assert_eq!(p.time("first", || "a"), "a");
+        p.time("second", || {});
+        let entries = p.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].label, "first");
+        assert_eq!(entries[1].label, "second");
+        let text = p.to_text("run");
+        assert!(text.starts_with("run: "), "{text}");
+        assert!(text.contains("first") && text.contains("second"), "{text}");
+    }
+}

@@ -18,6 +18,8 @@
 //!   warm-started incremental evaluation
 //! * [`serving`] — multi-tenant serving simulator: seeded request
 //!   generators and a queueing/dispatch model over prepass replays
+//! * [`trace`] — structured spans, the unified metrics registry, and
+//!   deterministic Chrome-trace export
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -33,6 +35,7 @@ pub use smart_sfq as sfq;
 pub use smart_spm as spm;
 pub use smart_systolic as systolic;
 pub use smart_timing as timing;
+pub use smart_trace as trace;
 pub use smart_units as units;
 
 pub use smart_units::{Result, SmartError};
